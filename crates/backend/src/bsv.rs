@@ -1,0 +1,378 @@
+//! Bluespec SystemVerilog generation for hardware partitions (§6.4).
+//!
+//! "With the exception of loops and sequential composition, BCL can be
+//! translated to legal BSV, which is then compiled to Verilog using the
+//! BSV compiler." This module performs that translation: each hardware
+//! partition becomes a BSV module with `mkReg`/`mkSizedFIFOF`/`mkRegFileFull`
+//! state, one `rule` per BCL rule (with the lifted guard as the rule
+//! condition), and struct/vector typedefs. Designs containing loops,
+//! sequential composition, or `localGuard` are rejected, exactly as the
+//! paper prescribes.
+
+use bcl_core::ast::{Action, Expr, PrimId, PrimMethod, Target};
+use bcl_core::design::Design;
+use bcl_core::error::ElabError;
+use bcl_core::prim::PrimSpec;
+use bcl_core::sched::HwSim;
+use bcl_core::types::Type;
+use bcl_core::value::{BinOp, UnOp, Value};
+use bcl_core::xform::{compile_design, CompileOpts};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+struct Emitter<'d> {
+    design: &'d Design,
+    typedefs: BTreeMap<String, String>, // rendered fields -> name
+}
+
+/// Generates BSV source for a hardware partition.
+///
+/// # Errors
+///
+/// Fails the hardware legality check (loops, sequential composition,
+/// `localGuard`).
+pub fn emit_bsv(design: &Design) -> Result<String, ElabError> {
+    // Reuse the HW simulator's legality check.
+    HwSim::new(design)?;
+    let mut e = Emitter { design, typedefs: BTreeMap::new() };
+    Ok(e.emit())
+}
+
+impl<'d> Emitter<'d> {
+    fn prim_name(&self, id: PrimId) -> String {
+        self.design.prim(id).path.as_str().replace('.', "_")
+    }
+
+    fn bsv_type(&mut self, t: &Type) -> String {
+        match t {
+            Type::Bool => "Bool".into(),
+            Type::Bits(w) => format!("Bit#({w})"),
+            Type::Int(w) => format!("Int#({w})"),
+            Type::Vector(n, t) => format!("Vector#({n}, {})", self.bsv_type(t)),
+            Type::Struct(fs) => {
+                let body: String = fs
+                    .iter()
+                    .map(|(n, t)| format!("    {} {n};\n", self.bsv_type(t)))
+                    .collect();
+                if let Some(name) = self.typedefs.get(&body) {
+                    return name.clone();
+                }
+                let name = format!("TStruct{}", self.typedefs.len());
+                self.typedefs.insert(body, name.clone());
+                name
+            }
+        }
+    }
+
+    fn bsv_value(&mut self, v: &Value) -> String {
+        match v {
+            Value::Bool(b) => if *b { "True" } else { "False" }.to_string(),
+            Value::Int { val, .. } => val.to_string(),
+            Value::Bits { bits, .. } => format!("'h{bits:x}"),
+            Value::Vec(vs) => {
+                // BSV vector literals via `vec(...)` (Vector package).
+                let items: Vec<String> = vs.iter().map(|x| self.bsv_value(x)).collect();
+                format!("vec({})", items.join(", "))
+            }
+            Value::Struct(fs) => {
+                let ty = self.bsv_type(&v.type_of());
+                let items: Vec<String> =
+                    fs.iter().map(|(n, x)| format!("{n}: {}", self.bsv_value(x))).collect();
+                format!("{ty} {{{}}}", items.join(", "))
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> String {
+        match e {
+            Expr::Const(v) => self.bsv_value(v),
+            Expr::Var(n) => n.clone(),
+            Expr::Un(UnOp::Not, a) => format!("!({})", self.expr(a)),
+            Expr::Un(UnOp::Neg, a) => format!("-({})", self.expr(a)),
+            Expr::Un(UnOp::Inv, a) => format!("~({})", self.expr(a)),
+            Expr::Bin(op, a, b) => {
+                let (a, b) = (self.expr(a), self.expr(b));
+                match op {
+                    BinOp::FixMul(f) => format!("fxMul({a}, {b}, {f})"),
+                    BinOp::FixDiv(f) => format!("fxDiv({a}, {b}, {f})"),
+                    BinOp::Min => format!("min({a}, {b})"),
+                    BinOp::Max => format!("max({a}, {b})"),
+                    BinOp::Add => format!("({a} + {b})"),
+                    BinOp::Sub => format!("({a} - {b})"),
+                    BinOp::Mul => format!("({a} * {b})"),
+                    BinOp::Div => format!("({a} / {b})"),
+                    BinOp::Rem => format!("({a} % {b})"),
+                    BinOp::And => format!("({a} && {b})"),
+                    BinOp::Or => format!("({a} || {b})"),
+                    BinOp::Xor => format!("({a} ^ {b})"),
+                    BinOp::Shl => format!("({a} << {b})"),
+                    BinOp::Shr => format!("({a} >> {b})"),
+                    BinOp::Eq => format!("({a} == {b})"),
+                    BinOp::Ne => format!("({a} != {b})"),
+                    BinOp::Lt => format!("({a} < {b})"),
+                    BinOp::Le => format!("({a} <= {b})"),
+                    BinOp::Gt => format!("({a} > {b})"),
+                    BinOp::Ge => format!("({a} >= {b})"),
+                }
+            }
+            Expr::Cond(c, t, f) => {
+                format!("({} ? {} : {})", self.expr(c), self.expr(t), self.expr(f))
+            }
+            Expr::When(v, g) => format!("when({}, {})", self.expr(g), self.expr(v)),
+            Expr::Let(..) => {
+                // Let chains are flattened into rule-local bindings by the
+                // statement emitter; a let in pure expression position is
+                // emitted as a `begin ... end` block expression.
+                let mut binds = Vec::new();
+                let mut cur = e;
+                while let Expr::Let(n, v, b) = cur {
+                    binds.push((n.clone(), v.as_ref().clone()));
+                    cur = b;
+                }
+                let mut s = String::from("(begin ");
+                for (n, v) in binds {
+                    let _ = write!(s, "let {n} = {}; ", self.expr(&v));
+                }
+                let _ = write!(s, "{} end)", self.expr(cur));
+                s
+            }
+            Expr::Call(Target::Prim(id, m), args) => {
+                let obj = self.prim_name(*id);
+                let args: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
+                match m {
+                    PrimMethod::RegRead => obj,
+                    PrimMethod::First => format!("{obj}.first"),
+                    PrimMethod::NotEmpty => format!("{obj}.notEmpty"),
+                    PrimMethod::NotFull => format!("{obj}.notFull"),
+                    PrimMethod::Sub => format!("{obj}.sub({})", args.join(", ")),
+                    other => format!("/* bad value method {} */", other.name()),
+                }
+            }
+            Expr::Call(Target::Named(p, m), _) => format!("/* unresolved {p}.{m} */"),
+            Expr::Index(v, i) => format!("{}[{}]", self.expr(v), self.expr(i)),
+            Expr::Field(v, f) => format!("{}.{f}", self.expr(v)),
+            Expr::MkVec(es) => {
+                let items: Vec<String> = es.iter().map(|x| self.expr(x)).collect();
+                format!("vec({})", items.join(", "))
+            }
+            Expr::MkStruct(fs) => {
+                let field_types: Vec<(String, Type)> =
+                    fs.iter().map(|(n, _)| (n.clone(), Type::Bits(0))).collect();
+                let _ = field_types;
+                let items: Vec<String> =
+                    fs.iter().map(|(n, x)| format!("{n}: {}", self.expr(x))).collect();
+                format!("unpack(pack(/* struct */ {{{}}}))", items.join(", "))
+            }
+            Expr::UpdateIndex(v, i, x) => {
+                format!("update({}, {}, {})", self.expr(v), self.expr(i), self.expr(x))
+            }
+            Expr::UpdateField(v, f, x) => {
+                format!("updateField_{f}({}, {})", self.expr(v), self.expr(x))
+            }
+        }
+    }
+
+    fn stmts(&mut self, a: &Action, indent: usize, out: &mut String) {
+        let pad = " ".repeat(indent);
+        match a {
+            Action::NoAction => {
+                let _ = writeln!(out, "{pad}noAction;");
+            }
+            Action::Write(t, e) => {
+                if let Target::Prim(id, _) = t {
+                    let _ = writeln!(out, "{pad}{} <= {};", self.prim_name(*id), self.expr(e));
+                }
+            }
+            Action::Call(Target::Prim(id, m), args) => {
+                let obj = self.prim_name(*id);
+                let args: Vec<String> = args.iter().map(|x| self.expr(x)).collect();
+                let call = match m {
+                    PrimMethod::Enq => format!("{obj}.enq({})", args.join(", ")),
+                    PrimMethod::Deq => format!("{obj}.deq"),
+                    PrimMethod::Clear => format!("{obj}.clear"),
+                    PrimMethod::Upd => format!("{obj}.upd({})", args.join(", ")),
+                    PrimMethod::RegWrite => {
+                        let _ = writeln!(out, "{pad}{obj} <= {};", args.join(", "));
+                        return;
+                    }
+                    other => format!("/* bad action method {} */", other.name()),
+                };
+                let _ = writeln!(out, "{pad}{call};");
+            }
+            Action::Call(Target::Named(p, m), _) => {
+                let _ = writeln!(out, "{pad}/* unresolved {p}.{m} */;");
+            }
+            Action::If(c, t, f) => {
+                let _ = writeln!(out, "{pad}if ({}) begin", self.expr(c));
+                self.stmts(t, indent + 4, out);
+                if !matches!(**f, Action::NoAction) {
+                    let _ = writeln!(out, "{pad}end else begin");
+                    self.stmts(f, indent + 4, out);
+                }
+                let _ = writeln!(out, "{pad}end");
+            }
+            Action::Par(x, y) => {
+                // Parallel composition is BSV's native action semantics.
+                self.stmts(x, indent, out);
+                self.stmts(y, indent, out);
+            }
+            Action::When(g, x) => {
+                let _ = writeln!(out, "{pad}// residual guard");
+                let _ = writeln!(out, "{pad}when ({}) begin", self.expr(g));
+                self.stmts(x, indent + 4, out);
+                let _ = writeln!(out, "{pad}end");
+            }
+            Action::Let(n, e, x) => {
+                let _ = writeln!(out, "{pad}let {n} = {};", self.expr(e));
+                self.stmts(x, indent, out);
+            }
+            Action::Seq(..) | Action::Loop(..) | Action::LocalGuard(..) => {
+                // Rejected by hw_check before emission.
+                let _ = writeln!(out, "{pad}/* untranslatable */;");
+            }
+        }
+    }
+
+    fn emit(&mut self) -> String {
+        let design = self.design;
+        // Lift guards so each rule condition is explicit BSV.
+        let plans = compile_design(design, CompileOpts { lift: true, sequentialize: false });
+
+        let mut state = String::new();
+        for (id, p) in design.prims_iter() {
+            let name = self.prim_name(id);
+            match &p.spec {
+                PrimSpec::Reg { init } => {
+                    let t = self.bsv_type(&init.type_of());
+                    let v = self.bsv_value(init);
+                    let _ = writeln!(state, "    Reg#({t}) {name} <- mkReg({v});");
+                }
+                PrimSpec::Fifo { depth, ty } | PrimSpec::Sync { depth, ty, .. } => {
+                    let t = self.bsv_type(ty);
+                    let _ =
+                        writeln!(state, "    FIFOF#({t}) {name} <- mkSizedFIFOF({depth});");
+                }
+                PrimSpec::RegFile { size, ty, .. } => {
+                    let t = self.bsv_type(ty);
+                    let _ = writeln!(
+                        state,
+                        "    RegFile#(Bit#(32), {t}) {name} <- mkRegFileFull; // {size} entries"
+                    );
+                }
+                PrimSpec::Source { ty, .. } => {
+                    let t = self.bsv_type(ty);
+                    let _ = writeln!(
+                        state,
+                        "    FIFOF#({t}) {name} <- mkSizedFIFOF(16); // input port"
+                    );
+                }
+                PrimSpec::Sink { ty, .. } => {
+                    let t = self.bsv_type(ty);
+                    let _ = writeln!(
+                        state,
+                        "    FIFOF#({t}) {name} <- mkSizedFIFOF(16); // output port"
+                    );
+                }
+            }
+        }
+
+        let mut rules = String::new();
+        for (i, rule) in design.rules.iter().enumerate() {
+            let plan = &plans[i];
+            let rname = rule.name.replace('.', "_");
+            let guard = match &plan.guard {
+                Some(g) => self.expr(g),
+                None => "True".into(),
+            };
+            let _ = writeln!(rules, "    rule {rname} ({guard});");
+            self.stmts(&plan.body.clone(), 8, &mut rules);
+            let _ = writeln!(rules, "    endrule\n");
+        }
+
+        let mut typedefs = String::new();
+        for (body, name) in
+            self.typedefs.iter().map(|(b, n)| (b.clone(), n.clone())).collect::<Vec<_>>()
+        {
+            let _ = writeln!(
+                typedefs,
+                "typedef struct {{\n{body}}} {name} deriving (Bits, Eq);\n"
+            );
+        }
+
+        let mod_name = design.name.replace(['.', '-'], "_");
+        format!(
+            "// Generated by bcl-backend from design `{}`\nimport FIFOF::*;\nimport Vector::*;\nimport RegFile::*;\n\n{typedefs}module mk{mod_name}();\n{state}\n{rules}endmodule\n",
+            design.name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcl_core::builder::{dsl::*, ModuleBuilder};
+    use bcl_core::program::Program;
+
+    fn pipe_design() -> Design {
+        let mut m = ModuleBuilder::new("Pipe");
+        m.fifo("q0", 2, Type::Int(32));
+        m.fifo("q1", 2, Type::Int(32));
+        m.reg("count", Value::int(32, 0));
+        m.rule(
+            "move",
+            with_first(
+                "x",
+                "q0",
+                par(vec![
+                    enq("q1", mul(var("x"), cint(32, 3))),
+                    write("count", add(read("count"), cint(32, 1))),
+                ]),
+            ),
+        );
+        bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+    }
+
+    #[test]
+    fn emits_module_and_state() {
+        let bsv = emit_bsv(&pipe_design()).unwrap();
+        assert!(bsv.contains("module mkPipe();"), "{bsv}");
+        assert!(bsv.contains("FIFOF#(Int#(32)) q0 <- mkSizedFIFOF(2);"), "{bsv}");
+        assert!(bsv.contains("Reg#(Int#(32)) count <- mkReg(0);"), "{bsv}");
+        assert!(bsv.contains("endmodule"), "{bsv}");
+    }
+
+    #[test]
+    fn rule_guard_is_lifted_into_condition() {
+        let bsv = emit_bsv(&pipe_design()).unwrap();
+        // Guard: q1 not full AND q0 not empty (implicit guards of enq/first/deq).
+        assert!(bsv.contains("rule move ("), "{bsv}");
+        assert!(bsv.contains("q1.notFull"), "{bsv}");
+        assert!(bsv.contains("q0.notEmpty"), "{bsv}");
+        assert!(bsv.contains("q1.enq((x * 3));"), "{bsv}");
+        assert!(bsv.contains("count <= (count + 1);"), "{bsv}");
+    }
+
+    #[test]
+    fn seq_rules_are_rejected() {
+        let mut m = ModuleBuilder::new("Bad");
+        m.reg("a", Value::int(8, 0));
+        m.rule(
+            "s",
+            seq(vec![write("a", cint(8, 1)), write("a", cint(8, 2))]),
+        );
+        let d = bcl_core::elaborate(&Program::with_root(m.build())).unwrap();
+        let e = emit_bsv(&d).unwrap_err();
+        assert!(e.message().contains("sequential"), "{e}");
+    }
+
+    #[test]
+    fn struct_typedefs_are_emitted() {
+        let mut m = ModuleBuilder::new("S");
+        m.fifo("p", 1, Type::complex(Type::Int(16)));
+        let d = bcl_core::elaborate(&Program::with_root(m.build())).unwrap();
+        let bsv = emit_bsv(&d).unwrap();
+        assert!(bsv.contains("typedef struct {"), "{bsv}");
+        assert!(bsv.contains("Int#(16) re;"), "{bsv}");
+        assert!(bsv.contains("deriving (Bits, Eq);"), "{bsv}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Validates the generated C++ with a real compiler: the paper's claim is
+//! that the compiler emits a *working* software implementation, so the
+//! emitted text must at least be legal C++.
+
+use bcl_core::builder::{dsl::*, ModuleBuilder};
+use bcl_core::program::Program;
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+use std::process::Command;
+
+fn gpp_available() -> bool {
+    Command::new("g++").arg("--version").output().is_ok()
+}
+
+fn check_compiles(code: &str, tag: &str) {
+    if !gpp_available() {
+        eprintln!("skipping: g++ not available");
+        return;
+    }
+    let dir = std::env::temp_dir().join(format!("bcl_cxx_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("gen.cpp");
+    std::fs::write(&path, format!("{code}\nint main() {{ return 0; }}\n")).unwrap();
+    let out = Command::new("g++")
+        .args(["-std=c++17", "-fsyntax-only", "-Wall"])
+        .arg(&path)
+        .output()
+        .expect("g++ runs");
+    assert!(
+        out.status.success(),
+        "generated C++ does not compile:\n{}\n--- code ---\n{code}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn sample_design() -> bcl_core::Design {
+    let mut m = ModuleBuilder::new("Sample");
+    m.reg("a", Value::int(32, 0));
+    m.reg("flag", Value::Bool(false));
+    m.fifo("f", 2, Type::Int(32));
+    m.fifo("v", 2, Type::vector(4, Type::complex(Type::fixpt())));
+    m.regfile("t", 8, Type::Int(32), vec![Value::int(32, 7)]);
+    m.rule(
+        "foo",
+        seq(vec![write("a", cint(32, 1)), enq("f", read("a")), write("a", cint(32, 0))]),
+    );
+    m.rule(
+        "vecwork",
+        with_first(
+            "x",
+            "v",
+            enq(
+                "v",
+                mkvec(
+                    (0..4)
+                        .map(|i| {
+                            cplx(
+                                fixmul(
+                                    field(index(var("x"), cint(32, i)), "re"),
+                                    cfix(0.5, 24),
+                                    24,
+                                ),
+                                field(index(var("x"), cint(32, i)), "im"),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ),
+    );
+    m.rule(
+        "cond",
+        if_else(
+            gt(read("a"), cint(32, 5)),
+            par(vec![write("flag", cbool(true)), upd("t", cint(32, 0), read("a"))]),
+            write("flag", cbool(false)),
+        ),
+    );
+    m.rule(
+        "guarded",
+        when_a(
+            eq(read("flag"), cbool(false)),
+            local_guard(enq("f", sub("t", cint(32, 0)))),
+        ),
+    );
+    bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+}
+
+#[test]
+fn optimized_cxx_compiles() {
+    let code = bcl_backend::emit_cxx(&sample_design(), bcl_backend::CxxOptions { lift: true });
+    check_compiles(&code, "opt");
+}
+
+#[test]
+fn unoptimized_cxx_compiles() {
+    let code = bcl_backend::emit_cxx(&sample_design(), bcl_backend::CxxOptions { lift: false });
+    check_compiles(&code, "unopt");
+}

@@ -1,0 +1,45 @@
+//! Criterion bench for the §6.3 software-optimization ablations: the
+//! all-software Vorbis back-end under each compiler/runtime configuration.
+
+use bcl_bench::vorbis_sw_ablation;
+use bcl_core::sched::{Strategy, SwOptions};
+use bcl_core::store::ShadowPolicy;
+use bcl_core::xform::CompileOpts;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    let cases: &[(&str, CompileOpts, ShadowPolicy, Strategy)] = &[
+        ("all_opts", CompileOpts::default(), ShadowPolicy::Partial, Strategy::Dataflow),
+        (
+            "no_lifting",
+            CompileOpts { lift: false, sequentialize: false },
+            ShadowPolicy::Partial,
+            Strategy::Dataflow,
+        ),
+        (
+            "full_shadows",
+            CompileOpts { lift: false, sequentialize: false },
+            ShadowPolicy::Full,
+            Strategy::Dataflow,
+        ),
+        ("round_robin", CompileOpts::default(), ShadowPolicy::Partial, Strategy::RoundRobin),
+    ];
+    for (name, compile, shadow, strategy) in cases {
+        g.bench_function(*name, |b| {
+            let opts = SwOptions {
+                compile: *compile,
+                shadow: *shadow,
+                strategy: *strategy,
+                ..Default::default()
+            };
+            b.iter(|| black_box(vorbis_sw_ablation(opts, 4, 1).cpu_cycles))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

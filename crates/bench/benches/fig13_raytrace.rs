@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 13 (right): each ray-tracer partition
+//! rendering a small image on the modeled platform.
+
+use bcl_raytrace::bvh::build_bvh;
+use bcl_raytrace::geom::{gen_rays, make_scene};
+use bcl_raytrace::native::render;
+use bcl_raytrace::partitions::{run_partition, RtPartition};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_partitions(c: &mut Criterion) {
+    let bvh = build_bvh(&make_scene(64, 1));
+    let mut g = c.benchmark_group("fig13_raytrace");
+    g.sample_size(10);
+    for p in RtPartition::ALL {
+        g.bench_function(format!("partition_{}", p.label()), |b| {
+            b.iter(|| {
+                let run = run_partition(p, black_box(&bvh), 4, 4).unwrap();
+                black_box(run.fpga_cycles)
+            })
+        });
+    }
+    g.bench_function("native_reference", |b| {
+        let rays = gen_rays(4, 4);
+        b.iter(|| black_box(render(black_box(&bvh), black_box(&rays))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitions);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 13 (left): each Vorbis partition decoding a
+//! frame stream on the modeled platform, plus the F1/F2 baselines.
+
+use bcl_vorbis::frames::frame_stream;
+use bcl_vorbis::native::NativeBackend;
+use bcl_vorbis::partitions::{run_partition, VorbisPartition};
+use bcl_vorbis::sysc::run_systemc_baseline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_partitions(c: &mut Criterion) {
+    let frames = frame_stream(8, 1);
+    let mut g = c.benchmark_group("fig13_vorbis");
+    g.sample_size(10);
+    for p in VorbisPartition::ALL {
+        g.bench_function(format!("partition_{}", p.label()), |b| {
+            b.iter(|| {
+                let run = run_partition(p, black_box(&frames)).unwrap();
+                black_box(run.fpga_cycles)
+            })
+        });
+    }
+    g.bench_function("baseline_F1_systemc", |b| {
+        b.iter(|| run_systemc_baseline(black_box(&frames), Default::default()).cpu_cycles)
+    });
+    g.bench_function("baseline_F2_native", |b| {
+        b.iter(|| {
+            let mut nb = NativeBackend::new();
+            black_box(nb.run(black_box(&frames)).len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitions);
+criterion_main!(benches);

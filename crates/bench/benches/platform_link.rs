@@ -1,0 +1,19 @@
+//! Criterion bench for the §7 platform microbenchmarks: synchronizer
+//! round trip and sustained streaming over the modeled LocalLink.
+
+use bcl_bench::{measure_round_trip, measure_stream_bandwidth};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_link(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform_link");
+    g.sample_size(10);
+    g.bench_function("round_trip", |b| b.iter(|| black_box(measure_round_trip())));
+    g.bench_function("stream_1k_words", |b| {
+        b.iter(|| black_box(measure_stream_bandwidth(1000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_link);
+criterion_main!(benches);

@@ -1,0 +1,374 @@
+//! Static analysis: read/write sets, pairwise rule conflicts, and the
+//! dataflow successor relation.
+//!
+//! The conflict matrix drives the hardware scheduler (§6.4: "the compiler
+//! does pair-wise static analysis to conservatively estimate conflicts
+//! between rules") and the sequentialization transformation (§6.3). The
+//! dataflow relation drives the chained software scheduler ("the execution
+//! of one rule may enable another, permitting the construction of longer
+//! sequences of rule invocations").
+
+use crate::ast::{Action, Expr, PrimId, PrimMethod, Target};
+use crate::design::Design;
+use std::collections::BTreeSet;
+
+/// The set of primitive methods an action (or expression) may invoke.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RwSet {
+    /// `(prim, method)` pairs for value (read) methods.
+    pub reads: BTreeSet<(PrimId, PrimMethod)>,
+    /// `(prim, method)` pairs for action (write) methods.
+    pub writes: BTreeSet<(PrimId, PrimMethod)>,
+}
+
+impl RwSet {
+    /// Collects the read/write set of an action.
+    pub fn of_action(a: &Action) -> RwSet {
+        let mut s = RwSet::default();
+        s.visit_action(a);
+        s
+    }
+
+    /// Collects the read set of an expression (expressions cannot write).
+    pub fn of_expr(e: &Expr) -> RwSet {
+        let mut s = RwSet::default();
+        s.visit_expr(e);
+        s
+    }
+
+    /// All primitives written.
+    pub fn written_prims(&self) -> BTreeSet<PrimId> {
+        self.writes.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// All primitives read.
+    pub fn read_prims(&self) -> BTreeSet<PrimId> {
+        self.reads.iter().map(|(p, _)| *p).collect()
+    }
+
+    /// All primitives touched in any way.
+    pub fn touched_prims(&self) -> BTreeSet<PrimId> {
+        self.written_prims().union(&self.read_prims()).copied().collect()
+    }
+
+    fn record(&mut self, t: &Target) {
+        if let Target::Prim(id, m) = t {
+            if m.is_write() {
+                self.writes.insert((*id, *m));
+            } else {
+                self.reads.insert((*id, *m));
+            }
+        }
+    }
+
+    fn visit_action(&mut self, a: &Action) {
+        match a {
+            Action::NoAction => {}
+            Action::Write(t, e) => {
+                self.record(t);
+                self.visit_expr(e);
+            }
+            Action::If(c, x, y) => {
+                self.visit_expr(c);
+                self.visit_action(x);
+                self.visit_action(y);
+            }
+            Action::Par(x, y) | Action::Seq(x, y) => {
+                self.visit_action(x);
+                self.visit_action(y);
+            }
+            Action::When(g, x) => {
+                self.visit_expr(g);
+                self.visit_action(x);
+            }
+            Action::Let(_, e, x) => {
+                self.visit_expr(e);
+                self.visit_action(x);
+            }
+            Action::Loop(c, x) => {
+                self.visit_expr(c);
+                self.visit_action(x);
+            }
+            Action::LocalGuard(x) => self.visit_action(x),
+            Action::Call(t, args) => {
+                self.record(t);
+                args.iter().for_each(|e| self.visit_expr(e));
+            }
+        }
+    }
+
+    fn visit_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Un(_, a) => self.visit_expr(a),
+            Expr::Bin(_, a, b) => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+            }
+            Expr::Cond(a, b, c) => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+                self.visit_expr(c);
+            }
+            Expr::When(a, b) | Expr::Let(_, a, b) | Expr::Index(a, b) => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+            }
+            Expr::Field(a, _) => self.visit_expr(a),
+            Expr::Call(t, args) => {
+                self.record(t);
+                args.iter().for_each(|x| self.visit_expr(x));
+            }
+            Expr::MkVec(es) => es.iter().for_each(|x| self.visit_expr(x)),
+            Expr::MkStruct(fs) => fs.iter().for_each(|(_, x)| self.visit_expr(x)),
+            Expr::UpdateIndex(a, b, c) => {
+                self.visit_expr(a);
+                self.visit_expr(b);
+                self.visit_expr(c);
+            }
+            Expr::UpdateField(a, _, c) => {
+                self.visit_expr(a);
+                self.visit_expr(c);
+            }
+        }
+    }
+}
+
+/// Which "port side" of a FIFO a method belongs to. A FIFO's enqueue side
+/// and dequeue side are independent ports: an `enq` in one rule does not
+/// conflict with a `deq`/`first` in another (both observe cycle-start
+/// state), which is what makes elastic pipelines schedulable one stage per
+/// clock.
+fn fifo_side(m: PrimMethod) -> Option<u8> {
+    match m {
+        PrimMethod::Enq | PrimMethod::NotFull => Some(0),
+        PrimMethod::Deq | PrimMethod::First | PrimMethod::NotEmpty => Some(1),
+        _ => None,
+    }
+}
+
+/// True if two method invocations on the *same* primitive may be executed
+/// by two different rules in the same cycle without violating
+/// one-rule-at-a-time semantics.
+fn methods_compatible(a: PrimMethod, b: PrimMethod) -> bool {
+    if !a.is_write() && !b.is_write() {
+        return true;
+    }
+    match (fifo_side(a), fifo_side(b)) {
+        // Opposite FIFO sides never conflict; same side conflicts unless
+        // both are pure reads (handled above).
+        (Some(x), Some(y)) => x != y,
+        _ => false,
+    }
+}
+
+/// True if two rules (given their read/write sets) conflict: firing both in
+/// the same hardware clock cycle could produce a state not explainable by
+/// some sequential order.
+pub fn rules_conflict(a: &RwSet, b: &RwSet) -> bool {
+    let pair_conflicts = |xs: &BTreeSet<(PrimId, PrimMethod)>,
+                          ys: &BTreeSet<(PrimId, PrimMethod)>| {
+        xs.iter().any(|(p, m)| {
+            ys.iter().any(|(q, n)| p == q && !methods_compatible(*m, *n))
+        })
+    };
+    pair_conflicts(&a.writes, &b.writes)
+        || pair_conflicts(&a.writes, &b.reads)
+        || pair_conflicts(&a.reads, &b.writes)
+}
+
+/// Pairwise conflict matrix plus per-rule read/write sets for a design.
+#[derive(Debug, Clone)]
+pub struct ConflictInfo {
+    /// Per-rule read/write sets, indexed like `design.rules`.
+    pub rwsets: Vec<RwSet>,
+    /// `matrix[i][j]` is true when rules `i` and `j` conflict.
+    pub matrix: Vec<Vec<bool>>,
+}
+
+impl ConflictInfo {
+    /// Computes the conflict matrix for a design.
+    pub fn of_design(design: &Design) -> ConflictInfo {
+        let rwsets: Vec<RwSet> =
+            design.rules.iter().map(|r| RwSet::of_action(&r.body)).collect();
+        let n = rwsets.len();
+        let mut matrix = vec![vec![false; n]; n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let c = rules_conflict(&rwsets[i], &rwsets[j]);
+                matrix[i][j] = c;
+                matrix[j][i] = c;
+            }
+        }
+        ConflictInfo { rwsets, matrix }
+    }
+
+    /// True when rules `i` and `j` conflict.
+    pub fn conflicts(&self, i: usize, j: usize) -> bool {
+        self.matrix[i][j]
+    }
+}
+
+/// The dataflow successor relation: rule `j` is a successor of rule `i`
+/// when `i` produces state that `j` consumes (enq → deq/first on the same
+/// FIFO, or register/regfile write → read). Used by the chained software
+/// scheduler to follow data through the design (§6.3 "Scheduling").
+pub fn successors(design: &Design) -> Vec<Vec<usize>> {
+    let rwsets: Vec<RwSet> = design.rules.iter().map(|r| RwSet::of_action(&r.body)).collect();
+    let n = rwsets.len();
+    let mut out = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, jset) in rwsets.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let feeds = rwsets[i].writes.iter().any(|(p, m)| match m {
+                PrimMethod::Enq => jset
+                    .reads
+                    .iter()
+                    .any(|(q, n)| q == p && matches!(n, PrimMethod::First | PrimMethod::NotEmpty))
+                    || jset.writes.iter().any(|(q, n)| q == p && *n == PrimMethod::Deq),
+                PrimMethod::RegWrite | PrimMethod::Upd => {
+                    jset.reads.iter().any(|(q, _)| q == p)
+                }
+                _ => false,
+            });
+            if feeds {
+                out[i].push(j);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Path;
+    use crate::design::PrimDef;
+    use crate::prim::PrimSpec;
+    use crate::types::Type;
+    use crate::value::Value;
+
+    const R0: PrimId = PrimId(0);
+    const Q0: PrimId = PrimId(1);
+    const Q1: PrimId = PrimId(2);
+
+    fn call(id: PrimId, m: PrimMethod) -> Action {
+        Action::Call(Target::Prim(id, m), vec![])
+    }
+    fn enq(id: PrimId, e: Expr) -> Action {
+        Action::Call(Target::Prim(id, PrimMethod::Enq), vec![e])
+    }
+    fn first(id: PrimId) -> Expr {
+        Expr::Call(Target::Prim(id, PrimMethod::First), vec![])
+    }
+
+    #[test]
+    fn rwset_collection() {
+        // q1.enq(q0.first) ; q0.deq
+        let a = Action::Seq(
+            Box::new(enq(Q1, first(Q0))),
+            Box::new(call(Q0, PrimMethod::Deq)),
+        );
+        let s = RwSet::of_action(&a);
+        assert!(s.reads.contains(&(Q0, PrimMethod::First)));
+        assert!(s.writes.contains(&(Q1, PrimMethod::Enq)));
+        assert!(s.writes.contains(&(Q0, PrimMethod::Deq)));
+        assert_eq!(s.touched_prims().len(), 2);
+    }
+
+    #[test]
+    fn enq_deq_opposite_sides_do_not_conflict() {
+        // Stage i deqs q0 and enqs q1; stage i+1 deqs q1: pipeline rules
+        // must be concurrently schedulable.
+        let r1 = RwSet::of_action(&Action::Seq(
+            Box::new(enq(Q1, first(Q0))),
+            Box::new(call(Q0, PrimMethod::Deq)),
+        ));
+        let r2 = RwSet::of_action(&call(Q1, PrimMethod::Deq));
+        assert!(!rules_conflict(&r1, &r2));
+    }
+
+    #[test]
+    fn double_enq_conflicts() {
+        let r1 = RwSet::of_action(&enq(Q0, Expr::int(8, 1)));
+        let r2 = RwSet::of_action(&enq(Q0, Expr::int(8, 2)));
+        assert!(rules_conflict(&r1, &r2));
+    }
+
+    #[test]
+    fn reg_write_read_conflicts() {
+        let w = RwSet::of_action(&Action::Write(
+            Target::Prim(R0, PrimMethod::RegWrite),
+            Box::new(Expr::int(8, 1)),
+        ));
+        let r = RwSet::of_expr(&Expr::Call(Target::Prim(R0, PrimMethod::RegRead), vec![]));
+        assert!(rules_conflict(&w, &r));
+        assert!(rules_conflict(&w, &w));
+        assert!(!rules_conflict(&r, &r));
+    }
+
+    #[test]
+    fn deq_vs_first_conflicts() {
+        // Another rule peeking `first` must not run in the same cycle as a
+        // dequeuer in our conservative model.
+        let d = RwSet::of_action(&call(Q0, PrimMethod::Deq));
+        let f = RwSet::of_expr(&first(Q0));
+        assert!(rules_conflict(&d, &f));
+    }
+
+    fn pipeline_design() -> Design {
+        Design {
+            name: "pipe".into(),
+            prims: vec![
+                PrimDef { path: Path::new("r"), spec: PrimSpec::Reg { init: Value::int(8, 0) } },
+                PrimDef { path: Path::new("q0"), spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(8) } },
+                PrimDef { path: Path::new("q1"), spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(8) } },
+            ],
+            rules: vec![
+                crate::ast::RuleDef {
+                    name: "s0".into(),
+                    body: enq(Q0, Expr::int(8, 1)),
+                },
+                crate::ast::RuleDef {
+                    name: "s1".into(),
+                    body: Action::Seq(
+                        Box::new(enq(Q1, first(Q0))),
+                        Box::new(call(Q0, PrimMethod::Deq)),
+                    ),
+                },
+                crate::ast::RuleDef {
+                    name: "s2".into(),
+                    body: call(Q1, PrimMethod::Deq),
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn conflict_matrix_symmetry() {
+        let d = pipeline_design();
+        let ci = ConflictInfo::of_design(&d);
+        for i in 0..3 {
+            assert!(!ci.conflicts(i, i));
+            for j in 0..3 {
+                assert_eq!(ci.conflicts(i, j), ci.conflicts(j, i));
+            }
+        }
+        // The three pipeline stages are mutually conflict-free.
+        assert!(!ci.conflicts(0, 1));
+        assert!(!ci.conflicts(1, 2));
+        assert!(!ci.conflicts(0, 2));
+    }
+
+    #[test]
+    fn successor_relation_follows_data() {
+        let d = pipeline_design();
+        let succ = successors(&d);
+        assert_eq!(succ[0], vec![1], "s0 enq q0 feeds s1");
+        assert_eq!(succ[1], vec![2], "s1 enq q1 feeds s2");
+        assert!(succ[2].is_empty());
+    }
+}

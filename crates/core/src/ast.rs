@@ -1,0 +1,403 @@
+//! The kernel BCL abstract syntax (Figure 7 of the paper).
+//!
+//! A program is a list of module definitions plus a designated root. Each
+//! module has state-element instantiations, rules (guarded atomic actions),
+//! and interface methods. After static elaboration ([`crate::elab`]) the
+//! module hierarchy disappears: method calls target primitive state elements
+//! directly (registers, FIFOs, register files, synchronizers) and all rules
+//! live in one flat [`crate::design::Design`].
+//!
+//! Beyond the paper's minimal kernel grammar we carry vector/struct
+//! construction and access expressions; the paper's full BCL has these (it
+//! is "a modern statically-typed language ... with rich data structures"),
+//! they are simply elided from the kernel figure.
+
+use crate::value::{BinOp, UnOp, Value};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hierarchical instance path, e.g. `backend.ifft.buff0`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Path(pub String);
+
+impl Path {
+    /// Creates a path from a dotted string.
+    pub fn new(s: impl Into<String>) -> Self {
+        Path(s.into())
+    }
+
+    /// Appends a component: `a.join("b")` is `a.b`.
+    pub fn join(&self, comp: &str) -> Path {
+        if self.0.is_empty() {
+            Path(comp.to_string())
+        } else {
+            Path(format!("{}.{}", self.0, comp))
+        }
+    }
+
+    /// The dotted string form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Path {
+    fn from(s: &str) -> Self {
+        Path::new(s)
+    }
+}
+
+/// Identifies a primitive state element in an elaborated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrimId(pub usize);
+
+/// The methods exposed by primitive state elements.
+///
+/// | Primitive | Methods |
+/// |---|---|
+/// | `Reg`      | `RegRead`, `RegWrite` |
+/// | `Fifo` / `Sync` | `Enq`, `Deq`, `First`, `NotEmpty`, `NotFull`, `Clear` |
+/// | `RegFile`  | `Sub` (read), `Upd` (write) |
+/// | `Source`   | `First`, `Deq`, `NotEmpty` (test-bench input) |
+/// | `Sink`     | `Enq`, `NotFull` (test-bench / device output) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PrimMethod {
+    /// Register read.
+    RegRead,
+    /// Register write.
+    RegWrite,
+    /// FIFO enqueue (guarded on not-full).
+    Enq,
+    /// FIFO dequeue (guarded on not-empty).
+    Deq,
+    /// FIFO head (guarded on not-empty).
+    First,
+    /// FIFO not-empty probe (never blocks).
+    NotEmpty,
+    /// FIFO not-full probe (never blocks).
+    NotFull,
+    /// FIFO clear.
+    Clear,
+    /// Register-file read at an index.
+    Sub,
+    /// Register-file write at an index.
+    Upd,
+}
+
+impl PrimMethod {
+    /// Parses the surface-syntax method name used in programs
+    /// (`_read`, `_write`, `enq`, `deq`, `first`, `notEmpty`, `notFull`,
+    /// `clear`, `sub`, `upd`).
+    pub fn parse(name: &str) -> Option<PrimMethod> {
+        Some(match name {
+            "_read" | "read" => PrimMethod::RegRead,
+            "_write" | "write" => PrimMethod::RegWrite,
+            "enq" => PrimMethod::Enq,
+            "deq" => PrimMethod::Deq,
+            "first" => PrimMethod::First,
+            "notEmpty" => PrimMethod::NotEmpty,
+            "notFull" => PrimMethod::NotFull,
+            "clear" => PrimMethod::Clear,
+            "sub" => PrimMethod::Sub,
+            "upd" => PrimMethod::Upd,
+            _ => return None,
+        })
+    }
+
+    /// The surface-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimMethod::RegRead => "_read",
+            PrimMethod::RegWrite => "_write",
+            PrimMethod::Enq => "enq",
+            PrimMethod::Deq => "deq",
+            PrimMethod::First => "first",
+            PrimMethod::NotEmpty => "notEmpty",
+            PrimMethod::NotFull => "notFull",
+            PrimMethod::Clear => "clear",
+            PrimMethod::Sub => "sub",
+            PrimMethod::Upd => "upd",
+        }
+    }
+
+    /// True if the method mutates the primitive's state. Two parallel
+    /// sub-actions may not both invoke a mutating method on the same
+    /// primitive (DOUBLE WRITE ERROR), and two rules whose write sets
+    /// overlap conflict in the hardware scheduler.
+    pub fn is_write(self) -> bool {
+        matches!(
+            self,
+            PrimMethod::RegWrite
+                | PrimMethod::Enq
+                | PrimMethod::Deq
+                | PrimMethod::Clear
+                | PrimMethod::Upd
+        )
+    }
+
+    /// True if the method returns a value (usable in expressions).
+    pub fn is_value(self) -> bool {
+        matches!(
+            self,
+            PrimMethod::RegRead
+                | PrimMethod::First
+                | PrimMethod::NotEmpty
+                | PrimMethod::NotFull
+                | PrimMethod::Sub
+        )
+    }
+}
+
+/// The target of a method call: either a named instance (pre-elaboration)
+/// or a resolved primitive (post-elaboration).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// A call on a named submodule instance, resolved during elaboration.
+    Named(Path, String),
+    /// A call on a primitive state element of the elaborated design.
+    Prim(PrimId, PrimMethod),
+}
+
+/// Kernel BCL expressions (`e` in Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// Constant value.
+    Const(Value),
+    /// Variable reference (`t` in the grammar): let-bound names and method
+    /// arguments.
+    Var(String),
+    /// Unary primitive operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary primitive operation (`e op e`).
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Conditional expression (`e ? e : e`).
+    Cond(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Guarded expression (`e when e`): the value of the first operand,
+    /// valid only when the second evaluates to true.
+    When(Box<Expr>, Box<Expr>),
+    /// Non-strict let binding (`t = e in e`).
+    Let(String, Box<Expr>, Box<Expr>),
+    /// Value method call (`m.f(e)`): register read, FIFO `first`, ...
+    Call(Target, Vec<Expr>),
+    /// Vector element read.
+    Index(Box<Expr>, Box<Expr>),
+    /// Struct field read.
+    Field(Box<Expr>, String),
+    /// Vector construction.
+    MkVec(Vec<Expr>),
+    /// Struct construction.
+    MkStruct(Vec<(String, Expr)>),
+    /// Functional vector update: a copy of the vector with one element
+    /// replaced.
+    UpdateIndex(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Functional struct update.
+    UpdateField(Box<Expr>, String, Box<Expr>),
+}
+
+/// Kernel BCL actions (`a` in Figure 7).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// The empty action.
+    NoAction,
+    /// Register update (`r := e`); sugar for `Call(reg, RegWrite, [e])`.
+    Write(Target, Box<Expr>),
+    /// Conditional action (`if e then a else a`). The else branch is
+    /// optional in the surface language.
+    If(Box<Expr>, Box<Action>, Box<Action>),
+    /// Parallel composition (`a | a`): both observe the same initial state;
+    /// writes merge, double writes are dynamic errors.
+    Par(Box<Action>, Box<Action>),
+    /// Sequential composition (`a ; a`): the second observes the first's
+    /// updates.
+    Seq(Box<Action>, Box<Action>),
+    /// Guarded action (`a when e`): a guard failure invalidates the whole
+    /// enclosing atomic action.
+    When(Box<Expr>, Box<Action>),
+    /// Let action (`t = e in a`).
+    Let(String, Box<Expr>, Box<Action>),
+    /// Loop action (`loop e a`): repeats `a` while `e` is true. Loops are
+    /// sequential composition under the hood and are only implementable in
+    /// software (§6.4); the hardware backend rejects them.
+    Loop(Box<Expr>, Box<Action>),
+    /// `localGuard a`: converts a guard failure inside `a` into `noAction`
+    /// instead of propagating it to the enclosing rule.
+    LocalGuard(Box<Action>),
+    /// Action method call (`m.g(e)`).
+    Call(Target, Vec<Expr>),
+}
+
+impl Expr {
+    /// Boolean constant `true`.
+    pub fn t() -> Expr {
+        Expr::Const(Value::Bool(true))
+    }
+
+    /// Boolean constant `false`.
+    pub fn f() -> Expr {
+        Expr::Const(Value::Bool(false))
+    }
+
+    /// Integer constant of the given width.
+    pub fn int(width: u32, v: i64) -> Expr {
+        Expr::Const(Value::int(width, v))
+    }
+
+    /// Structural size of the expression tree (used in tests and as a
+    /// rough proxy for combinational logic area).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Un(_, a) => 1 + a.size(),
+            Expr::Bin(_, a, b) => 1 + a.size() + b.size(),
+            Expr::Cond(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Expr::When(v, g) => 1 + v.size() + g.size(),
+            Expr::Let(_, e, b) => 1 + e.size() + b.size(),
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+            Expr::Index(v, i) => 1 + v.size() + i.size(),
+            Expr::Field(v, _) => 1 + v.size(),
+            Expr::MkVec(es) => 1 + es.iter().map(Expr::size).sum::<usize>(),
+            Expr::MkStruct(fs) => 1 + fs.iter().map(|(_, e)| e.size()).sum::<usize>(),
+            Expr::UpdateIndex(v, i, x) => 1 + v.size() + i.size() + x.size(),
+            Expr::UpdateField(v, _, x) => 1 + v.size() + x.size(),
+        }
+    }
+}
+
+impl Action {
+    /// Structural size of the action tree.
+    pub fn size(&self) -> usize {
+        match self {
+            Action::NoAction => 1,
+            Action::Write(_, e) => 1 + e.size(),
+            Action::If(c, t, e) => 1 + c.size() + t.size() + e.size(),
+            Action::Par(a, b) | Action::Seq(a, b) => 1 + a.size() + b.size(),
+            Action::When(g, a) => 1 + g.size() + a.size(),
+            Action::Let(_, e, a) => 1 + e.size() + a.size(),
+            Action::Loop(c, a) => 1 + c.size() + a.size(),
+            Action::LocalGuard(a) => 1 + a.size(),
+            Action::Call(_, args) => 1 + args.iter().map(Expr::size).sum::<usize>(),
+        }
+    }
+
+    /// True if the action contains a sequential composition or loop
+    /// (not directly implementable in hardware, §6.4).
+    pub fn has_seq_or_loop(&self) -> bool {
+        match self {
+            Action::NoAction | Action::Write(..) | Action::Call(..) => false,
+            Action::Seq(..) | Action::Loop(..) => true,
+            Action::If(_, t, e) => t.has_seq_or_loop() || e.has_seq_or_loop(),
+            Action::Par(a, b) => a.has_seq_or_loop() || b.has_seq_or_loop(),
+            Action::When(_, a) | Action::Let(_, _, a) | Action::LocalGuard(a) => {
+                a.has_seq_or_loop()
+            }
+        }
+    }
+}
+
+/// A rule: a named guarded atomic action (`Rule n a`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleDef {
+    /// The rule name (unique within a module; prefixed by instance path
+    /// after elaboration).
+    pub name: String,
+    /// The rule body. The rule's guard is the conjunction of all `when`
+    /// guards in the body (explicit and implicit).
+    pub body: Action,
+}
+
+/// An action method definition (`ActMeth n λt.a`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActMethodDef {
+    /// Method name.
+    pub name: String,
+    /// Formal argument names.
+    pub args: Vec<String>,
+    /// Method body.
+    pub body: Action,
+}
+
+/// A value method definition (`ValMeth n λt.e`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValMethodDef {
+    /// Method name.
+    pub name: String,
+    /// Formal argument names.
+    pub args: Vec<String>,
+    /// Method body (a pure, possibly guarded expression).
+    pub body: Expr,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_join() {
+        let p = Path::new("a").join("b").join("c");
+        assert_eq!(p.as_str(), "a.b.c");
+        assert_eq!(Path::new("").join("x").as_str(), "x");
+        assert_eq!(p.to_string(), "a.b.c");
+    }
+
+    #[test]
+    fn prim_method_parse_roundtrip() {
+        for m in [
+            PrimMethod::RegRead,
+            PrimMethod::RegWrite,
+            PrimMethod::Enq,
+            PrimMethod::Deq,
+            PrimMethod::First,
+            PrimMethod::NotEmpty,
+            PrimMethod::NotFull,
+            PrimMethod::Clear,
+            PrimMethod::Sub,
+            PrimMethod::Upd,
+        ] {
+            assert_eq!(PrimMethod::parse(m.name()), Some(m));
+        }
+        assert_eq!(PrimMethod::parse("bogus"), None);
+    }
+
+    #[test]
+    fn write_classification() {
+        assert!(PrimMethod::RegWrite.is_write());
+        assert!(PrimMethod::Deq.is_write());
+        assert!(!PrimMethod::First.is_write());
+        assert!(PrimMethod::First.is_value());
+        assert!(!PrimMethod::Enq.is_value());
+    }
+
+    #[test]
+    fn expr_size() {
+        let e = Expr::Bin(
+            crate::value::BinOp::Add,
+            Box::new(Expr::int(8, 1)),
+            Box::new(Expr::Var("x".into())),
+        );
+        assert_eq!(e.size(), 3);
+    }
+
+    #[test]
+    fn seq_loop_detection() {
+        let w = Action::Write(
+            Target::Named("r".into(), "_write".into()),
+            Box::new(Expr::int(8, 0)),
+        );
+        assert!(!w.has_seq_or_loop());
+        let s = Action::Seq(Box::new(w.clone()), Box::new(Action::NoAction));
+        assert!(s.has_seq_or_loop());
+        let l = Action::LocalGuard(Box::new(Action::Loop(
+            Box::new(Expr::t()),
+            Box::new(w.clone()),
+        )));
+        assert!(l.has_seq_or_loop());
+        let p = Action::Par(Box::new(w), Box::new(Action::NoAction));
+        assert!(!p.has_seq_or_loop());
+    }
+}

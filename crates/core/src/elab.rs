@@ -1,0 +1,606 @@
+//! Static elaboration: from a modular [`Program`] to a flat [`Design`].
+//!
+//! Elaboration (§5) instantiates the module hierarchy starting at the root,
+//! allocates every primitive state element, substitutes constructor
+//! parameters, and *inlines* user-module method calls into their callers so
+//! that every remaining method call targets a primitive. Method inlining
+//! preserves guard semantics: an inlined body carries its `when` guards with
+//! it, and by axiom A.8 a guard in an argument expression surfaces at the
+//! call site.
+//!
+//! One deliberate deviation from the paper: our `let` bindings are strict
+//! (the bound expression is evaluated before the body). The paper's lets are
+//! non-strict, which yields stronger algebraic laws; operationally the two
+//! differ only when an *unused* binding's guard fails, where strictness is
+//! conservative (more guard failures, never fewer).
+
+use crate::ast::{
+    ActMethodDef, Action, Expr, Path, PrimId, PrimMethod, RuleDef, Target, ValMethodDef,
+};
+use crate::design::{Design, PrimDef};
+use crate::error::ElabError;
+use crate::program::{InstKind, ModuleDef, Program};
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Elaborates a program into a flat design.
+///
+/// # Errors
+///
+/// Returns an error for unknown modules/instances/methods, arity
+/// mismatches, calling an action method in expression position (or vice
+/// versa), or unknown variables.
+pub fn elaborate(program: &Program) -> Result<Design, ElabError> {
+    program.validate()?;
+    let mut el = Elaborator { program, prims: Vec::new(), rules: Vec::new() };
+    let root_def = program.module(&program.root).expect("validated");
+    let root = el.elab_module(&Path::new(""), root_def, &program.root_args)?;
+    Ok(Design {
+        name: program.root.clone(),
+        prims: el.prims,
+        rules: el.rules,
+        act_methods: root.act_methods.into_values().collect(),
+        val_methods: root.val_methods.into_values().collect(),
+    })
+}
+
+/// A fully elaborated module instance: its local bindings (for hierarchical
+/// path resolution) and its resolved interface methods.
+struct Instance {
+    locals: HashMap<String, Binding>,
+    act_methods: HashMap<String, ActMethodDef>,
+    val_methods: HashMap<String, ValMethodDef>,
+}
+
+enum Binding {
+    Prim(PrimId),
+    Sub(Instance),
+}
+
+struct Elaborator<'p> {
+    program: &'p Program,
+    prims: Vec<PrimDef>,
+    rules: Vec<RuleDef>,
+}
+
+impl<'p> Elaborator<'p> {
+    fn elab_module(
+        &mut self,
+        path: &Path,
+        def: &ModuleDef,
+        args: &[Value],
+    ) -> Result<Instance, ElabError> {
+        let consts: HashMap<String, Value> =
+            def.params.iter().cloned().zip(args.iter().cloned()).collect();
+
+        let mut locals = HashMap::new();
+        for inst in &def.insts {
+            let ipath = path.join(&inst.name);
+            let binding = match &inst.kind {
+                InstKind::Prim(spec) => {
+                    let id = PrimId(self.prims.len());
+                    self.prims.push(PrimDef { path: ipath, spec: spec.clone() });
+                    Binding::Prim(id)
+                }
+                InstKind::Module { def: dname, args } => {
+                    let d = self.program.module(dname).expect("validated");
+                    Binding::Sub(self.elab_module(&ipath, d, args)?)
+                }
+            };
+            locals.insert(inst.name.clone(), binding);
+        }
+
+        let ctx = Ctx { locals: &locals, consts: &consts, module: &def.name };
+
+        for rule in &def.rules {
+            let mut bound = HashSet::new();
+            let body = ctx.resolve_action(&rule.body, &mut bound)?;
+            self.rules.push(RuleDef { name: path.join(&rule.name).0, body });
+        }
+
+        let mut act_methods = HashMap::new();
+        for m in &def.act_methods {
+            let mut bound: HashSet<String> = m.args.iter().cloned().collect();
+            let body = ctx.resolve_action(&m.body, &mut bound)?;
+            act_methods
+                .insert(m.name.clone(), ActMethodDef { name: m.name.clone(), args: m.args.clone(), body });
+        }
+        let mut val_methods = HashMap::new();
+        for m in &def.val_methods {
+            let mut bound: HashSet<String> = m.args.iter().cloned().collect();
+            let body = ctx.resolve_expr(&m.body, &mut bound)?;
+            val_methods
+                .insert(m.name.clone(), ValMethodDef { name: m.name.clone(), args: m.args.clone(), body });
+        }
+
+        Ok(Instance { locals, act_methods, val_methods })
+    }
+}
+
+struct Ctx<'a> {
+    locals: &'a HashMap<String, Binding>,
+    consts: &'a HashMap<String, Value>,
+    module: &'a str,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&self, msg: String) -> ElabError {
+        ElabError::new(format!("in module `{}`: {msg}", self.module))
+    }
+
+    /// Walks a dotted instance path to its binding.
+    fn lookup(&self, path: &Path) -> Result<&Binding, ElabError> {
+        let mut comps = path.as_str().split('.');
+        let first = comps.next().filter(|c| !c.is_empty()).ok_or_else(|| {
+            self.err("empty instance path".to_string())
+        })?;
+        let mut binding = self
+            .locals
+            .get(first)
+            .ok_or_else(|| self.err(format!("unknown instance `{first}`")))?;
+        for comp in comps {
+            match binding {
+                Binding::Sub(inst) => {
+                    binding = inst
+                        .locals
+                        .get(comp)
+                        .ok_or_else(|| self.err(format!("unknown instance `{comp}` in `{path}`")))?;
+                }
+                Binding::Prim(_) => {
+                    return Err(self.err(format!("`{path}` descends into a primitive")));
+                }
+            }
+        }
+        Ok(binding)
+    }
+
+    fn resolve_target_action(
+        &self,
+        t: &Target,
+        args: Vec<Expr>,
+    ) -> Result<Action, ElabError> {
+        let (path, meth) = match t {
+            Target::Named(p, m) => (p, m.as_str()),
+            Target::Prim(id, m) => return Ok(Action::Call(Target::Prim(*id, *m), args)),
+        };
+        match self.lookup(path)? {
+            Binding::Prim(id) => {
+                let pm = PrimMethod::parse(meth)
+                    .ok_or_else(|| self.err(format!("unknown primitive method `{meth}`")))?;
+                if pm.is_value() {
+                    return Err(self.err(format!(
+                        "value method `{meth}` used in action position on `{path}`"
+                    )));
+                }
+                Ok(Action::Call(Target::Prim(*id, pm), args))
+            }
+            Binding::Sub(inst) => {
+                let m = inst.act_methods.get(meth).ok_or_else(|| {
+                    self.err(format!("module instance `{path}` has no action method `{meth}`"))
+                })?;
+                if m.args.len() != args.len() {
+                    return Err(self.err(format!(
+                        "`{path}.{meth}` expects {} args, got {}",
+                        m.args.len(),
+                        args.len()
+                    )));
+                }
+                // Inline: bind formals to actual argument expressions.
+                // The body is closed over its formals, so no capture issues.
+                let mut body = m.body.clone();
+                for (formal, actual) in m.args.iter().zip(args).rev() {
+                    body = Action::Let(formal.clone(), Box::new(actual), Box::new(body));
+                }
+                Ok(body)
+            }
+        }
+    }
+
+    fn resolve_target_value(&self, t: &Target, args: Vec<Expr>) -> Result<Expr, ElabError> {
+        let (path, meth) = match t {
+            Target::Named(p, m) => (p, m.as_str()),
+            Target::Prim(id, m) => return Ok(Expr::Call(Target::Prim(*id, *m), args)),
+        };
+        match self.lookup(path)? {
+            Binding::Prim(id) => {
+                let pm = PrimMethod::parse(meth)
+                    .ok_or_else(|| self.err(format!("unknown primitive method `{meth}`")))?;
+                if !pm.is_value() {
+                    return Err(self.err(format!(
+                        "action method `{meth}` used in expression position on `{path}`"
+                    )));
+                }
+                Ok(Expr::Call(Target::Prim(*id, pm), args))
+            }
+            Binding::Sub(inst) => {
+                let m = inst.val_methods.get(meth).ok_or_else(|| {
+                    self.err(format!("module instance `{path}` has no value method `{meth}`"))
+                })?;
+                if m.args.len() != args.len() {
+                    return Err(self.err(format!(
+                        "`{path}.{meth}` expects {} args, got {}",
+                        m.args.len(),
+                        args.len()
+                    )));
+                }
+                let mut body = m.body.clone();
+                for (formal, actual) in m.args.iter().zip(args).rev() {
+                    body = Expr::Let(formal.clone(), Box::new(actual), Box::new(body));
+                }
+                Ok(body)
+            }
+        }
+    }
+
+    fn resolve_action(
+        &self,
+        a: &Action,
+        bound: &mut HashSet<String>,
+    ) -> Result<Action, ElabError> {
+        Ok(match a {
+            Action::NoAction => Action::NoAction,
+            Action::Write(t, e) => {
+                let e = self.resolve_expr(e, bound)?;
+                // `r := e` is sugar for a RegWrite call.
+                match self.resolve_target_action(
+                    &retarget_write(t),
+                    vec![e],
+                )? {
+                    Action::Call(tgt, args) => Action::Call(tgt, args),
+                    other => other,
+                }
+            }
+            Action::If(c, th, el) => Action::If(
+                Box::new(self.resolve_expr(c, bound)?),
+                Box::new(self.resolve_action(th, bound)?),
+                Box::new(self.resolve_action(el, bound)?),
+            ),
+            Action::Par(x, y) => Action::Par(
+                Box::new(self.resolve_action(x, bound)?),
+                Box::new(self.resolve_action(y, bound)?),
+            ),
+            Action::Seq(x, y) => Action::Seq(
+                Box::new(self.resolve_action(x, bound)?),
+                Box::new(self.resolve_action(y, bound)?),
+            ),
+            Action::When(g, x) => Action::When(
+                Box::new(self.resolve_expr(g, bound)?),
+                Box::new(self.resolve_action(x, bound)?),
+            ),
+            Action::Let(n, e, x) => {
+                let e = self.resolve_expr(e, bound)?;
+                let fresh = bound.insert(n.clone());
+                let x = self.resolve_action(x, bound)?;
+                if fresh {
+                    bound.remove(n);
+                }
+                Action::Let(n.clone(), Box::new(e), Box::new(x))
+            }
+            Action::Loop(c, x) => Action::Loop(
+                Box::new(self.resolve_expr(c, bound)?),
+                Box::new(self.resolve_action(x, bound)?),
+            ),
+            Action::LocalGuard(x) => Action::LocalGuard(Box::new(self.resolve_action(x, bound)?)),
+            Action::Call(t, args) => {
+                let args = args
+                    .iter()
+                    .map(|e| self.resolve_expr(e, bound))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.resolve_target_action(t, args)?
+            }
+        })
+    }
+
+    fn resolve_expr(&self, e: &Expr, bound: &mut HashSet<String>) -> Result<Expr, ElabError> {
+        Ok(match e {
+            Expr::Const(v) => Expr::Const(v.clone()),
+            Expr::Var(n) => {
+                if bound.contains(n) {
+                    Expr::Var(n.clone())
+                } else if let Some(v) = self.consts.get(n) {
+                    Expr::Const(v.clone())
+                } else {
+                    return Err(self.err(format!("unknown variable `{n}`")));
+                }
+            }
+            Expr::Un(op, a) => Expr::Un(*op, Box::new(self.resolve_expr(a, bound)?)),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(self.resolve_expr(a, bound)?),
+                Box::new(self.resolve_expr(b, bound)?),
+            ),
+            Expr::Cond(c, t, f) => Expr::Cond(
+                Box::new(self.resolve_expr(c, bound)?),
+                Box::new(self.resolve_expr(t, bound)?),
+                Box::new(self.resolve_expr(f, bound)?),
+            ),
+            Expr::When(v, g) => Expr::When(
+                Box::new(self.resolve_expr(v, bound)?),
+                Box::new(self.resolve_expr(g, bound)?),
+            ),
+            Expr::Let(n, v, b) => {
+                let v = self.resolve_expr(v, bound)?;
+                let fresh = bound.insert(n.clone());
+                let b = self.resolve_expr(b, bound)?;
+                if fresh {
+                    bound.remove(n);
+                }
+                Expr::Let(n.clone(), Box::new(v), Box::new(b))
+            }
+            Expr::Call(t, args) => {
+                let args = args
+                    .iter()
+                    .map(|x| self.resolve_expr(x, bound))
+                    .collect::<Result<Vec<_>, _>>()?;
+                self.resolve_target_value(t, args)?
+            }
+            Expr::Index(v, i) => Expr::Index(
+                Box::new(self.resolve_expr(v, bound)?),
+                Box::new(self.resolve_expr(i, bound)?),
+            ),
+            Expr::Field(v, f) => Expr::Field(Box::new(self.resolve_expr(v, bound)?), f.clone()),
+            Expr::MkVec(es) => Expr::MkVec(
+                es.iter().map(|x| self.resolve_expr(x, bound)).collect::<Result<_, _>>()?,
+            ),
+            Expr::MkStruct(fs) => Expr::MkStruct(
+                fs.iter()
+                    .map(|(n, x)| Ok((n.clone(), self.resolve_expr(x, bound)?)))
+                    .collect::<Result<Vec<_>, ElabError>>()?,
+            ),
+            Expr::UpdateIndex(v, i, x) => Expr::UpdateIndex(
+                Box::new(self.resolve_expr(v, bound)?),
+                Box::new(self.resolve_expr(i, bound)?),
+                Box::new(self.resolve_expr(x, bound)?),
+            ),
+            Expr::UpdateField(v, f, x) => Expr::UpdateField(
+                Box::new(self.resolve_expr(v, bound)?),
+                f.clone(),
+                Box::new(self.resolve_expr(x, bound)?),
+            ),
+        })
+    }
+}
+
+/// Rewrites a `Write` target to the `_write` method form.
+fn retarget_write(t: &Target) -> Target {
+    match t {
+        Target::Named(p, _) => Target::Named(p.clone(), "_write".to_string()),
+        Target::Prim(id, _) => Target::Prim(*id, PrimMethod::RegWrite),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prim::PrimSpec;
+    use crate::program::{InstDef, Program};
+    use crate::types::Type;
+    use crate::value::BinOp;
+
+    /// A counter module with an `incr` action method and `value` value
+    /// method, instantiated twice in a parent that wires them with a rule.
+    fn two_counter_program() -> Program {
+        let mut counter = ModuleDef::new("Counter");
+        counter.params.push("step".into());
+        counter.insts.push(InstDef {
+            name: "c".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(32, 0) }),
+        });
+        counter.act_methods.push(ActMethodDef {
+            name: "incr".into(),
+            args: vec![],
+            body: Action::Write(
+                Target::Named("c".into(), "_write".into()),
+                Box::new(Expr::Bin(
+                    BinOp::Add,
+                    Box::new(Expr::Call(Target::Named("c".into(), "_read".into()), vec![])),
+                    Box::new(Expr::Var("step".into())),
+                )),
+            ),
+        });
+        counter.val_methods.push(ValMethodDef {
+            name: "value".into(),
+            args: vec![],
+            body: Expr::Call(Target::Named("c".into(), "_read".into()), vec![]),
+        });
+
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "a".into(),
+            kind: InstKind::Module { def: "Counter".into(), args: vec![Value::int(32, 1)] },
+        });
+        top.insts.push(InstDef {
+            name: "b".into(),
+            kind: InstKind::Module { def: "Counter".into(), args: vec![Value::int(32, 2)] },
+        });
+        top.insts.push(InstDef {
+            name: "q".into(),
+            kind: InstKind::Prim(PrimSpec::Fifo { depth: 1, ty: Type::Int(32) }),
+        });
+        top.rules.push(RuleDef {
+            name: "bump".into(),
+            body: Action::Par(
+                Box::new(Action::Call(Target::Named("a".into(), "incr".into()), vec![])),
+                Box::new(Action::Call(Target::Named("b".into(), "incr".into()), vec![])),
+            ),
+        });
+        top.rules.push(RuleDef {
+            name: "emit".into(),
+            body: Action::Call(
+                Target::Named("q".into(), "enq".into()),
+                vec![Expr::Call(Target::Named("a".into(), "value".into()), vec![])],
+            ),
+        });
+
+        let mut p = Program::with_root(top);
+        p.add_module(counter);
+        p
+    }
+
+    #[test]
+    fn elaborates_hierarchy() {
+        let d = elaborate(&two_counter_program()).unwrap();
+        assert_eq!(d.prims.len(), 3);
+        assert!(d.prim_id("a.c").is_some());
+        assert!(d.prim_id("b.c").is_some());
+        assert!(d.prim_id("q").is_some());
+        assert_eq!(d.rules.len(), 2);
+        assert_eq!(d.rules[0].name, "bump");
+    }
+
+    #[test]
+    fn params_are_substituted() {
+        let d = elaborate(&two_counter_program()).unwrap();
+        // The inlined incr body for `a` must contain Const(1), for `b` Const(2).
+        let body = format!("{:?}", d.rules[0].body);
+        assert!(body.contains("val: 1"), "{body}");
+        assert!(body.contains("val: 2"), "{body}");
+        assert!(!body.contains("Var(\"step\")"), "{body}");
+    }
+
+    #[test]
+    fn method_calls_resolve_to_prims() {
+        let d = elaborate(&two_counter_program()).unwrap();
+        // Every Call target in rules must be Target::Prim.
+        fn check_expr(e: &Expr) {
+            if let Expr::Call(t, args) = e {
+                assert!(matches!(t, Target::Prim(..)), "unresolved: {t:?}");
+                args.iter().for_each(check_expr);
+            }
+        }
+        fn check(a: &Action) {
+            match a {
+                Action::Call(t, args) => {
+                    assert!(matches!(t, Target::Prim(..)), "unresolved: {t:?}");
+                    args.iter().for_each(check_expr);
+                }
+                Action::Par(x, y) | Action::Seq(x, y) => {
+                    check(x);
+                    check(y);
+                }
+                Action::If(_, x, y) => {
+                    check(x);
+                    check(y);
+                }
+                Action::When(_, x)
+                | Action::Let(_, _, x)
+                | Action::Loop(_, x)
+                | Action::LocalGuard(x) => check(x),
+                Action::Write(t, _) => assert!(matches!(t, Target::Prim(..))),
+                Action::NoAction => {}
+            }
+        }
+        for r in &d.rules {
+            check(&r.body);
+        }
+    }
+
+    #[test]
+    fn unknown_instance_is_error() {
+        let mut top = ModuleDef::new("Top");
+        top.rules.push(RuleDef {
+            name: "r".into(),
+            body: Action::Call(Target::Named("ghost".into(), "enq".into()), vec![]),
+        });
+        let p = Program::with_root(top);
+        let e = elaborate(&p).unwrap_err();
+        assert!(e.message().contains("ghost"), "{e}");
+    }
+
+    #[test]
+    fn unknown_method_is_error() {
+        let mut p = two_counter_program();
+        let top = p.modules.iter_mut().find(|m| m.name == "Top").unwrap();
+        top.rules.push(RuleDef {
+            name: "bad".into(),
+            body: Action::Call(Target::Named("a".into(), "reset".into()), vec![]),
+        });
+        assert!(elaborate(&p).is_err());
+    }
+
+    #[test]
+    fn value_method_in_action_position_is_error() {
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "q".into(),
+            kind: InstKind::Prim(PrimSpec::Fifo { depth: 1, ty: Type::Int(8) }),
+        });
+        top.rules.push(RuleDef {
+            name: "bad".into(),
+            body: Action::Call(Target::Named("q".into(), "first".into()), vec![]),
+        });
+        let p = Program::with_root(top);
+        assert!(elaborate(&p).is_err());
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "r".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+        });
+        top.rules.push(RuleDef {
+            name: "bad".into(),
+            body: Action::Write(Target::Named("r".into(), "_write".into()), Box::new(Expr::Var("x".into()))),
+        });
+        let p = Program::with_root(top);
+        let e = elaborate(&p).unwrap_err();
+        assert!(e.message().contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn let_bound_vars_survive() {
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "r".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+        });
+        top.rules.push(RuleDef {
+            name: "ok".into(),
+            body: Action::Let(
+                "x".into(),
+                Box::new(Expr::int(8, 5)),
+                Box::new(Action::Write(
+                    Target::Named("r".into(), "_write".into()),
+                    Box::new(Expr::Var("x".into())),
+                )),
+            ),
+        });
+        let p = Program::with_root(top);
+        let d = elaborate(&p).unwrap();
+        assert_eq!(d.rules.len(), 1);
+    }
+
+    #[test]
+    fn hierarchical_path_lookup() {
+        // A rule reaching two levels deep: top -> mid -> leaf register.
+        let mut leaf = ModuleDef::new("Leaf");
+        leaf.insts.push(InstDef {
+            name: "r".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+        });
+        let mut mid = ModuleDef::new("Mid");
+        mid.insts.push(InstDef {
+            name: "l".into(),
+            kind: InstKind::Module { def: "Leaf".into(), args: vec![] },
+        });
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "m".into(),
+            kind: InstKind::Module { def: "Mid".into(), args: vec![] },
+        });
+        top.rules.push(RuleDef {
+            name: "poke".into(),
+            body: Action::Write(
+                Target::Named("m.l.r".into(), "_write".into()),
+                Box::new(Expr::int(8, 1)),
+            ),
+        });
+        let mut p = Program::with_root(top);
+        p.add_module(mid);
+        p.add_module(leaf);
+        let d = elaborate(&p).unwrap();
+        assert!(d.prim_id("m.l.r").is_some());
+    }
+}

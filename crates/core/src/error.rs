@@ -1,0 +1,149 @@
+//! Error types for elaboration, domain checking, and execution.
+
+use std::fmt;
+
+/// An error raised while elaborating a BCL program into a flat [`crate::design::Design`].
+///
+/// Elaboration errors are *static* errors: they indicate a malformed program
+/// (unknown module, bad method arity, type mismatch on a primitive, ...)
+/// rather than a runtime condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElabError {
+    msg: String,
+}
+
+impl ElabError {
+    /// Creates an elaboration error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for ElabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "elaboration error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for ElabError {}
+
+/// An error raised by the computational-domain type checker (§4.2 of the paper).
+///
+/// Domain errors indicate that a rule refers to methods in more than one
+/// domain, or that the inferred domain of a primitive is inconsistent across
+/// its uses. Inter-domain communication is only legal through synchronizer
+/// primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainError {
+    msg: String,
+}
+
+impl DomainError {
+    /// Creates a domain error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for DomainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "domain error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DomainError {}
+
+/// The result of attempting to execute an action or evaluate an expression.
+///
+/// Guard failure is *not* a bug: it is the normal control-flow signal of the
+/// guarded-atomic-action semantics (a `when` whose predicate is false
+/// invalidates the enclosing atomic action, which is then rolled back).
+/// The other variants indicate genuine dynamic errors in the program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A `when` guard (explicit or implicit) evaluated to false; the
+    /// enclosing atomic action must be abandoned and rolled back.
+    GuardFail,
+    /// Two parallel sub-actions updated the same state element
+    /// (the paper's DOUBLE WRITE ERROR).
+    DoubleWrite(String),
+    /// A dynamic type error: a value of the wrong shape reached a primitive
+    /// operation (should be prevented by the type checker for checked
+    /// programs, but builder-constructed programs can trigger it).
+    Type(String),
+    /// A vector or register-file access was out of bounds.
+    Bounds(String),
+    /// Anything else (unknown variable, malformed design, ...).
+    Malformed(String),
+}
+
+impl ExecError {
+    /// True if this is the benign guard-failure signal.
+    pub fn is_guard_fail(&self) -> bool {
+        matches!(self, ExecError::GuardFail)
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::GuardFail => write!(f, "guard failure"),
+            ExecError::DoubleWrite(m) => write!(f, "double write error: {m}"),
+            ExecError::Type(m) => write!(f, "type error: {m}"),
+            ExecError::Bounds(m) => write!(f, "bounds error: {m}"),
+            ExecError::Malformed(m) => write!(f, "malformed program: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Convenience alias for execution results.
+pub type ExecResult<T> = Result<T, ExecError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guard_fail_is_distinguished() {
+        assert!(ExecError::GuardFail.is_guard_fail());
+        assert!(!ExecError::DoubleWrite("r".into()).is_guard_fail());
+        assert!(!ExecError::Type("t".into()).is_guard_fail());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert_eq!(ExecError::GuardFail.to_string(), "guard failure");
+        assert_eq!(
+            ElabError::new("no such module `Foo`").to_string(),
+            "elaboration error: no such module `Foo`"
+        );
+        assert_eq!(
+            DomainError::new("rule spans HW and SW").to_string(),
+            "domain error: rule spans HW and SW"
+        );
+        assert_eq!(
+            ExecError::Bounds("index 9 out of 4".into()).to_string(),
+            "bounds error: index 9 out of 4"
+        );
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ElabError>();
+        assert_send_sync::<DomainError>();
+        assert_send_sync::<ExecError>();
+    }
+}

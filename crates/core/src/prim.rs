@@ -1,0 +1,418 @@
+//! Primitive state elements.
+//!
+//! All BCL state is ultimately built from primitives: registers, FIFOs,
+//! register files (the paper's "Param Tables" / "Scene Mem" style memories),
+//! synchronizers (the only primitives whose methods span two computational
+//! domains, §4.2), and test-bench sources/sinks standing in for the outside
+//! world (the Vorbis front end, the audio device, the frame buffer).
+
+use crate::error::{ExecError, ExecResult};
+use crate::types::Type;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Static description of a primitive state element.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrimSpec {
+    /// A register with an initial value.
+    Reg {
+        /// Reset value (also determines the register's type).
+        init: Value,
+    },
+    /// A bounded FIFO (`mkSizedFIFO`).
+    Fifo {
+        /// Maximum number of elements; `enq` guards on not-full.
+        depth: usize,
+        /// Element type.
+        ty: Type,
+    },
+    /// A register file / memory with `sub` (read) and `upd` (write) methods.
+    RegFile {
+        /// Number of entries.
+        size: usize,
+        /// Entry type.
+        ty: Type,
+        /// Initial contents; padded with zeros to `size` entries.
+        init: Vec<Value>,
+    },
+    /// A synchronizer FIFO whose `enq` lives in domain `from` and whose
+    /// `deq`/`first` live in domain `to` (§4.2). This is the *only* legal
+    /// inter-domain communication mechanism; the partitioner splits each
+    /// synchronizer into two halves connected by the physical channel.
+    Sync {
+        /// Buffering on each side.
+        depth: usize,
+        /// Element type (determines marshaling).
+        ty: Type,
+        /// Domain of the producer (`enq`) side.
+        from: String,
+        /// Domain of the consumer (`deq`/`first`) side.
+        to: String,
+    },
+    /// Test-bench input port: the environment pushes values in, rules
+    /// consume them with `first`/`deq`. Pinned to a domain.
+    Source {
+        /// Element type.
+        ty: Type,
+        /// The domain this port is physically attached to.
+        domain: String,
+    },
+    /// Test-bench / device output port: rules `enq` values, the environment
+    /// drains them. Pinned to a domain (e.g. the audio device on the SW bus).
+    Sink {
+        /// Element type.
+        ty: Type,
+        /// The domain this port is physically attached to.
+        domain: String,
+    },
+}
+
+impl PrimSpec {
+    /// The value type stored by this primitive.
+    pub fn value_type(&self) -> Type {
+        match self {
+            PrimSpec::Reg { init } => init.type_of(),
+            PrimSpec::Fifo { ty, .. }
+            | PrimSpec::Sync { ty, .. }
+            | PrimSpec::Source { ty, .. }
+            | PrimSpec::Sink { ty, .. } => ty.clone(),
+            PrimSpec::RegFile { ty, .. } => ty.clone(),
+        }
+    }
+
+    /// True for synchronizers.
+    pub fn is_sync(&self) -> bool {
+        matches!(self, PrimSpec::Sync { .. })
+    }
+
+    /// The explicit domain pin of this primitive, if any. Non-synchronizer
+    /// primitives other than sources/sinks have their domain *inferred*
+    /// from the rules that use them.
+    pub fn pinned_domain(&self) -> Option<&str> {
+        match self {
+            PrimSpec::Source { domain, .. } | PrimSpec::Sink { domain, .. } => Some(domain),
+            _ => None,
+        }
+    }
+
+    /// Creates the initial runtime state for this primitive.
+    pub fn initial_state(&self) -> PrimState {
+        match self {
+            PrimSpec::Reg { init } => PrimState::Reg(init.clone()),
+            PrimSpec::Fifo { depth, .. } | PrimSpec::Sync { depth, .. } => PrimState::Fifo {
+                depth: *depth,
+                items: VecDeque::new(),
+            },
+            PrimSpec::RegFile { size, ty, init } => {
+                let mut cells = init.clone();
+                cells.resize(*size, Value::zero(ty));
+                cells.truncate(*size);
+                PrimState::RegFile(cells)
+            }
+            PrimSpec::Source { .. } => PrimState::Source { queue: VecDeque::new() },
+            PrimSpec::Sink { .. } => PrimState::Sink { consumed: Vec::new() },
+        }
+    }
+}
+
+/// Runtime state of a primitive. Cloned wholesale into change-log shadows
+/// on first write (copy-on-write at primitive granularity — the paper's
+/// "partial shadowing", §6.3, falls out of this representation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrimState {
+    /// Register contents.
+    Reg(Value),
+    /// FIFO contents (shared by `Fifo` and `Sync` — an unpartitioned design
+    /// runs synchronizers as plain FIFOs, which is what makes partitioned
+    /// and unpartitioned executions comparable).
+    Fifo {
+        /// Capacity.
+        depth: usize,
+        /// Queued elements, front = next out.
+        items: VecDeque<Value>,
+    },
+    /// Register-file contents.
+    RegFile(Vec<Value>),
+    /// Pending environment-provided inputs.
+    Source {
+        /// Values not yet consumed by rules.
+        queue: VecDeque<Value>,
+    },
+    /// Everything rules have emitted, in order.
+    Sink {
+        /// Consumed values.
+        consumed: Vec<Value>,
+    },
+}
+
+use crate::ast::PrimMethod;
+
+impl PrimState {
+    /// Invokes a value method (no state change).
+    ///
+    /// # Errors
+    ///
+    /// `GuardFail` when the method's implicit guard is false (e.g. `first`
+    /// on an empty FIFO); a type error when the method does not exist on
+    /// this primitive.
+    pub fn call_value(&self, m: PrimMethod, args: &[Value]) -> ExecResult<Value> {
+        match (self, m) {
+            (PrimState::Reg(v), PrimMethod::RegRead) => Ok(v.clone()),
+            (PrimState::Fifo { items, .. }, PrimMethod::First) => {
+                items.front().cloned().ok_or(ExecError::GuardFail)
+            }
+            (PrimState::Fifo { items, .. }, PrimMethod::NotEmpty) => {
+                Ok(Value::Bool(!items.is_empty()))
+            }
+            (PrimState::Fifo { items, depth }, PrimMethod::NotFull) => {
+                Ok(Value::Bool(items.len() < *depth))
+            }
+            (PrimState::RegFile(cells), PrimMethod::Sub) => {
+                let idx = args
+                    .first()
+                    .ok_or_else(|| ExecError::Type("sub needs an index".into()))?
+                    .as_index()?;
+                cells
+                    .get(idx)
+                    .cloned()
+                    .ok_or_else(|| ExecError::Bounds(format!("sub {idx} out of {}", cells.len())))
+            }
+            (PrimState::Source { queue }, PrimMethod::First) => {
+                queue.front().cloned().ok_or(ExecError::GuardFail)
+            }
+            (PrimState::Source { queue }, PrimMethod::NotEmpty) => {
+                Ok(Value::Bool(!queue.is_empty()))
+            }
+            (PrimState::Sink { .. }, PrimMethod::NotFull) => Ok(Value::Bool(true)),
+            (st, m) => Err(ExecError::Type(format!(
+                "value method {} not supported on {}",
+                m.name(),
+                st.kind_name()
+            ))),
+        }
+    }
+
+    /// Invokes an action method (mutating).
+    ///
+    /// # Errors
+    ///
+    /// `GuardFail` when the implicit guard is false (`enq` on a full FIFO,
+    /// `deq` on an empty one); a type error for unsupported methods.
+    pub fn call_action(&mut self, m: PrimMethod, args: &[Value]) -> ExecResult<()> {
+        match (self, m) {
+            (PrimState::Reg(v), PrimMethod::RegWrite) => {
+                *v = args
+                    .first()
+                    .ok_or_else(|| ExecError::Type("_write needs a value".into()))?
+                    .clone();
+                Ok(())
+            }
+            (PrimState::Fifo { items, depth }, PrimMethod::Enq) => {
+                if items.len() >= *depth {
+                    return Err(ExecError::GuardFail);
+                }
+                items.push_back(
+                    args.first()
+                        .ok_or_else(|| ExecError::Type("enq needs a value".into()))?
+                        .clone(),
+                );
+                Ok(())
+            }
+            (PrimState::Fifo { items, .. }, PrimMethod::Deq) => {
+                items.pop_front().map(|_| ()).ok_or(ExecError::GuardFail)
+            }
+            (PrimState::Fifo { items, .. }, PrimMethod::Clear) => {
+                items.clear();
+                Ok(())
+            }
+            (PrimState::RegFile(cells), PrimMethod::Upd) => {
+                let idx = args
+                    .first()
+                    .ok_or_else(|| ExecError::Type("upd needs an index".into()))?
+                    .as_index()?;
+                let val = args
+                    .get(1)
+                    .ok_or_else(|| ExecError::Type("upd needs a value".into()))?
+                    .clone();
+                let len = cells.len();
+                *cells
+                    .get_mut(idx)
+                    .ok_or_else(|| ExecError::Bounds(format!("upd {idx} out of {len}")))? = val;
+                Ok(())
+            }
+            (PrimState::Source { queue }, PrimMethod::Deq) => {
+                queue.pop_front().map(|_| ()).ok_or(ExecError::GuardFail)
+            }
+            (PrimState::Sink { consumed }, PrimMethod::Enq) => {
+                consumed.push(
+                    args.first()
+                        .ok_or_else(|| ExecError::Type("enq needs a value".into()))?
+                        .clone(),
+                );
+                Ok(())
+            }
+            (st, m) => Err(ExecError::Type(format!(
+                "action method {} not supported on {}",
+                m.name(),
+                st.kind_name()
+            ))),
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PrimState::Reg(_) => "Reg",
+            PrimState::Fifo { .. } => "Fifo",
+            PrimState::RegFile(_) => "RegFile",
+            PrimState::Source { .. } => "Source",
+            PrimState::Sink { .. } => "Sink",
+        }
+    }
+
+    /// Approximate size in words of this state (used to meter full-shadow
+    /// copies in the cost-model ablations).
+    pub fn size_words(&self) -> u64 {
+        fn val_words(v: &Value) -> u64 {
+            v.type_of().words() as u64
+        }
+        match self {
+            PrimState::Reg(v) => val_words(v),
+            PrimState::Fifo { items, .. } => items.iter().map(val_words).sum::<u64>().max(1),
+            PrimState::RegFile(cells) => cells.iter().map(val_words).sum::<u64>().max(1),
+            PrimState::Source { queue } => queue.iter().map(val_words).sum::<u64>().max(1),
+            PrimState::Sink { consumed } => consumed.iter().map(val_words).sum::<u64>().max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fifo(depth: usize) -> PrimState {
+        PrimSpec::Fifo { depth, ty: Type::Int(8) }.initial_state()
+    }
+
+    #[test]
+    fn reg_read_write() {
+        let spec = PrimSpec::Reg { init: Value::int(8, 3) };
+        let mut st = spec.initial_state();
+        assert_eq!(st.call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 3));
+        st.call_action(PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        assert_eq!(st.call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+    }
+
+    #[test]
+    fn fifo_guards() {
+        let mut st = fifo(2);
+        // empty: first/deq fail with GuardFail
+        assert_eq!(st.call_value(PrimMethod::First, &[]), Err(ExecError::GuardFail));
+        assert_eq!(st.call_action(PrimMethod::Deq, &[]), Err(ExecError::GuardFail));
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 1)]).unwrap();
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 2)]).unwrap();
+        // full: enq fails
+        assert_eq!(
+            st.call_action(PrimMethod::Enq, &[Value::int(8, 3)]),
+            Err(ExecError::GuardFail)
+        );
+        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 1));
+        st.call_action(PrimMethod::Deq, &[]).unwrap();
+        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 2));
+        assert_eq!(st.call_value(PrimMethod::NotEmpty, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(st.call_value(PrimMethod::NotFull, &[]).unwrap(), Value::Bool(true));
+        st.call_action(PrimMethod::Clear, &[]).unwrap();
+        assert_eq!(st.call_value(PrimMethod::NotEmpty, &[]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn regfile_bounds() {
+        let spec = PrimSpec::RegFile {
+            size: 4,
+            ty: Type::Int(16),
+            init: vec![Value::int(16, 7)],
+        };
+        let mut st = spec.initial_state();
+        assert_eq!(
+            st.call_value(PrimMethod::Sub, &[Value::int(8, 0)]).unwrap(),
+            Value::int(16, 7)
+        );
+        // padded with zeros
+        assert_eq!(
+            st.call_value(PrimMethod::Sub, &[Value::int(8, 3)]).unwrap(),
+            Value::int(16, 0)
+        );
+        assert!(st.call_value(PrimMethod::Sub, &[Value::int(8, 4)]).is_err());
+        st.call_action(PrimMethod::Upd, &[Value::int(8, 2), Value::int(16, -5)])
+            .unwrap();
+        assert_eq!(
+            st.call_value(PrimMethod::Sub, &[Value::int(8, 2)]).unwrap(),
+            Value::int(16, -5)
+        );
+        assert!(st
+            .call_action(PrimMethod::Upd, &[Value::int(8, 9), Value::int(16, 0)])
+            .is_err());
+    }
+
+    #[test]
+    fn source_sink() {
+        let mut src = PrimSpec::Source { ty: Type::Int(8), domain: "SW".into() }.initial_state();
+        assert_eq!(src.call_value(PrimMethod::First, &[]), Err(ExecError::GuardFail));
+        if let PrimState::Source { queue } = &mut src {
+            queue.push_back(Value::int(8, 42));
+        }
+        assert_eq!(src.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 42));
+        src.call_action(PrimMethod::Deq, &[]).unwrap();
+        assert_eq!(src.call_action(PrimMethod::Deq, &[]), Err(ExecError::GuardFail));
+
+        let mut sink = PrimSpec::Sink { ty: Type::Int(8), domain: "SW".into() }.initial_state();
+        sink.call_action(PrimMethod::Enq, &[Value::int(8, 1)]).unwrap();
+        sink.call_action(PrimMethod::Enq, &[Value::int(8, 2)]).unwrap();
+        if let PrimState::Sink { consumed } = &sink {
+            assert_eq!(consumed.len(), 2);
+        } else {
+            panic!("not a sink");
+        }
+    }
+
+    #[test]
+    fn unsupported_methods_are_type_errors() {
+        let mut st = fifo(1);
+        assert!(matches!(
+            st.call_action(PrimMethod::RegWrite, &[Value::Bool(true)]),
+            Err(ExecError::Type(_))
+        ));
+        assert!(matches!(
+            st.call_value(PrimMethod::Sub, &[Value::int(8, 0)]),
+            Err(ExecError::Type(_))
+        ));
+    }
+
+    #[test]
+    fn sync_behaves_as_fifo_when_unpartitioned() {
+        let spec = PrimSpec::Sync {
+            depth: 2,
+            ty: Type::Int(8),
+            from: "SW".into(),
+            to: "HW".into(),
+        };
+        let mut st = spec.initial_state();
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 5)]).unwrap();
+        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 5));
+        assert!(spec.is_sync());
+        assert_eq!(spec.pinned_domain(), None);
+    }
+
+    #[test]
+    fn size_words_metering() {
+        let st = fifo(4);
+        assert_eq!(st.size_words(), 1); // empty still costs 1
+        let spec = PrimSpec::RegFile {
+            size: 8,
+            ty: Type::Int(32),
+            init: vec![],
+        };
+        assert_eq!(spec.initial_state().size_words(), 8);
+    }
+}

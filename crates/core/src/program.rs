@@ -1,0 +1,237 @@
+//! Pre-elaboration programs: module definitions and instantiations.
+//!
+//! A [`Program`] is the `pr ::= [m] (mn, [c])` form of Figure 7: a list of
+//! module definitions plus a root module name and constructor arguments.
+//! Instantiating the root recursively instantiates the entire program state.
+
+use crate::ast::{ActMethodDef, RuleDef, ValMethodDef};
+use crate::error::ElabError;
+use crate::prim::PrimSpec;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// What a state-element instantiation refers to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum InstKind {
+    /// A primitive state element.
+    Prim(PrimSpec),
+    /// An instance of a user-defined module, with constructor arguments.
+    Module {
+        /// Name of the module definition.
+        def: String,
+        /// Constructor argument values (static elaboration substitutes them
+        /// for the definition's parameters).
+        args: Vec<Value>,
+    },
+}
+
+/// A state-element instantiation (`Inst mn n [c]` in the grammar).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstDef {
+    /// The instance name, unique within its module.
+    pub name: String,
+    /// What is instantiated.
+    pub kind: InstKind,
+}
+
+/// A module definition (`Module mn [t] ...`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ModuleDef {
+    /// The module (definition) name.
+    pub name: String,
+    /// Constructor parameter names; occurrences as variables in rule and
+    /// method bodies are substituted at elaboration.
+    pub params: Vec<String>,
+    /// Sub-state instantiations.
+    pub insts: Vec<InstDef>,
+    /// Rules.
+    pub rules: Vec<RuleDef>,
+    /// Action methods (interface).
+    pub act_methods: Vec<ActMethodDef>,
+    /// Value methods (interface).
+    pub val_methods: Vec<ValMethodDef>,
+}
+
+impl ModuleDef {
+    /// Creates an empty module definition with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleDef { name: name.into(), ..Default::default() }
+    }
+
+    /// Looks up an instantiation by name.
+    pub fn inst(&self, name: &str) -> Option<&InstDef> {
+        self.insts.iter().find(|i| i.name == name)
+    }
+}
+
+/// A complete BCL program: module definitions plus a designated root.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Program {
+    /// All module definitions, by name.
+    pub modules: Vec<ModuleDef>,
+    /// The root module name.
+    pub root: String,
+    /// Constructor arguments for the root.
+    pub root_args: Vec<Value>,
+}
+
+impl Program {
+    /// Creates a program with a single root module and no arguments.
+    pub fn with_root(root: ModuleDef) -> Self {
+        let name = root.name.clone();
+        Program { modules: vec![root], root: name, root_args: vec![] }
+    }
+
+    /// Adds a module definition, replacing any existing one of the same name.
+    pub fn add_module(&mut self, m: ModuleDef) {
+        self.modules.retain(|x| x.name != m.name);
+        self.modules.push(m);
+    }
+
+    /// Looks up a module definition by name.
+    pub fn module(&self, name: &str) -> Option<&ModuleDef> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Basic structural validation run before elaboration: the root exists,
+    /// instance names are unique within each module, referenced module
+    /// definitions exist, and constructor arities match.
+    pub fn validate(&self) -> Result<(), ElabError> {
+        let root = self
+            .module(&self.root)
+            .ok_or_else(|| ElabError::new(format!("root module `{}` not defined", self.root)))?;
+        if root.params.len() != self.root_args.len() {
+            return Err(ElabError::new(format!(
+                "root `{}` expects {} args, got {}",
+                self.root,
+                root.params.len(),
+                self.root_args.len()
+            )));
+        }
+        for m in &self.modules {
+            let mut seen = std::collections::HashSet::new();
+            for i in &m.insts {
+                if !seen.insert(&i.name) {
+                    return Err(ElabError::new(format!(
+                        "duplicate instance `{}` in module `{}`",
+                        i.name, m.name
+                    )));
+                }
+                if let InstKind::Module { def, args } = &i.kind {
+                    let d = self.module(def).ok_or_else(|| {
+                        ElabError::new(format!(
+                            "module `{}` instantiates unknown module `{def}`",
+                            m.name
+                        ))
+                    })?;
+                    if d.params.len() != args.len() {
+                        return Err(ElabError::new(format!(
+                            "instance `{}` of `{def}`: expects {} args, got {}",
+                            i.name,
+                            d.params.len(),
+                            args.len()
+                        )));
+                    }
+                }
+            }
+            let mut rule_names = std::collections::HashSet::new();
+            for r in &m.rules {
+                if !rule_names.insert(&r.name) {
+                    return Err(ElabError::new(format!(
+                        "duplicate rule `{}` in module `{}`",
+                        r.name, m.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Action, Expr, RuleDef, Target};
+
+    fn leaf() -> ModuleDef {
+        let mut m = ModuleDef::new("Leaf");
+        m.insts.push(InstDef {
+            name: "r".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+        });
+        m.rules.push(RuleDef {
+            name: "tick".into(),
+            body: Action::Write(
+                Target::Named("r".into(), "_write".into()),
+                Box::new(Expr::int(8, 1)),
+            ),
+        });
+        m
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = Program::with_root(leaf());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_root_fails() {
+        let p = Program { modules: vec![], root: "X".into(), root_args: vec![] };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_instance_fails() {
+        let mut m = leaf();
+        m.insts.push(InstDef {
+            name: "r".into(),
+            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+        });
+        let p = Program::with_root(m);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unknown_submodule_fails() {
+        let mut m = ModuleDef::new("Top");
+        m.insts.push(InstDef {
+            name: "x".into(),
+            kind: InstKind::Module { def: "Nope".into(), args: vec![] },
+        });
+        let p = Program::with_root(m);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let mut sub = ModuleDef::new("Sub");
+        sub.params.push("n".into());
+        let mut top = ModuleDef::new("Top");
+        top.insts.push(InstDef {
+            name: "s".into(),
+            kind: InstKind::Module { def: "Sub".into(), args: vec![] },
+        });
+        let mut p = Program::with_root(top);
+        p.add_module(sub);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn duplicate_rule_fails() {
+        let mut m = leaf();
+        m.rules.push(m.rules[0].clone());
+        let p = Program::with_root(m);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn add_module_replaces() {
+        let mut p = Program::with_root(leaf());
+        let mut m2 = ModuleDef::new("Leaf");
+        m2.params.push("k".into());
+        p.add_module(m2);
+        assert_eq!(p.modules.len(), 1);
+        assert_eq!(p.module("Leaf").unwrap().params.len(), 1);
+    }
+}

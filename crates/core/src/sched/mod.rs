@@ -1,0 +1,94 @@
+//! Rule schedulers: the software execution strategy (§6.2–6.3) and the
+//! BSV-style synchronous hardware scheduler (§6.4).
+//!
+//! The same elaborated design can be driven by either scheduler; the paper's
+//! central observation is that software wants to "pass the algorithm over
+//! the data" (run rules in dataflow order, one datum end-to-end) while
+//! hardware wants to "pass the data through the algorithm" (fire every
+//! stage once per clock on different data). Both schedulers resolve the
+//! nondeterministic choice of the one-rule-at-a-time semantics — neither
+//! can produce a behaviour the rules don't allow.
+
+mod hw;
+mod sw;
+
+pub use hw::{hw_check, HwReport, HwSim};
+pub use sw::{Strategy, SwOptions, SwReport, SwRunner};
+
+use crate::store::Cost;
+
+/// Converts the abstract cost counters of rule execution into CPU cycles.
+///
+/// The weights model the generated C++ of §6.2: ALU ops are ~1 cycle,
+/// shadow and commit copies are memory traffic, a rollback is a pipeline
+/// disaster, and a transaction that could not be guard-lifted pays the
+/// try/catch setup the paper works so hard to remove (Figures 9/10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Per weighted ALU operation.
+    pub op: u64,
+    /// Per primitive value-method call.
+    pub read: u64,
+    /// Per primitive action-method call.
+    pub write: u64,
+    /// Per word copied into a shadow.
+    pub shadow_word: u64,
+    /// Per word copied at commit.
+    pub commit_word: u64,
+    /// Per rollback (exception unwind + state restore).
+    pub rollback: u64,
+    /// Fixed overhead per scheduler guard evaluation.
+    pub guard_eval: u64,
+    /// Fixed overhead per transactional rule attempt (try/catch setup).
+    pub txn_setup: u64,
+    /// Fixed overhead per in-place (guard-lifted) rule execution.
+    pub inplace_run: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            op: 1,
+            read: 1,
+            write: 1,
+            shadow_word: 2,
+            commit_word: 2,
+            rollback: 25,
+            guard_eval: 2,
+            txn_setup: 30,
+            inplace_run: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// Total CPU cycles for a set of counters.
+    pub fn cycles(&self, c: &Cost) -> u64 {
+        c.ops * self.op
+            + c.reads * self.read
+            + c.writes * self.write
+            + c.shadow_words * self.shadow_word
+            + c.commit_words * self.commit_word
+            + c.rollbacks * self.rollback
+            + c.guard_evals * self.guard_eval
+            + c.txn_setups * self.txn_setup
+            + c.inplace_runs * self.inplace_run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_weighs_counters() {
+        let m = CostModel::default();
+        let mut c = Cost::default();
+        assert_eq!(m.cycles(&c), 0);
+        c.ops = 10;
+        c.rollbacks = 1;
+        assert_eq!(m.cycles(&c), 10 + 25);
+        c.txn_setups = 2;
+        assert_eq!(m.cycles(&c), 10 + 25 + 60);
+    }
+}

@@ -1,0 +1,407 @@
+//! The software rule scheduler (§6.2–6.3).
+//!
+//! A [`SwRunner`] owns the committed store and a compiled [`RulePlan`] per
+//! rule. Each `step` selects one rule (per the chosen [`Strategy`]),
+//! evaluates its lifted guard if there is one, and executes it — in place
+//! when the plan allows, transactionally otherwise. All work is metered
+//! through the [`CostModel`] so the runner can report "CPU cycles", which
+//! is what stands in for wall-clock time of the generated C++.
+
+use super::CostModel;
+use crate::analysis::successors;
+use crate::design::Design;
+use crate::error::ExecResult;
+use crate::exec::{eval_guard_ro, run_rule, run_rule_inplace, RuleOutcome};
+use crate::store::{Cost, ShadowPolicy, Store};
+use crate::xform::{compile_design, CompileOpts, ExecMode, RulePlan};
+use std::collections::VecDeque;
+
+/// Rule selection strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Cycle through rules in definition order, remembering the position.
+    RoundRobin,
+    /// Always probe rules in definition order (definition order = static
+    /// priority).
+    Priority,
+    /// After a rule fires, try its dataflow successors first — the §6.3
+    /// "construction of longer sequences of rule invocations which
+    /// successfully execute without guard failures". This is what lets the
+    /// software pass a whole audio frame through the pipeline while the
+    /// data is hot.
+    #[default]
+    Dataflow,
+}
+
+/// Configuration for a software runner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwOptions {
+    /// Rule compilation options (lifting / sequentialization toggles).
+    pub compile: CompileOpts,
+    /// Shadow pricing policy for transactional rules.
+    pub shadow: ShadowPolicy,
+    /// Rule selection strategy.
+    pub strategy: Strategy,
+    /// Cycle-cost weights.
+    pub model: CostModel,
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SwReport {
+    /// Rules fired, per rule index.
+    pub fired: Vec<u64>,
+    /// Failed attempts (guard false or rollback), per rule index.
+    pub failed: Vec<u64>,
+    /// Total rules fired.
+    pub total_fired: u64,
+    /// CPU cycles consumed (per the cost model).
+    pub cpu_cycles: u64,
+}
+
+/// Executes the rules of one (software) partition.
+#[derive(Debug)]
+pub struct SwRunner {
+    plans: Vec<RulePlan>,
+    succ: Vec<Vec<usize>>,
+    /// The committed program state.
+    pub store: Store,
+    opts: SwOptions,
+    /// Accumulated cost counters.
+    pub cost: Cost,
+    fired: Vec<u64>,
+    failed: Vec<u64>,
+    total_fired: u64,
+    rr_next: usize,
+    chain: VecDeque<usize>,
+}
+
+impl SwRunner {
+    /// Creates a runner for a design with a fresh store.
+    pub fn new(design: &Design, opts: SwOptions) -> SwRunner {
+        SwRunner::with_store(design, Store::new(design), opts)
+    }
+
+    /// Creates a runner with a pre-populated store (e.g. preloaded sources).
+    pub fn with_store(design: &Design, store: Store, opts: SwOptions) -> SwRunner {
+        let plans = compile_design(design, opts.compile);
+        let n = plans.len();
+        SwRunner {
+            plans,
+            succ: successors(design),
+            store,
+            opts,
+            cost: Cost::default(),
+            fired: vec![0; n],
+            failed: vec![0; n],
+            total_fired: 0,
+            rr_next: 0,
+            chain: VecDeque::new(),
+        }
+    }
+
+    /// The number of rules.
+    pub fn rule_count(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The compiled plan for a rule (for inspection/tests).
+    pub fn plan(&self, i: usize) -> &RulePlan {
+        &self.plans[i]
+    }
+
+    /// CPU cycles consumed so far.
+    pub fn cpu_cycles(&self) -> u64 {
+        self.opts.model.cycles(&self.cost)
+    }
+
+    /// Attempts one specific rule. Returns whether it fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors (double write, type errors, unsound
+    /// lifting); guard failures are *not* errors.
+    pub fn try_rule(&mut self, i: usize) -> ExecResult<bool> {
+        let plan = &self.plans[i];
+        if let Some(g) = &plan.guard {
+            let ok = eval_guard_ro(&mut self.store, g, &mut self.cost)?;
+            if !ok {
+                self.failed[i] += 1;
+                return Ok(false);
+            }
+        }
+        let fired = match plan.mode {
+            ExecMode::InPlace => {
+                let c = run_rule_inplace(&mut self.store, &plan.body)?;
+                self.cost.add(&c);
+                true
+            }
+            ExecMode::Transactional => {
+                let (out, c) = run_rule(&mut self.store, &plan.body, self.opts.shadow)?;
+                self.cost.add(&c);
+                out == RuleOutcome::Fired
+            }
+        };
+        if fired {
+            self.fired[i] += 1;
+            self.total_fired += 1;
+        } else {
+            self.failed[i] += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Fires at most one rule according to the strategy. Returns `false`
+    /// when no rule can fire (the partition is quiescent until new input
+    /// arrives).
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors from rule bodies.
+    pub fn step(&mut self) -> ExecResult<bool> {
+        let n = self.plans.len();
+        if n == 0 {
+            return Ok(false);
+        }
+        if self.opts.strategy == Strategy::Dataflow {
+            while let Some(i) = self.chain.pop_front() {
+                if self.try_rule(i)? {
+                    self.enqueue_successors(i);
+                    return Ok(true);
+                }
+            }
+        }
+        let start = match self.opts.strategy {
+            Strategy::Priority => 0,
+            _ => self.rr_next,
+        };
+        for k in 0..n {
+            let i = (start + k) % n;
+            if self.try_rule(i)? {
+                self.rr_next = (i + 1) % n;
+                if self.opts.strategy == Strategy::Dataflow {
+                    self.enqueue_successors(i);
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn enqueue_successors(&mut self, i: usize) {
+        for &s in &self.succ[i] {
+            if !self.chain.contains(&s) {
+                self.chain.push_back(s);
+            }
+        }
+        // Re-trying the same rule keeps draining multi-element FIFOs.
+        if !self.chain.contains(&i) {
+            self.chain.push_back(i);
+        }
+    }
+
+    /// Runs until no rule can fire or `max_firings` rules have fired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors from rule bodies.
+    pub fn run_until_quiescent(&mut self, max_firings: u64) -> ExecResult<u64> {
+        let mut fired = 0;
+        while fired < max_firings && self.step()? {
+            fired += 1;
+        }
+        Ok(fired)
+    }
+
+    /// Runs until at least `budget` additional CPU cycles have been
+    /// consumed or the partition goes quiescent. Returns `(cycles_spent,
+    /// quiescent)`. Used by the co-simulation to interleave the software
+    /// timeline with the hardware clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors from rule bodies.
+    pub fn run_for(&mut self, budget: u64) -> ExecResult<(u64, bool)> {
+        let start = self.cpu_cycles();
+        loop {
+            let spent = self.cpu_cycles() - start;
+            if spent >= budget {
+                return Ok((spent, false));
+            }
+            if !self.step()? {
+                return Ok((self.cpu_cycles() - start, true));
+            }
+        }
+    }
+
+    /// Adds external cycles (e.g. driver marshaling work) to the runner's
+    /// cost, modeled as plain ALU ops.
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.cost.ops += cycles / self.opts.model.op.max(1);
+    }
+
+    /// A snapshot of run statistics.
+    pub fn report(&self) -> SwReport {
+        SwReport {
+            fired: self.fired.clone(),
+            failed: self.failed.clone(),
+            total_fired: self.total_fired,
+            cpu_cycles: self.cpu_cycles(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Action, Expr, Path, PrimId, PrimMethod, RuleDef, Target};
+    use crate::design::{Design, PrimDef};
+    use crate::prim::PrimSpec;
+    use crate::types::Type;
+    use crate::value::{BinOp, Value};
+
+    /// in(Source) -> [double] -> q -> [emit] -> out(Sink)
+    fn pipeline() -> Design {
+        let src = PrimId(0);
+        let q = PrimId(1);
+        let snk = PrimId(2);
+        Design {
+            name: "pipe".into(),
+            prims: vec![
+                PrimDef {
+                    path: Path::new("in"),
+                    spec: PrimSpec::Source { ty: Type::Int(32), domain: "SW".into() },
+                },
+                PrimDef {
+                    path: Path::new("q"),
+                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                },
+                PrimDef {
+                    path: Path::new("out"),
+                    spec: PrimSpec::Sink { ty: Type::Int(32), domain: "SW".into() },
+                },
+            ],
+            rules: vec![
+                RuleDef {
+                    name: "double".into(),
+                    body: Action::Par(
+                        Box::new(Action::Call(
+                            Target::Prim(q, PrimMethod::Enq),
+                            vec![Expr::Bin(
+                                BinOp::Mul,
+                                Box::new(Expr::Call(Target::Prim(src, PrimMethod::First), vec![])),
+                                Box::new(Expr::int(32, 2)),
+                            )],
+                        )),
+                        Box::new(Action::Call(Target::Prim(src, PrimMethod::Deq), vec![])),
+                    ),
+                },
+                RuleDef {
+                    name: "emit".into(),
+                    body: Action::Par(
+                        Box::new(Action::Call(
+                            Target::Prim(snk, PrimMethod::Enq),
+                            vec![Expr::Call(Target::Prim(q, PrimMethod::First), vec![])],
+                        )),
+                        Box::new(Action::Call(Target::Prim(q, PrimMethod::Deq), vec![])),
+                    ),
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    fn run_all(strategy: Strategy, compile: CompileOpts) -> (SwRunner, Vec<i64>) {
+        let d = pipeline();
+        let mut store = Store::new(&d);
+        for i in 0..5 {
+            store.push_source(PrimId(0), Value::int(32, i));
+        }
+        let opts = SwOptions { strategy, compile, ..Default::default() };
+        let mut r = SwRunner::with_store(&d, store, opts);
+        r.run_until_quiescent(1000).unwrap();
+        let out: Vec<i64> =
+            r.store.sink_values(PrimId(2)).iter().map(|v| v.as_int().unwrap()).collect();
+        (r, out)
+    }
+
+    #[test]
+    fn all_strategies_produce_same_output() {
+        for strat in [Strategy::RoundRobin, Strategy::Priority, Strategy::Dataflow] {
+            let (_, out) = run_all(strat, CompileOpts::default());
+            assert_eq!(out, vec![0, 2, 4, 6, 8], "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn optimized_matches_unoptimized_output() {
+        let (_, out1) = run_all(Strategy::Dataflow, CompileOpts::default());
+        let (_, out2) =
+            run_all(Strategy::Dataflow, CompileOpts { lift: false, sequentialize: false });
+        assert_eq!(out1, out2);
+    }
+
+    #[test]
+    fn lifting_is_cheaper() {
+        let (opt, _) = run_all(Strategy::Dataflow, CompileOpts::default());
+        let (unopt, _) =
+            run_all(Strategy::Dataflow, CompileOpts { lift: false, sequentialize: false });
+        assert!(
+            opt.cpu_cycles() < unopt.cpu_cycles(),
+            "lifted {} !< unlifted {}",
+            opt.cpu_cycles(),
+            unopt.cpu_cycles()
+        );
+        // The optimized run uses the in-place fast path.
+        assert!(opt.cost.inplace_runs > 0);
+        assert_eq!(opt.cost.rollbacks, 0);
+    }
+
+    #[test]
+    fn dataflow_probes_less_than_round_robin() {
+        let (df, _) = run_all(Strategy::Dataflow, CompileOpts::default());
+        let (rr, _) = run_all(Strategy::RoundRobin, CompileOpts::default());
+        let df_fails: u64 = df.report().failed.iter().sum();
+        let rr_fails: u64 = rr.report().failed.iter().sum();
+        // On this tiny two-rule pipeline round-robin happens to align well;
+        // dataflow chaining must stay in the same ballpark (its wins show
+        // on deep pipelines, exercised by the Vorbis benches).
+        assert!(
+            df_fails <= rr_fails + 8,
+            "dataflow {df_fails} much worse than round-robin {rr_fails}"
+        );
+    }
+
+    #[test]
+    fn quiescence_is_reported() {
+        let d = pipeline();
+        let mut r = SwRunner::new(&d, SwOptions::default());
+        assert!(!r.step().unwrap(), "empty source: nothing can fire");
+        let (spent, quiescent) = r.run_for(1_000).unwrap();
+        assert!(quiescent);
+        assert!(spent < 1_000);
+    }
+
+    #[test]
+    fn run_for_respects_budget() {
+        let d = pipeline();
+        let mut store = Store::new(&d);
+        for i in 0..1000 {
+            store.push_source(PrimId(0), Value::int(32, i));
+        }
+        let mut r = SwRunner::with_store(&d, store, SwOptions::default());
+        let (spent, quiescent) = r.run_for(50).unwrap();
+        assert!(!quiescent);
+        assert!(spent >= 50);
+        assert!(spent < 500, "should stop soon after the budget: {spent}");
+    }
+
+    #[test]
+    fn report_counts_fired_rules() {
+        let (r, _) = run_all(Strategy::Priority, CompileOpts::default());
+        let rep = r.report();
+        assert_eq!(rep.fired, vec![5, 5]);
+        assert_eq!(rep.total_fired, 10);
+        assert!(rep.cpu_cycles > 0);
+    }
+}

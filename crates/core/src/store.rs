@@ -1,0 +1,553 @@
+//! Program state and the light-weight transactional run-time (§6.1–6.2).
+//!
+//! A [`Store`] holds the committed state of every primitive. A [`Txn`] is a
+//! change-log shadow layered over the store: rule execution populates the
+//! log, a successful rule commits it, and a guard failure rolls it back by
+//! discarding it. Parallel action composition forks sibling frames that are
+//! merged with double-write detection, and `localGuard` uses a frame whose
+//! failure is absorbed instead of propagated — exactly the C++ scheme the
+//! paper describes (shadows for rules are persistent/reused; shadows for
+//! parallel actions are created dynamically).
+
+use crate::ast::{PrimId, PrimMethod};
+use crate::design::Design;
+use crate::error::{ExecError, ExecResult};
+use crate::prim::PrimState;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// Committed state of every primitive in a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Store {
+    states: Vec<PrimState>,
+}
+
+impl Store {
+    /// Creates the initial store for a design (every primitive at reset).
+    pub fn new(design: &Design) -> Store {
+        Store { states: design.prims.iter().map(|p| p.spec.initial_state()).collect() }
+    }
+
+    /// The number of primitives.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the design has no state.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Borrows a primitive's committed state.
+    pub fn state(&self, id: PrimId) -> &PrimState {
+        &self.states[id.0]
+    }
+
+    /// Mutably borrows a primitive's committed state (used by test benches
+    /// and the co-simulation transactor, not by rule execution).
+    pub fn state_mut(&mut self, id: PrimId) -> &mut PrimState {
+        &mut self.states[id.0]
+    }
+
+    /// Pushes a value into a `Source` primitive (test-bench input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a `Source`.
+    pub fn push_source(&mut self, id: PrimId, v: Value) {
+        match &mut self.states[id.0] {
+            PrimState::Source { queue } => queue.push_back(v),
+            other => panic!("push_source on {}", other.kind_name()),
+        }
+    }
+
+    /// Number of values still pending in a `Source`.
+    pub fn source_pending(&self, id: PrimId) -> usize {
+        match &self.states[id.0] {
+            PrimState::Source { queue } => queue.len(),
+            other => panic!("source_pending on {}", other.kind_name()),
+        }
+    }
+
+    /// The values a `Sink` has consumed so far.
+    pub fn sink_values(&self, id: PrimId) -> &[Value] {
+        match &self.states[id.0] {
+            PrimState::Sink { consumed } => consumed,
+            other => panic!("sink_values on {}", other.kind_name()),
+        }
+    }
+
+    /// Total words currently held by all primitives (used by the
+    /// full-shadow ablation to price a whole-state copy).
+    pub fn total_words(&self) -> u64 {
+        self.states.iter().map(PrimState::size_words).sum()
+    }
+}
+
+/// Shadow allocation policy (§6.3 "Partial Shadowing" ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShadowPolicy {
+    /// Clone a primitive into the log only when it is first written
+    /// (what the optimized compiler does).
+    #[default]
+    Partial,
+    /// Price a full copy of all state at transaction start (what a naive
+    /// transactional implementation does). Functionally identical; only the
+    /// metered cost differs.
+    Full,
+    /// No shadowing at all: writes go straight to the committed store.
+    /// Only legal for rules whose guards were fully lifted (§6.3 "perform
+    /// the computation in situ to avoid the cost of commit entirely") —
+    /// parallel composition and `localGuard` are rejected under this
+    /// policy, and a guard failure mid-rule is a compiler bug.
+    InPlace,
+}
+
+/// Execution cost counters. These are the quantities the generated C++
+/// would spend real time on; the software cost model converts them to CPU
+/// cycles (see [`crate::sched::CostModel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Weighted ALU operations executed.
+    pub ops: u64,
+    /// Primitive value-method invocations.
+    pub reads: u64,
+    /// Primitive action-method invocations.
+    pub writes: u64,
+    /// Words copied into shadows (clone-on-write or full-copy).
+    pub shadow_words: u64,
+    /// Words copied at commit.
+    pub commit_words: u64,
+    /// Transactions rolled back (guard failures after partial execution).
+    pub rollbacks: u64,
+    /// Guard expressions evaluated by the scheduler.
+    pub guard_evals: u64,
+    /// Transactions that required try/catch-style setup (not guard-lifted).
+    pub txn_setups: u64,
+    /// Transactions executed on the lifted, in-place fast path.
+    pub inplace_runs: u64,
+}
+
+impl Cost {
+    /// Adds another counter set into this one.
+    pub fn add(&mut self, other: &Cost) {
+        self.ops += other.ops;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.shadow_words += other.shadow_words;
+        self.commit_words += other.commit_words;
+        self.rollbacks += other.rollbacks;
+        self.guard_evals += other.guard_evals;
+        self.txn_setups += other.txn_setups;
+        self.inplace_runs += other.inplace_runs;
+    }
+}
+
+/// One shadow frame: the cloned states and the set of primitives mutated
+/// through this frame.
+#[derive(Debug, Default)]
+struct Frame {
+    entries: HashMap<PrimId, PrimState>,
+    written: HashSet<PrimId>,
+}
+
+/// A transaction: a stack of shadow frames over a base store.
+///
+/// Reads search the frame stack top-down and fall through to the base;
+/// writes clone the primitive into the top frame on first touch.
+#[derive(Debug)]
+pub struct Txn<'s> {
+    base: &'s mut Store,
+    frames: Vec<Frame>,
+    /// Cost counters for this transaction.
+    pub cost: Cost,
+    /// Shadow pricing policy.
+    pub policy: ShadowPolicy,
+    /// Safety bound on `loop` iterations.
+    pub max_loop_iters: u64,
+}
+
+impl<'s> Txn<'s> {
+    /// Opens a transaction with a single root frame.
+    pub fn new(base: &'s mut Store, policy: ShadowPolicy) -> Txn<'s> {
+        let mut cost = Cost::default();
+        if policy == ShadowPolicy::Full {
+            cost.shadow_words = base.total_words();
+        }
+        Txn {
+            base,
+            frames: vec![Frame::default()],
+            cost,
+            policy,
+            max_loop_iters: 1_000_000,
+        }
+    }
+
+    /// Looks up the current (possibly shadowed) state of a primitive.
+    fn view(&self, id: PrimId) -> &PrimState {
+        for f in self.frames.iter().rev() {
+            if let Some(st) = f.entries.get(&id) {
+                return st;
+            }
+        }
+        self.base.state(id)
+    }
+
+    /// Invokes a value method through the log.
+    pub fn call_value(&mut self, id: PrimId, m: PrimMethod, args: &[Value]) -> ExecResult<Value> {
+        self.cost.reads += 1;
+        self.view(id).call_value(m, args)
+    }
+
+    /// Invokes an action method, cloning the primitive into the top frame
+    /// on first write (partial shadowing). Under [`ShadowPolicy::InPlace`]
+    /// the write goes straight to the committed store.
+    pub fn call_action(&mut self, id: PrimId, m: PrimMethod, args: &[Value]) -> ExecResult<()> {
+        self.cost.writes += 1;
+        if self.policy == ShadowPolicy::InPlace {
+            return self.base.state_mut(id).call_action(m, args);
+        }
+        // Ensure an entry exists in the top frame.
+        let top = self.frames.len() - 1;
+        if !self.frames[top].entries.contains_key(&id) {
+            let cloned = self.view(id).clone();
+            if self.policy == ShadowPolicy::Partial {
+                self.cost.shadow_words += cloned.size_words();
+            }
+            self.frames[top].entries.insert(id, cloned);
+        }
+        let frame = &mut self.frames[top];
+        let st = frame.entries.get_mut(&id).expect("just inserted");
+        st.call_action(m, args)?;
+        frame.written.insert(id);
+        Ok(())
+    }
+
+    /// Pushes a fresh frame (for parallel branches and `localGuard`).
+    pub fn push_frame(&mut self) {
+        self.frames.push(Frame::default());
+    }
+
+    /// Pops the top frame, discarding its effects (branch rollback).
+    pub fn pop_discard(&mut self) {
+        self.frames.pop().expect("frame underflow");
+        self.cost.rollbacks += 1;
+    }
+
+    /// Pops the top frame and returns it for later merging.
+    fn pop_frame(&mut self) -> Frame {
+        self.frames.pop().expect("frame underflow")
+    }
+
+    /// Pops the top frame and merges it into the new top (used by
+    /// `localGuard` success and parallel-branch merge).
+    pub fn pop_merge(&mut self) -> ExecResult<()> {
+        let f = self.pop_frame();
+        let top = self.frames.last_mut().expect("root frame missing");
+        for (id, st) in f.entries {
+            // Only propagate written entries; pure clones are dropped.
+            if f.written.contains(&id) {
+                top.entries.insert(id, st);
+                top.written.insert(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs two closures as parallel branches: both observe the state as of
+    /// now, neither observes the other, and their write sets must be
+    /// disjoint (the DOUBLE WRITE ERROR of §6.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates guard failures and other errors from either branch;
+    /// returns `DoubleWrite` if both branches mutate the same primitive.
+    pub fn run_par<F, G>(&mut self, f: F, g: G) -> ExecResult<()>
+    where
+        F: FnOnce(&mut Txn<'s>) -> ExecResult<()>,
+        G: FnOnce(&mut Txn<'s>) -> ExecResult<()>,
+    {
+        if self.policy == ShadowPolicy::InPlace {
+            return Err(ExecError::Malformed(
+                "parallel composition reached an in-place (guard-lifted) execution".into(),
+            ));
+        }
+        self.push_frame();
+        match f(self) {
+            Ok(()) => {}
+            Err(e) => {
+                self.frames.pop();
+                return Err(e);
+            }
+        }
+        let fa = self.pop_frame();
+        self.push_frame();
+        match g(self) {
+            Ok(()) => {}
+            Err(e) => {
+                self.frames.pop();
+                return Err(e);
+            }
+        }
+        let fb = self.pop_frame();
+        if let Some(id) = fa.written.intersection(&fb.written).min() {
+            return Err(ExecError::DoubleWrite(format!("primitive #{}", id.0)));
+        }
+        let top = self.frames.last_mut().expect("root frame missing");
+        for frame in [fa, fb] {
+            for (id, st) in frame.entries {
+                if frame.written.contains(&id) {
+                    top.entries.insert(id, st);
+                    top.written.insert(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits the root frame into the base store. Consumes the transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if branch frames are still open.
+    pub fn commit(mut self) -> Cost {
+        assert_eq!(self.frames.len(), 1, "unbalanced frames at commit");
+        let root = self.frames.pop().expect("root");
+        for (id, st) in root.entries {
+            if root.written.contains(&id) {
+                self.cost.commit_words += st.size_words();
+                *self.base.state_mut(id) = st;
+            }
+        }
+        self.cost
+    }
+
+    /// Abandons the transaction (rule guard failure), leaving the base
+    /// store untouched.
+    pub fn rollback(mut self) -> Cost {
+        self.cost.rollbacks += 1;
+        self.frames.clear();
+        self.cost
+    }
+
+    /// Direct, unshadowed action call against the base store — the §6.3
+    /// fast path for rules whose guards were fully lifted. Only safe when
+    /// the transformation has proven the body cannot fail past this point.
+    pub fn call_action_inplace(
+        store: &mut Store,
+        id: PrimId,
+        m: PrimMethod,
+        args: &[Value],
+        cost: &mut Cost,
+    ) -> ExecResult<()> {
+        cost.writes += 1;
+        store.state_mut(id).call_action(m, args)
+    }
+
+    /// Read-only value-method call against a store (scheduler guard
+    /// evaluation and in-place execution).
+    pub fn call_value_ro(
+        store: &Store,
+        id: PrimId,
+        m: PrimMethod,
+        args: &[Value],
+        cost: &mut Cost,
+    ) -> ExecResult<Value> {
+        cost.reads += 1;
+        store.state(id).call_value(m, args)
+    }
+
+    /// Number of open frames (for tests).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if the top frame has recorded a write to `id` (or any lower
+    /// frame has).
+    pub fn has_written(&self, id: PrimId) -> bool {
+        self.frames.iter().any(|f| f.written.contains(&id))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::PrimDef;
+    use crate::prim::PrimSpec;
+    use crate::types::Type;
+
+    fn design2() -> Design {
+        Design {
+            name: "t".into(),
+            prims: vec![
+                PrimDef {
+                    path: "a".into(),
+                    spec: PrimSpec::Reg { init: Value::int(8, 1) },
+                },
+                PrimDef {
+                    path: "b".into(),
+                    spec: PrimSpec::Reg { init: Value::int(8, 2) },
+                },
+                PrimDef {
+                    path: "q".into(),
+                    spec: PrimSpec::Fifo { depth: 1, ty: Type::Int(8) },
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    const A: PrimId = PrimId(0);
+    const B: PrimId = PrimId(1);
+    const Q: PrimId = PrimId(2);
+
+    #[test]
+    fn commit_applies_writes() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        assert_eq!(t.call_value(A, PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+        let cost = t.commit();
+        assert!(cost.commit_words >= 1);
+        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+    }
+
+    #[test]
+    fn rollback_discards_writes() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        let cost = t.rollback();
+        assert_eq!(cost.rollbacks, 1);
+        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+    }
+
+    #[test]
+    fn parallel_swap_semantics() {
+        // a := b | b := a must swap, both reading pre-state.
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.run_par(
+            |t| {
+                let vb = t.call_value(B, PrimMethod::RegRead, &[])?;
+                t.call_action(A, PrimMethod::RegWrite, &[vb])
+            },
+            |t| {
+                let va = t.call_value(A, PrimMethod::RegRead, &[])?;
+                t.call_action(B, PrimMethod::RegWrite, &[va])
+            },
+        )
+        .unwrap();
+        t.commit();
+        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 2));
+        assert_eq!(s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+    }
+
+    #[test]
+    fn double_write_detected() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        let r = t.run_par(
+            |t| t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 3)]),
+            |t| t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 4)]),
+        );
+        assert!(matches!(r, Err(ExecError::DoubleWrite(_))));
+    }
+
+    #[test]
+    fn parallel_double_deq_is_double_write() {
+        // The paper's example: two parallel branches both dequeue the same
+        // FIFO — a dynamic error.
+        let d = design2();
+        let mut s = Store::new(&d);
+        s.state_mut(Q).call_action(PrimMethod::Enq, &[Value::int(8, 7)]).unwrap();
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        let r = t.run_par(
+            |t| t.call_action(Q, PrimMethod::Deq, &[]),
+            |t| t.call_action(Q, PrimMethod::Deq, &[]),
+        );
+        assert!(matches!(r, Err(ExecError::DoubleWrite(_))));
+    }
+
+    #[test]
+    fn seq_observes_prior_writes() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 5)]).unwrap();
+        let v = t.call_value(A, PrimMethod::RegRead, &[]).unwrap();
+        t.call_action(B, PrimMethod::RegWrite, &[v]).unwrap();
+        t.commit();
+        assert_eq!(s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 5));
+    }
+
+    #[test]
+    fn local_guard_frame_discard() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.push_frame();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        t.pop_discard(); // as if the guarded body failed
+        assert_eq!(t.call_value(A, PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+        t.push_frame();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 7)]).unwrap();
+        t.pop_merge().unwrap();
+        t.commit();
+        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 7));
+    }
+
+    #[test]
+    fn full_shadow_policy_prices_whole_store() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let t = Txn::new(&mut s, ShadowPolicy::Full);
+        assert!(t.cost.shadow_words >= 3);
+    }
+
+    #[test]
+    fn partial_shadow_prices_only_touched() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        assert_eq!(t.cost.shadow_words, 0);
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 0)]).unwrap();
+        assert_eq!(t.cost.shadow_words, 1);
+        // second write to same prim: no new shadow
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 1)]).unwrap();
+        assert_eq!(t.cost.shadow_words, 1);
+    }
+
+    #[test]
+    fn source_sink_roundtrip() {
+        let d = Design {
+            name: "io".into(),
+            prims: vec![
+                PrimDef {
+                    path: "in".into(),
+                    spec: PrimSpec::Source { ty: Type::Int(8), domain: "SW".into() },
+                },
+                PrimDef {
+                    path: "out".into(),
+                    spec: PrimSpec::Sink { ty: Type::Int(8), domain: "SW".into() },
+                },
+            ],
+            ..Default::default()
+        };
+        let mut s = Store::new(&d);
+        s.push_source(PrimId(0), Value::int(8, 42));
+        assert_eq!(s.source_pending(PrimId(0)), 1);
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        let v = t.call_value(PrimId(0), PrimMethod::First, &[]).unwrap();
+        t.call_action(PrimId(0), PrimMethod::Deq, &[]).unwrap();
+        t.call_action(PrimId(1), PrimMethod::Enq, &[v]).unwrap();
+        t.commit();
+        assert_eq!(s.source_pending(PrimId(0)), 0);
+        assert_eq!(s.sink_values(PrimId(1)), &[Value::int(8, 42)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! The BCL type language.
+//!
+//! BCL is statically typed and every type has a fixed bit width, which is
+//! what makes automatic marshaling across the HW/SW boundary possible
+//! (§2.3 of the paper: "Data Format Issues"). The compiler — not the user —
+//! owns the bit-level layout, so hardware and software always agree on it.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A BCL type. All types are finite and have a known bit width.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// Boolean, 1 bit.
+    Bool,
+    /// Unsigned bit vector of the given width (`Bit#(n)` in BSV).
+    Bits(u32),
+    /// Signed two's-complement integer of the given width (`Int#(n)`).
+    Int(u32),
+    /// Homogeneous vector of `len` elements (`Vector#(len, t)`).
+    Vector(usize, Box<Type>),
+    /// Record with named fields, laid out first-field-at-MSB like BSV structs.
+    Struct(Vec<(String, Type)>),
+}
+
+impl Type {
+    /// Fixed-point number: 32-bit signed with 24 fractional bits, as used by
+    /// the paper's Vorbis evaluation ("32-bit fixed point values with 24-bits
+    /// of fractional precision").
+    pub fn fixpt() -> Type {
+        Type::Int(32)
+    }
+
+    /// Complex number over the given component type: `struct {re, im}`.
+    pub fn complex(component: Type) -> Type {
+        Type::Struct(vec![
+            ("re".to_string(), component.clone()),
+            ("im".to_string(), component),
+        ])
+    }
+
+    /// A vector type of `len` elements.
+    pub fn vector(len: usize, elem: Type) -> Type {
+        Type::Vector(len, Box::new(elem))
+    }
+
+    /// The bit width of this type: the number of bits a value of this type
+    /// occupies when marshaled.
+    pub fn width(&self) -> u32 {
+        match self {
+            Type::Bool => 1,
+            Type::Bits(w) | Type::Int(w) => *w,
+            Type::Vector(n, t) => (*n as u32) * t.width(),
+            Type::Struct(fields) => fields.iter().map(|(_, t)| t.width()).sum(),
+        }
+    }
+
+    /// The number of 32-bit words needed to marshal a value of this type
+    /// (the transactor granularity of §4.4).
+    pub fn words(&self) -> usize {
+        self.width().div_ceil(32) as usize
+    }
+
+    /// Looks up a struct field, returning `(offset_in_fields, type)`.
+    pub fn field(&self, name: &str) -> Option<(usize, &Type)> {
+        match self {
+            Type::Struct(fields) => fields
+                .iter()
+                .enumerate()
+                .find(|(_, (n, _))| n == name)
+                .map(|(i, (_, t))| (i, t)),
+            _ => None,
+        }
+    }
+
+    /// The element type of a vector.
+    pub fn elem(&self) -> Option<&Type> {
+        match self {
+            Type::Vector(_, t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True if this is a scalar (non-aggregate) type.
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, Type::Bool | Type::Bits(_) | Type::Int(_))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "Bool"),
+            Type::Bits(w) => write!(f, "Bit#({w})"),
+            Type::Int(w) => write!(f, "Int#({w})"),
+            Type::Vector(n, t) => write!(f, "Vector#({n}, {t})"),
+            Type::Struct(fields) => {
+                write!(f, "struct {{")?;
+                for (i, (n, t)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_widths() {
+        assert_eq!(Type::Bool.width(), 1);
+        assert_eq!(Type::Bits(17).width(), 17);
+        assert_eq!(Type::Int(32).width(), 32);
+        assert_eq!(Type::fixpt().width(), 32);
+    }
+
+    #[test]
+    fn aggregate_widths() {
+        let cplx = Type::complex(Type::fixpt());
+        assert_eq!(cplx.width(), 64);
+        let frame = Type::vector(64, cplx.clone());
+        assert_eq!(frame.width(), 64 * 64);
+        assert_eq!(frame.words(), 128);
+        let s = Type::Struct(vec![
+            ("a".into(), Type::Bool),
+            ("b".into(), Type::Bits(7)),
+        ]);
+        assert_eq!(s.width(), 8);
+        assert_eq!(s.words(), 1);
+    }
+
+    #[test]
+    fn word_count_rounds_up() {
+        assert_eq!(Type::Bits(1).words(), 1);
+        assert_eq!(Type::Bits(32).words(), 1);
+        assert_eq!(Type::Bits(33).words(), 2);
+        assert_eq!(Type::Bits(64).words(), 2);
+    }
+
+    #[test]
+    fn field_lookup() {
+        let cplx = Type::complex(Type::Int(16));
+        let (idx, t) = cplx.field("im").expect("has im");
+        assert_eq!(idx, 1);
+        assert_eq!(*t, Type::Int(16));
+        assert!(cplx.field("zz").is_none());
+        assert!(Type::Bool.field("re").is_none());
+    }
+
+    #[test]
+    fn elem_lookup() {
+        let v = Type::vector(4, Type::Bool);
+        assert_eq!(v.elem(), Some(&Type::Bool));
+        assert_eq!(Type::Bool.elem(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::vector(4, Type::Bits(8)).to_string(), "Vector#(4, Bit#(8))");
+        assert_eq!(
+            Type::complex(Type::Int(32)).to_string(),
+            "struct {re: Int#(32), im: Int#(32)}"
+        );
+    }
+}

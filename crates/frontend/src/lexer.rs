@@ -1,0 +1,352 @@
+//! Lexer for textual kernel BCL.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (optionally width-suffixed, e.g. `5i8`).
+    Int {
+        /// The value.
+        value: i64,
+        /// The width (default 32).
+        width: u32,
+    },
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `?`
+    Question,
+    /// `#`
+    Hash,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int { value, width } => write!(f, "{value}i{width}"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "(",
+                    Tok::RParen => ")",
+                    Tok::LBrace => "{",
+                    Tok::RBrace => "}",
+                    Tok::LBracket => "[",
+                    Tok::RBracket => "]",
+                    Tok::Comma => ",",
+                    Tok::Semi => ";",
+                    Tok::Colon => ":",
+                    Tok::Assign => ":=",
+                    Tok::Dot => ".",
+                    Tok::At => "@",
+                    Tok::Eq => "=",
+                    Tok::EqEq => "==",
+                    Tok::Ne => "!=",
+                    Tok::Lt => "<",
+                    Tok::Le => "<=",
+                    Tok::Gt => ">",
+                    Tok::Ge => ">=",
+                    Tok::Shl => "<<",
+                    Tok::Shr => ">>",
+                    Tok::Plus => "+",
+                    Tok::Minus => "-",
+                    Tok::Star => "*",
+                    Tok::Slash => "/",
+                    Tok::Percent => "%",
+                    Tok::Bang => "!",
+                    Tok::AndAnd => "&&",
+                    Tok::OrOr => "||",
+                    Tok::Amp => "&",
+                    Tok::Pipe => "|",
+                    Tok::Caret => "^",
+                    Tok::Question => "?",
+                    Tok::Hash => "#",
+                    Tok::Eof => "<eof>",
+                    Tok::Ident(_) | Tok::Int { .. } => unreachable!(),
+                };
+                write!(f, "{s}")
+            }
+        }
+    }
+}
+
+/// A token with its source line (1-based), for error reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Source line.
+    pub line: u32,
+}
+
+/// A lexing error with its line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Message.
+    pub msg: String,
+    /// Source line.
+    pub line: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error (line {}): {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a source string. `//` comments run to end of line.
+///
+/// # Errors
+///
+/// Reports unknown characters and malformed literals with line numbers.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let s: String = bytes[start..i].iter().collect();
+                out.push(Spanned { tok: Tok::Ident(s), line });
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < n && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let value: i64 = bytes[start..i]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .map_err(|e| LexError { msg: format!("bad integer: {e}"), line })?;
+                let mut width = 32u32;
+                if i < n && bytes[i] == 'i' {
+                    let wstart = i + 1;
+                    let mut j = wstart;
+                    while j < n && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    if j > wstart {
+                        width = bytes[wstart..j]
+                            .iter()
+                            .collect::<String>()
+                            .parse()
+                            .map_err(|e| LexError { msg: format!("bad width: {e}"), line })?;
+                        i = j;
+                    }
+                }
+                out.push(Spanned { tok: Tok::Int { value, width }, line });
+            }
+            _ => {
+                let two: String = bytes[i..n.min(i + 2)].iter().collect();
+                let (tok, len) = match two.as_str() {
+                    ":=" => (Tok::Assign, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::Ne, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "&&" => (Tok::AndAnd, 2),
+                    "||" => (Tok::OrOr, 2),
+                    _ => {
+                        let t = match c {
+                            '(' => Tok::LParen,
+                            ')' => Tok::RParen,
+                            '{' => Tok::LBrace,
+                            '}' => Tok::RBrace,
+                            '[' => Tok::LBracket,
+                            ']' => Tok::RBracket,
+                            ',' => Tok::Comma,
+                            ';' => Tok::Semi,
+                            ':' => Tok::Colon,
+                            '.' => Tok::Dot,
+                            '@' => Tok::At,
+                            '=' => Tok::Eq,
+                            '<' => Tok::Lt,
+                            '>' => Tok::Gt,
+                            '+' => Tok::Plus,
+                            '-' => Tok::Minus,
+                            '*' => Tok::Star,
+                            '/' => Tok::Slash,
+                            '%' => Tok::Percent,
+                            '!' => Tok::Bang,
+                            '&' => Tok::Amp,
+                            '|' => Tok::Pipe,
+                            '^' => Tok::Caret,
+                            '?' => Tok::Question,
+                            '#' => Tok::Hash,
+                            other => {
+                                return Err(LexError {
+                                    msg: format!("unexpected character `{other}`"),
+                                    line,
+                                });
+                            }
+                        };
+                        (t, 1)
+                    }
+                };
+                out.push(Spanned { tok, line });
+                i += len;
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_symbols() {
+        assert_eq!(
+            toks("rule tick: c := c + 1;"),
+            vec![
+                Tok::Ident("rule".into()),
+                Tok::Ident("tick".into()),
+                Tok::Colon,
+                Tok::Ident("c".into()),
+                Tok::Assign,
+                Tok::Ident("c".into()),
+                Tok::Plus,
+                Tok::Int { value: 1, width: 32 },
+                Tok::Semi,
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn width_suffix() {
+        assert_eq!(toks("5i8")[0], Tok::Int { value: 5, width: 8 });
+        assert_eq!(toks("5")[0], Tok::Int { value: 5, width: 32 });
+        // `5if` lexes as `5i...` with no digits: width stays 32, `if` not consumed.
+        assert_eq!(toks("7 i"), vec![Tok::Int { value: 7, width: 32 }, Tok::Ident("i".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let ts = lex("a // comment\nb").unwrap();
+        assert_eq!(ts[0].tok, Tok::Ident("a".into()));
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].tok, Tok::Ident("b".into()));
+        assert_eq!(ts[1].line, 2);
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            toks("== != <= >= && || := << >>"),
+            vec![
+                Tok::EqEq,
+                Tok::Ne,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AndAnd,
+                Tok::OrOr,
+                Tok::Assign,
+                Tok::Shl,
+                Tok::Shr,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unknown_char_is_error() {
+        let e = lex("a $ b").unwrap_err();
+        assert!(e.msg.contains('$'));
+        assert_eq!(e.line, 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bcl-frontend — textual kernel BCL
+//!
+//! A compiler frontend for the kernel BCL surface syntax: [`lexer`],
+//! [`parser`], a structural [`typecheck`](mod@typecheck) pass, and a [`pretty`]-printer
+//! whose output re-parses to the same program. The parsed
+//! [`bcl_core::program::Program`] feeds directly into elaboration,
+//! domain checking, partitioning, and both execution backends.
+//!
+//! ```
+//! let src = r#"
+//!     module Gcd {
+//!       reg x = 105;
+//!       reg y = 45;
+//!       rule swap:
+//!         when (x > y && y != 0) { x := y | y := x }
+//!       rule subtract:
+//!         when (x <= y && y != 0) y := y - x
+//!     }
+//! "#;
+//! let program = bcl_frontend::parse(src)?;
+//! bcl_frontend::typecheck(&program)?;
+//! let design = bcl_core::elaborate(&program)?;
+//! assert_eq!(design.rules.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod typecheck;
+
+pub use parser::{parse, ParseError};
+pub use pretty::{pretty_module, pretty_program};
+pub use typecheck::{typecheck, TypeError};

@@ -1,0 +1,337 @@
+//! Pretty-printer: renders a [`Program`] back to the textual surface
+//! syntax accepted by [`crate::parser::parse`]. Round-tripping is tested:
+//! `parse(pretty(p))` yields a structurally equal program.
+
+use bcl_core::ast::{Action, Expr, Target};
+use bcl_core::prim::PrimSpec;
+use bcl_core::program::{InstKind, ModuleDef, Program};
+use bcl_core::types::Type;
+use bcl_core::value::{BinOp, UnOp, Value};
+use std::fmt::Write as _;
+
+/// Renders a whole program.
+pub fn pretty_program(p: &Program) -> String {
+    let mut out = String::new();
+    // Print the root first so that re-parsing picks the same root.
+    if let Some(root) = p.module(&p.root) {
+        out.push_str(&pretty_module(root));
+    }
+    for m in &p.modules {
+        if m.name != p.root {
+            out.push_str(&pretty_module(m));
+        }
+    }
+    out
+}
+
+/// Renders one module definition.
+pub fn pretty_module(m: &ModuleDef) -> String {
+    let mut s = String::new();
+    write!(s, "module {}", m.name).expect("write to string");
+    if !m.params.is_empty() {
+        write!(s, "({})", m.params.join(", ")).expect("write");
+    }
+    s.push_str(" {\n");
+    for i in &m.insts {
+        match &i.kind {
+            InstKind::Prim(PrimSpec::Reg { init }) => {
+                let _ = writeln!(s, "  reg {} = {};", i.name, pretty_value(init));
+            }
+            InstKind::Prim(PrimSpec::Fifo { depth, ty }) => {
+                let _ = writeln!(s, "  fifo {}[{}] : {};", i.name, depth, pretty_type(ty));
+            }
+            InstKind::Prim(PrimSpec::RegFile { size, ty, .. }) => {
+                let _ = writeln!(s, "  regfile {}[{}] : {};", i.name, size, pretty_type(ty));
+            }
+            InstKind::Prim(PrimSpec::Sync { depth, ty, from, to }) => {
+                let _ = writeln!(
+                    s,
+                    "  sync {}[{}] : {} from {} to {};",
+                    i.name,
+                    depth,
+                    pretty_type(ty),
+                    from,
+                    to
+                );
+            }
+            InstKind::Prim(PrimSpec::Source { ty, domain }) => {
+                let _ = writeln!(s, "  source {} : {} @ {};", i.name, pretty_type(ty), domain);
+            }
+            InstKind::Prim(PrimSpec::Sink { ty, domain }) => {
+                let _ = writeln!(s, "  sink {} : {} @ {};", i.name, pretty_type(ty), domain);
+            }
+            InstKind::Module { def, args } => {
+                let args: Vec<String> = args.iter().map(pretty_value).collect();
+                let _ = writeln!(s, "  inst {} = {}({});", i.name, def, args.join(", "));
+            }
+        }
+    }
+    for r in &m.rules {
+        let _ = writeln!(s, "  rule {}:\n    {}", r.name, pretty_action(&r.body));
+    }
+    for meth in &m.act_methods {
+        let _ = writeln!(
+            s,
+            "  method action {}({}):\n    {}",
+            meth.name,
+            meth.args.join(", "),
+            pretty_action(&meth.body)
+        );
+    }
+    for meth in &m.val_methods {
+        let _ = writeln!(
+            s,
+            "  method value {}({}) = {};",
+            meth.name,
+            meth.args.join(", "),
+            pretty_expr(&meth.body)
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a type.
+pub fn pretty_type(t: &Type) -> String {
+    match t {
+        Type::Bool => "Bool".into(),
+        Type::Bits(w) => format!("Bit#({w})"),
+        Type::Int(w) => format!("Int#({w})"),
+        Type::Vector(n, t) => format!("Vector#({n}, {})", pretty_type(t)),
+        Type::Struct(fs) => {
+            let fields: Vec<String> =
+                fs.iter().map(|(n, t)| format!("{n}: {}", pretty_type(t))).collect();
+            format!("struct {{ {} }}", fields.join(", "))
+        }
+    }
+}
+
+/// Renders a constant value as a literal expression.
+pub fn pretty_value(v: &Value) -> String {
+    match v {
+        Value::Bool(b) => b.to_string(),
+        Value::Int { width: 32, val } if *val >= 0 => val.to_string(),
+        Value::Int { width, val } if *val >= 0 => format!("{val}i{width}"),
+        Value::Int { width, val } => {
+            if *width == 32 {
+                format!("(0 - {})", -val)
+            } else {
+                format!("(0i{width} - {}i{width})", -val)
+            }
+        }
+        Value::Bits { width, bits } => format!("{bits}i{width}"),
+        Value::Vec(vs) => {
+            let items: Vec<String> = vs.iter().map(pretty_value).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Value::Struct(fs) => {
+            let items: Vec<String> =
+                fs.iter().map(|(n, v)| format!("{n}: {}", pretty_value(v))).collect();
+            format!("{{{}}}", items.join(", "))
+        }
+    }
+}
+
+fn bin_op_str(op: BinOp) -> Option<&'static str> {
+    Some(match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&&",
+        BinOp::Or => "||",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::FixMul(_) | BinOp::FixDiv(_) | BinOp::Min | BinOp::Max => return None,
+    })
+}
+
+/// Renders an expression (parenthesized defensively).
+pub fn pretty_expr(e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => pretty_value(v),
+        Expr::Var(n) => n.clone(),
+        Expr::Un(UnOp::Not, a) => format!("!({})", pretty_expr(a)),
+        Expr::Un(UnOp::Neg, a) => format!("-({})", pretty_expr(a)),
+        Expr::Un(UnOp::Inv, a) => format!("(0 - 1) ^ ({})", pretty_expr(a)),
+        Expr::Bin(op, a, b) => match bin_op_str(*op) {
+            Some(s) => format!("({} {} {})", pretty_expr(a), s, pretty_expr(b)),
+            None => match op {
+                // No surface syntax: render via equivalent forms.
+                BinOp::FixMul(f) => {
+                    format!("(({} * {}) >> {f})", pretty_expr(a), pretty_expr(b))
+                }
+                BinOp::FixDiv(f) => {
+                    format!("(({} << {f}) / {})", pretty_expr(a), pretty_expr(b))
+                }
+                BinOp::Min => format!(
+                    "({a} < {b} ? {a} : {b})",
+                    a = pretty_expr(a),
+                    b = pretty_expr(b)
+                ),
+                BinOp::Max => format!(
+                    "({a} > {b} ? {a} : {b})",
+                    a = pretty_expr(a),
+                    b = pretty_expr(b)
+                ),
+                _ => unreachable!(),
+            },
+        },
+        Expr::Cond(c, t, f) => {
+            format!("({} ? {} : {})", pretty_expr(c), pretty_expr(t), pretty_expr(f))
+        }
+        Expr::When(v, g) => format!("({} when {})", pretty_expr(v), pretty_expr(g)),
+        Expr::Let(n, v, b) => {
+            format!("(let {n} = {} in {})", pretty_expr(v), pretty_expr(b))
+        }
+        Expr::Call(t, args) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            match t {
+                Target::Named(p, m) if m == "_read" && args.is_empty() => p.0.clone(),
+                Target::Named(p, m) => format!("{p}.{m}({})", args.join(", ")),
+                Target::Prim(id, m) => format!("prim#{}.{}({})", id.0, m.name(), args.join(", ")),
+            }
+        }
+        Expr::Index(v, i) => format!("({})[{}]", pretty_expr(v), pretty_expr(i)),
+        Expr::Field(v, f) => format!("({}).{f}", pretty_expr(v)),
+        Expr::MkVec(es) => {
+            let items: Vec<String> = es.iter().map(pretty_expr).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Expr::MkStruct(fs) => {
+            let items: Vec<String> =
+                fs.iter().map(|(n, e)| format!("{n}: {}", pretty_expr(e))).collect();
+            format!("{{{}}}", items.join(", "))
+        }
+        Expr::UpdateIndex(..) | Expr::UpdateField(..) => {
+            // No surface syntax; these only appear in builder-generated
+            // programs. Render as a comment-ish marker that fails to
+            // reparse rather than silently misparse.
+            "<update>".into()
+        }
+    }
+}
+
+/// Renders an action.
+pub fn pretty_action(a: &Action) -> String {
+    match a {
+        Action::NoAction => "noAction".into(),
+        Action::Write(Target::Named(p, _), e) => format!("{p} := {}", pretty_expr(e)),
+        Action::Write(Target::Prim(id, _), e) => format!("prim#{} := {}", id.0, pretty_expr(e)),
+        Action::If(c, t, f) => {
+            // Branches are always braced to avoid the dangling-else
+            // ambiguity (a brace group with a single action is legal).
+            if matches!(**f, Action::NoAction) {
+                format!("if ({}) {{ {} }}", pretty_expr(c), pretty_action(t))
+            } else {
+                format!(
+                    "if ({}) {{ {} }} else {{ {} }}",
+                    pretty_expr(c),
+                    pretty_action(t),
+                    pretty_action(f)
+                )
+            }
+        }
+        Action::Par(x, y) => format!("{{ {} | {} }}", pretty_action(x), pretty_action(y)),
+        Action::Seq(x, y) => format!("{{ {} ; {} }}", pretty_action(x), pretty_action(y)),
+        Action::When(g, x) => format!("when ({}) {}", pretty_expr(g), pretty_action(x)),
+        Action::Let(n, e, x) => {
+            format!("let {n} = {} in {}", pretty_expr(e), pretty_action(x))
+        }
+        Action::Loop(c, x) => format!("loop ({}) {}", pretty_expr(c), pretty_action(x)),
+        Action::LocalGuard(x) => format!("localGuard {}", pretty_action(x)),
+        Action::Call(Target::Named(p, m), args) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("{p}.{m}({})", args.join(", "))
+        }
+        Action::Call(Target::Prim(id, m), args) => {
+            let args: Vec<String> = args.iter().map(pretty_expr).collect();
+            format!("prim#{}.{}({})", id.0, m.name(), args.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const SRC: &str = r#"
+        module Main {
+          reg a = 5;
+          fifo q[2] : Vector#(2, struct { re: Int#(16), im: Int#(16) });
+          sync s[4] : Int#(32) from SW to HW;
+          source in : Int#(32) @ SW;
+          sink out : Int#(32) @ SW;
+          inst h = Helper(3);
+          rule go:
+            when (a < 10) { a := a + 1 | h.poke(a) }
+          rule pull:
+            let x = in.first() in { out.enq(x * 2) ; in.deq() }
+          method value peek() = a + 1;
+        }
+        module Helper(k) {
+          reg t = 0;
+          method action poke(x): t := x * k
+        }
+    "#;
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let p1 = parse(SRC).unwrap();
+        let printed = pretty_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p1.root, p2.root);
+        assert_eq!(p1.modules.len(), p2.modules.len());
+        // Elaborated designs must be identical (syntax may differ in
+        // parenthesization, semantics may not).
+        let d1 = bcl_core::elaborate(&p1).unwrap();
+        let d2 = bcl_core::elaborate(&p2).unwrap();
+        assert_eq!(d1.prims, d2.prims);
+        assert_eq!(d1.rules.len(), d2.rules.len());
+    }
+
+    #[test]
+    fn types_roundtrip() {
+        for t in [
+            Type::Bool,
+            Type::Int(13),
+            Type::Bits(7),
+            Type::vector(3, Type::complex(Type::Int(8))),
+        ] {
+            let s = pretty_type(&t);
+            let src = format!("module T {{ fifo f[1] : {s}; }}");
+            let p = parse(&src).unwrap();
+            match &p.module("T").unwrap().insts[0].kind {
+                InstKind::Prim(PrimSpec::Fifo { ty, .. }) => assert_eq!(*ty, t),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn values_roundtrip_via_initializers() {
+        for v in [
+            Value::int(32, 42),
+            Value::int(8, -3),
+            Value::Bool(true),
+            Value::Vec(vec![Value::int(32, 1), Value::int(32, 2)]),
+        ] {
+            let s = pretty_value(&v);
+            let src = format!("module T {{ reg r = {s}; }}");
+            let p = parse(&src).unwrap_or_else(|e| panic!("{s}: {e}"));
+            match &p.module("T").unwrap().insts[0].kind {
+                InstKind::Prim(PrimSpec::Reg { init }) => assert_eq!(*init, v, "{s}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,608 @@
+//! Structural type checking for BCL programs.
+//!
+//! BCL is statically typed; this pass checks what is checkable before
+//! elaboration: primitive method interfaces (enqueue/write types against
+//! element types), guard and condition boolean-ness, operator operand
+//! shapes, vector/struct access, and submodule method arities. Method
+//! formal parameters are untyped in the kernel surface syntax, so values
+//! flowing through them type as "unknown" and unify with anything —
+//! the checker is sound for what it reports, conservative about the rest.
+
+use bcl_core::ast::{Action, Expr, Target};
+use bcl_core::prim::PrimSpec;
+use bcl_core::program::{InstKind, ModuleDef, Program};
+use bcl_core::types::Type;
+use bcl_core::value::BinOp;
+use std::fmt;
+
+/// A type-checking error, naming the module and rule/method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Where the error occurred (`module.rule`).
+    pub context: String,
+    /// Message.
+    pub msg: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "type error in {}: {}", self.context, self.msg)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+type TResult<T> = Result<T, TypeError>;
+
+/// `Some(ty)` when known, `None` for values that flowed through untyped
+/// method formals.
+type MaybeTy = Option<Type>;
+
+/// Checks every module of a program.
+///
+/// # Errors
+///
+/// The first type error found, with its module/rule context.
+pub fn typecheck(program: &Program) -> TResult<()> {
+    for m in &program.modules {
+        check_module(program, m)?;
+    }
+    Ok(())
+}
+
+struct Checker<'p> {
+    program: &'p Program,
+    module: &'p ModuleDef,
+    context: String,
+    vars: Vec<(String, MaybeTy)>,
+}
+
+fn check_module(program: &Program, m: &ModuleDef) -> TResult<()> {
+    for r in &m.rules {
+        let mut c = Checker {
+            program,
+            module: m,
+            context: format!("{}.{}", m.name, r.name),
+            vars: Vec::new(),
+        };
+        c.action(&r.body)?;
+    }
+    for meth in &m.act_methods {
+        let mut c = Checker {
+            program,
+            module: m,
+            context: format!("{}.{}", m.name, meth.name),
+            vars: meth.args.iter().map(|a| (a.clone(), None)).collect(),
+        };
+        c.action(&meth.body)?;
+    }
+    for meth in &m.val_methods {
+        let mut c = Checker {
+            program,
+            module: m,
+            context: format!("{}.{}", m.name, meth.name),
+            vars: meth.args.iter().map(|a| (a.clone(), None)).collect(),
+        };
+        c.expr(&meth.body)?;
+    }
+    Ok(())
+}
+
+impl<'p> Checker<'p> {
+    fn err<T>(&self, msg: impl Into<String>) -> TResult<T> {
+        Err(TypeError { context: self.context.clone(), msg: msg.into() })
+    }
+
+    /// Resolves a dotted path to a primitive spec, following submodule
+    /// instances where possible.
+    fn resolve_prim(&self, path: &str) -> Option<(PrimSpec, bool)> {
+        let mut module = self.module;
+        let comps: Vec<&str> = path.split('.').collect();
+        for (i, c) in comps.iter().enumerate() {
+            let inst = module.inst(c)?;
+            match &inst.kind {
+                InstKind::Prim(spec) => {
+                    return if i + 1 == comps.len() { Some((spec.clone(), true)) } else { None };
+                }
+                InstKind::Module { def, .. } => {
+                    module = self.program.module(def)?;
+                }
+            }
+        }
+        None
+    }
+
+    /// Resolves a submodule instance to its definition.
+    fn resolve_sub(&self, path: &str) -> Option<&'p ModuleDef> {
+        let mut module: &ModuleDef = self.module;
+        for c in path.split('.') {
+            match &module.inst(c)?.kind {
+                InstKind::Module { def, .. } => {
+                    module = self.program.module(def)?;
+                }
+                InstKind::Prim(_) => return None,
+            }
+        }
+        // Careful: self.module borrows 'p through self.program lookups only.
+        self.program.module(&module.name)
+    }
+
+    fn lookup_var(&self, n: &str) -> Option<&MaybeTy> {
+        self.vars.iter().rev().find(|(k, _)| k == n).map(|(_, t)| t)
+    }
+
+    fn require_bool(&mut self, e: &Expr, what: &str) -> TResult<()> {
+        match self.expr(e)? {
+            Some(Type::Bool) | None => Ok(()),
+            Some(other) => self.err(format!("{what} must be Bool, found {other}")),
+        }
+    }
+
+    fn unify(&self, a: &MaybeTy, b: &MaybeTy) -> TResult<MaybeTy> {
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                if x == y {
+                    Ok(Some(x.clone()))
+                } else {
+                    self.err(format!("type mismatch: {x} vs {y}"))
+                }
+            }
+            (Some(x), None) | (None, Some(x)) => Ok(Some(x.clone())),
+            (None, None) => Ok(None),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> TResult<MaybeTy> {
+        match e {
+            Expr::Const(v) => Ok(Some(v.type_of())),
+            Expr::Var(n) => match self.lookup_var(n) {
+                Some(t) => Ok(t.clone()),
+                None => self.err(format!("unbound variable `{n}` (or unknown instance)")),
+            },
+            Expr::Un(op, a) => {
+                let ta = self.expr(a)?;
+                match (op, &ta) {
+                    (bcl_core::UnOp::Not, Some(Type::Bool) | None) => Ok(Some(Type::Bool)),
+                    (bcl_core::UnOp::Not, Some(t)) => {
+                        self.err(format!("`!` needs Bool, found {t}"))
+                    }
+                    (_, Some(t)) if !t.is_scalar() => {
+                        self.err(format!("unary op on non-scalar {t}"))
+                    }
+                    _ => Ok(ta),
+                }
+            }
+            Expr::Bin(op, a, b) => {
+                let ta = self.expr(a)?;
+                let tb = self.expr(b)?;
+                if op.is_comparison() {
+                    self.unify(&ta, &tb)?;
+                    return Ok(Some(Type::Bool));
+                }
+                if matches!(op, BinOp::And | BinOp::Or | BinOp::Xor) {
+                    // Boolean or bitwise — both sides must agree.
+                    return self.unify(&ta, &tb);
+                }
+                for t in [&ta, &tb].into_iter().flatten() {
+                    if !t.is_scalar() {
+                        return self.err(format!("arithmetic on non-scalar {t}"));
+                    }
+                    if *t == Type::Bool {
+                        return self.err("arithmetic on Bool".to_string());
+                    }
+                }
+                self.unify(&ta, &tb)
+            }
+            Expr::Cond(c, t, f) => {
+                self.require_bool(c, "conditional predicate")?;
+                let tt = self.expr(t)?;
+                let tf = self.expr(f)?;
+                self.unify(&tt, &tf)
+            }
+            Expr::When(v, g) => {
+                self.require_bool(g, "guard")?;
+                self.expr(v)
+            }
+            Expr::Let(n, v, b) => {
+                let tv = self.expr(v)?;
+                self.vars.push((n.clone(), tv));
+                let r = self.expr(b);
+                self.vars.pop();
+                r
+            }
+            Expr::Call(Target::Named(path, meth), args) => {
+                self.call_ty(path.as_str(), meth, args, false)
+            }
+            Expr::Call(Target::Prim(..), _) => Ok(None),
+            Expr::Index(v, i) => {
+                let tv = self.expr(v)?;
+                let ti = self.expr(i)?;
+                if let Some(t) = &ti {
+                    if !t.is_scalar() {
+                        return self.err(format!("index must be scalar, found {t}"));
+                    }
+                }
+                match tv {
+                    Some(Type::Vector(_, elem)) => Ok(Some(*elem)),
+                    Some(other) => self.err(format!("indexing non-vector {other}")),
+                    None => Ok(None),
+                }
+            }
+            Expr::Field(v, f) => {
+                let tv = self.expr(v)?;
+                match tv {
+                    Some(t @ Type::Struct(_)) => match t.field(f) {
+                        Some((_, ft)) => Ok(Some(ft.clone())),
+                        None => self.err(format!("no field `{f}` in {t}")),
+                    },
+                    Some(other) => self.err(format!("field access on non-struct {other}")),
+                    None => Ok(None),
+                }
+            }
+            Expr::MkVec(es) => {
+                let mut elem: MaybeTy = None;
+                for e in es {
+                    let te = self.expr(e)?;
+                    elem = self.unify(&elem, &te)?;
+                }
+                match elem {
+                    Some(t) => Ok(Some(Type::vector(es.len(), t))),
+                    None => Ok(None),
+                }
+            }
+            Expr::MkStruct(fs) => {
+                let mut fields = Vec::new();
+                let mut complete = true;
+                for (n, e) in fs {
+                    match self.expr(e)? {
+                        Some(t) => fields.push((n.clone(), t)),
+                        None => complete = false,
+                    }
+                }
+                Ok(if complete { Some(Type::Struct(fields)) } else { None })
+            }
+            Expr::UpdateIndex(v, i, x) => {
+                let tv = self.expr(v)?;
+                self.expr(i)?;
+                let tx = self.expr(x)?;
+                if let Some(Type::Vector(_, elem)) = &tv {
+                    self.unify(&Some((**elem).clone()), &tx)?;
+                }
+                Ok(tv)
+            }
+            Expr::UpdateField(v, f, x) => {
+                let tv = self.expr(v)?;
+                let tx = self.expr(x)?;
+                if let Some(t @ Type::Struct(_)) = &tv {
+                    match t.field(f) {
+                        Some((_, ft)) => {
+                            self.unify(&Some(ft.clone()), &tx)?;
+                        }
+                        None => return self.err(format!("no field `{f}` in {t}")),
+                    }
+                }
+                Ok(tv)
+            }
+        }
+    }
+
+    /// Types a method call; `action` selects action vs value position.
+    fn call_ty(&mut self, path: &str, meth: &str, args: &[Expr], action: bool) -> TResult<MaybeTy> {
+        let arg_tys: Vec<MaybeTy> =
+            args.iter().map(|a| self.expr(a)).collect::<TResult<Vec<_>>>()?;
+        if let Some((spec, _)) = self.resolve_prim(path) {
+            let elem = spec.value_type();
+            return match (meth, action) {
+                ("_read", false) => Ok(Some(elem)),
+                ("_write", true) => {
+                    self.expect_args(path, meth, &arg_tys, &[Some(elem)])?;
+                    Ok(None)
+                }
+                ("enq", true) => {
+                    self.expect_args(path, meth, &arg_tys, &[Some(elem)])?;
+                    Ok(None)
+                }
+                ("deq", true) | ("clear", true) => {
+                    self.expect_args(path, meth, &arg_tys, &[])?;
+                    Ok(None)
+                }
+                ("first", false) => {
+                    self.expect_args(path, meth, &arg_tys, &[])?;
+                    Ok(Some(elem))
+                }
+                ("notEmpty", false) | ("notFull", false) => Ok(Some(Type::Bool)),
+                ("sub", false) => {
+                    if arg_tys.len() != 1 {
+                        return self.err(format!("`{path}.sub` takes one index"));
+                    }
+                    Ok(Some(elem))
+                }
+                ("upd", true) => {
+                    if arg_tys.len() != 2 {
+                        return self.err(format!("`{path}.upd` takes index and value"));
+                    }
+                    self.unify(&arg_tys[1], &Some(elem))?;
+                    Ok(None)
+                }
+                _ => self.err(format!(
+                    "method `{meth}` not available on primitive `{path}` in this position"
+                )),
+            };
+        }
+        if let Some(sub) = self.resolve_sub(path) {
+            if action {
+                match sub.act_methods.iter().find(|m| m.name == meth) {
+                    Some(m) if m.args.len() == args.len() => Ok(None),
+                    Some(m) => self.err(format!(
+                        "`{path}.{meth}` expects {} args, got {}",
+                        m.args.len(),
+                        args.len()
+                    )),
+                    None => self.err(format!("module `{path}` has no action method `{meth}`")),
+                }
+            } else {
+                match sub.val_methods.iter().find(|m| m.name == meth) {
+                    Some(m) if m.args.len() == args.len() => Ok(None),
+                    Some(m) => self.err(format!(
+                        "`{path}.{meth}` expects {} args, got {}",
+                        m.args.len(),
+                        args.len()
+                    )),
+                    None => self.err(format!("module `{path}` has no value method `{meth}`")),
+                }
+            }
+        } else {
+            self.err(format!("unknown instance `{path}`"))
+        }
+    }
+
+    fn expect_args(
+        &self,
+        path: &str,
+        meth: &str,
+        got: &[MaybeTy],
+        want: &[MaybeTy],
+    ) -> TResult<()> {
+        if got.len() != want.len() {
+            return self.err(format!(
+                "`{path}.{meth}` expects {} args, got {}",
+                want.len(),
+                got.len()
+            ));
+        }
+        for (g, w) in got.iter().zip(want) {
+            self.unify(g, w).map_err(|e| TypeError {
+                context: e.context,
+                msg: format!("in argument of `{path}.{meth}`: {}", e.msg),
+            })?;
+        }
+        Ok(())
+    }
+
+    fn action(&mut self, a: &Action) -> TResult<()> {
+        match a {
+            Action::NoAction => Ok(()),
+            Action::Write(Target::Named(path, _), e) => {
+                let te = self.expr(e)?;
+                match self.resolve_prim(path.as_str()) {
+                    Some((PrimSpec::Reg { init }, _)) => {
+                        self.unify(&te, &Some(init.type_of()))?;
+                        Ok(())
+                    }
+                    Some(_) => self.err(format!("`:=` target `{path}` is not a register")),
+                    None => self.err(format!("unknown register `{path}`")),
+                }
+            }
+            Action::Write(Target::Prim(..), e) => {
+                self.expr(e)?;
+                Ok(())
+            }
+            Action::If(c, t, f) => {
+                self.require_bool(c, "if condition")?;
+                self.action(t)?;
+                self.action(f)
+            }
+            Action::Par(x, y) | Action::Seq(x, y) => {
+                self.action(x)?;
+                self.action(y)
+            }
+            Action::When(g, x) => {
+                self.require_bool(g, "when guard")?;
+                self.action(x)
+            }
+            Action::Let(n, e, x) => {
+                let te = self.expr(e)?;
+                self.vars.push((n.clone(), te));
+                let r = self.action(x);
+                self.vars.pop();
+                r
+            }
+            Action::Loop(c, x) => {
+                self.require_bool(c, "loop condition")?;
+                self.action(x)
+            }
+            Action::LocalGuard(x) => self.action(x),
+            Action::Call(Target::Named(path, meth), args) => {
+                self.call_ty(path.as_str(), meth, args, true)?;
+                Ok(())
+            }
+            Action::Call(Target::Prim(..), args) => {
+                for a in args {
+                    self.expr(a)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check(src: &str) -> TResult<()> {
+        typecheck(&parse(src).expect("parses"))
+    }
+
+    #[test]
+    fn well_typed_program_passes() {
+        check(
+            r#"
+            module Ok {
+              reg a = 0;
+              fifo q[2] : Int#(32);
+              rule go:
+                when (a < 5) { q.enq(a * 2) | a := a + 1 }
+              rule take:
+                let x = q.first() in { a := x | q.deq() }
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn enq_type_mismatch_detected() {
+        let e = check(
+            r#"
+            module Bad {
+              fifo q[2] : Bool;
+              rule go: q.enq(5)
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("mismatch"), "{e}");
+        assert_eq!(e.context, "Bad.go");
+    }
+
+    #[test]
+    fn guard_must_be_bool() {
+        let e = check(
+            r#"
+            module Bad {
+              reg a = 0;
+              rule go: when (a + 1) a := 0
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("Bool"), "{e}");
+    }
+
+    #[test]
+    fn register_write_type_checked() {
+        let e = check(
+            r#"
+            module Bad {
+              reg a = true;
+              rule go: a := 3
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("mismatch"), "{e}");
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let e = check(
+            r#"
+            module Bad {
+              reg a = 0i8;
+              reg b = 0;
+              rule go: a := b
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("Int#(8)"), "{e}");
+    }
+
+    #[test]
+    fn field_and_index_checked() {
+        check(
+            r#"
+            module Ok {
+              fifo q[1] : struct { re: Int#(32), im: Int#(32) };
+              reg a = 0;
+              rule go: let x = q.first() in { a := x.re | q.deq() }
+            }
+        "#,
+        )
+        .unwrap();
+        let e = check(
+            r#"
+            module Bad {
+              fifo q[1] : struct { re: Int#(32) };
+              reg a = 0;
+              rule go: let x = q.first() in a := x.zz
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("zz"), "{e}");
+    }
+
+    #[test]
+    fn submodule_method_arity_checked() {
+        let e = check(
+            r#"
+            module Sub {
+              reg t = 0;
+              method action put(x): t := x
+            }
+            module Top {
+              inst s = Sub();
+              rule go: s.put(1, 2)
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("expects 1 args"), "{e}");
+    }
+
+    #[test]
+    fn unknown_method_detected() {
+        let e = check(
+            r#"
+            module Bad {
+              fifo q[1] : Bool;
+              rule go: q.push(true)
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("push"), "{e}");
+    }
+
+    #[test]
+    fn method_formals_are_unknown_and_permissive() {
+        check(
+            r#"
+            module Ok {
+              reg a = 0;
+              method action add(x): a := a + x
+              method value get() = a;
+            }
+        "#,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn arithmetic_on_bool_rejected() {
+        let e = check(
+            r#"
+            module Bad {
+              reg a = true;
+              reg b = 0;
+              rule go: b := a + 1
+            }
+        "#,
+        )
+        .unwrap_err();
+        assert!(e.msg.contains("Bool") || e.msg.contains("mismatch"), "{e}");
+    }
+}

@@ -1,0 +1,399 @@
+//! HW/SW co-simulation: the full generated system of Figure 6 running on
+//! the modeled platform of Figure 11.
+//!
+//! A [`Cosim`] couples one software partition (executed by
+//! [`SwRunner`] under the CPU cost model, at 400 MHz) with one hardware
+//! partition (executed cycle-accurately by [`HwSim`] at 100 MHz) through
+//! the generated [`Transactor`] over a [`Link`]. Time advances in FPGA
+//! cycles; the software side receives `cpu_per_fpga` CPU cycles of budget
+//! per FPGA cycle, from which driver marshaling work is deducted before
+//! rule execution — moving data is not free for the processor.
+
+use crate::link::{Link, LinkConfig, LinkStats};
+use crate::transactor::{ChannelReport, Transactor};
+use crate::PlatformError;
+use bcl_core::ast::PrimId;
+use bcl_core::design::Design;
+use bcl_core::error::ExecResult;
+use bcl_core::partition::Partitioned;
+use bcl_core::sched::{HwSim, SwOptions, SwRunner};
+use bcl_core::value::Value;
+
+/// How a co-simulation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CosimOutcome {
+    /// The completion predicate became true after this many FPGA cycles.
+    Done {
+        /// Total FPGA cycles elapsed.
+        fpga_cycles: u64,
+    },
+    /// The cycle limit was reached first.
+    Timeout {
+        /// Total FPGA cycles elapsed.
+        fpga_cycles: u64,
+    },
+}
+
+impl CosimOutcome {
+    /// The elapsed FPGA cycles regardless of outcome.
+    pub fn fpga_cycles(&self) -> u64 {
+        match self {
+            CosimOutcome::Done { fpga_cycles } | CosimOutcome::Timeout { fpga_cycles } => {
+                *fpga_cycles
+            }
+        }
+    }
+
+    /// True if the predicate was met.
+    pub fn is_done(&self) -> bool {
+        matches!(self, CosimOutcome::Done { .. })
+    }
+}
+
+/// A co-simulation of a partitioned design.
+#[derive(Debug)]
+pub struct Cosim {
+    /// The software partition's runner.
+    pub sw: SwRunner,
+    /// The hardware partition's simulator (absent for all-software
+    /// designs).
+    pub hw: Option<HwSim>,
+    sw_design: Design,
+    hw_design: Option<Design>,
+    transactor: Option<Transactor>,
+    link: Link,
+    /// FPGA cycles elapsed.
+    pub fpga_cycles: u64,
+    /// Pending software work (driver transfers + rule overshoot) not yet
+    /// paid for out of the per-cycle CPU budget.
+    sw_debt: u64,
+    sw_domain: String,
+    hw_domain: String,
+}
+
+impl Cosim {
+    /// Builds a co-simulation from a partitioned design.
+    ///
+    /// The design must have a `sw_domain` partition; a `hw_domain`
+    /// partition and channels between the two are optional (an
+    /// all-software partitioning runs without a link).
+    ///
+    /// # Errors
+    ///
+    /// Rejects designs with partitions in other domains, hardware
+    /// partitions that fail the hardware legality check, or malformed
+    /// channels.
+    pub fn new(
+        p: &Partitioned,
+        sw_domain: &str,
+        hw_domain: &str,
+        link_cfg: LinkConfig,
+        sw_opts: SwOptions,
+    ) -> Result<Cosim, PlatformError> {
+        for d in p.partitions.keys() {
+            if d != sw_domain && d != hw_domain {
+                return Err(PlatformError::new(format!(
+                    "partition `{d}` is neither `{sw_domain}` nor `{hw_domain}`; \
+                     multi-accelerator topologies are not modeled"
+                )));
+            }
+        }
+        let sw_design = p
+            .partition(sw_domain)
+            .cloned()
+            .unwrap_or_else(|| Design { name: format!("empty.{sw_domain}"), ..Default::default() });
+        let hw_design = p.partition(hw_domain).cloned();
+        let sw = SwRunner::new(&sw_design, sw_opts);
+        let hw = match &hw_design {
+            Some(d) => {
+                Some(HwSim::new(d).map_err(|e| PlatformError::new(e.to_string()))?)
+            }
+            None => None,
+        };
+        let transactor = if p.channels.is_empty() {
+            None
+        } else {
+            let hwd = hw_design.as_ref().ok_or_else(|| {
+                PlatformError::new("channels present but no hardware partition")
+            })?;
+            Some(
+                Transactor::new(&p.channels, sw_domain, &sw_design, hw_domain, hwd)
+                    .map_err(|e| PlatformError::new(e.to_string()))?,
+            )
+        };
+        Ok(Cosim {
+            sw,
+            hw,
+            sw_design,
+            hw_design,
+            transactor,
+            link: Link::new(link_cfg),
+            fpga_cycles: 0,
+            sw_debt: 0,
+            sw_domain: sw_domain.to_string(),
+            hw_domain: hw_domain.to_string(),
+        })
+    }
+
+    /// The software partition's design.
+    pub fn sw_design(&self) -> &Design {
+        &self.sw_design
+    }
+
+    /// The hardware partition's design, if any.
+    pub fn hw_design(&self) -> Option<&Design> {
+        self.hw_design.as_ref()
+    }
+
+    /// The software domain name.
+    pub fn sw_domain(&self) -> &str {
+        &self.sw_domain
+    }
+
+    /// The hardware domain name.
+    pub fn hw_domain(&self) -> &str {
+        &self.hw_domain
+    }
+
+    /// Locates a source by path, searching both partitions. Returns the
+    /// partition tag (`true` = hardware) and id.
+    fn locate(&self, path: &str) -> Option<(bool, PrimId)> {
+        if let Some(id) = self.sw_design.prim_id(path) {
+            return Some((false, id));
+        }
+        if let Some(d) = &self.hw_design {
+            if let Some(id) = d.prim_id(path) {
+                return Some((true, id));
+            }
+        }
+        None
+    }
+
+    /// Pushes a value into a named `Source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path does not name a source in either partition.
+    pub fn push_source(&mut self, path: &str, v: Value) {
+        let (in_hw, id) = self.locate(path).unwrap_or_else(|| panic!("no source `{path}`"));
+        if in_hw {
+            self.hw.as_mut().expect("hw exists").store.push_source(id, v);
+        } else {
+            self.sw.store.push_source(id, v);
+        }
+    }
+
+    /// Reads the values a named `Sink` has consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path does not name a sink in either partition.
+    pub fn sink_values(&self, path: &str) -> &[Value] {
+        let (in_hw, id) = self.locate(path).unwrap_or_else(|| panic!("no sink `{path}`"));
+        if in_hw {
+            self.hw.as_ref().expect("hw exists").store.sink_values(id)
+        } else {
+            self.sw.store.sink_values(id)
+        }
+    }
+
+    /// Number of values consumed by a sink.
+    pub fn sink_count(&self, path: &str) -> usize {
+        self.sink_values(path).len()
+    }
+
+    /// Advances the system by one FPGA clock cycle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors from either partition or the transactor.
+    pub fn step(&mut self) -> ExecResult<()> {
+        let now = self.fpga_cycles;
+        if let Some(hw) = &mut self.hw {
+            hw.step()?;
+        }
+        if let Some(t) = &mut self.transactor {
+            let hw = self.hw.as_mut().expect("transactor implies hw");
+            let charged = t.pump(&mut self.sw.store, &mut hw.store, &mut self.link, now)?;
+            self.sw_debt += charged;
+        }
+        // Software gets cpu_per_fpga cycles of budget; driver work
+        // (sw_debt) is paid first.
+        let mut budget = self.link.config().cpu_per_fpga;
+        if self.sw_debt >= budget {
+            self.sw_debt -= budget;
+        } else {
+            budget -= self.sw_debt;
+            self.sw_debt = 0;
+            let (spent, _quiescent) = self.sw.run_for(budget)?;
+            self.sw_debt += spent.saturating_sub(budget);
+        }
+        self.fpga_cycles += 1;
+        Ok(())
+    }
+
+    /// Runs until `done` returns true or `max_cycles` FPGA cycles elapse.
+    ///
+    /// All-software partitionings (no hardware, no channels) are run on a
+    /// fast path: the software executes to quiescence and elapsed time is
+    /// its CPU time divided by the clock ratio.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dynamic errors.
+    pub fn run_until(
+        &mut self,
+        done: impl Fn(&Cosim) -> bool,
+        max_cycles: u64,
+    ) -> ExecResult<CosimOutcome> {
+        if self.hw.is_none() && self.transactor.is_none() {
+            // Pure software: no cycle-by-cycle interleaving needed.
+            let ratio = self.link.config().cpu_per_fpga;
+            loop {
+                self.fpga_cycles = self.sw.cpu_cycles().div_ceil(ratio);
+                if done(self) {
+                    return Ok(CosimOutcome::Done { fpga_cycles: self.fpga_cycles });
+                }
+                if self.fpga_cycles >= max_cycles {
+                    return Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles });
+                }
+                if !self.sw.step()? {
+                    // Quiescent but not done.
+                    return Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles });
+                }
+            }
+        }
+        while self.fpga_cycles < max_cycles {
+            if done(self) {
+                return Ok(CosimOutcome::Done { fpga_cycles: self.fpga_cycles });
+            }
+            self.step()?;
+        }
+        Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles })
+    }
+
+    /// Link traffic totals.
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.stats()
+    }
+
+    /// Per-channel transfer summaries.
+    pub fn channel_report(&self) -> Vec<ChannelReport> {
+        self.transactor.as_ref().map(|t| t.report()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcl_core::builder::{dsl::*, ModuleBuilder};
+    use bcl_core::domain::{HW, SW};
+    use bcl_core::elaborate;
+    use bcl_core::partition::{fuse_syncs, partition};
+    use bcl_core::program::Program;
+    use bcl_core::types::Type;
+
+    /// src(SW) -> inSync -> HW (+1000) -> outSync -> snk(SW)
+    fn offload_design(hw: bool) -> bcl_core::design::Design {
+        let (from, to) = if hw { (SW, HW) } else { (SW, SW) };
+        let mut m = ModuleBuilder::new("Offload");
+        m.source("src", Type::Int(32), SW);
+        m.sink("snk", Type::Int(32), SW);
+        m.channel("inSync", 4, Type::Int(32), from, to);
+        m.channel("outSync", 4, Type::Int(32), to, from);
+        m.rule("feed", with_first("x", "src", enq("inSync", var("x"))));
+        m.rule(
+            "compute",
+            with_first("x", "inSync", enq("outSync", add(var("x"), cint(32, 1000)))),
+        );
+        m.rule("drain", with_first("y", "outSync", enq("snk", var("y"))));
+        elaborate(&Program::with_root(m.build())).unwrap()
+    }
+
+    #[test]
+    fn hw_offload_round_trip() {
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let mut cs = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+        for i in 0..5 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs.run_until(|c| c.sink_count("snk") == 5, 100_000).unwrap();
+        assert!(out.is_done(), "timed out: {out:?}");
+        let vals: Vec<i64> =
+            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
+        // Round trip includes two link crossings: at least ~100 cycles.
+        assert!(out.fpga_cycles() >= 100, "cycles = {}", out.fpga_cycles());
+        let stats = cs.link_stats();
+        assert_eq!(stats.msgs_to_hw, 5);
+        assert_eq!(stats.msgs_to_sw, 5);
+    }
+
+    #[test]
+    fn pure_sw_fast_path_matches_output() {
+        let d = fuse_syncs(&offload_design(false));
+        let p = partition(&d, SW).unwrap();
+        let mut cs = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+        assert!(cs.hw.is_none());
+        for i in 0..5 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs.run_until(|c| c.sink_count("snk") == 5, 1_000_000).unwrap();
+        assert!(out.is_done());
+        let vals: Vec<i64> =
+            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
+        // No link traffic in pure software.
+        assert_eq!(cs.link_stats().msgs_to_hw, 0);
+    }
+
+    #[test]
+    fn partitioned_and_fused_agree() {
+        // The LIBDN latency-insensitivity claim, end to end: identical
+        // output streams regardless of the partitioning.
+        let inputs: Vec<i64> = (0..8).map(|i| i * 3 - 5).collect();
+        let run = |hw: bool| -> Vec<i64> {
+            let d = if hw { offload_design(true) } else { fuse_syncs(&offload_design(false)) };
+            let p = partition(&d, SW).unwrap();
+            let mut cs =
+                Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+            for &i in &inputs {
+                cs.push_source("src", Value::int(32, i));
+            }
+            let out = cs.run_until(|c| c.sink_count("snk") == inputs.len(), 1_000_000).unwrap();
+            assert!(out.is_done());
+            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect()
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let mut cs = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+        cs.push_source("src", Value::int(32, 1));
+        let out = cs.run_until(|c| c.sink_count("snk") == 99, 200).unwrap();
+        assert!(!out.is_done());
+        assert_eq!(out.fpga_cycles(), 200);
+    }
+
+    #[test]
+    fn sw_debt_throttles_software() {
+        // With an expensive driver, completion takes more cycles.
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let run = |word_cost: u64| {
+            let cfg = LinkConfig { sw_word_cost: word_cost, ..Default::default() };
+            let mut cs = Cosim::new(&p, SW, HW, cfg, SwOptions::default()).unwrap();
+            for i in 0..10 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            cs.run_until(|c| c.sink_count("snk") == 10, 1_000_000).unwrap().fpga_cycles()
+        };
+        let cheap = run(1);
+        let pricey = run(400);
+        assert!(pricey > cheap, "driver cost must slow completion: {pricey} !> {cheap}");
+    }
+}

@@ -1,0 +1,251 @@
+//! The physical channel model.
+//!
+//! Stands in for the paper's experimental platform (Figure 11): a Xilinx
+//! ML507 where the PPC440 (400 MHz) talks to FPGA logic (100 MHz) over
+//! LocalLink with embedded HDMA engines. The paper reports a ~100
+//! FPGA-cycle round-trip latency and up to 400 MB/s of streaming
+//! bandwidth; the defaults here reproduce exactly those numbers
+//! (50-cycle one-way latency, one 32-bit word per 100 MHz cycle).
+//!
+//! Time is measured in FPGA cycles throughout. The link is full duplex:
+//! each direction has its own serialization resource.
+
+use std::collections::VecDeque;
+
+/// Direction of travel across the HW/SW boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From the software partition to the hardware partition.
+    SwToHw,
+    /// From the hardware partition to the software partition.
+    HwToSw,
+}
+
+impl Dir {
+    fn idx(self) -> usize {
+        match self {
+            Dir::SwToHw => 0,
+            Dir::HwToSw => 1,
+        }
+    }
+}
+
+/// Physical-channel parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// One-way message latency in FPGA cycles (default 50, i.e. a ~100
+    /// cycle round trip as measured in §7).
+    pub one_way_latency: u64,
+    /// Serialization bandwidth in 32-bit words per FPGA cycle (default 1,
+    /// i.e. 400 MB/s at 100 MHz).
+    pub words_per_cycle: u64,
+    /// CPU cycles the software driver spends per marshaled word
+    /// (uncached bus access / memcpy into the DMA buffer).
+    pub sw_word_cost: u64,
+    /// Fixed CPU cycles per message on the software side (bus transaction
+    /// setup — this is the §2 "overhead of a bus transaction" that burst
+    /// transfer amortizes).
+    pub sw_msg_overhead: u64,
+    /// CPU cycles per FPGA cycle (default 4: 400 MHz / 100 MHz).
+    pub cpu_per_fpga: u64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            one_way_latency: 50,
+            words_per_cycle: 1,
+            sw_word_cost: 8,
+            sw_msg_overhead: 64,
+            cpu_per_fpga: 4,
+        }
+    }
+}
+
+/// A message in flight: a marshaled value on one virtual channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Index of the virtual channel (synchronizer) this belongs to.
+    pub channel: usize,
+    /// Marshaled payload.
+    pub words: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct Direction {
+    /// When the serializer is next free (FPGA cycle).
+    busy_until: u64,
+    /// In-flight messages, ordered by delivery time.
+    in_flight: VecDeque<(u64, Message)>,
+    words_sent: u64,
+    messages_sent: u64,
+}
+
+/// Cumulative traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Words sent SW→HW.
+    pub words_to_hw: u64,
+    /// Words sent HW→SW.
+    pub words_to_sw: u64,
+    /// Messages sent SW→HW.
+    pub msgs_to_hw: u64,
+    /// Messages sent HW→SW.
+    pub msgs_to_sw: u64,
+}
+
+/// The modeled physical link.
+#[derive(Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    dirs: [Direction; 2],
+}
+
+impl Link {
+    /// Creates a link with the given parameters.
+    pub fn new(cfg: LinkConfig) -> Link {
+        Link { cfg, dirs: [Direction::default(), Direction::default()] }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Enqueues a message at time `now`, returning its delivery time.
+    /// Serialization occupies the direction's bandwidth back-to-back
+    /// (burst behaviour: a long message is one DMA burst).
+    pub fn send(&mut self, dir: Dir, msg: Message, now: u64) -> u64 {
+        let d = &mut self.dirs[dir.idx()];
+        let words = msg.words.len() as u64;
+        let start = d.busy_until.max(now);
+        let ser = words.div_ceil(self.cfg.words_per_cycle).max(1);
+        d.busy_until = start + ser;
+        let deliver_at = d.busy_until + self.cfg.one_way_latency;
+        d.words_sent += words;
+        d.messages_sent += 1;
+        d.in_flight.push_back((deliver_at, msg));
+        deliver_at
+    }
+
+    /// Pops every message whose delivery time is `<= now` in the given
+    /// direction.
+    pub fn deliveries(&mut self, dir: Dir, now: u64) -> Vec<Message> {
+        let d = &mut self.dirs[dir.idx()];
+        let mut out = Vec::new();
+        while let Some((t, _)) = d.in_flight.front() {
+            if *t <= now {
+                out.push(d.in_flight.pop_front().expect("front exists").1);
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Number of messages still in flight in a direction.
+    pub fn in_flight(&self, dir: Dir) -> usize {
+        self.dirs[dir.idx()].in_flight.len()
+    }
+
+    /// Traffic totals.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            words_to_hw: self.dirs[0].words_sent,
+            words_to_sw: self.dirs[1].words_sent,
+            msgs_to_hw: self.dirs[0].messages_sent,
+            msgs_to_sw: self.dirs[1].messages_sent,
+        }
+    }
+
+    /// CPU-cycle cost for the software side to marshal (or demarshal) a
+    /// message of `words` words.
+    pub fn sw_transfer_cost(&self, words: usize) -> u64 {
+        self.cfg.sw_msg_overhead + self.cfg.sw_word_cost * words as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(ch: usize, n: usize) -> Message {
+        Message { channel: ch, words: vec![0xaa; n] }
+    }
+
+    #[test]
+    fn latency_is_config_plus_serialization() {
+        let mut l = Link::new(LinkConfig::default());
+        let t = l.send(Dir::SwToHw, msg(0, 1), 0);
+        assert_eq!(t, 51, "1 cycle serialization + 50 latency");
+        assert!(l.deliveries(Dir::SwToHw, 50).is_empty());
+        assert_eq!(l.deliveries(Dir::SwToHw, 51).len(), 1);
+        assert_eq!(l.in_flight(Dir::SwToHw), 0);
+    }
+
+    #[test]
+    fn round_trip_is_about_100_cycles() {
+        // The §7 headline: ping at t=0, echo immediately, response arrives
+        // ~2 * (latency + serialization) ≈ 102 cycles later.
+        let mut l = Link::new(LinkConfig::default());
+        let t1 = l.send(Dir::SwToHw, msg(0, 1), 0);
+        let t2 = l.send(Dir::HwToSw, msg(0, 1), t1);
+        assert_eq!(t2, 102);
+    }
+
+    #[test]
+    fn bandwidth_serializes_bursts() {
+        let mut l = Link::new(LinkConfig::default());
+        // A 128-word frame occupies the link 128 cycles.
+        let t = l.send(Dir::SwToHw, msg(0, 128), 0);
+        assert_eq!(t, 178);
+        // The next message queues behind it.
+        let t2 = l.send(Dir::SwToHw, msg(0, 128), 0);
+        assert_eq!(t2, 306);
+        // The opposite direction is independent (full duplex).
+        let t3 = l.send(Dir::HwToSw, msg(0, 1), 0);
+        assert_eq!(t3, 51);
+    }
+
+    #[test]
+    fn deliveries_preserve_order() {
+        let mut l = Link::new(LinkConfig::default());
+        l.send(Dir::SwToHw, msg(1, 1), 0);
+        l.send(Dir::SwToHw, msg(2, 1), 0);
+        let d = l.deliveries(Dir::SwToHw, 1000);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].channel, 1);
+        assert_eq!(d[1].channel, 2);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Link::new(LinkConfig::default());
+        l.send(Dir::SwToHw, msg(0, 10), 0);
+        l.send(Dir::HwToSw, msg(0, 3), 0);
+        let s = l.stats();
+        assert_eq!(s.words_to_hw, 10);
+        assert_eq!(s.words_to_sw, 3);
+        assert_eq!(s.msgs_to_hw, 1);
+        assert_eq!(s.msgs_to_sw, 1);
+    }
+
+    #[test]
+    fn sw_cost_scales_with_words() {
+        let l = Link::new(LinkConfig::default());
+        assert_eq!(l.sw_transfer_cost(0), 64);
+        assert_eq!(l.sw_transfer_cost(10), 64 + 80);
+    }
+
+    #[test]
+    fn sustained_streaming_hits_full_bandwidth() {
+        // 400 MB/s at 100 MHz = 1 word/cycle: sending 1000 single-word
+        // messages back-to-back occupies exactly 1000 cycles of link time.
+        let mut l = Link::new(LinkConfig::default());
+        let mut last = 0;
+        for _ in 0..1000 {
+            last = l.send(Dir::SwToHw, msg(0, 1), 0);
+        }
+        assert_eq!(last, 1000 + 50);
+    }
+}

@@ -1,0 +1,365 @@
+//! Generated transactors: mapping synchronizers onto the physical link
+//! (§4.4, Figure 6).
+//!
+//! Each synchronizer of the partitioned design becomes a *virtual channel*
+//! (an LIBDN FIFO). The transactor marshals values into 32-bit words,
+//! arbitrates the single physical link among all channels (round-robin at
+//! message granularity), and enforces credit-based flow control: a message
+//! is sent only when the receive-side FIFO is guaranteed to have space for
+//! it on arrival. Credits are what rule out deadlock and head-of-line
+//! blocking — a stalled consumer can never wedge the shared link for other
+//! channels.
+
+use crate::link::{Dir, Link, Message};
+use bcl_core::ast::{PrimId, PrimMethod};
+use bcl_core::error::{ExecError, ExecResult};
+use bcl_core::partition::ChannelSpec;
+use bcl_core::prim::PrimState;
+use bcl_core::store::Store;
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+
+/// Runtime state of one virtual channel.
+#[derive(Debug)]
+struct ChannelRt {
+    name: String,
+    ty: Type,
+    depth: usize,
+    dir: Dir,
+    /// Transmit FIFO in the producer partition's store.
+    tx: PrimId,
+    /// Receive FIFO in the consumer partition's store.
+    rx: PrimId,
+    /// Messages sent but not yet delivered into `rx`.
+    in_flight: usize,
+    sent: u64,
+}
+
+/// Per-channel traffic summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelReport {
+    /// Synchronizer path.
+    pub name: String,
+    /// Messages transferred.
+    pub messages: u64,
+    /// Words per message.
+    pub words_per_msg: usize,
+}
+
+/// Moves values between a software-partition store and a
+/// hardware-partition store across a [`Link`].
+#[derive(Debug)]
+pub struct Transactor {
+    channels: Vec<ChannelRt>,
+    rr: usize,
+}
+
+impl Transactor {
+    /// Builds a transactor from channel specs, resolving the tx/rx FIFO
+    /// paths in the two partition designs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a channel references a domain other than the
+    /// two given, or a FIFO path missing from its partition.
+    pub fn new(
+        specs: &[ChannelSpec],
+        sw_domain: &str,
+        sw_design: &bcl_core::design::Design,
+        hw_domain: &str,
+        hw_design: &bcl_core::design::Design,
+    ) -> Result<Transactor, ExecError> {
+        let mut channels = Vec::with_capacity(specs.len());
+        for c in specs {
+            let (dir, tx_design, rx_design) = if c.from_domain == sw_domain && c.to_domain == hw_domain
+            {
+                (Dir::SwToHw, sw_design, hw_design)
+            } else if c.from_domain == hw_domain && c.to_domain == sw_domain {
+                (Dir::HwToSw, hw_design, sw_design)
+            } else {
+                return Err(ExecError::Malformed(format!(
+                    "channel `{}` spans `{}`->`{}`, expected `{sw_domain}`/`{hw_domain}`",
+                    c.name, c.from_domain, c.to_domain
+                )));
+            };
+            let tx = tx_design.prim_id(&c.tx_path).ok_or_else(|| {
+                ExecError::Malformed(format!("missing tx fifo `{}`", c.tx_path))
+            })?;
+            let rx = rx_design.prim_id(&c.rx_path).ok_or_else(|| {
+                ExecError::Malformed(format!("missing rx fifo `{}`", c.rx_path))
+            })?;
+            channels.push(ChannelRt {
+                name: c.name.clone(),
+                ty: c.ty.clone(),
+                depth: c.depth,
+                dir,
+                tx,
+                rx,
+                in_flight: 0,
+                sent: 0,
+            });
+        }
+        Ok(Transactor { channels, rr: 0 })
+    }
+
+    /// The number of virtual channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    fn fifo_len(store: &Store, id: PrimId) -> usize {
+        match store.state(id) {
+            PrimState::Fifo { items, .. } => items.len(),
+            _ => 0,
+        }
+    }
+
+    /// One pump iteration, at FPGA-cycle `now`: deliver arrived messages
+    /// into receive FIFOs, then arbitrate pending transmit FIFOs onto the
+    /// link. Returns the CPU cycles of software driver work performed
+    /// (marshaling on SW→HW sends, demarshaling on HW→SW deliveries).
+    ///
+    /// # Errors
+    ///
+    /// Propagates marshaling errors (which indicate a malformed design —
+    /// credits make FIFO overflows impossible).
+    pub fn pump(
+        &mut self,
+        sw_store: &mut Store,
+        hw_store: &mut Store,
+        link: &mut Link,
+        now: u64,
+    ) -> ExecResult<u64> {
+        let mut sw_cycles = 0u64;
+
+        // Phase 1: deliveries.
+        for dir in [Dir::SwToHw, Dir::HwToSw] {
+            for msg in link.deliveries(dir, now) {
+                let ch = &mut self.channels[msg.channel];
+                let v = Value::from_words(&ch.ty, &msg.words)?;
+                let rx_store: &mut Store = match dir {
+                    Dir::SwToHw => hw_store,
+                    Dir::HwToSw => sw_store,
+                };
+                rx_store.state_mut(ch.rx).call_action(PrimMethod::Enq, &[v]).map_err(|e| {
+                    ExecError::Malformed(format!(
+                        "rx fifo `{}` overflow despite credits: {e}",
+                        ch.name
+                    ))
+                })?;
+                ch.in_flight -= 1;
+                if dir == Dir::HwToSw {
+                    sw_cycles += link.sw_transfer_cost(msg.words.len());
+                }
+            }
+        }
+
+        // Phase 2: arbitration — round-robin over channels, draining each
+        // transmit FIFO as far as credits allow. Bandwidth is enforced by
+        // the link's serialization model; credits bound in-flight data per
+        // channel so one blocked consumer cannot monopolize buffering.
+        let n = self.channels.len();
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            let ch = &mut self.channels[i];
+            loop {
+                let (tx_store, rx_store): (&mut Store, &Store) = match ch.dir {
+                    Dir::SwToHw => (sw_store, hw_store),
+                    Dir::HwToSw => (hw_store, sw_store),
+                };
+                let credits_used = Self::fifo_len(rx_store, ch.rx) + ch.in_flight;
+                if credits_used >= ch.depth {
+                    break;
+                }
+                let v = match tx_store.state(ch.tx) {
+                    PrimState::Fifo { items, .. } => match items.front() {
+                        Some(v) => v.clone(),
+                        None => break,
+                    },
+                    _ => break,
+                };
+                tx_store.state_mut(ch.tx).call_action(PrimMethod::Deq, &[])?;
+                let words = v.to_words();
+                if ch.dir == Dir::SwToHw {
+                    sw_cycles += link.sw_transfer_cost(words.len());
+                }
+                link.send(ch.dir, Message { channel: i, words }, now);
+                ch.in_flight += 1;
+                ch.sent += 1;
+            }
+        }
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+        }
+        Ok(sw_cycles)
+    }
+
+    /// True when nothing is buffered or in flight on any channel
+    /// (transmit FIFOs may still be refilled by rules).
+    pub fn idle(&self, sw_store: &Store, hw_store: &Store) -> bool {
+        self.channels.iter().all(|ch| {
+            let tx_store = match ch.dir {
+                Dir::SwToHw => sw_store,
+                Dir::HwToSw => hw_store,
+            };
+            ch.in_flight == 0 && Self::fifo_len(tx_store, ch.tx) == 0
+        })
+    }
+
+    /// Per-channel summaries.
+    pub fn report(&self) -> Vec<ChannelReport> {
+        self.channels
+            .iter()
+            .map(|c| ChannelReport {
+                name: c.name.clone(),
+                messages: c.sent,
+                words_per_msg: c.ty.words(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+    use bcl_core::ast::Path;
+    use bcl_core::design::{Design, PrimDef};
+    use bcl_core::prim::PrimSpec;
+
+    /// Two stores with one channel SW->HW: sw has `c.tx`, hw has `c.rx`.
+    fn setup(depth: usize) -> (Design, Design, Vec<ChannelSpec>) {
+        let sw = Design {
+            name: "sw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.tx"),
+                spec: PrimSpec::Fifo { depth, ty: Type::Int(32) },
+            }],
+            ..Default::default()
+        };
+        let hw = Design {
+            name: "hw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.rx"),
+                spec: PrimSpec::Fifo { depth, ty: Type::Int(32) },
+            }],
+            ..Default::default()
+        };
+        let specs = vec![ChannelSpec {
+            name: "c".into(),
+            ty: Type::Int(32),
+            depth,
+            from_domain: "SW".into(),
+            to_domain: "HW".into(),
+            tx_path: "c.tx".into(),
+            rx_path: "c.rx".into(),
+        }];
+        (sw, hw, specs)
+    }
+
+    #[test]
+    fn value_crosses_the_link() {
+        let (swd, hwd, specs) = setup(2);
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let tx = swd.prim_id("c.tx").unwrap();
+        let rx = hwd.prim_id("c.rx").unwrap();
+        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, -7)]).unwrap();
+
+        let sw_cost = t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
+        assert!(sw_cost > 0, "driver pays marshaling cost");
+        assert!(!t.idle(&sw, &hw), "message in flight");
+        // Before latency elapses, nothing arrives.
+        t.pump(&mut sw, &mut hw, &mut link, 10).unwrap();
+        assert_eq!(Transactor::fifo_len(&hw, rx), 0);
+        // After latency, the value lands in the rx fifo.
+        t.pump(&mut sw, &mut hw, &mut link, 60).unwrap();
+        assert_eq!(
+            hw.state(rx).call_value(PrimMethod::First, &[]).unwrap(),
+            Value::int(32, -7)
+        );
+        assert!(t.idle(&sw, &hw));
+    }
+
+    #[test]
+    fn credits_bound_in_flight_data() {
+        let (swd, hwd, specs) = setup(2);
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let tx = swd.prim_id("c.tx").unwrap();
+        // Fill tx beyond the channel depth over several pumps: the
+        // transactor may only keep `depth` messages un-consumed.
+        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 1)]).unwrap();
+        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 2)]).unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
+        assert_eq!(link.in_flight(Dir::SwToHw), 2, "two credits, two sends");
+        // Refill tx; no credits left, so nothing more is sent even after
+        // delivery (the rx fifo is still full).
+        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 3)]).unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 200).unwrap();
+        assert_eq!(Transactor::fifo_len(&sw, tx), 1, "third message held back");
+        // Consumer drains one: a credit frees and the send proceeds.
+        let rx = hwd.prim_id("c.rx").unwrap();
+        hw.state_mut(rx).call_action(PrimMethod::Deq, &[]).unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 201).unwrap();
+        assert_eq!(Transactor::fifo_len(&sw, tx), 0);
+    }
+
+    #[test]
+    fn unknown_domain_is_error() {
+        let (swd, hwd, mut specs) = setup(1);
+        specs[0].to_domain = "DSP".into();
+        assert!(Transactor::new(&specs, "SW", &swd, "HW", &hwd).is_err());
+    }
+
+    #[test]
+    fn aggregate_values_marshal_across() {
+        // A vector of complex fixed-point values survives the crossing.
+        let ty = Type::vector(4, Type::complex(Type::fixpt()));
+        let swd = Design {
+            name: "sw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.tx"),
+                spec: PrimSpec::Fifo { depth: 1, ty: ty.clone() },
+            }],
+            ..Default::default()
+        };
+        let hwd = Design {
+            name: "hw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.rx"),
+                spec: PrimSpec::Fifo { depth: 1, ty: ty.clone() },
+            }],
+            ..Default::default()
+        };
+        let specs = vec![ChannelSpec {
+            name: "c".into(),
+            ty: ty.clone(),
+            depth: 1,
+            from_domain: "SW".into(),
+            to_domain: "HW".into(),
+            tx_path: "c.tx".into(),
+            rx_path: "c.rx".into(),
+        }];
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let frame = Value::Vec(
+            (0..4)
+                .map(|i| Value::complex(Value::int(32, i), Value::int(32, -i)))
+                .collect(),
+        );
+        let tx = swd.prim_id("c.tx").unwrap();
+        let rx = hwd.prim_id("c.rx").unwrap();
+        sw.state_mut(tx).call_action(PrimMethod::Enq, &[frame.clone()]).unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 1000).unwrap();
+        assert_eq!(hw.state(rx).call_value(PrimMethod::First, &[]).unwrap(), frame);
+        assert_eq!(link.stats().words_to_hw, ty.words() as u64);
+    }
+}

@@ -1,0 +1,189 @@
+//! Bounding volume hierarchy construction (the paper's "BVH Ctor").
+//!
+//! A median-split binary BVH with up to [`LEAF_SIZE`] triangles per leaf.
+//! Construction is a one-time setup pass ("Once the geometry has been
+//! loaded to memory, the module labeled BVH Ctor performs an initial
+//! pass") and is shared verbatim by every partition — what the evaluation
+//! varies is where *traversal* and *intersection* run, so the constructor
+//! executes as host code that initializes the BVH memory of whichever
+//! partition owns it.
+//!
+//! Leaves reference a contiguous range of the *reordered* triangle array
+//! ([`Bvh::tris`]), which is what Scene Mem is initialized with.
+
+use crate::geom::{Aabb, Tri};
+
+/// Maximum triangles per leaf.
+pub const LEAF_SIZE: usize = 4;
+
+/// A flattened BVH node. Internal nodes have `count == 0`; leaves have
+/// `left == right == -1` and reference `tris[first .. first + count]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node {
+    /// Bounds of the subtree.
+    pub bb: Aabb,
+    /// Left child index, or -1 for leaves.
+    pub left: i64,
+    /// Right child index, or -1 for leaves.
+    pub right: i64,
+    /// First triangle (in the reordered array) for leaves.
+    pub first: i64,
+    /// Number of triangles (0 for internal nodes).
+    pub count: i64,
+}
+
+impl Node {
+    /// True for leaf nodes.
+    pub fn is_leaf(&self) -> bool {
+        self.count > 0
+    }
+}
+
+/// A built hierarchy plus the leaf-ordered triangle array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bvh {
+    /// Flattened nodes, root at index 0.
+    pub nodes: Vec<Node>,
+    /// Triangles reordered so each leaf's are contiguous.
+    pub tris: Vec<Tri>,
+    /// Maximum depth (bounds the traversal stack).
+    pub depth: usize,
+}
+
+/// Builds a median-split BVH over the triangles.
+///
+/// # Panics
+///
+/// Panics on an empty scene.
+pub fn build_bvh(tris: &[Tri]) -> Bvh {
+    assert!(!tris.is_empty(), "cannot build a BVH over an empty scene");
+    let boxes: Vec<Aabb> = tris.iter().map(Tri::bbox).collect();
+    let mut order: Vec<usize> = (0..tris.len()).collect();
+    let mut nodes = Vec::with_capacity(2 * tris.len());
+    let mut max_depth = 0;
+    build(&boxes, &mut order, 0, tris.len(), &mut nodes, 1, &mut max_depth);
+    let reordered = order.iter().map(|&i| tris[i]).collect();
+    Bvh { nodes, tris: reordered, depth: max_depth }
+}
+
+fn build(
+    boxes: &[Aabb],
+    order: &mut [usize],
+    lo: usize,
+    hi: usize,
+    nodes: &mut Vec<Node>,
+    depth: usize,
+    max_depth: &mut usize,
+) -> usize {
+    *max_depth = (*max_depth).max(depth);
+    let me = nodes.len();
+    let mut bb = boxes[order[lo]];
+    for &t in &order[lo + 1..hi] {
+        bb = bb.union(boxes[t]);
+    }
+    if hi - lo <= LEAF_SIZE {
+        nodes.push(Node {
+            bb,
+            left: -1,
+            right: -1,
+            first: lo as i64,
+            count: (hi - lo) as i64,
+        });
+        return me;
+    }
+    nodes.push(Node { bb, left: -1, right: -1, first: -1, count: 0 });
+    // Split on the longest centroid axis at the median.
+    let ext = |f: fn(&Aabb) -> i64| {
+        let vals: Vec<i64> = order[lo..hi].iter().map(|&t| f(&boxes[t])).collect();
+        vals.iter().max().unwrap() - vals.iter().min().unwrap()
+    };
+    let ex = ext(|b| b.centroid().x);
+    let ey = ext(|b| b.centroid().y);
+    let ez = ext(|b| b.centroid().z);
+    let key: fn(&Aabb) -> i64 = if ex >= ey && ex >= ez {
+        |b| b.centroid().x
+    } else if ey >= ez {
+        |b| b.centroid().y
+    } else {
+        |b| b.centroid().z
+    };
+    order[lo..hi].sort_by_key(|&t| (key(&boxes[t]), t));
+    let mid = lo + (hi - lo) / 2;
+    let left = build(boxes, order, lo, mid, nodes, depth + 1, max_depth);
+    let right = build(boxes, order, mid, hi, nodes, depth + 1, max_depth);
+    nodes[me].left = left as i64;
+    nodes[me].right = right as i64;
+    me
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::make_scene;
+
+    #[test]
+    fn leaves_cover_all_triangles_once() {
+        let tris = make_scene(64, 3);
+        let bvh = build_bvh(&tris);
+        let mut covered = vec![false; 64];
+        for n in bvh.nodes.iter().filter(|n| n.is_leaf()) {
+            assert!(n.count as usize <= LEAF_SIZE);
+            for i in n.first..n.first + n.count {
+                assert!(!covered[i as usize], "triangle {} covered twice", i);
+                covered[i as usize] = true;
+            }
+        }
+        assert!(covered.iter().all(|&b| b));
+        // The reordered array is a permutation of the input.
+        assert_eq!(bvh.tris.len(), 64);
+        for t in &tris {
+            assert!(bvh.tris.contains(t));
+        }
+    }
+
+    #[test]
+    fn children_are_contained_in_parent() {
+        let tris = make_scene(32, 9);
+        let bvh = build_bvh(&tris);
+        for n in &bvh.nodes {
+            if !n.is_leaf() {
+                for c in [n.left, n.right] {
+                    let cb = bvh.nodes[c as usize].bb;
+                    assert!(cb.min.x >= n.bb.min.x && cb.max.x <= n.bb.max.x);
+                    assert!(cb.min.y >= n.bb.min.y && cb.max.y <= n.bb.max.y);
+                    assert!(cb.min.z >= n.bb.min.z && cb.max.z <= n.bb.max.z);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        let tris = make_scene(256, 1);
+        let bvh = build_bvh(&tris);
+        assert!(bvh.depth <= 10, "median split keeps the tree balanced: {}", bvh.depth);
+    }
+
+    #[test]
+    fn tiny_scene_is_one_leaf() {
+        let tris = make_scene(3, 2);
+        let bvh = build_bvh(&tris);
+        assert_eq!(bvh.nodes.len(), 1);
+        assert!(bvh.nodes[0].is_leaf());
+        assert_eq!(bvh.nodes[0].count, 3);
+        assert_eq!(bvh.depth, 1);
+    }
+
+    #[test]
+    fn leaf_bounds_contain_their_triangles() {
+        let tris = make_scene(48, 8);
+        let bvh = build_bvh(&tris);
+        for n in bvh.nodes.iter().filter(|n| n.is_leaf()) {
+            for i in n.first..n.first + n.count {
+                let tb = bvh.tris[i as usize].bbox();
+                assert!(tb.min.x >= n.bb.min.x && tb.max.x <= n.bb.max.x);
+                assert!(tb.min.z >= n.bb.min.z && tb.max.z <= n.bb.max.z);
+            }
+        }
+    }
+}

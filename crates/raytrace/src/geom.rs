@@ -1,0 +1,379 @@
+//! Fixed-point geometry for the ray tracer (§7.2).
+//!
+//! All arithmetic is 32-bit fixed point with 16 fractional bits, wrapping
+//! exactly like the BCL interpreter's `Int#(32)` operations, so the native
+//! tracer and the generated designs agree bit for bit.
+
+/// Fractional bits of the ray tracer's fixed-point format.
+pub const FRAC: u32 = 16;
+/// Fixed-point one.
+pub const ONE: i64 = 1 << FRAC;
+/// "No hit" sentinel distance.
+pub const T_INF: i64 = i32::MAX as i64;
+/// Determinant cutoff below which a triangle is treated as edge-on
+/// (guards the fixed-point division).
+pub const DET_EPS: i64 = 1 << 10;
+/// The directional light used for shading, roughly normalized.
+pub const LIGHT: (f64, f64, f64) = (0.30, 0.55, -0.78);
+/// Camera field-of-view half-width (image-plane extent at unit depth).
+pub const FOV: f64 = 0.45;
+
+/// The per-pixel direction step used by both the host-side ray generator
+/// and the BCL Ray Gen rule: `d = (2*p + 1 - extent) * fov_step(extent)`.
+/// Pure integer arithmetic so the two agree exactly.
+pub fn fov_step(extent: usize) -> i64 {
+    fx(FOV) / (2 * extent as i64)
+}
+
+/// Converts a real to fixed point.
+pub fn fx(x: f64) -> i64 {
+    (x * ONE as f64).round() as i64
+}
+
+/// Converts fixed point back to a real.
+pub fn fx_to_f64(x: i64) -> f64 {
+    x as f64 / ONE as f64
+}
+
+fn wrap32(x: i64) -> i64 {
+    (x as i32) as i64
+}
+
+/// Wrapping fixed-point addition (matches the interpreter's `Add`).
+pub fn fadd(a: i64, b: i64) -> i64 {
+    wrap32(a.wrapping_add(b))
+}
+
+/// Wrapping fixed-point subtraction.
+pub fn fsub(a: i64, b: i64) -> i64 {
+    wrap32(a.wrapping_sub(b))
+}
+
+/// Fixed-point multiplication (matches `FixMul(16)`).
+pub fn fmul(a: i64, b: i64) -> i64 {
+    wrap32(((a as i128 * b as i128) >> FRAC) as i64)
+}
+
+/// Fixed-point division (matches `FixDiv(16)`).
+///
+/// # Panics
+///
+/// Panics on division by zero; callers guard with [`DET_EPS`].
+pub fn fdiv(a: i64, b: i64) -> i64 {
+    assert!(b != 0, "fixed-point division by zero");
+    wrap32((((a as i128) << FRAC) / b as i128) as i64)
+}
+
+/// A fixed-point 3-vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct V3 {
+    /// x component.
+    pub x: i64,
+    /// y component.
+    pub y: i64,
+    /// z component.
+    pub z: i64,
+}
+
+impl V3 {
+    /// Builds a vector from reals.
+    pub fn from_f64(x: f64, y: f64, z: f64) -> V3 {
+        V3 { x: fx(x), y: fx(y), z: fx(z) }
+    }
+
+    /// Component-wise subtraction.
+    pub fn sub(self, o: V3) -> V3 {
+        V3 { x: fsub(self.x, o.x), y: fsub(self.y, o.y), z: fsub(self.z, o.z) }
+    }
+
+    /// Component-wise addition.
+    pub fn add(self, o: V3) -> V3 {
+        V3 { x: fadd(self.x, o.x), y: fadd(self.y, o.y), z: fadd(self.z, o.z) }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: V3) -> i64 {
+        fadd(fadd(fmul(self.x, o.x), fmul(self.y, o.y)), fmul(self.z, o.z))
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: V3) -> V3 {
+        V3 {
+            x: fsub(fmul(self.y, o.z), fmul(self.z, o.y)),
+            y: fsub(fmul(self.z, o.x), fmul(self.x, o.z)),
+            z: fsub(fmul(self.x, o.y), fmul(self.y, o.x)),
+        }
+    }
+}
+
+/// A triangle with precomputed edges and (unnormalized) normal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tri {
+    /// First vertex.
+    pub v0: V3,
+    /// Edge `v1 - v0`.
+    pub e1: V3,
+    /// Edge `v2 - v0`.
+    pub e2: V3,
+    /// Normal used for shading.
+    pub n: V3,
+}
+
+impl Tri {
+    /// Builds a triangle from three vertices.
+    pub fn new(v0: V3, v1: V3, v2: V3) -> Tri {
+        let e1 = v1.sub(v0);
+        let e2 = v2.sub(v0);
+        let n = e1.cross(e2);
+        Tri { v0, e1, e2, n }
+    }
+
+    /// The axis-aligned bounding box.
+    pub fn bbox(&self) -> Aabb {
+        let v1 = self.v0.add(self.e1);
+        let v2 = self.v0.add(self.e2);
+        let min = V3 {
+            x: self.v0.x.min(v1.x).min(v2.x),
+            y: self.v0.y.min(v1.y).min(v2.y),
+            z: self.v0.z.min(v1.z).min(v2.z),
+        };
+        let max = V3 {
+            x: self.v0.x.max(v1.x).max(v2.x),
+            y: self.v0.y.max(v1.y).max(v2.y),
+            z: self.v0.z.max(v1.z).max(v2.z),
+        };
+        Aabb { min, max }
+    }
+}
+
+/// An axis-aligned bounding box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: V3,
+    /// Maximum corner.
+    pub max: V3,
+}
+
+impl Aabb {
+    /// The union of two boxes.
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb {
+            min: V3 {
+                x: self.min.x.min(o.min.x),
+                y: self.min.y.min(o.min.y),
+                z: self.min.z.min(o.min.z),
+            },
+            max: V3 {
+                x: self.max.x.max(o.max.x),
+                y: self.max.y.max(o.max.y),
+                z: self.max.z.max(o.max.z),
+            },
+        }
+    }
+
+    /// The box centroid (for BVH splitting).
+    pub fn centroid(self) -> V3 {
+        V3 {
+            x: (self.min.x + self.max.x) / 2,
+            y: (self.min.y + self.max.y) / 2,
+            z: (self.min.z + self.max.z) / 2,
+        }
+    }
+}
+
+/// A primary ray with precomputed inverse direction and pixel tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ray {
+    /// Pixel index this ray samples.
+    pub pix: i64,
+    /// Origin.
+    pub o: V3,
+    /// Direction (not normalized; `t` values are in direction units).
+    pub d: V3,
+    /// Per-component reciprocal direction, for slab tests.
+    pub inv: V3,
+}
+
+/// Möller–Trumbore ray/triangle intersection in fixed point, mirroring
+/// the BCL expression exactly (same operations, same order, same
+/// branch structure). Returns `(t, shade)`; a miss is `(T_INF, 0)`.
+pub fn mt_intersect(o: V3, d: V3, tri: &Tri) -> (i64, i64) {
+    const MISS: (i64, i64) = (T_INF, 0);
+    let p = d.cross(tri.e2);
+    let det = tri.e1.dot(p);
+    let adet = det.max(-det);
+    if adet < DET_EPS {
+        return MISS;
+    }
+    let tvec = o.sub(tri.v0);
+    let u = fdiv(tvec.dot(p), det);
+    if u < 0 || u > ONE {
+        return MISS;
+    }
+    let q = tvec.cross(tri.e1);
+    let v = fdiv(d.dot(q), det);
+    if v < 0 || fadd(u, v) > ONE {
+        return MISS;
+    }
+    let t = fdiv(tri.e2.dot(q), det);
+    if t <= 0 {
+        return MISS;
+    }
+    let l = V3::from_f64(LIGHT.0, LIGHT.1, LIGHT.2);
+    let ndl = tri.n.dot(l);
+    let shade = ndl.max(-ndl).min(ONE);
+    (t, shade)
+}
+
+/// Slab test against a box, pruned by the current best hit distance;
+/// mirrors the BCL expression exactly.
+pub fn box_hit(o: V3, inv: V3, bb: &Aabb, best_t: i64) -> bool {
+    let tx0 = fmul(fsub(bb.min.x, o.x), inv.x);
+    let tx1 = fmul(fsub(bb.max.x, o.x), inv.x);
+    let ty0 = fmul(fsub(bb.min.y, o.y), inv.y);
+    let ty1 = fmul(fsub(bb.max.y, o.y), inv.y);
+    let tz0 = fmul(fsub(bb.min.z, o.z), inv.z);
+    let tz1 = fmul(fsub(bb.max.z, o.z), inv.z);
+    let tmin = tx0.min(tx1).max(ty0.min(ty1)).max(tz0.min(tz1));
+    let tmax = tx0.max(tx1).min(ty0.max(ty1)).min(tz0.max(tz1));
+    tmin <= tmax && tmax >= 0 && tmin < best_t
+}
+
+/// Generates the benchmark scene: `n` pseudo-random small triangles in a
+/// slab in front of the camera (the paper's "small benchmark consisting
+/// of 1024 geometry primitives").
+pub fn make_scene(n: usize, seed: u64) -> Vec<Tri> {
+    let mut state = if seed == 0 { 1 } else { seed };
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545f4914f6cdd1d) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    (0..n)
+        .map(|_| {
+            // A deep cloud of elongated sliver triangles straddling the
+            // view frustum. Slivers have large bounding boxes but small
+            // area, so rays pierce many leaf boxes per traversal — the
+            // depth complexity that makes the communication-per-leaf
+            // partitions (B, D) pay for every crossing.
+            let c = V3::from_f64(
+                next() * 5.0 - 2.5,
+                next() * 5.0 - 2.5,
+                next() * 8.0 + 2.0,
+            );
+            let along = V3::from_f64(
+                next() * 4.0 - 2.0,
+                next() * 4.0 - 2.0,
+                next() * 4.0 - 2.0,
+            );
+            let across = V3::from_f64(
+                next() * 0.5 - 0.25,
+                next() * 0.5 - 0.25,
+                next() * 0.5 - 0.25,
+            );
+            Tri::new(c, c.add(along), c.add(across))
+        })
+        .collect()
+}
+
+/// Generates primary rays for a `w`×`h` image: camera at `(0,0,-4)`,
+/// rays through an image plane at `z = -3`. Directions never have a zero
+/// component because the half-pixel-offset grid of an even-sized image
+/// straddles the axes, keeping the reciprocal well defined.
+///
+/// # Panics
+///
+/// Panics when `w` or `h` is odd (an odd grid has a ray exactly on the
+/// axis, whose slab-test reciprocal does not exist).
+pub fn gen_rays(w: usize, h: usize) -> Vec<Ray> {
+    assert!(w % 2 == 0 && h % 2 == 0, "image dimensions must be even");
+    let o = V3::from_f64(0.0, 0.0, -4.0);
+    let mut rays = Vec::with_capacity(w * h);
+    for py in 0..h {
+        for px in 0..w {
+            let dx = (2 * px as i64 + 1 - w as i64) * fov_step(w);
+            let dy = (2 * py as i64 + 1 - h as i64) * fov_step(h);
+            let dz = ONE;
+            let d = V3 { x: dx, y: dy, z: dz };
+            let inv = V3 { x: fdiv(ONE, dx), y: fdiv(ONE, dy), z: fdiv(ONE, dz) };
+            rays.push(Ray { pix: (py * w + px) as i64, o, d, inv });
+        }
+    }
+    rays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_ops_track_floats() {
+        let a = fx(1.25);
+        let b = fx(-0.5);
+        assert!((fx_to_f64(fmul(a, b)) + 0.625).abs() < 1e-3);
+        assert!((fx_to_f64(fdiv(a, b)) + 2.5).abs() < 1e-3);
+        assert_eq!(fadd(a, b), fx(0.75));
+    }
+
+    #[test]
+    fn mt_hits_a_facing_triangle() {
+        let tri = Tri::new(
+            V3::from_f64(-1.0, -1.0, 2.0),
+            V3::from_f64(1.0, -1.0, 2.0),
+            V3::from_f64(0.0, 1.5, 2.0),
+        );
+        let o = V3::from_f64(0.0, 0.0, -4.0);
+        let d = V3::from_f64(0.0, 0.0, 1.0);
+        let (t, shade) = mt_intersect(o, d, &tri);
+        assert_ne!(t, T_INF, "ray straight at the triangle must hit");
+        assert!((fx_to_f64(t) - 6.0).abs() < 0.01, "t = {}", fx_to_f64(t));
+        assert!(shade > 0);
+        // A ray pointing away misses.
+        let d2 = V3::from_f64(0.0, 0.0, -1.0);
+        assert_eq!(mt_intersect(o, d2, &tri).0, T_INF);
+        // A ray far off to the side misses.
+        let d3 = V3::from_f64(1.0, 0.0, 0.001);
+        assert_eq!(mt_intersect(o, d3, &tri).0, T_INF);
+    }
+
+    #[test]
+    fn box_hit_behaviour() {
+        let bb = Aabb { min: V3::from_f64(-1.0, -1.0, 1.0), max: V3::from_f64(1.0, 1.0, 3.0) };
+        let o = V3::from_f64(0.0, 0.0, -4.0);
+        let d = V3 { x: fx(0.01), y: fx(0.01), z: ONE };
+        let inv = V3 { x: fdiv(ONE, d.x), y: fdiv(ONE, d.y), z: fdiv(ONE, d.z) };
+        assert!(box_hit(o, inv, &bb, T_INF));
+        // Pruning: a best hit closer than the box rejects it.
+        assert!(!box_hit(o, inv, &bb, fx(1.0)));
+        // A ray pointing away misses.
+        let d2 = V3 { x: fx(0.01), y: fx(0.01), z: -ONE };
+        let inv2 = V3 { x: inv.x, y: inv.y, z: fdiv(ONE, d2.z) };
+        assert!(!box_hit(o, inv2, &bb, T_INF));
+    }
+
+    #[test]
+    fn scene_and_rays_are_deterministic() {
+        assert_eq!(make_scene(16, 5), make_scene(16, 5));
+        assert_eq!(gen_rays(4, 4), gen_rays(4, 4));
+        for r in gen_rays(8, 8) {
+            assert_ne!(r.d.x, 0);
+            assert_ne!(r.d.y, 0);
+        }
+    }
+
+    #[test]
+    fn bbox_contains_vertices() {
+        let tri = Tri::new(
+            V3::from_f64(0.0, 0.0, 0.0),
+            V3::from_f64(1.0, 0.0, 0.0),
+            V3::from_f64(0.0, 1.0, 1.0),
+        );
+        let bb = tri.bbox();
+        assert_eq!(bb.min, V3::from_f64(0.0, 0.0, 0.0));
+        assert_eq!(bb.max, V3::from_f64(1.0, 1.0, 1.0));
+        let c = bb.centroid();
+        assert_eq!(c.x, fx(0.5));
+    }
+}

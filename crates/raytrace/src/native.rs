@@ -1,0 +1,161 @@
+//! The native software ray tracer: the golden reference every partition
+//! must match bit-for-bit.
+//!
+//! The traversal is written to mirror the BCL finite-state machine
+//! exactly — same stack discipline (push the right child, descend left),
+//! same box pruning against the current best hit, same in-order leaf
+//! resolution over the BVH's reordered triangle array — so the pixel
+//! stream is identical regardless of where the pieces execute.
+
+use crate::bvh::Bvh;
+use crate::geom::{box_hit, mt_intersect, Ray, T_INF};
+
+/// Per-image traversal statistics (used to reason about partition
+/// economics: every leaf visit is `count` intersection tests, and in the
+/// remote partitions every test is a bus crossing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Node visits (box tests).
+    pub steps: u64,
+    /// Leaf visits.
+    pub leaves: u64,
+    /// Individual triangle tests.
+    pub tri_tests: u64,
+    /// Rays that hit something.
+    pub hits: u64,
+}
+
+/// Traces one ray through the BVH; returns the shade of the closest hit
+/// (0 for the background).
+pub fn trace_ray(bvh: &Bvh, ray: &Ray, stats: &mut TraceStats) -> i64 {
+    let mut stack: Vec<i64> = Vec::with_capacity(bvh.depth + 1);
+    let mut node = 0i64;
+    let mut best_t = T_INF;
+    let mut best_shade = 0i64;
+    loop {
+        stats.steps += 1;
+        let nd = &bvh.nodes[node as usize];
+        let mut descend = false;
+        if box_hit(ray.o, ray.inv, &nd.bb, best_t) {
+            if nd.is_leaf() {
+                stats.leaves += 1;
+                // The FSM issues the leaf's tests in index order and
+                // absorbs responses in the same order.
+                for i in nd.first..nd.first + nd.count {
+                    stats.tri_tests += 1;
+                    let (t, shade) = mt_intersect(ray.o, ray.d, &bvh.tris[i as usize]);
+                    if t > 0 && t < best_t {
+                        best_t = t;
+                        best_shade = shade;
+                    }
+                }
+            } else {
+                stack.push(nd.right);
+                node = nd.left;
+                descend = true;
+            }
+        }
+        if !descend {
+            match stack.pop() {
+                Some(n) => node = n,
+                None => {
+                    if best_t < T_INF {
+                        stats.hits += 1;
+                    }
+                    return best_shade;
+                }
+            }
+        }
+    }
+}
+
+/// Renders the whole image (one shade value per pixel, ray order).
+pub fn render(bvh: &Bvh, rays: &[Ray]) -> Vec<i64> {
+    let mut stats = TraceStats::default();
+    render_with_stats(bvh, rays, &mut stats)
+}
+
+/// Renders and accumulates traversal statistics.
+pub fn render_with_stats(bvh: &Bvh, rays: &[Ray], stats: &mut TraceStats) -> Vec<i64> {
+    rays.iter().map(|r| trace_ray(bvh, r, stats)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bvh::build_bvh;
+    use crate::geom::{gen_rays, make_scene, Tri, V3};
+
+    #[test]
+    fn renders_hits_and_misses() {
+        let scene = make_scene(128, 7);
+        let bvh = build_bvh(&scene);
+        let rays = gen_rays(16, 16);
+        let mut stats = TraceStats::default();
+        let img = render_with_stats(&bvh, &rays, &mut stats);
+        assert_eq!(img.len(), 256);
+        let hits = img.iter().filter(|&&s| s > 0).count();
+        assert!(hits > 10, "scene must be visible: {hits} hits");
+        assert!(hits < 256, "some background must remain: {hits} hits");
+        assert!(stats.leaves > 0);
+        assert!(stats.tri_tests >= stats.leaves);
+    }
+
+    #[test]
+    fn bvh_matches_brute_force() {
+        // The BVH must find the same closest hit as testing every
+        // triangle (same fixed-point math, so exact equality).
+        let scene = make_scene(64, 4);
+        let bvh = build_bvh(&scene);
+        let rays = gen_rays(8, 8);
+        let mut stats = TraceStats::default();
+        for ray in &rays {
+            let accel = trace_ray(&bvh, ray, &mut stats);
+            let mut best_t = T_INF;
+            let mut best_shade = 0;
+            for tri in &bvh.tris {
+                let (t, s) = mt_intersect(ray.o, ray.d, tri);
+                if t > 0 && t < best_t {
+                    best_t = t;
+                    best_shade = s;
+                }
+            }
+            assert_eq!(accel, best_shade, "pixel {}", ray.pix);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let scene = make_scene(32, 11);
+        let bvh = build_bvh(&scene);
+        let rays = gen_rays(8, 8);
+        assert_eq!(render(&bvh, &rays), render(&bvh, &rays));
+    }
+
+    #[test]
+    fn empty_background_without_geometry_in_view() {
+        // A scene far to the side: all rays miss.
+        let tri = Tri::new(
+            V3::from_f64(50.0, 50.0, 5.0),
+            V3::from_f64(51.0, 50.0, 5.0),
+            V3::from_f64(50.0, 51.0, 5.0),
+        );
+        let scene = vec![tri];
+        let bvh = build_bvh(&scene);
+        let img = render(&bvh, &gen_rays(4, 4));
+        assert!(img.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn sliver_scene_has_depth_complexity() {
+        // The benchmark scene must actually exercise multi-leaf
+        // traversals (the property the partition comparison rests on).
+        let scene = make_scene(96, 17);
+        let bvh = build_bvh(&scene);
+        let rays = gen_rays(6, 6);
+        let mut stats = TraceStats::default();
+        render_with_stats(&bvh, &rays, &mut stats);
+        let per_ray = stats.tri_tests as f64 / rays.len() as f64;
+        assert!(per_ray > 3.0, "triangle tests per ray too low: {per_ray:.2}");
+    }
+}

@@ -1,0 +1,224 @@
+//! The four HW/SW decompositions of the ray tracer (Figure 14) and the
+//! harness that measures them on the modeled platform (Figure 13, right).
+//!
+//! | Partition | BVH Trav + Box Inter + BVH Mem | Geom Inter | Scene Mem |
+//! |---|---|---|---|
+//! | A (full SW) | SW | SW | SW |
+//! | B | SW | **HW** | SW (triangles shipped per request) |
+//! | C | **HW** | **HW** | **HW** (on-chip block RAM) |
+//! | D | **HW** | SW | SW |
+//!
+//! Ray Gen and the Bitmap always stay in software. The paper's findings:
+//! C is fastest (intersection engine plus scene in BRAM — only rays and
+//! hits cross the bus); B and D are *slower than all-software A* because
+//! each leaf visit pays a bus crossing.
+
+use crate::bcl::{build_design, image_of_values, RtConfig};
+use crate::bvh::{build_bvh, Bvh};
+use crate::geom::make_scene;
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::partition;
+use bcl_core::sched::{Strategy, SwOptions};
+use bcl_core::value::Value;
+use bcl_platform::cosim::Cosim;
+use bcl_platform::link::{LinkConfig, LinkStats};
+use bcl_platform::PlatformError;
+
+/// The partitions evaluated in Figure 13 (right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RtPartition {
+    /// Full software.
+    A,
+    /// Geometry intersection in hardware, scene memory in software.
+    B,
+    /// Traversal + intersection in hardware with on-chip scene memory.
+    C,
+    /// Traversal in hardware, geometry intersection + scene in software.
+    D,
+}
+
+impl RtPartition {
+    /// All partitions in presentation order.
+    pub const ALL: [RtPartition; 4] =
+        [RtPartition::A, RtPartition::B, RtPartition::C, RtPartition::D];
+
+    /// Figure label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RtPartition::A => "A",
+            RtPartition::B => "B",
+            RtPartition::C => "C",
+            RtPartition::D => "D",
+        }
+    }
+
+    /// Human-readable description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            RtPartition::A => "full SW",
+            RtPartition::B => "Geom Inter in HW, scene in SW",
+            RtPartition::C => "Trav+Geom in HW, scene in BRAM",
+            RtPartition::D => "Trav in HW, Geom+scene in SW",
+        }
+    }
+
+    /// The builder configuration for this partition.
+    pub fn config(&self, width: usize, height: usize) -> RtConfig {
+        let (trav, geom, remote) = match self {
+            RtPartition::A => (SW, SW, false),
+            RtPartition::B => (SW, HW, true),
+            RtPartition::C => (HW, HW, false),
+            RtPartition::D => (HW, SW, false),
+        };
+        RtConfig {
+            trav: trav.into(),
+            geom: geom.into(),
+            remote_scene: remote,
+            width,
+            height,
+            depth: 4,
+        }
+    }
+}
+
+/// The modeled platform (same ML507 calibration as the Vorbis runs).
+pub fn ml507_link() -> LinkConfig {
+    LinkConfig { sw_word_cost: 32, ..Default::default() }
+}
+
+/// The result of tracing a scene under one partition.
+#[derive(Debug, Clone)]
+pub struct RtRun {
+    /// Partition measured.
+    pub partition: RtPartition,
+    /// End-to-end execution time in FPGA cycles.
+    pub fpga_cycles: u64,
+    /// Software CPU cycles (rule work; driver time shows up in
+    /// `fpga_cycles`).
+    pub sw_cpu_cycles: u64,
+    /// Link traffic.
+    pub link: LinkStats,
+    /// The rendered image, pixel order.
+    pub image: Vec<i64>,
+    /// Rays traced.
+    pub rays: usize,
+}
+
+impl RtRun {
+    /// FPGA cycles per ray.
+    pub fn cycles_per_ray(&self) -> f64 {
+        self.fpga_cycles as f64 / self.rays.max(1) as f64
+    }
+}
+
+/// Runs one partition over a scene.
+///
+/// # Errors
+///
+/// Propagates build/partition/platform errors and simulation timeouts.
+pub fn run_partition(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+) -> Result<RtRun, PlatformError> {
+    let cfg = which.config(width, height);
+    let design =
+        build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
+    let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
+    let sw_opts = SwOptions { strategy: Strategy::Dataflow, ..Default::default() };
+    let mut cosim = Cosim::new(&parts, SW, HW, ml507_link(), sw_opts)?;
+    let rays = width * height;
+    for p in 0..rays as i64 {
+        cosim.push_source("pixSrc", Value::int(32, p));
+    }
+    let max_cycles = 60_000u64 * rays as u64 + 50_000;
+    let outcome = cosim
+        .run_until(|c| c.sink_count("bitmap") == rays, max_cycles)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    if !outcome.is_done() {
+        return Err(PlatformError::new(format!(
+            "partition {} timed out after {} cycles with {}/{} pixels",
+            which.label(),
+            outcome.fpga_cycles(),
+            cosim.sink_count("bitmap"),
+            rays
+        )));
+    }
+    Ok(RtRun {
+        partition: which,
+        fpga_cycles: outcome.fpga_cycles(),
+        sw_cpu_cycles: cosim.sw.cpu_cycles(),
+        link: cosim.link_stats(),
+        image: image_of_values(cosim.sink_values("bitmap"), rays),
+        rays,
+    })
+}
+
+/// Convenience: the paper's benchmark scene (1024 primitives).
+pub fn paper_scene(seed: u64) -> Bvh {
+    build_bvh(&make_scene(1024, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::gen_rays;
+    use crate::native::render;
+
+    #[test]
+    fn every_partition_renders_identically() {
+        let scene = make_scene(48, 5);
+        let bvh = build_bvh(&scene);
+        let (w, h) = (4, 4);
+        let want = render(&bvh, &gen_rays(w, h));
+        for p in RtPartition::ALL {
+            let run = run_partition(p, &bvh, w, h).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert_eq!(run.image, want, "partition {}", p.label());
+        }
+    }
+
+    #[test]
+    fn figure13_right_shape_holds() {
+        // C fastest; B and D slower than all-software A (§7.2).
+        let scene = make_scene(96, 17);
+        let bvh = build_bvh(&scene);
+        let (w, h) = (6, 6);
+        let t = |p| {
+            run_partition(p, &bvh, w, h)
+                .unwrap_or_else(|e| panic!("{p:?}: {e}"))
+                .fpga_cycles
+        };
+        let (a, b, c, d) = (
+            t(RtPartition::A),
+            t(RtPartition::B),
+            t(RtPartition::C),
+            t(RtPartition::D),
+        );
+        assert!(c < a, "C ({c}) must beat full software ({a})");
+        assert!(b > a, "B ({b}) must lose to full software ({a})");
+        assert!(d > a, "D ({d}) must lose to full software ({a})");
+    }
+
+    #[test]
+    fn full_sw_has_no_traffic() {
+        let scene = make_scene(16, 2);
+        let bvh = build_bvh(&scene);
+        let run = run_partition(RtPartition::A, &bvh, 2, 2).unwrap();
+        assert_eq!(run.link.msgs_to_hw, 0);
+    }
+
+    #[test]
+    fn partition_b_ships_triangles() {
+        let scene = make_scene(16, 2);
+        let bvh = build_bvh(&scene);
+        let b = run_partition(RtPartition::B, &bvh, 2, 2).unwrap();
+        let c = run_partition(RtPartition::C, &bvh, 2, 2).unwrap();
+        assert!(
+            b.link.words_to_hw > c.link.words_to_hw,
+            "B ({} words) carries triangle data; C ({} words) only rays",
+            b.link.words_to_hw,
+            c.link.words_to_hw
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Synthetic Vorbis frame test bench.
+//!
+//! The paper's evaluation uses "a test bench consisting of 10000 Vorbis
+//! audio frames". We have no rights-cleared Ogg bitstream (and decoding
+//! one would exercise the *front end*, which the paper keeps in plain
+//! C++ anyway), so the test bench synthesizes deterministic pseudo-random
+//! spectral frames with audio-like decay — the back-end neither knows nor
+//! cares where the spectra came from, and every partition sees the exact
+//! same input stream.
+
+use crate::kernel::{to_fix, K};
+
+/// A tiny deterministic PRNG (xorshift*), so test benches are
+/// reproducible without pulling RNG state into the design.
+#[derive(Debug, Clone)]
+pub struct XorShift {
+    state: u64,
+}
+
+impl XorShift {
+    /// Seeds the generator; a zero seed is mapped to a fixed constant.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift { state: if seed == 0 { 0x853c49e6748fea9b } else { seed } }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform float in `[-1, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    }
+}
+
+/// One synthetic spectral frame: `K` fixed-point lines with a 1/(1+i)
+/// roll-off (energy concentrated in low frequencies, like real audio).
+pub fn synth_frame(rng: &mut XorShift) -> Vec<i64> {
+    (0..K)
+        .map(|i| {
+            let amp = 1.0 / (1.0 + i as f64 * 0.25);
+            to_fix(rng.next_f64() * amp * 0.5)
+        })
+        .collect()
+}
+
+/// A stream of `n` frames from the given seed.
+pub fn frame_stream(n: usize, seed: u64) -> Vec<Vec<i64>> {
+    let mut rng = XorShift::new(seed);
+    (0..n).map(|_| synth_frame(&mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::from_fix;
+
+    #[test]
+    fn deterministic_streams() {
+        assert_eq!(frame_stream(5, 7), frame_stream(5, 7));
+        assert_ne!(frame_stream(5, 7), frame_stream(5, 8));
+    }
+
+    #[test]
+    fn frames_have_audio_shape() {
+        let frames = frame_stream(20, 3);
+        for f in &frames {
+            assert_eq!(f.len(), K);
+            for &v in f {
+                let x = from_fix(v);
+                assert!(x.abs() <= 0.5 + 1e-9, "bounded amplitude: {x}");
+            }
+        }
+        // Low bins carry more average energy than high bins.
+        let energy = |bin: usize| -> f64 {
+            frames.iter().map(|f| from_fix(f[bin]).abs()).sum::<f64>() / frames.len() as f64
+        };
+        assert!(energy(0) > energy(K - 1), "spectral roll-off");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = XorShift::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! The hand-written software back-end — the paper's F2 baseline
+//! ("manual C++ ... slightly faster than the generated one, as it avoids
+//! all discarded work or need for shadow state").
+//!
+//! It runs the exact same fixed-point kernels as the BCL design (via
+//! [`FixArith`]), so its PCM output is bit-identical to every generated
+//! partition; its cost is the pure compute-op count plus a small
+//! per-frame loop/call overhead, with no transactional machinery at all.
+
+use crate::kernel::{
+    imdct_post, imdct_pre, ifft_full, window_apply, FixArith, K,
+};
+
+/// Per-frame bookkeeping overhead (function calls, loop counters, frame
+/// pointer arithmetic) in CPU cycles.
+pub const FRAME_OVERHEAD: u64 = 60;
+
+/// The hand-written back-end: pre → IFFT → post → window → PCM.
+#[derive(Debug, Clone)]
+pub struct NativeBackend {
+    arith: FixArith,
+    tail: Vec<i64>,
+    frames: u64,
+}
+
+impl Default for NativeBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeBackend {
+    /// A back-end with a zeroed window tail.
+    pub fn new() -> NativeBackend {
+        NativeBackend { arith: FixArith::default(), tail: vec![0; K], frames: 0 }
+    }
+
+    /// Decodes one frame of `K` fixed-point spectral lines into `K` PCM
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len() != K`.
+    pub fn frame(&mut self, frame: &[i64]) -> Vec<i64> {
+        assert_eq!(frame.len(), K);
+        let a = &mut self.arith;
+        let pre = imdct_pre(a, frame);
+        let freq = ifft_full(a, &pre);
+        let time = imdct_post(a, &freq);
+        let (pcm, tail) = window_apply(a, &self.tail, &time);
+        self.tail = tail;
+        self.frames += 1;
+        pcm
+    }
+
+    /// Decodes a stream of frames, returning all PCM samples.
+    pub fn run(&mut self, frames: &[Vec<i64>]) -> Vec<i64> {
+        frames.iter().flat_map(|f| self.frame(f)).collect()
+    }
+
+    /// Modeled CPU cycles consumed so far: weighted compute ops plus
+    /// per-frame overhead.
+    pub fn cpu_cycles(&self) -> u64 {
+        self.arith.ops + self.frames * FRAME_OVERHEAD
+    }
+
+    /// Frames decoded.
+    pub fn frames_done(&self) -> u64 {
+        self.frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::frame_stream;
+
+    #[test]
+    fn produces_pcm_per_frame() {
+        let mut b = NativeBackend::new();
+        let frames = frame_stream(3, 7);
+        let pcm = b.run(&frames);
+        assert_eq!(pcm.len(), 3 * K);
+        assert_eq!(b.frames_done(), 3);
+    }
+
+    #[test]
+    fn cost_grows_linearly() {
+        let frames = frame_stream(10, 1);
+        let mut b1 = NativeBackend::new();
+        b1.run(&frames[..5].to_vec());
+        let five = b1.cpu_cycles();
+        let mut b2 = NativeBackend::new();
+        b2.run(&frames);
+        let ten = b2.cpu_cycles();
+        assert_eq!(ten, five * 2, "per-frame cost is constant");
+    }
+
+    #[test]
+    fn window_carries_state_across_frames() {
+        let frames = frame_stream(2, 3);
+        let mut together = NativeBackend::new();
+        let all = together.run(&frames);
+        // Decoding the same frames with a fresh backend for the second
+        // frame gives different PCM (tail differs) — state matters.
+        let mut fresh = NativeBackend::new();
+        let second_alone = fresh.frame(&frames[1]);
+        assert_ne!(&all[K..], &second_alone[..], "overlap state must flow across frames");
+    }
+
+    #[test]
+    fn deterministic() {
+        let frames = frame_stream(4, 99);
+        let a = NativeBackend::new().run(&frames);
+        let b = NativeBackend::new().run(&frames);
+        assert_eq!(a, b);
+    }
+}

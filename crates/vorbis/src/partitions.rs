@@ -1,0 +1,243 @@
+//! The six HW/SW decompositions of the Vorbis back-end (Figure 12) and
+//! the harness that measures them on the modeled platform (Figure 13,
+//! left).
+//!
+//! | Partition | IMDCT FSMs + tables | IFFT core | Window |
+//! |---|---|---|---|
+//! | F (full SW) | SW | SW | SW |
+//! | A | SW | SW | **HW** |
+//! | B | SW | **HW** | SW |
+//! | C | SW | **HW** | **HW** |
+//! | D | **HW** | **HW** | SW |
+//! | E (full HW back-end) | **HW** | **HW** | **HW** |
+//!
+//! The input stream always originates in software (the Vorbis front end
+//! is plain C++ in the paper) and the PCM output is always consumed in
+//! software.
+
+use crate::bcl::{
+    build_design, frame_value, pcm_of_values, BackendOptions, VorbisDomains,
+};
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::partition;
+use bcl_core::sched::{Strategy, SwOptions};
+use bcl_platform::cosim::Cosim;
+use bcl_platform::link::{LinkConfig, LinkStats};
+use bcl_platform::PlatformError;
+
+/// The partitions evaluated in Figure 13 (left).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VorbisPartition {
+    /// Window in hardware; IMDCT and IFFT in software.
+    A,
+    /// IFFT core in hardware.
+    B,
+    /// IFFT core and window in hardware, IMDCT in software.
+    C,
+    /// IMDCT and IFFT in hardware, window in software.
+    D,
+    /// Entire back-end in hardware.
+    E,
+    /// Entire back-end in software.
+    F,
+}
+
+impl VorbisPartition {
+    /// All partitions, in the paper's presentation order.
+    pub const ALL: [VorbisPartition; 6] = [
+        VorbisPartition::A,
+        VorbisPartition::B,
+        VorbisPartition::C,
+        VorbisPartition::D,
+        VorbisPartition::E,
+        VorbisPartition::F,
+    ];
+
+    /// The label used in Figure 13.
+    pub fn label(&self) -> &'static str {
+        match self {
+            VorbisPartition::A => "A",
+            VorbisPartition::B => "B",
+            VorbisPartition::C => "C",
+            VorbisPartition::D => "D",
+            VorbisPartition::E => "E",
+            VorbisPartition::F => "F",
+        }
+    }
+
+    /// Human-readable description of the hardware contents.
+    pub fn description(&self) -> &'static str {
+        match self {
+            VorbisPartition::A => "window in HW",
+            VorbisPartition::B => "IFFT in HW",
+            VorbisPartition::C => "IFFT + window in HW",
+            VorbisPartition::D => "IMDCT + IFFT in HW",
+            VorbisPartition::E => "full back-end in HW",
+            VorbisPartition::F => "full SW",
+        }
+    }
+
+    /// Domain placement for this partition.
+    pub fn domains(&self) -> VorbisDomains {
+        let pick = |hw: bool| if hw { HW.to_string() } else { SW.to_string() };
+        let (imdct, ifft, window) = match self {
+            VorbisPartition::A => (false, false, true),
+            VorbisPartition::B => (false, true, false),
+            VorbisPartition::C => (false, true, true),
+            VorbisPartition::D => (true, true, false),
+            VorbisPartition::E => (true, true, true),
+            VorbisPartition::F => (false, false, false),
+        };
+        VorbisDomains { imdct: pick(imdct), ifft: pick(ifft), window: pick(window) }
+    }
+}
+
+/// The modeled ML507 platform configuration used for all Figure 13
+/// measurements: the LocalLink defaults plus a driver that pays 32 CPU
+/// cycles per marshaled word — uncached PLB accesses plus cache
+/// management around the HDMA buffers, each tens of cycles on a PPC440.
+pub fn ml507_link() -> LinkConfig {
+    LinkConfig { sw_word_cost: 32, ..Default::default() }
+}
+
+/// The result of running one partition over a frame stream.
+#[derive(Debug, Clone)]
+pub struct VorbisRun {
+    /// Partition measured.
+    pub partition: VorbisPartition,
+    /// End-to-end execution time in FPGA cycles (the Figure 13 metric).
+    pub fpga_cycles: u64,
+    /// CPU cycles consumed by the software partition (incl. driver work).
+    pub sw_cpu_cycles: u64,
+    /// Link traffic.
+    pub link: LinkStats,
+    /// Decoded PCM stream.
+    pub pcm: Vec<i64>,
+    /// Frames decoded.
+    pub frames: usize,
+}
+
+impl VorbisRun {
+    /// FPGA cycles per frame.
+    pub fn cycles_per_frame(&self) -> f64 {
+        self.fpga_cycles as f64 / self.frames.max(1) as f64
+    }
+}
+
+/// Runs a partition over a frame stream on the modeled platform.
+///
+/// # Errors
+///
+/// Propagates elaboration/partitioning/platform errors (all of which
+/// indicate internal bugs rather than user error) and simulation timeouts.
+pub fn run_partition(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+) -> Result<VorbisRun, PlatformError> {
+    let opts = BackendOptions { domains: which.domains(), ..Default::default() };
+    let design = build_design(&opts).map_err(|e| PlatformError::new(e.to_string()))?;
+    let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
+    let sw_opts = SwOptions { strategy: Strategy::Dataflow, ..Default::default() };
+    let mut cosim = Cosim::new(&parts, SW, HW, ml507_link(), sw_opts)?;
+    for f in frames {
+        cosim.push_source("src", frame_value(f));
+    }
+    let want = frames.len();
+    // Generous bound: even the slowest partition needs < 40k cycles/frame.
+    let max_cycles = 40_000u64 * want as u64 + 10_000;
+    let outcome = cosim
+        .run_until(|c| c.sink_count("audioDev") == want, max_cycles)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    if !outcome.is_done() {
+        return Err(PlatformError::new(format!(
+            "partition {} timed out after {} cycles with {}/{} frames",
+            which.label(),
+            outcome.fpga_cycles(),
+            cosim.sink_count("audioDev"),
+            want
+        )));
+    }
+    Ok(VorbisRun {
+        partition: which,
+        fpga_cycles: outcome.fpga_cycles(),
+        sw_cpu_cycles: cosim.sw.cpu_cycles(),
+        link: cosim.link_stats(),
+        pcm: pcm_of_values(cosim.sink_values("audioDev")),
+        frames: want,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::frame_stream;
+    use crate::native::NativeBackend;
+
+    #[test]
+    fn every_partition_decodes_identically() {
+        let frames = frame_stream(3, 21);
+        let expected = NativeBackend::new().run(&frames);
+        for p in VorbisPartition::ALL {
+            let run = run_partition(p, &frames).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            assert_eq!(run.pcm, expected, "partition {} output mismatch", p.label());
+            assert!(run.fpga_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn full_sw_has_no_link_traffic() {
+        let frames = frame_stream(2, 3);
+        let run = run_partition(VorbisPartition::F, &frames).unwrap();
+        assert_eq!(run.link.msgs_to_hw, 0);
+        assert_eq!(run.link.msgs_to_sw, 0);
+    }
+
+    #[test]
+    fn full_hw_crosses_only_frames_and_pcm() {
+        let frames = frame_stream(2, 3);
+        let run = run_partition(VorbisPartition::E, &frames).unwrap();
+        // chIn: K words per frame; chOut: K words per frame.
+        assert_eq!(run.link.words_to_hw, (2 * crate::kernel::K) as u64);
+        assert_eq!(run.link.words_to_sw, (2 * crate::kernel::K) as u64);
+    }
+
+    #[test]
+    fn per_partition_traffic_matches_the_analysis() {
+        // Words per frame crossing the bus, per partition (the §7.1
+        // communication analysis): raw frame = 32 words, complex frame =
+        // 128, real frame = 64, PCM = 32.
+        let frames = frame_stream(4, 1);
+        let words = |p| {
+            let r = run_partition(p, &frames).unwrap();
+            ((r.link.words_to_hw + r.link.words_to_sw) / 4) as usize
+        };
+        assert_eq!(words(VorbisPartition::A), 64 + 32, "real frame over, PCM back");
+        assert_eq!(words(VorbisPartition::B), 128 + 128, "complex frame each way");
+        assert_eq!(words(VorbisPartition::C), 128 + 128 + 64 + 32, "four crossings");
+        assert_eq!(words(VorbisPartition::D), 32 + 64, "raw over, real back");
+        assert_eq!(words(VorbisPartition::E), 32 + 32, "raw over, PCM back");
+        assert_eq!(words(VorbisPartition::F), 0);
+    }
+
+    #[test]
+    fn figure13_shape_holds_on_small_stream() {
+        // The qualitative claims of §7.1, on a short stream:
+        //  - E is the fastest;
+        //  - A and C are slower than F (window/IFFT moves don't pay);
+        //  - D beats F (one crossing, frame-granularity transfers).
+        let frames = frame_stream(12, 77);
+        let t = |p| run_partition(p, &frames).unwrap().fpga_cycles;
+        let (a, c, d, e, f) = (
+            t(VorbisPartition::A),
+            t(VorbisPartition::C),
+            t(VorbisPartition::D),
+            t(VorbisPartition::E),
+            t(VorbisPartition::F),
+        );
+        assert!(e < f, "E ({e}) must beat F ({f})");
+        assert!(e < d, "E ({e}) must beat D ({d})");
+        assert!(d < f, "D ({d}) must beat F ({f})");
+        assert!(a > f, "A ({a}) must be slower than F ({f})");
+        assert!(c > f, "C ({c}) must be slower than F ({f})");
+    }
+}

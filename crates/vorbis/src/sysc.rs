@@ -1,0 +1,161 @@
+//! The SystemC-style baseline (F1 in Figure 13).
+//!
+//! The same back-end, written the way the paper's authors wrote their
+//! SystemC comparison point: one simulation process per pipeline stage,
+//! communicating through `sc_fifo`-style channels on the
+//! [`bcl_eventsim`] kernel. The computation inside each process is the
+//! *identical* fixed-point kernel code (so PCM output is bit-exact with
+//! every other implementation); what differs is that every token movement
+//! pays discrete-event simulation overhead, which is why this baseline
+//! lands at roughly 3× the hand-written software.
+
+use crate::kernel::{
+    ifft_stage, imdct_post, imdct_pre, window_apply, Cplx, FixArith, K, N, STAGES,
+};
+use bcl_eventsim::{EventSim, FifoId, SimConfig};
+
+/// Payload: a frame at any stage of the pipeline, as interleaved
+/// fixed-point words (re/im pairs for complex stages).
+type Token = Vec<i64>;
+
+/// Extra cycles per *word* moved through a channel: a real SystemC
+/// implementation transports samples through `sc_fifo<int>` one element
+/// at a time, paying synchronization per element, not per frame.
+pub const WORD_CHANNEL_COST: u64 = 6;
+
+fn interleave(xs: &[Cplx<i64>]) -> Token {
+    xs.iter().flat_map(|c| [c.re, c.im]).collect()
+}
+
+fn deinterleave(t: &[i64]) -> Vec<Cplx<i64>> {
+    t.chunks(2).map(|p| Cplx::new(p[0], p[1])).collect()
+}
+
+/// Result of the SystemC-style run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemCRun {
+    /// Decoded PCM stream (bit-exact with the native backend).
+    pub pcm: Vec<i64>,
+    /// Modeled CPU cycles (compute + event kernel overhead).
+    pub cpu_cycles: u64,
+    /// Process activations dispatched by the kernel.
+    pub activations: u64,
+}
+
+/// Runs the frame stream through the SystemC-style model.
+pub fn run_systemc_baseline(frames: &[Vec<i64>], cfg: SimConfig) -> SystemCRun {
+    let mut sim: EventSim<Token> = EventSim::new(cfg);
+    let ch_raw = sim.fifo(4);
+    let ch_pre = sim.fifo(4);
+    let mut ch_stage: Vec<FifoId> = Vec::new();
+    for _ in 0..STAGES {
+        ch_stage.push(sim.fifo(4));
+    }
+    let ch_real = sim.fifo(4);
+    let ch_pcm = sim.fifo(frames.len().max(1) * 2);
+
+    let charge_of = |a: &FixArith| a.ops;
+
+    {
+        let out = ch_pre;
+        sim.process("imdct_pre", vec![ch_raw, out], move |ctx| {
+            if ctx.is_empty(ch_raw) || ctx.len(out) >= 4 {
+                return false;
+            }
+            let f = ctx.try_get(ch_raw).expect("checked");
+            let mut a = FixArith::default();
+            let v = imdct_pre(&mut a, &f);
+            ctx.charge(charge_of(&a) + (f.len() + 2 * v.len()) as u64 * WORD_CHANNEL_COST);
+            ctx.try_put(out, interleave(&v)).expect("space checked");
+            true
+        });
+    }
+    for s in 0..STAGES {
+        let inp = if s == 0 { ch_pre } else { ch_stage[s - 1] };
+        let out = ch_stage[s];
+        sim.process(format!("ifft_stage{s}"), vec![inp, out], move |ctx| {
+            if ctx.is_empty(inp) || ctx.len(out) >= 4 {
+                return false;
+            }
+            let t = ctx.try_get(inp).expect("checked");
+            let mut a = FixArith::default();
+            let v = ifft_stage(&mut a, &deinterleave(&t), s);
+            ctx.charge(charge_of(&a) + (t.len() + 2 * v.len()) as u64 * WORD_CHANNEL_COST);
+            ctx.try_put(out, interleave(&v)).expect("space checked");
+            true
+        });
+    }
+    {
+        let inp = ch_stage[STAGES - 1];
+        sim.process("imdct_post", vec![inp, ch_real], move |ctx| {
+            if ctx.is_empty(inp) || ctx.len(ch_real) >= 4 {
+                return false;
+            }
+            let t = ctx.try_get(inp).expect("checked");
+            let mut a = FixArith::default();
+            let v = imdct_post(&mut a, &deinterleave(&t));
+            ctx.charge(charge_of(&a) + (t.len() + v.len()) as u64 * WORD_CHANNEL_COST);
+            ctx.try_put(ch_real, v).expect("space checked");
+            true
+        });
+    }
+    {
+        let mut tail = vec![0i64; K];
+        sim.process("window", vec![ch_real], move |ctx| {
+            if ctx.is_empty(ch_real) {
+                return false;
+            }
+            let cur = ctx.try_get(ch_real).expect("checked");
+            assert_eq!(cur.len(), N);
+            let mut a = FixArith::default();
+            let (pcm, new_tail) = window_apply(&mut a, &tail, &cur);
+            tail = new_tail;
+            ctx.charge(charge_of(&a) + (cur.len() + pcm.len()) as u64 * WORD_CHANNEL_COST);
+            ctx.try_put(ch_pcm, pcm).expect("sized for all frames");
+            true
+        });
+    }
+
+    for f in frames {
+        sim.put(ch_raw, f.clone());
+    }
+    let cpu_cycles = sim.run();
+    let pcm = sim.drain(ch_pcm).into_iter().flatten().collect();
+    SystemCRun { pcm, cpu_cycles, activations: sim.stats().activations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frames::frame_stream;
+    use crate::native::NativeBackend;
+
+    #[test]
+    fn matches_native_output() {
+        let frames = frame_stream(4, 13);
+        let expected = NativeBackend::new().run(&frames);
+        let run = run_systemc_baseline(&frames, SimConfig::default());
+        assert_eq!(run.pcm, expected);
+    }
+
+    #[test]
+    fn event_overhead_dominates_vs_native() {
+        // The F1 ≈ 3× F2 relationship of Figure 13 (within a loose band:
+        // the exact ratio depends on the kernel's event cost calibration).
+        let frames = frame_stream(10, 5);
+        let mut native = NativeBackend::new();
+        native.run(&frames);
+        let f2 = native.cpu_cycles();
+        let f1 = run_systemc_baseline(&frames, SimConfig::default()).cpu_cycles;
+        let ratio = f1 as f64 / f2 as f64;
+        assert!(ratio > 1.5, "SystemC must be much slower: ratio {ratio:.2}");
+        assert!(ratio < 6.0, "...but in the same decade: ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn activations_scale_with_frames() {
+        let r2 = run_systemc_baseline(&frame_stream(2, 1), SimConfig::default());
+        let r8 = run_systemc_baseline(&frame_stream(8, 1), SimConfig::default());
+        assert!(r8.activations > r2.activations);
+    }
+}

@@ -1,0 +1,16 @@
+//! # bcl-suite — workspace umbrella
+//!
+//! Re-exports the crates of the BCL reproduction for the workspace-level
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//! See the README for the repository map and DESIGN.md for the system
+//! inventory.
+
+#![warn(missing_docs)]
+
+pub use bcl_backend as backend;
+pub use bcl_core as core;
+pub use bcl_eventsim as eventsim;
+pub use bcl_frontend as frontend;
+pub use bcl_platform as platform;
+pub use bcl_raytrace as raytrace;
+pub use bcl_vorbis as vorbis;

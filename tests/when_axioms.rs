@@ -1,0 +1,245 @@
+//! The when-axioms of Figure 8, checked dynamically: each axiom states
+//! that two action forms are equivalent; we execute both sides as rules
+//! from identical states (sweeping the predicate values) and compare the
+//! resulting stores and firing outcomes.
+
+use bcl_core::ast::{Action, Expr, Path, PrimId, PrimMethod, RuleDef, Target};
+use bcl_core::design::{Design, PrimDef};
+use bcl_core::exec::run_rule;
+use bcl_core::prim::PrimSpec;
+use bcl_core::store::{ShadowPolicy, Store};
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+
+const R1: PrimId = PrimId(0);
+const R2: PrimId = PrimId(1);
+const P: PrimId = PrimId(2); // predicate register
+const Q: PrimId = PrimId(3); // second predicate register
+
+fn design() -> Design {
+    Design {
+        name: "axioms".into(),
+        prims: vec![
+            PrimDef { path: Path::new("r1"), spec: PrimSpec::Reg { init: Value::int(32, 10) } },
+            PrimDef { path: Path::new("r2"), spec: PrimSpec::Reg { init: Value::int(32, 20) } },
+            PrimDef { path: Path::new("p"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
+            PrimDef { path: Path::new("q"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
+        ],
+        ..Default::default()
+    }
+}
+
+fn wr(id: PrimId, v: i64) -> Action {
+    Action::Write(Target::Prim(id, PrimMethod::RegWrite), Box::new(Expr::int(32, v)))
+}
+fn rdb(id: PrimId) -> Expr {
+    Expr::Call(Target::Prim(id, PrimMethod::RegRead), vec![])
+}
+fn when(g: Expr, a: Action) -> Action {
+    Action::When(Box::new(g), Box::new(a))
+}
+fn par(a: Action, b: Action) -> Action {
+    Action::Par(Box::new(a), Box::new(b))
+}
+fn seq(a: Action, b: Action) -> Action {
+    Action::Seq(Box::new(a), Box::new(b))
+}
+fn ife(c: Expr, t: Action) -> Action {
+    Action::If(Box::new(c), Box::new(t), Box::new(Action::NoAction))
+}
+
+/// Executes both actions as rules from every combination of the two
+/// predicate registers and asserts identical outcomes and final states.
+fn assert_equiv(lhs: &Action, rhs: &Action, name: &str) {
+    let d = design();
+    for pv in [false, true] {
+        for qv in [false, true] {
+            let mut s1 = Store::new(&d);
+            s1.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+            s1.state_mut(Q).call_action(PrimMethod::RegWrite, &[Value::Bool(qv)]).unwrap();
+            let mut s2 = s1.clone();
+            let o1 = run_rule(&mut s1, lhs, ShadowPolicy::Partial).unwrap();
+            let o2 = run_rule(&mut s2, rhs, ShadowPolicy::Partial).unwrap();
+            assert_eq!(o1.0, o2.0, "{name}: firing differs at p={pv}, q={qv}");
+            assert_eq!(s1, s2, "{name}: state differs at p={pv}, q={qv}");
+        }
+    }
+}
+
+#[test]
+fn a1_par_left_guard_lifts() {
+    // (a1 when p) | a2  ≡  (a1 | a2) when p
+    let lhs = par(when(rdb(P), wr(R1, 1)), wr(R2, 2));
+    let rhs = when(rdb(P), par(wr(R1, 1), wr(R2, 2)));
+    assert_equiv(&lhs, &rhs, "A.1");
+}
+
+#[test]
+fn a2_par_right_guard_lifts() {
+    // a1 | (a2 when p)  ≡  (a1 | a2) when p
+    let lhs = par(wr(R1, 1), when(rdb(P), wr(R2, 2)));
+    let rhs = when(rdb(P), par(wr(R1, 1), wr(R2, 2)));
+    assert_equiv(&lhs, &rhs, "A.2");
+}
+
+#[test]
+fn a3_seq_first_guard_lifts() {
+    // (a1 when p) ; a2  ≡  (a1 ; a2) when p
+    let lhs = seq(when(rdb(P), wr(R1, 1)), wr(R2, 2));
+    let rhs = when(rdb(P), seq(wr(R1, 1), wr(R2, 2)));
+    assert_equiv(&lhs, &rhs, "A.3");
+}
+
+#[test]
+fn a4_guard_in_condition_always_counts() {
+    // if (e when p) then a  ≡  (if e then a) when p
+    let lhs = Action::If(
+        Box::new(Expr::When(Box::new(rdb(Q)), Box::new(rdb(P)))),
+        Box::new(wr(R1, 1)),
+        Box::new(Action::NoAction),
+    );
+    let rhs = when(rdb(P), ife(rdb(Q), wr(R1, 1)));
+    assert_equiv(&lhs, &rhs, "A.4");
+}
+
+#[test]
+fn a5_branch_guard_counts_only_when_taken() {
+    // if e then (a when p)  ≡  (if e then a) when (p ∨ ¬e)
+    let lhs = ife(rdb(Q), when(rdb(P), wr(R1, 1)));
+    let rhs = when(
+        Expr::Bin(
+            bcl_core::BinOp::Or,
+            Box::new(rdb(P)),
+            Box::new(Expr::Un(bcl_core::UnOp::Not, Box::new(rdb(Q)))),
+        ),
+        ife(rdb(Q), wr(R1, 1)),
+    );
+    assert_equiv(&lhs, &rhs, "A.5");
+}
+
+#[test]
+fn a6_nested_whens_merge() {
+    // (a when p) when q  ≡  a when (p ∧ q)
+    let lhs = when(rdb(Q), when(rdb(P), wr(R1, 1)));
+    let rhs = when(
+        Expr::Bin(bcl_core::BinOp::And, Box::new(rdb(P)), Box::new(rdb(Q))),
+        wr(R1, 1),
+    );
+    assert_equiv(&lhs, &rhs, "A.6");
+}
+
+#[test]
+fn a7_guard_moves_out_of_register_write() {
+    // r := (e when p)  ≡  (r := e) when p
+    let lhs = Action::Write(
+        Target::Prim(R1, PrimMethod::RegWrite),
+        Box::new(Expr::When(Box::new(Expr::int(32, 5)), Box::new(rdb(P)))),
+    );
+    let rhs = when(rdb(P), wr(R1, 5));
+    assert_equiv(&lhs, &rhs, "A.7");
+}
+
+#[test]
+fn a8_guard_moves_out_of_method_argument() {
+    // m.h(e when p)  ≡  m.h(e) when p   (here: a register-file update)
+    let d = Design {
+        name: "a8".into(),
+        prims: vec![
+            PrimDef {
+                path: Path::new("rf"),
+                spec: PrimSpec::RegFile { size: 2, ty: Type::Int(32), init: vec![] },
+            },
+            PrimDef { path: Path::new("p"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
+        ],
+        ..Default::default()
+    };
+    let rf = PrimId(0);
+    let p = PrimId(1);
+    let lhs = Action::Call(
+        Target::Prim(rf, PrimMethod::Upd),
+        vec![
+            Expr::int(32, 0),
+            Expr::When(Box::new(Expr::int(32, 9)), Box::new(rdb(p))),
+        ],
+    );
+    let rhs = Action::When(
+        Box::new(rdb(p)),
+        Box::new(Action::Call(
+            Target::Prim(rf, PrimMethod::Upd),
+            vec![Expr::int(32, 0), Expr::int(32, 9)],
+        )),
+    );
+    for pv in [false, true] {
+        let mut s1 = Store::new(&d);
+        s1.state_mut(p).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+        let mut s2 = s1.clone();
+        let o1 = run_rule(&mut s1, &lhs, ShadowPolicy::Partial).unwrap();
+        let o2 = run_rule(&mut s2, &rhs, ShadowPolicy::Partial).unwrap();
+        assert_eq!(o1.0, o2.0, "A.8 firing at p={pv}");
+        assert_eq!(s1, s2, "A.8 state at p={pv}");
+    }
+}
+
+#[test]
+fn a9_top_level_if_and_when_coincide() {
+    // Rule n (if p then a)  ≡  Rule n (a when p) — *for firing purposes*
+    // the two differ (if fires vacuously), but their state effects match;
+    // this is why the scheduler treats a false lifted guard as "cannot
+    // fire" rather than "fires with no effect".
+    let lhs = ife(rdb(P), wr(R1, 1));
+    let rhs = when(rdb(P), wr(R1, 1));
+    let d = design();
+    for pv in [false, true] {
+        let mut s1 = Store::new(&d);
+        s1.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+        let mut s2 = s1.clone();
+        run_rule(&mut s1, &lhs, ShadowPolicy::Partial).unwrap();
+        run_rule(&mut s2, &rhs, ShadowPolicy::Partial).unwrap();
+        assert_eq!(s1, s2, "A.9 state at p={pv}");
+    }
+}
+
+#[test]
+fn lifted_rules_satisfy_the_axioms_wholesale() {
+    // Composite check: a rule using most constructs at once, compiled
+    // with lifting, must behave like the uncompiled rule (the axioms are
+    // exactly what the lifter applies).
+    use bcl_core::exec::{eval_guard_ro, run_rule_inplace, RuleOutcome};
+    use bcl_core::xform::{compile_rule, CompileOpts, ExecMode};
+
+    let body = seq(
+        when(rdb(P), wr(R1, 3)),
+        ife(rdb(Q), par(wr(R2, 4), Action::NoAction)),
+    );
+    let rule = RuleDef { name: "composite".into(), body };
+    let d = design();
+    for pv in [false, true] {
+        for qv in [false, true] {
+            let mut s_ref = Store::new(&d);
+            s_ref.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+            s_ref.state_mut(Q).call_action(PrimMethod::RegWrite, &[Value::Bool(qv)]).unwrap();
+            let mut s_plan = s_ref.clone();
+            let (ref_out, _) = run_rule(&mut s_ref, &rule.body, ShadowPolicy::Partial).unwrap();
+
+            let plan = compile_rule(&rule, CompileOpts::default());
+            let mut cost = Default::default();
+            let ok = match &plan.guard {
+                Some(g) => eval_guard_ro(&mut s_plan, g, &mut cost).unwrap(),
+                None => true,
+            };
+            let fired = ok
+                && match plan.mode {
+                    ExecMode::InPlace => {
+                        run_rule_inplace(&mut s_plan, &plan.body).unwrap();
+                        true
+                    }
+                    ExecMode::Transactional => {
+                        run_rule(&mut s_plan, &plan.body, ShadowPolicy::Partial).unwrap().0
+                            == RuleOutcome::Fired
+                    }
+                };
+            assert_eq!(fired, ref_out == RuleOutcome::Fired, "p={pv} q={qv}");
+            assert_eq!(s_ref, s_plan, "p={pv} q={qv}");
+        }
+    }
+}
