@@ -34,7 +34,10 @@ struct Emitter<'d> {
 pub fn emit_bsv(design: &Design) -> Result<String, ElabError> {
     // Reuse the HW simulator's legality check.
     HwSim::new(design)?;
-    let mut e = Emitter { design, typedefs: BTreeMap::new() };
+    let mut e = Emitter {
+        design,
+        typedefs: BTreeMap::new(),
+    };
     Ok(e.emit())
 }
 
@@ -76,8 +79,10 @@ impl<'d> Emitter<'d> {
             }
             Value::Struct(fs) => {
                 let ty = self.bsv_type(&v.type_of());
-                let items: Vec<String> =
-                    fs.iter().map(|(n, x)| format!("{n}: {}", self.bsv_value(x))).collect();
+                let items: Vec<String> = fs
+                    .iter()
+                    .map(|(n, x)| format!("{n}: {}", self.bsv_value(x)))
+                    .collect();
                 format!("{ty} {{{}}}", items.join(", "))
             }
         }
@@ -159,12 +164,19 @@ impl<'d> Emitter<'d> {
                 let field_types: Vec<(String, Type)> =
                     fs.iter().map(|(n, _)| (n.clone(), Type::Bits(0))).collect();
                 let _ = field_types;
-                let items: Vec<String> =
-                    fs.iter().map(|(n, x)| format!("{n}: {}", self.expr(x))).collect();
+                let items: Vec<String> = fs
+                    .iter()
+                    .map(|(n, x)| format!("{n}: {}", self.expr(x)))
+                    .collect();
                 format!("unpack(pack(/* struct */ {{{}}}))", items.join(", "))
             }
             Expr::UpdateIndex(v, i, x) => {
-                format!("update({}, {}, {})", self.expr(v), self.expr(i), self.expr(x))
+                format!(
+                    "update({}, {}, {})",
+                    self.expr(v),
+                    self.expr(i),
+                    self.expr(x)
+                )
             }
             Expr::UpdateField(v, f, x) => {
                 format!("updateField_{f}({}, {})", self.expr(v), self.expr(x))
@@ -236,7 +248,13 @@ impl<'d> Emitter<'d> {
     fn emit(&mut self) -> String {
         let design = self.design;
         // Lift guards so each rule condition is explicit BSV.
-        let plans = compile_design(design, CompileOpts { lift: true, sequentialize: false });
+        let plans = compile_design(
+            design,
+            CompileOpts {
+                lift: true,
+                sequentialize: false,
+            },
+        );
 
         let mut state = String::new();
         for (id, p) in design.prims_iter() {
@@ -249,8 +267,7 @@ impl<'d> Emitter<'d> {
                 }
                 PrimSpec::Fifo { depth, ty } | PrimSpec::Sync { depth, ty, .. } => {
                     let t = self.bsv_type(ty);
-                    let _ =
-                        writeln!(state, "    FIFOF#({t}) {name} <- mkSizedFIFOF({depth});");
+                    let _ = writeln!(state, "    FIFOF#({t}) {name} <- mkSizedFIFOF({depth});");
                 }
                 PrimSpec::RegFile { size, ty, .. } => {
                     let t = self.bsv_type(ty);
@@ -290,8 +307,11 @@ impl<'d> Emitter<'d> {
         }
 
         let mut typedefs = String::new();
-        for (body, name) in
-            self.typedefs.iter().map(|(b, n)| (b.clone(), n.clone())).collect::<Vec<_>>()
+        for (body, name) in self
+            .typedefs
+            .iter()
+            .map(|(b, n)| (b.clone(), n.clone()))
+            .collect::<Vec<_>>()
         {
             let _ = writeln!(
                 typedefs,
@@ -336,7 +356,10 @@ mod tests {
     fn emits_module_and_state() {
         let bsv = emit_bsv(&pipe_design()).unwrap();
         assert!(bsv.contains("module mkPipe();"), "{bsv}");
-        assert!(bsv.contains("FIFOF#(Int#(32)) q0 <- mkSizedFIFOF(2);"), "{bsv}");
+        assert!(
+            bsv.contains("FIFOF#(Int#(32)) q0 <- mkSizedFIFOF(2);"),
+            "{bsv}"
+        );
         assert!(bsv.contains("Reg#(Int#(32)) count <- mkReg(0);"), "{bsv}");
         assert!(bsv.contains("endmodule"), "{bsv}");
     }

@@ -99,7 +99,11 @@ struct Emitter<'d> {
 
 /// Generates the C++ implementation of a design.
 pub fn emit_cxx(design: &Design, opts: CxxOptions) -> String {
-    let mut e = Emitter { design, structs: BTreeMap::new(), vars: Vec::new() };
+    let mut e = Emitter {
+        design,
+        structs: BTreeMap::new(),
+        vars: Vec::new(),
+    };
     e.emit(opts)
 }
 
@@ -162,9 +166,12 @@ impl<'d> Emitter<'d> {
     fn ty_of(&self, e: &Expr) -> Option<Type> {
         match e {
             Expr::Const(v) => Some(v.type_of()),
-            Expr::Var(n) => {
-                self.vars.iter().rev().find(|(k, _)| k == n).and_then(|(_, t)| t.clone())
-            }
+            Expr::Var(n) => self
+                .vars
+                .iter()
+                .rev()
+                .find(|(k, _)| k == n)
+                .and_then(|(_, t)| t.clone()),
             Expr::Un(UnOp::Not, _) => Some(Type::Bool),
             Expr::Un(_, a) => self.ty_of(a),
             Expr::Bin(op, a, b) => {
@@ -300,8 +307,7 @@ impl<'d> Emitter<'d> {
                 }
             }
             Expr::MkStruct(fs) => {
-                let items: Vec<String> =
-                    fs.iter().map(|(_, x)| self.expr(x, shadowed)).collect();
+                let items: Vec<String> = fs.iter().map(|(_, x)| self.expr(x, shadowed)).collect();
                 match self.ty_of(e) {
                     Some(t) => {
                         let ty = self.cxx_type(&t);
@@ -419,7 +425,10 @@ impl<'d> Emitter<'d> {
         let design = self.design;
         let plans = compile_design(
             design,
-            CompileOpts { lift: opts.lift, sequentialize: opts.lift },
+            CompileOpts {
+                lift: opts.lift,
+                sequentialize: opts.lift,
+            },
         );
 
         let mut members = String::new();
@@ -514,8 +523,11 @@ impl<'d> Emitter<'d> {
         let _ = writeln!(schedule, "    }}");
 
         let mut structs = String::new();
-        for (body, name) in
-            self.structs.iter().map(|(b, n)| (b.clone(), n.clone())).collect::<Vec<_>>()
+        for (body, name) in self
+            .structs
+            .iter()
+            .map(|(b, n)| (b.clone(), n.clone()))
+            .collect::<Vec<_>>()
         {
             let _ = writeln!(structs, "struct {name} {{\n{body}}};\n");
         }
@@ -565,10 +577,16 @@ mod tests {
     #[test]
     fn figure10_optimized_branches_to_guard() {
         let code = emit_cxx(&foo_design(), CxxOptions { lift: true });
-        assert!(!code.contains("bool foo() {\n        try"), "lifted rule must not use try/catch");
+        assert!(
+            !code.contains("bool foo() {\n        try"),
+            "lifted rule must not use try/catch"
+        );
         assert!(code.contains("if (!(f.can_enq())) return false;"), "{code}");
         assert!(code.contains("a.write(1);"), "in-situ writes\n{code}");
-        assert!(!code.contains("f.commit"), "no commit on the fast path\n{code}");
+        assert!(
+            !code.contains("f.commit"),
+            "no commit on the fast path\n{code}"
+        );
     }
 
     #[test]
@@ -601,7 +619,11 @@ mod tests {
         assert!(code.contains("class VorbisBackEnd"));
         assert!(code.contains("bool preTwiddle()"));
         assert!(code.contains("bool ifft_stage1()") || code.contains("bool ifft_stage"));
-        assert!(code.len() > 3_000, "substantial codegen: {} bytes", code.len());
+        assert!(
+            code.len() > 3_000,
+            "substantial codegen: {} bytes",
+            code.len()
+        );
     }
 
     /// Minimal local stand-in to avoid a circular dev-dependency on
@@ -635,7 +657,11 @@ mod tests {
                 ),
             );
             for s in 0..3 {
-                let from = if s == 0 { "chPre".to_string() } else { format!("b{s}") };
+                let from = if s == 0 {
+                    "chPre".to_string()
+                } else {
+                    format!("b{s}")
+                };
                 let to = format!("b{}", s + 1);
                 m.fifo(&to, 2, Type::vector(8, Type::fixpt()));
                 m.rule(

@@ -43,7 +43,11 @@ fn sample_design() -> bcl_core::Design {
     m.regfile("t", 8, Type::Int(32), vec![Value::int(32, 7)]);
     m.rule(
         "foo",
-        seq(vec![write("a", cint(32, 1)), enq("f", read("a")), write("a", cint(32, 0))]),
+        seq(vec![
+            write("a", cint(32, 1)),
+            enq("f", read("a")),
+            write("a", cint(32, 0)),
+        ]),
     );
     m.rule(
         "vecwork",
@@ -73,7 +77,10 @@ fn sample_design() -> bcl_core::Design {
         "cond",
         if_else(
             gt(read("a"), cint(32, 5)),
-            par(vec![write("flag", cbool(true)), upd("t", cint(32, 0), read("a"))]),
+            par(vec![
+                write("flag", cbool(true)),
+                upd("t", cint(32, 0), read("a")),
+            ]),
             write("flag", cbool(false)),
         ),
     );

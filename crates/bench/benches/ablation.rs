@@ -12,20 +12,36 @@ fn bench_ablations(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     let cases: &[(&str, CompileOpts, ShadowPolicy, Strategy)] = &[
-        ("all_opts", CompileOpts::default(), ShadowPolicy::Partial, Strategy::Dataflow),
+        (
+            "all_opts",
+            CompileOpts::default(),
+            ShadowPolicy::Partial,
+            Strategy::Dataflow,
+        ),
         (
             "no_lifting",
-            CompileOpts { lift: false, sequentialize: false },
+            CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
             ShadowPolicy::Partial,
             Strategy::Dataflow,
         ),
         (
             "full_shadows",
-            CompileOpts { lift: false, sequentialize: false },
+            CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
             ShadowPolicy::Full,
             Strategy::Dataflow,
         ),
-        ("round_robin", CompileOpts::default(), ShadowPolicy::Partial, Strategy::RoundRobin),
+        (
+            "round_robin",
+            CompileOpts::default(),
+            ShadowPolicy::Partial,
+            Strategy::RoundRobin,
+        ),
     ];
     for (name, compile, shadow, strategy) in cases {
         g.bench_function(*name, |b| {

@@ -4,7 +4,7 @@
 
 use bcl_core::builder::{dsl::*, ModuleBuilder};
 use bcl_core::program::Program;
-use bcl_core::sched::{HwSim, SwOptions, SwRunner, Strategy};
+use bcl_core::sched::{HwSim, Strategy, SwOptions, SwRunner};
 use bcl_core::types::Type;
 use bcl_core::value::Value;
 use bcl_core::xform::CompileOpts;
@@ -40,7 +40,10 @@ fn bench_exec(c: &mut Criterion) {
     });
     g.bench_function("sw_transactional_1000_firings", |b| {
         let opts = SwOptions {
-            compile: CompileOpts { lift: false, sequentialize: false },
+            compile: CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
             ..Default::default()
         };
         b.iter(|| {
@@ -65,8 +68,14 @@ fn bench_exec(c: &mut Criterion) {
             m.fifo(format!("q{i}"), 2, Type::Int(32));
         }
         m.rule("s0", with_first("x", "src", enq("q0", var("x"))));
-        m.rule("s1", with_first("x", "q0", enq("q1", add(var("x"), cint(32, 1)))));
-        m.rule("s2", with_first("x", "q1", enq("q2", mul(var("x"), cint(32, 2)))));
+        m.rule(
+            "s1",
+            with_first("x", "q0", enq("q1", add(var("x"), cint(32, 1)))),
+        );
+        m.rule(
+            "s2",
+            with_first("x", "q1", enq("q2", mul(var("x"), cint(32, 2)))),
+        );
         m.rule("s3", with_first("x", "q2", enq("snk", var("x"))));
         let d = bcl_core::elaborate(&Program::with_root(m.build())).unwrap();
         b.iter(|| {
@@ -78,7 +87,10 @@ fn bench_exec(c: &mut Criterion) {
             let mut r = SwRunner::with_store(
                 &d,
                 store,
-                SwOptions { strategy: Strategy::Dataflow, ..Default::default() },
+                SwOptions {
+                    strategy: Strategy::Dataflow,
+                    ..Default::default()
+                },
             );
             black_box(r.run_until_quiescent(10_000).unwrap())
         })

@@ -11,8 +11,8 @@
 //! qualitative shape.
 
 use bcl_bench::{
-    ablation_grid, bar_chart, measure_round_trip, measure_stream_bandwidth,
-    vorbis_baseline_rows, vorbis_partition_rows, Row, QUICK_FRAMES,
+    ablation_grid, bar_chart, measure_round_trip, measure_stream_bandwidth, vorbis_baseline_rows,
+    vorbis_partition_rows, Row, QUICK_FRAMES,
 };
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
@@ -30,8 +30,16 @@ fn fig13_vorbis(frames: usize) {
             cycles: r.fpga_cycles,
         })
         .collect();
-    rows.push(Row { label: "F1".into(), desc: "hand-coded SystemC (event-driven)".into(), cycles: f1 });
-    rows.push(Row { label: "F2".into(), desc: "hand-coded C++ (native)".into(), cycles: f2 });
+    rows.push(Row {
+        label: "F1".into(),
+        desc: "hand-coded SystemC (event-driven)".into(),
+        cycles: f1,
+    });
+    rows.push(Row {
+        label: "F2".into(),
+        desc: "hand-coded C++ (native)".into(),
+        cycles: f2,
+    });
     println!("{}", bar_chart("execution time (FPGA cycles)", &rows));
     println!("link traffic per partition:");
     for (p, r) in &runs {
@@ -44,8 +52,12 @@ fn fig13_vorbis(frames: usize) {
             r.link.msgs_to_sw
         );
     }
-    let f = runs.iter().find(|(p, _)| *p == bcl_vorbis::partitions::VorbisPartition::F);
-    let e = runs.iter().find(|(p, _)| *p == bcl_vorbis::partitions::VorbisPartition::E);
+    let f = runs
+        .iter()
+        .find(|(p, _)| *p == bcl_vorbis::partitions::VorbisPartition::F);
+    let e = runs
+        .iter()
+        .find(|(p, _)| *p == bcl_vorbis::partitions::VorbisPartition::E);
     if let (Some((_, f)), Some((_, e))) = (f, e) {
         println!(
             "\nshape checks: E/F speedup = {:.2}x, F1/F2 = {:.2}x",
@@ -62,7 +74,9 @@ fn fig13_raytrace(scale: Scale) {
         Scale::Medium => (1024, 16, 16),
         Scale::Quick => (128, 8, 8),
     };
-    println!("== Figure 13 (right): RayTrace execution time, {tris} primitives, {w}x{h} image ==\n");
+    println!(
+        "== Figure 13 (right): RayTrace execution time, {tris} primitives, {w}x{h} image ==\n"
+    );
     let bvh = build_bvh(&make_scene(tris, 2012));
     let rows: Vec<Row> = RtPartition::ALL
         .iter()
@@ -112,7 +126,11 @@ fn partitions() {
             p.label(),
             c.trav,
             c.geom,
-            if c.remote_scene { "SW (shipped)" } else { c.geom.as_str() },
+            if c.remote_scene {
+                "SW (shipped)"
+            } else {
+                c.geom.as_str()
+            },
             p.description()
         );
     }
@@ -128,7 +146,11 @@ fn codegen() {
     m.fifo("f", 2, bcl_core::Type::Int(32));
     m.rule(
         "foo",
-        seq(vec![write("a", cint(32, 1)), enq("f", read("a")), write("a", cint(32, 0))]),
+        seq(vec![
+            write("a", cint(32, 1)),
+            enq("f", read("a")),
+            write("a", cint(32, 0)),
+        ]),
     );
     let d = bcl_core::elaborate(&Program::with_root(m.build())).expect("elaborates");
     let pick = |code: &str| {
@@ -140,9 +162,15 @@ fn codegen() {
             .join("\n")
     };
     let unopt = bcl_backend::emit_cxx(&d, bcl_backend::CxxOptions { lift: false });
-    println!("--- Figure 9 (without inlining/lifting) ---\n{}\n", pick(&unopt));
+    println!(
+        "--- Figure 9 (without inlining/lifting) ---\n{}\n",
+        pick(&unopt)
+    );
     let opt = bcl_backend::emit_cxx(&d, bcl_backend::CxxOptions { lift: true });
-    println!("--- Figure 10 (with inlining/lifting) ---\n{}\n", pick(&opt));
+    println!(
+        "--- Figure 10 (with inlining/lifting) ---\n{}\n",
+        pick(&opt)
+    );
 }
 
 fn ablation(frames: usize) {
@@ -187,7 +215,11 @@ fn main() {
         Scale::Medium => 2_000,
         Scale::Quick => QUICK_FRAMES,
     };
-    let what: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let what = if what.is_empty() { vec!["all"] } else { what };
     for w in what {
         match w {

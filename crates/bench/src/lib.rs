@@ -120,7 +120,12 @@ pub fn vorbis_sw_ablation(opts: SwOptions, n: usize, seed: u64) -> AblationRow {
 pub fn ablation_grid(n: usize, seed: u64) -> Vec<AblationRow> {
     let mk = |name: &str, compile: CompileOpts, shadow: ShadowPolicy, strategy: Strategy| {
         let mut row = vorbis_sw_ablation(
-            SwOptions { compile, shadow, strategy, ..Default::default() },
+            SwOptions {
+                compile,
+                shadow,
+                strategy,
+                ..Default::default()
+            },
             n,
             seed,
         );
@@ -128,15 +133,51 @@ pub fn ablation_grid(n: usize, seed: u64) -> Vec<AblationRow> {
         row
     };
     let full = CompileOpts::default();
-    let nolift = CompileOpts { lift: false, sequentialize: false };
-    let noseq = CompileOpts { lift: true, sequentialize: false };
+    let nolift = CompileOpts {
+        lift: false,
+        sequentialize: false,
+    };
+    let noseq = CompileOpts {
+        lift: true,
+        sequentialize: false,
+    };
     vec![
-        mk("all optimizations", full, ShadowPolicy::Partial, Strategy::Dataflow),
-        mk("no guard lifting", nolift, ShadowPolicy::Partial, Strategy::Dataflow),
-        mk("no sequentialization", noseq, ShadowPolicy::Partial, Strategy::Dataflow),
-        mk("full shadows", nolift, ShadowPolicy::Full, Strategy::Dataflow),
-        mk("round-robin schedule", full, ShadowPolicy::Partial, Strategy::RoundRobin),
-        mk("priority schedule", full, ShadowPolicy::Partial, Strategy::Priority),
+        mk(
+            "all optimizations",
+            full,
+            ShadowPolicy::Partial,
+            Strategy::Dataflow,
+        ),
+        mk(
+            "no guard lifting",
+            nolift,
+            ShadowPolicy::Partial,
+            Strategy::Dataflow,
+        ),
+        mk(
+            "no sequentialization",
+            noseq,
+            ShadowPolicy::Partial,
+            Strategy::Dataflow,
+        ),
+        mk(
+            "full shadows",
+            nolift,
+            ShadowPolicy::Full,
+            Strategy::Dataflow,
+        ),
+        mk(
+            "round-robin schedule",
+            full,
+            ShadowPolicy::Partial,
+            Strategy::RoundRobin,
+        ),
+        mk(
+            "priority schedule",
+            full,
+            ShadowPolicy::Partial,
+            Strategy::Priority,
+        ),
     ]
 }
 
@@ -165,7 +206,9 @@ pub fn measure_round_trip() -> u64 {
     let mut cs =
         Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).expect("cosim");
     cs.push_source("src", Value::int(32, 1));
-    let out = cs.run_until(|c| c.sink_count("snk") == 1, 10_000).expect("runs");
+    let out = cs
+        .run_until(|c| c.sink_count("snk") == 1, 10_000)
+        .expect("runs");
     out.fpga_cycles()
 }
 
@@ -194,17 +237,28 @@ pub fn measure_stream_bandwidth(words: usize) -> f64 {
     let d = bcl_core::elaborate(&Program::with_root(m.build())).expect("elaborates");
     let p = partition(&d, SW).expect("partitions");
     // An infinitely fast driver isolates the physical link bandwidth.
-    let cfg = LinkConfig { sw_word_cost: 0, sw_msg_overhead: 0, ..Default::default() };
+    let cfg = LinkConfig {
+        sw_word_cost: 0,
+        sw_msg_overhead: 0,
+        ..Default::default()
+    };
     let mut cs = Cosim::new(&p, SW, HW, cfg, SwOptions::default()).expect("cosim");
     let bursts = words.div_ceil(BURST);
     for i in 0..bursts {
         cs.push_source(
             "src",
-            Value::Vec((0..BURST).map(|j| Value::int(32, (i * BURST + j) as i64)).collect()),
+            Value::Vec(
+                (0..BURST)
+                    .map(|j| Value::int(32, (i * BURST + j) as i64))
+                    .collect(),
+            ),
         );
     }
     let out = cs
-        .run_until(|c| c.sink_count("snk") == bursts, 100_000 + 10 * words as u64)
+        .run_until(
+            |c| c.sink_count("snk") == bursts,
+            100_000 + 10 * words as u64,
+        )
         .expect("runs");
     (bursts * BURST * 4) as f64 / out.fpga_cycles() as f64
 }
@@ -230,7 +284,10 @@ mod tests {
     fn stream_bandwidth_near_4_bytes_per_cycle() {
         let bw = measure_stream_bandwidth(2000);
         assert!(bw > 3.0, "bandwidth {bw:.2} B/cycle too low");
-        assert!(bw <= 4.2, "bandwidth {bw:.2} B/cycle exceeds the link model");
+        assert!(
+            bw <= 4.2,
+            "bandwidth {bw:.2} B/cycle exceeds the link model"
+        );
     }
 
     #[test]
@@ -253,8 +310,16 @@ mod tests {
     #[test]
     fn bar_chart_renders() {
         let rows = vec![
-            Row { label: "A".into(), desc: "x".into(), cycles: 100 },
-            Row { label: "B".into(), desc: "y".into(), cycles: 50 },
+            Row {
+                label: "A".into(),
+                desc: "x".into(),
+                cycles: 100,
+            },
+            Row {
+                label: "B".into(),
+                desc: "y".into(),
+                cycles: 50,
+            },
         ];
         let s = bar_chart("test", &rows);
         assert!(s.contains('A') && s.contains("100"));

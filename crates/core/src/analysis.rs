@@ -48,7 +48,10 @@ impl RwSet {
 
     /// All primitives touched in any way.
     pub fn touched_prims(&self) -> BTreeSet<PrimId> {
-        self.written_prims().union(&self.read_prims()).copied().collect()
+        self.written_prims()
+            .union(&self.read_prims())
+            .copied()
+            .collect()
     }
 
     fn record(&mut self, t: &Target) {
@@ -169,7 +172,8 @@ pub fn rules_conflict(a: &RwSet, b: &RwSet) -> bool {
     let pair_conflicts = |xs: &BTreeSet<(PrimId, PrimMethod)>,
                           ys: &BTreeSet<(PrimId, PrimMethod)>| {
         xs.iter().any(|(p, m)| {
-            ys.iter().any(|(q, n)| p == q && !methods_compatible(*m, *n))
+            ys.iter()
+                .any(|(q, n)| p == q && !methods_compatible(*m, *n))
         })
     };
     pair_conflicts(&a.writes, &b.writes)
@@ -189,8 +193,11 @@ pub struct ConflictInfo {
 impl ConflictInfo {
     /// Computes the conflict matrix for a design.
     pub fn of_design(design: &Design) -> ConflictInfo {
-        let rwsets: Vec<RwSet> =
-            design.rules.iter().map(|r| RwSet::of_action(&r.body)).collect();
+        let rwsets: Vec<RwSet> = design
+            .rules
+            .iter()
+            .map(|r| RwSet::of_action(&r.body))
+            .collect();
         let n = rwsets.len();
         let mut matrix = vec![vec![false; n]; n];
         for i in 0..n {
@@ -214,7 +221,11 @@ impl ConflictInfo {
 /// FIFO, or register/regfile write → read). Used by the chained software
 /// scheduler to follow data through the design (§6.3 "Scheduling").
 pub fn successors(design: &Design) -> Vec<Vec<usize>> {
-    let rwsets: Vec<RwSet> = design.rules.iter().map(|r| RwSet::of_action(&r.body)).collect();
+    let rwsets: Vec<RwSet> = design
+        .rules
+        .iter()
+        .map(|r| RwSet::of_action(&r.body))
+        .collect();
     let n = rwsets.len();
     let mut out = vec![Vec::new(); n];
     for i in 0..n {
@@ -223,14 +234,15 @@ pub fn successors(design: &Design) -> Vec<Vec<usize>> {
                 continue;
             }
             let feeds = rwsets[i].writes.iter().any(|(p, m)| match m {
-                PrimMethod::Enq => jset
-                    .reads
-                    .iter()
-                    .any(|(q, n)| q == p && matches!(n, PrimMethod::First | PrimMethod::NotEmpty))
-                    || jset.writes.iter().any(|(q, n)| q == p && *n == PrimMethod::Deq),
-                PrimMethod::RegWrite | PrimMethod::Upd => {
-                    jset.reads.iter().any(|(q, _)| q == p)
+                PrimMethod::Enq => {
+                    jset.reads.iter().any(|(q, n)| {
+                        q == p && matches!(n, PrimMethod::First | PrimMethod::NotEmpty)
+                    }) || jset
+                        .writes
+                        .iter()
+                        .any(|(q, n)| q == p && *n == PrimMethod::Deq)
                 }
+                PrimMethod::RegWrite | PrimMethod::Upd => jset.reads.iter().any(|(q, _)| q == p),
                 _ => false,
             });
             if feeds {
@@ -322,9 +334,26 @@ mod tests {
         Design {
             name: "pipe".into(),
             prims: vec![
-                PrimDef { path: Path::new("r"), spec: PrimSpec::Reg { init: Value::int(8, 0) } },
-                PrimDef { path: Path::new("q0"), spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(8) } },
-                PrimDef { path: Path::new("q1"), spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(8) } },
+                PrimDef {
+                    path: Path::new("r"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(8, 0),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("q0"),
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(8),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("q1"),
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(8),
+                    },
+                },
             ],
             rules: vec![
                 crate::ast::RuleDef {

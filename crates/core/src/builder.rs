@@ -34,7 +34,9 @@ pub struct ModuleBuilder {
 impl ModuleBuilder {
     /// Starts a module definition.
     pub fn new(name: impl Into<String>) -> ModuleBuilder {
-        ModuleBuilder { def: ModuleDef::new(name) }
+        ModuleBuilder {
+            def: ModuleDef::new(name),
+        }
     }
 
     /// Declares a constructor parameter.
@@ -75,7 +77,12 @@ impl ModuleBuilder {
     ) -> &mut Self {
         self.inst(
             name,
-            InstKind::Prim(PrimSpec::Sync { depth, ty, from: from.into(), to: to.into() }),
+            InstKind::Prim(PrimSpec::Sync {
+                depth,
+                ty,
+                from: from.into(),
+                to: to.into(),
+            }),
         )
     }
 
@@ -100,12 +107,24 @@ impl ModuleBuilder {
 
     /// Instantiates a test-bench input port pinned to a domain.
     pub fn source(&mut self, name: impl Into<String>, ty: Type, domain: &str) -> &mut Self {
-        self.inst(name, InstKind::Prim(PrimSpec::Source { ty, domain: domain.into() }))
+        self.inst(
+            name,
+            InstKind::Prim(PrimSpec::Source {
+                ty,
+                domain: domain.into(),
+            }),
+        )
     }
 
     /// Instantiates an output port pinned to a domain.
     pub fn sink(&mut self, name: impl Into<String>, ty: Type, domain: &str) -> &mut Self {
-        self.inst(name, InstKind::Prim(PrimSpec::Sink { ty, domain: domain.into() }))
+        self.inst(
+            name,
+            InstKind::Prim(PrimSpec::Sink {
+                ty,
+                domain: domain.into(),
+            }),
+        )
     }
 
     /// Instantiates a user-defined submodule.
@@ -115,17 +134,29 @@ impl ModuleBuilder {
         def: impl Into<String>,
         args: Vec<Value>,
     ) -> &mut Self {
-        self.inst(name, InstKind::Module { def: def.into(), args })
+        self.inst(
+            name,
+            InstKind::Module {
+                def: def.into(),
+                args,
+            },
+        )
     }
 
     fn inst(&mut self, name: impl Into<String>, kind: InstKind) -> &mut Self {
-        self.def.insts.push(InstDef { name: name.into(), kind });
+        self.def.insts.push(InstDef {
+            name: name.into(),
+            kind,
+        });
         self
     }
 
     /// Adds a rule.
     pub fn rule(&mut self, name: impl Into<String>, body: Action) -> &mut Self {
-        self.def.rules.push(RuleDef { name: name.into(), body });
+        self.def.rules.push(RuleDef {
+            name: name.into(),
+            body,
+        });
         self
     }
 
@@ -403,7 +434,11 @@ pub mod dsl {
     /// Pop the head of `from` and run `body` with it bound to `name`
     /// (common move idiom): `let name = from.first in (body | from.deq)`.
     pub fn with_first(name: &str, from: &str, body: Action) -> Action {
-        let_a(name, first(from), Action::Par(Box::new(body), Box::new(deq(from))))
+        let_a(
+            name,
+            first(from),
+            Action::Par(Box::new(body), Box::new(deq(from))),
+        )
     }
 }
 
@@ -421,7 +456,10 @@ mod tests {
         m.reg("count", Value::int(32, 0));
         m.rule(
             "tick",
-            when_a(lt(read("count"), cint(32, 3)), write("count", add(read("count"), cint(32, 1)))),
+            when_a(
+                lt(read("count"), cint(32, 3)),
+                write("count", add(read("count"), cint(32, 1))),
+            ),
         );
         let d = elaborate(&Program::with_root(m.build())).unwrap();
         let mut r = SwRunner::new(&d, SwOptions::default());
@@ -449,7 +487,10 @@ mod tests {
         r.run_until_quiescent(5).unwrap();
         let b = d.prim_id("b").unwrap();
         assert_eq!(
-            r.store.state(b).call_value(crate::ast::PrimMethod::First, &[]).unwrap(),
+            r.store
+                .state(b)
+                .call_value(crate::ast::PrimMethod::First, &[])
+                .unwrap(),
             Value::int(8, 7)
         );
     }
@@ -491,7 +532,10 @@ mod tests {
         r.run_until_quiescent(10).unwrap();
         let out = d.prim_id("out").unwrap();
         assert_eq!(
-            r.store.state(out).call_value(crate::ast::PrimMethod::RegRead, &[]).unwrap(),
+            r.store
+                .state(out)
+                .call_value(crate::ast::PrimMethod::RegRead, &[])
+                .unwrap(),
             Value::int(32, 40)
         );
     }

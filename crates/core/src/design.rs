@@ -37,7 +37,10 @@ pub struct Design {
 impl Design {
     /// Looks up a primitive by hierarchical path.
     pub fn prim_id(&self, path: &str) -> Option<PrimId> {
-        self.prims.iter().position(|p| p.path.as_str() == path).map(PrimId)
+        self.prims
+            .iter()
+            .position(|p| p.path.as_str() == path)
+            .map(PrimId)
     }
 
     /// The primitive definition for an id.
@@ -96,19 +99,30 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("a.r"),
-                    spec: PrimSpec::Reg { init: Value::int(8, 0) },
+                    spec: PrimSpec::Reg {
+                        init: Value::int(8, 0),
+                    },
                 },
                 PrimDef {
                     path: Path::new("a.q"),
-                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(8) },
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(8),
+                    },
                 },
                 PrimDef {
                     path: Path::new("in"),
-                    spec: PrimSpec::Source { ty: Type::Int(8), domain: "SW".into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(8),
+                        domain: "SW".into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("out"),
-                    spec: PrimSpec::Sink { ty: Type::Int(8), domain: "SW".into() },
+                    spec: PrimSpec::Sink {
+                        ty: Type::Int(8),
+                        domain: "SW".into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("x"),

@@ -56,7 +56,10 @@ struct Uf {
 
 impl Uf {
     fn new(n: usize) -> Uf {
-        Uf { parent: (0..n).collect(), label: vec![None; n] }
+        Uf {
+            parent: (0..n).collect(),
+            label: vec![None; n],
+        }
     }
 
     fn find(&mut self, i: usize) -> usize {
@@ -103,7 +106,7 @@ impl Uf {
 }
 
 /// Which endpoint domain of a synchronizer a method call binds to.
-fn sync_side<'a>(spec: &'a PrimSpec, m: PrimMethod) -> Option<&'a str> {
+fn sync_side(spec: &PrimSpec, m: PrimMethod) -> Option<&str> {
     if let PrimSpec::Sync { from, to, .. } = spec {
         match m {
             PrimMethod::Enq | PrimMethod::NotFull => Some(from),
@@ -161,7 +164,11 @@ pub fn infer_domains(design: &Design, default_domain: &str) -> Result<DomainMap,
     let mut rule_domain = Vec::with_capacity(nr);
     for i in 0..nr {
         let r = uf.find(i);
-        rule_domain.push(uf.label[r].clone().unwrap_or_else(|| default_domain.to_string()));
+        rule_domain.push(
+            uf.label[r]
+                .clone()
+                .unwrap_or_else(|| default_domain.to_string()),
+        );
     }
     let mut prim_domain = Vec::with_capacity(np);
     for j in 0..np {
@@ -169,11 +176,17 @@ pub fn infer_domains(design: &Design, default_domain: &str) -> Result<DomainMap,
             prim_domain.push(None);
         } else {
             let r = uf.find(nr + j);
-            prim_domain
-                .push(Some(uf.label[r].clone().unwrap_or_else(|| default_domain.to_string())));
+            prim_domain.push(Some(
+                uf.label[r]
+                    .clone()
+                    .unwrap_or_else(|| default_domain.to_string()),
+            ));
         }
     }
-    Ok(DomainMap { rule_domain, prim_domain })
+    Ok(DomainMap {
+        rule_domain,
+        prim_domain,
+    })
 }
 
 #[cfg(test)]
@@ -202,23 +215,41 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("src"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: SW.into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: SW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("inSync"),
-                    spec: PrimSpec::Sync { depth: 2, ty: Type::Int(32), from: SW.into(), to: HW.into() },
+                    spec: PrimSpec::Sync {
+                        depth: 2,
+                        ty: Type::Int(32),
+                        from: SW.into(),
+                        to: HW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("acc"),
-                    spec: PrimSpec::Reg { init: Value::int(32, 0) },
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
                 },
                 PrimDef {
                     path: Path::new("outSync"),
-                    spec: PrimSpec::Sync { depth: 2, ty: Type::Int(32), from: HW.into(), to: SW.into() },
+                    spec: PrimSpec::Sync {
+                        depth: 2,
+                        ty: Type::Int(32),
+                        from: HW.into(),
+                        to: SW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("snk"),
-                    spec: PrimSpec::Sink { ty: Type::Int(32), domain: SW.into() },
+                    spec: PrimSpec::Sink {
+                        ty: Type::Int(32),
+                        domain: SW.into(),
+                    },
                 },
             ],
             rules: vec![
@@ -252,7 +283,13 @@ mod tests {
         assert_eq!(m.rule_domain, vec!["SW", "HW", "SW"]);
         assert_eq!(
             m.prim_domain,
-            vec![Some(SW.to_string()), None, Some(HW.to_string()), None, Some(SW.to_string())]
+            vec![
+                Some(SW.to_string()),
+                None,
+                Some(HW.to_string()),
+                None,
+                Some(SW.to_string())
+            ]
         );
         assert_eq!(m.domains(), vec!["HW".to_string(), "SW".to_string()]);
     }
@@ -263,7 +300,9 @@ mod tests {
             name: "lone".into(),
             prims: vec![PrimDef {
                 path: Path::new("r"),
-                spec: PrimSpec::Reg { init: Value::int(8, 0) },
+                spec: PrimSpec::Reg {
+                    init: Value::int(8, 0),
+                },
             }],
             rules: vec![RuleDef {
                 name: "tick".into(),
@@ -288,11 +327,19 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("hwsrc"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: HW.into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: HW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("s"),
-                    spec: PrimSpec::Sync { depth: 1, ty: Type::Int(32), from: SW.into(), to: HW.into() },
+                    spec: PrimSpec::Sync {
+                        depth: 1,
+                        ty: Type::Int(32),
+                        from: SW.into(),
+                        to: HW.into(),
+                    },
                 },
             ],
             rules: vec![RuleDef {
@@ -302,7 +349,10 @@ mod tests {
             ..Default::default()
         };
         let e = infer_domains(&d, SW).unwrap_err();
-        assert!(e.message().contains("confused") || e.message().contains("hwsrc"), "{e}");
+        assert!(
+            e.message().contains("confused") || e.message().contains("hwsrc"),
+            "{e}"
+        );
     }
 
     #[test]
@@ -313,15 +363,23 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("swsrc"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: SW.into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: SW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("hwsrc"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: HW.into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: HW.into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("shared"),
-                    spec: PrimSpec::Reg { init: Value::int(32, 0) },
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
                 },
             ],
             rules: vec![

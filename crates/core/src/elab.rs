@@ -32,7 +32,11 @@ use std::collections::{HashMap, HashSet};
 /// versa), or unknown variables.
 pub fn elaborate(program: &Program) -> Result<Design, ElabError> {
     program.validate()?;
-    let mut el = Elaborator { program, prims: Vec::new(), rules: Vec::new() };
+    let mut el = Elaborator {
+        program,
+        prims: Vec::new(),
+        rules: Vec::new(),
+    };
     let root_def = program.module(&program.root).expect("validated");
     let root = el.elab_module(&Path::new(""), root_def, &program.root_args)?;
     Ok(Design {
@@ -70,8 +74,12 @@ impl<'p> Elaborator<'p> {
         def: &ModuleDef,
         args: &[Value],
     ) -> Result<Instance, ElabError> {
-        let consts: HashMap<String, Value> =
-            def.params.iter().cloned().zip(args.iter().cloned()).collect();
+        let consts: HashMap<String, Value> = def
+            .params
+            .iter()
+            .cloned()
+            .zip(args.iter().cloned())
+            .collect();
 
         let mut locals = HashMap::new();
         for inst in &def.insts {
@@ -79,7 +87,10 @@ impl<'p> Elaborator<'p> {
             let binding = match &inst.kind {
                 InstKind::Prim(spec) => {
                     let id = PrimId(self.prims.len());
-                    self.prims.push(PrimDef { path: ipath, spec: spec.clone() });
+                    self.prims.push(PrimDef {
+                        path: ipath,
+                        spec: spec.clone(),
+                    });
                     Binding::Prim(id)
                 }
                 InstKind::Module { def: dname, args } => {
@@ -90,30 +101,53 @@ impl<'p> Elaborator<'p> {
             locals.insert(inst.name.clone(), binding);
         }
 
-        let ctx = Ctx { locals: &locals, consts: &consts, module: &def.name };
+        let ctx = Ctx {
+            locals: &locals,
+            consts: &consts,
+            module: &def.name,
+        };
 
         for rule in &def.rules {
             let mut bound = HashSet::new();
             let body = ctx.resolve_action(&rule.body, &mut bound)?;
-            self.rules.push(RuleDef { name: path.join(&rule.name).0, body });
+            self.rules.push(RuleDef {
+                name: path.join(&rule.name).0,
+                body,
+            });
         }
 
         let mut act_methods = HashMap::new();
         for m in &def.act_methods {
             let mut bound: HashSet<String> = m.args.iter().cloned().collect();
             let body = ctx.resolve_action(&m.body, &mut bound)?;
-            act_methods
-                .insert(m.name.clone(), ActMethodDef { name: m.name.clone(), args: m.args.clone(), body });
+            act_methods.insert(
+                m.name.clone(),
+                ActMethodDef {
+                    name: m.name.clone(),
+                    args: m.args.clone(),
+                    body,
+                },
+            );
         }
         let mut val_methods = HashMap::new();
         for m in &def.val_methods {
             let mut bound: HashSet<String> = m.args.iter().cloned().collect();
             let body = ctx.resolve_expr(&m.body, &mut bound)?;
-            val_methods
-                .insert(m.name.clone(), ValMethodDef { name: m.name.clone(), args: m.args.clone(), body });
+            val_methods.insert(
+                m.name.clone(),
+                ValMethodDef {
+                    name: m.name.clone(),
+                    args: m.args.clone(),
+                    body,
+                },
+            );
         }
 
-        Ok(Instance { locals, act_methods, val_methods })
+        Ok(Instance {
+            locals,
+            act_methods,
+            val_methods,
+        })
     }
 }
 
@@ -131,9 +165,10 @@ impl<'a> Ctx<'a> {
     /// Walks a dotted instance path to its binding.
     fn lookup(&self, path: &Path) -> Result<&Binding, ElabError> {
         let mut comps = path.as_str().split('.');
-        let first = comps.next().filter(|c| !c.is_empty()).ok_or_else(|| {
-            self.err("empty instance path".to_string())
-        })?;
+        let first = comps
+            .next()
+            .filter(|c| !c.is_empty())
+            .ok_or_else(|| self.err("empty instance path".to_string()))?;
         let mut binding = self
             .locals
             .get(first)
@@ -141,10 +176,9 @@ impl<'a> Ctx<'a> {
         for comp in comps {
             match binding {
                 Binding::Sub(inst) => {
-                    binding = inst
-                        .locals
-                        .get(comp)
-                        .ok_or_else(|| self.err(format!("unknown instance `{comp}` in `{path}`")))?;
+                    binding = inst.locals.get(comp).ok_or_else(|| {
+                        self.err(format!("unknown instance `{comp}` in `{path}`"))
+                    })?;
                 }
                 Binding::Prim(_) => {
                     return Err(self.err(format!("`{path}` descends into a primitive")));
@@ -154,11 +188,7 @@ impl<'a> Ctx<'a> {
         Ok(binding)
     }
 
-    fn resolve_target_action(
-        &self,
-        t: &Target,
-        args: Vec<Expr>,
-    ) -> Result<Action, ElabError> {
+    fn resolve_target_action(&self, t: &Target, args: Vec<Expr>) -> Result<Action, ElabError> {
         let (path, meth) = match t {
             Target::Named(p, m) => (p, m.as_str()),
             Target::Prim(id, m) => return Ok(Action::Call(Target::Prim(*id, *m), args)),
@@ -176,7 +206,9 @@ impl<'a> Ctx<'a> {
             }
             Binding::Sub(inst) => {
                 let m = inst.act_methods.get(meth).ok_or_else(|| {
-                    self.err(format!("module instance `{path}` has no action method `{meth}`"))
+                    self.err(format!(
+                        "module instance `{path}` has no action method `{meth}`"
+                    ))
                 })?;
                 if m.args.len() != args.len() {
                     return Err(self.err(format!(
@@ -214,7 +246,9 @@ impl<'a> Ctx<'a> {
             }
             Binding::Sub(inst) => {
                 let m = inst.val_methods.get(meth).ok_or_else(|| {
-                    self.err(format!("module instance `{path}` has no value method `{meth}`"))
+                    self.err(format!(
+                        "module instance `{path}` has no value method `{meth}`"
+                    ))
                 })?;
                 if m.args.len() != args.len() {
                     return Err(self.err(format!(
@@ -232,20 +266,13 @@ impl<'a> Ctx<'a> {
         }
     }
 
-    fn resolve_action(
-        &self,
-        a: &Action,
-        bound: &mut HashSet<String>,
-    ) -> Result<Action, ElabError> {
+    fn resolve_action(&self, a: &Action, bound: &mut HashSet<String>) -> Result<Action, ElabError> {
         Ok(match a {
             Action::NoAction => Action::NoAction,
             Action::Write(t, e) => {
                 let e = self.resolve_expr(e, bound)?;
                 // `r := e` is sugar for a RegWrite call.
-                match self.resolve_target_action(
-                    &retarget_write(t),
-                    vec![e],
-                )? {
+                match self.resolve_target_action(&retarget_write(t), vec![e])? {
                     Action::Call(tgt, args) => Action::Call(tgt, args),
                     other => other,
                 }
@@ -340,7 +367,9 @@ impl<'a> Ctx<'a> {
             ),
             Expr::Field(v, f) => Expr::Field(Box::new(self.resolve_expr(v, bound)?), f.clone()),
             Expr::MkVec(es) => Expr::MkVec(
-                es.iter().map(|x| self.resolve_expr(x, bound)).collect::<Result<_, _>>()?,
+                es.iter()
+                    .map(|x| self.resolve_expr(x, bound))
+                    .collect::<Result<_, _>>()?,
             ),
             Expr::MkStruct(fs) => Expr::MkStruct(
                 fs.iter()
@@ -384,7 +413,9 @@ mod tests {
         counter.params.push("step".into());
         counter.insts.push(InstDef {
             name: "c".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(32, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(32, 0),
+            }),
         });
         counter.act_methods.push(ActMethodDef {
             name: "incr".into(),
@@ -393,7 +424,10 @@ mod tests {
                 Target::Named("c".into(), "_write".into()),
                 Box::new(Expr::Bin(
                     BinOp::Add,
-                    Box::new(Expr::Call(Target::Named("c".into(), "_read".into()), vec![])),
+                    Box::new(Expr::Call(
+                        Target::Named("c".into(), "_read".into()),
+                        vec![],
+                    )),
                     Box::new(Expr::Var("step".into())),
                 )),
             ),
@@ -407,28 +441,46 @@ mod tests {
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "a".into(),
-            kind: InstKind::Module { def: "Counter".into(), args: vec![Value::int(32, 1)] },
+            kind: InstKind::Module {
+                def: "Counter".into(),
+                args: vec![Value::int(32, 1)],
+            },
         });
         top.insts.push(InstDef {
             name: "b".into(),
-            kind: InstKind::Module { def: "Counter".into(), args: vec![Value::int(32, 2)] },
+            kind: InstKind::Module {
+                def: "Counter".into(),
+                args: vec![Value::int(32, 2)],
+            },
         });
         top.insts.push(InstDef {
             name: "q".into(),
-            kind: InstKind::Prim(PrimSpec::Fifo { depth: 1, ty: Type::Int(32) }),
+            kind: InstKind::Prim(PrimSpec::Fifo {
+                depth: 1,
+                ty: Type::Int(32),
+            }),
         });
         top.rules.push(RuleDef {
             name: "bump".into(),
             body: Action::Par(
-                Box::new(Action::Call(Target::Named("a".into(), "incr".into()), vec![])),
-                Box::new(Action::Call(Target::Named("b".into(), "incr".into()), vec![])),
+                Box::new(Action::Call(
+                    Target::Named("a".into(), "incr".into()),
+                    vec![],
+                )),
+                Box::new(Action::Call(
+                    Target::Named("b".into(), "incr".into()),
+                    vec![],
+                )),
             ),
         });
         top.rules.push(RuleDef {
             name: "emit".into(),
             body: Action::Call(
                 Target::Named("q".into(), "enq".into()),
-                vec![Expr::Call(Target::Named("a".into(), "value".into()), vec![])],
+                vec![Expr::Call(
+                    Target::Named("a".into(), "value".into()),
+                    vec![],
+                )],
             ),
         });
 
@@ -523,7 +575,10 @@ mod tests {
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "q".into(),
-            kind: InstKind::Prim(PrimSpec::Fifo { depth: 1, ty: Type::Int(8) }),
+            kind: InstKind::Prim(PrimSpec::Fifo {
+                depth: 1,
+                ty: Type::Int(8),
+            }),
         });
         top.rules.push(RuleDef {
             name: "bad".into(),
@@ -538,11 +593,16 @@ mod tests {
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "r".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(8, 0),
+            }),
         });
         top.rules.push(RuleDef {
             name: "bad".into(),
-            body: Action::Write(Target::Named("r".into(), "_write".into()), Box::new(Expr::Var("x".into()))),
+            body: Action::Write(
+                Target::Named("r".into(), "_write".into()),
+                Box::new(Expr::Var("x".into())),
+            ),
         });
         let p = Program::with_root(top);
         let e = elaborate(&p).unwrap_err();
@@ -554,7 +614,9 @@ mod tests {
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "r".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(8, 0),
+            }),
         });
         top.rules.push(RuleDef {
             name: "ok".into(),
@@ -578,17 +640,25 @@ mod tests {
         let mut leaf = ModuleDef::new("Leaf");
         leaf.insts.push(InstDef {
             name: "r".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(8, 0),
+            }),
         });
         let mut mid = ModuleDef::new("Mid");
         mid.insts.push(InstDef {
             name: "l".into(),
-            kind: InstKind::Module { def: "Leaf".into(), args: vec![] },
+            kind: InstKind::Module {
+                def: "Leaf".into(),
+                args: vec![],
+            },
         });
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "m".into(),
-            kind: InstKind::Module { def: "Mid".into(), args: vec![] },
+            kind: InstKind::Module {
+                def: "Mid".into(),
+                args: vec![],
+            },
         });
         top.rules.push(RuleDef {
             name: "poke".into(),

@@ -85,6 +85,12 @@ pub enum ExecError {
     Bounds(String),
     /// Anything else (unknown variable, malformed design, ...).
     Malformed(String),
+    /// A reliable-transport protocol violation detected by the platform's
+    /// transactor (an ACK for never-sent data, a frame for an unknown
+    /// channel, a payload-length mismatch on a CRC-valid frame). These
+    /// indicate a transactor or wire-format bug — injected link faults are
+    /// absorbed by the protocol and never surface as errors.
+    Transport(String),
 }
 
 impl ExecError {
@@ -102,6 +108,7 @@ impl fmt::Display for ExecError {
             ExecError::Type(m) => write!(f, "type error: {m}"),
             ExecError::Bounds(m) => write!(f, "bounds error: {m}"),
             ExecError::Malformed(m) => write!(f, "malformed program: {m}"),
+            ExecError::Transport(m) => write!(f, "transport protocol violation: {m}"),
         }
     }
 }

@@ -349,11 +349,24 @@ mod tests {
         Design {
             name: "t".into(),
             prims: vec![
-                PrimDef { path: Path::new("a"), spec: PrimSpec::Reg { init: Value::int(32, 1) } },
-                PrimDef { path: Path::new("b"), spec: PrimSpec::Reg { init: Value::int(32, 2) } },
+                PrimDef {
+                    path: Path::new("a"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 1),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("b"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 2),
+                    },
+                },
                 PrimDef {
                     path: Path::new("q"),
-                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
                 },
             ],
             ..Default::default()
@@ -371,14 +384,21 @@ mod tests {
         Action::Write(Target::Prim(id, PrimMethod::RegWrite), Box::new(e))
     }
     fn reg_val(s: &Store, id: PrimId) -> i64 {
-        s.state(id).call_value(PrimMethod::RegRead, &[]).unwrap().as_int().unwrap()
+        s.state(id)
+            .call_value(PrimMethod::RegRead, &[])
+            .unwrap()
+            .as_int()
+            .unwrap()
     }
 
     #[test]
     fn rule_commit() {
         let d = d3();
         let mut s = Store::new(&d);
-        let body = write(A, Expr::Bin(BinOp::Add, Box::new(read(A)), Box::new(Expr::int(32, 10))));
+        let body = write(
+            A,
+            Expr::Bin(BinOp::Add, Box::new(read(A)), Box::new(Expr::int(32, 10))),
+        );
         let (out, cost) = run_rule(&mut s, &body, ShadowPolicy::Partial).unwrap();
         assert_eq!(out, RuleOutcome::Fired);
         assert_eq!(reg_val(&s, A), 11);
@@ -392,7 +412,10 @@ mod tests {
         // a := 99 ; (noAction when false)
         let body = Action::Seq(
             Box::new(write(A, Expr::int(32, 99))),
-            Box::new(Action::When(Box::new(Expr::f()), Box::new(Action::NoAction))),
+            Box::new(Action::When(
+                Box::new(Expr::f()),
+                Box::new(Action::NoAction),
+            )),
         );
         let (out, cost) = run_rule(&mut s, &body, ShadowPolicy::Partial).unwrap();
         assert_eq!(out, RuleOutcome::GuardFailed);
@@ -429,7 +452,10 @@ mod tests {
             Box::new(write(A, Expr::int(32, 5))),
             Box::new(Action::LocalGuard(Box::new(Action::Seq(
                 Box::new(write(B, Expr::int(32, 9))),
-                Box::new(Action::When(Box::new(Expr::f()), Box::new(Action::NoAction))),
+                Box::new(Action::When(
+                    Box::new(Expr::f()),
+                    Box::new(Action::NoAction),
+                )),
             )))),
         );
         let (out, _) = run_rule(&mut s, &body, ShadowPolicy::Partial).unwrap();
@@ -508,7 +534,11 @@ mod tests {
             A,
             Expr::When(
                 Box::new(read(B)),
-                Box::new(Expr::Bin(BinOp::Gt, Box::new(read(B)), Box::new(Expr::int(32, 5)))),
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(read(B)),
+                    Box::new(Expr::int(32, 5)),
+                )),
             ),
         );
         let (out, _) = run_rule(&mut s, &body, ShadowPolicy::Partial).unwrap();
@@ -542,7 +572,11 @@ mod tests {
         let d = d3();
         let mut s = Store::new(&d);
         // a := (update [10,20,30] at 1 to 99)[1] + [10,20,30][2]
-        let v = Expr::MkVec(vec![Expr::int(32, 10), Expr::int(32, 20), Expr::int(32, 30)]);
+        let v = Expr::MkVec(vec![
+            Expr::int(32, 10),
+            Expr::int(32, 20),
+            Expr::int(32, 30),
+        ]);
         let upd = Expr::UpdateIndex(
             Box::new(v.clone()),
             Box::new(Expr::int(32, 1)),
@@ -571,7 +605,11 @@ mod tests {
         let body = write(
             A,
             Expr::Field(
-                Box::new(Expr::UpdateField(Box::new(st), "im".into(), Box::new(Expr::int(32, 80)))),
+                Box::new(Expr::UpdateField(
+                    Box::new(st),
+                    "im".into(),
+                    Box::new(Expr::int(32, 80)),
+                )),
                 "im".into(),
             ),
         );

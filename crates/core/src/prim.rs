@@ -110,8 +110,12 @@ impl PrimSpec {
                 cells.truncate(*size);
                 PrimState::RegFile(cells)
             }
-            PrimSpec::Source { .. } => PrimState::Source { queue: VecDeque::new() },
-            PrimSpec::Sink { .. } => PrimState::Sink { consumed: Vec::new() },
+            PrimSpec::Source { .. } => PrimState::Source {
+                queue: VecDeque::new(),
+            },
+            PrimSpec::Sink { .. } => PrimState::Sink {
+                consumed: Vec::new(),
+            },
         }
     }
 }
@@ -292,38 +296,74 @@ mod tests {
     use super::*;
 
     fn fifo(depth: usize) -> PrimState {
-        PrimSpec::Fifo { depth, ty: Type::Int(8) }.initial_state()
+        PrimSpec::Fifo {
+            depth,
+            ty: Type::Int(8),
+        }
+        .initial_state()
     }
 
     #[test]
     fn reg_read_write() {
-        let spec = PrimSpec::Reg { init: Value::int(8, 3) };
+        let spec = PrimSpec::Reg {
+            init: Value::int(8, 3),
+        };
         let mut st = spec.initial_state();
-        assert_eq!(st.call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 3));
-        st.call_action(PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
-        assert_eq!(st.call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+        assert_eq!(
+            st.call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 3)
+        );
+        st.call_action(PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
+        assert_eq!(
+            st.call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 9)
+        );
     }
 
     #[test]
     fn fifo_guards() {
         let mut st = fifo(2);
         // empty: first/deq fail with GuardFail
-        assert_eq!(st.call_value(PrimMethod::First, &[]), Err(ExecError::GuardFail));
-        assert_eq!(st.call_action(PrimMethod::Deq, &[]), Err(ExecError::GuardFail));
-        st.call_action(PrimMethod::Enq, &[Value::int(8, 1)]).unwrap();
-        st.call_action(PrimMethod::Enq, &[Value::int(8, 2)]).unwrap();
+        assert_eq!(
+            st.call_value(PrimMethod::First, &[]),
+            Err(ExecError::GuardFail)
+        );
+        assert_eq!(
+            st.call_action(PrimMethod::Deq, &[]),
+            Err(ExecError::GuardFail)
+        );
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 1)])
+            .unwrap();
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 2)])
+            .unwrap();
         // full: enq fails
         assert_eq!(
             st.call_action(PrimMethod::Enq, &[Value::int(8, 3)]),
             Err(ExecError::GuardFail)
         );
-        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 1));
+        assert_eq!(
+            st.call_value(PrimMethod::First, &[]).unwrap(),
+            Value::int(8, 1)
+        );
         st.call_action(PrimMethod::Deq, &[]).unwrap();
-        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 2));
-        assert_eq!(st.call_value(PrimMethod::NotEmpty, &[]).unwrap(), Value::Bool(true));
-        assert_eq!(st.call_value(PrimMethod::NotFull, &[]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            st.call_value(PrimMethod::First, &[]).unwrap(),
+            Value::int(8, 2)
+        );
+        assert_eq!(
+            st.call_value(PrimMethod::NotEmpty, &[]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            st.call_value(PrimMethod::NotFull, &[]).unwrap(),
+            Value::Bool(true)
+        );
         st.call_action(PrimMethod::Clear, &[]).unwrap();
-        assert_eq!(st.call_value(PrimMethod::NotEmpty, &[]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            st.call_value(PrimMethod::NotEmpty, &[]).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -357,18 +397,37 @@ mod tests {
 
     #[test]
     fn source_sink() {
-        let mut src = PrimSpec::Source { ty: Type::Int(8), domain: "SW".into() }.initial_state();
-        assert_eq!(src.call_value(PrimMethod::First, &[]), Err(ExecError::GuardFail));
+        let mut src = PrimSpec::Source {
+            ty: Type::Int(8),
+            domain: "SW".into(),
+        }
+        .initial_state();
+        assert_eq!(
+            src.call_value(PrimMethod::First, &[]),
+            Err(ExecError::GuardFail)
+        );
         if let PrimState::Source { queue } = &mut src {
             queue.push_back(Value::int(8, 42));
         }
-        assert_eq!(src.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 42));
+        assert_eq!(
+            src.call_value(PrimMethod::First, &[]).unwrap(),
+            Value::int(8, 42)
+        );
         src.call_action(PrimMethod::Deq, &[]).unwrap();
-        assert_eq!(src.call_action(PrimMethod::Deq, &[]), Err(ExecError::GuardFail));
+        assert_eq!(
+            src.call_action(PrimMethod::Deq, &[]),
+            Err(ExecError::GuardFail)
+        );
 
-        let mut sink = PrimSpec::Sink { ty: Type::Int(8), domain: "SW".into() }.initial_state();
-        sink.call_action(PrimMethod::Enq, &[Value::int(8, 1)]).unwrap();
-        sink.call_action(PrimMethod::Enq, &[Value::int(8, 2)]).unwrap();
+        let mut sink = PrimSpec::Sink {
+            ty: Type::Int(8),
+            domain: "SW".into(),
+        }
+        .initial_state();
+        sink.call_action(PrimMethod::Enq, &[Value::int(8, 1)])
+            .unwrap();
+        sink.call_action(PrimMethod::Enq, &[Value::int(8, 2)])
+            .unwrap();
         if let PrimState::Sink { consumed } = &sink {
             assert_eq!(consumed.len(), 2);
         } else {
@@ -398,8 +457,12 @@ mod tests {
             to: "HW".into(),
         };
         let mut st = spec.initial_state();
-        st.call_action(PrimMethod::Enq, &[Value::int(8, 5)]).unwrap();
-        assert_eq!(st.call_value(PrimMethod::First, &[]).unwrap(), Value::int(8, 5));
+        st.call_action(PrimMethod::Enq, &[Value::int(8, 5)])
+            .unwrap();
+        assert_eq!(
+            st.call_value(PrimMethod::First, &[]).unwrap(),
+            Value::int(8, 5)
+        );
         assert!(spec.is_sync());
         assert_eq!(spec.pinned_domain(), None);
     }

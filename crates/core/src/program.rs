@@ -55,7 +55,10 @@ pub struct ModuleDef {
 impl ModuleDef {
     /// Creates an empty module definition with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        ModuleDef { name: name.into(), ..Default::default() }
+        ModuleDef {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Looks up an instantiation by name.
@@ -79,7 +82,11 @@ impl Program {
     /// Creates a program with a single root module and no arguments.
     pub fn with_root(root: ModuleDef) -> Self {
         let name = root.name.clone();
-        Program { modules: vec![root], root: name, root_args: vec![] }
+        Program {
+            modules: vec![root],
+            root: name,
+            root_args: vec![],
+        }
     }
 
     /// Adds a module definition, replacing any existing one of the same name.
@@ -157,7 +164,9 @@ mod tests {
         let mut m = ModuleDef::new("Leaf");
         m.insts.push(InstDef {
             name: "r".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(8, 0),
+            }),
         });
         m.rules.push(RuleDef {
             name: "tick".into(),
@@ -177,7 +186,11 @@ mod tests {
 
     #[test]
     fn missing_root_fails() {
-        let p = Program { modules: vec![], root: "X".into(), root_args: vec![] };
+        let p = Program {
+            modules: vec![],
+            root: "X".into(),
+            root_args: vec![],
+        };
         assert!(p.validate().is_err());
     }
 
@@ -186,7 +199,9 @@ mod tests {
         let mut m = leaf();
         m.insts.push(InstDef {
             name: "r".into(),
-            kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(8, 0) }),
+            kind: InstKind::Prim(PrimSpec::Reg {
+                init: Value::int(8, 0),
+            }),
         });
         let p = Program::with_root(m);
         assert!(p.validate().is_err());
@@ -197,7 +212,10 @@ mod tests {
         let mut m = ModuleDef::new("Top");
         m.insts.push(InstDef {
             name: "x".into(),
-            kind: InstKind::Module { def: "Nope".into(), args: vec![] },
+            kind: InstKind::Module {
+                def: "Nope".into(),
+                args: vec![],
+            },
         });
         let p = Program::with_root(m);
         assert!(p.validate().is_err());
@@ -210,7 +228,10 @@ mod tests {
         let mut top = ModuleDef::new("Top");
         top.insts.push(InstDef {
             name: "s".into(),
-            kind: InstKind::Module { def: "Sub".into(), args: vec![] },
+            kind: InstKind::Module {
+                def: "Sub".into(),
+                args: vec![],
+            },
         });
         let mut p = Program::with_root(top);
         p.add_module(sub);

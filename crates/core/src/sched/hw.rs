@@ -101,7 +101,13 @@ impl HwSim {
         hw_check(design)?;
         // Always lift in hardware: guards become the rule's CAN_FIRE
         // signal. Never sequentialize: parallel composition is free.
-        let plans = compile_design(design, CompileOpts { lift: true, sequentialize: false });
+        let plans = compile_design(
+            design,
+            CompileOpts {
+                lift: true,
+                sequentialize: false,
+            },
+        );
         let n = plans.len();
         Ok(HwSim {
             plans,
@@ -139,9 +145,7 @@ impl HwSim {
         // (definition) order.
         let mut selected: Vec<usize> = Vec::new();
         for i in 0..n {
-            if self.scratch_ready[i]
-                && selected.iter().all(|&j| !self.conflicts.conflicts(i, j))
-            {
+            if self.scratch_ready[i] && selected.iter().all(|&j| !self.conflicts.conflicts(i, j)) {
                 selected.push(i);
             }
         }
@@ -227,25 +231,46 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("src"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: "HW".into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: "HW".into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("q0"),
-                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
                 },
                 PrimDef {
                     path: Path::new("q1"),
-                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
                 },
                 PrimDef {
                     path: Path::new("snk"),
-                    spec: PrimSpec::Sink { ty: Type::Int(32), domain: "HW".into() },
+                    spec: PrimSpec::Sink {
+                        ty: Type::Int(32),
+                        domain: "HW".into(),
+                    },
                 },
             ],
             rules: vec![
-                RuleDef { name: "s0".into(), body: stage(src, q0, 2) },
-                RuleDef { name: "s1".into(), body: stage(q0, q1, 3) },
-                RuleDef { name: "s2".into(), body: stage(q1, snk, 1) },
+                RuleDef {
+                    name: "s0".into(),
+                    body: stage(src, q0, 2),
+                },
+                RuleDef {
+                    name: "s1".into(),
+                    body: stage(q0, q1, 3),
+                },
+                RuleDef {
+                    name: "s2".into(),
+                    body: stage(q1, snk, 1),
+                },
             ],
             ..Default::default()
         }
@@ -293,7 +318,10 @@ mod tests {
             name: "conflict".into(),
             prims: vec![PrimDef {
                 path: Path::new("q"),
-                spec: PrimSpec::Fifo { depth: 8, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth: 8,
+                    ty: Type::Int(32),
+                },
             }],
             rules: vec![
                 RuleDef {
@@ -323,12 +351,18 @@ mod tests {
             name: "bad".into(),
             prims: vec![PrimDef {
                 path: Path::new("q"),
-                spec: PrimSpec::Fifo { depth: 1, ty: Type::Int(8) },
+                spec: PrimSpec::Fifo {
+                    depth: 1,
+                    ty: Type::Int(8),
+                },
             }],
             rules: vec![RuleDef {
                 name: "seq".into(),
                 body: Action::Seq(
-                    Box::new(Action::Call(Target::Prim(q, PrimMethod::Enq), vec![Expr::int(8, 1)])),
+                    Box::new(Action::Call(
+                        Target::Prim(q, PrimMethod::Enq),
+                        vec![Expr::int(8, 1)],
+                    )),
                     Box::new(Action::Call(Target::Prim(q, PrimMethod::Deq), vec![])),
                 ),
             }],
@@ -352,7 +386,10 @@ mod tests {
         let mut sw = SwRunner::with_store(
             &d,
             sw_store,
-            SwOptions { strategy: Strategy::Dataflow, ..Default::default() },
+            SwOptions {
+                strategy: Strategy::Dataflow,
+                ..Default::default()
+            },
         );
         sw.run_until_quiescent(10_000).unwrap();
         assert_eq!(

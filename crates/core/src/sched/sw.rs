@@ -270,15 +270,24 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: Path::new("in"),
-                    spec: PrimSpec::Source { ty: Type::Int(32), domain: "SW".into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(32),
+                        domain: "SW".into(),
+                    },
                 },
                 PrimDef {
                     path: Path::new("q"),
-                    spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
                 },
                 PrimDef {
                     path: Path::new("out"),
-                    spec: PrimSpec::Sink { ty: Type::Int(32), domain: "SW".into() },
+                    spec: PrimSpec::Sink {
+                        ty: Type::Int(32),
+                        domain: "SW".into(),
+                    },
                 },
             ],
             rules: vec![
@@ -317,11 +326,19 @@ mod tests {
         for i in 0..5 {
             store.push_source(PrimId(0), Value::int(32, i));
         }
-        let opts = SwOptions { strategy, compile, ..Default::default() };
+        let opts = SwOptions {
+            strategy,
+            compile,
+            ..Default::default()
+        };
         let mut r = SwRunner::with_store(&d, store, opts);
         r.run_until_quiescent(1000).unwrap();
-        let out: Vec<i64> =
-            r.store.sink_values(PrimId(2)).iter().map(|v| v.as_int().unwrap()).collect();
+        let out: Vec<i64> = r
+            .store
+            .sink_values(PrimId(2))
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         (r, out)
     }
 
@@ -336,16 +353,26 @@ mod tests {
     #[test]
     fn optimized_matches_unoptimized_output() {
         let (_, out1) = run_all(Strategy::Dataflow, CompileOpts::default());
-        let (_, out2) =
-            run_all(Strategy::Dataflow, CompileOpts { lift: false, sequentialize: false });
+        let (_, out2) = run_all(
+            Strategy::Dataflow,
+            CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
+        );
         assert_eq!(out1, out2);
     }
 
     #[test]
     fn lifting_is_cheaper() {
         let (opt, _) = run_all(Strategy::Dataflow, CompileOpts::default());
-        let (unopt, _) =
-            run_all(Strategy::Dataflow, CompileOpts { lift: false, sequentialize: false });
+        let (unopt, _) = run_all(
+            Strategy::Dataflow,
+            CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
+        );
         assert!(
             opt.cpu_cycles() < unopt.cpu_cycles(),
             "lifted {} !< unlifted {}",

@@ -25,7 +25,13 @@ pub struct Store {
 impl Store {
     /// Creates the initial store for a design (every primitive at reset).
     pub fn new(design: &Design) -> Store {
-        Store { states: design.prims.iter().map(|p| p.spec.initial_state()).collect() }
+        Store {
+            states: design
+                .prims
+                .iter()
+                .map(|p| p.spec.initial_state())
+                .collect(),
+        }
     }
 
     /// The number of primitives.
@@ -367,7 +373,6 @@ impl<'s> Txn<'s> {
     pub fn has_written(&self, id: PrimId) -> bool {
         self.frames.iter().any(|f| f.written.contains(&id))
     }
-
 }
 
 #[cfg(test)]
@@ -383,15 +388,22 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: "a".into(),
-                    spec: PrimSpec::Reg { init: Value::int(8, 1) },
+                    spec: PrimSpec::Reg {
+                        init: Value::int(8, 1),
+                    },
                 },
                 PrimDef {
                     path: "b".into(),
-                    spec: PrimSpec::Reg { init: Value::int(8, 2) },
+                    spec: PrimSpec::Reg {
+                        init: Value::int(8, 2),
+                    },
                 },
                 PrimDef {
                     path: "q".into(),
-                    spec: PrimSpec::Fifo { depth: 1, ty: Type::Int(8) },
+                    spec: PrimSpec::Fifo {
+                        depth: 1,
+                        ty: Type::Int(8),
+                    },
                 },
             ],
             ..Default::default()
@@ -407,11 +419,18 @@ mod tests {
         let d = design2();
         let mut s = Store::new(&d);
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
-        assert_eq!(t.call_value(A, PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
+        assert_eq!(
+            t.call_value(A, PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 9)
+        );
         let cost = t.commit();
         assert!(cost.commit_words >= 1);
-        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 9));
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 9)
+        );
     }
 
     #[test]
@@ -419,10 +438,14 @@ mod tests {
         let d = design2();
         let mut s = Store::new(&d);
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
         let cost = t.rollback();
         assert_eq!(cost.rollbacks, 1);
-        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 1)
+        );
     }
 
     #[test]
@@ -443,8 +466,14 @@ mod tests {
         )
         .unwrap();
         t.commit();
-        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 2));
-        assert_eq!(s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 2)
+        );
+        assert_eq!(
+            s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 1)
+        );
     }
 
     #[test]
@@ -465,7 +494,9 @@ mod tests {
         // FIFO — a dynamic error.
         let d = design2();
         let mut s = Store::new(&d);
-        s.state_mut(Q).call_action(PrimMethod::Enq, &[Value::int(8, 7)]).unwrap();
+        s.state_mut(Q)
+            .call_action(PrimMethod::Enq, &[Value::int(8, 7)])
+            .unwrap();
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
         let r = t.run_par(
             |t| t.call_action(Q, PrimMethod::Deq, &[]),
@@ -479,11 +510,15 @@ mod tests {
         let d = design2();
         let mut s = Store::new(&d);
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 5)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 5)])
+            .unwrap();
         let v = t.call_value(A, PrimMethod::RegRead, &[]).unwrap();
         t.call_action(B, PrimMethod::RegWrite, &[v]).unwrap();
         t.commit();
-        assert_eq!(s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 5));
+        assert_eq!(
+            s.state(B).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 5)
+        );
     }
 
     #[test]
@@ -492,14 +527,22 @@ mod tests {
         let mut s = Store::new(&d);
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
         t.push_frame();
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
         t.pop_discard(); // as if the guarded body failed
-        assert_eq!(t.call_value(A, PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 1));
+        assert_eq!(
+            t.call_value(A, PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 1)
+        );
         t.push_frame();
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 7)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 7)])
+            .unwrap();
         t.pop_merge().unwrap();
         t.commit();
-        assert_eq!(s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(), Value::int(8, 7));
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 7)
+        );
     }
 
     #[test]
@@ -516,10 +559,12 @@ mod tests {
         let mut s = Store::new(&d);
         let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
         assert_eq!(t.cost.shadow_words, 0);
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 0)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 0)])
+            .unwrap();
         assert_eq!(t.cost.shadow_words, 1);
         // second write to same prim: no new shadow
-        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 1)]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 1)])
+            .unwrap();
         assert_eq!(t.cost.shadow_words, 1);
     }
 
@@ -530,11 +575,17 @@ mod tests {
             prims: vec![
                 PrimDef {
                     path: "in".into(),
-                    spec: PrimSpec::Source { ty: Type::Int(8), domain: "SW".into() },
+                    spec: PrimSpec::Source {
+                        ty: Type::Int(8),
+                        domain: "SW".into(),
+                    },
                 },
                 PrimDef {
                     path: "out".into(),
-                    spec: PrimSpec::Sink { ty: Type::Int(8), domain: "SW".into() },
+                    spec: PrimSpec::Sink {
+                        ty: Type::Int(8),
+                        domain: "SW".into(),
+                    },
                 },
             ],
             ..Default::default()

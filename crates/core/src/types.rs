@@ -127,10 +127,7 @@ mod tests {
         let frame = Type::vector(64, cplx.clone());
         assert_eq!(frame.width(), 64 * 64);
         assert_eq!(frame.words(), 128);
-        let s = Type::Struct(vec![
-            ("a".into(), Type::Bool),
-            ("b".into(), Type::Bits(7)),
-        ]);
+        let s = Type::Struct(vec![("a".into(), Type::Bool), ("b".into(), Type::Bits(7))]);
         assert_eq!(s.width(), 8);
         assert_eq!(s.words(), 1);
     }
@@ -162,7 +159,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(Type::vector(4, Type::Bits(8)).to_string(), "Vector#(4, Bit#(8))");
+        assert_eq!(
+            Type::vector(4, Type::Bits(8)).to_string(),
+            "Vector#(4, Bit#(8))"
+        );
         assert_eq!(
             Type::complex(Type::Int(32)).to_string(),
             "struct {re: Int#(32), im: Int#(32)}"

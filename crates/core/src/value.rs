@@ -142,12 +142,18 @@ impl Value {
 
     /// An unsigned bit vector, truncating `bits` to `width`.
     pub fn bits(width: u32, bits: u64) -> Value {
-        Value::Bits { width, bits: bits & mask(width) }
+        Value::Bits {
+            width,
+            bits: bits & mask(width),
+        }
     }
 
     /// A signed integer, wrapping `val` into `width` bits.
     pub fn int(width: u32, val: i64) -> Value {
-        Value::Int { width, val: sign_extend(width, (val as u64) & mask(width)) }
+        Value::Int {
+            width,
+            val: sign_extend(width, (val as u64) & mask(width)),
+        }
     }
 
     /// A 32-bit fixed-point value from a float, with `frac` fractional bits.
@@ -172,9 +178,11 @@ impl Value {
             Type::Bits(w) => Value::Bits { width: *w, bits: 0 },
             Type::Int(w) => Value::Int { width: *w, val: 0 },
             Type::Vector(n, t) => Value::Vec(vec![Value::zero(t); *n]),
-            Type::Struct(fs) => {
-                Value::Struct(fs.iter().map(|(n, t)| (n.clone(), Value::zero(t))).collect())
-            }
+            Type::Struct(fs) => Value::Struct(
+                fs.iter()
+                    .map(|(n, t)| (n.clone(), Value::zero(t)))
+                    .collect(),
+            ),
         }
     }
 
@@ -449,7 +457,10 @@ impl Value {
             Type::Bits(w) => Value::bits(*w, take(*w)),
             Type::Int(w) => {
                 let raw = take(*w);
-                Value::Int { width: *w, val: sign_extend(*w, raw) }
+                Value::Int {
+                    width: *w,
+                    val: sign_extend(*w, raw),
+                }
             }
             Type::Vector(n, t) => {
                 let mut vs = Vec::with_capacity(*n);
@@ -519,7 +530,12 @@ mod tests {
         let b = Value::int(8, 100);
         let s = Value::bin_op(BinOp::Add, &a, &b).unwrap();
         assert_eq!(s.as_int().unwrap(), -56); // 200 wraps in 8 bits
-        let m = Value::bin_op(BinOp::Mul, &Value::int(32, 1 << 20), &Value::int(32, 1 << 20)).unwrap();
+        let m = Value::bin_op(
+            BinOp::Mul,
+            &Value::int(32, 1 << 20),
+            &Value::int(32, 1 << 20),
+        )
+        .unwrap();
         assert_eq!(m.as_int().unwrap(), 0); // 2^40 wraps in 32 bits
     }
 
@@ -550,7 +566,10 @@ mod tests {
         let a = Value::int(32, 3);
         let b = Value::int(32, 5);
         assert_eq!(Value::bin_op(BinOp::Lt, &a, &b).unwrap(), Value::Bool(true));
-        assert_eq!(Value::bin_op(BinOp::Ge, &a, &b).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::bin_op(BinOp::Ge, &a, &b).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(Value::bin_op(BinOp::Eq, &a, &a).unwrap(), Value::Bool(true));
     }
 
@@ -558,9 +577,15 @@ mod tests {
     fn bool_logic() {
         let t = Value::Bool(true);
         let f = Value::Bool(false);
-        assert_eq!(Value::bin_op(BinOp::And, &t, &f).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::bin_op(BinOp::And, &t, &f).unwrap(),
+            Value::Bool(false)
+        );
         assert_eq!(Value::bin_op(BinOp::Or, &t, &f).unwrap(), Value::Bool(true));
-        assert_eq!(Value::bin_op(BinOp::Xor, &t, &t).unwrap(), Value::Bool(false));
+        assert_eq!(
+            Value::bin_op(BinOp::Xor, &t, &t).unwrap(),
+            Value::Bool(false)
+        );
         assert!(Value::bin_op(BinOp::Add, &t, &f).is_err());
     }
 
@@ -576,7 +601,10 @@ mod tests {
     fn aggregate_equality() {
         let v1 = Value::Vec(vec![Value::int(8, 1), Value::int(8, 2)]);
         let v2 = Value::Vec(vec![Value::int(8, 1), Value::int(8, 2)]);
-        assert_eq!(Value::bin_op(BinOp::Eq, &v1, &v2).unwrap(), Value::Bool(true));
+        assert_eq!(
+            Value::bin_op(BinOp::Eq, &v1, &v2).unwrap(),
+            Value::Bool(true)
+        );
         assert!(Value::bin_op(BinOp::Add, &v1, &v2).is_err());
     }
 
@@ -585,7 +613,10 @@ mod tests {
         let ty = Type::vector(3, Type::complex(Type::fixpt()));
         let z = Value::zero(&ty);
         assert_eq!(z.type_of(), ty);
-        assert_eq!(z.index(2).unwrap().field("im").unwrap().as_int().unwrap(), 0);
+        assert_eq!(
+            z.index(2).unwrap().field("im").unwrap().as_int().unwrap(),
+            0
+        );
     }
 
     #[test]
@@ -638,9 +669,15 @@ mod tests {
 
     #[test]
     fn unary_ops() {
-        assert_eq!(Value::un_op(UnOp::Not, &Value::Bool(true)).unwrap(), Value::Bool(false));
         assert_eq!(
-            Value::un_op(UnOp::Neg, &Value::int(8, 5)).unwrap().as_int().unwrap(),
+            Value::un_op(UnOp::Not, &Value::Bool(true)).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            Value::un_op(UnOp::Neg, &Value::int(8, 5))
+                .unwrap()
+                .as_int()
+                .unwrap(),
             -5
         );
         assert_eq!(
@@ -667,7 +704,13 @@ mod tests {
     fn min_max() {
         let a = Value::int(32, 3);
         let b = Value::int(32, -5);
-        assert_eq!(Value::bin_op(BinOp::Min, &a, &b).unwrap().as_int().unwrap(), -5);
-        assert_eq!(Value::bin_op(BinOp::Max, &a, &b).unwrap().as_int().unwrap(), 3);
+        assert_eq!(
+            Value::bin_op(BinOp::Min, &a, &b).unwrap().as_int().unwrap(),
+            -5
+        );
+        assert_eq!(
+            Value::bin_op(BinOp::Max, &a, &b).unwrap().as_int().unwrap(),
+            3
+        );
     }
 }

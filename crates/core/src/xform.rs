@@ -57,7 +57,10 @@ pub struct CompileOpts {
 
 impl Default for CompileOpts {
     fn default() -> Self {
-        CompileOpts { lift: true, sequentialize: true }
+        CompileOpts {
+            lift: true,
+            sequentialize: true,
+        }
     }
 }
 
@@ -114,7 +117,11 @@ fn and(a: Option<Expr>, b: Option<Expr>) -> Option<Expr> {
             } else if is_const_true(&y) {
                 Some(x)
             } else {
-                Some(Expr::Bin(crate::value::BinOp::And, Box::new(x), Box::new(y)))
+                Some(Expr::Bin(
+                    crate::value::BinOp::And,
+                    Box::new(x),
+                    Box::new(y),
+                ))
             }
         }
     }
@@ -230,7 +237,10 @@ pub fn lift_expr(e: &Expr) -> (Expr, Option<Expr>) {
                     g
                 }
             });
-            (Expr::Let(n.clone(), Box::new(v2), Box::new(b2)), and_then(gv, gb))
+            (
+                Expr::Let(n.clone(), Box::new(v2), Box::new(b2)),
+                and_then(gv, gb),
+            )
         }
         Expr::Call(t, args) => {
             let mut g = implicit_guard(t);
@@ -283,7 +293,10 @@ pub fn lift_expr(e: &Expr) -> (Expr, Option<Expr>) {
         Expr::UpdateField(v, f, x) => {
             let (v2, gv) = lift_expr(v);
             let (x2, gx) = lift_expr(x);
-            (Expr::UpdateField(Box::new(v2), f.clone(), Box::new(x2)), and(gv, gx))
+            (
+                Expr::UpdateField(Box::new(v2), f.clone(), Box::new(x2)),
+                and(gv, gx),
+            )
         }
     }
 }
@@ -291,7 +304,11 @@ pub fn lift_expr(e: &Expr) -> (Expr, Option<Expr>) {
 /// Lifts guards out of an action (axioms A.1–A.9 plus implicit guards).
 pub fn lift_action(a: &Action) -> Lifted {
     match a {
-        Action::NoAction => Lifted { body: Action::NoAction, guard: None, residual: false },
+        Action::NoAction => Lifted {
+            body: Action::NoAction,
+            guard: None,
+            residual: false,
+        },
         Action::Write(t, e) => {
             let (e2, g) = lift_expr(e);
             Lifted {
@@ -308,7 +325,11 @@ pub fn lift_action(a: &Action) -> Lifted {
                 g = and(g, gx);
                 args2.push(x2);
             }
-            Lifted { body: Action::Call(t.clone(), args2), guard: g, residual: false }
+            Lifted {
+                body: Action::Call(t.clone(), args2),
+                guard: g,
+                residual: false,
+            }
         }
         Action::If(c, th, el) => {
             let (c2, gc) = lift_expr(c);
@@ -419,7 +440,11 @@ pub fn lift_action(a: &Action) -> Lifted {
                     residual: false,
                 }
             } else {
-                Lifted { body: a.clone(), guard: None, residual: true }
+                Lifted {
+                    body: a.clone(),
+                    guard: None,
+                    residual: true,
+                }
             }
         }
         Action::LocalGuard(x) => {
@@ -429,16 +454,26 @@ pub fn lift_action(a: &Action) -> Lifted {
                 // otherwise failure-free: the guard becomes a plain
                 // conditional and the dynamic shadow disappears.
                 let body = match lx.guard {
-                    Some(g) => Action::If(Box::new(g), Box::new(lx.body), Box::new(Action::NoAction)),
+                    Some(g) => {
+                        Action::If(Box::new(g), Box::new(lx.body), Box::new(Action::NoAction))
+                    }
                     None => lx.body,
                 };
-                Lifted { body, guard: None, residual: false }
+                Lifted {
+                    body,
+                    guard: None,
+                    residual: false,
+                }
             } else {
                 let inner = match lx.guard {
                     Some(g) => Action::When(Box::new(g), Box::new(lx.body)),
                     None => lx.body,
                 };
-                Lifted { body: Action::LocalGuard(Box::new(inner)), guard: None, residual: false }
+                Lifted {
+                    body: Action::LocalGuard(Box::new(inner)),
+                    guard: None,
+                    residual: false,
+                }
             }
         }
     }
@@ -464,9 +499,7 @@ pub fn sequentialize(a: &Action) -> Action {
                 Action::Par(Box::new(x2), Box::new(y2))
             }
         }
-        Action::Seq(x, y) => {
-            Action::Seq(Box::new(sequentialize(x)), Box::new(sequentialize(y)))
-        }
+        Action::Seq(x, y) => Action::Seq(Box::new(sequentialize(x)), Box::new(sequentialize(y))),
         Action::If(c, t, e) => Action::If(
             c.clone(),
             Box::new(sequentialize(t)),
@@ -504,7 +537,11 @@ pub fn compile_rule(rule: &RuleDef, opts: CompileOpts) -> RulePlan {
             residual: true,
         };
     }
-    let body = if opts.sequentialize { sequentialize(&rule.body) } else { rule.body.clone() };
+    let body = if opts.sequentialize {
+        sequentialize(&rule.body)
+    } else {
+        rule.body.clone()
+    };
     let lifted = lift_action(&body);
     let mode = if !lifted.residual && inplace_ok(&lifted.body) {
         ExecMode::InPlace
@@ -548,9 +585,25 @@ mod tests {
         Design {
             name: "t".into(),
             prims: vec![
-                PrimDef { path: Path::new("a"), spec: PrimSpec::Reg { init: Value::int(32, 0) } },
-                PrimDef { path: Path::new("f"), spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) } },
-                PrimDef { path: Path::new("b"), spec: PrimSpec::Reg { init: Value::int(32, 0) } },
+                PrimDef {
+                    path: Path::new("a"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("f"),
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("b"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
+                },
             ],
             ..Default::default()
         }
@@ -573,7 +626,10 @@ mod tests {
             name: "foo".into(),
             body: Action::Seq(
                 Box::new(wr(A, Expr::int(32, 1))),
-                Box::new(Action::Seq(Box::new(enq(F, rd(A))), Box::new(wr(A, Expr::int(32, 0))))),
+                Box::new(Action::Seq(
+                    Box::new(enq(F, rd(A))),
+                    Box::new(wr(A, Expr::int(32, 0))),
+                )),
             ),
         }
     }
@@ -619,7 +675,11 @@ mod tests {
         let r = RuleDef {
             name: "w".into(),
             body: Action::When(
-                Box::new(Expr::Bin(BinOp::Gt, Box::new(rd(A)), Box::new(Expr::int(32, 5)))),
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 5)),
+                )),
                 Box::new(wr(B, Expr::int(32, 1))),
             ),
         };
@@ -635,7 +695,11 @@ mod tests {
         let r = RuleDef {
             name: "c".into(),
             body: Action::If(
-                Box::new(Expr::Bin(BinOp::Gt, Box::new(rd(A)), Box::new(Expr::int(32, 0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 0)),
+                )),
                 Box::new(enq(F, Expr::int(32, 1))),
                 Box::new(Action::NoAction),
             ),
@@ -685,7 +749,10 @@ mod tests {
         // forward order writes(a:=f.first)={a} ∩ reads(f.deq)=∅ -> forward
         // works already.
         let r = Action::Par(
-            Box::new(wr(A, Expr::Call(Target::Prim(F, PrimMethod::First), vec![]))),
+            Box::new(wr(
+                A,
+                Expr::Call(Target::Prim(F, PrimMethod::First), vec![]),
+            )),
             Box::new(Action::Call(Target::Prim(F, PrimMethod::Deq), vec![])),
         );
         let s = sequentialize(&r);
@@ -713,7 +780,13 @@ mod tests {
 
     #[test]
     fn lift_disabled_keeps_original() {
-        let plan = compile_rule(&rule_foo(), CompileOpts { lift: false, sequentialize: false });
+        let plan = compile_rule(
+            &rule_foo(),
+            CompileOpts {
+                lift: false,
+                sequentialize: false,
+            },
+        );
         assert_eq!(plan.mode, ExecMode::Transactional);
         assert_eq!(plan.guard, None);
         assert_eq!(plan.body, rule_foo().body);
@@ -725,8 +798,15 @@ mod tests {
         let r = RuleDef {
             name: "lp".into(),
             body: Action::Loop(
-                Box::new(Expr::Bin(BinOp::Lt, Box::new(rd(A)), Box::new(Expr::int(32, 3)))),
-                Box::new(wr(A, Expr::Bin(BinOp::Add, Box::new(rd(A)), Box::new(Expr::int(32, 1))))),
+                Box::new(Expr::Bin(
+                    BinOp::Lt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 3)),
+                )),
+                Box::new(wr(
+                    A,
+                    Expr::Bin(BinOp::Add, Box::new(rd(A)), Box::new(Expr::int(32, 1))),
+                )),
             ),
         };
         let plan = compile_rule(&r, CompileOpts::default());
@@ -769,12 +849,18 @@ mod tests {
                     true
                 }
                 ExecMode::Transactional => {
-                    let (out, _) = run_rule(&mut s_plan, &plan.body, ShadowPolicy::Partial).unwrap();
+                    let (out, _) =
+                        run_rule(&mut s_plan, &plan.body, ShadowPolicy::Partial).unwrap();
                     out == RuleOutcome::Fired
                 }
             }
         };
-        assert_eq!(fired, ref_out.0 == RuleOutcome::Fired, "firing mismatch for {}", rule.name);
+        assert_eq!(
+            fired,
+            ref_out.0 == RuleOutcome::Fired,
+            "firing mismatch for {}",
+            rule.name
+        );
         assert_eq!(s_plan, s_ref, "state mismatch for {}", rule.name);
     }
 
@@ -785,7 +871,9 @@ mod tests {
         assert_plan_equivalent(&rule_foo(), &d, |_| {});
         assert_plan_equivalent(&rule_foo(), &d, |s| {
             for _ in 0..2 {
-                s.state_mut(F).call_action(PrimMethod::Enq, &[Value::int(32, 0)]).unwrap();
+                s.state_mut(F)
+                    .call_action(PrimMethod::Enq, &[Value::int(32, 0)])
+                    .unwrap();
             }
         });
         // swap
@@ -794,20 +882,28 @@ mod tests {
             body: Action::Par(Box::new(wr(A, rd(B))), Box::new(wr(B, rd(A)))),
         };
         assert_plan_equivalent(&swap, &d, |s| {
-            s.state_mut(A).call_action(PrimMethod::RegWrite, &[Value::int(32, 7)]).unwrap();
+            s.state_mut(A)
+                .call_action(PrimMethod::RegWrite, &[Value::int(32, 7)])
+                .unwrap();
         });
         // conditional enq with guard both ways
         let cond = RuleDef {
             name: "c".into(),
             body: Action::If(
-                Box::new(Expr::Bin(BinOp::Gt, Box::new(rd(A)), Box::new(Expr::int(32, 0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 0)),
+                )),
                 Box::new(enq(F, rd(A))),
                 Box::new(wr(B, Expr::int(32, 9))),
             ),
         };
         assert_plan_equivalent(&cond, &d, |_| {});
         assert_plan_equivalent(&cond, &d, |s| {
-            s.state_mut(A).call_action(PrimMethod::RegWrite, &[Value::int(32, 3)]).unwrap();
+            s.state_mut(A)
+                .call_action(PrimMethod::RegWrite, &[Value::int(32, 3)])
+                .unwrap();
         });
     }
 }

@@ -23,15 +23,31 @@ fn design() -> Design {
     Design {
         name: "conflict".into(),
         prims: vec![
-            PrimDef { path: Path::new("a"), spec: PrimSpec::Reg { init: Value::int(32, 0) } },
-            PrimDef { path: Path::new("b"), spec: PrimSpec::Reg { init: Value::int(32, 0) } },
+            PrimDef {
+                path: Path::new("a"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 0),
+                },
+            },
+            PrimDef {
+                path: Path::new("b"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 0),
+                },
+            },
             PrimDef {
                 path: Path::new("p"),
-                spec: PrimSpec::Fifo { depth: 3, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth: 3,
+                    ty: Type::Int(32),
+                },
             },
             PrimDef {
                 path: Path::new("q"),
-                spec: PrimSpec::Fifo { depth: 3, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth: 3,
+                    ty: Type::Int(32),
+                },
             },
         ],
         ..Default::default()
@@ -47,22 +63,17 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         Just(Expr::Call(Target::Prim(FIFO_Q, PrimMethod::First), vec![])),
     ]
     .prop_recursive(2, 8, 2, |inner| {
-        (inner.clone(), inner)
-            .prop_map(|(a, b)| Expr::Bin(BinOp::Add, Box::new(a), Box::new(b)))
+        (inner.clone(), inner).prop_map(|(a, b)| Expr::Bin(BinOp::Add, Box::new(a), Box::new(b)))
     })
 }
 
 /// Simple one- or two-step rules over the four primitives.
 fn arb_rule() -> impl Strategy<Value = Action> {
     let step = prop_oneof![
-        arb_expr().prop_map(|e| Action::Write(
-            Target::Prim(REG_A, PrimMethod::RegWrite),
-            Box::new(e)
-        )),
-        arb_expr().prop_map(|e| Action::Write(
-            Target::Prim(REG_B, PrimMethod::RegWrite),
-            Box::new(e)
-        )),
+        arb_expr()
+            .prop_map(|e| Action::Write(Target::Prim(REG_A, PrimMethod::RegWrite), Box::new(e))),
+        arb_expr()
+            .prop_map(|e| Action::Write(Target::Prim(REG_B, PrimMethod::RegWrite), Box::new(e))),
         arb_expr().prop_map(|e| Action::Call(Target::Prim(FIFO_P, PrimMethod::Enq), vec![e])),
         arb_expr().prop_map(|e| Action::Call(Target::Prim(FIFO_Q, PrimMethod::Enq), vec![e])),
         Just(Action::Call(Target::Prim(FIFO_P, PrimMethod::Deq), vec![])),
@@ -80,8 +91,12 @@ fn arb_rule() -> impl Strategy<Value = Action> {
 fn store_with(p_items: &[i64], q_items: &[i64], a: i64, b: i64) -> Store {
     let d = design();
     let mut s = Store::new(&d);
-    s.state_mut(REG_A).call_action(PrimMethod::RegWrite, &[Value::int(32, a)]).unwrap();
-    s.state_mut(REG_B).call_action(PrimMethod::RegWrite, &[Value::int(32, b)]).unwrap();
+    s.state_mut(REG_A)
+        .call_action(PrimMethod::RegWrite, &[Value::int(32, a)])
+        .unwrap();
+    s.state_mut(REG_B)
+        .call_action(PrimMethod::RegWrite, &[Value::int(32, b)])
+        .unwrap();
     for &v in p_items {
         if let PrimState::Fifo { items, .. } = s.state_mut(FIFO_P) {
             items.push_back(Value::int(32, v));

@@ -63,7 +63,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { event_overhead: 140, channel_op_overhead: 30, delta_overhead: 20 }
+        SimConfig {
+            event_overhead: 140,
+            channel_op_overhead: 30,
+            delta_overhead: 20,
+        }
     }
 }
 
@@ -191,12 +195,21 @@ impl<T> fmt::Debug for EventSim<T> {
 impl<T> EventSim<T> {
     /// Creates an empty kernel.
     pub fn new(cfg: SimConfig) -> EventSim<T> {
-        EventSim { cfg, channels: Vec::new(), processes: Vec::new(), stats: SimStats::default() }
+        EventSim {
+            cfg,
+            channels: Vec::new(),
+            processes: Vec::new(),
+            stats: SimStats::default(),
+        }
     }
 
     /// Declares a bounded FIFO channel.
     pub fn fifo(&mut self, capacity: usize) -> FifoId {
-        self.channels.push(Channel { capacity, items: VecDeque::new(), activity: false });
+        self.channels.push(Channel {
+            capacity,
+            items: VecDeque::new(),
+            activity: false,
+        });
         FifoId(self.channels.len() - 1)
     }
 
@@ -209,7 +222,11 @@ impl<T> EventSim<T> {
         sensitivity: Vec<FifoId>,
         run: impl FnMut(&mut Ctx<'_, T>) -> bool + 'static,
     ) {
-        self.processes.push(Process { name: name.into(), sensitivity, run: Box::new(run) });
+        self.processes.push(Process {
+            name: name.into(),
+            sensitivity,
+            run: Box::new(run),
+        });
     }
 
     /// Test-bench write into a channel (unbounded from the outside: grows
@@ -246,8 +263,11 @@ impl<T> EventSim<T> {
                 self.stats.activations += 1;
                 let mut extra = 0u64;
                 {
-                    let mut ctx =
-                        Ctx { channels: &mut self.channels, stats: &mut self.stats, cfg: self.cfg };
+                    let mut ctx = Ctx {
+                        channels: &mut self.channels,
+                        stats: &mut self.stats,
+                        cfg: self.cfg,
+                    };
                     // A process keeps running while it makes progress (an
                     // SC_METHOD re-triggered by its own channel activity).
                     while (p.run)(&mut ctx) {

@@ -192,18 +192,25 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 let s: String = bytes[start..i].iter().collect();
-                out.push(Spanned { tok: Tok::Ident(s), line });
+                out.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
             }
             c if c.is_ascii_digit() => {
                 let start = i;
                 while i < n && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                let value: i64 = bytes[start..i]
-                    .iter()
-                    .collect::<String>()
-                    .parse()
-                    .map_err(|e| LexError { msg: format!("bad integer: {e}"), line })?;
+                let value: i64 =
+                    bytes[start..i]
+                        .iter()
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|e| LexError {
+                            msg: format!("bad integer: {e}"),
+                            line,
+                        })?;
                 let mut width = 32u32;
                 if i < n && bytes[i] == 'i' {
                     let wstart = i + 1;
@@ -216,11 +223,17 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                             .iter()
                             .collect::<String>()
                             .parse()
-                            .map_err(|e| LexError { msg: format!("bad width: {e}"), line })?;
+                            .map_err(|e| LexError {
+                                msg: format!("bad width: {e}"),
+                                line,
+                            })?;
                         i = j;
                     }
                 }
-                out.push(Spanned { tok: Tok::Int { value, width }, line });
+                out.push(Spanned {
+                    tok: Tok::Int { value, width },
+                    line,
+                });
             }
             _ => {
                 let two: String = bytes[i..n.min(i + 2)].iter().collect();
@@ -276,7 +289,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, line });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(out)
 }
 
@@ -300,7 +316,10 @@ mod tests {
                 Tok::Assign,
                 Tok::Ident("c".into()),
                 Tok::Plus,
-                Tok::Int { value: 1, width: 32 },
+                Tok::Int {
+                    value: 1,
+                    width: 32
+                },
                 Tok::Semi,
                 Tok::Eof,
             ]
@@ -310,9 +329,25 @@ mod tests {
     #[test]
     fn width_suffix() {
         assert_eq!(toks("5i8")[0], Tok::Int { value: 5, width: 8 });
-        assert_eq!(toks("5")[0], Tok::Int { value: 5, width: 32 });
+        assert_eq!(
+            toks("5")[0],
+            Tok::Int {
+                value: 5,
+                width: 32
+            }
+        );
         // `5if` lexes as `5i...` with no digits: width stays 32, `if` not consumed.
-        assert_eq!(toks("7 i"), vec![Tok::Int { value: 7, width: 32 }, Tok::Ident("i".into()), Tok::Eof]);
+        assert_eq!(
+            toks("7 i"),
+            vec![
+                Tok::Int {
+                    value: 7,
+                    width: 32
+                },
+                Tok::Ident("i".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { msg: e.msg, line: e.line }
+        ParseError {
+            msg: e.msg,
+            line: e.line,
+        }
     }
 }
 
@@ -74,7 +77,10 @@ pub fn parse(src: &str) -> PResult<Program> {
         program.add_module(m);
     }
     if program.root.is_empty() {
-        return Err(ParseError { msg: "no modules in input".into(), line: 0 });
+        return Err(ParseError {
+            msg: "no modules in input".into(),
+            line: 0,
+        });
     }
     Ok(program)
 }
@@ -110,7 +116,10 @@ impl Parser {
     }
 
     fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
-        Err(ParseError { msg: msg.into(), line: self.line() })
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
     }
 
     fn expect(&mut self, t: Tok) -> PResult<()> {
@@ -181,7 +190,10 @@ impl Parser {
             }
         }
         self.expect(Tok::LBrace)?;
-        let mut ctx = Ctx { prims: HashSet::new(), subs: HashSet::new() };
+        let mut ctx = Ctx {
+            prims: HashSet::new(),
+            subs: HashSet::new(),
+        };
         while !self.eat(Tok::RBrace) {
             self.item(&mut m, &mut ctx)?;
         }
@@ -199,7 +211,10 @@ impl Parser {
                     self.expect(Tok::Semi)?;
                     let init = self.const_eval(&e)?;
                     ctx.prims.insert(name.clone());
-                    m.insts.push(InstDef { name, kind: InstKind::Prim(PrimSpec::Reg { init }) });
+                    m.insts.push(InstDef {
+                        name,
+                        kind: InstKind::Prim(PrimSpec::Reg { init }),
+                    });
                     Ok(())
                 }
                 "fifo" | "regfile" => {
@@ -215,9 +230,16 @@ impl Parser {
                     let spec = if k == "fifo" {
                         PrimSpec::Fifo { depth, ty }
                     } else {
-                        PrimSpec::RegFile { size: depth, ty, init: vec![] }
+                        PrimSpec::RegFile {
+                            size: depth,
+                            ty,
+                            init: vec![],
+                        }
                     };
-                    m.insts.push(InstDef { name, kind: InstKind::Prim(spec) });
+                    m.insts.push(InstDef {
+                        name,
+                        kind: InstKind::Prim(spec),
+                    });
                     Ok(())
                 }
                 "sync" => {
@@ -236,7 +258,12 @@ impl Parser {
                     ctx.prims.insert(name.clone());
                     m.insts.push(InstDef {
                         name,
-                        kind: InstKind::Prim(PrimSpec::Sync { depth, ty, from, to }),
+                        kind: InstKind::Prim(PrimSpec::Sync {
+                            depth,
+                            ty,
+                            from,
+                            to,
+                        }),
                     });
                     Ok(())
                 }
@@ -254,7 +281,10 @@ impl Parser {
                     } else {
                         PrimSpec::Sink { ty, domain }
                     };
-                    m.insts.push(InstDef { name, kind: InstKind::Prim(spec) });
+                    m.insts.push(InstDef {
+                        name,
+                        kind: InstKind::Prim(spec),
+                    });
                     Ok(())
                 }
                 "inst" => {
@@ -274,7 +304,10 @@ impl Parser {
                     }
                     self.expect(Tok::Semi)?;
                     ctx.subs.insert(name.clone());
-                    m.insts.push(InstDef { name, kind: InstKind::Module { def, args } });
+                    m.insts.push(InstDef {
+                        name,
+                        kind: InstKind::Module { def, args },
+                    });
                     Ok(())
                 }
                 "rule" => {
@@ -338,7 +371,11 @@ impl Parser {
                 self.expect(Tok::LParen)?;
                 let w = self.int_lit()? as u32;
                 self.expect(Tok::RParen)?;
-                Ok(if name == "Int" { Type::Int(w) } else { Type::Bits(w) })
+                Ok(if name == "Int" {
+                    Type::Int(w)
+                } else {
+                    Type::Bits(w)
+                })
             }
             "Vector" => {
                 self.expect(Tok::Hash)?;
@@ -460,7 +497,10 @@ impl Parser {
                 if self.eat(Tok::Assign) {
                     let e = self.expr(ctx)?;
                     let path = Path::new(comps.join("."));
-                    Ok(Action::Write(Target::Named(path, "_write".into()), Box::new(e)))
+                    Ok(Action::Write(
+                        Target::Named(path, "_write".into()),
+                        Box::new(e),
+                    ))
                 } else if *self.peek() == Tok::LParen {
                     if comps.len() < 2 {
                         return self.err("action method call needs `instance.method(...)`");
@@ -470,7 +510,10 @@ impl Parser {
                     let args = self.call_args(ctx)?;
                     Ok(Action::Call(Target::Named(path, meth), args))
                 } else {
-                    self.err(format!("expected `:=` or a method call, found `{}`", self.peek()))
+                    self.err(format!(
+                        "expected `:=` or a method call, found `{}`",
+                        self.peek()
+                    ))
                 }
             }
             other => self.err(format!("expected action, found `{other}`")),
@@ -801,15 +844,20 @@ impl Parser {
                 .find(|(k, _)| k == n)
                 .map(|(_, v)| v.clone())
                 .ok_or_else(|| fail(format!("`{n}` is not a constant")))?,
-            Expr::Un(op, a) => Value::un_op(*op, &self.const_eval_env(a, env)?)
-                .map_err(|e| fail(e.to_string()))?,
+            Expr::Un(op, a) => {
+                Value::un_op(*op, &self.const_eval_env(a, env)?).map_err(|e| fail(e.to_string()))?
+            }
             Expr::Bin(op, a, b) => {
                 let va = self.const_eval_env(a, env)?;
                 let vb = self.const_eval_env(b, env)?;
                 Value::bin_op(*op, &va, &vb).map_err(|e| fail(e.to_string()))?
             }
             Expr::Cond(c, t, f) => {
-                if self.const_eval_env(c, env)?.as_bool().map_err(|e| fail(e.to_string()))? {
+                if self
+                    .const_eval_env(c, env)?
+                    .as_bool()
+                    .map_err(|e| fail(e.to_string()))?
+                {
                     self.const_eval_env(t, env)?
                 } else {
                     self.const_eval_env(f, env)?
@@ -823,7 +871,9 @@ impl Parser {
                 r
             }
             Expr::MkVec(es) => Value::Vec(
-                es.iter().map(|x| self.const_eval_env(x, env)).collect::<PResult<Vec<_>>>()?,
+                es.iter()
+                    .map(|x| self.const_eval_env(x, env))
+                    .collect::<PResult<Vec<_>>>()?,
             ),
             Expr::MkStruct(fs) => Value::Struct(
                 fs.iter()
@@ -885,7 +935,10 @@ mod tests {
         r.run_until_quiescent(100).unwrap();
         let c = d.prim_id("c").unwrap();
         assert_eq!(
-            r.store.state(c).call_value(bcl_core::PrimMethod::RegRead, &[]).unwrap(),
+            r.store
+                .state(c)
+                .call_value(bcl_core::PrimMethod::RegRead, &[])
+                .unwrap(),
             Value::int(32, 10)
         );
     }
@@ -938,7 +991,10 @@ mod tests {
         r.run_until_quiescent(100).unwrap();
         let t = d.prim_id("a.total").unwrap();
         assert_eq!(
-            r.store.state(t).call_value(bcl_core::PrimMethod::RegRead, &[]).unwrap(),
+            r.store
+                .state(t)
+                .call_value(bcl_core::PrimMethod::RegRead, &[])
+                .unwrap(),
             Value::int(32, 15)
         );
     }

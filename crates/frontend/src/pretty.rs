@@ -43,7 +43,12 @@ pub fn pretty_module(m: &ModuleDef) -> String {
             InstKind::Prim(PrimSpec::RegFile { size, ty, .. }) => {
                 let _ = writeln!(s, "  regfile {}[{}] : {};", i.name, size, pretty_type(ty));
             }
-            InstKind::Prim(PrimSpec::Sync { depth, ty, from, to }) => {
+            InstKind::Prim(PrimSpec::Sync {
+                depth,
+                ty,
+                from,
+                to,
+            }) => {
                 let _ = writeln!(
                     s,
                     "  sync {}[{}] : {} from {} to {};",
@@ -99,8 +104,10 @@ pub fn pretty_type(t: &Type) -> String {
         Type::Int(w) => format!("Int#({w})"),
         Type::Vector(n, t) => format!("Vector#({n}, {})", pretty_type(t)),
         Type::Struct(fs) => {
-            let fields: Vec<String> =
-                fs.iter().map(|(n, t)| format!("{n}: {}", pretty_type(t))).collect();
+            let fields: Vec<String> = fs
+                .iter()
+                .map(|(n, t)| format!("{n}: {}", pretty_type(t)))
+                .collect();
             format!("struct {{ {} }}", fields.join(", "))
         }
     }
@@ -125,8 +132,10 @@ pub fn pretty_value(v: &Value) -> String {
             format!("[{}]", items.join(", "))
         }
         Value::Struct(fs) => {
-            let items: Vec<String> =
-                fs.iter().map(|(n, v)| format!("{n}: {}", pretty_value(v))).collect();
+            let items: Vec<String> = fs
+                .iter()
+                .map(|(n, v)| format!("{n}: {}", pretty_value(v)))
+                .collect();
             format!("{{{}}}", items.join(", "))
         }
     }
@@ -186,7 +195,12 @@ pub fn pretty_expr(e: &Expr) -> String {
             },
         },
         Expr::Cond(c, t, f) => {
-            format!("({} ? {} : {})", pretty_expr(c), pretty_expr(t), pretty_expr(f))
+            format!(
+                "({} ? {} : {})",
+                pretty_expr(c),
+                pretty_expr(t),
+                pretty_expr(f)
+            )
         }
         Expr::When(v, g) => format!("({} when {})", pretty_expr(v), pretty_expr(g)),
         Expr::Let(n, v, b) => {
@@ -207,8 +221,10 @@ pub fn pretty_expr(e: &Expr) -> String {
             format!("[{}]", items.join(", "))
         }
         Expr::MkStruct(fs) => {
-            let items: Vec<String> =
-                fs.iter().map(|(n, e)| format!("{n}: {}", pretty_expr(e))).collect();
+            let items: Vec<String> = fs
+                .iter()
+                .map(|(n, e)| format!("{n}: {}", pretty_expr(e)))
+                .collect();
             format!("{{{}}}", items.join(", "))
         }
         Expr::UpdateIndex(..) | Expr::UpdateField(..) => {

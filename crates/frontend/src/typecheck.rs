@@ -90,7 +90,10 @@ fn check_module(program: &Program, m: &ModuleDef) -> TResult<()> {
 
 impl<'p> Checker<'p> {
     fn err<T>(&self, msg: impl Into<String>) -> TResult<T> {
-        Err(TypeError { context: self.context.clone(), msg: msg.into() })
+        Err(TypeError {
+            context: self.context.clone(),
+            msg: msg.into(),
+        })
     }
 
     /// Resolves a dotted path to a primitive spec, following submodule
@@ -102,7 +105,11 @@ impl<'p> Checker<'p> {
             let inst = module.inst(c)?;
             match &inst.kind {
                 InstKind::Prim(spec) => {
-                    return if i + 1 == comps.len() { Some((spec.clone(), true)) } else { None };
+                    return if i + 1 == comps.len() {
+                        Some((spec.clone(), true))
+                    } else {
+                        None
+                    };
                 }
                 InstKind::Module { def, .. } => {
                     module = self.program.module(def)?;
@@ -259,7 +266,11 @@ impl<'p> Checker<'p> {
                         None => complete = false,
                     }
                 }
-                Ok(if complete { Some(Type::Struct(fields)) } else { None })
+                Ok(if complete {
+                    Some(Type::Struct(fields))
+                } else {
+                    None
+                })
             }
             Expr::UpdateIndex(v, i, x) => {
                 let tv = self.expr(v)?;
@@ -288,8 +299,10 @@ impl<'p> Checker<'p> {
 
     /// Types a method call; `action` selects action vs value position.
     fn call_ty(&mut self, path: &str, meth: &str, args: &[Expr], action: bool) -> TResult<MaybeTy> {
-        let arg_tys: Vec<MaybeTy> =
-            args.iter().map(|a| self.expr(a)).collect::<TResult<Vec<_>>>()?;
+        let arg_tys: Vec<MaybeTy> = args
+            .iter()
+            .map(|a| self.expr(a))
+            .collect::<TResult<Vec<_>>>()?;
         if let Some((spec, _)) = self.resolve_prim(path) {
             let elem = spec.value_type();
             return match (meth, action) {

@@ -49,7 +49,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(b)
             )),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Cond(
-                Box::new(Expr::Bin(BinOp::Gt, Box::new(c), Box::new(Expr::int(32, 0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(c),
+                    Box::new(Expr::int(32, 0))
+                )),
                 Box::new(t),
                 Box::new(f)
             )),
@@ -64,24 +68,31 @@ fn arb_action() -> impl Strategy<Value = Action> {
             Target::Named(REGS[0].into(), "_write".into()),
             Box::new(e)
         )),
-        arb_expr().prop_map(|e| Action::Call(
-            Target::Named(FIFOS[1].into(), "enq".into()),
-            vec![e]
+        arb_expr()
+            .prop_map(|e| Action::Call(Target::Named(FIFOS[1].into(), "enq".into()), vec![e])),
+        Just(Action::Call(
+            Target::Named(FIFOS[0].into(), "deq".into()),
+            vec![]
         )),
-        Just(Action::Call(Target::Named(FIFOS[0].into(), "deq".into()), vec![])),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Action::Par(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Action::Seq(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Action::Par(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Action::Seq(Box::new(a), Box::new(b))),
             (arb_expr(), inner.clone()).prop_map(|(g, a)| Action::When(
-                Box::new(Expr::Bin(BinOp::Ne, Box::new(g), Box::new(Expr::int(32, 0)))),
+                Box::new(Expr::Bin(
+                    BinOp::Ne,
+                    Box::new(g),
+                    Box::new(Expr::int(32, 0))
+                )),
                 Box::new(a)
             )),
             (arb_expr(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Action::If(
-                Box::new(Expr::Bin(BinOp::Lt, Box::new(c), Box::new(Expr::int(32, 5)))),
+                Box::new(Expr::Bin(
+                    BinOp::Lt,
+                    Box::new(c),
+                    Box::new(Expr::int(32, 5))
+                )),
                 Box::new(t),
                 Box::new(f)
             )),
@@ -101,19 +112,27 @@ fn arb_program() -> impl Strategy<Value = Program> {
             for r in REGS {
                 m.insts.push(InstDef {
                     name: r.into(),
-                    kind: InstKind::Prim(PrimSpec::Reg { init: Value::int(32, 0) }),
+                    kind: InstKind::Prim(PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    }),
                 });
             }
             m.insts.push(InstDef {
                 name: FIFOS[0].into(),
-                kind: InstKind::Prim(PrimSpec::Fifo { depth, ty: Type::Int(32) }),
+                kind: InstKind::Prim(PrimSpec::Fifo {
+                    depth,
+                    ty: Type::Int(32),
+                }),
             });
             m.insts.push(InstDef {
                 name: FIFOS[1].into(),
                 kind: InstKind::Prim(PrimSpec::Fifo { depth, ty: fifo_ty }),
             });
             for (i, body) in bodies.into_iter().enumerate() {
-                m.rules.push(RuleDef { name: format!("r{i}"), body });
+                m.rules.push(RuleDef {
+                    name: format!("r{i}"),
+                    body,
+                });
             }
             Program::with_root(m)
         })

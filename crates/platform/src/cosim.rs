@@ -9,8 +9,8 @@
 //! per FPGA cycle, from which driver marshaling work is deducted before
 //! rule execution — moving data is not free for the processor.
 
-use crate::link::{Link, LinkConfig, LinkStats};
-use crate::transactor::{ChannelReport, Transactor};
+use crate::link::{FaultConfig, Link, LinkConfig, LinkStats};
+use crate::transactor::{ChannelDiag, ChannelReport, Transactor, TransportStats};
 use crate::PlatformError;
 use bcl_core::ast::PrimId;
 use bcl_core::design::Design;
@@ -20,7 +20,7 @@ use bcl_core::sched::{HwSim, SwOptions, SwRunner};
 use bcl_core::value::Value;
 
 /// How a co-simulation ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CosimOutcome {
     /// The completion predicate became true after this many FPGA cycles.
     Done {
@@ -32,21 +32,39 @@ pub enum CosimOutcome {
         /// Total FPGA cycles elapsed.
         fpga_cycles: u64,
     },
+    /// Fault injection wedged the transport: data was pending but no
+    /// channel made sequence progress for the stall threshold (e.g. a
+    /// direction with 100% loss). Only reported when faults are active —
+    /// a perfect link that merely runs out of cycles is a [`Timeout`].
+    ///
+    /// [`Timeout`]: CosimOutcome::Timeout
+    Stalled {
+        /// Total FPGA cycles elapsed.
+        fpga_cycles: u64,
+        /// Per-channel sequence/credit snapshots at the moment the stall
+        /// was declared.
+        channels: Vec<ChannelDiag>,
+    },
 }
 
 impl CosimOutcome {
     /// The elapsed FPGA cycles regardless of outcome.
     pub fn fpga_cycles(&self) -> u64 {
         match self {
-            CosimOutcome::Done { fpga_cycles } | CosimOutcome::Timeout { fpga_cycles } => {
-                *fpga_cycles
-            }
+            CosimOutcome::Done { fpga_cycles }
+            | CosimOutcome::Timeout { fpga_cycles }
+            | CosimOutcome::Stalled { fpga_cycles, .. } => *fpga_cycles,
         }
     }
 
     /// True if the predicate was met.
     pub fn is_done(&self) -> bool {
         matches!(self, CosimOutcome::Done { .. })
+    }
+
+    /// True if the transport stall detector fired.
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, CosimOutcome::Stalled { .. })
     }
 }
 
@@ -69,7 +87,20 @@ pub struct Cosim {
     sw_debt: u64,
     sw_domain: String,
     hw_domain: String,
+    /// FPGA cycles without transport sequence progress (while work is
+    /// pending) before [`CosimOutcome::Stalled`] is declared. Only armed
+    /// when the link's fault model is active.
+    stall_threshold: u64,
+    /// Transactor progress counter at the last observed advance.
+    last_progress: u64,
+    /// Cycle of the last observed advance.
+    last_progress_cycle: u64,
 }
+
+/// Default stall threshold: far beyond the retransmission backoff cap
+/// (~8 round trips), so a live-but-lossy link never trips it, while a
+/// dead direction is reported without exhausting the cycle limit.
+pub const DEFAULT_STALL_THRESHOLD: u64 = 50_000;
 
 impl Cosim {
     /// Builds a co-simulation from a partitioned design.
@@ -90,6 +121,32 @@ impl Cosim {
         link_cfg: LinkConfig,
         sw_opts: SwOptions,
     ) -> Result<Cosim, PlatformError> {
+        Cosim::with_faults(
+            p,
+            sw_domain,
+            hw_domain,
+            link_cfg,
+            FaultConfig::none(),
+            sw_opts,
+        )
+    }
+
+    /// Builds a co-simulation whose link injects deterministic faults.
+    /// With an active fault model the transactor switches to its framed
+    /// reliable transport and the stall detector is armed; with
+    /// [`FaultConfig::none`] this is identical to [`Cosim::new`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Cosim::new`].
+    pub fn with_faults(
+        p: &Partitioned,
+        sw_domain: &str,
+        hw_domain: &str,
+        link_cfg: LinkConfig,
+        faults: FaultConfig,
+        sw_opts: SwOptions,
+    ) -> Result<Cosim, PlatformError> {
         for d in p.partitions.keys() {
             if d != sw_domain && d != hw_domain {
                 return Err(PlatformError::new(format!(
@@ -98,24 +155,22 @@ impl Cosim {
                 )));
             }
         }
-        let sw_design = p
-            .partition(sw_domain)
-            .cloned()
-            .unwrap_or_else(|| Design { name: format!("empty.{sw_domain}"), ..Default::default() });
+        let sw_design = p.partition(sw_domain).cloned().unwrap_or_else(|| Design {
+            name: format!("empty.{sw_domain}"),
+            ..Default::default()
+        });
         let hw_design = p.partition(hw_domain).cloned();
         let sw = SwRunner::new(&sw_design, sw_opts);
         let hw = match &hw_design {
-            Some(d) => {
-                Some(HwSim::new(d).map_err(|e| PlatformError::new(e.to_string()))?)
-            }
+            Some(d) => Some(HwSim::new(d).map_err(|e| PlatformError::new(e.to_string()))?),
             None => None,
         };
         let transactor = if p.channels.is_empty() {
             None
         } else {
-            let hwd = hw_design.as_ref().ok_or_else(|| {
-                PlatformError::new("channels present but no hardware partition")
-            })?;
+            let hwd = hw_design
+                .as_ref()
+                .ok_or_else(|| PlatformError::new("channels present but no hardware partition"))?;
             Some(
                 Transactor::new(&p.channels, sw_domain, &sw_design, hw_domain, hwd)
                     .map_err(|e| PlatformError::new(e.to_string()))?,
@@ -127,12 +182,22 @@ impl Cosim {
             sw_design,
             hw_design,
             transactor,
-            link: Link::new(link_cfg),
+            link: Link::with_faults(link_cfg, faults),
             fpga_cycles: 0,
             sw_debt: 0,
             sw_domain: sw_domain.to_string(),
             hw_domain: hw_domain.to_string(),
+            stall_threshold: DEFAULT_STALL_THRESHOLD,
+            last_progress: 0,
+            last_progress_cycle: 0,
         })
+    }
+
+    /// Overrides the stall threshold (FPGA cycles of no transport
+    /// progress, while work is pending, before a run reports
+    /// [`CosimOutcome::Stalled`]).
+    pub fn set_stall_threshold(&mut self, cycles: u64) {
+        self.stall_threshold = cycles.max(1);
     }
 
     /// The software partition's design.
@@ -175,9 +240,15 @@ impl Cosim {
     ///
     /// Panics if the path does not name a source in either partition.
     pub fn push_source(&mut self, path: &str, v: Value) {
-        let (in_hw, id) = self.locate(path).unwrap_or_else(|| panic!("no source `{path}`"));
+        let (in_hw, id) = self
+            .locate(path)
+            .unwrap_or_else(|| panic!("no source `{path}`"));
         if in_hw {
-            self.hw.as_mut().expect("hw exists").store.push_source(id, v);
+            self.hw
+                .as_mut()
+                .expect("hw exists")
+                .store
+                .push_source(id, v);
         } else {
             self.sw.store.push_source(id, v);
         }
@@ -189,7 +260,9 @@ impl Cosim {
     ///
     /// Panics if the path does not name a sink in either partition.
     pub fn sink_values(&self, path: &str) -> &[Value] {
-        let (in_hw, id) = self.locate(path).unwrap_or_else(|| panic!("no sink `{path}`"));
+        let (in_hw, id) = self
+            .locate(path)
+            .unwrap_or_else(|| panic!("no sink `{path}`"));
         if in_hw {
             self.hw.as_ref().expect("hw exists").store.sink_values(id)
         } else {
@@ -252,24 +325,62 @@ impl Cosim {
             loop {
                 self.fpga_cycles = self.sw.cpu_cycles().div_ceil(ratio);
                 if done(self) {
-                    return Ok(CosimOutcome::Done { fpga_cycles: self.fpga_cycles });
+                    return Ok(CosimOutcome::Done {
+                        fpga_cycles: self.fpga_cycles,
+                    });
                 }
                 if self.fpga_cycles >= max_cycles {
-                    return Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles });
+                    return Ok(CosimOutcome::Timeout {
+                        fpga_cycles: self.fpga_cycles,
+                    });
                 }
                 if !self.sw.step()? {
                     // Quiescent but not done.
-                    return Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles });
+                    return Ok(CosimOutcome::Timeout {
+                        fpga_cycles: self.fpga_cycles,
+                    });
                 }
             }
         }
         while self.fpga_cycles < max_cycles {
             if done(self) {
-                return Ok(CosimOutcome::Done { fpga_cycles: self.fpga_cycles });
+                return Ok(CosimOutcome::Done {
+                    fpga_cycles: self.fpga_cycles,
+                });
             }
             self.step()?;
+            if let Some(stalled) = self.check_stall() {
+                return Ok(stalled);
+            }
         }
-        Ok(CosimOutcome::Timeout { fpga_cycles: self.fpga_cycles })
+        Ok(CosimOutcome::Timeout {
+            fpga_cycles: self.fpga_cycles,
+        })
+    }
+
+    /// Declares a stall when faults are active, transport work is
+    /// pending, and no channel has made sequence progress for
+    /// `stall_threshold` cycles. Graceful degradation: the run ends with
+    /// per-channel diagnostics instead of burning the full cycle budget.
+    fn check_stall(&mut self) -> Option<CosimOutcome> {
+        let t = self.transactor.as_ref()?;
+        if !self.link.faults_active() {
+            return None;
+        }
+        let progress = t.progress();
+        let hw = self.hw.as_ref().expect("transactor implies hw");
+        if progress != self.last_progress || !t.pending_work(&self.sw.store, &hw.store) {
+            self.last_progress = progress;
+            self.last_progress_cycle = self.fpga_cycles;
+            return None;
+        }
+        if self.fpga_cycles - self.last_progress_cycle >= self.stall_threshold {
+            return Some(CosimOutcome::Stalled {
+                fpga_cycles: self.fpga_cycles,
+                channels: t.diagnostics(&self.sw.store, &hw.store),
+            });
+        }
+        None
     }
 
     /// Link traffic totals.
@@ -277,9 +388,26 @@ impl Cosim {
         self.link.stats()
     }
 
+    /// The link's fault model.
+    pub fn fault_config(&self) -> &FaultConfig {
+        self.link.fault_config()
+    }
+
+    /// Transport-level statistics (CRC rejects, pure-ACK frames); all
+    /// zero on a perfect link.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.transactor
+            .as_ref()
+            .map(|t| t.transport_stats())
+            .unwrap_or_default()
+    }
+
     /// Per-channel transfer summaries.
     pub fn channel_report(&self) -> Vec<ChannelReport> {
-        self.transactor.as_ref().map(|t| t.report()).unwrap_or_default()
+        self.transactor
+            .as_ref()
+            .map(|t| t.report())
+            .unwrap_or_default()
     }
 }
 
@@ -320,8 +448,11 @@ mod tests {
         }
         let out = cs.run_until(|c| c.sink_count("snk") == 5, 100_000).unwrap();
         assert!(out.is_done(), "timed out: {out:?}");
-        let vals: Vec<i64> =
-            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect();
+        let vals: Vec<i64> = cs
+            .sink_values("snk")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
         // Round trip includes two link crossings: at least ~100 cycles.
         assert!(out.fpga_cycles() >= 100, "cycles = {}", out.fpga_cycles());
@@ -339,10 +470,15 @@ mod tests {
         for i in 0..5 {
             cs.push_source("src", Value::int(32, i));
         }
-        let out = cs.run_until(|c| c.sink_count("snk") == 5, 1_000_000).unwrap();
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 5, 1_000_000)
+            .unwrap();
         assert!(out.is_done());
-        let vals: Vec<i64> =
-            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect();
+        let vals: Vec<i64> = cs
+            .sink_values("snk")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
         // No link traffic in pure software.
         assert_eq!(cs.link_stats().msgs_to_hw, 0);
@@ -354,16 +490,25 @@ mod tests {
         // output streams regardless of the partitioning.
         let inputs: Vec<i64> = (0..8).map(|i| i * 3 - 5).collect();
         let run = |hw: bool| -> Vec<i64> {
-            let d = if hw { offload_design(true) } else { fuse_syncs(&offload_design(false)) };
+            let d = if hw {
+                offload_design(true)
+            } else {
+                fuse_syncs(&offload_design(false))
+            };
             let p = partition(&d, SW).unwrap();
             let mut cs =
                 Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
             for &i in &inputs {
                 cs.push_source("src", Value::int(32, i));
             }
-            let out = cs.run_until(|c| c.sink_count("snk") == inputs.len(), 1_000_000).unwrap();
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == inputs.len(), 1_000_000)
+                .unwrap();
             assert!(out.is_done());
-            cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect()
+            cs.sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect()
         };
         assert_eq!(run(true), run(false));
     }
@@ -380,20 +525,129 @@ mod tests {
     }
 
     #[test]
+    fn faulty_link_output_is_bit_identical_and_reproducible() {
+        use crate::link::FaultConfig;
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let run = |faults: FaultConfig| {
+            let mut cs = Cosim::with_faults(
+                &p,
+                SW,
+                HW,
+                LinkConfig::default(),
+                faults,
+                SwOptions::default(),
+            )
+            .unwrap();
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == 8, 5_000_000)
+                .unwrap();
+            assert!(out.is_done(), "did not finish: {out:?}");
+            let vals: Vec<i64> = cs
+                .sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            (
+                vals,
+                out.fpga_cycles(),
+                cs.link_stats(),
+                cs.channel_report(),
+            )
+        };
+        let (clean, clean_cycles, ..) = run(FaultConfig::none());
+        let (faulty, c1, stats, report) = run(FaultConfig::uniform(9, 0.25, 0.2, 0.15, 0.15));
+        assert_eq!(faulty, clean, "reliable transport must hide the faults");
+        assert!(
+            stats.faults_injected() > 0,
+            "faults must actually fire: {stats:?}"
+        );
+        assert!(
+            report
+                .iter()
+                .any(|r| r.retransmits > 0 || r.dup_suppressed > 0),
+            "recovery machinery must have engaged: {report:?}"
+        );
+        assert!(c1 > clean_cycles, "recovery costs cycles");
+        // Determinism: the same seed reproduces the exact same run.
+        let (_, c2, stats2, _) = run(FaultConfig::uniform(9, 0.25, 0.2, 0.15, 0.15));
+        assert_eq!(c1, c2);
+        assert_eq!(stats, stats2);
+    }
+
+    #[test]
+    fn dead_direction_stalls_with_diagnostics() {
+        use crate::link::FaultConfig;
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        // 100% loss SW→HW: requests never arrive, retransmission can
+        // never succeed, and the stall detector must end the run early
+        // with per-channel state — not the cycle-limit timeout.
+        let faults = FaultConfig {
+            drop: [1.0, 0.0],
+            ..FaultConfig::uniform(3, 0.0, 0.0, 0.0, 0.0)
+        };
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_stall_threshold(10_000);
+        cs.push_source("src", Value::int(32, 1));
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 1, 100_000_000)
+            .unwrap();
+        match &out {
+            CosimOutcome::Stalled {
+                fpga_cycles,
+                channels,
+            } => {
+                assert!(
+                    *fpga_cycles < 1_000_000,
+                    "stall must fire early, not at the limit"
+                );
+                let diag = channels
+                    .iter()
+                    .find(|c| c.name == "inSync")
+                    .expect("inSync diagnosed");
+                assert!(diag.unacked > 0, "undeliverable frame sits unacked: {diag}");
+                assert!(diag.retransmits > 0, "sender kept trying: {diag}");
+                assert_eq!(diag.accepted, 0, "receiver never saw it: {diag}");
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn sw_debt_throttles_software() {
         // With an expensive driver, completion takes more cycles.
         let d = offload_design(true);
         let p = partition(&d, SW).unwrap();
         let run = |word_cost: u64| {
-            let cfg = LinkConfig { sw_word_cost: word_cost, ..Default::default() };
+            let cfg = LinkConfig {
+                sw_word_cost: word_cost,
+                ..Default::default()
+            };
             let mut cs = Cosim::new(&p, SW, HW, cfg, SwOptions::default()).unwrap();
             for i in 0..10 {
                 cs.push_source("src", Value::int(32, i));
             }
-            cs.run_until(|c| c.sink_count("snk") == 10, 1_000_000).unwrap().fpga_cycles()
+            cs.run_until(|c| c.sink_count("snk") == 10, 1_000_000)
+                .unwrap()
+                .fpga_cycles()
         };
         let cheap = run(1);
         let pricey = run(400);
-        assert!(pricey > cheap, "driver cost must slow completion: {pricey} !> {cheap}");
+        assert!(
+            pricey > cheap,
+            "driver cost must slow completion: {pricey} !> {cheap}"
+        );
     }
 }

@@ -49,10 +49,11 @@
 pub mod cosim;
 pub mod link;
 pub mod transactor;
+pub mod wire;
 
 pub use cosim::{Cosim, CosimOutcome};
-pub use link::{Dir, Link, LinkConfig, LinkStats, Message};
-pub use transactor::Transactor;
+pub use link::{Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkStats, Message, ScriptedFault};
+pub use transactor::{ChannelDiag, ChannelReport, Transactor, TransportStats};
 
 use std::fmt;
 

@@ -9,6 +9,19 @@
 //!
 //! Time is measured in FPGA cycles throughout. The link is full duplex:
 //! each direction has its own serialization resource.
+//!
+//! ## Fault injection
+//!
+//! Real LocalLink/DMA-class interconnects drop, corrupt, duplicate, and
+//! reorder frames. [`FaultConfig`] turns this model into an *unreliable*
+//! channel: each direction gets an independent, seed-derived PRNG stream
+//! and per-frame drop/corrupt/duplicate/reorder probabilities, plus a
+//! deterministic script of targeted faults ("drop the Nth SW→HW frame").
+//! The same seed and send sequence always produces the same fault
+//! schedule, so co-simulations under fault injection are exactly
+//! reproducible. Injected faults are tallied per direction in
+//! [`LinkStats`]; surviving the faults is the job of the reliable
+//! transport in [`crate::transactor`].
 
 use std::collections::VecDeque;
 
@@ -26,6 +39,15 @@ impl Dir {
         match self {
             Dir::SwToHw => 0,
             Dir::HwToSw => 1,
+        }
+    }
+
+    /// The opposite direction (the one ACKs for this direction's data
+    /// travel in).
+    pub fn opposite(self) -> Dir {
+        match self {
+            Dir::SwToHw => Dir::HwToSw,
+            Dir::HwToSw => Dir::SwToHw,
         }
     }
 }
@@ -71,17 +93,200 @@ pub struct Message {
     pub words: Vec<u32>,
 }
 
-#[derive(Debug, Default)]
+/// A kind of injected link fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The frame is silently discarded (it still occupies the wire).
+    Drop,
+    /// Random bits inside one 32-bit word of the frame are flipped.
+    Corrupt,
+    /// A second copy of the frame is delivered shortly after the first.
+    Duplicate,
+    /// The frame is delayed by a random amount, letting later frames
+    /// overtake it.
+    Reorder,
+}
+
+/// A scripted fault: deterministically applied to the `nth` (0-based)
+/// frame sent in direction `dir`, regardless of the random rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// Direction of the targeted frame.
+    pub dir: Dir,
+    /// 0-based index of the targeted frame within that direction's send
+    /// sequence.
+    pub nth: u64,
+    /// What happens to it.
+    pub kind: FaultKind,
+}
+
+/// Deterministic, seed-driven fault model for the link.
+///
+/// All probabilities are per frame, in `[0, 1]`, applied independently
+/// per direction (indexed by [`Dir`]: `[SwToHw, HwToSw]`). With the
+/// default [`FaultConfig::none`] the link behaves exactly like the
+/// original perfect channel and the transactor takes its zero-overhead
+/// fast path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// PRNG seed; the same seed reproduces the same fault schedule.
+    pub seed: u64,
+    /// Per-direction probability of dropping a frame.
+    pub drop: [f64; 2],
+    /// Per-direction probability of corrupting a frame (bit flips within
+    /// one word; always caught by the transactor's CRC32).
+    pub corrupt: [f64; 2],
+    /// Per-direction probability of duplicating a frame.
+    pub duplicate: [f64; 2],
+    /// Per-direction probability of delaying a frame past its
+    /// successors.
+    pub reorder: [f64; 2],
+    /// Targeted faults applied on top of the random rates.
+    pub script: Vec<ScriptedFault>,
+}
+
+impl FaultConfig {
+    /// A perfect link: no faults, transactor fast path enabled.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            seed: 0,
+            drop: [0.0; 2],
+            corrupt: [0.0; 2],
+            duplicate: [0.0; 2],
+            reorder: [0.0; 2],
+            script: Vec::new(),
+        }
+    }
+
+    /// The same fault rates in both directions.
+    pub fn uniform(
+        seed: u64,
+        drop: f64,
+        corrupt: f64,
+        duplicate: f64,
+        reorder: f64,
+    ) -> FaultConfig {
+        FaultConfig {
+            seed,
+            drop: [drop; 2],
+            corrupt: [corrupt; 2],
+            duplicate: [duplicate; 2],
+            reorder: [reorder; 2],
+            script: Vec::new(),
+        }
+    }
+
+    /// Adds a scripted fault (builder style).
+    pub fn with_scripted(mut self, dir: Dir, nth: u64, kind: FaultKind) -> FaultConfig {
+        self.script.push(ScriptedFault { dir, nth, kind });
+        self
+    }
+
+    /// True if any fault can ever fire. When false, the transactor runs
+    /// its unframed fast path and behaves exactly like the seed model.
+    pub fn is_active(&self) -> bool {
+        !self.script.is_empty()
+            || self
+                .drop
+                .iter()
+                .chain(&self.corrupt)
+                .chain(&self.duplicate)
+                .chain(&self.reorder)
+                .any(|&p| p > 0.0)
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::none()
+    }
+}
+
+/// SplitMix64: small, fast, and deterministic — one stream per link
+/// direction so the two directions' fault schedules are independent.
+#[derive(Debug, Clone)]
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64, salt: u64) -> FaultRng {
+        FaultRng {
+            state: seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// True with probability `p`.
+    fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            // Still consume a draw so rate changes don't shift the rest
+            // of the schedule.
+            let _ = self.next_u64();
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Uniform value in `[0, n)`.
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[derive(Debug)]
 struct Direction {
     /// When the serializer is next free (FPGA cycle).
     busy_until: u64,
-    /// In-flight messages, ordered by delivery time.
+    /// In-flight messages, kept sorted by delivery time (stable for
+    /// equal times, so the fault-free path preserves send order).
     in_flight: VecDeque<(u64, Message)>,
     words_sent: u64,
     messages_sent: u64,
+    /// Frames handed to `send` so far (indexes the fault script).
+    frames_seen: u64,
+    rng: FaultRng,
+    dropped: u64,
+    corrupted: u64,
+    duplicated: u64,
+    reordered: u64,
 }
 
-/// Cumulative traffic statistics.
+impl Direction {
+    fn new(seed: u64, salt: u64) -> Direction {
+        Direction {
+            busy_until: 0,
+            in_flight: VecDeque::new(),
+            words_sent: 0,
+            messages_sent: 0,
+            frames_seen: 0,
+            rng: FaultRng::new(seed, salt),
+            dropped: 0,
+            corrupted: 0,
+            duplicated: 0,
+            reordered: 0,
+        }
+    }
+
+    /// Inserts a frame keeping the queue sorted by delivery time;
+    /// insertion after equal times preserves send order.
+    fn insert_sorted(&mut self, at: u64, msg: Message) {
+        let pos = self.in_flight.partition_point(|(t, _)| *t <= at);
+        self.in_flight.insert(pos, (at, msg));
+    }
+}
+
+/// Cumulative traffic and fault statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Words sent SW→HW.
@@ -92,19 +297,66 @@ pub struct LinkStats {
     pub msgs_to_hw: u64,
     /// Messages sent HW→SW.
     pub msgs_to_sw: u64,
+    /// Frames dropped by fault injection, SW→HW.
+    pub dropped_to_hw: u64,
+    /// Frames dropped by fault injection, HW→SW.
+    pub dropped_to_sw: u64,
+    /// Frames corrupted by fault injection, SW→HW.
+    pub corrupted_to_hw: u64,
+    /// Frames corrupted by fault injection, HW→SW.
+    pub corrupted_to_sw: u64,
+    /// Frames duplicated by fault injection, SW→HW.
+    pub duplicated_to_hw: u64,
+    /// Frames duplicated by fault injection, HW→SW.
+    pub duplicated_to_sw: u64,
+    /// Frames delayed past their successors by fault injection, SW→HW.
+    pub reordered_to_hw: u64,
+    /// Frames delayed past their successors by fault injection, HW→SW.
+    pub reordered_to_sw: u64,
+}
+
+impl LinkStats {
+    /// Total frames affected by any injected fault.
+    pub fn faults_injected(&self) -> u64 {
+        self.dropped_to_hw
+            + self.dropped_to_sw
+            + self.corrupted_to_hw
+            + self.corrupted_to_sw
+            + self.duplicated_to_hw
+            + self.duplicated_to_sw
+            + self.reordered_to_hw
+            + self.reordered_to_sw
+    }
 }
 
 /// The modeled physical link.
 #[derive(Debug)]
 pub struct Link {
     cfg: LinkConfig,
+    faults: FaultConfig,
+    faults_active: bool,
     dirs: [Direction; 2],
 }
 
 impl Link {
-    /// Creates a link with the given parameters.
+    /// Creates a perfect link with the given parameters.
     pub fn new(cfg: LinkConfig) -> Link {
-        Link { cfg, dirs: [Direction::default(), Direction::default()] }
+        Link::with_faults(cfg, FaultConfig::none())
+    }
+
+    /// Creates a link with deterministic fault injection.
+    pub fn with_faults(cfg: LinkConfig, faults: FaultConfig) -> Link {
+        let dirs = [
+            Direction::new(faults.seed, 1),
+            Direction::new(faults.seed, 2),
+        ];
+        let faults_active = faults.is_active();
+        Link {
+            cfg,
+            faults,
+            faults_active,
+            dirs,
+        }
     }
 
     /// The configuration.
@@ -112,31 +364,112 @@ impl Link {
         &self.cfg
     }
 
+    /// The fault model.
+    pub fn fault_config(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// True if this link can ever drop, corrupt, duplicate, or reorder a
+    /// frame. The transactor keys its protocol choice off this.
+    pub fn faults_active(&self) -> bool {
+        self.faults_active
+    }
+
     /// Enqueues a message at time `now`, returning its delivery time.
     /// Serialization occupies the direction's bandwidth back-to-back
-    /// (burst behaviour: a long message is one DMA burst).
+    /// (burst behaviour: a long message is one DMA burst). Under fault
+    /// injection the frame may additionally be dropped, corrupted,
+    /// duplicated, or delayed — deterministically for a given seed and
+    /// send sequence.
     pub fn send(&mut self, dir: Dir, msg: Message, now: u64) -> u64 {
-        let d = &mut self.dirs[dir.idx()];
+        let Link {
+            cfg,
+            faults,
+            faults_active,
+            dirs,
+        } = self;
+        let one_way = cfg.one_way_latency;
+        let words_per_cycle = cfg.words_per_cycle;
+        let d = &mut dirs[dir.idx()];
         let words = msg.words.len() as u64;
         let start = d.busy_until.max(now);
-        let ser = words.div_ceil(self.cfg.words_per_cycle).max(1);
+        let ser = words.div_ceil(words_per_cycle).max(1);
         d.busy_until = start + ser;
-        let deliver_at = d.busy_until + self.cfg.one_way_latency;
+        let deliver_at = d.busy_until + one_way;
         d.words_sent += words;
         d.messages_sent += 1;
-        d.in_flight.push_back((deliver_at, msg));
+        let frame_idx = d.frames_seen;
+        d.frames_seen += 1;
+
+        if !*faults_active {
+            d.in_flight.push_back((deliver_at, msg));
+            return deliver_at;
+        }
+
+        // Independent random draws first, then scripted overrides. The
+        // draws happen unconditionally (even when a script already
+        // decided the same kind) so editing the script never shifts the
+        // random schedule downstream of it.
+        let di = dir.idx();
+        let mut drop = d.rng.chance(faults.drop[di]);
+        let mut corrupt = d.rng.chance(faults.corrupt[di]);
+        let mut duplicate = d.rng.chance(faults.duplicate[di]);
+        let mut reorder = d.rng.chance(faults.reorder[di]);
+        for s in &faults.script {
+            if s.dir == dir && s.nth == frame_idx {
+                match s.kind {
+                    FaultKind::Drop => drop = true,
+                    FaultKind::Corrupt => corrupt = true,
+                    FaultKind::Duplicate => duplicate = true,
+                    FaultKind::Reorder => reorder = true,
+                }
+            }
+        }
+
+        if drop {
+            d.dropped += 1;
+            return deliver_at;
+        }
+        let mut msg = msg;
+        if corrupt && !msg.words.is_empty() {
+            // Flip 1–3 bits inside one word: a burst error of at most 32
+            // bits, which CRC32 detects with certainty.
+            let w = d.rng.below(msg.words.len() as u64) as usize;
+            let flips = 1 + d.rng.below(3);
+            for _ in 0..flips {
+                msg.words[w] ^= 1 << d.rng.below(32);
+            }
+            d.corrupted += 1;
+        }
+        let mut at = deliver_at;
+        if reorder {
+            // Delay far enough that back-to-back successors overtake it.
+            at += 1 + d.rng.below(2 * one_way + 1);
+            d.reordered += 1;
+        }
+        let dup_at = if duplicate {
+            d.duplicated += 1;
+            Some(at + 1 + d.rng.below(one_way + 1))
+        } else {
+            None
+        };
+        d.insert_sorted(at, msg.clone());
+        if let Some(t) = dup_at {
+            d.insert_sorted(t, msg);
+        }
         deliver_at
     }
 
     /// Pops every message whose delivery time is `<= now` in the given
-    /// direction.
+    /// direction, in delivery order.
     pub fn deliveries(&mut self, dir: Dir, now: u64) -> Vec<Message> {
         let d = &mut self.dirs[dir.idx()];
         let mut out = Vec::new();
-        while let Some((t, _)) = d.in_flight.front() {
-            if *t <= now {
-                out.push(d.in_flight.pop_front().expect("front exists").1);
+        while let Some((t, msg)) = d.in_flight.pop_front() {
+            if t <= now {
+                out.push(msg);
             } else {
+                d.in_flight.push_front((t, msg));
                 break;
             }
         }
@@ -155,6 +488,14 @@ impl Link {
             words_to_sw: self.dirs[1].words_sent,
             msgs_to_hw: self.dirs[0].messages_sent,
             msgs_to_sw: self.dirs[1].messages_sent,
+            dropped_to_hw: self.dirs[0].dropped,
+            dropped_to_sw: self.dirs[1].dropped,
+            corrupted_to_hw: self.dirs[0].corrupted,
+            corrupted_to_sw: self.dirs[1].corrupted,
+            duplicated_to_hw: self.dirs[0].duplicated,
+            duplicated_to_sw: self.dirs[1].duplicated,
+            reordered_to_hw: self.dirs[0].reordered,
+            reordered_to_sw: self.dirs[1].reordered,
         }
     }
 
@@ -170,7 +511,10 @@ mod tests {
     use super::*;
 
     fn msg(ch: usize, n: usize) -> Message {
-        Message { channel: ch, words: vec![0xaa; n] }
+        Message {
+            channel: ch,
+            words: vec![0xaa; n],
+        }
     }
 
     #[test]
@@ -235,6 +579,88 @@ mod tests {
         let l = Link::new(LinkConfig::default());
         assert_eq!(l.sw_transfer_cost(0), 64);
         assert_eq!(l.sw_transfer_cost(10), 64 + 80);
+    }
+
+    #[test]
+    fn scripted_drop_discards_exactly_the_nth_frame() {
+        let faults = FaultConfig::none().with_scripted(Dir::SwToHw, 1, FaultKind::Drop);
+        let mut l = Link::with_faults(LinkConfig::default(), faults);
+        for ch in 0..3 {
+            l.send(Dir::SwToHw, msg(ch, 1), 0);
+        }
+        let d = l.deliveries(Dir::SwToHw, 10_000);
+        let chans: Vec<usize> = d.iter().map(|m| m.channel).collect();
+        assert_eq!(chans, vec![0, 2], "frame #1 dropped, others intact");
+        assert_eq!(l.stats().dropped_to_hw, 1);
+        // Stats still count the dropped frame as sent: it occupied the wire.
+        assert_eq!(l.stats().msgs_to_hw, 3);
+    }
+
+    #[test]
+    fn scripted_corrupt_flips_bits_and_counts() {
+        let faults = FaultConfig::none().with_scripted(Dir::HwToSw, 0, FaultKind::Corrupt);
+        let mut l = Link::with_faults(LinkConfig::default(), faults);
+        l.send(Dir::HwToSw, msg(0, 4), 0);
+        let d = l.deliveries(Dir::HwToSw, 10_000);
+        assert_eq!(d.len(), 1);
+        assert_ne!(d[0].words, vec![0xaa; 4], "payload must differ");
+        assert_eq!(l.stats().corrupted_to_sw, 1);
+    }
+
+    #[test]
+    fn scripted_duplicate_delivers_twice() {
+        let faults = FaultConfig::none().with_scripted(Dir::SwToHw, 0, FaultKind::Duplicate);
+        let mut l = Link::with_faults(LinkConfig::default(), faults);
+        l.send(Dir::SwToHw, msg(7, 2), 0);
+        let d = l.deliveries(Dir::SwToHw, 10_000);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0], d[1]);
+        assert_eq!(l.stats().duplicated_to_hw, 1);
+    }
+
+    #[test]
+    fn scripted_reorder_lets_successor_overtake() {
+        let faults = FaultConfig::none().with_scripted(Dir::SwToHw, 0, FaultKind::Reorder);
+        let mut l = Link::with_faults(LinkConfig::default(), faults);
+        l.send(Dir::SwToHw, msg(1, 1), 0);
+        l.send(Dir::SwToHw, msg(2, 1), 0);
+        let d = l.deliveries(Dir::SwToHw, 10_000);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].channel, 2, "delayed frame overtaken");
+        assert_eq!(d[1].channel, 1);
+        assert_eq!(l.stats().reordered_to_hw, 1);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_same_schedule() {
+        let run = || {
+            let mut l = Link::with_faults(
+                LinkConfig::default(),
+                FaultConfig::uniform(42, 0.3, 0.2, 0.1, 0.1),
+            );
+            for i in 0..200 {
+                l.send(Dir::SwToHw, msg(i % 4, 1 + i % 3), i as u64);
+            }
+            let delivered = l.deliveries(Dir::SwToHw, 1_000_000);
+            (l.stats(), delivered)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn inactive_faults_cost_nothing() {
+        // FaultConfig::none() must leave the model bit-for-bit identical
+        // to the seed behaviour, including delivery times.
+        let mut a = Link::new(LinkConfig::default());
+        let mut b = Link::with_faults(LinkConfig::default(), FaultConfig::none());
+        for i in 0..50 {
+            assert_eq!(
+                a.send(Dir::SwToHw, msg(0, 1 + i % 5), i as u64),
+                b.send(Dir::SwToHw, msg(0, 1 + i % 5), i as u64)
+            );
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert!(!b.faults_active());
     }
 
     #[test]

@@ -9,15 +9,55 @@
 //! it on arrival. Credits are what rule out deadlock and head-of-line
 //! blocking — a stalled consumer can never wedge the shared link for other
 //! channels.
+//!
+//! ## Reliable transport
+//!
+//! On a perfect link (the default, [`FaultConfig::none`]) the transactor
+//! sends bare marshaled payloads, exactly like the paper's platform — the
+//! fast path adds zero overhead. When the link is constructed with an
+//! active fault model, every message instead becomes a framed,
+//! CRC32-protected transfer (see [`crate::wire`]) and the transactor runs
+//! a go-back-N reliable-delivery protocol per channel:
+//!
+//! * data frames carry per-channel sequence numbers; the receiver accepts
+//!   only the next in-order sequence, suppresses duplicates, and discards
+//!   reordered/overtaking frames (they will be retransmitted in order);
+//! * cumulative ACKs piggyback on reverse-direction data frames, with
+//!   pure-ACK frames generated after a short delay when no reverse
+//!   traffic is available to carry them;
+//! * unacknowledged frames sit in a per-channel retransmission queue; a
+//!   retransmit timer with exponential backoff resends the whole window
+//!   (go-back-N) when the cumulative ACK stops advancing;
+//! * a credit is reserved when a sequence number is first transmitted and
+//!   recovered only when that sequence is *accepted* — retransmissions
+//!   reuse the reserved credit, so flow control stays deadlock-free under
+//!   arbitrary loss.
+//!
+//! The net effect is the paper's latency-insensitivity story extended to
+//! an unreliable physical channel: for any fault schedule with loss rate
+//! below 1.0, applications observe exactly the same value streams as on
+//! a perfect link.
 
 use crate::link::{Dir, Link, Message};
+use crate::wire::{Frame, FLAG_ACK, FLAG_DATA, FLAG_RETRANSMIT};
 use bcl_core::ast::{PrimId, PrimMethod};
 use bcl_core::error::{ExecError, ExecResult};
 use bcl_core::partition::ChannelSpec;
-use bcl_core::prim::PrimState;
+use bcl_core::prim::{PrimSpec, PrimState};
 use bcl_core::store::Store;
 use bcl_core::types::Type;
 use bcl_core::value::Value;
+use std::collections::VecDeque;
+
+/// FPGA cycles a receiver waits for piggyback opportunities before
+/// generating a pure-ACK frame.
+const ACK_DELAY: u64 = 8;
+
+/// Cap on exponential backoff, as a multiple of the base retransmission
+/// timeout. Kept small so that even long runs of lost retransmissions
+/// keep probing the link every few round trips — the stall detector, not
+/// the backoff, is what gives up.
+const RTO_MAX_MULT: u64 = 8;
 
 /// Runtime state of one virtual channel.
 #[derive(Debug)]
@@ -30,9 +70,42 @@ struct ChannelRt {
     tx: PrimId,
     /// Receive FIFO in the consumer partition's store.
     rx: PrimId,
-    /// Messages sent but not yet delivered into `rx`.
+    /// Credits in use: sequence numbers sent but not yet accepted by the
+    /// receiver. Retransmissions do not change this — their credit stays
+    /// reserved from the first transmission until acceptance.
     in_flight: usize,
+    /// Data messages handed to the link for the first time.
     sent: u64,
+
+    // ---- reliable-transport state (used only when faults are active) ----
+    /// Next fresh sequence number to assign (sequence numbers start at 1;
+    /// 0 means "nothing yet" in ACK space).
+    next_seq: u32,
+    /// Sender side: highest cumulative ACK received.
+    acked: u32,
+    /// Receiver side: highest in-order sequence accepted.
+    accepted: u32,
+    /// Receiver side: an ACK (or re-ACK) should be conveyed to the sender.
+    ack_dirty: bool,
+    /// When an ACK for this channel last left the receiver.
+    last_ack_tx: u64,
+    /// Retransmission queue: (seq, marshaled payload) for every
+    /// unacknowledged data frame, oldest first.
+    unacked: VecDeque<(u32, Vec<u32>)>,
+    /// When the oldest unacknowledged frame was last (re)transmitted.
+    oldest_sent_at: u64,
+    /// Current retransmission timeout (doubles on each expiry, capped).
+    rto: u64,
+    /// Frames retransmitted.
+    retransmits: u64,
+    /// Messages accepted into the receive FIFO.
+    delivered: u64,
+    /// Duplicate data frames suppressed by the receiver.
+    dup_suppressed: u64,
+    /// Out-of-order (overtaking) data frames discarded by the receiver.
+    out_of_order_dropped: u64,
+    /// ACKs (piggybacked or pure) sent for this channel's data.
+    acks_sent: u64,
 }
 
 /// Per-channel traffic summary.
@@ -40,10 +113,83 @@ struct ChannelRt {
 pub struct ChannelReport {
     /// Synchronizer path.
     pub name: String,
-    /// Messages transferred.
+    /// Messages transferred (first transmissions, not retransmits).
     pub messages: u64,
     /// Words per message.
     pub words_per_msg: usize,
+    /// Messages accepted into the receive FIFO.
+    pub delivered: u64,
+    /// Data frames retransmitted.
+    pub retransmits: u64,
+    /// Duplicate data frames suppressed on receive.
+    pub dup_suppressed: u64,
+    /// Reordered/overtaking data frames discarded on receive.
+    pub out_of_order_dropped: u64,
+    /// ACKs sent (piggybacked or pure) for this channel's data.
+    pub acks_sent: u64,
+}
+
+/// Transport-level statistics not attributable to a single channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Frames discarded for CRC mismatch, SW→HW.
+    pub crc_rejects_to_hw: u64,
+    /// Frames discarded for CRC mismatch, HW→SW.
+    pub crc_rejects_to_sw: u64,
+    /// Pure-ACK frames sent SW→HW.
+    pub ack_frames_to_hw: u64,
+    /// Pure-ACK frames sent HW→SW.
+    pub ack_frames_to_sw: u64,
+}
+
+/// A per-channel snapshot of sequence/credit state, produced when a
+/// co-simulation stalls (see [`crate::cosim::CosimOutcome::Stalled`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelDiag {
+    /// Synchronizer path.
+    pub name: String,
+    /// Data direction.
+    pub dir: Dir,
+    /// Next fresh sequence number the sender would assign.
+    pub next_seq: u32,
+    /// Highest cumulative ACK the sender has seen.
+    pub acked: u32,
+    /// Highest in-order sequence the receiver has accepted.
+    pub accepted: u32,
+    /// Credits in use (sequences sent, not yet accepted).
+    pub in_flight: usize,
+    /// Frames sitting in the retransmission queue.
+    pub unacked: usize,
+    /// Credit limit (channel depth).
+    pub depth: usize,
+    /// Values waiting in the transmit FIFO.
+    pub tx_backlog: usize,
+    /// Values waiting in the receive FIFO.
+    pub rx_occupancy: usize,
+    /// Frames retransmitted so far.
+    pub retransmits: u64,
+}
+
+impl std::fmt::Display for ChannelDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "channel `{}` ({:?}): seq {}/ack {}/accepted {}, {} in flight, \
+             {} unacked, {}/{} credits, tx backlog {}, rx occupancy {}, {} retransmits",
+            self.name,
+            self.dir,
+            self.next_seq,
+            self.acked,
+            self.accepted,
+            self.in_flight,
+            self.unacked,
+            self.in_flight + self.rx_occupancy,
+            self.depth,
+            self.tx_backlog,
+            self.rx_occupancy,
+            self.retransmits,
+        )
+    }
 }
 
 /// Moves values between a software-partition store and a
@@ -52,6 +198,13 @@ pub struct ChannelReport {
 pub struct Transactor {
     channels: Vec<ChannelRt>,
     rr: usize,
+    /// Rotates piggyback ACK selection among channels.
+    ack_rr: usize,
+    stats: TransportStats,
+    /// Monotonic counter bumped whenever any channel makes sequence
+    /// progress (a frame accepted or a cumulative ACK advanced). The
+    /// cosim's stall detector watches this.
+    progress: u64,
 }
 
 impl Transactor {
@@ -61,7 +214,9 @@ impl Transactor {
     /// # Errors
     ///
     /// Returns an error if a channel references a domain other than the
-    /// two given, or a FIFO path missing from its partition.
+    /// two given, a path missing from its partition, or a path that
+    /// resolves to a primitive that is not a FIFO (the transactor can
+    /// only pump FIFOs; anything else indicates a malformed partitioning).
     pub fn new(
         specs: &[ChannelSpec],
         sw_domain: &str,
@@ -69,25 +224,49 @@ impl Transactor {
         hw_domain: &str,
         hw_design: &bcl_core::design::Design,
     ) -> Result<Transactor, ExecError> {
+        if specs.len() > 256 {
+            return Err(ExecError::Malformed(format!(
+                "{} channels exceed the 8-bit channel-id space of the wire format",
+                specs.len()
+            )));
+        }
         let mut channels = Vec::with_capacity(specs.len());
         for c in specs {
-            let (dir, tx_design, rx_design) = if c.from_domain == sw_domain && c.to_domain == hw_domain
-            {
-                (Dir::SwToHw, sw_design, hw_design)
-            } else if c.from_domain == hw_domain && c.to_domain == sw_domain {
-                (Dir::HwToSw, hw_design, sw_design)
-            } else {
+            let (dir, tx_design, rx_design) =
+                if c.from_domain == sw_domain && c.to_domain == hw_domain {
+                    (Dir::SwToHw, sw_design, hw_design)
+                } else if c.from_domain == hw_domain && c.to_domain == sw_domain {
+                    (Dir::HwToSw, hw_design, sw_design)
+                } else {
+                    return Err(ExecError::Malformed(format!(
+                        "channel `{}` spans `{}`->`{}`, expected `{sw_domain}`/`{hw_domain}`",
+                        c.name, c.from_domain, c.to_domain
+                    )));
+                };
+            let tx = tx_design
+                .prim_id(&c.tx_path)
+                .ok_or_else(|| ExecError::Malformed(format!("missing tx fifo `{}`", c.tx_path)))?;
+            let rx = rx_design
+                .prim_id(&c.rx_path)
+                .ok_or_else(|| ExecError::Malformed(format!("missing rx fifo `{}`", c.rx_path)))?;
+            for (what, design, id, path) in [
+                ("tx", tx_design, tx, &c.tx_path),
+                ("rx", rx_design, rx, &c.rx_path),
+            ] {
+                if !matches!(design.prim(id).spec, PrimSpec::Fifo { .. }) {
+                    return Err(ExecError::Malformed(format!(
+                        "channel `{}` {what} path `{path}` is not a FIFO",
+                        c.name
+                    )));
+                }
+            }
+            if c.ty.words() >= (1 << 12) {
                 return Err(ExecError::Malformed(format!(
-                    "channel `{}` spans `{}`->`{}`, expected `{sw_domain}`/`{hw_domain}`",
-                    c.name, c.from_domain, c.to_domain
+                    "channel `{}` payload of {} words exceeds the wire format's 12-bit length field",
+                    c.name,
+                    c.ty.words()
                 )));
-            };
-            let tx = tx_design.prim_id(&c.tx_path).ok_or_else(|| {
-                ExecError::Malformed(format!("missing tx fifo `{}`", c.tx_path))
-            })?;
-            let rx = rx_design.prim_id(&c.rx_path).ok_or_else(|| {
-                ExecError::Malformed(format!("missing rx fifo `{}`", c.rx_path))
-            })?;
+            }
             channels.push(ChannelRt {
                 name: c.name.clone(),
                 ty: c.ty.clone(),
@@ -97,14 +276,44 @@ impl Transactor {
                 rx,
                 in_flight: 0,
                 sent: 0,
+                next_seq: 1,
+                acked: 0,
+                accepted: 0,
+                ack_dirty: false,
+                last_ack_tx: 0,
+                unacked: VecDeque::new(),
+                oldest_sent_at: 0,
+                rto: 0,
+                retransmits: 0,
+                delivered: 0,
+                dup_suppressed: 0,
+                out_of_order_dropped: 0,
+                acks_sent: 0,
             });
         }
-        Ok(Transactor { channels, rr: 0 })
+        Ok(Transactor {
+            channels,
+            rr: 0,
+            ack_rr: 0,
+            stats: TransportStats::default(),
+            progress: 0,
+        })
     }
 
     /// The number of virtual channels.
     pub fn channel_count(&self) -> usize {
         self.channels.len()
+    }
+
+    /// Monotonic sequence-progress counter (accepted frames + cumulative
+    /// ACK advances); flat while the transport is wedged.
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Transport-level statistics (CRC rejects, pure-ACK frames).
+    pub fn transport_stats(&self) -> TransportStats {
+        self.stats
     }
 
     fn fifo_len(store: &Store, id: PrimId) -> usize {
@@ -114,16 +323,44 @@ impl Transactor {
         }
     }
 
+    /// Base retransmission timeout for the link: a round trip plus ACK
+    /// delay and serialization slack.
+    fn rto_base(link: &Link) -> u64 {
+        2 * link.config().one_way_latency + 2 * ACK_DELAY + 32
+    }
+
     /// One pump iteration, at FPGA-cycle `now`: deliver arrived messages
     /// into receive FIFOs, then arbitrate pending transmit FIFOs onto the
     /// link. Returns the CPU cycles of software driver work performed
     /// (marshaling on SW→HW sends, demarshaling on HW→SW deliveries).
     ///
+    /// On a fault-free link this is the zero-overhead fast path of the
+    /// paper's platform; with faults active it runs the reliable
+    /// transport documented at module level.
+    ///
     /// # Errors
     ///
-    /// Propagates marshaling errors (which indicate a malformed design —
-    /// credits make FIFO overflows impossible).
+    /// Propagates marshaling errors and transport-protocol violations
+    /// (both indicate a malformed design or a transactor bug — injected
+    /// faults never surface as errors; they are absorbed by the
+    /// protocol).
     pub fn pump(
+        &mut self,
+        sw_store: &mut Store,
+        hw_store: &mut Store,
+        link: &mut Link,
+        now: u64,
+    ) -> ExecResult<u64> {
+        if link.faults_active() {
+            self.pump_reliable(sw_store, hw_store, link, now)
+        } else {
+            self.pump_express(sw_store, hw_store, link, now)
+        }
+    }
+
+    /// The original perfect-link pump: bare payloads, omniscient credit
+    /// bookkeeping, no framing overhead.
+    fn pump_express(
         &mut self,
         sw_store: &mut Store,
         hw_store: &mut Store,
@@ -141,13 +378,18 @@ impl Transactor {
                     Dir::SwToHw => hw_store,
                     Dir::HwToSw => sw_store,
                 };
-                rx_store.state_mut(ch.rx).call_action(PrimMethod::Enq, &[v]).map_err(|e| {
-                    ExecError::Malformed(format!(
-                        "rx fifo `{}` overflow despite credits: {e}",
-                        ch.name
-                    ))
-                })?;
+                rx_store
+                    .state_mut(ch.rx)
+                    .call_action(PrimMethod::Enq, &[v])
+                    .map_err(|e| {
+                        ExecError::Malformed(format!(
+                            "rx fifo `{}` overflow despite credits: {e}",
+                            ch.name
+                        ))
+                    })?;
                 ch.in_flight -= 1;
+                ch.delivered += 1;
+                self.progress += 1;
                 if dir == Dir::HwToSw {
                     sw_cycles += link.sw_transfer_cost(msg.words.len());
                 }
@@ -178,7 +420,9 @@ impl Transactor {
                     },
                     _ => break,
                 };
-                tx_store.state_mut(ch.tx).call_action(PrimMethod::Deq, &[])?;
+                tx_store
+                    .state_mut(ch.tx)
+                    .call_action(PrimMethod::Deq, &[])?;
                 let words = v.to_words();
                 if ch.dir == Dir::SwToHw {
                     sw_cycles += link.sw_transfer_cost(words.len());
@@ -194,15 +438,339 @@ impl Transactor {
         Ok(sw_cycles)
     }
 
-    /// True when nothing is buffered or in flight on any channel
-    /// (transmit FIFOs may still be refilled by rules).
+    /// The reliable pump: framed, CRC-checked, sequence-numbered,
+    /// ACK-driven go-back-N transfer.
+    fn pump_reliable(
+        &mut self,
+        sw_store: &mut Store,
+        hw_store: &mut Store,
+        link: &mut Link,
+        now: u64,
+    ) -> ExecResult<u64> {
+        let mut sw_cycles = 0u64;
+        let rto_base = Self::rto_base(link);
+
+        // Phase 1: receive — CRC-validate, process ACKs, accept in-order
+        // data, suppress duplicates, discard overtakers.
+        for dir in [Dir::SwToHw, Dir::HwToSw] {
+            for msg in link.deliveries(dir, now) {
+                let frame = match Frame::decode(&msg.words) {
+                    Some(f) => f,
+                    None => {
+                        match dir {
+                            Dir::SwToHw => self.stats.crc_rejects_to_hw += 1,
+                            Dir::HwToSw => self.stats.crc_rejects_to_sw += 1,
+                        }
+                        continue;
+                    }
+                };
+                if frame.flags & FLAG_ACK != 0 {
+                    self.process_ack(&frame, dir, now, rto_base)?;
+                }
+                if frame.flags & FLAG_DATA != 0 {
+                    sw_cycles += self.process_data(&frame, dir, sw_store, hw_store, link)?;
+                }
+            }
+        }
+
+        // Phase 2: retransmission timers — go-back-N resend of the whole
+        // unacknowledged window, with exponential backoff.
+        let n = self.channels.len();
+        for i in 0..n {
+            let ch = &mut self.channels[i];
+            if ch.unacked.is_empty() {
+                continue;
+            }
+            let rto = if ch.rto == 0 { rto_base } else { ch.rto };
+            if now < ch.oldest_sent_at.saturating_add(rto) {
+                continue;
+            }
+            let frames: Vec<(u32, Vec<u32>)> = ch.unacked.iter().cloned().collect();
+            let dir = ch.dir;
+            ch.retransmits += frames.len() as u64;
+            ch.oldest_sent_at = now;
+            ch.rto = (rto * 2).min(rto_base * RTO_MAX_MULT);
+            for (seq, payload) in frames {
+                if dir == Dir::SwToHw {
+                    sw_cycles += link.sw_transfer_cost(payload.len());
+                }
+                let frame = Frame {
+                    channel: i as u8,
+                    flags: FLAG_DATA | FLAG_RETRANSMIT,
+                    ack_channel: 0,
+                    seq,
+                    ack: 0,
+                    payload,
+                };
+                link.send(
+                    dir,
+                    Message {
+                        channel: i,
+                        words: frame.encode(),
+                    },
+                    now,
+                );
+            }
+        }
+
+        // Phase 3: arbitration of fresh data, round-robin under credits.
+        // A credit is consumed per fresh sequence number; retransmissions
+        // above reuse theirs, so loss can never leak credits.
+        for k in 0..n {
+            let i = (self.rr + k) % n;
+            loop {
+                let ch = &self.channels[i];
+                let (tx_store, rx_store): (&mut Store, &Store) = match ch.dir {
+                    Dir::SwToHw => (sw_store, hw_store),
+                    Dir::HwToSw => (hw_store, sw_store),
+                };
+                let credits_used = Self::fifo_len(rx_store, ch.rx) + ch.in_flight;
+                if credits_used >= ch.depth {
+                    break;
+                }
+                let v = match tx_store.state(ch.tx) {
+                    PrimState::Fifo { items, .. } => match items.front() {
+                        Some(v) => v.clone(),
+                        None => break,
+                    },
+                    _ => break,
+                };
+                tx_store
+                    .state_mut(ch.tx)
+                    .call_action(PrimMethod::Deq, &[])?;
+                let payload = v.to_words();
+                let dir = ch.dir;
+                if dir == Dir::SwToHw {
+                    sw_cycles += link.sw_transfer_cost(payload.len());
+                }
+                let (ack_channel, ack) = self.take_piggyback_ack(dir, now);
+                let ch = &mut self.channels[i];
+                let seq = ch.next_seq;
+                ch.next_seq = ch.next_seq.wrapping_add(1);
+                let flags = FLAG_DATA | if ack_channel.is_some() { FLAG_ACK } else { 0 };
+                let frame = Frame {
+                    channel: i as u8,
+                    flags,
+                    ack_channel: ack_channel.unwrap_or(0),
+                    seq,
+                    ack,
+                    payload: payload.clone(),
+                };
+                if ch.unacked.is_empty() {
+                    ch.oldest_sent_at = now;
+                    ch.rto = rto_base;
+                }
+                ch.unacked.push_back((seq, payload));
+                ch.in_flight += 1;
+                ch.sent += 1;
+                link.send(
+                    dir,
+                    Message {
+                        channel: i,
+                        words: frame.encode(),
+                    },
+                    now,
+                );
+            }
+        }
+        if n > 0 {
+            self.rr = (self.rr + 1) % n;
+        }
+
+        // Phase 4: pure-ACK frames for receivers whose ACKs found no
+        // piggyback ride within ACK_DELAY cycles.
+        for i in 0..n {
+            let ch = &self.channels[i];
+            if !ch.ack_dirty || now < ch.last_ack_tx.saturating_add(ACK_DELAY) {
+                continue;
+            }
+            let ack_dir = ch.dir.opposite();
+            let ch = &mut self.channels[i];
+            ch.ack_dirty = false;
+            ch.last_ack_tx = now;
+            ch.acks_sent += 1;
+            let frame = Frame {
+                channel: i as u8,
+                flags: FLAG_ACK,
+                ack_channel: i as u8,
+                seq: 0,
+                ack: ch.accepted,
+                payload: Vec::new(),
+            };
+            match ack_dir {
+                Dir::SwToHw => {
+                    // The SW driver pays the per-message setup cost to
+                    // emit an ACK frame.
+                    sw_cycles += link.sw_transfer_cost(0);
+                    self.stats.ack_frames_to_hw += 1;
+                }
+                Dir::HwToSw => self.stats.ack_frames_to_sw += 1,
+            }
+            link.send(
+                ack_dir,
+                Message {
+                    channel: i,
+                    words: frame.encode(),
+                },
+                now,
+            );
+        }
+
+        Ok(sw_cycles)
+    }
+
+    /// Applies a cumulative ACK carried by a frame arriving in `dir`.
+    fn process_ack(&mut self, frame: &Frame, dir: Dir, now: u64, rto_base: u64) -> ExecResult<()> {
+        let idx = frame.ack_channel as usize;
+        let ch = self
+            .channels
+            .get_mut(idx)
+            .ok_or_else(|| ExecError::Transport(format!("ACK for unknown channel {idx}")))?;
+        // The ACK travels against the channel's data direction.
+        if ch.dir == dir {
+            return Err(ExecError::Transport(format!(
+                "ACK for channel `{}` arrived in its own data direction",
+                ch.name
+            )));
+        }
+        let a = frame.ack;
+        if a.wrapping_sub(ch.acked) > u32::MAX / 2 {
+            // Stale (older) cumulative ACK — e.g. a reordered or
+            // duplicated ACK frame; ignore.
+            return Ok(());
+        }
+        if a >= ch.next_seq {
+            return Err(ExecError::Transport(format!(
+                "ACK {a} for channel `{}` exceeds last sent sequence {}",
+                ch.name,
+                ch.next_seq.wrapping_sub(1)
+            )));
+        }
+        if a != ch.acked {
+            ch.acked = a;
+            while ch.unacked.front().is_some_and(|(s, _)| *s <= a) {
+                ch.unacked.pop_front();
+            }
+            // Progress: restart the timer for the remaining window and
+            // reset backoff.
+            ch.oldest_sent_at = now;
+            ch.rto = rto_base;
+            self.progress += 1;
+        }
+        Ok(())
+    }
+
+    /// Accepts, suppresses, or discards a data frame arriving in `dir`.
+    /// Returns SW driver cycles charged.
+    fn process_data(
+        &mut self,
+        frame: &Frame,
+        dir: Dir,
+        sw_store: &mut Store,
+        hw_store: &mut Store,
+        link: &Link,
+    ) -> ExecResult<u64> {
+        let idx = frame.channel as usize;
+        let ch = self
+            .channels
+            .get_mut(idx)
+            .ok_or_else(|| ExecError::Transport(format!("data frame for unknown channel {idx}")))?;
+        if ch.dir != dir {
+            return Err(ExecError::Transport(format!(
+                "data frame for channel `{}` arrived against its direction",
+                ch.name
+            )));
+        }
+        let seq = frame.seq;
+        if seq != ch.accepted.wrapping_add(1) {
+            // Duplicate (already accepted) or overtaker (a gap precedes
+            // it). Either way it is not enqueued, and the receiver
+            // re-ACKs so a sender whose ACKs were lost can resynchronize.
+            if ch.accepted.wrapping_sub(seq) < u32::MAX / 2 {
+                ch.dup_suppressed += 1;
+            } else {
+                ch.out_of_order_dropped += 1;
+            }
+            ch.ack_dirty = true;
+            return Ok(0);
+        }
+        if frame.payload.len() != ch.ty.words() {
+            return Err(ExecError::Transport(format!(
+                "channel `{}` payload of {} words, expected {}",
+                ch.name,
+                frame.payload.len(),
+                ch.ty.words()
+            )));
+        }
+        let v = Value::from_words(&ch.ty, &frame.payload)?;
+        let rx_store: &mut Store = match dir {
+            Dir::SwToHw => hw_store,
+            Dir::HwToSw => sw_store,
+        };
+        rx_store
+            .state_mut(ch.rx)
+            .call_action(PrimMethod::Enq, &[v])
+            .map_err(|e| {
+                ExecError::Malformed(format!(
+                    "rx fifo `{}` overflow despite credits: {e}",
+                    ch.name
+                ))
+            })?;
+        ch.accepted = seq;
+        ch.in_flight -= 1;
+        ch.delivered += 1;
+        ch.ack_dirty = true;
+        self.progress += 1;
+        if dir == Dir::HwToSw {
+            Ok(link.sw_transfer_cost(frame.payload.len()))
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Picks one channel with a pending ACK whose ACK direction is
+    /// `dir`, marks it conveyed, and returns its (channel id, cumulative
+    /// ACK). Rotates so no channel's ACKs are starved.
+    fn take_piggyback_ack(&mut self, dir: Dir, now: u64) -> (Option<u8>, u32) {
+        let n = self.channels.len();
+        for k in 0..n {
+            let i = (self.ack_rr + k) % n;
+            let ch = &mut self.channels[i];
+            if ch.ack_dirty && ch.dir == dir.opposite() {
+                ch.ack_dirty = false;
+                ch.last_ack_tx = now;
+                ch.acks_sent += 1;
+                self.ack_rr = (i + 1) % n;
+                return (Some(i as u8), ch.accepted);
+            }
+        }
+        (None, 0)
+    }
+
+    /// True when nothing is buffered, in flight, or awaiting
+    /// acknowledgment on any channel (transmit FIFOs may still be
+    /// refilled by rules).
     pub fn idle(&self, sw_store: &Store, hw_store: &Store) -> bool {
         self.channels.iter().all(|ch| {
             let tx_store = match ch.dir {
                 Dir::SwToHw => sw_store,
                 Dir::HwToSw => hw_store,
             };
-            ch.in_flight == 0 && Self::fifo_len(tx_store, ch.tx) == 0
+            ch.in_flight == 0 && ch.unacked.is_empty() && Self::fifo_len(tx_store, ch.tx) == 0
+        })
+    }
+
+    /// True while the transport holds obligations that should eventually
+    /// produce sequence progress: backlogged transmit FIFOs, reserved
+    /// credits, or unacknowledged frames. The stall detector only arms
+    /// itself while this holds.
+    pub fn pending_work(&self, sw_store: &Store, hw_store: &Store) -> bool {
+        self.channels.iter().any(|ch| {
+            let tx_store = match ch.dir {
+                Dir::SwToHw => sw_store,
+                Dir::HwToSw => hw_store,
+            };
+            ch.in_flight > 0 || !ch.unacked.is_empty() || Self::fifo_len(tx_store, ch.tx) > 0
         })
     }
 
@@ -214,6 +782,37 @@ impl Transactor {
                 name: c.name.clone(),
                 messages: c.sent,
                 words_per_msg: c.ty.words(),
+                delivered: c.delivered,
+                retransmits: c.retransmits,
+                dup_suppressed: c.dup_suppressed,
+                out_of_order_dropped: c.out_of_order_dropped,
+                acks_sent: c.acks_sent,
+            })
+            .collect()
+    }
+
+    /// Per-channel sequence/credit snapshots for stall diagnostics.
+    pub fn diagnostics(&self, sw_store: &Store, hw_store: &Store) -> Vec<ChannelDiag> {
+        self.channels
+            .iter()
+            .map(|ch| {
+                let (tx_store, rx_store) = match ch.dir {
+                    Dir::SwToHw => (sw_store, hw_store),
+                    Dir::HwToSw => (hw_store, sw_store),
+                };
+                ChannelDiag {
+                    name: ch.name.clone(),
+                    dir: ch.dir,
+                    next_seq: ch.next_seq,
+                    acked: ch.acked,
+                    accepted: ch.accepted,
+                    in_flight: ch.in_flight,
+                    unacked: ch.unacked.len(),
+                    depth: ch.depth,
+                    tx_backlog: Self::fifo_len(tx_store, ch.tx),
+                    rx_occupancy: Self::fifo_len(rx_store, ch.rx),
+                    retransmits: ch.retransmits,
+                }
             })
             .collect()
     }
@@ -233,7 +832,10 @@ mod tests {
             name: "sw".into(),
             prims: vec![PrimDef {
                 path: Path::new("c.tx"),
-                spec: PrimSpec::Fifo { depth, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth,
+                    ty: Type::Int(32),
+                },
             }],
             ..Default::default()
         };
@@ -241,7 +843,10 @@ mod tests {
             name: "hw".into(),
             prims: vec![PrimDef {
                 path: Path::new("c.rx"),
-                spec: PrimSpec::Fifo { depth, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth,
+                    ty: Type::Int(32),
+                },
             }],
             ..Default::default()
         };
@@ -266,7 +871,9 @@ mod tests {
         let mut link = Link::new(LinkConfig::default());
         let tx = swd.prim_id("c.tx").unwrap();
         let rx = hwd.prim_id("c.rx").unwrap();
-        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, -7)]).unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, -7)])
+            .unwrap();
 
         let sw_cost = t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
         assert!(sw_cost > 0, "driver pays marshaling cost");
@@ -293,13 +900,19 @@ mod tests {
         let tx = swd.prim_id("c.tx").unwrap();
         // Fill tx beyond the channel depth over several pumps: the
         // transactor may only keep `depth` messages un-consumed.
-        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 1)]).unwrap();
-        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 2)]).unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, 1)])
+            .unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, 2)])
+            .unwrap();
         t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
         assert_eq!(link.in_flight(Dir::SwToHw), 2, "two credits, two sends");
         // Refill tx; no credits left, so nothing more is sent even after
         // delivery (the rx fifo is still full).
-        sw.state_mut(tx).call_action(PrimMethod::Enq, &[Value::int(32, 3)]).unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, 3)])
+            .unwrap();
         t.pump(&mut sw, &mut hw, &mut link, 200).unwrap();
         assert_eq!(Transactor::fifo_len(&sw, tx), 1, "third message held back");
         // Consumer drains one: a credit frees and the send proceeds.
@@ -310,10 +923,128 @@ mod tests {
     }
 
     #[test]
+    fn stalled_consumer_does_not_block_other_channels() {
+        // Head-of-line blocking regression: channel `a`'s consumer never
+        // drains its rx FIFO, exhausting `a`'s credits. Channel `b` shares
+        // the link and must keep streaming at full rate regardless.
+        let mk = |n: &str, depth| PrimDef {
+            path: Path::new(n),
+            spec: PrimSpec::Fifo {
+                depth,
+                ty: Type::Int(32),
+            },
+        };
+        let swd = Design {
+            name: "sw".into(),
+            prims: vec![mk("a.tx", 8), mk("b.tx", 8)],
+            ..Default::default()
+        };
+        let hwd = Design {
+            name: "hw".into(),
+            prims: vec![mk("a.rx", 2), mk("b.rx", 2)],
+            ..Default::default()
+        };
+        let spec = |n: &str| ChannelSpec {
+            name: n.into(),
+            ty: Type::Int(32),
+            depth: 2,
+            from_domain: "SW".into(),
+            to_domain: "HW".into(),
+            tx_path: format!("{n}.tx"),
+            rx_path: format!("{n}.rx"),
+        };
+        let specs = vec![spec("a"), spec("b")];
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let a_tx = swd.prim_id("a.tx").unwrap();
+        let b_tx = swd.prim_id("b.tx").unwrap();
+        let b_rx = hwd.prim_id("b.rx").unwrap();
+        let mut b_received = 0u64;
+        let mut b_fed = 0u64;
+        for now in 0..4000u64 {
+            // `a` is kept saturated; its consumer never deqs.
+            while Transactor::fifo_len(&sw, a_tx) < 8 {
+                sw.state_mut(a_tx)
+                    .call_action(PrimMethod::Enq, &[Value::int(32, -1)])
+                    .unwrap();
+            }
+            if Transactor::fifo_len(&sw, b_tx) < 8 {
+                sw.state_mut(b_tx)
+                    .call_action(PrimMethod::Enq, &[Value::int(32, b_fed as i64)])
+                    .unwrap();
+                b_fed += 1;
+            }
+            t.pump(&mut sw, &mut hw, &mut link, now).unwrap();
+            // `b`'s consumer drains eagerly.
+            while Transactor::fifo_len(&hw, b_rx) > 0 {
+                assert_eq!(
+                    hw.state(b_rx).call_value(PrimMethod::First, &[]).unwrap(),
+                    Value::int(32, b_received as i64),
+                    "b's stream must arrive intact and in order"
+                );
+                hw.state_mut(b_rx)
+                    .call_action(PrimMethod::Deq, &[])
+                    .unwrap();
+                b_received += 1;
+            }
+        }
+        // `a` froze after its 2 credits were spent...
+        let a = &t.report()[0];
+        assert_eq!(a.messages, 2, "a stopped at its credit limit");
+        // ...while `b` kept flowing at its full credit-limited rate
+        // (depth 2 per ~51-cycle round trip ≈ 150 messages in 4000
+        // cycles), unaffected by `a`'s stall.
+        assert!(b_received > 100, "b made only {b_received} deliveries");
+    }
+
+    #[test]
     fn unknown_domain_is_error() {
         let (swd, hwd, mut specs) = setup(1);
         specs[0].to_domain = "DSP".into();
         assert!(Transactor::new(&specs, "SW", &swd, "HW", &hwd).is_err());
+    }
+
+    #[test]
+    fn non_fifo_endpoint_is_error() {
+        // A channel whose tx path resolves to a register must be rejected
+        // at construction, not silently treated as an empty FIFO.
+        let sw = Design {
+            name: "sw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.tx"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 0),
+                },
+            }],
+            ..Default::default()
+        };
+        let hw = Design {
+            name: "hw".into(),
+            prims: vec![PrimDef {
+                path: Path::new("c.rx"),
+                spec: PrimSpec::Fifo {
+                    depth: 2,
+                    ty: Type::Int(32),
+                },
+            }],
+            ..Default::default()
+        };
+        let specs = vec![ChannelSpec {
+            name: "c".into(),
+            ty: Type::Int(32),
+            depth: 2,
+            from_domain: "SW".into(),
+            to_domain: "HW".into(),
+            tx_path: "c.tx".into(),
+            rx_path: "c.rx".into(),
+        }];
+        let err = Transactor::new(&specs, "SW", &sw, "HW", &hw).unwrap_err();
+        assert!(
+            matches!(&err, ExecError::Malformed(m) if m.contains("not a FIFO")),
+            "unexpected error: {err}"
+        );
     }
 
     #[test]
@@ -324,7 +1055,10 @@ mod tests {
             name: "sw".into(),
             prims: vec![PrimDef {
                 path: Path::new("c.tx"),
-                spec: PrimSpec::Fifo { depth: 1, ty: ty.clone() },
+                spec: PrimSpec::Fifo {
+                    depth: 1,
+                    ty: ty.clone(),
+                },
             }],
             ..Default::default()
         };
@@ -332,7 +1066,10 @@ mod tests {
             name: "hw".into(),
             prims: vec![PrimDef {
                 path: Path::new("c.rx"),
-                spec: PrimSpec::Fifo { depth: 1, ty: ty.clone() },
+                spec: PrimSpec::Fifo {
+                    depth: 1,
+                    ty: ty.clone(),
+                },
             }],
             ..Default::default()
         };
@@ -356,10 +1093,15 @@ mod tests {
         );
         let tx = swd.prim_id("c.tx").unwrap();
         let rx = hwd.prim_id("c.rx").unwrap();
-        sw.state_mut(tx).call_action(PrimMethod::Enq, &[frame.clone()]).unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, std::slice::from_ref(&frame))
+            .unwrap();
         t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
         t.pump(&mut sw, &mut hw, &mut link, 1000).unwrap();
-        assert_eq!(hw.state(rx).call_value(PrimMethod::First, &[]).unwrap(), frame);
+        assert_eq!(
+            hw.state(rx).call_value(PrimMethod::First, &[]).unwrap(),
+            frame
+        );
         assert_eq!(link.stats().words_to_hw, ty.words() as u64);
     }
 }

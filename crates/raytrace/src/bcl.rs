@@ -50,7 +50,9 @@ pub fn node_ty() -> Type {
 
 /// A triangle record (vertex, two edges, normal).
 pub fn tri_ty() -> Type {
-    struct_ty(&["v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x", "e2y", "e2z", "nx", "ny", "nz"])
+    struct_ty(&[
+        "v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x", "e2y", "e2z", "nx", "ny", "nz",
+    ])
 }
 
 /// A leaf-test request when Scene Mem is local to the engine.
@@ -61,8 +63,8 @@ pub fn req_ty() -> Type {
 /// A leaf-test request carrying the whole triangle (remote Scene Mem).
 pub fn reqb_ty() -> Type {
     struct_ty(&[
-        "ox", "oy", "oz", "dx", "dy", "dz", "v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x",
-        "e2y", "e2z", "nx", "ny", "nz",
+        "ox", "oy", "oz", "dx", "dy", "dz", "v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x", "e2y",
+        "e2z", "nx", "ny", "nz",
     ])
 }
 
@@ -123,8 +125,16 @@ pub fn tri_value(t: &Tri) -> Value {
 pub fn box_expr(ray: Expr, nd: Expr, best: Expr) -> Expr {
     let axis = |mn: &str, mx: &str, o: &str, i: &str| {
         (
-            fixmul(sub_e(field(nd.clone(), mn), field(ray.clone(), o)), field(ray.clone(), i), FRAC),
-            fixmul(sub_e(field(nd.clone(), mx), field(ray.clone(), o)), field(ray.clone(), i), FRAC),
+            fixmul(
+                sub_e(field(nd.clone(), mn), field(ray.clone(), o)),
+                field(ray.clone(), i),
+                FRAC,
+            ),
+            fixmul(
+                sub_e(field(nd.clone(), mx), field(ray.clone(), o)),
+                field(ray.clone(), i),
+                FRAC,
+            ),
         )
     };
     let (tx0, tx1) = axis("minx", "maxx", "ox", "ix");
@@ -165,10 +175,7 @@ pub fn box_expr(ray: Expr, nd: Expr, best: Expr) -> Expr {
                                     tmax,
                                     and(
                                         le(var("bx_tmin"), var("bx_tmax")),
-                                        and(
-                                            ge(var("bx_tmax"), fix(0)),
-                                            lt(var("bx_tmin"), best),
-                                        ),
+                                        and(ge(var("bx_tmax"), fix(0)), lt(var("bx_tmin"), best)),
                                     ),
                                 ),
                             )
@@ -195,14 +202,26 @@ pub fn mt_expr(oray: Expr, tr: Expr) -> Expr {
     let fm = |a: Expr, b: Expr| fixmul(a, b, FRAC);
     let cross = |a: &[Expr; 3], b: &[Expr; 3]| -> [Expr; 3] {
         [
-            sub_e(fm(a[1].clone(), b[2].clone()), fm(a[2].clone(), b[1].clone())),
-            sub_e(fm(a[2].clone(), b[0].clone()), fm(a[0].clone(), b[2].clone())),
-            sub_e(fm(a[0].clone(), b[1].clone()), fm(a[1].clone(), b[0].clone())),
+            sub_e(
+                fm(a[1].clone(), b[2].clone()),
+                fm(a[2].clone(), b[1].clone()),
+            ),
+            sub_e(
+                fm(a[2].clone(), b[0].clone()),
+                fm(a[0].clone(), b[2].clone()),
+            ),
+            sub_e(
+                fm(a[0].clone(), b[1].clone()),
+                fm(a[1].clone(), b[0].clone()),
+            ),
         ]
     };
     let dot = |a: &[Expr; 3], b: &[Expr; 3]| -> Expr {
         add(
-            add(fm(a[0].clone(), b[0].clone()), fm(a[1].clone(), b[1].clone())),
+            add(
+                fm(a[0].clone(), b[0].clone()),
+                fm(a[1].clone(), b[1].clone()),
+            ),
             fm(a[2].clone(), b[2].clone()),
         )
     };
@@ -214,7 +233,11 @@ pub fn mt_expr(oray: Expr, tr: Expr) -> Expr {
         ]
     };
     let v3 = |base: &str| -> [Expr; 3] {
-        [var(&format!("{base}x")), var(&format!("{base}y")), var(&format!("{base}z"))]
+        [
+            var(&format!("{base}x")),
+            var(&format!("{base}y")),
+            var(&format!("{base}z")),
+        ]
     };
     let bind3 = |base: &str, vals: [Expr; 3], body: Expr| -> Expr {
         let_e(
@@ -270,11 +293,7 @@ pub fn mt_expr(oray: Expr, tr: Expr) -> Expr {
                                             miss.clone(),
                                             let_e(
                                                 "mt_t",
-                                                fixdiv(
-                                                    dot(&e2, &v3("mt_q")),
-                                                    var("mt_det"),
-                                                    FRAC,
-                                                ),
+                                                fixdiv(dot(&e2, &v3("mt_q")), var("mt_det"), FRAC),
                                                 cond(
                                                     le(var("mt_t"), fix(0)),
                                                     miss,
@@ -387,7 +406,7 @@ const DONE: i64 = 3;
 /// leaf-ordered scene).
 pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
     assert!(
-        cfg.width % 2 == 0 && cfg.height % 2 == 0,
+        cfg.width.is_multiple_of(2) && cfg.height.is_multiple_of(2),
         "image dimensions must be even (see geom::gen_rays)"
     );
     let scene: &[Tri] = &bvh.tris;
@@ -412,7 +431,12 @@ pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
     m.reg("lsent", Value::int(32, 0));
     m.reg("lrecv", Value::int(32, 0));
     m.regfile("stackMem", 64, I32(), vec![]);
-    m.regfile("bvhMem", bvh.nodes.len(), node_ty(), bvh.nodes.iter().map(node_value).collect());
+    m.regfile(
+        "bvhMem",
+        bvh.nodes.len(),
+        node_ty(),
+        bvh.nodes.iter().map(node_value).collect(),
+    );
 
     let in_state = |s: i64, a| when_a(eq(read("state"), fix(s)), a);
     let pop_or_done = |cont: i64| {
@@ -502,7 +526,10 @@ pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
             WAIT,
             when_a(
                 lt(read("lsent"), read("lcnt")),
-                par(vec![enq("chReq", req), write("lsent", add(read("lsent"), fix(1)))]),
+                par(vec![
+                    enq("chReq", req),
+                    write("lsent", add(read("lsent"), fix(1))),
+                ]),
             ),
         ),
     );
@@ -560,14 +587,20 @@ pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
         // a software rule fetches the triangle and ships it with the ray.
         m.fifo("chReq", cfg.depth, req_ty());
         m.channel("chReqB", cfg.depth, reqb_ty(), SW, &cfg.geom);
-        m.regfile("sceneMem", scene.len(), tri_ty(), scene.iter().map(tri_value).collect());
+        m.regfile(
+            "sceneMem",
+            scene.len(),
+            tri_ty(),
+            scene.iter().map(tri_value).collect(),
+        );
         let carry = |f: &str, from: Expr| (f.to_string(), field(from, f));
         let mut fields: Vec<(String, Expr)> = ["ox", "oy", "oz", "dx", "dy", "dz"]
             .iter()
             .map(|f| carry(f, var("q")))
             .collect();
-        for f in ["v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x", "e2y", "e2z", "nx", "ny", "nz"]
-        {
+        for f in [
+            "v0x", "v0y", "v0z", "e1x", "e1y", "e1z", "e2x", "e2y", "e2z", "nx", "ny", "nz",
+        ] {
             fields.push(carry(f, var("tr")));
         }
         m.rule(
@@ -578,10 +611,7 @@ pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
                 let_a(
                     "tr",
                     sub("sceneMem", field(var("q"), "tri")),
-                    enq(
-                        "chReqB",
-                        Expr::MkStruct(fields),
-                    ),
+                    enq("chReqB", Expr::MkStruct(fields)),
                 ),
             ),
         );
@@ -592,7 +622,12 @@ pub fn build_tracer(bvh: &Bvh, cfg: &RtConfig) -> Program {
     } else {
         // Scene Mem lives with the engine (BRAM when the engine is HW).
         m.channel("chReq", cfg.depth, req_ty(), &cfg.trav, &cfg.geom);
-        m.regfile("sceneMem", scene.len(), tri_ty(), scene.iter().map(tri_value).collect());
+        m.regfile(
+            "sceneMem",
+            scene.len(),
+            tri_ty(),
+            scene.iter().map(tri_value).collect(),
+        );
         m.rule(
             "geomInter",
             with_first(
@@ -627,8 +662,16 @@ pub fn build_design(bvh: &Bvh, cfg: &RtConfig) -> Result<Design, ElabError> {
 pub fn image_of_values(values: &[Value], pixels: usize) -> Vec<i64> {
     let mut img = vec![0i64; pixels];
     for v in values {
-        let pix = v.field("pix").expect("result struct").as_int().expect("int") as usize;
-        let shade = v.field("shade").expect("result struct").as_int().expect("int");
+        let pix = v
+            .field("pix")
+            .expect("result struct")
+            .as_int()
+            .expect("int") as usize;
+        let shade = v
+            .field("shade")
+            .expect("result struct")
+            .as_int()
+            .expect("int");
         img[pix] = shade;
     }
     img
@@ -638,7 +681,7 @@ pub fn image_of_values(values: &[Value], pixels: usize) -> Vec<i64> {
 mod tests {
     use super::*;
     use crate::bvh::build_bvh;
-    use crate::geom::{gen_rays, make_scene, mt_intersect, box_hit};
+    use crate::geom::{box_hit, gen_rays, make_scene, mt_intersect};
     use crate::native::render;
     use bcl_core::exec::{eval, Env};
     use bcl_core::sched::{Strategy, SwOptions, SwRunner};
@@ -704,8 +747,7 @@ mod tests {
                     ]);
                     env.push("r", rv);
                     env.push("n", node_value(node));
-                    let got =
-                        eval_expr(&box_expr(var("r"), var("n"), fix(best)), &mut env);
+                    let got = eval_expr(&box_expr(var("r"), var("n"), fix(best)), &mut env);
                     let want = box_hit(ray.o, ray.inv, &node.bb, best);
                     assert_eq!(got, Value::Bool(want));
                 }
@@ -728,13 +770,19 @@ mod tests {
         let mut r = SwRunner::with_store(
             &design,
             store,
-            SwOptions { strategy: Strategy::Dataflow, ..Default::default() },
+            SwOptions {
+                strategy: Strategy::Dataflow,
+                ..Default::default()
+            },
         );
         r.run_until_quiescent(10_000_000).unwrap();
         let snk = design.prim_id("bitmap").unwrap();
         let got = image_of_values(r.store.sink_values(snk), w * h);
         let want = render(&bvh, &gen_rays(w, h));
-        assert_eq!(got, want, "BCL tracer must match the native tracer bit-for-bit");
+        assert_eq!(
+            got, want,
+            "BCL tracer must match the native tracer bit-for-bit"
+        );
     }
 
     #[test]
@@ -745,7 +793,12 @@ mod tests {
             let mut env = Env::new();
             env.push("p", Value::int(32, ray.pix));
             let got = eval_expr(&ray_expr(w, h), &mut env);
-            assert_eq!(got.field("dx").unwrap().as_int().unwrap(), ray.d.x, "pix {}", ray.pix);
+            assert_eq!(
+                got.field("dx").unwrap().as_int().unwrap(),
+                ray.d.x,
+                "pix {}",
+                ray.pix
+            );
             assert_eq!(got.field("dy").unwrap().as_int().unwrap(), ray.d.y);
             assert_eq!(got.field("ix").unwrap().as_int().unwrap(), ray.inv.x);
             assert_eq!(got.field("oz").unwrap().as_int().unwrap(), ray.o.z);

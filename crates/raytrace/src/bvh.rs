@@ -61,9 +61,21 @@ pub fn build_bvh(tris: &[Tri]) -> Bvh {
     let mut order: Vec<usize> = (0..tris.len()).collect();
     let mut nodes = Vec::with_capacity(2 * tris.len());
     let mut max_depth = 0;
-    build(&boxes, &mut order, 0, tris.len(), &mut nodes, 1, &mut max_depth);
+    build(
+        &boxes,
+        &mut order,
+        0,
+        tris.len(),
+        &mut nodes,
+        1,
+        &mut max_depth,
+    );
     let reordered = order.iter().map(|&i| tris[i]).collect();
-    Bvh { nodes, tris: reordered, depth: max_depth }
+    Bvh {
+        nodes,
+        tris: reordered,
+        depth: max_depth,
+    }
 }
 
 fn build(
@@ -91,7 +103,13 @@ fn build(
         });
         return me;
     }
-    nodes.push(Node { bb, left: -1, right: -1, first: -1, count: 0 });
+    nodes.push(Node {
+        bb,
+        left: -1,
+        right: -1,
+        first: -1,
+        count: 0,
+    });
     // Split on the longest centroid axis at the median.
     let ext = |f: fn(&Aabb) -> i64| {
         let vals: Vec<i64> = order[lo..hi].iter().map(|&t| f(&boxes[t])).collect();
@@ -125,7 +143,7 @@ mod tests {
     fn leaves_cover_all_triangles_once() {
         let tris = make_scene(64, 3);
         let bvh = build_bvh(&tris);
-        let mut covered = vec![false; 64];
+        let mut covered = [false; 64];
         for n in bvh.nodes.iter().filter(|n| n.is_leaf()) {
             assert!(n.count as usize <= LEAF_SIZE);
             for i in n.first..n.first + n.count {
@@ -161,7 +179,11 @@ mod tests {
     fn depth_is_logarithmic() {
         let tris = make_scene(256, 1);
         let bvh = build_bvh(&tris);
-        assert!(bvh.depth <= 10, "median split keeps the tree balanced: {}", bvh.depth);
+        assert!(
+            bvh.depth <= 10,
+            "median split keeps the tree balanced: {}",
+            bvh.depth
+        );
     }
 
     #[test]

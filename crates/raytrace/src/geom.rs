@@ -78,22 +78,39 @@ pub struct V3 {
 impl V3 {
     /// Builds a vector from reals.
     pub fn from_f64(x: f64, y: f64, z: f64) -> V3 {
-        V3 { x: fx(x), y: fx(y), z: fx(z) }
+        V3 {
+            x: fx(x),
+            y: fx(y),
+            z: fx(z),
+        }
     }
 
     /// Component-wise subtraction.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors fsub, stays Copy-by-value
     pub fn sub(self, o: V3) -> V3 {
-        V3 { x: fsub(self.x, o.x), y: fsub(self.y, o.y), z: fsub(self.z, o.z) }
+        V3 {
+            x: fsub(self.x, o.x),
+            y: fsub(self.y, o.y),
+            z: fsub(self.z, o.z),
+        }
     }
 
     /// Component-wise addition.
+    #[allow(clippy::should_implement_trait)] // deliberate: mirrors fadd, stays Copy-by-value
     pub fn add(self, o: V3) -> V3 {
-        V3 { x: fadd(self.x, o.x), y: fadd(self.y, o.y), z: fadd(self.z, o.z) }
+        V3 {
+            x: fadd(self.x, o.x),
+            y: fadd(self.y, o.y),
+            z: fadd(self.z, o.z),
+        }
     }
 
     /// Dot product.
     pub fn dot(self, o: V3) -> i64 {
-        fadd(fadd(fmul(self.x, o.x), fmul(self.y, o.y)), fmul(self.z, o.z))
+        fadd(
+            fadd(fmul(self.x, o.x), fmul(self.y, o.y)),
+            fmul(self.z, o.z),
+        )
     }
 
     /// Cross product.
@@ -208,7 +225,7 @@ pub fn mt_intersect(o: V3, d: V3, tri: &Tri) -> (i64, i64) {
     }
     let tvec = o.sub(tri.v0);
     let u = fdiv(tvec.dot(p), det);
-    if u < 0 || u > ONE {
+    if !(0..=ONE).contains(&u) {
         return MISS;
     }
     let q = tvec.cross(tri.e1);
@@ -258,16 +275,8 @@ pub fn make_scene(n: usize, seed: u64) -> Vec<Tri> {
             // area, so rays pierce many leaf boxes per traversal — the
             // depth complexity that makes the communication-per-leaf
             // partitions (B, D) pay for every crossing.
-            let c = V3::from_f64(
-                next() * 5.0 - 2.5,
-                next() * 5.0 - 2.5,
-                next() * 8.0 + 2.0,
-            );
-            let along = V3::from_f64(
-                next() * 4.0 - 2.0,
-                next() * 4.0 - 2.0,
-                next() * 4.0 - 2.0,
-            );
+            let c = V3::from_f64(next() * 5.0 - 2.5, next() * 5.0 - 2.5, next() * 8.0 + 2.0);
+            let along = V3::from_f64(next() * 4.0 - 2.0, next() * 4.0 - 2.0, next() * 4.0 - 2.0);
             let across = V3::from_f64(
                 next() * 0.5 - 0.25,
                 next() * 0.5 - 0.25,
@@ -288,7 +297,10 @@ pub fn make_scene(n: usize, seed: u64) -> Vec<Tri> {
 /// Panics when `w` or `h` is odd (an odd grid has a ray exactly on the
 /// axis, whose slab-test reciprocal does not exist).
 pub fn gen_rays(w: usize, h: usize) -> Vec<Ray> {
-    assert!(w % 2 == 0 && h % 2 == 0, "image dimensions must be even");
+    assert!(
+        w.is_multiple_of(2) && h.is_multiple_of(2),
+        "image dimensions must be even"
+    );
     let o = V3::from_f64(0.0, 0.0, -4.0);
     let mut rays = Vec::with_capacity(w * h);
     for py in 0..h {
@@ -296,9 +308,22 @@ pub fn gen_rays(w: usize, h: usize) -> Vec<Ray> {
             let dx = (2 * px as i64 + 1 - w as i64) * fov_step(w);
             let dy = (2 * py as i64 + 1 - h as i64) * fov_step(h);
             let dz = ONE;
-            let d = V3 { x: dx, y: dy, z: dz };
-            let inv = V3 { x: fdiv(ONE, dx), y: fdiv(ONE, dy), z: fdiv(ONE, dz) };
-            rays.push(Ray { pix: (py * w + px) as i64, o, d, inv });
+            let d = V3 {
+                x: dx,
+                y: dy,
+                z: dz,
+            };
+            let inv = V3 {
+                x: fdiv(ONE, dx),
+                y: fdiv(ONE, dy),
+                z: fdiv(ONE, dz),
+            };
+            rays.push(Ray {
+                pix: (py * w + px) as i64,
+                o,
+                d,
+                inv,
+            });
         }
     }
     rays
@@ -340,16 +365,35 @@ mod tests {
 
     #[test]
     fn box_hit_behaviour() {
-        let bb = Aabb { min: V3::from_f64(-1.0, -1.0, 1.0), max: V3::from_f64(1.0, 1.0, 3.0) };
+        let bb = Aabb {
+            min: V3::from_f64(-1.0, -1.0, 1.0),
+            max: V3::from_f64(1.0, 1.0, 3.0),
+        };
         let o = V3::from_f64(0.0, 0.0, -4.0);
-        let d = V3 { x: fx(0.01), y: fx(0.01), z: ONE };
-        let inv = V3 { x: fdiv(ONE, d.x), y: fdiv(ONE, d.y), z: fdiv(ONE, d.z) };
+        let d = V3 {
+            x: fx(0.01),
+            y: fx(0.01),
+            z: ONE,
+        };
+        let inv = V3 {
+            x: fdiv(ONE, d.x),
+            y: fdiv(ONE, d.y),
+            z: fdiv(ONE, d.z),
+        };
         assert!(box_hit(o, inv, &bb, T_INF));
         // Pruning: a best hit closer than the box rejects it.
         assert!(!box_hit(o, inv, &bb, fx(1.0)));
         // A ray pointing away misses.
-        let d2 = V3 { x: fx(0.01), y: fx(0.01), z: -ONE };
-        let inv2 = V3 { x: inv.x, y: inv.y, z: fdiv(ONE, d2.z) };
+        let d2 = V3 {
+            x: fx(0.01),
+            y: fx(0.01),
+            z: -ONE,
+        };
+        let inv2 = V3 {
+            x: inv.x,
+            y: inv.y,
+            z: fdiv(ONE, d2.z),
+        };
         assert!(!box_hit(o, inv2, &bb, T_INF));
     }
 

@@ -156,6 +156,9 @@ mod tests {
         let mut stats = TraceStats::default();
         render_with_stats(&bvh, &rays, &mut stats);
         let per_ray = stats.tri_tests as f64 / rays.len() as f64;
-        assert!(per_ray > 3.0, "triangle tests per ray too low: {per_ray:.2}");
+        assert!(
+            per_ray > 3.0,
+            "triangle tests per ray too low: {per_ray:.2}"
+        );
     }
 }

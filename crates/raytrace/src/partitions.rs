@@ -21,7 +21,7 @@ use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
 use bcl_core::value::Value;
 use bcl_platform::cosim::Cosim;
-use bcl_platform::link::{LinkConfig, LinkStats};
+use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
 
 /// The partitions evaluated in Figure 13 (right).
@@ -39,8 +39,12 @@ pub enum RtPartition {
 
 impl RtPartition {
     /// All partitions in presentation order.
-    pub const ALL: [RtPartition; 4] =
-        [RtPartition::A, RtPartition::B, RtPartition::C, RtPartition::D];
+    pub const ALL: [RtPartition; 4] = [
+        RtPartition::A,
+        RtPartition::B,
+        RtPartition::C,
+        RtPartition::D,
+    ];
 
     /// Figure label.
     pub fn label(&self) -> &'static str {
@@ -83,7 +87,10 @@ impl RtPartition {
 
 /// The modeled platform (same ML507 calibration as the Vorbis runs).
 pub fn ml507_link() -> LinkConfig {
-    LinkConfig { sw_word_cost: 32, ..Default::default() }
+    LinkConfig {
+        sw_word_cost: 32,
+        ..Default::default()
+    }
 }
 
 /// The result of tracing a scene under one partition.
@@ -122,17 +129,40 @@ pub fn run_partition(
     width: usize,
     height: usize,
 ) -> Result<RtRun, PlatformError> {
+    run_partition_with_faults(which, bvh, width, height, FaultConfig::none())
+}
+
+/// Runs one partition over a scene on a link with deterministic fault
+/// injection: the reliable transport must hide the faults, so the
+/// rendered image is bit-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_with_faults(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+) -> Result<RtRun, PlatformError> {
     let cfg = which.config(width, height);
-    let design =
-        build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
+    let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
-    let sw_opts = SwOptions { strategy: Strategy::Dataflow, ..Default::default() };
-    let mut cosim = Cosim::new(&parts, SW, HW, ml507_link(), sw_opts)?;
+    let sw_opts = SwOptions {
+        strategy: Strategy::Dataflow,
+        ..Default::default()
+    };
+    let faulty = faults.is_active();
+    let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
     let rays = width * height;
     for p in 0..rays as i64 {
         cosim.push_source("pixSrc", Value::int(32, p));
     }
-    let max_cycles = 60_000u64 * rays as u64 + 50_000;
+    let mut max_cycles = 60_000u64 * rays as u64 + 50_000;
+    if faulty {
+        max_cycles = max_cycles.saturating_mul(500);
+    }
     let outcome = cosim
         .run_until(|c| c.sink_count("bitmap") == rays, max_cycles)
         .map_err(|e| PlatformError::new(e.to_string()))?;

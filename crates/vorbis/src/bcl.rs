@@ -58,7 +58,11 @@ pub struct VorbisDomains {
 impl VorbisDomains {
     /// Everything in software.
     pub fn all_sw() -> Self {
-        VorbisDomains { imdct: SW.into(), ifft: SW.into(), window: SW.into() }
+        VorbisDomains {
+            imdct: SW.into(),
+            ifft: SW.into(),
+            window: SW.into(),
+        }
     }
 }
 
@@ -84,7 +88,9 @@ pub fn pcm_ty() -> Type {
 
 /// Vector-of-reals view of a variable.
 fn rvec_of_var(name: &str, len: usize) -> Vec<Expr> {
-    (0..len).map(|i| index(var(name), cint(32, i as i64))).collect()
+    (0..len)
+        .map(|i| index(var(name), cint(32, i as i64)))
+        .collect()
 }
 
 /// Vector-of-complex view of a variable.
@@ -205,7 +211,11 @@ pub fn mk_window() -> bcl_core::ModuleDef {
         let_a(
             "x",
             first("inQ"),
-            par(vec![enq("outQ", pcm_expr()), write("tail", tail_expr()), deq("inQ")]),
+            par(vec![
+                enq("outQ", pcm_expr()),
+                write("tail", tail_expr()),
+                deq("inQ"),
+            ]),
         ),
     );
     m.act_method("input", &["x"], enq("inQ", var("x")));
@@ -241,7 +251,11 @@ impl Default for BackendOptions {
 pub fn build_backend(opts: &BackendOptions) -> Program {
     let d = &opts.domains;
     let dep = opts.channel_depth;
-    let ifft_def = if opts.pipelined_ifft { "IFFTPipe" } else { "IFFTComb" };
+    let ifft_def = if opts.pipelined_ifft {
+        "IFFTPipe"
+    } else {
+        "IFFTComb"
+    };
 
     let mut m = ModuleBuilder::new("VorbisBackEnd");
     m.source("src", frame_ty(), SW);
@@ -258,26 +272,44 @@ pub fn build_backend(opts: &BackendOptions) -> Program {
     m.rule("feed", with_first("x", "src", enq("chIn", var("x"))));
     m.rule("drain", with_first("x", "chOut", enq("audioDev", var("x"))));
     // IMDCT FSMs.
-    m.rule("preTwiddle", with_first("x", "chIn", enq("chPre", pre_expr())));
-    m.rule("postTwiddle", with_first("x", "chIfft", enq("chPost", post_expr())));
+    m.rule(
+        "preTwiddle",
+        with_first("x", "chIn", enq("chPre", pre_expr())),
+    );
+    m.rule(
+        "postTwiddle",
+        with_first("x", "chIfft", enq("chPost", post_expr())),
+    );
     // IFFT feed/drain (§4.2's feedIFFT / drainIFFT rules).
-    m.rule("feedIFFT", with_first("x", "chPre", call_act("ifft", "input", vec![var("x")])));
+    m.rule(
+        "feedIFFT",
+        with_first("x", "chPre", call_act("ifft", "input", vec![var("x")])),
+    );
     m.rule(
         "drainIFFT",
         let_a(
             "x",
             call_val("ifft", "output", vec![]),
-            par(vec![enq("chIfft", var("x")), call_act("ifft", "deq", vec![])]),
+            par(vec![
+                enq("chIfft", var("x")),
+                call_act("ifft", "deq", vec![]),
+            ]),
         ),
     );
     // Window transfer rules (the paper's xfer / output rules).
-    m.rule("xfer", with_first("x", "chPost", call_act("window", "input", vec![var("x")])));
+    m.rule(
+        "xfer",
+        with_first("x", "chPost", call_act("window", "input", vec![var("x")])),
+    );
     m.rule(
         "output",
         let_a(
             "x",
             call_val("window", "output", vec![]),
-            par(vec![enq("chOut", var("x")), call_act("window", "deq", vec![])]),
+            par(vec![
+                enq("chOut", var("x")),
+                call_act("window", "deq", vec![]),
+            ]),
         ),
     );
 
@@ -307,7 +339,10 @@ pub fn pcm_of_values(values: &[Value]) -> Vec<i64> {
     values
         .iter()
         .flat_map(|v| match v {
-            Value::Vec(vs) => vs.iter().map(|x| x.as_int().expect("pcm ints")).collect::<Vec<_>>(),
+            Value::Vec(vs) => vs
+                .iter()
+                .map(|x| x.as_int().expect("pcm ints"))
+                .collect::<Vec<_>>(),
             other => panic!("pcm sink holds non-vector {other}"),
         })
         .collect()
@@ -330,7 +365,10 @@ mod tests {
         let mut r = SwRunner::with_store(
             &design,
             store,
-            SwOptions { strategy: Strategy::Dataflow, ..Default::default() },
+            SwOptions {
+                strategy: Strategy::Dataflow,
+                ..Default::default()
+            },
         );
         r.run_until_quiescent(1_000_000).unwrap();
         let snk = design.prim_id("audioDev").unwrap();
@@ -342,7 +380,10 @@ mod tests {
         let frames = frame_stream(3, 11);
         let expected = NativeBackend::new().run(&frames);
         let got = run_sw(&BackendOptions::default(), &frames);
-        assert_eq!(got, expected, "generated design must agree with hand-written code");
+        assert_eq!(
+            got, expected,
+            "generated design must agree with hand-written code"
+        );
     }
 
     #[test]
@@ -350,7 +391,10 @@ mod tests {
         let frames = frame_stream(2, 5);
         let pipe = run_sw(&BackendOptions::default(), &frames);
         let comb = run_sw(
-            &BackendOptions { pipelined_ifft: false, ..Default::default() },
+            &BackendOptions {
+                pipelined_ifft: false,
+                ..Default::default()
+            },
             &frames,
         );
         assert_eq!(pipe, comb);
@@ -376,7 +420,11 @@ mod tests {
             ifft: "HW".into(),
             window: "HW".into(),
         };
-        let d2 = build_design(&BackendOptions { domains: hw, ..Default::default() }).unwrap();
+        let d2 = build_design(&BackendOptions {
+            domains: hw,
+            ..Default::default()
+        })
+        .unwrap();
         assert_eq!(d2.syncs().len(), 2, "chIn and chOut become synchronizers");
     }
 }

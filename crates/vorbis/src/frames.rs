@@ -20,7 +20,9 @@ pub struct XorShift {
 impl XorShift {
     /// Seeds the generator; a zero seed is mapped to a fixed constant.
     pub fn new(seed: u64) -> XorShift {
-        XorShift { state: if seed == 0 { 0x853c49e6748fea9b } else { seed } }
+        XorShift {
+            state: if seed == 0 { 0x853c49e6748fea9b } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.

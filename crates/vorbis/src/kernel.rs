@@ -137,13 +137,13 @@ pub fn bit_reverse(i: usize, bits: u32) -> usize {
 pub fn imdct_pre<A: Arith>(a: &mut A, frame: &[A::V]) -> Vec<Cplx<A::V>> {
     assert_eq!(frame.len(), K);
     let mut out = Vec::with_capacity(N);
-    for i in 0..K {
+    for (i, x) in frame.iter().enumerate() {
         let (r, im) = pre_lo(i);
-        out.push(Cplx::new(a.mulc(&frame[i], r), a.mulc(&frame[i], im)));
+        out.push(Cplx::new(a.mulc(x, r), a.mulc(x, im)));
     }
-    for i in 0..K {
+    for (i, x) in frame.iter().enumerate() {
         let (r, im) = pre_hi(i);
-        out.push(Cplx::new(a.mulc(&frame[i], r), a.mulc(&frame[i], im)));
+        out.push(Cplx::new(a.mulc(x, r), a.mulc(x, im)));
     }
     out
 }
@@ -201,16 +201,14 @@ pub fn imdct_post<A: Arith>(a: &mut A, xs: &[Cplx<A::V>]) -> Vec<A::V> {
         let v = a.sub(&rr, &ii);
         out[bit_reverse(i, LAYERS as u32)] = Some(v);
     }
-    out.into_iter().map(|v| v.expect("bit_reverse is a permutation")).collect()
+    out.into_iter()
+        .map(|v| v.expect("bit_reverse is a permutation"))
+        .collect()
 }
 
 /// Sliding-window overlap-add: combines the previous frame's tail with
 /// the current frame's head, producing `K` PCM samples and the new tail.
-pub fn window_apply<A: Arith>(
-    a: &mut A,
-    tail: &[A::V],
-    cur: &[A::V],
-) -> (Vec<A::V>, Vec<A::V>) {
+pub fn window_apply<A: Arith>(a: &mut A, tail: &[A::V], cur: &[A::V]) -> (Vec<A::V>, Vec<A::V>) {
     assert_eq!(tail.len(), K);
     assert_eq!(cur.len(), N);
     let mut pcm = Vec::with_capacity(K);
@@ -298,7 +296,7 @@ mod tests {
 
     #[test]
     fn bit_reverse_is_permutation() {
-        let mut seen = vec![false; N];
+        let mut seen = [false; N];
         for i in 0..N {
             let r = bit_reverse(i, LAYERS as u32);
             assert!(!seen[r]);
@@ -347,7 +345,12 @@ mod tests {
 
         for i in 0..N {
             let err = (post_f[i] - from_fix(post_x[i])).abs();
-            assert!(err < 1e-3, "post[{i}]: float {} fix {}", post_f[i], from_fix(post_x[i]));
+            assert!(
+                err < 1e-3,
+                "post[{i}]: float {} fix {}",
+                post_f[i],
+                from_fix(post_x[i])
+            );
         }
     }
 
@@ -359,9 +362,9 @@ mod tests {
         let (pcm, new_tail) = window_apply(&mut fa, &tail, &cur);
         assert_eq!(pcm.len(), K);
         assert_eq!(new_tail, vec![2.0; K]);
-        for i in 0..K {
+        for (i, &p) in pcm.iter().enumerate() {
             // cos^2 * 1 + sin^2 * 2 is between 1 and 2.
-            assert!(pcm[i] > 1.0 - 1e-12 && pcm[i] < 2.0 + 1e-12);
+            assert!(p > 1.0 - 1e-12 && p < 2.0 + 1e-12);
             // Complementary windows sum to identity on constant input.
             assert!((win_a(i) + win_b(i) - 1.0).abs() < 1e-12);
         }
@@ -370,7 +373,7 @@ mod tests {
     #[test]
     fn op_counts_are_deterministic() {
         let frame: Vec<i64> = (0..K as i64).map(|i| i << 16).collect();
-        let count = |f: &dyn Fn(&mut FixArith) -> ()| {
+        let count = |f: &dyn Fn(&mut FixArith)| {
             let mut a = FixArith::default();
             f(&mut a);
             a.ops
@@ -392,8 +395,7 @@ mod tests {
     #[test]
     fn stage_grouping_equals_full() {
         let mut a = FloatArith;
-        let xs: Vec<Cplx<f64>> =
-            (0..N).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
+        let xs: Vec<Cplx<f64>> = (0..N).map(|i| Cplx::new(i as f64, -(i as f64))).collect();
         let full = ifft_full(&mut a, &xs);
         let mut staged = xs;
         for s in 0..STAGES {

@@ -7,9 +7,7 @@
 //! partition; its cost is the pure compute-op count plus a small
 //! per-frame loop/call overhead, with no transactional machinery at all.
 
-use crate::kernel::{
-    imdct_post, imdct_pre, ifft_full, window_apply, FixArith, K,
-};
+use crate::kernel::{ifft_full, imdct_post, imdct_pre, window_apply, FixArith, K};
 
 /// Per-frame bookkeeping overhead (function calls, loop counters, frame
 /// pointer arithmetic) in CPU cycles.
@@ -32,7 +30,11 @@ impl Default for NativeBackend {
 impl NativeBackend {
     /// A back-end with a zeroed window tail.
     pub fn new() -> NativeBackend {
-        NativeBackend { arith: FixArith::default(), tail: vec![0; K], frames: 0 }
+        NativeBackend {
+            arith: FixArith::default(),
+            tail: vec![0; K],
+            frames: 0,
+        }
     }
 
     /// Decodes one frame of `K` fixed-point spectral lines into `K` PCM
@@ -88,7 +90,7 @@ mod tests {
     fn cost_grows_linearly() {
         let frames = frame_stream(10, 1);
         let mut b1 = NativeBackend::new();
-        b1.run(&frames[..5].to_vec());
+        b1.run(&frames[..5]);
         let five = b1.cpu_cycles();
         let mut b2 = NativeBackend::new();
         b2.run(&frames);
@@ -105,7 +107,11 @@ mod tests {
         // frame gives different PCM (tail differs) — state matters.
         let mut fresh = NativeBackend::new();
         let second_alone = fresh.frame(&frames[1]);
-        assert_ne!(&all[K..], &second_alone[..], "overlap state must flow across frames");
+        assert_ne!(
+            &all[K..],
+            &second_alone[..],
+            "overlap state must flow across frames"
+        );
     }
 
     #[test]

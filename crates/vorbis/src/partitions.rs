@@ -15,14 +15,12 @@
 //! is plain C++ in the paper) and the PCM output is always consumed in
 //! software.
 
-use crate::bcl::{
-    build_design, frame_value, pcm_of_values, BackendOptions, VorbisDomains,
-};
+use crate::bcl::{build_design, frame_value, pcm_of_values, BackendOptions, VorbisDomains};
 use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
 use bcl_platform::cosim::Cosim;
-use bcl_platform::link::{LinkConfig, LinkStats};
+use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
 
 /// The partitions evaluated in Figure 13 (left).
@@ -88,7 +86,11 @@ impl VorbisPartition {
             VorbisPartition::E => (true, true, true),
             VorbisPartition::F => (false, false, false),
         };
-        VorbisDomains { imdct: pick(imdct), ifft: pick(ifft), window: pick(window) }
+        VorbisDomains {
+            imdct: pick(imdct),
+            ifft: pick(ifft),
+            window: pick(window),
+        }
     }
 }
 
@@ -97,7 +99,10 @@ impl VorbisPartition {
 /// cycles per marshaled word — uncached PLB accesses plus cache
 /// management around the HDMA buffers, each tens of cycles on a PPC440.
 pub fn ml507_link() -> LinkConfig {
-    LinkConfig { sw_word_cost: 32, ..Default::default() }
+    LinkConfig {
+        sw_word_cost: 32,
+        ..Default::default()
+    }
 }
 
 /// The result of running one partition over a frame stream.
@@ -134,17 +139,43 @@ pub fn run_partition(
     which: VorbisPartition,
     frames: &[Vec<i64>],
 ) -> Result<VorbisRun, PlatformError> {
-    let opts = BackendOptions { domains: which.domains(), ..Default::default() };
+    run_partition_with_faults(which, frames, FaultConfig::none())
+}
+
+/// Runs a partition on a link with deterministic fault injection: the
+/// transactor's reliable transport must hide the faults, so the decoded
+/// PCM is bit-identical to a fault-free run (it just takes longer).
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_with_faults(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+) -> Result<VorbisRun, PlatformError> {
+    let opts = BackendOptions {
+        domains: which.domains(),
+        ..Default::default()
+    };
     let design = build_design(&opts).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
-    let sw_opts = SwOptions { strategy: Strategy::Dataflow, ..Default::default() };
-    let mut cosim = Cosim::new(&parts, SW, HW, ml507_link(), sw_opts)?;
+    let sw_opts = SwOptions {
+        strategy: Strategy::Dataflow,
+        ..Default::default()
+    };
+    let faulty = faults.is_active();
+    let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
     for f in frames {
         cosim.push_source("src", frame_value(f));
     }
     let want = frames.len();
     // Generous bound: even the slowest partition needs < 40k cycles/frame.
-    let max_cycles = 40_000u64 * want as u64 + 10_000;
+    // Heavy fault injection multiplies that by retransmission rounds.
+    let mut max_cycles = 40_000u64 * want as u64 + 10_000;
+    if faulty {
+        max_cycles = max_cycles.saturating_mul(500);
+    }
     let outcome = cosim
         .run_until(|c| c.sink_count("audioDev") == want, max_cycles)
         .map_err(|e| PlatformError::new(e.to_string()))?;
@@ -211,9 +242,21 @@ mod tests {
             let r = run_partition(p, &frames).unwrap();
             ((r.link.words_to_hw + r.link.words_to_sw) / 4) as usize
         };
-        assert_eq!(words(VorbisPartition::A), 64 + 32, "real frame over, PCM back");
-        assert_eq!(words(VorbisPartition::B), 128 + 128, "complex frame each way");
-        assert_eq!(words(VorbisPartition::C), 128 + 128 + 64 + 32, "four crossings");
+        assert_eq!(
+            words(VorbisPartition::A),
+            64 + 32,
+            "real frame over, PCM back"
+        );
+        assert_eq!(
+            words(VorbisPartition::B),
+            128 + 128,
+            "complex frame each way"
+        );
+        assert_eq!(
+            words(VorbisPartition::C),
+            128 + 128 + 64 + 32,
+            "four crossings"
+        );
         assert_eq!(words(VorbisPartition::D), 32 + 64, "raw over, real back");
         assert_eq!(words(VorbisPartition::E), 32 + 32, "raw over, PCM back");
         assert_eq!(words(VorbisPartition::F), 0);

@@ -121,7 +121,11 @@ pub fn run_systemc_baseline(frames: &[Vec<i64>], cfg: SimConfig) -> SystemCRun {
     }
     let cpu_cycles = sim.run();
     let pcm = sim.drain(ch_pcm).into_iter().flatten().collect();
-    SystemCRun { pcm, cpu_cycles, activations: sim.stats().activations }
+    SystemCRun {
+        pcm,
+        cpu_cycles,
+        activations: sim.stats().activations,
+    }
 }
 
 #[cfg(test)]

@@ -48,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     bcl_frontend::typecheck(&program)?;
     let design = bcl_core::elaborate(&program)?;
     println!("--- elaboration ----------------------------------------------");
-    println!("{} primitives, {} rules", design.prims.len(), design.rules.len());
+    println!(
+        "{} primitives, {} rules",
+        design.prims.len(),
+        design.rules.len()
+    );
 
     // Domain inference + partitioning.
     let parts = partition(&design, SW)?;
@@ -83,12 +87,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n--- co-simulation ---------------------------------------------");
     let mut cs = Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default())?;
     for i in 0..8i64 {
-        cs.push_source("ops", Value::Vec(vec![Value::int(32, i), Value::int(32, i + 1)]));
+        cs.push_source(
+            "ops",
+            Value::Vec(vec![Value::int(32, i), Value::int(32, i + 1)]),
+        );
     }
     let out = cs.run_until(|c| c.sink_count("totals") == 2, 100_000)?;
-    let totals: Vec<i64> =
-        cs.sink_values("totals").iter().map(|v| v.as_int().unwrap()).collect();
-    println!("totals = {totals:?} after {} FPGA cycles", out.fpga_cycles());
+    let totals: Vec<i64> = cs
+        .sink_values("totals")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!(
+        "totals = {totals:?} after {} FPGA cycles",
+        out.fpga_cycles()
+    );
     // 0*1 + 1*2 + 2*3 + 3*4 = 20; 4*5 + 5*6 + 6*7 + 7*8 = 148.
     assert_eq!(totals, vec![20, 148]);
     println!("(expected [20, 148] — correct)");

@@ -11,20 +11,27 @@ use bcl_vorbis::native::NativeBackend;
 use bcl_vorbis::partitions::{run_partition, VorbisPartition};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
     let frames = frame_stream(n, 2012);
     let golden = NativeBackend::new().run(&frames);
 
     println!("exploring all six decompositions of the Vorbis back-end ({n} frames)\n");
     println!(
-        "{:<4} {:<24} {:>14} {:>12} {:>12}  {}",
-        "part", "hardware contents", "FPGA cycles", "words->HW", "words->SW", "PCM"
+        "{:<4} {:<24} {:>14} {:>12} {:>12}  PCM",
+        "part", "hardware contents", "FPGA cycles", "words->HW", "words->SW"
     );
 
     let mut results = Vec::new();
     for p in VorbisPartition::ALL {
         let run = run_partition(p, &frames)?;
-        let ok = if run.pcm == golden { "bit-exact" } else { "MISMATCH!" };
+        let ok = if run.pcm == golden {
+            "bit-exact"
+        } else {
+            "MISMATCH!"
+        };
         println!(
             "{:<4} {:<24} {:>14} {:>12} {:>12}  {}",
             p.label(),

@@ -64,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let design = bcl_core::elaborate(&Program::with_root(m.build()))?;
-    println!("design `{}`: {} primitives, {} rules\n", design.name, design.prims.len(), design.rules.len());
+    println!(
+        "design `{}`: {} primitives, {} rules\n",
+        design.name,
+        design.prims.len(),
+        design.rules.len()
+    );
 
     let requests = [(105i64, 45i64), (1071, 462), (17, 5), (270, 192)];
     let load = |store: &mut Store| {
@@ -80,18 +85,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sw = SwRunner::with_store(&design, store, SwOptions::default());
     sw.run_until_quiescent(100_000)?;
     let snk = design.prim_id("resp").expect("resp");
-    let sw_out: Vec<i64> =
-        sw.store.sink_values(snk).iter().map(|v| v.as_int().unwrap()).collect();
-    println!("software schedule : {sw_out:?}  ({} CPU cycles)", sw.cpu_cycles());
+    let sw_out: Vec<i64> = sw
+        .store
+        .sink_values(snk)
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!(
+        "software schedule : {sw_out:?}  ({} CPU cycles)",
+        sw.cpu_cycles()
+    );
 
     // --- hardware execution --------------------------------------------
     let mut store = Store::new(&design);
     load(&mut store);
     let mut hw = HwSim::with_store(&design, store)?;
     hw.run_until_quiescent(1_000_000)?;
-    let hw_out: Vec<i64> =
-        hw.store.sink_values(snk).iter().map(|v| v.as_int().unwrap()).collect();
-    println!("hardware schedule : {hw_out:?}  ({} clock cycles)", hw.cycles);
+    let hw_out: Vec<i64> = hw
+        .store
+        .sink_values(snk)
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!(
+        "hardware schedule : {hw_out:?}  ({} clock cycles)",
+        hw.cycles
+    );
 
     assert_eq!(sw_out, hw_out, "one-rule-at-a-time semantics: both agree");
     for ((a, b), g) in requests.iter().zip(&sw_out) {

@@ -20,12 +20,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let size: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
 
-    println!("tracing a 256-primitive scene at {size}x{size} under partition {} ({})\n", which.label(), which.description());
+    println!(
+        "tracing a 256-primitive scene at {size}x{size} under partition {} ({})\n",
+        which.label(),
+        which.description()
+    );
     let scene = make_scene(256, 7);
     let bvh = build_bvh(&scene);
 
     let run = run_partition(which, &bvh, size, size)?;
-    println!("  execution time : {} FPGA cycles ({:.0} per ray)", run.fpga_cycles, run.cycles_per_ray());
+    println!(
+        "  execution time : {} FPGA cycles ({:.0} per ray)",
+        run.fpga_cycles,
+        run.cycles_per_ray()
+    );
     println!(
         "  bus traffic    : {} words to HW, {} words to SW",
         run.link.words_to_hw, run.link.words_to_sw

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frames = frame_stream(n, 2012);
     let run = run_partition(which, &frames)?;
 
-    println!("  execution time : {} FPGA cycles ({:.0} per frame)", run.fpga_cycles, run.cycles_per_frame());
+    println!(
+        "  execution time : {} FPGA cycles ({:.0} per frame)",
+        run.fpga_cycles,
+        run.cycles_per_frame()
+    );
     println!("  software work  : {} CPU cycles", run.sw_cpu_cycles);
     println!(
         "  bus traffic    : {} words to HW, {} words to SW",
@@ -48,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, &s) in run.pcm.iter().take(K).enumerate() {
         let x = from_fix(s);
         let col = ((x + 1.0) * 24.0).clamp(0.0, 48.0) as usize;
-        println!("  {i:2} {}{}", " ".repeat(col), if x >= 0.0 { '+' } else { '-' });
+        println!(
+            "  {i:2} {}{}",
+            " ".repeat(col),
+            if x >= 0.0 { '+' } else { '-' }
+        );
     }
     Ok(())
 }

@@ -53,16 +53,21 @@ fn text_to_cosim_round_trip() {
     assert_eq!(parts.partitions.len(), 2);
     assert_eq!(parts.channels.len(), 2);
 
-    let mut cs = Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default())
-        .expect("cosim");
+    let mut cs =
+        Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default()).expect("cosim");
     let samples: Vec<i64> = (1..=12).collect();
     for &s in &samples {
         cs.push_source("samples", Value::int(32, s));
     }
-    let out = cs.run_until(|c| c.sink_count("energies") == 3, 100_000).expect("runs");
+    let out = cs
+        .run_until(|c| c.sink_count("energies") == 3, 100_000)
+        .expect("runs");
     assert!(out.is_done());
-    let got: Vec<i64> =
-        cs.sink_values("energies").iter().map(|v| v.as_int().unwrap()).collect();
+    let got: Vec<i64> = cs
+        .sink_values("energies")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     assert_eq!(got, reference_energies(&samples));
 }
 
@@ -76,13 +81,17 @@ fn partitioned_equals_unpartitioned() {
 
     let run = |d: &bcl_core::Design| -> Vec<i64> {
         let parts = partition(d, SW).expect("partitions");
-        let mut cs = Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default())
-            .expect("cosim");
+        let mut cs =
+            Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default()).expect("cosim");
         for s in 1..=20i64 {
             cs.push_source("samples", Value::int(32, s));
         }
-        cs.run_until(|c| c.sink_count("energies") == 5, 200_000).expect("runs");
-        cs.sink_values("energies").iter().map(|v| v.as_int().unwrap()).collect()
+        cs.run_until(|c| c.sink_count("energies") == 5, 200_000)
+            .expect("runs");
+        cs.sink_values("energies")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
     };
 
     assert_eq!(run(&design), run(&fuse_syncs(&design)));
@@ -97,7 +106,10 @@ fn both_backends_emit_from_parsed_text() {
     let bsv = bcl_backend::emit_bsv(parts.partition(HW).expect("hw")).expect("emits");
     assert!(bsv.contains("rule accumulate"));
     assert!(bsv.contains("rule flush"));
-    assert!(bsv.contains("toSw_tx"), "split synchronizer half present: {bsv}");
+    assert!(
+        bsv.contains("toSw_tx"),
+        "split synchronizer half present: {bsv}"
+    );
 
     let cxx = bcl_backend::emit_cxx(parts.partition(SW).expect("sw"), Default::default());
     assert!(cxx.contains("bool scale()"));
@@ -108,8 +120,8 @@ fn both_backends_emit_from_parsed_text() {
 fn pretty_printed_program_behaves_identically() {
     let p1 = bcl_frontend::parse(SRC).expect("parses");
     let printed = bcl_frontend::pretty_program(&p1);
-    let p2 = bcl_frontend::parse(&printed)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    let p2 =
+        bcl_frontend::parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
     let d1 = bcl_core::elaborate(&p1).unwrap();
     let d2 = bcl_core::elaborate(&p2).unwrap();
     assert_eq!(d1.prims, d2.prims);
@@ -121,8 +133,12 @@ fn pretty_printed_program_behaves_identically() {
         for s in 1..=8i64 {
             cs.push_source("samples", Value::int(32, s));
         }
-        cs.run_until(|c| c.sink_count("energies") == 2, 100_000).unwrap();
-        cs.sink_values("energies").iter().map(|v| v.as_int().unwrap()).collect()
+        cs.run_until(|c| c.sink_count("energies") == 2, 100_000)
+            .unwrap();
+        cs.sink_values("energies")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
     };
     assert_eq!(run(&d1), run(&d2));
 }

@@ -50,8 +50,7 @@ fn hand_written_hardware_behind_the_generated_interface() {
     let mut sw = SwRunner::new(&sw_design, SwOptions::default());
     let mut hw_store = Store::new(&hw_design);
     let mut link = Link::new(LinkConfig::default());
-    let mut transactor =
-        Transactor::new(&parts.channels, SW, &sw_design, HW, &hw_design).unwrap();
+    let mut transactor = Transactor::new(&parts.channels, SW, &sw_design, HW, &hw_design).unwrap();
 
     // The *interface contract* the replacement must honor, read off the
     // generated partition: consume `toHw.rx`, produce `toSw.tx`.
@@ -66,29 +65,30 @@ fn hand_written_hardware_behind_the_generated_interface() {
 
     // A hand-written "hardware" implementation: plain Rust against the
     // FIFO halves — it never sees any of the generated rule machinery.
-    let custom_hw = |store: &mut Store| {
-        loop {
-            let v = match store.state(rx) {
-                PrimState::Fifo { items, .. } => match items.front() {
-                    Some(v) => v.as_int().unwrap(),
-                    None => break,
-                },
-                _ => unreachable!("interface is a FIFO"),
-            };
-            let full = match store.state(tx) {
-                PrimState::Fifo { items, depth } => items.len() >= *depth,
-                _ => unreachable!(),
-            };
-            if full {
-                break;
-            }
-            store.state_mut(rx).call_action(PrimMethod::Deq, &[]).unwrap();
-            let cubed = (v as i32).wrapping_mul(v as i32).wrapping_mul(v as i32) as i64;
-            store
-                .state_mut(tx)
-                .call_action(PrimMethod::Enq, &[Value::int(32, cubed)])
-                .unwrap();
+    let custom_hw = |store: &mut Store| loop {
+        let v = match store.state(rx) {
+            PrimState::Fifo { items, .. } => match items.front() {
+                Some(v) => v.as_int().unwrap(),
+                None => break,
+            },
+            _ => unreachable!("interface is a FIFO"),
+        };
+        let full = match store.state(tx) {
+            PrimState::Fifo { items, depth } => items.len() >= *depth,
+            _ => unreachable!(),
+        };
+        if full {
+            break;
         }
+        store
+            .state_mut(rx)
+            .call_action(PrimMethod::Deq, &[])
+            .unwrap();
+        let cubed = (v as i32).wrapping_mul(v as i32).wrapping_mul(v as i32) as i64;
+        store
+            .state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, cubed)])
+            .unwrap();
     };
 
     // Drive the system: per FPGA cycle, the custom hardware runs, the
@@ -96,15 +96,21 @@ fn hand_written_hardware_behind_the_generated_interface() {
     let snk = sw_design.prim_id("snk").unwrap();
     for now in 0..20_000u64 {
         custom_hw(&mut hw_store);
-        transactor.pump(&mut sw.store, &mut hw_store, &mut link, now).unwrap();
+        transactor
+            .pump(&mut sw.store, &mut hw_store, &mut link, now)
+            .unwrap();
         sw.run_for(4).unwrap();
         if sw.store.sink_values(snk).len() == inputs.len() {
             break;
         }
     }
 
-    let got: Vec<i64> =
-        sw.store.sink_values(snk).iter().map(|v| v.as_int().unwrap()).collect();
+    let got: Vec<i64> = sw
+        .store
+        .sink_values(snk)
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     let want: Vec<i64> = inputs.iter().map(|&v| v * v * v).collect();
     assert_eq!(got, want, "hand-written HW interoperates with generated SW");
 }
@@ -118,16 +124,20 @@ fn generated_and_hand_written_hardware_agree() {
 
     let design = offload_design();
     let parts = partition(&design, SW).unwrap();
-    let mut cs =
-        Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+    let mut cs = Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
     let inputs: Vec<i64> = vec![2, -3, 5, 7, 1];
     for &v in &inputs {
         cs.push_source("src", Value::int(32, v));
     }
-    let out = cs.run_until(|c| c.sink_count("snk") == inputs.len(), 100_000).unwrap();
+    let out = cs
+        .run_until(|c| c.sink_count("snk") == inputs.len(), 100_000)
+        .unwrap();
     assert!(out.is_done());
-    let got: Vec<i64> =
-        cs.sink_values("snk").iter().map(|v| v.as_int().unwrap()).collect();
+    let got: Vec<i64> = cs
+        .sink_values("snk")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
     let want: Vec<i64> = inputs.iter().map(|&v| v * v * v).collect();
     assert_eq!(got, want);
 }

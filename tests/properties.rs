@@ -29,7 +29,10 @@ fn arb_type() -> impl Strategy<Value = Type> {
             (1usize..4, inner.clone()).prop_map(|(n, t)| Type::vector(n, t)),
             proptest::collection::vec(inner, 1..4).prop_map(|ts| {
                 Type::Struct(
-                    ts.into_iter().enumerate().map(|(i, t)| (format!("f{i}"), t)).collect(),
+                    ts.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| (format!("f{i}"), t))
+                        .collect(),
                 )
             }),
         ]
@@ -49,9 +52,7 @@ fn arb_value_of(ty: &Type) -> BoxedStrategy<Value> {
                 fs.iter().map(|(_, t)| arb_value_of(t)).collect();
             let names: Vec<String> = fs.iter().map(|(n, _)| n.clone()).collect();
             strategies
-                .prop_map(move |vs| {
-                    Value::Struct(names.iter().cloned().zip(vs).collect())
-                })
+                .prop_map(move |vs| Value::Struct(names.iter().cloned().zip(vs).collect()))
                 .boxed()
         }
     }
@@ -85,15 +86,31 @@ fn rule_design() -> Design {
     Design {
         name: "prop".into(),
         prims: vec![
-            PrimDef { path: Path::new("a"), spec: PrimSpec::Reg { init: Value::int(32, 0) } },
-            PrimDef { path: Path::new("b"), spec: PrimSpec::Reg { init: Value::int(32, 1) } },
+            PrimDef {
+                path: Path::new("a"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 0),
+                },
+            },
+            PrimDef {
+                path: Path::new("b"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 1),
+                },
+            },
             PrimDef {
                 path: Path::new("p"),
-                spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth: 2,
+                    ty: Type::Int(32),
+                },
             },
             PrimDef {
                 path: Path::new("q"),
-                spec: PrimSpec::Fifo { depth: 2, ty: Type::Int(32) },
+                spec: PrimSpec::Fifo {
+                    depth: 2,
+                    ty: Type::Int(32),
+                },
             },
         ],
         ..Default::default()
@@ -120,7 +137,11 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 Box::new(b)
             )),
             (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Cond(
-                Box::new(Expr::Bin(BinOp::Lt, Box::new(c), Box::new(Expr::int(32, 3)))),
+                Box::new(Expr::Bin(
+                    BinOp::Lt,
+                    Box::new(c),
+                    Box::new(Expr::int(32, 3))
+                )),
                 Box::new(t),
                 Box::new(f)
             )),
@@ -129,31 +150,23 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
 }
 
 fn arb_guard() -> impl Strategy<Value = Expr> {
-    arb_expr().prop_map(|e| {
-        Expr::Bin(BinOp::Ge, Box::new(e), Box::new(Expr::int(32, 0)))
-    })
+    arb_expr().prop_map(|e| Expr::Bin(BinOp::Ge, Box::new(e), Box::new(Expr::int(32, 0))))
 }
 
 fn arb_action() -> impl Strategy<Value = Action> {
     let leaf = prop_oneof![
         Just(Action::NoAction),
-        arb_expr().prop_map(|e| Action::Write(
-            Target::Prim(REG_A, PrimMethod::RegWrite),
-            Box::new(e)
-        )),
-        arb_expr().prop_map(|e| Action::Write(
-            Target::Prim(REG_B, PrimMethod::RegWrite),
-            Box::new(e)
-        )),
+        arb_expr()
+            .prop_map(|e| Action::Write(Target::Prim(REG_A, PrimMethod::RegWrite), Box::new(e))),
+        arb_expr()
+            .prop_map(|e| Action::Write(Target::Prim(REG_B, PrimMethod::RegWrite), Box::new(e))),
         arb_expr().prop_map(|e| Action::Call(Target::Prim(FIFO_Q, PrimMethod::Enq), vec![e])),
         Just(Action::Call(Target::Prim(FIFO_P, PrimMethod::Deq), vec![])),
     ];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Action::Seq(Box::new(a), Box::new(b))),
-            (arb_guard(), inner.clone())
-                .prop_map(|(g, a)| Action::When(Box::new(g), Box::new(a))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Action::Seq(Box::new(a), Box::new(b))),
+            (arb_guard(), inner.clone()).prop_map(|(g, a)| Action::When(Box::new(g), Box::new(a))),
             (arb_guard(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| Action::If(
                 Box::new(c),
                 Box::new(t),
@@ -164,8 +177,14 @@ fn arb_action() -> impl Strategy<Value = Action> {
             // (arbitrary Par can legitimately DOUBLE WRITE; that error is
             // tested deterministically elsewhere).
             (arb_expr(), arb_expr()).prop_map(|(x, y)| Action::Par(
-                Box::new(Action::Write(Target::Prim(REG_A, PrimMethod::RegWrite), Box::new(x))),
-                Box::new(Action::Write(Target::Prim(REG_B, PrimMethod::RegWrite), Box::new(y))),
+                Box::new(Action::Write(
+                    Target::Prim(REG_A, PrimMethod::RegWrite),
+                    Box::new(x)
+                )),
+                Box::new(Action::Write(
+                    Target::Prim(REG_B, PrimMethod::RegWrite),
+                    Box::new(y)
+                )),
             )),
         ]
     })
@@ -174,8 +193,12 @@ fn arb_action() -> impl Strategy<Value = Action> {
 fn store_with(p_items: Vec<i64>, q_items: Vec<i64>, a: i64, b: i64) -> Store {
     let d = rule_design();
     let mut s = Store::new(&d);
-    s.state_mut(REG_A).call_action(PrimMethod::RegWrite, &[Value::int(32, a)]).unwrap();
-    s.state_mut(REG_B).call_action(PrimMethod::RegWrite, &[Value::int(32, b)]).unwrap();
+    s.state_mut(REG_A)
+        .call_action(PrimMethod::RegWrite, &[Value::int(32, a)])
+        .unwrap();
+    s.state_mut(REG_B)
+        .call_action(PrimMethod::RegWrite, &[Value::int(32, b)])
+        .unwrap();
     for v in p_items {
         if let PrimState::Fifo { items, .. } = s.state_mut(FIFO_P) {
             items.push_back(Value::int(32, v));

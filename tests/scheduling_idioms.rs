@@ -59,7 +59,10 @@ fn xfer_hw_design() -> Design {
             with_first(
                 "w",
                 "p",
-                par(vec![enq("c", var("w")), write("cnt", add(read("cnt"), cint(32, 1)))]),
+                par(vec![
+                    enq("c", var("w")),
+                    write("cnt", add(read("cnt"), cint(32, 1))),
+                ]),
             ),
         ),
     );
@@ -76,7 +79,10 @@ fn preload(d: &Design, words: i64) -> Store {
 }
 
 fn consumed(d: &Design, s: &Store) -> Vec<i64> {
-    s.sink_values(d.prim_id("c").unwrap()).iter().map(|v| v.as_int().unwrap()).collect()
+    s.sink_values(d.prim_id("c").unwrap())
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect()
 }
 
 #[test]
@@ -88,8 +94,7 @@ fn both_idioms_transfer_the_frame_in_software() {
         let out_sw = consumed(&dsw, &sw.store);
 
         let dhw = xfer_hw_design();
-        let mut hw_as_sw =
-            SwRunner::with_store(&dhw, preload(&dhw, words), SwOptions::default());
+        let mut hw_as_sw = SwRunner::with_store(&dhw, preload(&dhw, words), SwOptions::default());
         hw_as_sw.run_until_quiescent(10_000).unwrap();
         let out_hw = consumed(&dhw, &hw_as_sw.store);
 
@@ -147,7 +152,10 @@ fn dataflow_scheduler_amortizes_word_at_a_time_rules() {
     let mut sw = SwRunner::with_store(
         &d,
         preload(&d, FRAME_SZ),
-        SwOptions { strategy: Strategy::Dataflow, ..Default::default() },
+        SwOptions {
+            strategy: Strategy::Dataflow,
+            ..Default::default()
+        },
     );
     let fired = sw.run_until_quiescent(1_000).unwrap();
     assert_eq!(fired, FRAME_SZ as u64);

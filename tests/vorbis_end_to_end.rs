@@ -67,7 +67,10 @@ fn hardware_partitions_pass_the_hw_legality_check() {
     use bcl_core::partition::partition;
     use bcl_core::sched::hw_check;
     for p in VorbisPartition::ALL {
-        let opts = BackendOptions { domains: p.domains(), ..Default::default() };
+        let opts = BackendOptions {
+            domains: p.domains(),
+            ..Default::default()
+        };
         let d = build_design(&opts).unwrap();
         let parts = partition(&d, SW).unwrap();
         if let Some(hw) = parts.partition(HW) {
@@ -99,6 +102,9 @@ fn determinism_across_runs() {
     let r1 = run_partition(VorbisPartition::C, &frames).unwrap();
     let r2 = run_partition(VorbisPartition::C, &frames).unwrap();
     assert_eq!(r1.pcm, r2.pcm);
-    assert_eq!(r1.fpga_cycles, r2.fpga_cycles, "the whole cosim is deterministic");
+    assert_eq!(
+        r1.fpga_cycles, r2.fpga_cycles,
+        "the whole cosim is deterministic"
+    );
     assert_eq!(r1.link, r2.link);
 }

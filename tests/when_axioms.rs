@@ -20,17 +20,40 @@ fn design() -> Design {
     Design {
         name: "axioms".into(),
         prims: vec![
-            PrimDef { path: Path::new("r1"), spec: PrimSpec::Reg { init: Value::int(32, 10) } },
-            PrimDef { path: Path::new("r2"), spec: PrimSpec::Reg { init: Value::int(32, 20) } },
-            PrimDef { path: Path::new("p"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
-            PrimDef { path: Path::new("q"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
+            PrimDef {
+                path: Path::new("r1"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 10),
+                },
+            },
+            PrimDef {
+                path: Path::new("r2"),
+                spec: PrimSpec::Reg {
+                    init: Value::int(32, 20),
+                },
+            },
+            PrimDef {
+                path: Path::new("p"),
+                spec: PrimSpec::Reg {
+                    init: Value::Bool(false),
+                },
+            },
+            PrimDef {
+                path: Path::new("q"),
+                spec: PrimSpec::Reg {
+                    init: Value::Bool(false),
+                },
+            },
         ],
         ..Default::default()
     }
 }
 
 fn wr(id: PrimId, v: i64) -> Action {
-    Action::Write(Target::Prim(id, PrimMethod::RegWrite), Box::new(Expr::int(32, v)))
+    Action::Write(
+        Target::Prim(id, PrimMethod::RegWrite),
+        Box::new(Expr::int(32, v)),
+    )
 }
 fn rdb(id: PrimId) -> Expr {
     Expr::Call(Target::Prim(id, PrimMethod::RegRead), vec![])
@@ -55,8 +78,12 @@ fn assert_equiv(lhs: &Action, rhs: &Action, name: &str) {
     for pv in [false, true] {
         for qv in [false, true] {
             let mut s1 = Store::new(&d);
-            s1.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
-            s1.state_mut(Q).call_action(PrimMethod::RegWrite, &[Value::Bool(qv)]).unwrap();
+            s1.state_mut(P)
+                .call_action(PrimMethod::RegWrite, &[Value::Bool(pv)])
+                .unwrap();
+            s1.state_mut(Q)
+                .call_action(PrimMethod::RegWrite, &[Value::Bool(qv)])
+                .unwrap();
             let mut s2 = s1.clone();
             let o1 = run_rule(&mut s1, lhs, ShadowPolicy::Partial).unwrap();
             let o2 = run_rule(&mut s2, rhs, ShadowPolicy::Partial).unwrap();
@@ -147,9 +174,18 @@ fn a8_guard_moves_out_of_method_argument() {
         prims: vec![
             PrimDef {
                 path: Path::new("rf"),
-                spec: PrimSpec::RegFile { size: 2, ty: Type::Int(32), init: vec![] },
+                spec: PrimSpec::RegFile {
+                    size: 2,
+                    ty: Type::Int(32),
+                    init: vec![],
+                },
             },
-            PrimDef { path: Path::new("p"), spec: PrimSpec::Reg { init: Value::Bool(false) } },
+            PrimDef {
+                path: Path::new("p"),
+                spec: PrimSpec::Reg {
+                    init: Value::Bool(false),
+                },
+            },
         ],
         ..Default::default()
     };
@@ -171,7 +207,9 @@ fn a8_guard_moves_out_of_method_argument() {
     );
     for pv in [false, true] {
         let mut s1 = Store::new(&d);
-        s1.state_mut(p).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+        s1.state_mut(p)
+            .call_action(PrimMethod::RegWrite, &[Value::Bool(pv)])
+            .unwrap();
         let mut s2 = s1.clone();
         let o1 = run_rule(&mut s1, &lhs, ShadowPolicy::Partial).unwrap();
         let o2 = run_rule(&mut s2, &rhs, ShadowPolicy::Partial).unwrap();
@@ -191,7 +229,9 @@ fn a9_top_level_if_and_when_coincide() {
     let d = design();
     for pv in [false, true] {
         let mut s1 = Store::new(&d);
-        s1.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
+        s1.state_mut(P)
+            .call_action(PrimMethod::RegWrite, &[Value::Bool(pv)])
+            .unwrap();
         let mut s2 = s1.clone();
         run_rule(&mut s1, &lhs, ShadowPolicy::Partial).unwrap();
         run_rule(&mut s2, &rhs, ShadowPolicy::Partial).unwrap();
@@ -211,13 +251,22 @@ fn lifted_rules_satisfy_the_axioms_wholesale() {
         when(rdb(P), wr(R1, 3)),
         ife(rdb(Q), par(wr(R2, 4), Action::NoAction)),
     );
-    let rule = RuleDef { name: "composite".into(), body };
+    let rule = RuleDef {
+        name: "composite".into(),
+        body,
+    };
     let d = design();
     for pv in [false, true] {
         for qv in [false, true] {
             let mut s_ref = Store::new(&d);
-            s_ref.state_mut(P).call_action(PrimMethod::RegWrite, &[Value::Bool(pv)]).unwrap();
-            s_ref.state_mut(Q).call_action(PrimMethod::RegWrite, &[Value::Bool(qv)]).unwrap();
+            s_ref
+                .state_mut(P)
+                .call_action(PrimMethod::RegWrite, &[Value::Bool(pv)])
+                .unwrap();
+            s_ref
+                .state_mut(Q)
+                .call_action(PrimMethod::RegWrite, &[Value::Bool(qv)])
+                .unwrap();
             let mut s_plan = s_ref.clone();
             let (ref_out, _) = run_rule(&mut s_ref, &rule.body, ShadowPolicy::Partial).unwrap();
 
@@ -234,7 +283,9 @@ fn lifted_rules_satisfy_the_axioms_wholesale() {
                         true
                     }
                     ExecMode::Transactional => {
-                        run_rule(&mut s_plan, &plan.body, ShadowPolicy::Partial).unwrap().0
+                        run_rule(&mut s_plan, &plan.body, ShadowPolicy::Partial)
+                            .unwrap()
+                            .0
                             == RuleOutcome::Fired
                     }
                 };

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API the workspace benches use
+//! (`benchmark_group`, `sample_size`, `bench_function`, `iter`,
+//! `criterion_group!`, `criterion_main!`) with a simple wall-clock
+//! harness: each benchmark runs a short warmup, then `sample_size`
+//! timed samples, and prints the median per-iteration time. No HTML
+//! reports, no statistics beyond min/median/max.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _c: self,
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), 20, f);
+    }
+}
+
+/// A group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _c: &'c mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (stats were printed as benchmarks ran).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; calls the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `f`, which is invoked repeatedly; one sample is recorded
+    /// per `iter` call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed() / self.iters_per_sample as u32;
+        self.samples.push(elapsed);
+    }
+}
+
+fn run_one<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warmup + calibration: aim for samples of at least ~1ms so that
+    // fast routines are not dominated by timer resolution.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if let Some(first) = b.samples.first().copied() {
+        if first < Duration::from_millis(1) {
+            let per_iter = first.max(Duration::from_nanos(20));
+            b.iters_per_sample =
+                (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1)) as u64 + 1;
+        }
+    }
+    b.samples.clear();
+    for _ in 0..sample_size {
+        f(&mut b);
+    }
+    b.samples.sort();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let lo = b.samples.first().copied().unwrap_or_default();
+    let hi = b.samples.last().copied().unwrap_or_default();
+    println!("  {name:40} median {median:>12?}   [{lo:?} .. {hi:?}]");
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stub supplies just enough of serde's surface for the workspace to
+//! compile: the `Serialize`/`Deserialize` marker traits and the derive
+//! macros (which expand to nothing). No code in this repository actually
+//! serializes values yet; when it does, this stub is the place to grow a
+//! real (or real-er) implementation.
+
+#![warn(missing_docs)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored serde
+//! stub. They accept the same derive positions as the real macros and
+//! expand to nothing, which is sound because nothing in the workspace
+//! invokes serialization at runtime.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; satisfies `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; satisfies `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
