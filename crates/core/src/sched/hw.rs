@@ -67,6 +67,19 @@ pub struct HwReport {
     pub peak_concurrency: usize,
 }
 
+/// The mutable state of a [`HwSim`]: the committed store, the cycle
+/// counter, and the firing statistics. The per-cycle `CAN_FIRE` scratch
+/// is recomputed every step and needs no snapshot. Restoring makes the
+/// simulator bit- and cycle-identical to the capture instant.
+#[derive(Debug, Clone)]
+pub struct HwSnapshot {
+    store: Store,
+    cycles: u64,
+    fired: Vec<u64>,
+    total_fired: u64,
+    peak: usize,
+}
+
 /// Cycle-accurate simulator of one (hardware) partition.
 #[derive(Debug)]
 pub struct HwSim {
@@ -183,6 +196,43 @@ impl HwSim {
             }
         }
         Ok(self.cycles - start)
+    }
+
+    /// Captures the simulator's complete mutable state for a later
+    /// [`HwSim::restore`].
+    pub fn snapshot(&self) -> HwSnapshot {
+        HwSnapshot {
+            store: self.store.snapshot(),
+            cycles: self.cycles,
+            fired: self.fired.clone(),
+            total_fired: self.total_fired,
+            peak: self.peak,
+        }
+    }
+
+    /// Rewinds the simulator to a previously captured snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a simulator of a different design.
+    pub fn restore(&mut self, snap: &HwSnapshot) {
+        assert_eq!(
+            self.fired.len(),
+            snap.fired.len(),
+            "snapshot from a different design"
+        );
+        self.store.restore(&snap.store);
+        self.cycles = snap.cycles;
+        self.fired.clone_from(&snap.fired);
+        self.total_fired = snap.total_fired;
+        self.peak = snap.peak;
+    }
+
+    /// Wipes the committed state back to power-on values, as a partition
+    /// reset does. The cycle counter and cumulative statistics are kept:
+    /// they model the observer's clock, not the partition's state.
+    pub fn reset_state(&mut self, design: &Design) {
+        self.store = Store::new(design);
     }
 
     /// A snapshot of simulation statistics.

@@ -12,8 +12,8 @@
 mod hw;
 mod sw;
 
-pub use hw::{hw_check, HwReport, HwSim};
-pub use sw::{Strategy, SwOptions, SwReport, SwRunner};
+pub use hw::{hw_check, HwReport, HwSim, HwSnapshot};
+pub use sw::{Strategy, SwOptions, SwReport, SwRunner, SwSnapshot};
 
 use crate::store::Cost;
 

@@ -59,6 +59,24 @@ pub struct SwReport {
     pub cpu_cycles: u64,
 }
 
+/// Everything that changes as a [`SwRunner`] executes: the committed
+/// store, the cost counters (and therefore `cpu_cycles`), the per-rule
+/// statistics, and the scheduler's own state (round-robin cursor and
+/// dataflow chain). Restoring a snapshot makes the runner bit-identical
+/// to the moment of capture — budget accounting included, so a
+/// [`SwRunner::run_for`] after a restore spends exactly the cycles the
+/// original run would have.
+#[derive(Debug, Clone)]
+pub struct SwSnapshot {
+    store: Store,
+    cost: Cost,
+    fired: Vec<u64>,
+    failed: Vec<u64>,
+    total_fired: u64,
+    rr_next: usize,
+    chain: VecDeque<usize>,
+}
+
 /// Executes the rules of one (software) partition.
 #[derive(Debug)]
 pub struct SwRunner {
@@ -238,6 +256,42 @@ impl SwRunner {
     /// cost, modeled as plain ALU ops.
     pub fn charge_cycles(&mut self, cycles: u64) {
         self.cost.ops += cycles / self.opts.model.op.max(1);
+    }
+
+    /// Captures the runner's complete mutable state for a later
+    /// [`SwRunner::restore`]. The compiled plans and options are
+    /// immutable and are not copied.
+    pub fn snapshot(&self) -> SwSnapshot {
+        SwSnapshot {
+            store: self.store.snapshot(),
+            cost: self.cost,
+            fired: self.fired.clone(),
+            failed: self.failed.clone(),
+            total_fired: self.total_fired,
+            rr_next: self.rr_next,
+            chain: self.chain.clone(),
+        }
+    }
+
+    /// Rewinds the runner to a previously captured snapshot. Execution
+    /// from here is bit-identical to execution from the capture point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a runner over a different design.
+    pub fn restore(&mut self, snap: &SwSnapshot) {
+        assert_eq!(
+            self.fired.len(),
+            snap.fired.len(),
+            "snapshot from a different design"
+        );
+        self.store.restore(&snap.store);
+        self.cost = snap.cost;
+        self.fired.clone_from(&snap.fired);
+        self.failed.clone_from(&snap.failed);
+        self.total_fired = snap.total_fired;
+        self.rr_next = snap.rr_next;
+        self.chain.clone_from(&snap.chain);
     }
 
     /// A snapshot of run statistics.
@@ -421,6 +475,43 @@ mod tests {
         assert!(!quiescent);
         assert!(spent >= 50);
         assert!(spent < 500, "should stop soon after the budget: {spent}");
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let d = pipeline();
+        let mut store = Store::new(&d);
+        for i in 0..50 {
+            store.push_source(PrimId(0), Value::int(32, i));
+        }
+        let mut r = SwRunner::with_store(&d, store, SwOptions::default());
+        r.run_for(200).unwrap();
+        let snap = r.snapshot();
+        let cpu_at_snap = r.cpu_cycles();
+
+        // First continuation: record the exact budget-accounting and
+        // output trajectory.
+        let mut trace = Vec::new();
+        loop {
+            let (spent, quiescent) = r.run_for(64).unwrap();
+            trace.push((spent, quiescent, r.cpu_cycles(), r.total_fired));
+            if quiescent {
+                break;
+            }
+        }
+        let out1 = r.store.sink_values(PrimId(2)).to_vec();
+
+        // Restore and replay: every run_for must spend the same cycles.
+        r.restore(&snap);
+        assert_eq!(r.cpu_cycles(), cpu_at_snap, "cpu_cycles survives restore");
+        for &(spent, quiescent, cpu, fired) in &trace {
+            let (s2, q2) = r.run_for(64).unwrap();
+            assert_eq!(
+                (s2, q2, r.cpu_cycles(), r.total_fired),
+                (spent, quiescent, cpu, fired)
+            );
+        }
+        assert_eq!(r.store.sink_values(PrimId(2)), &out1[..]);
     }
 
     #[test]

@@ -9,14 +9,18 @@
 //! per FPGA cycle, from which driver marshaling work is deducted before
 //! rule execution — moving data is not free for the processor.
 
-use crate::link::{FaultConfig, Link, LinkConfig, LinkStats};
-use crate::transactor::{ChannelDiag, ChannelReport, Transactor, TransportStats};
+use crate::link::{FaultConfig, Link, LinkConfig, LinkSnapshot, LinkStats, PartitionFault};
+use crate::transactor::{
+    ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats,
+};
 use crate::PlatformError;
 use bcl_core::ast::PrimId;
 use bcl_core::design::Design;
-use bcl_core::error::ExecResult;
-use bcl_core::partition::Partitioned;
-use bcl_core::sched::{HwSim, SwOptions, SwRunner};
+use bcl_core::error::{ExecError, ExecResult};
+use bcl_core::partition::{fuse_partitioned, Partitioned};
+use bcl_core::prim::{PrimSpec, PrimState};
+use bcl_core::sched::{HwSim, HwSnapshot, SwOptions, SwRunner, SwSnapshot};
+use bcl_core::store::Store;
 use bcl_core::value::Value;
 
 /// How a co-simulation ended.
@@ -45,6 +49,16 @@ pub enum CosimOutcome {
         /// was declared.
         channels: Vec<ChannelDiag>,
     },
+    /// A hardware-partition fault struck and the recovery policy gave up:
+    /// either [`RecoveryPolicy::RestartFromCheckpoint`] exhausted its
+    /// retry budget, or a fault fired before any checkpoint existed to
+    /// recover from.
+    PartitionLost {
+        /// Total FPGA cycles elapsed.
+        fpga_cycles: u64,
+        /// Recovery attempts made before giving up.
+        retries: u32,
+    },
 }
 
 impl CosimOutcome {
@@ -53,7 +67,8 @@ impl CosimOutcome {
         match self {
             CosimOutcome::Done { fpga_cycles }
             | CosimOutcome::Timeout { fpga_cycles }
-            | CosimOutcome::Stalled { fpga_cycles, .. } => *fpga_cycles,
+            | CosimOutcome::Stalled { fpga_cycles, .. }
+            | CosimOutcome::PartitionLost { fpga_cycles, .. } => *fpga_cycles,
         }
     }
 
@@ -65,6 +80,95 @@ impl CosimOutcome {
     /// True if the transport stall detector fired.
     pub fn is_stalled(&self) -> bool {
         matches!(self, CosimOutcome::Stalled { .. })
+    }
+}
+
+/// What a [`Cosim`] does when a scripted [`PartitionFault`] wipes the
+/// hardware partition mid-run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// No recovery: the fault wipes hardware and transport state and the
+    /// run is left to stall or time out. This is the pre-checkpoint
+    /// behavior and the default.
+    #[default]
+    Fail,
+    /// Auto-checkpoint every `interval` FPGA cycles; on a fault, restore
+    /// the last checkpoint and replay. Because a checkpoint is a globally
+    /// consistent cut and scripted faults fire at most once, the replayed
+    /// run converges to the exact fault-free trajectory — same sink
+    /// values, same final cycle count. Repeated faults back the
+    /// checkpoint cadence off exponentially; after `max_retries`
+    /// restores the run ends with [`CosimOutcome::PartitionLost`].
+    RestartFromCheckpoint {
+        /// FPGA cycles between automatic checkpoints.
+        interval: u64,
+        /// Restores allowed before declaring the partition lost.
+        max_retries: u32,
+    },
+    /// Auto-checkpoint every `interval` cycles; on a fault, rebuild the
+    /// lost hardware partition's state from the last checkpoint plus the
+    /// channel traffic that was in transit at the cut, splice everything
+    /// into a fused all-software design, and continue software-only —
+    /// slower, but the value streams are bit-identical (the paper's
+    /// semantic-interchangeability claim made operational).
+    FailoverToSoftware {
+        /// FPGA cycles between automatic checkpoints.
+        interval: u64,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Restart-from-checkpoint with the default retry budget (8).
+    pub fn restart(interval: u64) -> RecoveryPolicy {
+        RecoveryPolicy::RestartFromCheckpoint {
+            interval,
+            max_retries: 8,
+        }
+    }
+
+    /// Failover-to-software with the given checkpoint cadence.
+    pub fn failover(interval: u64) -> RecoveryPolicy {
+        RecoveryPolicy::FailoverToSoftware { interval }
+    }
+
+    fn checkpoint_interval(&self) -> Option<u64> {
+        match self {
+            RecoveryPolicy::Fail => None,
+            RecoveryPolicy::RestartFromCheckpoint { interval, .. }
+            | RecoveryPolicy::FailoverToSoftware { interval } => Some(*interval),
+        }
+    }
+}
+
+/// A globally consistent cut of a co-simulation, captured between FPGA
+/// cycles: both partitions' stores, each side's scheduler state, the
+/// transactor's transport state (per-channel sequence/ACK/credit/
+/// retransmission queues), the link (frames in flight *and* the fault
+/// PRNG streams), and the cycle/budget counters.
+///
+/// The cut is consistent because the whole system advances in one
+/// deterministic `step()`: nothing is in the middle of an operation at a
+/// step boundary, so restoring every component to the same boundary
+/// yields a state the uninterrupted system actually passes through.
+/// [`Cosim::restore`] therefore guarantees that a restored run is bit-
+/// and cycle-identical to one that was never interrupted.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    sw: SwSnapshot,
+    hw: Option<HwSnapshot>,
+    transactor: Option<TransactorSnapshot>,
+    link: LinkSnapshot,
+    fpga_cycles: u64,
+    sw_debt: u64,
+    last_progress: u64,
+    last_progress_cycle: u64,
+    hw_alive: bool,
+}
+
+impl Checkpoint {
+    /// The FPGA cycle at which this checkpoint was captured.
+    pub fn fpga_cycles(&self) -> u64 {
+        self.fpga_cycles
     }
 }
 
@@ -95,6 +199,34 @@ pub struct Cosim {
     last_progress: u64,
     /// Cycle of the last observed advance.
     last_progress_cycle: u64,
+    /// The partitioning the cosim was built from (kept for failover).
+    parts: Partitioned,
+    /// Software execution options (kept to rebuild the runner on failover).
+    sw_opts: SwOptions,
+    /// False while the hardware partition is down after a `DieAt` fault.
+    hw_alive: bool,
+    /// True once `FailoverToSoftware` has spliced execution into the
+    /// fused all-software design.
+    failed_over: bool,
+    /// Active recovery policy.
+    policy: RecoveryPolicy,
+    /// Scripted partition faults, copied from the fault config.
+    fault_schedule: Vec<PartitionFault>,
+    /// Which scripted faults have already fired. Deliberately *not* part
+    /// of a checkpoint: a fault is an event in the environment, so
+    /// rewinding the system must not re-arm it (that way a restore
+    /// replays past the fault instead of looping on it).
+    fault_fired: Vec<bool>,
+    /// Last automatic checkpoint taken by the recovery policy.
+    last_ckpt: Option<Checkpoint>,
+    /// Next FPGA cycle at which an automatic checkpoint is due.
+    next_ckpt_at: u64,
+    /// Restores performed so far.
+    retries: u32,
+    /// Faults since the last surviving checkpoint (drives backoff).
+    consecutive_faults: u32,
+    /// Set when recovery gives up; reported as `PartitionLost`.
+    lost_at: Option<u64>,
 }
 
 /// Default stall threshold: far beyond the retransmission backoff cap
@@ -155,10 +287,12 @@ impl Cosim {
                 )));
             }
         }
-        let sw_design = p.partition(sw_domain).cloned().unwrap_or_else(|| Design {
-            name: format!("empty.{sw_domain}"),
-            ..Default::default()
-        });
+        let sw_design = p.partition(sw_domain).cloned().ok_or_else(|| {
+            PlatformError::new(format!(
+                "malformed partitioning: no `{sw_domain}` (software) partition — \
+                 the driver loop must have somewhere to run"
+            ))
+        })?;
         let hw_design = p.partition(hw_domain).cloned();
         let sw = SwRunner::new(&sw_design, sw_opts);
         let hw = match &hw_design {
@@ -176,6 +310,7 @@ impl Cosim {
                     .map_err(|e| PlatformError::new(e.to_string()))?,
             )
         };
+        let fault_schedule = faults.partition.clone();
         Ok(Cosim {
             sw,
             hw,
@@ -190,7 +325,50 @@ impl Cosim {
             stall_threshold: DEFAULT_STALL_THRESHOLD,
             last_progress: 0,
             last_progress_cycle: 0,
+            parts: p.clone(),
+            sw_opts,
+            hw_alive: true,
+            failed_over: false,
+            policy: RecoveryPolicy::Fail,
+            fault_fired: vec![false; fault_schedule.len()],
+            fault_schedule,
+            last_ckpt: None,
+            next_ckpt_at: 0,
+            retries: 0,
+            consecutive_faults: 0,
+            lost_at: None,
         })
+    }
+
+    /// Selects the recovery policy for scripted partition faults. Set it
+    /// before running: policies that restore need an automatic
+    /// checkpoint to exist when the first fault strikes, and the first
+    /// one is taken on the first step after the policy is set.
+    pub fn set_recovery_policy(&mut self, policy: RecoveryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active recovery policy.
+    pub fn recovery_policy(&self) -> RecoveryPolicy {
+        self.policy
+    }
+
+    /// True while the hardware partition is up (always true before any
+    /// `DieAt` fault; false after software failover).
+    pub fn hw_alive(&self) -> bool {
+        self.hw_alive
+    }
+
+    /// True once `FailoverToSoftware` has taken over: the hardware
+    /// partition is gone and the fused all-software design is running.
+    pub fn failed_over(&self) -> bool {
+        self.failed_over
+    }
+
+    /// Pending software work (driver transfers + rule overshoot) not yet
+    /// paid out of the per-cycle CPU budget.
+    pub fn sw_debt(&self) -> u64 {
+        self.sw_debt
     }
 
     /// Overrides the stall threshold (FPGA cycles of no transport
@@ -220,8 +398,8 @@ impl Cosim {
         &self.hw_domain
     }
 
-    /// Locates a source by path, searching both partitions. Returns the
-    /// partition tag (`true` = hardware) and id.
+    /// Locates a primitive by path, searching both partitions. Returns
+    /// the partition tag (`true` = hardware) and id.
     fn locate(&self, path: &str) -> Option<(bool, PrimId)> {
         if let Some(id) = self.sw_design.prim_id(path) {
             return Some((false, id));
@@ -234,40 +412,94 @@ impl Cosim {
         None
     }
 
-    /// Pushes a value into a named `Source`.
+    /// Checks that `path` resolves to a primitive of the kind accepted by
+    /// `want`, in either partition.
+    fn locate_kind(
+        &self,
+        path: &str,
+        want: &str,
+        ok: impl Fn(&PrimSpec) -> bool,
+    ) -> Result<(bool, PrimId), PlatformError> {
+        let (in_hw, id) = self.locate(path).ok_or_else(|| {
+            PlatformError::new(format!("no primitive `{path}` in either partition"))
+        })?;
+        let design = if in_hw {
+            self.hw_design.as_ref().expect("hw prim implies hw design")
+        } else {
+            &self.sw_design
+        };
+        let spec = &design.prim(id).spec;
+        if !ok(spec) {
+            return Err(PlatformError::new(format!(
+                "`{path}` is a {}, not a {want}",
+                spec_kind(spec)
+            )));
+        }
+        Ok((in_hw, id))
+    }
+
+    /// Pushes a value into a named `Source`, reporting failures instead
+    /// of panicking.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the path does not name a source in either partition.
-    pub fn push_source(&mut self, path: &str, v: Value) {
-        let (in_hw, id) = self
-            .locate(path)
-            .unwrap_or_else(|| panic!("no source `{path}`"));
+    /// Returns an error if the path is absent from both partitions or
+    /// names a primitive that is not a `Source`.
+    pub fn try_push_source(&mut self, path: &str, v: Value) -> Result<(), PlatformError> {
+        let (in_hw, id) =
+            self.locate_kind(path, "Source", |s| matches!(s, PrimSpec::Source { .. }))?;
         if in_hw {
             self.hw
                 .as_mut()
-                .expect("hw exists")
+                .expect("hw prim implies hw sim")
                 .store
                 .push_source(id, v);
         } else {
             self.sw.store.push_source(id, v);
         }
+        Ok(())
+    }
+
+    /// Reads the values a named `Sink` has consumed, reporting failures
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the path is absent from both partitions or
+    /// names a primitive that is not a `Sink`.
+    pub fn try_sink_values(&self, path: &str) -> Result<&[Value], PlatformError> {
+        let (in_hw, id) = self.locate_kind(path, "Sink", |s| matches!(s, PrimSpec::Sink { .. }))?;
+        if in_hw {
+            Ok(self
+                .hw
+                .as_ref()
+                .expect("hw prim implies hw sim")
+                .store
+                .sink_values(id))
+        } else {
+            Ok(self.sw.store.sink_values(id))
+        }
+    }
+
+    /// Pushes a value into a named `Source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path does not name a `Source` in either partition;
+    /// use [`Cosim::try_push_source`] for the non-panicking variant.
+    pub fn push_source(&mut self, path: &str, v: Value) {
+        self.try_push_source(path, v)
+            .unwrap_or_else(|e| panic!("{e}"));
     }
 
     /// Reads the values a named `Sink` has consumed.
     ///
     /// # Panics
     ///
-    /// Panics if the path does not name a sink in either partition.
+    /// Panics if the path does not name a `Sink` in either partition;
+    /// use [`Cosim::try_sink_values`] for the non-panicking variant.
     pub fn sink_values(&self, path: &str) -> &[Value] {
-        let (in_hw, id) = self
-            .locate(path)
-            .unwrap_or_else(|| panic!("no sink `{path}`"));
-        if in_hw {
-            self.hw.as_ref().expect("hw exists").store.sink_values(id)
-        } else {
-            self.sw.store.sink_values(id)
-        }
+        self.try_sink_values(path).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Number of values consumed by a sink.
@@ -275,20 +507,243 @@ impl Cosim {
         self.sink_values(path).len()
     }
 
+    /// Captures a globally consistent cut of the whole system at the
+    /// current step boundary (see [`Checkpoint`]). Checkpoints are pure
+    /// observations: taking one does not perturb execution.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            sw: self.sw.snapshot(),
+            hw: self.hw.as_ref().map(HwSim::snapshot),
+            transactor: self.transactor.as_ref().map(Transactor::snapshot),
+            link: self.link.snapshot(),
+            fpga_cycles: self.fpga_cycles,
+            sw_debt: self.sw_debt,
+            last_progress: self.last_progress,
+            last_progress_cycle: self.last_progress_cycle,
+            hw_alive: self.hw_alive,
+        }
+    }
+
+    /// Rewinds the system to a checkpoint. The restored run is bit- and
+    /// cycle-identical to one that was never interrupted: stores,
+    /// scheduler state, transport state, in-flight frames, the fault
+    /// PRNG, and every counter resume from the same consistent cut.
+    /// Scripted partition faults that already fired stay fired — a
+    /// restore replays *past* a fault, it does not re-arm it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint came from a differently shaped system
+    /// (hardware/transactor presence or design topology differs).
+    pub fn restore(&mut self, ckpt: &Checkpoint) {
+        self.sw.restore(&ckpt.sw);
+        match (&mut self.hw, &ckpt.hw) {
+            (Some(hw), Some(snap)) => hw.restore(snap),
+            (None, None) => {}
+            _ => panic!("checkpoint topology mismatch: hardware presence differs"),
+        }
+        match (&mut self.transactor, &ckpt.transactor) {
+            (Some(t), Some(snap)) => t.restore(snap),
+            (None, None) => {}
+            _ => panic!("checkpoint topology mismatch: transactor presence differs"),
+        }
+        self.link.restore(&ckpt.link);
+        self.fpga_cycles = ckpt.fpga_cycles;
+        self.sw_debt = ckpt.sw_debt;
+        self.last_progress = ckpt.last_progress;
+        self.last_progress_cycle = ckpt.last_progress_cycle;
+        self.hw_alive = ckpt.hw_alive;
+    }
+
+    /// Recovery bookkeeping at the top of each step: takes the automatic
+    /// checkpoint when one is due, then fires any scripted partition
+    /// faults scheduled for the current cycle.
+    fn recovery_tick(&mut self) -> ExecResult<()> {
+        if self.hw.is_none() {
+            // All-software from the start, or already failed over:
+            // nothing left to fault.
+            return Ok(());
+        }
+        if let Some(interval) = self.policy.checkpoint_interval() {
+            if self.fpga_cycles >= self.next_ckpt_at {
+                self.last_ckpt = Some(self.checkpoint());
+                self.next_ckpt_at = self.fpga_cycles + interval.max(1);
+                self.consecutive_faults = 0;
+            }
+        }
+        loop {
+            let due = (0..self.fault_schedule.len()).find(|&i| {
+                !self.fault_fired[i] && self.fault_schedule[i].cycle() == self.fpga_cycles
+            });
+            let Some(i) = due else { break };
+            self.fault_fired[i] = true;
+            let fault = self.fault_schedule[i];
+            self.apply_partition_fault(fault)?;
+            if self.failed_over || self.lost_at.is_some() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Models a partition fault: wipes the hardware partition's volatile
+    /// state, the transport protocol state, and the frames on the wire,
+    /// then invokes the recovery policy.
+    fn apply_partition_fault(&mut self, fault: PartitionFault) -> ExecResult<()> {
+        let hw_design = self.hw_design.clone().expect("partition fault implies hw");
+        if let Some(hw) = &mut self.hw {
+            hw.reset_state(&hw_design);
+        }
+        if let Some(t) = &mut self.transactor {
+            t.reset_transport();
+        }
+        self.link.clear_in_flight();
+        if fault.is_fatal() {
+            self.hw_alive = false;
+        }
+        match self.policy {
+            RecoveryPolicy::Fail => Ok(()),
+            RecoveryPolicy::RestartFromCheckpoint {
+                interval,
+                max_retries,
+            } => {
+                let Some(ckpt) = self.last_ckpt.clone() else {
+                    self.lost_at = Some(self.fpga_cycles);
+                    return Ok(());
+                };
+                if self.retries >= max_retries {
+                    self.lost_at = Some(self.fpga_cycles);
+                    return Ok(());
+                }
+                self.retries += 1;
+                self.consecutive_faults += 1;
+                self.restore(&ckpt);
+                // The restored image had the partition up; rebooting from
+                // it brings the hardware back even after a fatal fault.
+                self.hw_alive = true;
+                // Exponential backoff on the checkpoint cadence while
+                // faults keep striking, so a fault storm cannot pin the
+                // run in a checkpoint/restore cycle.
+                let backoff = interval.max(1) << self.consecutive_faults.min(6);
+                self.next_ckpt_at = self.fpga_cycles + backoff;
+                Ok(())
+            }
+            RecoveryPolicy::FailoverToSoftware { .. } => self.failover_to_software(),
+        }
+    }
+
+    /// The store holding a domain's committed state, with the design its
+    /// primitive ids index into.
+    fn domain_side(&self, dom: &str) -> (&Design, &Store) {
+        if dom == self.sw_domain {
+            (&self.sw_design, &self.sw.store)
+        } else {
+            (
+                self.hw_design.as_ref().expect("hw domain implies design"),
+                &self.hw.as_ref().expect("hw domain implies sim").store,
+            )
+        }
+    }
+
+    /// Rebuilds the dead hardware partition's state from the last
+    /// checkpoint plus the channel traffic in transit at the cut, splices
+    /// everything into the fused all-software design, and continues
+    /// software-only.
+    fn failover_to_software(&mut self) -> ExecResult<()> {
+        let Some(ckpt) = self.last_ckpt.take() else {
+            self.lost_at = Some(self.fpga_cycles);
+            return Ok(());
+        };
+        self.restore(&ckpt);
+        let fused =
+            fuse_partitioned(&self.parts).map_err(|e| ExecError::Malformed(e.to_string()))?;
+        let mut store = Store::new(&fused.design);
+
+        // Non-channel primitives: copy each partition's committed state
+        // straight across (both sides come from the restored cut).
+        let channel_ids: std::collections::BTreeSet<usize> =
+            fused.channel_fifos.iter().map(|id| id.0).collect();
+        for (dom, ids) in &fused.prim_map {
+            let (_, src) = self.domain_side(dom);
+            for (local, fid) in ids.iter().enumerate() {
+                if channel_ids.contains(&fid.0) {
+                    continue;
+                }
+                *store.state_mut(*fid) = src.state(PrimId(local)).clone();
+            }
+        }
+
+        // Channel FIFOs: rx-side items are oldest, then whatever was in
+        // transit on the link at the cut, then tx-side items. The merged
+        // FIFO may transiently exceed its nominal depth; that is safe
+        // because synchronizer edges are latency-insensitive — `enq`
+        // blocks until the backlog drains below depth.
+        let in_transit = match &self.transactor {
+            Some(t) => t.in_transit_values(&self.link)?,
+            None => vec![Vec::new(); self.parts.channels.len()],
+        };
+        for (i, spec) in self.parts.channels.iter().enumerate() {
+            let mut items: std::collections::VecDeque<Value> = std::collections::VecDeque::new();
+            let (rx_design, rx_store) = self.domain_side(&spec.to_domain);
+            let rx = rx_design.prim_id(&spec.rx_path).expect("rx half exists");
+            if let PrimState::Fifo { items: q, .. } = rx_store.state(rx) {
+                items.extend(q.iter().cloned());
+            }
+            items.extend(in_transit[i].iter().cloned());
+            let (tx_design, tx_store) = self.domain_side(&spec.from_domain);
+            let tx = tx_design.prim_id(&spec.tx_path).expect("tx half exists");
+            if let PrimState::Fifo { items: q, .. } = tx_store.state(tx) {
+                items.extend(q.iter().cloned());
+            }
+            if let PrimState::Fifo { items: slot, .. } = store.state_mut(fused.channel_fifos[i]) {
+                *slot = items;
+            }
+        }
+
+        // Swap execution onto the fused design, carrying the CPU cost
+        // already accumulated so the cycle accounting stays monotonic.
+        let cost = self.sw.cost;
+        let mut sw = SwRunner::with_store(&fused.design, store, self.sw_opts);
+        sw.cost = cost;
+        self.sw = sw;
+        self.sw_design = fused.design;
+        self.hw = None;
+        self.hw_design = None;
+        self.transactor = None;
+        self.link.clear_in_flight();
+        self.hw_alive = false;
+        self.failed_over = true;
+        self.last_ckpt = None;
+        Ok(())
+    }
+
     /// Advances the system by one FPGA clock cycle.
+    ///
+    /// After a fatal partition fault under [`RecoveryPolicy::Fail`] the
+    /// hardware side no longer executes; after the recovery policy has
+    /// given up (`PartitionLost`) the step is a no-op.
     ///
     /// # Errors
     ///
     /// Propagates dynamic errors from either partition or the transactor.
     pub fn step(&mut self) -> ExecResult<()> {
-        let now = self.fpga_cycles;
-        if let Some(hw) = &mut self.hw {
-            hw.step()?;
+        if self.lost_at.is_some() {
+            return Ok(());
         }
-        if let Some(t) = &mut self.transactor {
-            let hw = self.hw.as_mut().expect("transactor implies hw");
-            let charged = t.pump(&mut self.sw.store, &mut hw.store, &mut self.link, now)?;
-            self.sw_debt += charged;
+        self.recovery_tick()?;
+        if self.lost_at.is_some() {
+            return Ok(());
+        }
+        let now = self.fpga_cycles;
+        if self.hw_alive {
+            if let Some(hw) = &mut self.hw {
+                hw.step()?;
+            }
+            if let Some(t) = &mut self.transactor {
+                let hw = self.hw.as_mut().expect("transactor implies hw");
+                let charged = t.pump(&mut self.sw.store, &mut hw.store, &mut self.link, now)?;
+                self.sw_debt += charged;
+            }
         }
         // Software gets cpu_per_fpga cycles of budget; driver work
         // (sw_debt) is paid first.
@@ -319,8 +774,10 @@ impl Cosim {
         done: impl Fn(&Cosim) -> bool,
         max_cycles: u64,
     ) -> ExecResult<CosimOutcome> {
-        if self.hw.is_none() && self.transactor.is_none() {
-            // Pure software: no cycle-by-cycle interleaving needed.
+        if self.hw.is_none() && self.transactor.is_none() && !self.failed_over {
+            // Pure software: no cycle-by-cycle interleaving needed. (Not
+            // taken after a failover — the splice preserved the FPGA
+            // cycle count, which this path would clobber.)
             let ratio = self.link.config().cpu_per_fpga;
             loop {
                 self.fpga_cycles = self.sw.cpu_cycles().div_ceil(ratio);
@@ -349,6 +806,12 @@ impl Cosim {
                 });
             }
             self.step()?;
+            if let Some(at) = self.lost_at {
+                return Ok(CosimOutcome::PartitionLost {
+                    fpga_cycles: at,
+                    retries: self.retries,
+                });
+            }
             if let Some(stalled) = self.check_stall() {
                 return Ok(stalled);
             }
@@ -364,7 +827,7 @@ impl Cosim {
     /// per-channel diagnostics instead of burning the full cycle budget.
     fn check_stall(&mut self) -> Option<CosimOutcome> {
         let t = self.transactor.as_ref()?;
-        if !self.link.faults_active() {
+        if !self.link.faults_active() && self.fault_schedule.is_empty() {
             return None;
         }
         let progress = t.progress();
@@ -408,6 +871,18 @@ impl Cosim {
             .as_ref()
             .map(|t| t.report())
             .unwrap_or_default()
+    }
+}
+
+/// Human-readable kind of a primitive spec, for error messages.
+fn spec_kind(spec: &PrimSpec) -> &'static str {
+    match spec {
+        PrimSpec::Reg { .. } => "Reg",
+        PrimSpec::Fifo { .. } => "Fifo",
+        PrimSpec::RegFile { .. } => "RegFile",
+        PrimSpec::Sync { .. } => "Sync",
+        PrimSpec::Source { .. } => "Source",
+        PrimSpec::Sink { .. } => "Sink",
     }
 }
 
@@ -649,5 +1124,275 @@ mod tests {
             pricey > cheap,
             "driver cost must slow completion: {pricey} !> {cheap}"
         );
+    }
+
+    #[test]
+    fn missing_sw_partition_is_a_malformed_error() {
+        let d = offload_design(true);
+        let mut p = partition(&d, SW).unwrap();
+        p.partitions.remove(SW);
+        let err = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default())
+            .expect_err("must be rejected, not silently substituted");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("malformed") && msg.contains("software"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn try_accessors_report_errors_instead_of_panicking() {
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let tx_path = p.channels[0].tx_path.clone();
+        let mut cs = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+
+        let err = cs.try_push_source("nope", Value::int(32, 1)).unwrap_err();
+        assert!(err.to_string().contains("no primitive `nope`"));
+        let err = cs.try_sink_values("nope").unwrap_err();
+        assert!(err.to_string().contains("no primitive `nope`"));
+
+        // Wrong kind: a channel FIFO half is not a Source, a Sink is not
+        // a Source, and a Source is not a Sink.
+        let err = cs.try_push_source(&tx_path, Value::int(32, 1)).unwrap_err();
+        assert!(err.to_string().contains("is a Fifo, not a Source"), "{err}");
+        let err = cs.try_push_source("snk", Value::int(32, 1)).unwrap_err();
+        assert!(err.to_string().contains("is a Sink, not a Source"), "{err}");
+        let err = cs.try_sink_values("src").unwrap_err();
+        assert!(err.to_string().contains("is a Source, not a Sink"), "{err}");
+
+        // The happy path still works through the same machinery.
+        cs.try_push_source("src", Value::int(32, 7)).unwrap();
+        assert!(cs.try_sink_values("snk").unwrap().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bit_and_cycle_identical() {
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let mk = || {
+            let mut cs =
+                Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            cs
+        };
+        // Uninterrupted reference run.
+        let mut reference = mk();
+        let ref_out = reference
+            .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+            .unwrap();
+        assert!(ref_out.is_done());
+
+        // Interrupted run: advance, checkpoint, wander off, restore,
+        // finish. Must reproduce the exact cycle count and values.
+        let mut cs = mk();
+        for _ in 0..150 {
+            cs.step().unwrap();
+        }
+        let ckpt = cs.checkpoint();
+        assert_eq!(ckpt.fpga_cycles(), 150);
+        for _ in 0..300 {
+            cs.step().unwrap();
+        }
+        cs.restore(&ckpt);
+        assert_eq!(cs.fpga_cycles, 150);
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+            .unwrap();
+        assert!(out.is_done());
+        assert_eq!(out.fpga_cycles(), ref_out.fpga_cycles());
+        assert_eq!(cs.sink_values("snk"), reference.sink_values("snk"));
+        assert_eq!(cs.link_stats(), reference.link_stats());
+    }
+
+    #[test]
+    fn budget_accounting_survives_restore_exactly() {
+        // Satellite: cpu_cycles and sw_debt must replay exactly across a
+        // restore, under a driver expensive enough to keep debt nonzero.
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let cfg = LinkConfig {
+            sw_word_cost: 400,
+            ..Default::default()
+        };
+        let mut cs = Cosim::new(&p, SW, HW, cfg, SwOptions::default()).unwrap();
+        for i in 0..10 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        for _ in 0..300 {
+            cs.step().unwrap();
+        }
+        let ckpt = cs.checkpoint();
+        let mut trajectory = Vec::new();
+        for _ in 0..200 {
+            cs.step().unwrap();
+            trajectory.push((cs.fpga_cycles, cs.sw_debt(), cs.sw.cpu_cycles()));
+        }
+        assert!(
+            trajectory.iter().any(|&(_, debt, _)| debt > 0),
+            "test must exercise nonzero debt"
+        );
+        cs.restore(&ckpt);
+        let mut replay = Vec::new();
+        for _ in 0..200 {
+            cs.step().unwrap();
+            replay.push((cs.fpga_cycles, cs.sw_debt(), cs.sw.cpu_cycles()));
+        }
+        assert_eq!(trajectory, replay);
+    }
+
+    #[test]
+    fn die_without_recovery_stalls_with_diagnostics() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(200));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_stall_threshold(5_000);
+        for i in 0..8 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 8, 10_000_000)
+            .unwrap();
+        assert!(out.is_stalled(), "expected a stall, got {out:?}");
+        assert!(!cs.hw_alive());
+        assert!(cs.sink_count("snk") < 8, "dead hardware cannot finish");
+    }
+
+    #[test]
+    fn restart_from_checkpoint_is_bit_and_cycle_identical() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let run = |faults: FaultConfig, policy: RecoveryPolicy| {
+            let mut cs = Cosim::with_faults(
+                &p,
+                SW,
+                HW,
+                LinkConfig::default(),
+                faults,
+                SwOptions::default(),
+            )
+            .unwrap();
+            cs.set_recovery_policy(policy);
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == 8, 10_000_000)
+                .unwrap();
+            assert!(out.is_done(), "did not finish: {out:?}");
+            let vals: Vec<i64> = cs
+                .sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            (vals, out.fpga_cycles())
+        };
+        let (clean, clean_cycles) = run(FaultConfig::none(), RecoveryPolicy::Fail);
+        let faults = FaultConfig::none()
+            .with_partition_fault(PartitionFault::ResetAt(120))
+            .with_partition_fault(PartitionFault::DieAt(260));
+        let (vals, cycles) = run(faults, RecoveryPolicy::restart(100));
+        assert_eq!(vals, clean, "restart must hide the faults");
+        assert_eq!(
+            cycles, clean_cycles,
+            "replay past a fired fault converges to the fault-free trajectory"
+        );
+    }
+
+    #[test]
+    fn failover_to_software_preserves_the_value_streams() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let clean: Vec<i64> = {
+            let mut cs =
+                Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            assert!(cs
+                .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+                .unwrap()
+                .is_done());
+            cs.sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect()
+        };
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(180));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        for i in 0..8 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 8, 10_000_000)
+            .unwrap();
+        assert!(out.is_done(), "failover must finish the job: {out:?}");
+        assert!(cs.failed_over());
+        assert!(!cs.hw_alive());
+        assert!(cs.hw.is_none(), "hardware is gone after failover");
+        let vals: Vec<i64> = cs
+            .sink_values("snk")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vals, clean, "software takeover must not change values");
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_partition_lost() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(100));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::RestartFromCheckpoint {
+            interval: 50,
+            max_retries: 0,
+        });
+        cs.push_source("src", Value::int(32, 1));
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 1, 1_000_000)
+            .unwrap();
+        match out {
+            CosimOutcome::PartitionLost {
+                fpga_cycles,
+                retries,
+            } => {
+                assert_eq!(fpga_cycles, 100);
+                assert_eq!(retries, 0);
+            }
+            other => panic!("expected PartitionLost, got {other:?}"),
+        }
     }
 }

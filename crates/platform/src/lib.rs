@@ -14,7 +14,11 @@
 //! * [`cosim`] couples a software partition (cost-modeled interpreter) and
 //!   a hardware partition (cycle-accurate rule simulator) on a common
 //!   FPGA-cycle timeline — the moral equivalent of running the generated
-//!   system on the board.
+//!   system on the board. It can checkpoint the whole system on a
+//!   consistent cut, restore it bit- and cycle-identically, and recover
+//!   from scripted hardware-partition faults by restarting from the last
+//!   checkpoint or failing over to an all-software fused design
+//!   ([`cosim::RecoveryPolicy`]).
 //!
 //! ```
 //! use bcl_core::builder::{dsl::*, ModuleBuilder};
@@ -51,9 +55,12 @@ pub mod link;
 pub mod transactor;
 pub mod wire;
 
-pub use cosim::{Cosim, CosimOutcome};
-pub use link::{Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkStats, Message, ScriptedFault};
-pub use transactor::{ChannelDiag, ChannelReport, Transactor, TransportStats};
+pub use cosim::{Checkpoint, Cosim, CosimOutcome, RecoveryPolicy};
+pub use link::{
+    Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkSnapshot, LinkStats, Message,
+    PartitionFault, ScriptedFault,
+};
+pub use transactor::{ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats};
 
 use std::fmt;
 

@@ -107,6 +107,41 @@ pub enum FaultKind {
     Reorder,
 }
 
+/// A scripted fault against the hardware *partition* itself rather than
+/// the link: the modeled FPGA resets or dies at a given FPGA cycle,
+/// wiping its store and all transport state. The co-simulation applies
+/// these; recovering from them is the job of the recovery policy
+/// (`bcl_platform::cosim::RecoveryPolicy`). Each scripted fault fires at
+/// most once per run — it models an event in the environment, so it is
+/// deliberately *not* part of a checkpoint and does not re-fire when a
+/// recovery policy rewinds the cycle counter past it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionFault {
+    /// At this FPGA cycle the hardware partition resets: its store
+    /// returns to power-on values, the transactors lose their transport
+    /// state, and frames on the wire are discarded — but the partition
+    /// keeps executing from the reset state.
+    ResetAt(u64),
+    /// At this FPGA cycle the hardware partition goes down and stays
+    /// down (no cycles execute, nothing is pumped); only a recovery
+    /// policy can bring the system back.
+    DieAt(u64),
+}
+
+impl PartitionFault {
+    /// The FPGA cycle at which the fault strikes.
+    pub fn cycle(&self) -> u64 {
+        match self {
+            PartitionFault::ResetAt(c) | PartitionFault::DieAt(c) => *c,
+        }
+    }
+
+    /// True if the partition stays down after the fault.
+    pub fn is_fatal(&self) -> bool {
+        matches!(self, PartitionFault::DieAt(_))
+    }
+}
+
 /// A scripted fault: deterministically applied to the `nth` (0-based)
 /// frame sent in direction `dir`, regardless of the random rates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -143,6 +178,11 @@ pub struct FaultConfig {
     pub reorder: [f64; 2],
     /// Targeted faults applied on top of the random rates.
     pub script: Vec<ScriptedFault>,
+    /// Scripted faults against the hardware partition itself (resets and
+    /// deaths). These do not affect the link's frame-level fault schedule
+    /// and do not disable the transactor's fast path on an otherwise
+    /// perfect link.
+    pub partition: Vec<PartitionFault>,
 }
 
 impl FaultConfig {
@@ -155,6 +195,7 @@ impl FaultConfig {
             duplicate: [0.0; 2],
             reorder: [0.0; 2],
             script: Vec::new(),
+            partition: Vec::new(),
         }
     }
 
@@ -173,6 +214,7 @@ impl FaultConfig {
             duplicate: [duplicate; 2],
             reorder: [reorder; 2],
             script: Vec::new(),
+            partition: Vec::new(),
         }
     }
 
@@ -182,8 +224,21 @@ impl FaultConfig {
         self
     }
 
-    /// True if any fault can ever fire. When false, the transactor runs
-    /// its unframed fast path and behaves exactly like the seed model.
+    /// Adds a scripted hardware-partition fault (builder style).
+    pub fn with_partition_fault(mut self, f: PartitionFault) -> FaultConfig {
+        self.partition.push(f);
+        self
+    }
+
+    /// True if any partition-level fault (reset/death) is scripted.
+    pub fn has_partition_faults(&self) -> bool {
+        !self.partition.is_empty()
+    }
+
+    /// True if any *link-level* fault can ever fire. When false, the
+    /// transactor runs its unframed fast path and behaves exactly like
+    /// the seed model — partition faults alone do not disable the fast
+    /// path, since they do not touch frames on the wire.
     pub fn is_active(&self) -> bool {
         !self.script.is_empty()
             || self
@@ -244,7 +299,7 @@ impl FaultRng {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Direction {
     /// When the serializer is next free (FPGA cycle).
     busy_until: u64,
@@ -327,6 +382,15 @@ impl LinkStats {
             + self.reordered_to_hw
             + self.reordered_to_sw
     }
+}
+
+/// The complete mutable state of a [`Link`]: both directions'
+/// serializer clocks, in-flight frames, statistics, and — crucially —
+/// the fault PRNG streams, so a restored run replays the exact same
+/// fault schedule it would have seen uninterrupted.
+#[derive(Debug, Clone)]
+pub struct LinkSnapshot {
+    dirs: [Direction; 2],
 }
 
 /// The modeled physical link.
@@ -479,6 +543,37 @@ impl Link {
     /// Number of messages still in flight in a direction.
     pub fn in_flight(&self, dir: Dir) -> usize {
         self.dirs[dir.idx()].in_flight.len()
+    }
+
+    /// The messages currently in flight in a direction, in delivery
+    /// order. The software-failover path uses this to recover in-transit
+    /// values from a fault-free (unframed) link.
+    pub fn in_flight_messages(&self, dir: Dir) -> impl Iterator<Item = &Message> {
+        self.dirs[dir.idx()].in_flight.iter().map(|(_, m)| m)
+    }
+
+    /// Captures the link's complete mutable state for a later
+    /// [`Link::restore`].
+    pub fn snapshot(&self) -> LinkSnapshot {
+        LinkSnapshot {
+            dirs: self.dirs.clone(),
+        }
+    }
+
+    /// Rewinds the link to a previously captured snapshot: in-flight
+    /// frames, serializer occupancy, statistics, and the fault PRNG
+    /// streams all return to the capture instant.
+    pub fn restore(&mut self, snap: &LinkSnapshot) {
+        self.dirs.clone_from(&snap.dirs);
+    }
+
+    /// Discards every frame currently on the wire in both directions, as
+    /// a partition reset does (the DMA session is severed). Serializer
+    /// timing, statistics, and the fault PRNG streams are untouched.
+    pub fn clear_in_flight(&mut self) {
+        for d in &mut self.dirs {
+            d.in_flight.clear();
+        }
     }
 
     /// Traffic totals.
@@ -661,6 +756,52 @@ mod tests {
         }
         assert_eq!(a.stats(), b.stats());
         assert!(!b.faults_active());
+    }
+
+    #[test]
+    fn snapshot_restore_replays_faults_and_deliveries() {
+        let faults = FaultConfig::uniform(7, 0.3, 0.2, 0.1, 0.1);
+        let mut l = Link::with_faults(LinkConfig::default(), faults);
+        for i in 0..50 {
+            l.send(Dir::SwToHw, msg(i % 3, 1), i as u64);
+        }
+        let snap = l.snapshot();
+        let run = |l: &mut Link| {
+            for i in 50..100 {
+                l.send(Dir::SwToHw, msg(i % 3, 1), i as u64);
+            }
+            (l.deliveries(Dir::SwToHw, 1_000_000), l.stats())
+        };
+        let first = run(&mut l);
+        l.restore(&snap);
+        let second = run(&mut l);
+        assert_eq!(first, second, "PRNG and wire state must rewind exactly");
+    }
+
+    #[test]
+    fn partition_faults_do_not_disable_fast_path() {
+        let f = FaultConfig::none().with_partition_fault(PartitionFault::ResetAt(100));
+        assert!(f.has_partition_faults());
+        assert!(!f.is_active(), "link-level faults stay off");
+        assert_eq!(PartitionFault::ResetAt(100).cycle(), 100);
+        assert!(!PartitionFault::ResetAt(100).is_fatal());
+        assert!(PartitionFault::DieAt(5).is_fatal());
+        let l = Link::with_faults(LinkConfig::default(), f);
+        assert!(!l.faults_active());
+    }
+
+    #[test]
+    fn clear_in_flight_drops_the_wire_only() {
+        let mut l = Link::new(LinkConfig::default());
+        l.send(Dir::SwToHw, msg(0, 1), 0);
+        l.send(Dir::HwToSw, msg(1, 1), 0);
+        assert_eq!(l.in_flight(Dir::SwToHw), 1);
+        l.clear_in_flight();
+        assert_eq!(l.in_flight(Dir::SwToHw), 0);
+        assert_eq!(l.in_flight(Dir::HwToSw), 0);
+        let s = l.stats();
+        assert_eq!(s.msgs_to_hw, 1, "statistics survive the wipe");
+        assert_eq!(s.msgs_to_sw, 1);
     }
 
     #[test]

@@ -192,6 +192,40 @@ impl std::fmt::Display for ChannelDiag {
     }
 }
 
+/// The mutable transport state of one channel, as captured by
+/// [`Transactor::snapshot`].
+#[derive(Debug, Clone)]
+struct ChannelSnap {
+    in_flight: usize,
+    sent: u64,
+    next_seq: u32,
+    acked: u32,
+    accepted: u32,
+    ack_dirty: bool,
+    last_ack_tx: u64,
+    unacked: VecDeque<(u32, Vec<u32>)>,
+    oldest_sent_at: u64,
+    rto: u64,
+    retransmits: u64,
+    delivered: u64,
+    dup_suppressed: u64,
+    out_of_order_dropped: u64,
+    acks_sent: u64,
+}
+
+/// Everything mutable in a [`Transactor`]: per-channel sequence, ACK,
+/// credit, and retransmission state, the arbitration cursors, the
+/// transport statistics, and the progress counter. Restoring makes the
+/// transport resume bit-identically from the capture instant.
+#[derive(Debug, Clone)]
+pub struct TransactorSnapshot {
+    channels: Vec<ChannelSnap>,
+    rr: usize,
+    ack_rr: usize,
+    stats: TransportStats,
+    progress: u64,
+}
+
 /// Moves values between a software-partition store and a
 /// hardware-partition store across a [`Link`].
 #[derive(Debug)]
@@ -774,6 +808,135 @@ impl Transactor {
         })
     }
 
+    /// Captures the transactor's complete mutable state for a later
+    /// [`Transactor::restore`].
+    pub fn snapshot(&self) -> TransactorSnapshot {
+        TransactorSnapshot {
+            channels: self
+                .channels
+                .iter()
+                .map(|ch| ChannelSnap {
+                    in_flight: ch.in_flight,
+                    sent: ch.sent,
+                    next_seq: ch.next_seq,
+                    acked: ch.acked,
+                    accepted: ch.accepted,
+                    ack_dirty: ch.ack_dirty,
+                    last_ack_tx: ch.last_ack_tx,
+                    unacked: ch.unacked.clone(),
+                    oldest_sent_at: ch.oldest_sent_at,
+                    rto: ch.rto,
+                    retransmits: ch.retransmits,
+                    delivered: ch.delivered,
+                    dup_suppressed: ch.dup_suppressed,
+                    out_of_order_dropped: ch.out_of_order_dropped,
+                    acks_sent: ch.acks_sent,
+                })
+                .collect(),
+            rr: self.rr,
+            ack_rr: self.ack_rr,
+            stats: self.stats,
+            progress: self.progress,
+        }
+    }
+
+    /// Rewinds the transport to a previously captured snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot came from a transactor with a different
+    /// channel table.
+    pub fn restore(&mut self, snap: &TransactorSnapshot) {
+        assert_eq!(
+            self.channels.len(),
+            snap.channels.len(),
+            "snapshot from a different channel table"
+        );
+        for (ch, s) in self.channels.iter_mut().zip(&snap.channels) {
+            ch.in_flight = s.in_flight;
+            ch.sent = s.sent;
+            ch.next_seq = s.next_seq;
+            ch.acked = s.acked;
+            ch.accepted = s.accepted;
+            ch.ack_dirty = s.ack_dirty;
+            ch.last_ack_tx = s.last_ack_tx;
+            ch.unacked.clone_from(&s.unacked);
+            ch.oldest_sent_at = s.oldest_sent_at;
+            ch.rto = s.rto;
+            ch.retransmits = s.retransmits;
+            ch.delivered = s.delivered;
+            ch.dup_suppressed = s.dup_suppressed;
+            ch.out_of_order_dropped = s.out_of_order_dropped;
+            ch.acks_sent = s.acks_sent;
+        }
+        self.rr = snap.rr;
+        self.ack_rr = snap.ack_rr;
+        self.stats = snap.stats;
+        self.progress = snap.progress;
+    }
+
+    /// Wipes all per-channel transport state back to power-on, as a
+    /// partition reset does to the generated interface logic on both
+    /// sides of the severed link: sequence numbers, ACK state, reserved
+    /// credits, and retransmission queues are all lost. The cumulative
+    /// statistics and progress counter survive — they belong to the
+    /// observer, not the hardware.
+    pub fn reset_transport(&mut self) {
+        for ch in &mut self.channels {
+            ch.in_flight = 0;
+            ch.next_seq = 1;
+            ch.acked = 0;
+            ch.accepted = 0;
+            ch.ack_dirty = false;
+            ch.last_ack_tx = 0;
+            ch.unacked.clear();
+            ch.oldest_sent_at = 0;
+            ch.rto = 0;
+        }
+        self.rr = 0;
+        self.ack_rr = 0;
+    }
+
+    /// For the software-failover path: per channel (index-aligned with
+    /// the channel table), the values that were sent but not yet accepted
+    /// by the receiver at this instant, oldest first. On a reliable
+    /// (faulty) link these are decoded from the retransmission queues,
+    /// counting only sequences beyond the receiver's cumulative accept
+    /// point (an un-ACKed but already-delivered frame must not be counted
+    /// twice). On a perfect link they are read off the wire directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates demarshaling errors (indicates a corrupted queue, which
+    /// the CRC layer rules out).
+    pub fn in_transit_values(&self, link: &Link) -> ExecResult<Vec<Vec<Value>>> {
+        let mut out: Vec<Vec<Value>> = self.channels.iter().map(|_| Vec::new()).collect();
+        if link.faults_active() {
+            for (i, ch) in self.channels.iter().enumerate() {
+                for (seq, payload) in &ch.unacked {
+                    let ahead = seq.wrapping_sub(ch.accepted);
+                    if ahead == 0 || ahead > u32::MAX / 2 {
+                        continue; // already accepted, ACK still in flight
+                    }
+                    out[i].push(Value::from_words(&ch.ty, payload)?);
+                }
+            }
+        } else {
+            for dir in [Dir::SwToHw, Dir::HwToSw] {
+                for msg in link.in_flight_messages(dir) {
+                    let Some(ch) = self.channels.get(msg.channel) else {
+                        continue;
+                    };
+                    if ch.dir != dir {
+                        continue;
+                    }
+                    out[msg.channel].push(Value::from_words(&ch.ty, &msg.words)?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
     /// Per-channel summaries.
     pub fn report(&self) -> Vec<ChannelReport> {
         self.channels
@@ -997,6 +1160,94 @@ mod tests {
         // (depth 2 per ~51-cycle round trip ≈ 150 messages in 4000
         // cycles), unaffected by `a`'s stall.
         assert!(b_received > 100, "b made only {b_received} deliveries");
+    }
+
+    #[test]
+    fn in_transit_values_reads_the_wire_on_a_perfect_link() {
+        let (swd, hwd, specs) = setup(4);
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let tx = swd.prim_id("c.tx").unwrap();
+        for v in [10, 20] {
+            sw.state_mut(tx)
+                .call_action(PrimMethod::Enq, &[Value::int(32, v)])
+                .unwrap();
+        }
+        t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
+        let vals = t.in_transit_values(&link).unwrap();
+        assert_eq!(vals.len(), 1);
+        assert_eq!(vals[0], vec![Value::int(32, 10), Value::int(32, 20)]);
+        // After delivery nothing is in transit.
+        t.pump(&mut sw, &mut hw, &mut link, 1000).unwrap();
+        assert!(t.in_transit_values(&link).unwrap()[0].is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_reliable_transport_exactly() {
+        use crate::link::FaultConfig;
+        let (swd, hwd, specs) = setup(4);
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::with_faults(
+            LinkConfig::default(),
+            FaultConfig::uniform(3, 0.25, 0.1, 0.1, 0.1),
+        );
+        let tx = swd.prim_id("c.tx").unwrap();
+        let rx = hwd.prim_id("c.rx").unwrap();
+        let mut fed = 0i64;
+        for now in 0..400u64 {
+            if Transactor::fifo_len(&sw, tx) < 4 {
+                sw.state_mut(tx)
+                    .call_action(PrimMethod::Enq, &[Value::int(32, fed)])
+                    .unwrap();
+                fed += 1;
+            }
+            t.pump(&mut sw, &mut hw, &mut link, now).unwrap();
+        }
+        let (snap_t, snap_l) = (t.snapshot(), link.snapshot());
+        let (snap_sw, snap_hw) = (sw.snapshot(), hw.snapshot());
+        let run = |t: &mut Transactor, link: &mut Link, sw: &mut Store, hw: &mut Store| {
+            let mut got = Vec::new();
+            for now in 400..2000u64 {
+                t.pump(sw, hw, link, now).unwrap();
+                while Transactor::fifo_len(hw, rx) > 0 {
+                    got.push(hw.state(rx).call_value(PrimMethod::First, &[]).unwrap());
+                    hw.state_mut(rx).call_action(PrimMethod::Deq, &[]).unwrap();
+                }
+            }
+            (got, t.progress(), t.transport_stats())
+        };
+        let first = run(&mut t, &mut link, &mut sw, &mut hw);
+        t.restore(&snap_t);
+        link.restore(&snap_l);
+        sw.restore(&snap_sw);
+        hw.restore(&snap_hw);
+        let second = run(&mut t, &mut link, &mut sw, &mut hw);
+        assert_eq!(first, second, "restored transport must replay exactly");
+    }
+
+    #[test]
+    fn reset_transport_wipes_protocol_state_keeps_stats() {
+        let (swd, hwd, specs) = setup(2);
+        let mut t = Transactor::new(&specs, "SW", &swd, "HW", &hwd).unwrap();
+        let mut sw = Store::new(&swd);
+        let mut hw = Store::new(&hwd);
+        let mut link = Link::new(LinkConfig::default());
+        let tx = swd.prim_id("c.tx").unwrap();
+        sw.state_mut(tx)
+            .call_action(PrimMethod::Enq, &[Value::int(32, 1)])
+            .unwrap();
+        t.pump(&mut sw, &mut hw, &mut link, 0).unwrap();
+        assert!(t.pending_work(&sw, &hw), "a credit is reserved");
+        let delivered_before = t.report()[0].messages;
+        t.reset_transport();
+        assert!(!t.pending_work(&sw, &hw), "reserved credits wiped");
+        assert_eq!(t.report()[0].messages, delivered_before, "stats survive");
+        let d = t.diagnostics(&sw, &hw);
+        assert_eq!((d[0].next_seq, d[0].acked, d[0].accepted), (1, 0, 0));
     }
 
     #[test]

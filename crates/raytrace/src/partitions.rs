@@ -20,7 +20,7 @@ use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
 use bcl_core::value::Value;
-use bcl_platform::cosim::Cosim;
+use bcl_platform::cosim::{Cosim, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
 
@@ -146,6 +146,25 @@ pub fn run_partition_with_faults(
     height: usize,
     faults: FaultConfig,
 ) -> Result<RtRun, PlatformError> {
+    run_partition_with_recovery(which, bvh, width, height, faults, RecoveryPolicy::Fail)
+}
+
+/// Runs one partition with a fault model and a recovery policy for
+/// scripted hardware-partition faults (checkpoint restart or software
+/// failover); the rendered image stays bit-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`], plus partition loss when the
+/// policy gives up.
+pub fn run_partition_with_recovery(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+) -> Result<RtRun, PlatformError> {
     let cfg = which.config(width, height);
     let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
@@ -153,8 +172,9 @@ pub fn run_partition_with_faults(
         strategy: Strategy::Dataflow,
         ..Default::default()
     };
-    let faulty = faults.is_active();
+    let faulty = faults.is_active() || faults.has_partition_faults();
     let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
+    cosim.set_recovery_policy(policy);
     let rays = width * height;
     for p in 0..rays as i64 {
         cosim.push_source("pixSrc", Value::int(32, p));
@@ -168,9 +188,8 @@ pub fn run_partition_with_faults(
         .map_err(|e| PlatformError::new(e.to_string()))?;
     if !outcome.is_done() {
         return Err(PlatformError::new(format!(
-            "partition {} timed out after {} cycles with {}/{} pixels",
+            "partition {} did not finish ({outcome:?}) with {}/{} pixels",
             which.label(),
-            outcome.fpga_cycles(),
             cosim.sink_count("bitmap"),
             rays
         )));
@@ -228,6 +247,35 @@ mod tests {
         assert!(c < a, "C ({c}) must beat full software ({a})");
         assert!(b > a, "B ({b}) must lose to full software ({a})");
         assert!(d > a, "D ({d}) must lose to full software ({a})");
+    }
+
+    #[test]
+    fn partition_faults_recover_to_identical_image() {
+        use bcl_platform::link::PartitionFault;
+        let scene = make_scene(16, 2);
+        let bvh = build_bvh(&scene);
+        let clean = run_partition(RtPartition::C, &bvh, 2, 2).unwrap();
+        let restart = run_partition_with_recovery(
+            RtPartition::C,
+            &bvh,
+            2,
+            2,
+            FaultConfig::none().with_partition_fault(PartitionFault::ResetAt(2_000)),
+            RecoveryPolicy::restart(1_000),
+        )
+        .unwrap();
+        assert_eq!(restart.image, clean.image);
+        assert_eq!(restart.fpga_cycles, clean.fpga_cycles);
+        let failover = run_partition_with_recovery(
+            RtPartition::C,
+            &bvh,
+            2,
+            2,
+            FaultConfig::none().with_partition_fault(PartitionFault::DieAt(2_000)),
+            RecoveryPolicy::failover(1_000),
+        )
+        .unwrap();
+        assert_eq!(failover.image, clean.image);
     }
 
     #[test]

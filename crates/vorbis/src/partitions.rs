@@ -19,7 +19,7 @@ use crate::bcl::{build_design, frame_value, pcm_of_values, BackendOptions, Vorbi
 use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
-use bcl_platform::cosim::Cosim;
+use bcl_platform::cosim::{Cosim, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
 
@@ -154,6 +154,25 @@ pub fn run_partition_with_faults(
     frames: &[Vec<i64>],
     faults: FaultConfig,
 ) -> Result<VorbisRun, PlatformError> {
+    run_partition_with_recovery(which, frames, faults, RecoveryPolicy::Fail)
+}
+
+/// Runs a partition with both a fault model and a recovery policy for
+/// scripted hardware-partition faults: restart-from-checkpoint replays to
+/// the exact fault-free trajectory, failover-to-software finishes the
+/// stream on the fused all-software design. Either way the decoded PCM is
+/// bit-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`], plus partition loss when the
+/// policy gives up.
+pub fn run_partition_with_recovery(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+) -> Result<VorbisRun, PlatformError> {
     let opts = BackendOptions {
         domains: which.domains(),
         ..Default::default()
@@ -164,8 +183,9 @@ pub fn run_partition_with_faults(
         strategy: Strategy::Dataflow,
         ..Default::default()
     };
-    let faulty = faults.is_active();
+    let faulty = faults.is_active() || faults.has_partition_faults();
     let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
+    cosim.set_recovery_policy(policy);
     for f in frames {
         cosim.push_source("src", frame_value(f));
     }
@@ -181,9 +201,8 @@ pub fn run_partition_with_faults(
         .map_err(|e| PlatformError::new(e.to_string()))?;
     if !outcome.is_done() {
         return Err(PlatformError::new(format!(
-            "partition {} timed out after {} cycles with {}/{} frames",
+            "partition {} did not finish ({outcome:?}) with {}/{} frames",
             which.label(),
-            outcome.fpga_cycles(),
             cosim.sink_count("audioDev"),
             want
         )));
@@ -213,6 +232,34 @@ mod tests {
             assert_eq!(run.pcm, expected, "partition {} output mismatch", p.label());
             assert!(run.fpga_cycles > 0);
         }
+    }
+
+    #[test]
+    fn partition_faults_recover_to_identical_pcm() {
+        use bcl_platform::link::PartitionFault;
+        let frames = frame_stream(2, 21);
+        let clean = run_partition(VorbisPartition::E, &frames).unwrap();
+        // Mid-decode reset, restart from checkpoint: identical PCM *and*
+        // identical end-to-end time (the replay converges to the
+        // fault-free trajectory).
+        let restart = run_partition_with_recovery(
+            VorbisPartition::E,
+            &frames,
+            FaultConfig::none().with_partition_fault(PartitionFault::ResetAt(5_000)),
+            RecoveryPolicy::restart(2_000),
+        )
+        .unwrap();
+        assert_eq!(restart.pcm, clean.pcm);
+        assert_eq!(restart.fpga_cycles, clean.fpga_cycles);
+        // Mid-decode death, software takeover: identical PCM, slower.
+        let failover = run_partition_with_recovery(
+            VorbisPartition::E,
+            &frames,
+            FaultConfig::none().with_partition_fault(PartitionFault::DieAt(5_000)),
+            RecoveryPolicy::failover(2_000),
+        )
+        .unwrap();
+        assert_eq!(failover.pcm, clean.pcm);
     }
 
     #[test]

@@ -16,10 +16,12 @@ use bcl_core::program::Program;
 use bcl_core::sched::SwOptions;
 use bcl_core::types::Type;
 use bcl_core::value::Value;
-use bcl_platform::cosim::{Cosim, CosimOutcome};
-use bcl_platform::link::{FaultConfig, LinkConfig};
+use bcl_platform::cosim::{Cosim, CosimOutcome, RecoveryPolicy};
+use bcl_platform::link::{FaultConfig, LinkConfig, PartitionFault};
 use bcl_vorbis::frames::frame_stream;
-use bcl_vorbis::partitions::{run_partition, run_partition_with_faults, VorbisPartition};
+use bcl_vorbis::partitions::{
+    run_partition, run_partition_with_faults, run_partition_with_recovery, VorbisPartition,
+};
 use proptest::prelude::*;
 
 /// src(SW) -> toHw -> echo(HW) -> toSw -> snk(SW): the simplest design
@@ -66,6 +68,63 @@ fn run_echo(faults: FaultConfig, inputs: &[i64]) -> (Vec<i64>, u64) {
     (vals, out.fpga_cycles())
 }
 
+/// Runs the Echo cosim under link faults *and* a scripted partition-fault
+/// schedule, recovering with `policy`. Panics unless the run completes.
+fn run_echo_recovery(
+    mut faults: FaultConfig,
+    schedule: &[PartitionFault],
+    policy: RecoveryPolicy,
+    inputs: &[i64],
+) -> (Vec<i64>, u64) {
+    for &f in schedule {
+        faults = faults.with_partition_fault(f);
+    }
+    let parts = partition(&echo_design(), SW).unwrap();
+    let mut cs = Cosim::with_faults(
+        &parts,
+        SW,
+        HW,
+        LinkConfig::default(),
+        faults,
+        SwOptions::default(),
+    )
+    .unwrap();
+    cs.set_recovery_policy(policy);
+    for &i in inputs {
+        cs.push_source("src", Value::int(32, i));
+    }
+    let want = inputs.len();
+    let out = cs
+        .run_until(|c| c.sink_count("snk") == want, 10_000_000)
+        .unwrap();
+    assert!(out.is_done(), "echo did not recover: {out:?}");
+    let vals = cs
+        .sink_values("snk")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    (vals, out.fpga_cycles())
+}
+
+/// A scripted partition-fault schedule: up to three resets/deaths with
+/// strike cycles drawn from `cycles` (early enough to land mid-run —
+/// faults scheduled after completion never fire).
+fn arb_partition_schedule(
+    cycles: std::ops::Range<u64>,
+) -> impl Strategy<Value = Vec<PartitionFault>> {
+    proptest::collection::vec((any::<bool>(), cycles), 0..=3).prop_map(|v| {
+        v.into_iter()
+            .map(|(fatal, cycle)| {
+                if fatal {
+                    PartitionFault::DieAt(cycle)
+                } else {
+                    PartitionFault::ResetAt(cycle)
+                }
+            })
+            .collect()
+    })
+}
+
 /// A fault schedule with every rate drawn from [0, 0.5].
 fn arb_faults() -> impl Strategy<Value = FaultConfig> {
     (any::<u64>(), 0u32..=50, 0u32..=50, 0u32..=50, 0u32..=50).prop_map(
@@ -101,6 +160,84 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn echo_recovers_from_any_partition_fault_schedule(
+        faults in arb_faults(),
+        schedule in arb_partition_schedule(1..500u64),
+        interval in 50u64..400,
+        inputs in proptest::collection::vec(-1000i64..1000, 1..12),
+    ) {
+        // Baseline: same link faults, no partition faults. The reliable
+        // transport already makes this bit-identical to the input.
+        let (clean, clean_cycles) = run_echo(faults.clone(), &inputs);
+        // Restart-from-checkpoint: any schedule of resets and deaths is
+        // invisible in the output *and* in the cycle count — the replay
+        // past each fired fault converges to the undisturbed trajectory
+        // (the link fault PRNG is part of the checkpoint, so even random
+        // link faults replay identically).
+        let (restarted, cycles) = run_echo_recovery(
+            faults.clone(),
+            &schedule,
+            RecoveryPolicy::restart(interval),
+            &inputs,
+        );
+        prop_assert_eq!(&restarted, &clean, "restart leaked the faults");
+        prop_assert_eq!(cycles, clean_cycles, "restart replay must be cycle-identical");
+        // Software takeover: values still bit-identical (the fused design
+        // is semantically interchangeable); timing may differ.
+        let (failed_over, _) = run_echo_recovery(
+            faults,
+            &schedule,
+            RecoveryPolicy::failover(interval),
+            &inputs,
+        );
+        prop_assert_eq!(&failed_over, &clean, "failover changed the values");
+    }
+}
+
+#[test]
+fn no_fault_checkpoint_restore_reproduces_the_run_exactly() {
+    // Acceptance criterion: a checkpoint/restore round trip with no
+    // faults at all reproduces the exact fault-free cycle count.
+    let inputs: Vec<i64> = (0..10).collect();
+    let (clean, clean_cycles) = run_echo(FaultConfig::none(), &inputs);
+    let parts = partition(&echo_design(), SW).unwrap();
+    let mut cs = Cosim::with_faults(
+        &parts,
+        SW,
+        HW,
+        LinkConfig::default(),
+        FaultConfig::none(),
+        SwOptions::default(),
+    )
+    .unwrap();
+    for &i in &inputs {
+        cs.push_source("src", Value::int(32, i));
+    }
+    for _ in 0..120 {
+        cs.step().unwrap();
+    }
+    let ckpt = cs.checkpoint();
+    for _ in 0..200 {
+        cs.step().unwrap(); // wander ahead, then rewind
+    }
+    cs.restore(&ckpt);
+    let out = cs
+        .run_until(|c| c.sink_count("snk") == inputs.len(), 10_000_000)
+        .unwrap();
+    assert!(out.is_done(), "restored echo did not complete: {out:?}");
+    assert_eq!(out.fpga_cycles(), clean_cycles, "cycle count must be exact");
+    let vals: Vec<i64> = cs
+        .sink_values("snk")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(vals, clean);
+}
+
+proptest! {
     // The app smoke test is heavier, so fewer cases.
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
@@ -116,6 +253,40 @@ proptest! {
         let again = run_partition_with_faults(VorbisPartition::E, &frames, faults).unwrap();
         prop_assert_eq!(faulty.fpga_cycles, again.fpga_cycles, "cycles must reproduce");
         prop_assert_eq!(faulty.link, again.link, "fault tally must reproduce");
+    }
+}
+
+proptest! {
+    // Heavier still: each case decodes the stream three times.
+    #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vorbis_recovers_from_partition_faults(
+        schedule in arb_partition_schedule(1..30_000u64),
+        interval in 2_000u64..8_000,
+    ) {
+        let frames = frame_stream(2, 11);
+        let clean = run_partition(VorbisPartition::E, &frames).unwrap();
+        let faults = |s: &[PartitionFault]| {
+            s.iter().fold(FaultConfig::none(), |f, &p| f.with_partition_fault(p))
+        };
+        let restart = run_partition_with_recovery(
+            VorbisPartition::E,
+            &frames,
+            faults(&schedule),
+            RecoveryPolicy::restart(interval),
+        )
+        .unwrap();
+        prop_assert_eq!(&restart.pcm, &clean.pcm, "restart leaked into the PCM");
+        prop_assert_eq!(restart.fpga_cycles, clean.fpga_cycles, "restart must be cycle-identical");
+        let failover = run_partition_with_recovery(
+            VorbisPartition::E,
+            &frames,
+            faults(&schedule),
+            RecoveryPolicy::failover(interval),
+        )
+        .unwrap();
+        prop_assert_eq!(&failover.pcm, &clean.pcm, "failover changed the PCM");
     }
 }
 
