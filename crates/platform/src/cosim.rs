@@ -1,23 +1,36 @@
 //! HW/SW co-simulation: the full generated system of Figure 6 running on
-//! the modeled platform of Figure 11.
+//! the modeled platform of Figure 11, generalized to N accelerators.
 //!
-//! A [`Cosim`] couples one software partition (executed by
-//! [`SwRunner`] under the CPU cost model, at 400 MHz) with one hardware
-//! partition (executed cycle-accurately by [`HwSim`] at 100 MHz) through
-//! the generated [`Transactor`] over a [`Link`]. Time advances in FPGA
-//! cycles; the software side receives `cpu_per_fpga` CPU cycles of budget
-//! per FPGA cycle, from which driver marshaling work is deducted before
+//! A [`Cosim`] couples one software partition (executed by [`SwRunner`]
+//! under the CPU cost model, at 400 MHz) with any number of hardware
+//! partitions, each executed cycle-accurately by its own [`HwSim`] and
+//! coupled through its own generated [`Transactor`] over its own
+//! [`Link`] — per-partition clock ratio, fault schedule, transport
+//! state, and stall detector included. Time advances in FPGA cycles;
+//! the software side receives `cpu_per_fpga` CPU cycles of budget per
+//! FPGA cycle, from which driver marshaling work is deducted before
 //! rule execution — moving data is not free for the processor.
+//!
+//! Channels between two *hardware* partitions are routed per
+//! [`InterHwRouting`]: through the software hub (two link hops with the
+//! CPU paying marshaling on both — the paper's bus-attached platform),
+//! or directly over a shared fabric link that never touches the CPU.
+//!
+//! The paper's semantic-interchangeability claim survives the
+//! generalization: any assignment of modules to domains yields the same
+//! value streams, with only the compute/communication ratio changing.
+//! The equivalence test harness (`tests/partition_equivalence.rs`) pins
+//! this over randomized partitionings.
 
 use crate::link::{FaultConfig, Link, LinkConfig, LinkSnapshot, LinkStats, PartitionFault};
 use crate::transactor::{
     ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats,
 };
 use crate::PlatformError;
-use bcl_core::ast::PrimId;
-use bcl_core::design::Design;
+use bcl_core::ast::{Path, PrimId};
+use bcl_core::design::{Design, PrimDef};
 use bcl_core::error::{ExecError, ExecResult};
-use bcl_core::partition::{fuse_partitioned, Partitioned};
+use bcl_core::partition::{fuse_domains, ChannelSpec, Partitioned};
 use bcl_core::prim::{PrimSpec, PrimState};
 use bcl_core::sched::{HwSim, HwSnapshot, SwOptions, SwRunner, SwSnapshot};
 use bcl_core::store::Store;
@@ -45,8 +58,8 @@ pub enum CosimOutcome {
     Stalled {
         /// Total FPGA cycles elapsed.
         fpga_cycles: u64,
-        /// Per-channel sequence/credit snapshots at the moment the stall
-        /// was declared.
+        /// Per-channel sequence/credit snapshots (of the stalled
+        /// partition's transactor) at the moment the stall was declared.
         channels: Vec<ChannelDiag>,
     },
     /// A hardware-partition fault struck and the recovery policy gave up:
@@ -83,22 +96,26 @@ impl CosimOutcome {
     }
 }
 
-/// What a [`Cosim`] does when a scripted [`PartitionFault`] wipes the
+/// What a [`Cosim`] does when a scripted [`PartitionFault`] wipes a
 /// hardware partition mid-run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RecoveryPolicy {
-    /// No recovery: the fault wipes hardware and transport state and the
-    /// run is left to stall or time out. This is the pre-checkpoint
-    /// behavior and the default.
+    /// No recovery: the fault wipes the partition's hardware and
+    /// transport state and the run is left to stall or time out. This is
+    /// the pre-checkpoint behavior and the default.
     #[default]
     Fail,
-    /// Auto-checkpoint every `interval` FPGA cycles; on a fault, restore
-    /// the last checkpoint and replay. Because a checkpoint is a globally
-    /// consistent cut and scripted faults fire at most once, the replayed
-    /// run converges to the exact fault-free trajectory — same sink
-    /// values, same final cycle count. Repeated faults back the
-    /// checkpoint cadence off exponentially; after `max_retries`
-    /// restores the run ends with [`CosimOutcome::PartitionLost`].
+    /// Auto-checkpoint every `interval` FPGA cycles; on a fault, wipe
+    /// only the faulted partition, then restore the last globally
+    /// consistent checkpoint and replay. Only the lost partition was
+    /// rebooted, but the rollback is coordinated across all partitions —
+    /// channels couple them, so a one-sided rewind would desynchronize
+    /// the streams. Because a checkpoint is a consistent cut and
+    /// scripted faults fire at most once, the replayed run converges to
+    /// the exact fault-free trajectory — same sink values, same final
+    /// cycle count. Repeated faults back the checkpoint cadence off
+    /// exponentially; after `max_retries` restores the run ends with
+    /// [`CosimOutcome::PartitionLost`].
     RestartFromCheckpoint {
         /// FPGA cycles between automatic checkpoints.
         interval: u64,
@@ -106,11 +123,13 @@ pub enum RecoveryPolicy {
         max_retries: u32,
     },
     /// Auto-checkpoint every `interval` cycles; on a fault, rebuild the
-    /// lost hardware partition's state from the last checkpoint plus the
-    /// channel traffic that was in transit at the cut, splice everything
-    /// into a fused all-software design, and continue software-only —
-    /// slower, but the value streams are bit-identical (the paper's
-    /// semantic-interchangeability claim made operational).
+    /// lost partition's state from the last checkpoint plus the channel
+    /// traffic that was in transit at the cut, splice *that partition
+    /// alone* into the software domain (via `fuse_domains`), and
+    /// continue with the surviving partitions still executing in
+    /// hardware — slower, but the value streams are bit-identical (the
+    /// paper's semantic-interchangeability claim made operational). A
+    /// later fault on a surviving partition fails that one over too.
     FailoverToSoftware {
         /// FPGA cycles between automatic checkpoints.
         interval: u64,
@@ -140,8 +159,164 @@ impl RecoveryPolicy {
     }
 }
 
+/// Configuration of one hardware partition in a multi-accelerator
+/// co-simulation: which domain it executes, the link that attaches it
+/// to the CPU, the fault model (including scripted partition faults)
+/// for that link, and the accelerator's clock divider.
+#[derive(Debug, Clone)]
+pub struct HwPartitionCfg {
+    /// The domain (partition) this accelerator executes.
+    pub domain: String,
+    /// Physical parameters of this partition's CPU link.
+    pub link: LinkConfig,
+    /// Fault model for this partition's link and scripted partition
+    /// faults (`ResetAt`/`DieAt`) for the accelerator itself.
+    pub faults: FaultConfig,
+    /// The accelerator steps once every `clock_div` FPGA cycles: 1 is
+    /// full speed, 2 a half-rate clock region, and so on. Transactor
+    /// pumping is unaffected — the link interface runs at bus speed.
+    pub clock_div: u64,
+}
+
+impl HwPartitionCfg {
+    /// A full-speed partition on a default link with no faults.
+    pub fn new(domain: &str) -> HwPartitionCfg {
+        HwPartitionCfg {
+            domain: domain.to_string(),
+            link: LinkConfig::default(),
+            faults: FaultConfig::none(),
+            clock_div: 1,
+        }
+    }
+
+    /// Replaces the link configuration.
+    pub fn with_link(mut self, link: LinkConfig) -> HwPartitionCfg {
+        self.link = link;
+        self
+    }
+
+    /// Replaces the fault model.
+    pub fn with_faults(mut self, faults: FaultConfig) -> HwPartitionCfg {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the clock divider.
+    pub fn with_clock_div(mut self, div: u64) -> HwPartitionCfg {
+        self.clock_div = div.max(1);
+        self
+    }
+}
+
+/// How channels between two *hardware* partitions are routed.
+#[derive(Debug, Clone, Default)]
+pub enum InterHwRouting {
+    /// Through the software hub: each HW→HW channel becomes two link
+    /// hops (producer partition → CPU hub FIFO → consumer partition),
+    /// with the CPU paying marshaling cost on both. This models the
+    /// paper's bus-attached platform, where all traffic crosses the
+    /// processor bus.
+    #[default]
+    ViaHub,
+    /// Directly, over a dedicated shared-fabric link per partition pair
+    /// that never touches the CPU (no software marshaling cost).
+    Fabric {
+        /// Physical parameters of each fabric link.
+        link: LinkConfig,
+        /// Fault model for fabric links (scripted partition faults in
+        /// here are ignored — those belong to [`HwPartitionCfg`]).
+        faults: FaultConfig,
+    },
+}
+
+impl InterHwRouting {
+    /// Fabric routing on a default, fault-free link.
+    pub fn fabric() -> InterHwRouting {
+        InterHwRouting::Fabric {
+            link: LinkConfig::default(),
+            faults: FaultConfig::none(),
+        }
+    }
+}
+
+/// Where one original channel physically runs.
+#[derive(Debug, Clone)]
+enum RouteKind {
+    /// On the CPU link of one partition (SW ↔ that partition).
+    Direct { part: usize, ci: usize },
+    /// HW → HW through the software hub: hop 1 (producer partition's
+    /// link, into the hub FIFO) and hop 2 (consumer partition's link,
+    /// out of the hub FIFO).
+    Hub {
+        from_part: usize,
+        from_ci: usize,
+        to_part: usize,
+        to_ci: usize,
+        hub: PrimId,
+    },
+    /// HW → HW on a dedicated fabric link.
+    Fabric { fab: usize, ci: usize },
+}
+
+/// One hardware partition at runtime.
+#[derive(Debug)]
+struct HwPart {
+    domain: String,
+    design: Design,
+    hw: HwSim,
+    /// Interface logic for this partition's CPU link; `None` when no
+    /// channel touches this partition's link.
+    transactor: Option<Transactor>,
+    link: Link,
+    clock_div: u64,
+    alive: bool,
+    fault_schedule: Vec<PartitionFault>,
+    /// Which scripted faults have already fired. Deliberately *not*
+    /// checkpointed: a fault is an event in the environment, so
+    /// rewinding the system must not re-arm it (that way a restore
+    /// replays past the fault instead of looping on it).
+    fault_fired: Vec<bool>,
+    /// Stall detector: transactor progress at the last observed advance.
+    last_progress: u64,
+    /// Stall detector: cycle of the last observed advance.
+    last_progress_cycle: u64,
+}
+
+/// A dedicated link between two hardware partitions (Fabric routing).
+#[derive(Debug)]
+struct FabricLink {
+    /// Partition indices; `a < b`, and `a` plays the link's A side.
+    a: usize,
+    b: usize,
+    transactor: Transactor,
+    link: Link,
+    last_progress: u64,
+    last_progress_cycle: u64,
+}
+
+/// Per-partition slice of a [`Checkpoint`].
+#[derive(Debug, Clone)]
+struct PartSnap {
+    hw: HwSnapshot,
+    transactor: Option<TransactorSnapshot>,
+    link: LinkSnapshot,
+    alive: bool,
+    last_progress: u64,
+    last_progress_cycle: u64,
+}
+
+/// Per-fabric-link slice of a [`Checkpoint`].
+#[derive(Debug, Clone)]
+struct FabSnap {
+    transactor: TransactorSnapshot,
+    link: LinkSnapshot,
+    last_progress: u64,
+    last_progress_cycle: u64,
+}
+
 /// A globally consistent cut of a co-simulation, captured between FPGA
-/// cycles: both partitions' stores, each side's scheduler state, the
+/// cycles: the software store and scheduler state, and — for every
+/// hardware partition and every fabric link — the store, the
 /// transactor's transport state (per-channel sequence/ACK/credit/
 /// retransmission queues), the link (frames in flight *and* the fault
 /// PRNG streams), and the cycle/budget counters.
@@ -155,14 +330,10 @@ impl RecoveryPolicy {
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     sw: SwSnapshot,
-    hw: Option<HwSnapshot>,
-    transactor: Option<TransactorSnapshot>,
-    link: LinkSnapshot,
+    parts: Vec<PartSnap>,
+    fabric: Vec<FabSnap>,
     fpga_cycles: u64,
     sw_debt: u64,
-    last_progress: u64,
-    last_progress_cycle: u64,
-    hw_alive: bool,
 }
 
 impl Checkpoint {
@@ -172,51 +343,49 @@ impl Checkpoint {
     }
 }
 
-/// A co-simulation of a partitioned design.
+/// A co-simulation of a partitioned design over N hardware partitions.
 #[derive(Debug)]
 pub struct Cosim {
     /// The software partition's runner.
     pub sw: SwRunner,
-    /// The hardware partition's simulator (absent for all-software
-    /// designs).
-    pub hw: Option<HwSim>,
+    /// The software design actually executing: the software partition,
+    /// augmented with hub FIFOs when HW↔HW channels route via the hub.
     sw_design: Design,
-    hw_design: Option<Design>,
-    transactor: Option<Transactor>,
-    link: Link,
+    /// The hardware partitions, in configuration order (which is also
+    /// pump order — deterministic).
+    parts_list: Vec<HwPart>,
+    /// Dedicated HW↔HW links (Fabric routing).
+    fabric: Vec<FabricLink>,
+    /// Physical route of each channel, aligned with `parts.channels`.
+    routes: Vec<RouteKind>,
+    /// The (un-augmented) partitioning currently executing; replaced by
+    /// the fused partitioning when a partition fails over.
+    parts: Partitioned,
     /// FPGA cycles elapsed.
     pub fpga_cycles: u64,
     /// Pending software work (driver transfers + rule overshoot) not yet
     /// paid for out of the per-cycle CPU budget.
     sw_debt: u64,
     sw_domain: String,
-    hw_domain: String,
+    /// The first-configured hardware domain (kept for the two-domain
+    /// compatibility accessors).
+    primary_hw_domain: String,
+    /// CPU cycles of software budget per FPGA cycle (taken from the
+    /// first partition's link configuration).
+    cpu_per_fpga: u64,
+    routing: InterHwRouting,
     /// FPGA cycles without transport sequence progress (while work is
     /// pending) before [`CosimOutcome::Stalled`] is declared. Only armed
-    /// when the link's fault model is active.
+    /// on entities whose fault model is active.
     stall_threshold: u64,
-    /// Transactor progress counter at the last observed advance.
-    last_progress: u64,
-    /// Cycle of the last observed advance.
-    last_progress_cycle: u64,
-    /// The partitioning the cosim was built from (kept for failover).
-    parts: Partitioned,
-    /// Software execution options (kept to rebuild the runner on failover).
+    /// Software execution options (kept to rebuild the runner on
+    /// failover).
     sw_opts: SwOptions,
-    /// False while the hardware partition is down after a `DieAt` fault.
-    hw_alive: bool,
-    /// True once `FailoverToSoftware` has spliced execution into the
-    /// fused all-software design.
+    /// True once `FailoverToSoftware` has spliced at least one dead
+    /// partition into the software domain.
     failed_over: bool,
     /// Active recovery policy.
     policy: RecoveryPolicy,
-    /// Scripted partition faults, copied from the fault config.
-    fault_schedule: Vec<PartitionFault>,
-    /// Which scripted faults have already fired. Deliberately *not* part
-    /// of a checkpoint: a fault is an event in the environment, so
-    /// rewinding the system must not re-arm it (that way a restore
-    /// replays past the fault instead of looping on it).
-    fault_fired: Vec<bool>,
     /// Last automatic checkpoint taken by the recovery policy.
     last_ckpt: Option<Checkpoint>,
     /// Next FPGA cycle at which an automatic checkpoint is due.
@@ -234,12 +403,146 @@ pub struct Cosim {
 /// dead direction is reported without exhausting the cycle limit.
 pub const DEFAULT_STALL_THRESHOLD: u64 = 50_000;
 
+/// Everything `plan_topology` derives from a partitioning: the
+/// (possibly hub-augmented) software design, per-partition channel
+/// lists, fabric pair channel lists, and the per-channel route table.
+struct Topology {
+    sw_design: Design,
+    /// Per configured partition, the channels on its CPU link.
+    part_specs: Vec<Vec<ChannelSpec>>,
+    /// Fabric links: (a, b) partition indices with their channels.
+    fabric: Vec<(usize, usize, Vec<ChannelSpec>)>,
+    routes: Vec<RouteKind>,
+}
+
+/// Classifies every channel of `p` against the hardware partitions in
+/// `domains` (in order) and plans the physical topology.
+fn plan_topology(
+    p: &Partitioned,
+    sw_domain: &str,
+    domains: &[String],
+    routing: &InterHwRouting,
+) -> Result<Topology, PlatformError> {
+    let mut sw_design = p
+        .partition(sw_domain)
+        .map_err(|_| {
+            PlatformError::new(format!(
+                "malformed partitioning: no `{sw_domain}` (software) partition — \
+                 the driver loop must have somewhere to run"
+            ))
+        })?
+        .clone();
+    let part_of = |d: &str| domains.iter().position(|x| x == d);
+
+    let mut part_specs: Vec<Vec<ChannelSpec>> = vec![Vec::new(); domains.len()];
+    let mut fabric: Vec<(usize, usize, Vec<ChannelSpec>)> = Vec::new();
+    let mut routes = Vec::with_capacity(p.channels.len());
+
+    for c in &p.channels {
+        let from_sw = c.from_domain == sw_domain;
+        let to_sw = c.to_domain == sw_domain;
+        let locate_hw = |d: &str| {
+            part_of(d).ok_or_else(|| {
+                PlatformError::new(format!(
+                    "channel `{}` references domain `{d}`, which has no hardware \
+                     partition configuration",
+                    c.name
+                ))
+            })
+        };
+        if from_sw && to_sw {
+            return Err(PlatformError::new(format!(
+                "channel `{}` has both endpoints in the software domain",
+                c.name
+            )));
+        } else if from_sw || to_sw {
+            let part = locate_hw(if from_sw {
+                &c.to_domain
+            } else {
+                &c.from_domain
+            })?;
+            routes.push(RouteKind::Direct {
+                part,
+                ci: part_specs[part].len(),
+            });
+            part_specs[part].push(c.clone());
+        } else {
+            let from_part = locate_hw(&c.from_domain)?;
+            let to_part = locate_hw(&c.to_domain)?;
+            match routing {
+                InterHwRouting::ViaHub => {
+                    // The hub FIFO lives in the software design; the
+                    // channel becomes two latency-insensitive hops.
+                    let hub_path = format!("__hub.{}", c.name);
+                    let hub = PrimId(sw_design.prims.len());
+                    sw_design.prims.push(PrimDef {
+                        path: Path::new(&hub_path),
+                        spec: PrimSpec::Fifo {
+                            depth: c.depth.max(1),
+                            ty: c.ty.clone(),
+                        },
+                    });
+                    let h1 = ChannelSpec {
+                        name: format!("{}#h1", c.name),
+                        ty: c.ty.clone(),
+                        depth: c.depth,
+                        from_domain: c.from_domain.clone(),
+                        to_domain: sw_domain.to_string(),
+                        tx_path: c.tx_path.clone(),
+                        rx_path: hub_path.clone(),
+                    };
+                    let h2 = ChannelSpec {
+                        name: format!("{}#h2", c.name),
+                        ty: c.ty.clone(),
+                        depth: c.depth,
+                        from_domain: sw_domain.to_string(),
+                        to_domain: c.to_domain.clone(),
+                        tx_path: hub_path,
+                        rx_path: c.rx_path.clone(),
+                    };
+                    routes.push(RouteKind::Hub {
+                        from_part,
+                        from_ci: part_specs[from_part].len(),
+                        to_part,
+                        to_ci: part_specs[to_part].len(),
+                        hub,
+                    });
+                    part_specs[from_part].push(h1);
+                    part_specs[to_part].push(h2);
+                }
+                InterHwRouting::Fabric { .. } => {
+                    let (a, b) = (from_part.min(to_part), from_part.max(to_part));
+                    let fab = match fabric.iter().position(|(x, y, _)| (*x, *y) == (a, b)) {
+                        Some(i) => i,
+                        None => {
+                            fabric.push((a, b, Vec::new()));
+                            fabric.len() - 1
+                        }
+                    };
+                    routes.push(RouteKind::Fabric {
+                        fab,
+                        ci: fabric[fab].2.len(),
+                    });
+                    fabric[fab].2.push(c.clone());
+                }
+            }
+        }
+    }
+    Ok(Topology {
+        sw_design,
+        part_specs,
+        fabric,
+        routes,
+    })
+}
+
 impl Cosim {
-    /// Builds a co-simulation from a partitioned design.
+    /// Builds a two-domain co-simulation from a partitioned design.
     ///
     /// The design must have a `sw_domain` partition; a `hw_domain`
     /// partition and channels between the two are optional (an
-    /// all-software partitioning runs without a link).
+    /// all-software partitioning runs without a link). For more than one
+    /// hardware partition use [`Cosim::multi`].
     ///
     /// # Errors
     ///
@@ -263,10 +566,11 @@ impl Cosim {
         )
     }
 
-    /// Builds a co-simulation whose link injects deterministic faults.
-    /// With an active fault model the transactor switches to its framed
-    /// reliable transport and the stall detector is armed; with
-    /// [`FaultConfig::none`] this is identical to [`Cosim::new`].
+    /// Builds a two-domain co-simulation whose link injects
+    /// deterministic faults. With an active fault model the transactor
+    /// switches to its framed reliable transport and the stall detector
+    /// is armed; with [`FaultConfig::none`] this is identical to
+    /// [`Cosim::new`].
     ///
     /// # Errors
     ///
@@ -283,55 +587,152 @@ impl Cosim {
             if d != sw_domain && d != hw_domain {
                 return Err(PlatformError::new(format!(
                     "partition `{d}` is neither `{sw_domain}` nor `{hw_domain}`; \
-                     multi-accelerator topologies are not modeled"
+                     use `Cosim::multi` for multi-accelerator topologies"
                 )));
             }
         }
-        let sw_design = p.partition(sw_domain).cloned().ok_or_else(|| {
-            PlatformError::new(format!(
-                "malformed partitioning: no `{sw_domain}` (software) partition — \
-                 the driver loop must have somewhere to run"
-            ))
-        })?;
-        let hw_design = p.partition(hw_domain).cloned();
-        let sw = SwRunner::new(&sw_design, sw_opts);
-        let hw = match &hw_design {
-            Some(d) => Some(HwSim::new(d).map_err(|e| PlatformError::new(e.to_string()))?),
-            None => None,
+        let cfg = HwPartitionCfg {
+            domain: hw_domain.to_string(),
+            link: link_cfg,
+            faults,
+            clock_div: 1,
         };
-        let transactor = if p.channels.is_empty() {
-            None
-        } else {
-            let hwd = hw_design
-                .as_ref()
-                .ok_or_else(|| PlatformError::new("channels present but no hardware partition"))?;
-            Some(
-                Transactor::new(&p.channels, sw_domain, &sw_design, hw_domain, hwd)
-                    .map_err(|e| PlatformError::new(e.to_string()))?,
+        Cosim::multi(
+            p,
+            sw_domain,
+            std::slice::from_ref(&cfg),
+            InterHwRouting::ViaHub,
+            sw_opts,
+        )
+    }
+
+    /// Builds a co-simulation of one software domain plus N hardware
+    /// partitions, each with its own link, fault schedule, and clock
+    /// divider. Configurations whose domain is absent from the
+    /// partitioning are skipped (so one topology description can serve
+    /// designs that collapse some domains away). Channels between two
+    /// hardware partitions are routed per `routing`.
+    ///
+    /// The software CPU budget ratio (`cpu_per_fpga`) is taken from the
+    /// first configuration's link.
+    ///
+    /// # Errors
+    ///
+    /// Rejects duplicate or software-domain configurations, partitions
+    /// not covered by any configuration, hardware partitions that fail
+    /// the legality check, and malformed channels.
+    pub fn multi(
+        p: &Partitioned,
+        sw_domain: &str,
+        cfgs: &[HwPartitionCfg],
+        routing: InterHwRouting,
+        sw_opts: SwOptions,
+    ) -> Result<Cosim, PlatformError> {
+        for (i, c) in cfgs.iter().enumerate() {
+            if c.domain == sw_domain {
+                return Err(PlatformError::new(format!(
+                    "hardware partition cfg names the software domain `{sw_domain}`"
+                )));
+            }
+            if cfgs[..i].iter().any(|x| x.domain == c.domain) {
+                return Err(PlatformError::new(format!(
+                    "duplicate hardware partition cfg for domain `{}`",
+                    c.domain
+                )));
+            }
+        }
+        let cpu_per_fpga = cfgs
+            .first()
+            .map(|c| c.link.cpu_per_fpga)
+            .unwrap_or_else(|| LinkConfig::default().cpu_per_fpga);
+        let active: Vec<&HwPartitionCfg> = cfgs
+            .iter()
+            .filter(|c| p.partitions.contains_key(&c.domain))
+            .collect();
+        for d in p.partitions.keys() {
+            if d != sw_domain && !active.iter().any(|c| &c.domain == d) {
+                return Err(PlatformError::new(format!(
+                    "partition `{d}` has no hardware configuration and is not the \
+                     software domain `{sw_domain}`"
+                )));
+            }
+        }
+        let domains: Vec<String> = active.iter().map(|c| c.domain.clone()).collect();
+        let topo = plan_topology(p, sw_domain, &domains, &routing)?;
+        let sw = SwRunner::new(&topo.sw_design, sw_opts);
+
+        let mut parts_list = Vec::with_capacity(active.len());
+        for (cfg, specs) in active.iter().zip(&topo.part_specs) {
+            let design = p
+                .partition(&cfg.domain)
+                .map_err(|e| PlatformError::new(e.to_string()))?
+                .clone();
+            let hw = HwSim::new(&design).map_err(|e| PlatformError::new(e.to_string()))?;
+            let transactor = if specs.is_empty() {
+                None
+            } else {
+                Some(
+                    Transactor::new(specs, sw_domain, &topo.sw_design, &cfg.domain, &design)
+                        .map_err(|e| PlatformError::new(e.to_string()))?,
+                )
+            };
+            let fault_schedule = cfg.faults.partition.clone();
+            parts_list.push(HwPart {
+                domain: cfg.domain.clone(),
+                design,
+                hw,
+                transactor,
+                link: Link::with_faults(cfg.link, cfg.faults.clone()),
+                clock_div: cfg.clock_div.max(1),
+                alive: true,
+                fault_fired: vec![false; fault_schedule.len()],
+                fault_schedule,
+                last_progress: 0,
+                last_progress_cycle: 0,
+            });
+        }
+
+        let mut fabric = Vec::with_capacity(topo.fabric.len());
+        for (a, b, specs) in &topo.fabric {
+            let (link_cfg, link_faults) = match &routing {
+                InterHwRouting::Fabric { link, faults } => (*link, faults.clone()),
+                InterHwRouting::ViaHub => unreachable!("hub routing plans no fabric"),
+            };
+            let transactor = Transactor::new(
+                specs,
+                &parts_list[*a].domain,
+                &parts_list[*a].design,
+                &parts_list[*b].domain,
+                &parts_list[*b].design,
             )
-        };
-        let fault_schedule = faults.partition.clone();
+            .map_err(|e| PlatformError::new(e.to_string()))?;
+            fabric.push(FabricLink {
+                a: *a,
+                b: *b,
+                transactor,
+                link: Link::with_faults(link_cfg, link_faults),
+                last_progress: 0,
+                last_progress_cycle: 0,
+            });
+        }
+
         Ok(Cosim {
             sw,
-            hw,
-            sw_design,
-            hw_design,
-            transactor,
-            link: Link::with_faults(link_cfg, faults),
+            sw_design: topo.sw_design,
+            parts_list,
+            fabric,
+            routes: topo.routes,
+            parts: p.clone(),
             fpga_cycles: 0,
             sw_debt: 0,
             sw_domain: sw_domain.to_string(),
-            hw_domain: hw_domain.to_string(),
+            primary_hw_domain: cfgs.first().map(|c| c.domain.clone()).unwrap_or_default(),
+            cpu_per_fpga,
+            routing,
             stall_threshold: DEFAULT_STALL_THRESHOLD,
-            last_progress: 0,
-            last_progress_cycle: 0,
-            parts: p.clone(),
             sw_opts,
-            hw_alive: true,
             failed_over: false,
             policy: RecoveryPolicy::Fail,
-            fault_fired: vec![false; fault_schedule.len()],
-            fault_schedule,
             last_ckpt: None,
             next_ckpt_at: 0,
             retries: 0,
@@ -353,14 +754,18 @@ impl Cosim {
         self.policy
     }
 
-    /// True while the hardware partition is up (always true before any
-    /// `DieAt` fault; false after software failover).
+    /// True while every configured hardware partition is up (always true
+    /// before any `DieAt` fault; false once all partitions have failed
+    /// over to software).
     pub fn hw_alive(&self) -> bool {
-        self.hw_alive
+        if self.failed_over && self.parts_list.is_empty() {
+            return false;
+        }
+        self.parts_list.iter().all(|p| p.alive)
     }
 
-    /// True once `FailoverToSoftware` has taken over: the hardware
-    /// partition is gone and the fused all-software design is running.
+    /// True once `FailoverToSoftware` has spliced at least one dead
+    /// partition into the software domain.
     pub fn failed_over(&self) -> bool {
         self.failed_over
     }
@@ -378,14 +783,14 @@ impl Cosim {
         self.stall_threshold = cycles.max(1);
     }
 
-    /// The software partition's design.
+    /// The software partition's design (including any hub FIFOs).
     pub fn sw_design(&self) -> &Design {
         &self.sw_design
     }
 
-    /// The hardware partition's design, if any.
+    /// The first hardware partition's design, if any.
     pub fn hw_design(&self) -> Option<&Design> {
-        self.hw_design.as_ref()
+        self.parts_list.first().map(|p| &p.design)
     }
 
     /// The software domain name.
@@ -393,40 +798,74 @@ impl Cosim {
         &self.sw_domain
     }
 
-    /// The hardware domain name.
+    /// The first-configured hardware domain name.
     pub fn hw_domain(&self) -> &str {
-        &self.hw_domain
+        &self.primary_hw_domain
     }
 
-    /// Locates a primitive by path, searching both partitions. Returns
-    /// the partition tag (`true` = hardware) and id.
-    fn locate(&self, path: &str) -> Option<(bool, PrimId)> {
+    /// Number of hardware partitions currently executing in hardware.
+    pub fn hw_partition_count(&self) -> usize {
+        self.parts_list.len()
+    }
+
+    /// The hardware partitions' domains, in execution order.
+    pub fn hw_domains(&self) -> Vec<&str> {
+        self.parts_list.iter().map(|p| p.domain.as_str()).collect()
+    }
+
+    /// Whether the named hardware partition is alive; `None` if no such
+    /// partition is executing in hardware (e.g. after it failed over).
+    pub fn partition_alive(&self, domain: &str) -> Option<bool> {
+        self.parts_list
+            .iter()
+            .find(|p| p.domain == domain)
+            .map(|p| p.alive)
+    }
+
+    /// Hardware cycles executed by the named partition's simulator.
+    pub fn partition_hw_cycles(&self, domain: &str) -> Option<u64> {
+        self.parts_list
+            .iter()
+            .find(|p| p.domain == domain)
+            .map(|p| p.hw.cycles)
+    }
+
+    /// Traffic totals for the named partition's CPU link.
+    pub fn partition_link_stats(&self, domain: &str) -> Option<LinkStats> {
+        self.parts_list
+            .iter()
+            .find(|p| p.domain == domain)
+            .map(|p| p.link.stats())
+    }
+
+    /// Locates a primitive by path: in the software design (`None`) or
+    /// in a hardware partition (`Some(index)`).
+    fn locate(&self, path: &str) -> Option<(Option<usize>, PrimId)> {
         if let Some(id) = self.sw_design.prim_id(path) {
-            return Some((false, id));
+            return Some((None, id));
         }
-        if let Some(d) = &self.hw_design {
-            if let Some(id) = d.prim_id(path) {
-                return Some((true, id));
+        for (i, p) in self.parts_list.iter().enumerate() {
+            if let Some(id) = p.design.prim_id(path) {
+                return Some((Some(i), id));
             }
         }
         None
     }
 
     /// Checks that `path` resolves to a primitive of the kind accepted by
-    /// `want`, in either partition.
+    /// `want`, in any partition.
     fn locate_kind(
         &self,
         path: &str,
         want: &str,
         ok: impl Fn(&PrimSpec) -> bool,
-    ) -> Result<(bool, PrimId), PlatformError> {
-        let (in_hw, id) = self.locate(path).ok_or_else(|| {
-            PlatformError::new(format!("no primitive `{path}` in either partition"))
-        })?;
-        let design = if in_hw {
-            self.hw_design.as_ref().expect("hw prim implies hw design")
-        } else {
-            &self.sw_design
+    ) -> Result<(Option<usize>, PrimId), PlatformError> {
+        let (part, id) = self
+            .locate(path)
+            .ok_or_else(|| PlatformError::new(format!("no primitive `{path}` in any partition")))?;
+        let design = match part {
+            Some(i) => &self.parts_list[i].design,
+            None => &self.sw_design,
         };
         let spec = &design.prim(id).spec;
         if !ok(spec) {
@@ -435,7 +874,7 @@ impl Cosim {
                 spec_kind(spec)
             )));
         }
-        Ok((in_hw, id))
+        Ok((part, id))
     }
 
     /// Pushes a value into a named `Source`, reporting failures instead
@@ -443,19 +882,14 @@ impl Cosim {
     ///
     /// # Errors
     ///
-    /// Returns an error if the path is absent from both partitions or
+    /// Returns an error if the path is absent from every partition or
     /// names a primitive that is not a `Source`.
     pub fn try_push_source(&mut self, path: &str, v: Value) -> Result<(), PlatformError> {
-        let (in_hw, id) =
+        let (part, id) =
             self.locate_kind(path, "Source", |s| matches!(s, PrimSpec::Source { .. }))?;
-        if in_hw {
-            self.hw
-                .as_mut()
-                .expect("hw prim implies hw sim")
-                .store
-                .push_source(id, v);
-        } else {
-            self.sw.store.push_source(id, v);
+        match part {
+            Some(i) => self.parts_list[i].hw.store.push_source(id, v),
+            None => self.sw.store.push_source(id, v),
         }
         Ok(())
     }
@@ -465,27 +899,21 @@ impl Cosim {
     ///
     /// # Errors
     ///
-    /// Returns an error if the path is absent from both partitions or
+    /// Returns an error if the path is absent from every partition or
     /// names a primitive that is not a `Sink`.
     pub fn try_sink_values(&self, path: &str) -> Result<&[Value], PlatformError> {
-        let (in_hw, id) = self.locate_kind(path, "Sink", |s| matches!(s, PrimSpec::Sink { .. }))?;
-        if in_hw {
-            Ok(self
-                .hw
-                .as_ref()
-                .expect("hw prim implies hw sim")
-                .store
-                .sink_values(id))
-        } else {
-            Ok(self.sw.store.sink_values(id))
-        }
+        let (part, id) = self.locate_kind(path, "Sink", |s| matches!(s, PrimSpec::Sink { .. }))?;
+        Ok(match part {
+            Some(i) => self.parts_list[i].hw.store.sink_values(id),
+            None => self.sw.store.sink_values(id),
+        })
     }
 
     /// Pushes a value into a named `Source`.
     ///
     /// # Panics
     ///
-    /// Panics if the path does not name a `Source` in either partition;
+    /// Panics if the path does not name a `Source` in any partition;
     /// use [`Cosim::try_push_source`] for the non-panicking variant.
     pub fn push_source(&mut self, path: &str, v: Value) {
         self.try_push_source(path, v)
@@ -496,7 +924,7 @@ impl Cosim {
     ///
     /// # Panics
     ///
-    /// Panics if the path does not name a `Sink` in either partition;
+    /// Panics if the path does not name a `Sink` in any partition;
     /// use [`Cosim::try_sink_values`] for the non-panicking variant.
     pub fn sink_values(&self, path: &str) -> &[Value] {
         self.try_sink_values(path).unwrap_or_else(|e| panic!("{e}"))
@@ -507,61 +935,94 @@ impl Cosim {
         self.sink_values(path).len()
     }
 
-    /// Captures a globally consistent cut of the whole system at the
-    /// current step boundary (see [`Checkpoint`]). Checkpoints are pure
-    /// observations: taking one does not perturb execution.
+    /// Captures a globally consistent cut of the whole system — every
+    /// partition, every link — at the current step boundary (see
+    /// [`Checkpoint`]). Checkpoints are pure observations: taking one
+    /// does not perturb execution.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             sw: self.sw.snapshot(),
-            hw: self.hw.as_ref().map(HwSim::snapshot),
-            transactor: self.transactor.as_ref().map(Transactor::snapshot),
-            link: self.link.snapshot(),
+            parts: self
+                .parts_list
+                .iter()
+                .map(|p| PartSnap {
+                    hw: p.hw.snapshot(),
+                    transactor: p.transactor.as_ref().map(Transactor::snapshot),
+                    link: p.link.snapshot(),
+                    alive: p.alive,
+                    last_progress: p.last_progress,
+                    last_progress_cycle: p.last_progress_cycle,
+                })
+                .collect(),
+            fabric: self
+                .fabric
+                .iter()
+                .map(|f| FabSnap {
+                    transactor: f.transactor.snapshot(),
+                    link: f.link.snapshot(),
+                    last_progress: f.last_progress,
+                    last_progress_cycle: f.last_progress_cycle,
+                })
+                .collect(),
             fpga_cycles: self.fpga_cycles,
             sw_debt: self.sw_debt,
-            last_progress: self.last_progress,
-            last_progress_cycle: self.last_progress_cycle,
-            hw_alive: self.hw_alive,
         }
     }
 
     /// Rewinds the system to a checkpoint. The restored run is bit- and
     /// cycle-identical to one that was never interrupted: stores,
     /// scheduler state, transport state, in-flight frames, the fault
-    /// PRNG, and every counter resume from the same consistent cut.
-    /// Scripted partition faults that already fired stay fired — a
-    /// restore replays *past* a fault, it does not re-arm it.
+    /// PRNGs, and every counter resume from the same consistent cut
+    /// across all partitions. Scripted partition faults that already
+    /// fired stay fired — a restore replays *past* a fault, it does not
+    /// re-arm it.
     ///
     /// # Panics
     ///
     /// Panics if the checkpoint came from a differently shaped system
-    /// (hardware/transactor presence or design topology differs).
+    /// (partition count, transactor presence, or design topology
+    /// differs).
     pub fn restore(&mut self, ckpt: &Checkpoint) {
+        assert_eq!(
+            self.parts_list.len(),
+            ckpt.parts.len(),
+            "checkpoint topology mismatch: partition count differs"
+        );
+        assert_eq!(
+            self.fabric.len(),
+            ckpt.fabric.len(),
+            "checkpoint topology mismatch: fabric link count differs"
+        );
         self.sw.restore(&ckpt.sw);
-        match (&mut self.hw, &ckpt.hw) {
-            (Some(hw), Some(snap)) => hw.restore(snap),
-            (None, None) => {}
-            _ => panic!("checkpoint topology mismatch: hardware presence differs"),
+        for (p, snap) in self.parts_list.iter_mut().zip(&ckpt.parts) {
+            p.hw.restore(&snap.hw);
+            match (&mut p.transactor, &snap.transactor) {
+                (Some(t), Some(s)) => t.restore(s),
+                (None, None) => {}
+                _ => panic!("checkpoint topology mismatch: transactor presence differs"),
+            }
+            p.link.restore(&snap.link);
+            p.alive = snap.alive;
+            p.last_progress = snap.last_progress;
+            p.last_progress_cycle = snap.last_progress_cycle;
         }
-        match (&mut self.transactor, &ckpt.transactor) {
-            (Some(t), Some(snap)) => t.restore(snap),
-            (None, None) => {}
-            _ => panic!("checkpoint topology mismatch: transactor presence differs"),
+        for (f, snap) in self.fabric.iter_mut().zip(&ckpt.fabric) {
+            f.transactor.restore(&snap.transactor);
+            f.link.restore(&snap.link);
+            f.last_progress = snap.last_progress;
+            f.last_progress_cycle = snap.last_progress_cycle;
         }
-        self.link.restore(&ckpt.link);
         self.fpga_cycles = ckpt.fpga_cycles;
         self.sw_debt = ckpt.sw_debt;
-        self.last_progress = ckpt.last_progress;
-        self.last_progress_cycle = ckpt.last_progress_cycle;
-        self.hw_alive = ckpt.hw_alive;
     }
 
     /// Recovery bookkeeping at the top of each step: takes the automatic
     /// checkpoint when one is due, then fires any scripted partition
     /// faults scheduled for the current cycle.
     fn recovery_tick(&mut self) -> ExecResult<()> {
-        if self.hw.is_none() {
-            // All-software from the start, or already failed over:
-            // nothing left to fault.
+        if self.parts_list.is_empty() {
+            // All-software from the start, or fully failed over: nothing
+            // left to fault.
             return Ok(());
         }
         if let Some(interval) = self.policy.checkpoint_interval() {
@@ -572,34 +1033,52 @@ impl Cosim {
             }
         }
         loop {
-            let due = (0..self.fault_schedule.len()).find(|&i| {
-                !self.fault_fired[i] && self.fault_schedule[i].cycle() == self.fpga_cycles
-            });
-            let Some(i) = due else { break };
-            self.fault_fired[i] = true;
-            let fault = self.fault_schedule[i];
-            self.apply_partition_fault(fault)?;
-            if self.failed_over || self.lost_at.is_some() {
+            let mut due = None;
+            'scan: for pi in 0..self.parts_list.len() {
+                let p = &self.parts_list[pi];
+                for fi in 0..p.fault_schedule.len() {
+                    if !p.fault_fired[fi] && p.fault_schedule[fi].cycle() == self.fpga_cycles {
+                        due = Some((pi, fi));
+                        break 'scan;
+                    }
+                }
+            }
+            let Some((pi, fi)) = due else { break };
+            self.parts_list[pi].fault_fired[fi] = true;
+            let fault = self.parts_list[pi].fault_schedule[fi];
+            self.apply_partition_fault(pi, fault)?;
+            if self.lost_at.is_some() {
                 break;
             }
+            // A failover removed a partition (indices shifted) and a
+            // restart rewound the clock — either way, rescan from
+            // scratch; `fault_fired` prevents re-firing.
         }
         Ok(())
     }
 
-    /// Models a partition fault: wipes the hardware partition's volatile
-    /// state, the transport protocol state, and the frames on the wire,
-    /// then invokes the recovery policy.
-    fn apply_partition_fault(&mut self, fault: PartitionFault) -> ExecResult<()> {
-        let hw_design = self.hw_design.clone().expect("partition fault implies hw");
-        if let Some(hw) = &mut self.hw {
-            hw.reset_state(&hw_design);
+    /// Models a partition fault: wipes the partition's volatile state,
+    /// its transport protocol state, the frames on its wires (CPU link
+    /// and any fabric links it touches), then invokes the recovery
+    /// policy.
+    fn apply_partition_fault(&mut self, pi: usize, fault: PartitionFault) -> ExecResult<()> {
+        {
+            let p = &mut self.parts_list[pi];
+            let design = p.design.clone();
+            p.hw.reset_state(&design);
+            if let Some(t) = &mut p.transactor {
+                t.reset_transport();
+            }
+            p.link.clear_in_flight();
+            if fault.is_fatal() {
+                p.alive = false;
+            }
         }
-        if let Some(t) = &mut self.transactor {
-            t.reset_transport();
-        }
-        self.link.clear_in_flight();
-        if fault.is_fatal() {
-            self.hw_alive = false;
+        for f in &mut self.fabric {
+            if f.a == pi || f.b == pi {
+                f.transactor.reset_transport();
+                f.link.clear_in_flight();
+            }
         }
         match self.policy {
             RecoveryPolicy::Fail => Ok(()),
@@ -617,10 +1096,15 @@ impl Cosim {
                 }
                 self.retries += 1;
                 self.consecutive_faults += 1;
+                // Only the faulted partition was wiped, but the rollback
+                // is a coordinated global cut: channels couple the
+                // partitions, so the survivors rewind to the same
+                // boundary and the replay stays deterministic.
                 self.restore(&ckpt);
-                // The restored image had the partition up; rebooting from
-                // it brings the hardware back even after a fatal fault.
-                self.hw_alive = true;
+                // The restored image had the partition up; rebooting
+                // from it brings the hardware back even after a fatal
+                // fault.
+                self.parts_list[pi].alive = true;
                 // Exponential backoff on the checkpoint cadence while
                 // faults keep striking, so a fault storm cannot pin the
                 // run in a checkpoint/restore cycle.
@@ -628,104 +1112,255 @@ impl Cosim {
                 self.next_ckpt_at = self.fpga_cycles + backoff;
                 Ok(())
             }
-            RecoveryPolicy::FailoverToSoftware { .. } => self.failover_to_software(),
+            RecoveryPolicy::FailoverToSoftware { interval } => {
+                self.failover_partition(pi, interval)
+            }
         }
     }
 
-    /// The store holding a domain's committed state, with the design its
-    /// primitive ids index into.
+    /// The design and committed store currently holding a domain's
+    /// state (software or one of the hardware partitions).
     fn domain_side(&self, dom: &str) -> (&Design, &Store) {
         if dom == self.sw_domain {
             (&self.sw_design, &self.sw.store)
         } else {
-            (
-                self.hw_design.as_ref().expect("hw domain implies design"),
-                &self.hw.as_ref().expect("hw domain implies sim").store,
-            )
+            let p = self
+                .parts_list
+                .iter()
+                .find(|p| p.domain == dom)
+                .expect("channel endpoint domain has a partition");
+            (&p.design, &p.hw.store)
         }
     }
 
-    /// Rebuilds the dead hardware partition's state from the last
-    /// checkpoint plus the channel traffic in transit at the cut, splices
-    /// everything into the fused all-software design, and continues
-    /// software-only.
-    fn failover_to_software(&mut self) -> ExecResult<()> {
+    /// Everything in flight on an original channel — between its tx FIFO
+    /// and rx FIFO, exclusive — oldest value first.
+    fn channel_backlog(&self, i: usize) -> ExecResult<Vec<Value>> {
+        let part_transit = |pi: usize, ci: usize| -> ExecResult<Vec<Value>> {
+            let p = &self.parts_list[pi];
+            let t = p
+                .transactor
+                .as_ref()
+                .expect("routed channel has transactor");
+            Ok(t.in_transit_values(&p.link)?.swap_remove(ci))
+        };
+        match &self.routes[i] {
+            RouteKind::Direct { part, ci } => part_transit(*part, *ci),
+            RouteKind::Fabric { fab, ci } => {
+                let f = &self.fabric[*fab];
+                Ok(f.transactor.in_transit_values(&f.link)?.swap_remove(*ci))
+            }
+            RouteKind::Hub {
+                from_part,
+                from_ci,
+                to_part,
+                to_ci,
+                hub,
+            } => {
+                // Oldest first: hop-2 wire (already left the hub), then
+                // the hub FIFO, then the hop-1 wire.
+                let mut v = part_transit(*to_part, *to_ci)?;
+                if let PrimState::Fifo { items, .. } = self.sw.store.state(*hub) {
+                    v.extend(items.iter().cloned());
+                }
+                v.extend(part_transit(*from_part, *from_ci)?);
+                Ok(v)
+            }
+        }
+    }
+
+    /// Fails a single partition over to software: rewinds to the last
+    /// checkpoint, fuses the dead domain into the software domain
+    /// (state, rules, and in-transit channel traffic included), and
+    /// rebuilds the topology so the surviving partitions keep executing
+    /// in hardware. Value-stream preserving, not cycle-exact — the
+    /// survivors' transports restart from scratch.
+    fn failover_partition(&mut self, pi: usize, interval: u64) -> ExecResult<()> {
         let Some(ckpt) = self.last_ckpt.take() else {
             self.lost_at = Some(self.fpga_cycles);
             return Ok(());
         };
         self.restore(&ckpt);
-        let fused =
-            fuse_partitioned(&self.parts).map_err(|e| ExecError::Malformed(e.to_string()))?;
-        let mut store = Store::new(&fused.design);
+        let dead_dom = self.parts_list[pi].domain.clone();
 
-        // Non-channel primitives: copy each partition's committed state
-        // straight across (both sides come from the restored cut).
-        let channel_ids: std::collections::BTreeSet<usize> =
-            fused.channel_fifos.iter().map(|id| id.0).collect();
-        for (dom, ids) in &fused.prim_map {
-            let (_, src) = self.domain_side(dom);
-            for (local, fid) in ids.iter().enumerate() {
-                if channel_ids.contains(&fid.0) {
-                    continue;
-                }
-                *store.state_mut(*fid) = src.state(PrimId(local)).clone();
-            }
+        // 1. Per original channel, collect the values between tx and rx
+        //    at the cut (they must not be lost when transports reset).
+        let mut backlog = Vec::with_capacity(self.parts.channels.len());
+        for i in 0..self.parts.channels.len() {
+            backlog.push(self.channel_backlog(i)?);
         }
 
-        // Channel FIFOs: rx-side items are oldest, then whatever was in
-        // transit on the link at the cut, then tx-side items. The merged
-        // FIFO may transiently exceed its nominal depth; that is safe
-        // because synchronizer edges are latency-insensitive — `enq`
-        // blocks until the backlog drains below depth.
-        let in_transit = match &self.transactor {
-            Some(t) => t.in_transit_values(&self.link)?,
-            None => vec![Vec::new(); self.parts.channels.len()],
-        };
+        // 2. Fuse the dead domain into software and re-plan the topology
+        //    over the merged partitioning.
+        let fusion = fuse_domains(&self.parts, &dead_dom, &self.sw_domain)
+            .map_err(|e| ExecError::Malformed(e.to_string()))?;
+        let surviving: Vec<usize> = (0..self.parts_list.len()).filter(|&i| i != pi).collect();
+        let domains: Vec<String> = surviving
+            .iter()
+            .map(|&i| self.parts_list[i].domain.clone())
+            .collect();
+        let topo = plan_topology(&fusion.parts, &self.sw_domain, &domains, &self.routing)
+            .map_err(|e| ExecError::Malformed(e.to_string()))?;
+
+        // 3. Build the merged software store: software and dead-partition
+        //    state copied across (channel endpoints excepted), then the
+        //    internalized channels' merged FIFOs filled rx + wire + tx.
+        let internal_ids: std::collections::BTreeSet<usize> = fusion
+            .internalized
+            .iter()
+            .flatten()
+            .map(|id| id.0)
+            .collect();
+        let mut store = Store::new(&topo.sw_design);
+        for (src_store, map) in [
+            (&self.sw.store, &fusion.into_map),
+            (&self.parts_list[pi].hw.store, &fusion.absorb_map),
+        ] {
+            for (local, fid) in map.iter().enumerate() {
+                if internal_ids.contains(&fid.0) {
+                    continue;
+                }
+                *store.state_mut(*fid) = src_store.state(PrimId(local)).clone();
+            }
+        }
         for (i, spec) in self.parts.channels.iter().enumerate() {
+            let Some(fid) = fusion.internalized[i] else {
+                continue;
+            };
             let mut items: std::collections::VecDeque<Value> = std::collections::VecDeque::new();
             let (rx_design, rx_store) = self.domain_side(&spec.to_domain);
             let rx = rx_design.prim_id(&spec.rx_path).expect("rx half exists");
             if let PrimState::Fifo { items: q, .. } = rx_store.state(rx) {
                 items.extend(q.iter().cloned());
             }
-            items.extend(in_transit[i].iter().cloned());
+            items.extend(backlog[i].iter().cloned());
             let (tx_design, tx_store) = self.domain_side(&spec.from_domain);
             let tx = tx_design.prim_id(&spec.tx_path).expect("tx half exists");
             if let PrimState::Fifo { items: q, .. } = tx_store.state(tx) {
                 items.extend(q.iter().cloned());
             }
-            if let PrimState::Fifo { items: slot, .. } = store.state_mut(fused.channel_fifos[i]) {
+            if let PrimState::Fifo { items: slot, .. } = store.state_mut(fid) {
                 *slot = items;
             }
         }
 
-        // Swap execution onto the fused design, carrying the CPU cost
-        // already accumulated so the cycle accounting stays monotonic.
+        // 4. Retire the dead partition; rebuild the surviving partitions'
+        //    transactors against the new software design, clearing wires
+        //    (fresh sequence spaces must not see stale frames).
+        let mut old_parts = std::mem::take(&mut self.parts_list);
+        old_parts.remove(pi);
         let cost = self.sw.cost;
-        let mut sw = SwRunner::with_store(&fused.design, store, self.sw_opts);
+        let mut sw = SwRunner::with_store(&topo.sw_design, store, self.sw_opts);
         sw.cost = cost;
         self.sw = sw;
-        self.sw_design = fused.design;
-        self.hw = None;
-        self.hw_design = None;
-        self.transactor = None;
-        self.link.clear_in_flight();
-        self.hw_alive = false;
+        self.sw_design = topo.sw_design;
+        for (part, specs) in old_parts.iter_mut().zip(&topo.part_specs) {
+            part.transactor = if specs.is_empty() {
+                None
+            } else {
+                Some(
+                    Transactor::new(
+                        specs,
+                        &self.sw_domain,
+                        &self.sw_design,
+                        &part.domain,
+                        &part.design,
+                    )
+                    .map_err(|e| ExecError::Malformed(e.to_string()))?,
+                )
+            };
+            part.link.clear_in_flight();
+            part.last_progress = 0;
+            part.last_progress_cycle = self.fpga_cycles;
+        }
+        self.parts_list = old_parts;
+        self.fabric.clear();
+        for (a, b, specs) in &topo.fabric {
+            let (link_cfg, link_faults) = match &self.routing {
+                InterHwRouting::Fabric { link, faults } => (*link, faults.clone()),
+                InterHwRouting::ViaHub => unreachable!("hub routing plans no fabric"),
+            };
+            self.fabric.push(FabricLink {
+                a: *a,
+                b: *b,
+                transactor: Transactor::new(
+                    specs,
+                    &self.parts_list[*a].domain,
+                    &self.parts_list[*a].design,
+                    &self.parts_list[*b].domain,
+                    &self.parts_list[*b].design,
+                )
+                .map_err(|e| ExecError::Malformed(e.to_string()))?,
+                link: Link::with_faults(link_cfg, link_faults),
+                last_progress: 0,
+                last_progress_cycle: self.fpga_cycles,
+            });
+        }
+
+        // 5. Re-seed every surviving channel's wire backlog at the front
+        //    of its tx FIFO — order preserved, and a FIFO transiently
+        //    above its nominal depth is safe on latency-insensitive
+        //    edges (`enq` blocks until it drains).
+        for (i, mapped) in fusion.channel_map.iter().enumerate() {
+            let Some(j) = *mapped else {
+                continue;
+            };
+            if backlog[i].is_empty() {
+                continue;
+            }
+            let spec = &fusion.parts.channels[j];
+            let (tx_store, tx_id) = if spec.from_domain == self.sw_domain {
+                let id = self
+                    .sw_design
+                    .prim_id(&spec.tx_path)
+                    .expect("tx half exists");
+                (&mut self.sw.store, id)
+            } else {
+                let part = self
+                    .parts_list
+                    .iter_mut()
+                    .find(|p| p.domain == spec.from_domain)
+                    .expect("surviving tx partition");
+                let id = part.design.prim_id(&spec.tx_path).expect("tx half exists");
+                (&mut part.hw.store, id)
+            };
+            if let PrimState::Fifo { items, .. } = tx_store.state_mut(tx_id) {
+                for v in backlog[i].drain(..).rev() {
+                    items.push_front(v);
+                }
+            }
+        }
+
+        // 6. Adopt the fused partitioning and routes; a later fault on a
+        //    surviving partition repeats the splice from here.
+        self.parts = fusion.parts;
+        self.routes = topo.routes;
         self.failed_over = true;
-        self.last_ckpt = None;
+        if self.parts_list.is_empty() {
+            self.last_ckpt = None;
+        } else {
+            // The splice is itself a consistent cut; checkpoint it so a
+            // fault on a survivor before the next cadence tick still has
+            // somewhere to recover to.
+            self.last_ckpt = Some(self.checkpoint());
+            self.next_ckpt_at = self.fpga_cycles + interval.max(1);
+        }
         Ok(())
     }
 
-    /// Advances the system by one FPGA clock cycle.
+    /// Advances the system by one FPGA clock cycle: each live partition
+    /// steps (per its clock divider) and pumps its CPU link, fabric
+    /// links pump between live partitions, and software spends its CPU
+    /// budget (driver debt first).
     ///
-    /// After a fatal partition fault under [`RecoveryPolicy::Fail`] the
-    /// hardware side no longer executes; after the recovery policy has
-    /// given up (`PartitionLost`) the step is a no-op.
+    /// After a fatal partition fault under [`RecoveryPolicy::Fail`] that
+    /// partition no longer executes or pumps — a dead partition accrues
+    /// no CPU debt. After the recovery policy has given up
+    /// (`PartitionLost`) the step is a no-op.
     ///
     /// # Errors
     ///
-    /// Propagates dynamic errors from either partition or the transactor.
+    /// Propagates dynamic errors from any partition or transactor.
     pub fn step(&mut self) -> ExecResult<()> {
         if self.lost_at.is_some() {
             return Ok(());
@@ -735,19 +1370,34 @@ impl Cosim {
             return Ok(());
         }
         let now = self.fpga_cycles;
-        if self.hw_alive {
-            if let Some(hw) = &mut self.hw {
-                hw.step()?;
+        for part in &mut self.parts_list {
+            if !part.alive {
+                continue;
             }
-            if let Some(t) = &mut self.transactor {
-                let hw = self.hw.as_mut().expect("transactor implies hw");
-                let charged = t.pump(&mut self.sw.store, &mut hw.store, &mut self.link, now)?;
+            if part.clock_div <= 1 || now.is_multiple_of(part.clock_div) {
+                part.hw.step()?;
+            }
+            if let Some(t) = &mut part.transactor {
+                let charged =
+                    t.pump(&mut self.sw.store, &mut part.hw.store, &mut part.link, now)?;
                 self.sw_debt += charged;
             }
         }
+        for k in 0..self.fabric.len() {
+            let (a, b) = (self.fabric[k].a, self.fabric[k].b);
+            if !(self.parts_list[a].alive && self.parts_list[b].alive) {
+                continue;
+            }
+            let (pa, pb) = parts_pair(&mut self.parts_list, a, b);
+            let f = &mut self.fabric[k];
+            // Fabric transfers never touch the CPU: the marshaling cost
+            // the pump reports is hardware-side and is discarded.
+            f.transactor
+                .pump(&mut pa.hw.store, &mut pb.hw.store, &mut f.link, now)?;
+        }
         // Software gets cpu_per_fpga cycles of budget; driver work
         // (sw_debt) is paid first.
-        let mut budget = self.link.config().cpu_per_fpga;
+        let mut budget = self.cpu_per_fpga;
         if self.sw_debt >= budget {
             self.sw_debt -= budget;
         } else {
@@ -774,11 +1424,11 @@ impl Cosim {
         done: impl Fn(&Cosim) -> bool,
         max_cycles: u64,
     ) -> ExecResult<CosimOutcome> {
-        if self.hw.is_none() && self.transactor.is_none() && !self.failed_over {
+        if self.parts_list.is_empty() && self.fabric.is_empty() && !self.failed_over {
             // Pure software: no cycle-by-cycle interleaving needed. (Not
             // taken after a failover — the splice preserved the FPGA
             // cycle count, which this path would clobber.)
-            let ratio = self.link.config().cpu_per_fpga;
+            let ratio = self.cpu_per_fpga;
             loop {
                 self.fpga_cycles = self.sw.cpu_cycles().div_ceil(ratio);
                 if done(self) {
@@ -821,57 +1471,134 @@ impl Cosim {
         })
     }
 
-    /// Declares a stall when faults are active, transport work is
-    /// pending, and no channel has made sequence progress for
-    /// `stall_threshold` cycles. Graceful degradation: the run ends with
-    /// per-channel diagnostics instead of burning the full cycle budget.
+    /// Declares a stall when some armed entity (a partition whose fault
+    /// model is active, or a faulty fabric link) has transport work
+    /// pending but has made no sequence progress for `stall_threshold`
+    /// cycles. Graceful degradation: the run ends with per-channel
+    /// diagnostics of the wedged entity instead of burning the full
+    /// cycle budget.
     fn check_stall(&mut self) -> Option<CosimOutcome> {
-        let t = self.transactor.as_ref()?;
-        if !self.link.faults_active() && self.fault_schedule.is_empty() {
-            return None;
+        let now = self.fpga_cycles;
+        for i in 0..self.parts_list.len() {
+            let p = &self.parts_list[i];
+            let Some(t) = &p.transactor else { continue };
+            if !p.link.faults_active() && p.fault_schedule.is_empty() {
+                continue;
+            }
+            let progress = t.progress();
+            let pending = t.pending_work(&self.sw.store, &p.hw.store);
+            let p = &mut self.parts_list[i];
+            if progress != p.last_progress || !pending {
+                p.last_progress = progress;
+                p.last_progress_cycle = now;
+                continue;
+            }
+            if now - p.last_progress_cycle >= self.stall_threshold {
+                let p = &self.parts_list[i];
+                return Some(CosimOutcome::Stalled {
+                    fpga_cycles: now,
+                    channels: p
+                        .transactor
+                        .as_ref()
+                        .expect("armed entity has transactor")
+                        .diagnostics(&self.sw.store, &p.hw.store),
+                });
+            }
         }
-        let progress = t.progress();
-        let hw = self.hw.as_ref().expect("transactor implies hw");
-        if progress != self.last_progress || !t.pending_work(&self.sw.store, &hw.store) {
-            self.last_progress = progress;
-            self.last_progress_cycle = self.fpga_cycles;
-            return None;
-        }
-        if self.fpga_cycles - self.last_progress_cycle >= self.stall_threshold {
-            return Some(CosimOutcome::Stalled {
-                fpga_cycles: self.fpga_cycles,
-                channels: t.diagnostics(&self.sw.store, &hw.store),
-            });
+        for k in 0..self.fabric.len() {
+            let f = &self.fabric[k];
+            let armed = f.link.faults_active()
+                || !self.parts_list[f.a].fault_schedule.is_empty()
+                || !self.parts_list[f.b].fault_schedule.is_empty();
+            if !armed {
+                continue;
+            }
+            let progress = f.transactor.progress();
+            let pending = f.transactor.pending_work(
+                &self.parts_list[f.a].hw.store,
+                &self.parts_list[f.b].hw.store,
+            );
+            let f = &mut self.fabric[k];
+            if progress != f.last_progress || !pending {
+                f.last_progress = progress;
+                f.last_progress_cycle = now;
+                continue;
+            }
+            if now - f.last_progress_cycle >= self.stall_threshold {
+                let f = &self.fabric[k];
+                return Some(CosimOutcome::Stalled {
+                    fpga_cycles: now,
+                    channels: f.transactor.diagnostics(
+                        &self.parts_list[f.a].hw.store,
+                        &self.parts_list[f.b].hw.store,
+                    ),
+                });
+            }
         }
         None
     }
 
-    /// Link traffic totals.
+    /// Bus-level traffic totals: the sum over every partition's CPU
+    /// link (fabric links are separate — see [`Cosim::fabric_stats`]).
     pub fn link_stats(&self) -> LinkStats {
-        self.link.stats()
+        let mut s = LinkStats::default();
+        for p in &self.parts_list {
+            s.merge(&p.link.stats());
+        }
+        s
     }
 
-    /// The link's fault model.
-    pub fn fault_config(&self) -> &FaultConfig {
-        self.link.fault_config()
+    /// Traffic totals over all fabric (HW↔HW) links.
+    pub fn fabric_stats(&self) -> LinkStats {
+        let mut s = LinkStats::default();
+        for f in &self.fabric {
+            s.merge(&f.link.stats());
+        }
+        s
     }
 
-    /// Transport-level statistics (CRC rejects, pure-ACK frames); all
-    /// zero on a perfect link.
+    /// The first partition's link fault model, if any hardware partition
+    /// exists.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.parts_list.first().map(|p| p.link.fault_config())
+    }
+
+    /// Transport-level statistics (CRC rejects, pure-ACK frames) summed
+    /// over every transactor; all zero on perfect links.
     pub fn transport_stats(&self) -> TransportStats {
-        self.transactor
-            .as_ref()
-            .map(|t| t.transport_stats())
-            .unwrap_or_default()
+        let mut s = TransportStats::default();
+        for p in &self.parts_list {
+            if let Some(t) = &p.transactor {
+                s.merge(&t.transport_stats());
+            }
+        }
+        for f in &self.fabric {
+            s.merge(&f.transactor.transport_stats());
+        }
+        s
     }
 
-    /// Per-channel transfer summaries.
+    /// Per-channel transfer summaries, partition transactors first (in
+    /// execution order), then fabric links.
     pub fn channel_report(&self) -> Vec<ChannelReport> {
-        self.transactor
-            .as_ref()
-            .map(|t| t.report())
-            .unwrap_or_default()
+        let mut out = Vec::new();
+        for p in &self.parts_list {
+            if let Some(t) = &p.transactor {
+                out.extend(t.report());
+            }
+        }
+        for f in &self.fabric {
+            out.extend(f.transactor.report());
+        }
+        out
     }
+}
+
+/// Two distinct mutable elements of the partition list.
+fn parts_pair(parts: &mut [HwPart], a: usize, b: usize) -> (&mut HwPart, &mut HwPart) {
+    debug_assert!(a < b, "fabric pairs are ordered");
+    let (lo, hi) = parts.split_at_mut(b);
+    (&mut lo[a], &mut hi[0])
 }
 
 /// Human-readable kind of a primitive spec, for error messages.
@@ -896,6 +1623,9 @@ mod tests {
     use bcl_core::program::Program;
     use bcl_core::types::Type;
 
+    /// Second hardware domain for multi-accelerator tests.
+    const HW2: &str = "HW2";
+
     /// src(SW) -> inSync -> HW (+1000) -> outSync -> snk(SW)
     fn offload_design(hw: bool) -> bcl_core::design::Design {
         let (from, to) = if hw { (SW, HW) } else { (SW, SW) };
@@ -913,6 +1643,36 @@ mod tests {
         elaborate(&Program::with_root(m.build())).unwrap()
     }
 
+    /// src(SW) -> s1 -> stage1(d1, +1) -> s2 -> stage2(d2, +10) -> s3 ->
+    /// snk(SW): a three-domain pipeline whose middle channel crosses two
+    /// hardware partitions when `d1 != d2`.
+    fn chain_design(d1: &str, d2: &str) -> bcl_core::design::Design {
+        let mut m = ModuleBuilder::new("Chain");
+        m.source("src", Type::Int(32), SW);
+        m.sink("snk", Type::Int(32), SW);
+        m.channel("s1", 4, Type::Int(32), SW, d1);
+        m.channel("s2", 4, Type::Int(32), d1, d2);
+        m.channel("s3", 4, Type::Int(32), d2, SW);
+        m.rule("feed", with_first("x", "src", enq("s1", var("x"))));
+        m.rule(
+            "stage1",
+            with_first("x", "s1", enq("s2", add(var("x"), cint(32, 1)))),
+        );
+        m.rule(
+            "stage2",
+            with_first("x", "s2", enq("s3", add(var("x"), cint(32, 10)))),
+        );
+        m.rule("drain", with_first("y", "s3", enq("snk", var("y"))));
+        elaborate(&Program::with_root(m.build())).unwrap()
+    }
+
+    fn sink_ints(cs: &Cosim, path: &str) -> Vec<i64> {
+        cs.sink_values(path)
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
+    }
+
     #[test]
     fn hw_offload_round_trip() {
         let d = offload_design(true);
@@ -923,12 +1683,7 @@ mod tests {
         }
         let out = cs.run_until(|c| c.sink_count("snk") == 5, 100_000).unwrap();
         assert!(out.is_done(), "timed out: {out:?}");
-        let vals: Vec<i64> = cs
-            .sink_values("snk")
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
-        assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
+        assert_eq!(sink_ints(&cs, "snk"), vec![1000, 1001, 1002, 1003, 1004]);
         // Round trip includes two link crossings: at least ~100 cycles.
         assert!(out.fpga_cycles() >= 100, "cycles = {}", out.fpga_cycles());
         let stats = cs.link_stats();
@@ -941,7 +1696,7 @@ mod tests {
         let d = fuse_syncs(&offload_design(false));
         let p = partition(&d, SW).unwrap();
         let mut cs = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
-        assert!(cs.hw.is_none());
+        assert_eq!(cs.hw_partition_count(), 0);
         for i in 0..5 {
             cs.push_source("src", Value::int(32, i));
         }
@@ -949,12 +1704,7 @@ mod tests {
             .run_until(|c| c.sink_count("snk") == 5, 1_000_000)
             .unwrap();
         assert!(out.is_done());
-        let vals: Vec<i64> = cs
-            .sink_values("snk")
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
-        assert_eq!(vals, vec![1000, 1001, 1002, 1003, 1004]);
+        assert_eq!(sink_ints(&cs, "snk"), vec![1000, 1001, 1002, 1003, 1004]);
         // No link traffic in pure software.
         assert_eq!(cs.link_stats().msgs_to_hw, 0);
     }
@@ -980,10 +1730,7 @@ mod tests {
                 .run_until(|c| c.sink_count("snk") == inputs.len(), 1_000_000)
                 .unwrap();
             assert!(out.is_done());
-            cs.sink_values("snk")
-                .iter()
-                .map(|v| v.as_int().unwrap())
-                .collect()
+            sink_ints(&cs, "snk")
         };
         assert_eq!(run(true), run(false));
     }
@@ -1021,13 +1768,8 @@ mod tests {
                 .run_until(|c| c.sink_count("snk") == 8, 5_000_000)
                 .unwrap();
             assert!(out.is_done(), "did not finish: {out:?}");
-            let vals: Vec<i64> = cs
-                .sink_values("snk")
-                .iter()
-                .map(|v| v.as_int().unwrap())
-                .collect();
             (
-                vals,
+                sink_ints(&cs, "snk"),
                 out.fpga_cycles(),
                 cs.link_stats(),
                 cs.channel_report(),
@@ -1141,6 +1883,46 @@ mod tests {
     }
 
     #[test]
+    fn two_domain_constructor_rejects_extra_partitions() {
+        let d = chain_design(HW, HW2);
+        let p = partition(&d, SW).unwrap();
+        let err = Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default())
+            .expect_err("three domains need Cosim::multi");
+        let msg = err.to_string();
+        assert!(msg.contains("Cosim::multi"), "must point at multi: {msg}");
+    }
+
+    #[test]
+    fn multi_rejects_bad_configurations() {
+        let d = chain_design(HW, HW2);
+        let p = partition(&d, SW).unwrap();
+        let dup = [HwPartitionCfg::new(HW), HwPartitionCfg::new(HW)];
+        let err = Cosim::multi(&p, SW, &dup, InterHwRouting::ViaHub, SwOptions::default())
+            .expect_err("duplicate cfg");
+        assert!(err.to_string().contains("duplicate"), "{err}");
+        let sw_cfg = [HwPartitionCfg::new(SW)];
+        let err = Cosim::multi(
+            &p,
+            SW,
+            &sw_cfg,
+            InterHwRouting::ViaHub,
+            SwOptions::default(),
+        )
+        .expect_err("sw cfg");
+        assert!(err.to_string().contains("software domain"), "{err}");
+        let missing = [HwPartitionCfg::new(HW)];
+        let err = Cosim::multi(
+            &p,
+            SW,
+            &missing,
+            InterHwRouting::ViaHub,
+            SwOptions::default(),
+        )
+        .expect_err("HW2 uncovered");
+        assert!(err.to_string().contains("HW2"), "{err}");
+    }
+
+    #[test]
     fn try_accessors_report_errors_instead_of_panicking() {
         let d = offload_design(true);
         let p = partition(&d, SW).unwrap();
@@ -1209,8 +1991,8 @@ mod tests {
 
     #[test]
     fn budget_accounting_survives_restore_exactly() {
-        // Satellite: cpu_cycles and sw_debt must replay exactly across a
-        // restore, under a driver expensive enough to keep debt nonzero.
+        // cpu_cycles and sw_debt must replay exactly across a restore,
+        // under a driver expensive enough to keep debt nonzero.
         let d = offload_design(true);
         let p = partition(&d, SW).unwrap();
         let cfg = LinkConfig {
@@ -1293,12 +2075,7 @@ mod tests {
                 .run_until(|c| c.sink_count("snk") == 8, 10_000_000)
                 .unwrap();
             assert!(out.is_done(), "did not finish: {out:?}");
-            let vals: Vec<i64> = cs
-                .sink_values("snk")
-                .iter()
-                .map(|v| v.as_int().unwrap())
-                .collect();
-            (vals, out.fpga_cycles())
+            (sink_ints(&cs, "snk"), out.fpga_cycles())
         };
         let (clean, clean_cycles) = run(FaultConfig::none(), RecoveryPolicy::Fail);
         let faults = FaultConfig::none()
@@ -1327,10 +2104,7 @@ mod tests {
                 .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
                 .unwrap()
                 .is_done());
-            cs.sink_values("snk")
-                .iter()
-                .map(|v| v.as_int().unwrap())
-                .collect()
+            sink_ints(&cs, "snk")
         };
         let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(180));
         let mut cs = Cosim::with_faults(
@@ -1352,13 +2126,16 @@ mod tests {
         assert!(out.is_done(), "failover must finish the job: {out:?}");
         assert!(cs.failed_over());
         assert!(!cs.hw_alive());
-        assert!(cs.hw.is_none(), "hardware is gone after failover");
-        let vals: Vec<i64> = cs
-            .sink_values("snk")
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .collect();
-        assert_eq!(vals, clean, "software takeover must not change values");
+        assert_eq!(
+            cs.hw_partition_count(),
+            0,
+            "hardware is gone after failover"
+        );
+        assert_eq!(
+            sink_ints(&cs, "snk"),
+            clean,
+            "software takeover must not change values"
+        );
     }
 
     #[test]
@@ -1394,5 +2171,331 @@ mod tests {
             }
             other => panic!("expected PartitionLost, got {other:?}"),
         }
+    }
+
+    // ---- multi-partition tests --------------------------------------
+
+    /// Runs the three-domain chain over two hardware partitions and
+    /// returns the sink stream plus the finished cosim.
+    fn run_chain(
+        routing: InterHwRouting,
+        cfgs: &[HwPartitionCfg],
+        policy: RecoveryPolicy,
+        n: i64,
+    ) -> (Vec<i64>, Cosim) {
+        let d = chain_design(HW, HW2);
+        let p = partition(&d, SW).unwrap();
+        let mut cs = Cosim::multi(&p, SW, cfgs, routing, SwOptions::default()).unwrap();
+        cs.set_recovery_policy(policy);
+        for i in 0..n {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == n as usize, 10_000_000)
+            .unwrap();
+        assert!(out.is_done(), "did not finish: {out:?}");
+        (sink_ints(&cs, "snk"), cs)
+    }
+
+    fn plain_cfgs() -> Vec<HwPartitionCfg> {
+        vec![HwPartitionCfg::new(HW), HwPartitionCfg::new(HW2)]
+    }
+
+    #[test]
+    fn hub_and_fabric_routing_agree_with_all_software() {
+        // Semantic interchangeability across physical topologies: the
+        // all-software run, the hub-routed and the fabric-routed
+        // two-accelerator runs all produce the same stream.
+        let expect: Vec<i64> = (0..12).map(|i| i + 11).collect();
+        let sw_only = {
+            let d = fuse_syncs(&chain_design(SW, SW));
+            let p = partition(&d, SW).unwrap();
+            let mut cs =
+                Cosim::multi(&p, SW, &[], InterHwRouting::ViaHub, SwOptions::default()).unwrap();
+            for i in 0..12 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            assert!(cs
+                .run_until(|c| c.sink_count("snk") == 12, 10_000_000)
+                .unwrap()
+                .is_done());
+            sink_ints(&cs, "snk")
+        };
+        let (hub, hub_cs) = run_chain(
+            InterHwRouting::ViaHub,
+            &plain_cfgs(),
+            RecoveryPolicy::Fail,
+            12,
+        );
+        let (fab, fab_cs) = run_chain(
+            InterHwRouting::fabric(),
+            &plain_cfgs(),
+            RecoveryPolicy::Fail,
+            12,
+        );
+        assert_eq!(sw_only, expect);
+        assert_eq!(hub, expect);
+        assert_eq!(fab, expect);
+        assert_eq!(hub_cs.hw_partition_count(), 2);
+        assert_eq!(hub_cs.hw_domains(), vec![HW, HW2]);
+        // Hub routing pays for the HW↔HW hop on the CPU links; fabric
+        // keeps it off the bus entirely.
+        assert!(hub_cs.fabric_stats().msgs_to_hw == 0);
+        assert!(fab_cs.fabric_stats().msgs_to_hw > 0);
+        assert!(
+            hub_cs.link_stats().msgs_to_hw > fab_cs.link_stats().msgs_to_hw,
+            "hub routing must add CPU-link traffic"
+        );
+    }
+
+    #[test]
+    fn single_partition_multi_matches_two_domain_constructor_exactly() {
+        // N=1 through Cosim::multi is the same machine as the two-domain
+        // constructor: bit- and cycle-identical.
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let run = |multi: bool| {
+            let mut cs = if multi {
+                Cosim::multi(
+                    &p,
+                    SW,
+                    &[HwPartitionCfg::new(HW)],
+                    InterHwRouting::ViaHub,
+                    SwOptions::default(),
+                )
+                .unwrap()
+            } else {
+                Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap()
+            };
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+                .unwrap();
+            assert!(out.is_done());
+            (sink_ints(&cs, "snk"), out.fpga_cycles(), cs.link_stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn per_partition_clock_divider_slows_completion_but_not_values() {
+        let expect: Vec<i64> = (0..8).map(|i| i + 11).collect();
+        let (fast, fast_cs) = run_chain(
+            InterHwRouting::ViaHub,
+            &plain_cfgs(),
+            RecoveryPolicy::Fail,
+            8,
+        );
+        let slow_cfgs = vec![
+            HwPartitionCfg::new(HW),
+            HwPartitionCfg::new(HW2).with_clock_div(64),
+        ];
+        let (slow, slow_cs) =
+            run_chain(InterHwRouting::ViaHub, &slow_cfgs, RecoveryPolicy::Fail, 8);
+        assert_eq!(fast, expect);
+        assert_eq!(slow, expect, "a slow clock region must not change values");
+        assert!(
+            slow_cs.fpga_cycles > fast_cs.fpga_cycles,
+            "half-speed partition must cost wall-clock: {} !> {}",
+            slow_cs.fpga_cycles,
+            fast_cs.fpga_cycles
+        );
+    }
+
+    #[test]
+    fn per_partition_fault_schedules_are_independent() {
+        use crate::link::{FaultConfig, PartitionFault};
+        // A lossy link on one partition and a reset on the other: the
+        // stream still comes out bit-identical.
+        let (clean, _) = run_chain(
+            InterHwRouting::ViaHub,
+            &plain_cfgs(),
+            RecoveryPolicy::Fail,
+            10,
+        );
+        let cfgs = vec![
+            HwPartitionCfg::new(HW).with_faults(FaultConfig::uniform(11, 0.2, 0.15, 0.1, 0.1)),
+            HwPartitionCfg::new(HW2).with_faults(
+                FaultConfig::none().with_partition_fault(PartitionFault::ResetAt(400)),
+            ),
+        ];
+        let (vals, cs) = run_chain(
+            InterHwRouting::ViaHub,
+            &cfgs,
+            RecoveryPolicy::restart(150),
+            10,
+        );
+        assert_eq!(vals, clean);
+        assert!(
+            cs.partition_link_stats(HW).unwrap().faults_injected() > 0,
+            "faults must fire on HW's link"
+        );
+        assert_eq!(
+            cs.partition_link_stats(HW2).unwrap().faults_injected(),
+            0,
+            "HW2's link is clean"
+        );
+    }
+
+    #[test]
+    fn multi_checkpoint_restore_is_bit_and_cycle_identical() {
+        let d = chain_design(HW, HW2);
+        let p = partition(&d, SW).unwrap();
+        let mk = || {
+            let mut cs = Cosim::multi(
+                &p,
+                SW,
+                &plain_cfgs(),
+                InterHwRouting::ViaHub,
+                SwOptions::default(),
+            )
+            .unwrap();
+            for i in 0..8 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            cs
+        };
+        let mut reference = mk();
+        let ref_out = reference
+            .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+            .unwrap();
+        assert!(ref_out.is_done());
+
+        let mut cs = mk();
+        for _ in 0..200 {
+            cs.step().unwrap();
+        }
+        let ckpt = cs.checkpoint();
+        for _ in 0..400 {
+            cs.step().unwrap();
+        }
+        cs.restore(&ckpt);
+        assert_eq!(cs.fpga_cycles, 200);
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 8, 1_000_000)
+            .unwrap();
+        assert!(out.is_done());
+        assert_eq!(out.fpga_cycles(), ref_out.fpga_cycles());
+        assert_eq!(cs.sink_values("snk"), reference.sink_values("snk"));
+        assert_eq!(cs.link_stats(), reference.link_stats());
+    }
+
+    #[test]
+    fn partial_restart_is_bit_and_cycle_identical() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let (clean, clean_cs) = run_chain(
+            InterHwRouting::ViaHub,
+            &plain_cfgs(),
+            RecoveryPolicy::Fail,
+            8,
+        );
+        let cfgs = vec![
+            HwPartitionCfg::new(HW),
+            HwPartitionCfg::new(HW2).with_faults(
+                FaultConfig::none()
+                    .with_partition_fault(PartitionFault::ResetAt(300))
+                    .with_partition_fault(PartitionFault::DieAt(700)),
+            ),
+        ];
+        let (vals, cs) = run_chain(
+            InterHwRouting::ViaHub,
+            &cfgs,
+            RecoveryPolicy::restart(100),
+            8,
+        );
+        assert_eq!(vals, clean, "restart must hide the faults");
+        assert_eq!(
+            cs.fpga_cycles, clean_cs.fpga_cycles,
+            "replay past a fired fault converges to the fault-free trajectory"
+        );
+        assert_eq!(
+            cs.hw_partition_count(),
+            2,
+            "both partitions still in hardware"
+        );
+    }
+
+    #[test]
+    fn partial_failover_keeps_survivors_in_hardware() {
+        use crate::link::{FaultConfig, PartitionFault};
+        for routing in [InterHwRouting::ViaHub, InterHwRouting::fabric()] {
+            let (clean, _) = run_chain(routing.clone(), &plain_cfgs(), RecoveryPolicy::Fail, 10);
+            let cfgs = vec![
+                HwPartitionCfg::new(HW),
+                HwPartitionCfg::new(HW2).with_faults(
+                    FaultConfig::none().with_partition_fault(PartitionFault::DieAt(250)),
+                ),
+            ];
+            let (vals, cs) = run_chain(routing, &cfgs, RecoveryPolicy::failover(100), 10);
+            assert!(
+                cs.fpga_cycles > 250,
+                "the fault must strike mid-run, not after completion"
+            );
+            assert_eq!(vals, clean, "failover must not change the stream");
+            assert!(cs.failed_over());
+            assert_eq!(
+                cs.hw_partition_count(),
+                1,
+                "the survivor must still execute in hardware"
+            );
+            assert_eq!(cs.partition_alive(HW), Some(true));
+            assert_eq!(
+                cs.partition_alive(HW2),
+                None,
+                "HW2 was spliced into software"
+            );
+            assert!(
+                cs.partition_link_stats(HW).unwrap().msgs_to_hw > 0,
+                "the survivor kept using its link"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_partition_accrues_no_cpu_debt() {
+        use crate::link::{FaultConfig, PartitionFault};
+        // One partition dies with no recovery. Once the system drains,
+        // software must settle to zero debt: a dead partition's link is
+        // never pumped, so it can never charge the CPU again.
+        let d = chain_design(HW, HW2);
+        let p = partition(&d, SW).unwrap();
+        let cfgs = vec![
+            HwPartitionCfg::new(HW),
+            HwPartitionCfg::new(HW2)
+                .with_faults(FaultConfig::none().with_partition_fault(PartitionFault::DieAt(150))),
+        ];
+        let mut cs =
+            Cosim::multi(&p, SW, &cfgs, InterHwRouting::ViaHub, SwOptions::default()).unwrap();
+        for i in 0..50 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        for _ in 0..20_000 {
+            cs.step().unwrap();
+        }
+        assert_eq!(cs.partition_alive(HW2), Some(false));
+        // The dead partition's link is never pumped again: its traffic
+        // counters freeze, and software debt stays bounded by the (tiny)
+        // per-cycle guard-polling cost — the unbounded marshal-debt
+        // accrual a pumped-but-dead link would cause cannot happen.
+        let frozen = cs.partition_link_stats(HW2).unwrap();
+        // One guard-polling sweep costs a handful of CPU cycles; allow a
+        // few sweeps' worth. Unbounded growth (the bug this pins) would
+        // blow far past this within the 500 steps below.
+        let poll_bound = 8 * LinkConfig::default().cpu_per_fpga;
+        for _ in 0..500 {
+            cs.step().unwrap();
+            assert!(
+                cs.sw_debt() <= poll_bound,
+                "a dead partition must never accrue debt: {}",
+                cs.sw_debt()
+            );
+        }
+        assert_eq!(
+            cs.partition_link_stats(HW2).unwrap(),
+            frozen,
+            "a dead partition's link must stay silent"
+        );
     }
 }

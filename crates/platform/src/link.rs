@@ -25,12 +25,20 @@
 
 use std::collections::VecDeque;
 
-/// Direction of travel across the HW/SW boundary.
+/// Direction of travel across a partition boundary.
+///
+/// A link always has an "A side" and a "B side". On a CPU-attached
+/// link the A side is the software partition; on a shared-fabric link
+/// between two hardware partitions the A side is whichever partition
+/// the cosim designated when it built the link's transactor — the
+/// names below read `Sw`/`Hw` for the dominant case.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
-    /// From the software partition to the hardware partition.
+    /// From the software (A-side) partition to the hardware (B-side)
+    /// partition.
     SwToHw,
-    /// From the hardware partition to the software partition.
+    /// From the hardware (B-side) partition to the software (A-side)
+    /// partition.
     HwToSw,
 }
 
@@ -371,6 +379,24 @@ pub struct LinkStats {
 }
 
 impl LinkStats {
+    /// Accumulates another link's counters into this one. The multi-
+    /// partition cosim sums per-partition links into a single bus-level
+    /// view ("to_hw" then means "away from software" on any link).
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.words_to_hw += other.words_to_hw;
+        self.words_to_sw += other.words_to_sw;
+        self.msgs_to_hw += other.msgs_to_hw;
+        self.msgs_to_sw += other.msgs_to_sw;
+        self.dropped_to_hw += other.dropped_to_hw;
+        self.dropped_to_sw += other.dropped_to_sw;
+        self.corrupted_to_hw += other.corrupted_to_hw;
+        self.corrupted_to_sw += other.corrupted_to_sw;
+        self.duplicated_to_hw += other.duplicated_to_hw;
+        self.duplicated_to_sw += other.duplicated_to_sw;
+        self.reordered_to_hw += other.reordered_to_hw;
+        self.reordered_to_sw += other.reordered_to_sw;
+    }
+
     /// Total frames affected by any injected fault.
     pub fn faults_injected(&self) -> u64 {
         self.dropped_to_hw

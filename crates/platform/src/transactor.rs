@@ -142,6 +142,17 @@ pub struct TransportStats {
     pub ack_frames_to_sw: u64,
 }
 
+impl TransportStats {
+    /// Accumulates another transactor's counters into this one; the
+    /// multi-partition cosim sums per-partition transports.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.crc_rejects_to_hw += other.crc_rejects_to_hw;
+        self.crc_rejects_to_sw += other.crc_rejects_to_sw;
+        self.ack_frames_to_hw += other.ack_frames_to_hw;
+        self.ack_frames_to_sw += other.ack_frames_to_sw;
+    }
+}
+
 /// A per-channel snapshot of sequence/credit state, produced when a
 /// co-simulation stalls (see [`crate::cosim::CosimOutcome::Stalled`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -498,10 +509,10 @@ impl Transactor {
                         continue;
                     }
                 };
-                if frame.flags & FLAG_ACK != 0 {
+                if frame.is_ack() {
                     self.process_ack(&frame, dir, now, rto_base)?;
                 }
-                if frame.flags & FLAG_DATA != 0 {
+                if frame.is_data() {
                     sw_cycles += self.process_data(&frame, dir, sw_store, hw_store, link)?;
                 }
             }

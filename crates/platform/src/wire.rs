@@ -47,6 +47,22 @@ pub struct Frame {
 }
 
 impl Frame {
+    /// True if the ACK fields (ack channel + cumulative ack) are
+    /// meaningful.
+    pub fn is_ack(&self) -> bool {
+        self.flags & FLAG_ACK != 0
+    }
+
+    /// True if the frame carries a sequenced data payload.
+    pub fn is_data(&self) -> bool {
+        self.flags & FLAG_DATA != 0
+    }
+
+    /// True if the frame is a retransmission (diagnostic only).
+    pub fn is_retransmit(&self) -> bool {
+        self.flags & FLAG_RETRANSMIT != 0
+    }
+
     /// Encodes the frame, appending the CRC.
     pub fn encode(&self) -> Vec<u32> {
         debug_assert!(

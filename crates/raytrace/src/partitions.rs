@@ -20,9 +20,13 @@ use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
 use bcl_core::value::Value;
-use bcl_platform::cosim::{Cosim, RecoveryPolicy};
+use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
+
+/// Domain name of the second accelerator in multi-accelerator
+/// partitions (the first uses [`HW`]).
+pub const HW2: &str = "HW2";
 
 /// The partitions evaluated in Figure 13 (right).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +39,12 @@ pub enum RtPartition {
     C,
     /// Traversal in hardware, geometry intersection + scene in software.
     D,
+    /// Traversal and geometry intersection in *separate* accelerators
+    /// (scene memory on-chip with the intersection engine): the
+    /// three-domain decomposition exercising the multi-accelerator
+    /// co-simulation — the request/response streams cross between the
+    /// two hardware partitions.
+    E,
 }
 
 impl RtPartition {
@@ -53,6 +63,7 @@ impl RtPartition {
             RtPartition::B => "B",
             RtPartition::C => "C",
             RtPartition::D => "D",
+            RtPartition::E => "E",
         }
     }
 
@@ -63,6 +74,7 @@ impl RtPartition {
             RtPartition::B => "Geom Inter in HW, scene in SW",
             RtPartition::C => "Trav+Geom in HW, scene in BRAM",
             RtPartition::D => "Trav in HW, Geom+scene in SW",
+            RtPartition::E => "Trav and Geom+scene in separate accelerators",
         }
     }
 
@@ -73,6 +85,7 @@ impl RtPartition {
             RtPartition::B => (SW, HW, true),
             RtPartition::C => (HW, HW, false),
             RtPartition::D => (HW, SW, false),
+            RtPartition::E => (HW, HW2, false),
         };
         RtConfig {
             trav: trav.into(),
@@ -109,6 +122,11 @@ pub struct RtRun {
     pub image: Vec<i64>,
     /// Rays traced.
     pub rays: usize,
+    /// Hardware partitions still executing in hardware at the end of the
+    /// run (partitions spliced into software by a failover don't count).
+    pub hw_partitions: usize,
+    /// True if a partition was failed over to software during the run.
+    pub failed_over: bool,
 }
 
 impl RtRun {
@@ -173,7 +191,32 @@ pub fn run_partition_with_recovery(
         ..Default::default()
     };
     let faulty = faults.is_active() || faults.has_partition_faults();
-    let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
+    // One link configuration per distinct hardware domain; the fault
+    // model (including scripted partition faults) applies to the first
+    // one — for partition E that is the traversal accelerator.
+    let mut hw_domains: Vec<&str> = Vec::new();
+    for d in [cfg.trav.as_str(), cfg.geom.as_str()] {
+        if d != SW && !hw_domains.contains(&d) {
+            hw_domains.push(d);
+        }
+    }
+    if hw_domains.is_empty() {
+        // Keep the two-domain configuration shape for all-software runs.
+        hw_domains.push(HW);
+    }
+    let cfgs: Vec<HwPartitionCfg> = hw_domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let c = HwPartitionCfg::new(d).with_link(ml507_link());
+            if i == 0 {
+                c.with_faults(faults.clone())
+            } else {
+                c
+            }
+        })
+        .collect();
+    let mut cosim = Cosim::multi(&parts, SW, &cfgs, InterHwRouting::ViaHub, sw_opts)?;
     cosim.set_recovery_policy(policy);
     let rays = width * height;
     for p in 0..rays as i64 {
@@ -201,6 +244,8 @@ pub fn run_partition_with_recovery(
         link: cosim.link_stats(),
         image: image_of_values(cosim.sink_values("bitmap"), rays),
         rays,
+        hw_partitions: cosim.hw_partition_count(),
+        failed_over: cosim.failed_over(),
     })
 }
 
@@ -276,6 +321,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(failover.image, clean.image);
+    }
+
+    #[test]
+    fn three_domain_partition_renders_identically_and_survives_death() {
+        use bcl_platform::link::PartitionFault;
+        let scene = make_scene(48, 5);
+        let bvh = build_bvh(&scene);
+        let (w, h) = (4, 4);
+        let want = render(&bvh, &gen_rays(w, h));
+        let clean = run_partition(RtPartition::E, &bvh, w, h).unwrap();
+        assert_eq!(clean.image, want, "partition E output mismatch");
+        assert_eq!(clean.hw_partitions, 2, "E runs two accelerators");
+        // Kill the traversal accelerator mid-render: the image must come
+        // out bit-identical, with the intersection accelerator still in
+        // hardware at the end.
+        let die_at = clean.fpga_cycles / 2;
+        let failover = run_partition_with_recovery(
+            RtPartition::E,
+            &bvh,
+            w,
+            h,
+            FaultConfig::none().with_partition_fault(PartitionFault::DieAt(die_at)),
+            RecoveryPolicy::failover((die_at / 4).max(1)),
+        )
+        .unwrap();
+        assert!(
+            failover.fpga_cycles > die_at,
+            "the fault must strike mid-render"
+        );
+        assert_eq!(failover.image, clean.image);
+        assert!(failover.failed_over);
+        assert_eq!(
+            failover.hw_partitions, 1,
+            "the intersection accelerator must survive in hardware"
+        );
     }
 
     #[test]

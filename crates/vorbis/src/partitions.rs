@@ -19,9 +19,13 @@ use crate::bcl::{build_design, frame_value, pcm_of_values, BackendOptions, Vorbi
 use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
 use bcl_core::sched::{Strategy, SwOptions};
-use bcl_platform::cosim::{Cosim, RecoveryPolicy};
+use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
+
+/// Domain name of the second accelerator in multi-accelerator
+/// partitions (the first uses [`HW`]).
+pub const HW2: &str = "HW2";
 
 /// The partitions evaluated in Figure 13 (left).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -38,6 +42,11 @@ pub enum VorbisPartition {
     E,
     /// Entire back-end in software.
     F,
+    /// IMDCT and IFFT in one accelerator, windowing in a second: the
+    /// three-domain decomposition exercising the multi-accelerator
+    /// co-simulation (the `chPost` stream crosses between the two
+    /// hardware partitions).
+    G,
 }
 
 impl VorbisPartition {
@@ -60,6 +69,7 @@ impl VorbisPartition {
             VorbisPartition::D => "D",
             VorbisPartition::E => "E",
             VorbisPartition::F => "F",
+            VorbisPartition::G => "G",
         }
     }
 
@@ -72,11 +82,19 @@ impl VorbisPartition {
             VorbisPartition::D => "IMDCT + IFFT in HW",
             VorbisPartition::E => "full back-end in HW",
             VorbisPartition::F => "full SW",
+            VorbisPartition::G => "IMDCT + IFFT in one accelerator, window in a second",
         }
     }
 
     /// Domain placement for this partition.
     pub fn domains(&self) -> VorbisDomains {
+        if let VorbisPartition::G = self {
+            return VorbisDomains {
+                imdct: HW.to_string(),
+                ifft: HW.to_string(),
+                window: HW2.to_string(),
+            };
+        }
         let pick = |hw: bool| if hw { HW.to_string() } else { SW.to_string() };
         let (imdct, ifft, window) = match self {
             VorbisPartition::A => (false, false, true),
@@ -85,6 +103,7 @@ impl VorbisPartition {
             VorbisPartition::D => (true, true, false),
             VorbisPartition::E => (true, true, true),
             VorbisPartition::F => (false, false, false),
+            VorbisPartition::G => unreachable!(),
         };
         VorbisDomains {
             imdct: pick(imdct),
@@ -120,6 +139,11 @@ pub struct VorbisRun {
     pub pcm: Vec<i64>,
     /// Frames decoded.
     pub frames: usize,
+    /// Hardware partitions still executing in hardware at the end of the
+    /// run (partitions spliced into software by a failover don't count).
+    pub hw_partitions: usize,
+    /// True if a partition was failed over to software during the run.
+    pub failed_over: bool,
 }
 
 impl VorbisRun {
@@ -160,8 +184,15 @@ pub fn run_partition_with_faults(
 /// Runs a partition with both a fault model and a recovery policy for
 /// scripted hardware-partition faults: restart-from-checkpoint replays to
 /// the exact fault-free trajectory, failover-to-software finishes the
-/// stream on the fused all-software design. Either way the decoded PCM is
+/// stream with the lost partition fused into software (any other
+/// accelerators keep running in hardware). Either way the decoded PCM is
 /// bit-identical to a fault-free run.
+///
+/// The fault model (including scripted partition faults) applies to the
+/// *first* hardware partition — for the multi-accelerator partition G
+/// that is the IMDCT+IFFT accelerator; the window accelerator runs on a
+/// clean link. Channels between two accelerators route through the
+/// software hub, as on the paper's bus-attached platform.
 ///
 /// # Errors
 ///
@@ -173,8 +204,9 @@ pub fn run_partition_with_recovery(
     faults: FaultConfig,
     policy: RecoveryPolicy,
 ) -> Result<VorbisRun, PlatformError> {
+    let domains = which.domains();
     let opts = BackendOptions {
-        domains: which.domains(),
+        domains: domains.clone(),
         ..Default::default()
     };
     let design = build_design(&opts).map_err(|e| PlatformError::new(e.to_string()))?;
@@ -184,7 +216,29 @@ pub fn run_partition_with_recovery(
         ..Default::default()
     };
     let faulty = faults.is_active() || faults.has_partition_faults();
-    let mut cosim = Cosim::with_faults(&parts, SW, HW, ml507_link(), faults, sw_opts)?;
+    let mut hw_domains: Vec<&str> = Vec::new();
+    for d in [&domains.imdct, &domains.ifft, &domains.window] {
+        if d != SW && !hw_domains.contains(&d.as_str()) {
+            hw_domains.push(d);
+        }
+    }
+    if hw_domains.is_empty() {
+        // Keep the two-domain configuration shape for all-software runs.
+        hw_domains.push(HW);
+    }
+    let cfgs: Vec<HwPartitionCfg> = hw_domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let cfg = HwPartitionCfg::new(d).with_link(ml507_link());
+            if i == 0 {
+                cfg.with_faults(faults.clone())
+            } else {
+                cfg
+            }
+        })
+        .collect();
+    let mut cosim = Cosim::multi(&parts, SW, &cfgs, InterHwRouting::ViaHub, sw_opts)?;
     cosim.set_recovery_policy(policy);
     for f in frames {
         cosim.push_source("src", frame_value(f));
@@ -214,6 +268,8 @@ pub fn run_partition_with_recovery(
         link: cosim.link_stats(),
         pcm: pcm_of_values(cosim.sink_values("audioDev")),
         frames: want,
+        hw_partitions: cosim.hw_partition_count(),
+        failed_over: cosim.failed_over(),
     })
 }
 
@@ -260,6 +316,45 @@ mod tests {
         )
         .unwrap();
         assert_eq!(failover.pcm, clean.pcm);
+    }
+
+    #[test]
+    fn three_domain_partition_decodes_identically() {
+        let frames = frame_stream(3, 21);
+        let expected = NativeBackend::new().run(&frames);
+        let run = run_partition(VorbisPartition::G, &frames).unwrap();
+        assert_eq!(run.pcm, expected, "G output mismatch");
+        assert_eq!(run.hw_partitions, 2, "G runs two accelerators");
+        assert!(!run.failed_over);
+    }
+
+    #[test]
+    fn three_domain_accelerator_death_fails_over_survivor_stays_in_hw() {
+        use bcl_platform::link::PartitionFault;
+        // The headline multi-accelerator scenario: the IMDCT+IFFT
+        // accelerator dies mid-stream, the run completes bit-identical to
+        // the fault-free decode, and the window accelerator keeps
+        // executing in hardware throughout.
+        let frames = frame_stream(3, 21);
+        let clean = run_partition(VorbisPartition::G, &frames).unwrap();
+        let die_at = clean.fpga_cycles / 2;
+        let failover = run_partition_with_recovery(
+            VorbisPartition::G,
+            &frames,
+            FaultConfig::none().with_partition_fault(PartitionFault::DieAt(die_at)),
+            RecoveryPolicy::failover((die_at / 4).max(1)),
+        )
+        .unwrap();
+        assert!(
+            failover.fpga_cycles > die_at,
+            "the fault must strike mid-stream"
+        );
+        assert_eq!(failover.pcm, clean.pcm, "death must not corrupt the PCM");
+        assert!(failover.failed_over);
+        assert_eq!(
+            failover.hw_partitions, 1,
+            "the window accelerator must survive in hardware"
+        );
     }
 
     #[test]

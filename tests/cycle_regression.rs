@@ -1,0 +1,75 @@
+//! Cycle-count regression pins for the shipped partitions.
+//!
+//! The co-simulation's timing model is part of the artifact: Figure 13's
+//! conclusions are statements about cycle counts, and the N-partition
+//! generalization of the cosim promises that an N=1 configuration is
+//! bit- AND cycle-identical to the original two-domain machine. These
+//! tests pin the exact no-fault `fpga_cycles` / `sw_cpu_cycles` of every
+//! shipped partition on fixed inputs, so any timing drift — a changed
+//! pump order, an extra budget charge, a reordered rule — fails loudly
+//! instead of silently skewing the paper's numbers.
+//!
+//! If a change legitimately alters the timing model, re-baseline these
+//! constants in the same commit and say why.
+
+use bcl_raytrace::bvh::build_bvh;
+use bcl_raytrace::geom::make_scene;
+use bcl_raytrace::partitions::{run_partition as rt_run, RtPartition};
+use bcl_vorbis::frames::frame_stream;
+use bcl_vorbis::partitions::{run_partition as vorbis_run, VorbisPartition};
+
+/// (partition, fpga_cycles, sw_cpu_cycles) on `frame_stream(3, 21)`.
+const VORBIS_BASELINE: &[(VorbisPartition, u64, u64)] = &[
+    (VorbisPartition::A, 10_876, 33_944),
+    (VorbisPartition::B, 7_701, 5_858),
+    (VorbisPartition::C, 9_861, 4_904),
+    (VorbisPartition::D, 2_736, 1_358),
+    (VorbisPartition::E, 1_726, 388),
+    (VorbisPartition::F, 8_716, 34_862),
+    (VorbisPartition::G, 4_894, 388), // three-domain (IMDCT+IFFT | window)
+];
+
+/// (partition, fpga_cycles, sw_cpu_cycles) on `make_scene(48, 5)`, 4×4.
+const RT_BASELINE: &[(RtPartition, u64, u64)] = &[
+    (RtPartition::A, 19_188, 76_749),
+    (RtPartition::B, 51_597, 68_187),
+    (RtPartition::C, 2_564, 2_076),
+    (RtPartition::D, 29_136, 33_482),
+    (RtPartition::E, 40_004, 2_076), // three-domain (traversal | geometry)
+];
+
+#[test]
+fn vorbis_partition_cycle_counts_are_pinned() {
+    let frames = frame_stream(3, 21);
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in VORBIS_BASELINE {
+        let run = vorbis_run(p, &frames).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        if (run.fpga_cycles, run.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {}: expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                run.fpga_cycles,
+                run.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn raytrace_partition_cycle_counts_are_pinned() {
+    let bvh = build_bvh(&make_scene(48, 5));
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in RT_BASELINE {
+        let run = rt_run(p, &bvh, 4, 4).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        if (run.fpga_cycles, run.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {}: expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                run.fpga_cycles,
+                run.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}

@@ -1,0 +1,230 @@
+//! Cross-partition equivalence: the paper's central claim, quantified
+//! over *arbitrary* domain assignments. A BCL design is a
+//! latency-insensitive dataflow network, so the value streams at every
+//! sink are identical no matter how the rules are scattered across one
+//! software partition and 1–3 hardware partitions — through the software
+//! hub or over a direct fabric link, and even with every link injecting
+//! random faults (any loss rate below 1.0), because the generated
+//! transport hides them.
+//!
+//! Three designs are exercised: a synthetic three-stage pipeline (every
+//! stage independently placed), the Vorbis back-end (IMDCT / IFFT /
+//! window independently placed), and the ray tracer (traversal /
+//! intersection independently placed). The reference is always the
+//! all-software execution.
+//!
+//! CI pins `PROPTEST_SEED` so failures reproduce exactly; locally the
+//! vendored proptest derives a per-test seed from the test name.
+
+use bcl_core::builder::{dsl::*, ModuleBuilder};
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::{partition, Partitioned};
+use bcl_core::program::Program;
+use bcl_core::sched::{Strategy as SchedStrategy, SwOptions};
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting};
+use bcl_platform::link::{FaultConfig, LinkConfig};
+use bcl_vorbis::bcl::{frame_value, pcm_of_values, BackendOptions, VorbisDomains};
+use bcl_vorbis::frames::frame_stream;
+use bcl_vorbis::native::NativeBackend;
+use proptest::prelude::*;
+
+/// The domain pool: index 0 is software, 1–3 are accelerators.
+const DOMAINS: [&str; 4] = [SW, HW, "HW2", "HW3"];
+
+/// A fault schedule with every rate in [0, 0.5] — loss strictly below
+/// 1.0 on every link, so the transport always gets through eventually.
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (any::<u64>(), 0u32..=50, 0u32..=50, 0u32..=50, 0u32..=50).prop_map(
+        |(seed, drop, corrupt, dup, reorder)| {
+            FaultConfig::uniform(
+                seed,
+                drop as f64 / 100.0,
+                corrupt as f64 / 100.0,
+                dup as f64 / 100.0,
+                reorder as f64 / 100.0,
+            )
+        },
+    )
+}
+
+/// Inter-accelerator routing: through the software hub, or a direct
+/// fabric link that injects its own faults.
+fn arb_routing() -> impl Strategy<Value = InterHwRouting> {
+    (any::<bool>(), arb_faults()).prop_map(|(hub, faults)| {
+        if hub {
+            InterHwRouting::ViaHub
+        } else {
+            InterHwRouting::Fabric {
+                link: LinkConfig::default(),
+                faults,
+            }
+        }
+    })
+}
+
+/// Per-accelerator link fault schedules, one per pool entry.
+fn arb_faults_per_partition() -> impl Strategy<Value = Vec<FaultConfig>> {
+    proptest::collection::vec(arb_faults(), 3)
+}
+
+/// One `HwPartitionCfg` per distinct accelerator domain actually present
+/// in `parts`, each with its own fault schedule drawn from `faults`.
+fn cfgs_for(parts: &Partitioned, faults: &[FaultConfig]) -> Vec<HwPartitionCfg> {
+    let mut hw = parts.hw_domains(SW);
+    hw.sort();
+    hw.iter()
+        .enumerate()
+        .map(|(i, d)| HwPartitionCfg::new(d).with_faults(faults[i % faults.len()].clone()))
+        .collect()
+}
+
+/// Drives a partitioned design to completion under the given topology
+/// and returns the sink stream.
+fn run_sink(
+    parts: &Partitioned,
+    faults: &[FaultConfig],
+    routing: InterHwRouting,
+    source: &str,
+    sink: &str,
+    inputs: &[Value],
+    want: usize,
+) -> Vec<Value> {
+    let sw_opts = SwOptions {
+        strategy: SchedStrategy::Dataflow,
+        ..Default::default()
+    };
+    let cfgs = cfgs_for(parts, faults);
+    let mut cs = Cosim::multi(parts, SW, &cfgs, routing, sw_opts).unwrap();
+    for v in inputs {
+        cs.push_source(source, v.clone());
+    }
+    let out = cs
+        .run_until(|c| c.sink_count(sink) == want, 100_000_000)
+        .unwrap();
+    assert!(out.is_done(), "run did not complete: {out:?}");
+    cs.sink_values(sink).to_vec()
+}
+
+/// src(SW) → stage1(+1, d1) → stage2(+10, d2) → stage3(+100, d3) →
+/// snk(SW): the minimal pipeline where every stage is independently
+/// placeable and every adjacent pair may share or split a domain.
+fn pipeline_design(d1: &str, d2: &str, d3: &str) -> bcl_core::design::Design {
+    let mut m = ModuleBuilder::new("Pipe");
+    m.source("src", Type::Int(32), SW);
+    m.sink("snk", Type::Int(32), SW);
+    m.channel("c0", 2, Type::Int(32), SW, d1);
+    m.channel("c1", 2, Type::Int(32), d1, d2);
+    m.channel("c2", 2, Type::Int(32), d2, d3);
+    m.channel("c3", 2, Type::Int(32), d3, SW);
+    m.rule("feed", with_first("x", "src", enq("c0", var("x"))));
+    m.rule(
+        "s1",
+        with_first("x", "c0", enq("c1", add(var("x"), cint(32, 1)))),
+    );
+    m.rule(
+        "s2",
+        with_first("x", "c1", enq("c2", add(var("x"), cint(32, 10)))),
+    );
+    m.rule(
+        "s3",
+        with_first("x", "c2", enq("c3", add(var("x"), cint(32, 100)))),
+    );
+    m.rule("drain", with_first("x", "c3", enq("snk", var("x"))));
+    bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn pipeline_is_equivalent_under_any_domain_assignment(
+        d1 in 0usize..4,
+        d2 in 0usize..4,
+        d3 in 0usize..4,
+        faults in arb_faults_per_partition(),
+        routing in arb_routing(),
+        inputs in proptest::collection::vec(-1000i64..1000, 1..10),
+    ) {
+        let design = pipeline_design(DOMAINS[d1], DOMAINS[d2], DOMAINS[d3]);
+        let parts = partition(&design, SW).unwrap();
+        let vals: Vec<Value> = inputs.iter().map(|&i| Value::int(32, i)).collect();
+        let got = run_sink(&parts, &faults, routing, "src", "snk", &vals, inputs.len());
+        let got: Vec<i64> = got.iter().map(|v| v.as_int().unwrap()).collect();
+        let expected: Vec<i64> = inputs.iter().map(|&i| i + 111).collect();
+        prop_assert_eq!(got, expected, "domains ({}, {}, {})",
+            DOMAINS[d1], DOMAINS[d2], DOMAINS[d3]);
+    }
+}
+
+proptest! {
+    // The app designs are heavier; fewer cases each.
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    #[test]
+    fn vorbis_is_equivalent_under_any_domain_assignment(
+        imdct in 0usize..4,
+        ifft in 0usize..4,
+        window in 0usize..4,
+        faults in arb_faults_per_partition(),
+        routing in arb_routing(),
+    ) {
+        let frames = frame_stream(2, 9);
+        let golden = NativeBackend::new().run(&frames);
+        let opts = BackendOptions {
+            domains: VorbisDomains {
+                imdct: DOMAINS[imdct].to_string(),
+                ifft: DOMAINS[ifft].to_string(),
+                window: DOMAINS[window].to_string(),
+            },
+            ..Default::default()
+        };
+        let design = bcl_vorbis::bcl::build_design(&opts).unwrap();
+        let parts = partition(&design, SW).unwrap();
+        let vals: Vec<Value> = frames.iter().map(|f| frame_value(f)).collect();
+        let got = run_sink(&parts, &faults, routing, "src", "audioDev", &vals, frames.len());
+        prop_assert_eq!(pcm_of_values(&got), golden, "domains ({}, {}, {})",
+            DOMAINS[imdct], DOMAINS[ifft], DOMAINS[window]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 5, ..ProptestConfig::default() })]
+
+    #[test]
+    fn raytracer_is_equivalent_under_any_domain_assignment(
+        trav in 0usize..4,
+        geom in 0usize..4,
+        remote_scene in any::<bool>(),
+        faults in arb_faults_per_partition(),
+        routing in arb_routing(),
+    ) {
+        use bcl_raytrace::bcl::{build_design, image_of_values, RtConfig};
+        use bcl_raytrace::bvh::build_bvh;
+        use bcl_raytrace::geom::{gen_rays, make_scene};
+        use bcl_raytrace::native::render;
+
+        let bvh = build_bvh(&make_scene(24, 3));
+        let (w, h) = (2, 2);
+        let golden = render(&bvh, &gen_rays(w, h));
+        let cfg = RtConfig {
+            trav: DOMAINS[trav].to_string(),
+            geom: DOMAINS[geom].to_string(),
+            // Shipping triangles per request is only well-formed in the
+            // partition-B shape: traversal (and the scene) in software,
+            // the intersection engine elsewhere.
+            remote_scene: remote_scene && DOMAINS[trav] == SW && DOMAINS[geom] != SW,
+            width: w,
+            height: h,
+            depth: 4,
+        };
+        let design = build_design(&bvh, &cfg).unwrap();
+        let parts = partition(&design, SW).unwrap();
+        let rays = w * h;
+        let vals: Vec<Value> = (0..rays as i64).map(|p| Value::int(32, p)).collect();
+        let got = run_sink(&parts, &faults, routing, "pixSrc", "bitmap", &vals, rays);
+        prop_assert_eq!(image_of_values(&got, rays), golden, "domains ({}, {})",
+            DOMAINS[trav], DOMAINS[geom]);
+    }
+}

@@ -73,7 +73,7 @@ fn hardware_partitions_pass_the_hw_legality_check() {
         };
         let d = build_design(&opts).unwrap();
         let parts = partition(&d, SW).unwrap();
-        if let Some(hw) = parts.partition(HW) {
+        if let Ok(hw) = parts.partition(HW) {
             hw_check(hw).unwrap_or_else(|e| panic!("{p:?}: {e}"));
         }
     }
