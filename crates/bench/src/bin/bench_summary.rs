@@ -1,0 +1,156 @@
+//! Wall-clock comparison of the event-driven scheduler (compiled guards,
+//! verdict caching, dirty-set invalidation) against the naive reference
+//! mode (per-cycle AST interpretation of every guard), over the Figure 13
+//! quick benchmarks. Emits a machine-readable JSON summary.
+//!
+//! ```text
+//! bench_summary [output.json]    # default: BENCH_pr4.json
+//! ```
+//!
+//! Cycle counts are asserted identical between the two modes for every
+//! partition — the speedup is pure simulator wall-clock, not a change in
+//! what is simulated.
+
+use bcl_raytrace::bvh::build_bvh;
+use bcl_raytrace::geom::make_scene;
+use bcl_raytrace::partitions::{
+    run_partition as run_rt, run_partition_naive as run_rt_naive, RtPartition,
+};
+use bcl_vorbis::frames::frame_stream;
+use bcl_vorbis::partitions::{run_partition, run_partition_naive, VorbisPartition};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: u32 = 3;
+
+struct Entry {
+    bench: &'static str,
+    partition: String,
+    fpga_cycles: u64,
+    naive_ns: u128,
+    event_ns: u128,
+    guard_evals: u64,
+    guard_evals_skipped: u64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.naive_ns as f64 / self.event_ns.max(1) as f64
+    }
+}
+
+/// Best-of-N wall clock for one closure.
+fn time_best<T>(mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let v = f();
+        best = best.min(t.elapsed().as_nanos());
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let mut entries: Vec<Entry> = Vec::new();
+
+    let frames = frame_stream(8, 1);
+    for p in VorbisPartition::ALL {
+        let (naive_ns, base) = time_best(|| run_partition_naive(p, &frames).unwrap());
+        let (event_ns, run) = time_best(|| run_partition(p, &frames).unwrap());
+        assert_eq!(
+            run.fpga_cycles,
+            base.fpga_cycles,
+            "vorbis {}: cycle counts diverged between modes",
+            p.label()
+        );
+        assert_eq!(run.pcm, base.pcm, "vorbis {}: PCM diverged", p.label());
+        entries.push(Entry {
+            bench: "fig13_vorbis",
+            partition: p.label().to_string(),
+            fpga_cycles: run.fpga_cycles,
+            naive_ns,
+            event_ns,
+            guard_evals: run.guard_evals,
+            guard_evals_skipped: run.guard_evals_skipped,
+        });
+    }
+
+    let bvh = build_bvh(&make_scene(64, 1));
+    for p in RtPartition::ALL {
+        let (naive_ns, base) = time_best(|| run_rt_naive(p, &bvh, 4, 4).unwrap());
+        let (event_ns, run) = time_best(|| run_rt(p, &bvh, 4, 4).unwrap());
+        assert_eq!(
+            run.fpga_cycles,
+            base.fpga_cycles,
+            "raytrace {}: cycle counts diverged between modes",
+            p.label()
+        );
+        assert_eq!(
+            run.image,
+            base.image,
+            "raytrace {}: image diverged",
+            p.label()
+        );
+        entries.push(Entry {
+            bench: "fig13_raytrace",
+            partition: p.label().to_string(),
+            fpga_cycles: run.fpga_cycles,
+            naive_ns,
+            event_ns,
+            guard_evals: run.guard_evals,
+            guard_evals_skipped: run.guard_evals_skipped,
+        });
+    }
+
+    let total_naive: u128 = entries.iter().map(|e| e.naive_ns).sum();
+    let total_event: u128 = entries.iter().map(|e| e.event_ns).sum();
+    let overall = total_naive as f64 / total_event.max(1) as f64;
+
+    println!(
+        "{:<16} {:<4} {:>12} {:>12} {:>8} {:>12} {:>12}",
+        "bench", "part", "naive_ms", "event_ms", "speedup", "guard_evals", "skipped"
+    );
+    for e in &entries {
+        println!(
+            "{:<16} {:<4} {:>12.3} {:>12.3} {:>7.2}x {:>12} {:>12}",
+            e.bench,
+            e.partition,
+            e.naive_ns as f64 / 1e6,
+            e.event_ns as f64 / 1e6,
+            e.speedup(),
+            e.guard_evals,
+            e.guard_evals_skipped
+        );
+    }
+    println!("overall speedup: {overall:.2}x");
+
+    let mut json = String::from("{\n  \"benchmark\": \"event_driven_vs_naive\",\n");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"overall_speedup\": {overall:.4},");
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"bench\": \"{}\", \"partition\": \"{}\", \"fpga_cycles\": {}, \
+             \"naive_ns\": {}, \"event_ns\": {}, \"speedup\": {:.4}, \
+             \"guard_evals\": {}, \"guard_evals_skipped\": {}}}",
+            e.bench,
+            e.partition,
+            e.fpga_cycles,
+            e.naive_ns,
+            e.event_ns,
+            e.speedup(),
+            e.guard_evals,
+            e.guard_evals_skipped
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

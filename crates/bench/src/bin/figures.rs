@@ -52,6 +52,16 @@ fn fig13_vorbis(frames: usize) {
             r.link.msgs_to_sw
         );
     }
+    println!("guard scheduling (event-driven) per partition:");
+    for (p, r) in &runs {
+        println!(
+            "  {}: {:>9} evaluated, {:>9} skipped ({:.1}% avoided)",
+            p.label(),
+            r.guard_evals,
+            r.guard_evals_skipped,
+            skip_pct(r.guard_evals, r.guard_evals_skipped),
+        );
+    }
     let f = runs
         .iter()
         .find(|(p, _)| *p == bcl_vorbis::partitions::VorbisPartition::F);
@@ -78,19 +88,38 @@ fn fig13_raytrace(scale: Scale) {
         "== Figure 13 (right): RayTrace execution time, {tris} primitives, {w}x{h} image ==\n"
     );
     let bvh = build_bvh(&make_scene(tris, 2012));
-    let rows: Vec<Row> = RtPartition::ALL
+    let runs: Vec<_> = RtPartition::ALL
         .iter()
         .map(|&p| {
             let r = run_rt(p, &bvh, w, h).unwrap_or_else(|e| panic!("{p:?}: {e}"));
-            Row {
-                label: p.label().to_string(),
-                desc: format!("{} ({:.0} cyc/ray)", p.description(), r.cycles_per_ray()),
-                cycles: r.fpga_cycles,
-            }
+            (p, r)
+        })
+        .collect();
+    let rows: Vec<Row> = runs
+        .iter()
+        .map(|(p, r)| Row {
+            label: p.label().to_string(),
+            desc: format!("{} ({:.0} cyc/ray)", p.description(), r.cycles_per_ray()),
+            cycles: r.fpga_cycles,
         })
         .collect();
     println!("{}", bar_chart("execution time (FPGA cycles)", &rows));
+    println!("guard scheduling (event-driven) per partition:");
+    for (p, r) in &runs {
+        println!(
+            "  {}: {:>9} evaluated, {:>9} skipped ({:.1}% avoided)",
+            p.label(),
+            r.guard_evals,
+            r.guard_evals_skipped,
+            skip_pct(r.guard_evals, r.guard_evals_skipped),
+        );
+    }
     println!();
+}
+
+/// Share of guard evaluations the event-driven scheduler avoided.
+fn skip_pct(evals: u64, skipped: u64) -> f64 {
+    100.0 * skipped as f64 / (evals + skipped).max(1) as f64
 }
 
 fn platform() {

@@ -137,6 +137,56 @@ impl RwSet {
     }
 }
 
+/// Per-rule static sensitivity sets for event-driven scheduling: which
+/// primitives each rule's *lifted guard* reads (its sensitivity list) and
+/// which its body writes, plus the inverted map from primitive to the
+/// rules whose guards must be re-evaluated when it is dirtied.
+///
+/// A rule with no lifted guard has an empty read set — the scheduler
+/// always attempts it, so there is no verdict to invalidate. A guard with
+/// an empty read set is constant: its verdict can never change, so never
+/// appearing in `readers_of` is exactly right.
+#[derive(Debug, Clone)]
+pub struct Sensitivity {
+    /// Primitives read by each rule's lifted guard (indexed like the
+    /// rule plans).
+    pub guard_reads: Vec<BTreeSet<PrimId>>,
+    /// Primitives written by each rule's body.
+    pub body_writes: Vec<BTreeSet<PrimId>>,
+    /// `readers_of[p]`: the rules whose guard reads primitive `p`
+    /// (ascending rule index).
+    pub readers_of: Vec<Vec<usize>>,
+}
+
+impl Sensitivity {
+    /// Computes the sensitivity sets for a set of compiled rule plans
+    /// over a design with `n_prims` primitives.
+    pub fn of_plans(plans: &[crate::xform::RulePlan], n_prims: usize) -> Sensitivity {
+        let guard_reads: Vec<BTreeSet<PrimId>> = plans
+            .iter()
+            .map(|p| match &p.guard {
+                Some(g) => RwSet::of_expr(g).touched_prims(),
+                None => BTreeSet::new(),
+            })
+            .collect();
+        let body_writes: Vec<BTreeSet<PrimId>> = plans
+            .iter()
+            .map(|p| RwSet::of_action(&p.body).written_prims())
+            .collect();
+        let mut readers_of = vec![Vec::new(); n_prims];
+        for (rule, reads) in guard_reads.iter().enumerate() {
+            for p in reads {
+                readers_of[p.0].push(rule);
+            }
+        }
+        Sensitivity {
+            guard_reads,
+            body_writes,
+            readers_of,
+        }
+    }
+}
+
 /// Which "port side" of a FIFO a method belongs to. A FIFO's enqueue side
 /// and dequeue side are independent ports: an `enq` in one rule does not
 /// conflict with a `deq`/`first` in another (both observe cycle-start
@@ -399,5 +449,21 @@ mod tests {
         assert_eq!(succ[0], vec![1], "s0 enq q0 feeds s1");
         assert_eq!(succ[1], vec![2], "s1 enq q1 feeds s2");
         assert!(succ[2].is_empty());
+    }
+
+    #[test]
+    fn sensitivity_inverts_guard_reads() {
+        let d = pipeline_design();
+        let plans = crate::xform::compile_design(&d, crate::xform::CompileOpts::default());
+        let sens = Sensitivity::of_plans(&plans, d.prims.len());
+        // s0 guards on q0.notFull; s1 on q0.notEmpty ∧ q1.notFull; s2 on
+        // q1.notEmpty. The register is in nobody's sensitivity list.
+        assert!(sens.guard_reads[0].contains(&Q0));
+        assert!(sens.guard_reads[1].contains(&Q0) && sens.guard_reads[1].contains(&Q1));
+        assert!(sens.guard_reads[2].contains(&Q1));
+        assert_eq!(sens.readers_of[Q0.0], vec![0, 1]);
+        assert_eq!(sens.readers_of[Q1.0], vec![1, 2]);
+        assert!(sens.readers_of[R0.0].is_empty());
+        assert!(sens.body_writes[1].contains(&Q0) && sens.body_writes[1].contains(&Q1));
     }
 }

@@ -10,12 +10,14 @@
 //! a multiplexed register update is exactly what the transaction commit
 //! does, at zero modeled cost.
 
-use crate::analysis::ConflictInfo;
-use crate::ast::Action;
+use crate::analysis::{ConflictInfo, Sensitivity};
+use crate::ast::{Action, PrimId};
 use crate::design::Design;
 use crate::error::{ElabError, ExecResult};
-use crate::exec::{eval_guard_ro, run_rule, RuleOutcome};
-use crate::store::{Cost, ShadowPolicy, Store};
+use crate::exec::{
+    eval_guard_compiled, eval_guard_ro, run_rule, run_rule_compiled, RuleOutcome, Vm,
+};
+use crate::store::{Cost, ShadowPolicy, Store, StoreSnapshot};
 use crate::xform::{compile_design, CompileOpts, RulePlan};
 
 /// Checks that a design is implementable in hardware: no sequential
@@ -65,6 +67,24 @@ pub struct HwReport {
     pub fired: Vec<u64>,
     /// Maximum number of rules fired in any one cycle (concurrency).
     pub peak_concurrency: usize,
+    /// Guards actually evaluated (cache misses under event-driven
+    /// scheduling; every guard, every cycle otherwise).
+    pub guard_evals: u64,
+    /// Guard evaluations skipped because the cached verdict was valid.
+    pub guard_evals_skipped: u64,
+}
+
+impl HwReport {
+    /// Accumulates another partition's statistics into this one (cycles
+    /// and peak concurrency take the maximum, counters sum).
+    pub fn merge(&mut self, other: &HwReport) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.total_fired += other.total_fired;
+        self.peak_concurrency = self.peak_concurrency.max(other.peak_concurrency);
+        self.guard_evals += other.guard_evals;
+        self.guard_evals_skipped += other.guard_evals_skipped;
+        self.fired.extend_from_slice(&other.fired);
+    }
 }
 
 /// The mutable state of a [`HwSim`]: the committed store, the cycle
@@ -73,7 +93,7 @@ pub struct HwReport {
 /// simulator bit- and cycle-identical to the capture instant.
 #[derive(Debug, Clone)]
 pub struct HwSnapshot {
-    store: Store,
+    store: StoreSnapshot,
     cycles: u64,
     fired: Vec<u64>,
     total_fired: u64,
@@ -85,14 +105,26 @@ pub struct HwSnapshot {
 pub struct HwSim {
     plans: Vec<RulePlan>,
     conflicts: ConflictInfo,
+    sens: Sensitivity,
     /// The committed design state.
     pub store: Store,
     /// Clock cycles elapsed.
     pub cycles: u64,
+    /// Event-driven scheduling: cache guard verdicts and re-evaluate only
+    /// rules whose read set intersects the prims written since the last
+    /// evaluation. `false` falls back to the naive evaluate-everything
+    /// reference mode (identical observable behavior, used as a test
+    /// oracle and benchmark baseline).
+    pub event_driven: bool,
     fired: Vec<u64>,
     total_fired: u64,
     peak: usize,
     scratch_ready: Vec<bool>,
+    verdicts: Vec<Option<bool>>,
+    dirty_scratch: Vec<PrimId>,
+    vm: Vm,
+    guard_evals: u64,
+    guard_evals_skipped: u64,
 }
 
 impl HwSim {
@@ -122,15 +154,23 @@ impl HwSim {
             },
         );
         let n = plans.len();
+        let sens = Sensitivity::of_plans(&plans, store.len());
         Ok(HwSim {
             plans,
             conflicts: ConflictInfo::of_design(design),
+            sens,
             store,
             cycles: 0,
+            event_driven: true,
             fired: vec![0; n],
             total_fired: 0,
             peak: 0,
             scratch_ready: vec![false; n],
+            verdicts: vec![None; n],
+            dirty_scratch: Vec::new(),
+            vm: Vm::default(),
+            guard_evals: 0,
+            guard_evals_skipped: 0,
         })
     }
 
@@ -147,12 +187,50 @@ impl HwSim {
     pub fn step(&mut self) -> ExecResult<usize> {
         let n = self.plans.len();
         let mut ignored = Cost::default();
-        // CAN_FIRE: evaluate every guard against cycle-start state.
-        for i in 0..n {
-            self.scratch_ready[i] = match &self.plans[i].guard {
-                Some(g) => eval_guard_ro(&mut self.store, g, &mut ignored)?,
-                None => true,
-            };
+        if self.event_driven {
+            // Invalidate cached verdicts of rules that read a prim written
+            // since their last evaluation.
+            self.store.drain_sched_dirty(&mut self.dirty_scratch);
+            for id in self.dirty_scratch.drain(..) {
+                for &r in &self.sens.readers_of[id.0] {
+                    self.verdicts[r] = None;
+                }
+            }
+            // CAN_FIRE: cached verdict where still valid, fresh (compiled)
+            // evaluation otherwise.
+            for i in 0..n {
+                self.scratch_ready[i] = match &self.plans[i].guard {
+                    None => true,
+                    Some(g) => {
+                        if let Some(v) = self.verdicts[i] {
+                            self.guard_evals_skipped += 1;
+                            v
+                        } else {
+                            let v = match &self.plans[i].guard_prog {
+                                Some(p) => {
+                                    eval_guard_compiled(&mut self.vm, &self.store, p, &mut ignored)?
+                                }
+                                None => eval_guard_ro(&mut self.store, g, &mut ignored)?,
+                            };
+                            self.guard_evals += 1;
+                            self.verdicts[i] = Some(v);
+                            v
+                        }
+                    }
+                };
+            }
+        } else {
+            // Naive reference mode: evaluate every guard against
+            // cycle-start state, every cycle.
+            for i in 0..n {
+                self.scratch_ready[i] = match &self.plans[i].guard {
+                    Some(g) => {
+                        self.guard_evals += 1;
+                        eval_guard_ro(&mut self.store, g, &mut ignored)?
+                    }
+                    None => true,
+                };
+            }
         }
         // WILL_FIRE: greedy maximal conflict-free subset in urgency
         // (definition) order.
@@ -167,7 +245,13 @@ impl HwSim {
         // wires (zero software cost — we discard the counters).
         let mut fired_now = 0;
         for &i in &selected {
-            let (out, _c) = run_rule(&mut self.store, &self.plans[i].body, ShadowPolicy::Partial)?;
+            let plan = &self.plans[i];
+            let (out, _c) = match (&plan.body_prog, self.event_driven) {
+                (Some(p), true) => {
+                    run_rule_compiled(&mut self.vm, &mut self.store, p, ShadowPolicy::Partial)?
+                }
+                _ => run_rule(&mut self.store, &plan.body, ShadowPolicy::Partial)?,
+            };
             if out == RuleOutcome::Fired {
                 self.fired[i] += 1;
                 self.total_fired += 1;
@@ -199,10 +283,12 @@ impl HwSim {
     }
 
     /// Captures the simulator's complete mutable state for a later
-    /// [`HwSim::restore`].
-    pub fn snapshot(&self) -> HwSnapshot {
+    /// [`HwSim::restore`]. Takes `&mut self` because the snapshot is
+    /// incremental: only prims written since the previous snapshot are
+    /// copied; clean ones share the previous snapshot's `Arc`s.
+    pub fn snapshot(&mut self) -> HwSnapshot {
         HwSnapshot {
-            store: self.store.snapshot(),
+            store: self.store.snapshot_cow(),
             cycles: self.cycles,
             fired: self.fired.clone(),
             total_fired: self.total_fired,
@@ -221,11 +307,15 @@ impl HwSim {
             snap.fired.len(),
             "snapshot from a different design"
         );
-        self.store.restore(&snap.store);
+        self.store.restore_cow(&snap.store);
         self.cycles = snap.cycles;
         self.fired.clone_from(&snap.fired);
         self.total_fired = snap.total_fired;
         self.peak = snap.peak;
+        // restore_cow marks the whole store sched-dirty, so every cached
+        // verdict is invalidated on the next step; clearing here just keeps
+        // the cache honest if introspected before then.
+        self.verdicts.fill(None);
     }
 
     /// Wipes the committed state back to power-on values, as a partition
@@ -233,6 +323,7 @@ impl HwSim {
     /// they model the observer's clock, not the partition's state.
     pub fn reset_state(&mut self, design: &Design) {
         self.store = Store::new(design);
+        self.verdicts.fill(None);
     }
 
     /// A snapshot of simulation statistics.
@@ -242,6 +333,8 @@ impl HwSim {
             total_fired: self.total_fired,
             fired: self.fired.clone(),
             peak_concurrency: self.peak,
+            guard_evals: self.guard_evals,
+            guard_evals_skipped: self.guard_evals_skipped,
         }
     }
 }

@@ -8,11 +8,15 @@
 //! is what stands in for wall-clock time of the generated C++.
 
 use super::CostModel;
-use crate::analysis::successors;
+use crate::analysis::{successors, Sensitivity};
+use crate::ast::PrimId;
 use crate::design::Design;
 use crate::error::ExecResult;
-use crate::exec::{eval_guard_ro, run_rule, run_rule_inplace, RuleOutcome};
-use crate::store::{Cost, ShadowPolicy, Store};
+use crate::exec::{
+    eval_guard_compiled, eval_guard_ro, run_rule, run_rule_compiled, run_rule_inplace,
+    run_rule_inplace_compiled, RuleOutcome, Vm,
+};
+use crate::store::{Cost, ShadowPolicy, Store, StoreSnapshot};
 use crate::xform::{compile_design, CompileOpts, ExecMode, RulePlan};
 use std::collections::VecDeque;
 
@@ -34,7 +38,7 @@ pub enum Strategy {
 }
 
 /// Configuration for a software runner.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct SwOptions {
     /// Rule compilation options (lifting / sequentialization toggles).
     pub compile: CompileOpts,
@@ -44,6 +48,25 @@ pub struct SwOptions {
     pub strategy: Strategy,
     /// Cycle-cost weights.
     pub model: CostModel,
+    /// Event-driven guard scheduling: cache each guard's verdict together
+    /// with its cost delta and replay both while no primitive in the
+    /// guard's read set has been written. Modeled `cpu_cycles` are
+    /// bit-identical to the naive mode (an unchanged read set means the
+    /// evaluation path, and hence its cost, could not have differed); only
+    /// wall-clock time improves. `false` is the naive reference mode.
+    pub event_driven: bool,
+}
+
+impl Default for SwOptions {
+    fn default() -> SwOptions {
+        SwOptions {
+            compile: CompileOpts::default(),
+            shadow: ShadowPolicy::default(),
+            strategy: Strategy::default(),
+            model: CostModel::default(),
+            event_driven: true,
+        }
+    }
 }
 
 /// Per-run statistics.
@@ -68,7 +91,7 @@ pub struct SwReport {
 /// original run would have.
 #[derive(Debug, Clone)]
 pub struct SwSnapshot {
-    store: Store,
+    store: StoreSnapshot,
     cost: Cost,
     fired: Vec<u64>,
     failed: Vec<u64>,
@@ -82,6 +105,7 @@ pub struct SwSnapshot {
 pub struct SwRunner {
     plans: Vec<RulePlan>,
     succ: Vec<Vec<usize>>,
+    sens: Sensitivity,
     /// The committed program state.
     pub store: Store,
     opts: SwOptions,
@@ -92,6 +116,12 @@ pub struct SwRunner {
     total_fired: u64,
     rr_next: usize,
     chain: VecDeque<usize>,
+    /// Per-rule cached guard verdict and the cost delta its evaluation
+    /// charged; `None` when a prim in the guard's read set was written
+    /// since the last evaluation.
+    verdicts: Vec<Option<(bool, Cost)>>,
+    dirty_scratch: Vec<PrimId>,
+    vm: Vm,
 }
 
 impl SwRunner {
@@ -104,9 +134,11 @@ impl SwRunner {
     pub fn with_store(design: &Design, store: Store, opts: SwOptions) -> SwRunner {
         let plans = compile_design(design, opts.compile);
         let n = plans.len();
+        let sens = Sensitivity::of_plans(&plans, store.len());
         SwRunner {
             plans,
             succ: successors(design),
+            sens,
             store,
             opts,
             cost: Cost::default(),
@@ -115,6 +147,9 @@ impl SwRunner {
             total_fired: 0,
             rr_next: 0,
             chain: VecDeque::new(),
+            verdicts: vec![None; n],
+            dirty_scratch: Vec::new(),
+            vm: Vm::default(),
         }
     }
 
@@ -140,9 +175,35 @@ impl SwRunner {
     /// Propagates dynamic errors (double write, type errors, unsound
     /// lifting); guard failures are *not* errors.
     pub fn try_rule(&mut self, i: usize) -> ExecResult<bool> {
+        if self.opts.event_driven {
+            self.sync_dirty();
+        }
         let plan = &self.plans[i];
         if let Some(g) = &plan.guard {
-            let ok = eval_guard_ro(&mut self.store, g, &mut self.cost)?;
+            let ok = if self.opts.event_driven {
+                if let Some((v, c)) = &self.verdicts[i] {
+                    // Cache hit: replay the recorded cost delta so modeled
+                    // cpu_cycles stay bit-identical to an actual
+                    // re-evaluation (which, with an unchanged read set,
+                    // could only have taken the identical path).
+                    let v = *v;
+                    let c = *c;
+                    self.cost.add(&c);
+                    self.cost.guard_evals_skipped += 1;
+                    v
+                } else {
+                    let mut delta = Cost::default();
+                    let v = match &plan.guard_prog {
+                        Some(p) => eval_guard_compiled(&mut self.vm, &self.store, p, &mut delta)?,
+                        None => eval_guard_ro(&mut self.store, g, &mut delta)?,
+                    };
+                    self.cost.add(&delta);
+                    self.verdicts[i] = Some((v, delta));
+                    v
+                }
+            } else {
+                eval_guard_ro(&mut self.store, g, &mut self.cost)?
+            };
             if !ok {
                 self.failed[i] += 1;
                 return Ok(false);
@@ -150,12 +211,20 @@ impl SwRunner {
         }
         let fired = match plan.mode {
             ExecMode::InPlace => {
-                let c = run_rule_inplace(&mut self.store, &plan.body)?;
+                let c = match (&plan.body_prog, self.opts.event_driven) {
+                    (Some(p), true) => run_rule_inplace_compiled(&mut self.vm, &mut self.store, p)?,
+                    _ => run_rule_inplace(&mut self.store, &plan.body)?,
+                };
                 self.cost.add(&c);
                 true
             }
             ExecMode::Transactional => {
-                let (out, c) = run_rule(&mut self.store, &plan.body, self.opts.shadow)?;
+                let (out, c) = match (&plan.body_prog, self.opts.event_driven) {
+                    (Some(p), true) => {
+                        run_rule_compiled(&mut self.vm, &mut self.store, p, self.opts.shadow)?
+                    }
+                    _ => run_rule(&mut self.store, &plan.body, self.opts.shadow)?,
+                };
                 self.cost.add(&c);
                 out == RuleOutcome::Fired
             }
@@ -204,6 +273,17 @@ impl SwRunner {
             }
         }
         Ok(false)
+    }
+
+    /// Drains the store's scheduler dirty set and invalidates the cached
+    /// verdict of every rule whose guard reads a dirtied primitive.
+    fn sync_dirty(&mut self) {
+        self.store.drain_sched_dirty(&mut self.dirty_scratch);
+        for id in self.dirty_scratch.drain(..) {
+            for &r in &self.sens.readers_of[id.0] {
+                self.verdicts[r] = None;
+            }
+        }
     }
 
     fn enqueue_successors(&mut self, i: usize) {
@@ -260,10 +340,12 @@ impl SwRunner {
 
     /// Captures the runner's complete mutable state for a later
     /// [`SwRunner::restore`]. The compiled plans and options are
-    /// immutable and are not copied.
-    pub fn snapshot(&self) -> SwSnapshot {
+    /// immutable and are not copied. Takes `&mut self` because the
+    /// snapshot is incremental: only prims written since the previous
+    /// snapshot are copied.
+    pub fn snapshot(&mut self) -> SwSnapshot {
         SwSnapshot {
-            store: self.store.snapshot(),
+            store: self.store.snapshot_cow(),
             cost: self.cost,
             fired: self.fired.clone(),
             failed: self.failed.clone(),
@@ -285,13 +367,16 @@ impl SwRunner {
             snap.fired.len(),
             "snapshot from a different design"
         );
-        self.store.restore(&snap.store);
+        self.store.restore_cow(&snap.store);
         self.cost = snap.cost;
         self.fired.clone_from(&snap.fired);
         self.failed.clone_from(&snap.failed);
         self.total_fired = snap.total_fired;
         self.rr_next = snap.rr_next;
         self.chain.clone_from(&snap.chain);
+        // restore_cow marks the whole store sched-dirty; clearing the
+        // cache here keeps it honest if introspected before the next step.
+        self.verdicts.fill(None);
     }
 
     /// A snapshot of run statistics.

@@ -15,23 +15,134 @@ use crate::error::{ExecError, ExecResult};
 use crate::prim::PrimState;
 use crate::value::Value;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A set of primitives touched since some epoch, with O(1) dedup'd
+/// marking and O(dirty) drain. The store keeps two independent trackers:
+/// one drained by the event-driven schedulers each step, one drained by
+/// incremental checkpoints at each cut.
+#[derive(Debug, Clone)]
+struct DirtyTracker {
+    flags: Vec<bool>,
+    list: Vec<PrimId>,
+}
+
+impl DirtyTracker {
+    fn clean(n: usize) -> DirtyTracker {
+        DirtyTracker {
+            flags: vec![false; n],
+            list: Vec::new(),
+        }
+    }
+
+    fn all(n: usize) -> DirtyTracker {
+        DirtyTracker {
+            flags: vec![true; n],
+            list: (0..n).map(PrimId).collect(),
+        }
+    }
+
+    fn mark(&mut self, id: PrimId) {
+        if !self.flags[id.0] {
+            self.flags[id.0] = true;
+            self.list.push(id);
+        }
+    }
+
+    fn mark_all(&mut self) {
+        self.list.clear();
+        self.flags.iter_mut().for_each(|f| *f = true);
+        self.list.extend((0..self.flags.len()).map(PrimId));
+    }
+
+    fn drain_into(&mut self, out: &mut Vec<PrimId>) {
+        for id in &self.list {
+            self.flags[id.0] = false;
+        }
+        out.append(&mut self.list);
+    }
+}
+
+/// An incremental checkpoint of a store: one shared handle per primitive.
+/// Taking a snapshot deep-copies only the primitives dirtied since the
+/// previous cut (see [`Store::snapshot_cow`]); the rest alias the copies
+/// already made at earlier cuts, so checkpoint cost is proportional to
+/// the dirty words, not the total state.
+#[derive(Debug, Clone)]
+pub struct StoreSnapshot {
+    states: Vec<Arc<PrimState>>,
+}
+
+impl StoreSnapshot {
+    /// The number of primitives captured.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the snapshot has no state.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Borrows a primitive's captured state.
+    pub fn state(&self, id: PrimId) -> &PrimState {
+        &self.states[id.0]
+    }
+}
 
 /// Committed state of every primitive in a design.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The store also tracks which primitives have been mutated — every
+/// mutation funnels through [`Store::state_mut`] or
+/// [`Store::push_source`] — feeding two consumers: the event-driven
+/// schedulers (which re-evaluate only guards whose read set intersects
+/// the dirty set) and incremental checkpoints (which copy only the delta
+/// since the last cut). Equality compares the committed state only, not
+/// the bookkeeping.
+#[derive(Debug, Clone)]
 pub struct Store {
     states: Vec<PrimState>,
+    /// Copy-on-write mirror of `states` as of the last incremental
+    /// snapshot; entries not ckpt-dirty are bit-identical to `states`.
+    mirror: Vec<Arc<PrimState>>,
+    /// Primitives mutated since the scheduler last drained.
+    sched_dirty: DirtyTracker,
+    /// Primitives mutated since the last incremental snapshot.
+    ckpt_dirty: DirtyTracker,
+    /// Total words deep-copied by incremental snapshots so far.
+    ckpt_copied_words: u64,
+}
+
+impl PartialEq for Store {
+    fn eq(&self, other: &Store) -> bool {
+        self.states == other.states
+    }
 }
 
 impl Store {
     /// Creates the initial store for a design (every primitive at reset).
+    /// All primitives start scheduler-dirty (no guard verdict can be
+    /// assumed) and checkpoint-clean (the mirror equals the reset state).
     pub fn new(design: &Design) -> Store {
+        let states: Vec<PrimState> = design
+            .prims
+            .iter()
+            .map(|p| p.spec.initial_state())
+            .collect();
+        let n = states.len();
+        let mirror = states.iter().map(|s| Arc::new(s.clone())).collect();
         Store {
-            states: design
-                .prims
-                .iter()
-                .map(|p| p.spec.initial_state())
-                .collect(),
+            states,
+            mirror,
+            sched_dirty: DirtyTracker::all(n),
+            ckpt_dirty: DirtyTracker::clean(n),
+            ckpt_copied_words: 0,
         }
+    }
+
+    fn mark_dirty(&mut self, id: PrimId) {
+        self.sched_dirty.mark(id);
+        self.ckpt_dirty.mark(id);
     }
 
     /// The number of primitives.
@@ -50,8 +161,12 @@ impl Store {
     }
 
     /// Mutably borrows a primitive's committed state (used by test benches
-    /// and the co-simulation transactor, not by rule execution).
+    /// and the co-simulation transactor, not by rule execution). The
+    /// primitive is conservatively marked dirty — this is the single choke
+    /// point through which transaction commits, in-place writes, and
+    /// transactor FIFO pumps all flow.
     pub fn state_mut(&mut self, id: PrimId) -> &mut PrimState {
+        self.mark_dirty(id);
         &mut self.states[id.0]
     }
 
@@ -61,6 +176,7 @@ impl Store {
     ///
     /// Panics if `id` is not a `Source`.
     pub fn push_source(&mut self, id: PrimId, v: Value) {
+        self.mark_dirty(id);
         match &mut self.states[id.0] {
             PrimState::Source { queue } => queue.push_back(v),
             other => panic!("push_source on {}", other.kind_name()),
@@ -99,7 +215,8 @@ impl Store {
 
     /// Restores every primitive to a previously captured snapshot.
     /// After this call the store is bit-identical to the moment
-    /// [`Store::snapshot`] was taken.
+    /// [`Store::snapshot`] was taken. Everything is marked dirty: guard
+    /// caches must be invalidated and the checkpoint mirror is stale.
     ///
     /// # Panics
     ///
@@ -112,6 +229,63 @@ impl Store {
             "snapshot from a different design"
         );
         self.states.clone_from(&snap.states);
+        self.sched_dirty.mark_all();
+        self.ckpt_dirty.mark_all();
+    }
+
+    /// Captures an incremental snapshot: deep-copies only the primitives
+    /// mutated since the previous `snapshot_cow` (or since creation), and
+    /// aliases the rest from the copy-on-write mirror. The returned
+    /// snapshot is immutable and cheap to clone.
+    pub fn snapshot_cow(&mut self) -> StoreSnapshot {
+        let mut dirty = Vec::new();
+        self.ckpt_dirty.drain_into(&mut dirty);
+        for id in dirty {
+            let st = &self.states[id.0];
+            self.ckpt_copied_words += st.size_words();
+            self.mirror[id.0] = Arc::new(st.clone());
+        }
+        StoreSnapshot {
+            states: self.mirror.clone(),
+        }
+    }
+
+    /// Restores every primitive from an incremental snapshot. After this
+    /// call the store is bit-identical to the moment the snapshot was
+    /// taken; the mirror re-aliases the snapshot so the next
+    /// `snapshot_cow` again copies only what changes from here on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot was taken from a different design
+    /// (primitive count mismatch).
+    pub fn restore_cow(&mut self, snap: &StoreSnapshot) {
+        assert_eq!(
+            self.states.len(),
+            snap.states.len(),
+            "snapshot from a different design"
+        );
+        for (st, arc) in self.states.iter_mut().zip(&snap.states) {
+            st.clone_from(arc);
+        }
+        self.mirror.clone_from(&snap.states);
+        self.ckpt_dirty = DirtyTracker::clean(self.states.len());
+        // Guard caches were built against the pre-restore state.
+        self.sched_dirty.mark_all();
+    }
+
+    /// Moves the primitives dirtied since the last drain into `out`
+    /// (appended; `out` is not cleared). Used by the event-driven
+    /// schedulers to invalidate cached guard verdicts.
+    pub fn drain_sched_dirty(&mut self, out: &mut Vec<PrimId>) {
+        self.sched_dirty.drain_into(out);
+    }
+
+    /// Total words deep-copied by incremental snapshots over this store's
+    /// lifetime — the measurable cost of checkpointing, proportional to
+    /// the state actually dirtied between cuts.
+    pub fn ckpt_copied_words(&self) -> u64 {
+        self.ckpt_copied_words
     }
 }
 
@@ -153,6 +327,10 @@ pub struct Cost {
     pub rollbacks: u64,
     /// Guard expressions evaluated by the scheduler.
     pub guard_evals: u64,
+    /// Guard evaluations skipped because the cached verdict was still
+    /// valid (no primitive in the guard's read set was dirtied). Carries
+    /// no cycle weight — it measures work avoided, not work done.
+    pub guard_evals_skipped: u64,
     /// Transactions that required try/catch-style setup (not guard-lifted).
     pub txn_setups: u64,
     /// Transactions executed on the lifted, in-place fast path.
@@ -169,6 +347,7 @@ impl Cost {
         self.commit_words += other.commit_words;
         self.rollbacks += other.rollbacks;
         self.guard_evals += other.guard_evals;
+        self.guard_evals_skipped += other.guard_evals_skipped;
         self.txn_setups += other.txn_setups;
         self.inplace_runs += other.inplace_runs;
     }
@@ -190,6 +369,11 @@ struct Frame {
 pub struct Txn<'s> {
     base: &'s mut Store,
     frames: Vec<Frame>,
+    /// Frames of in-flight compiled parallel branches: [`Txn::par_mid`]
+    /// stashes the first branch's frame here so the second branch cannot
+    /// observe its writes; [`Txn::par_end`] pops it for the merge. A
+    /// stack, so nested `Par` compiles too.
+    par_stash: Vec<Frame>,
     /// Cost counters for this transaction.
     pub cost: Cost,
     /// Shadow pricing policy.
@@ -208,6 +392,7 @@ impl<'s> Txn<'s> {
         Txn {
             base,
             frames: vec![Frame::default()],
+            par_stash: Vec::new(),
             cost,
             policy,
             max_loop_iters: 1_000_000,
@@ -298,13 +483,25 @@ impl<'s> Txn<'s> {
         F: FnOnce(&mut Txn<'s>) -> ExecResult<()>,
         G: FnOnce(&mut Txn<'s>) -> ExecResult<()>,
     {
+        self.run_par_ctx(&mut (), |t, _| f(t), |t, _| g(t))
+    }
+
+    /// [`Txn::run_par`] with a caller context threaded through both
+    /// branches sequentially. The branches still run against isolated
+    /// frames; only the context is shared, letting the interpreter reuse
+    /// one environment instead of cloning it per branch.
+    pub fn run_par_ctx<C, F, G>(&mut self, ctx: &mut C, f: F, g: G) -> ExecResult<()>
+    where
+        F: FnOnce(&mut Txn<'s>, &mut C) -> ExecResult<()>,
+        G: FnOnce(&mut Txn<'s>, &mut C) -> ExecResult<()>,
+    {
         if self.policy == ShadowPolicy::InPlace {
             return Err(ExecError::Malformed(
                 "parallel composition reached an in-place (guard-lifted) execution".into(),
             ));
         }
         self.push_frame();
-        match f(self) {
+        match f(self, ctx) {
             Ok(()) => {}
             Err(e) => {
                 self.frames.pop();
@@ -313,7 +510,7 @@ impl<'s> Txn<'s> {
         }
         let fa = self.pop_frame();
         self.push_frame();
-        match g(self) {
+        match g(self, ctx) {
             Ok(()) => {}
             Err(e) => {
                 self.frames.pop();
@@ -336,6 +533,60 @@ impl<'s> Txn<'s> {
         Ok(())
     }
 
+    /// Compiled-execution counterpart of [`Txn::run_par`], step one of
+    /// three: opens the isolation frame for the first branch. The VM
+    /// emits `par_start` / `par_mid` / `par_end` around the two branches
+    /// of a compiled `Par`; together they perform exactly the frame
+    /// discipline of [`Txn::run_par_ctx`], so modeled costs and outcomes
+    /// are identical to the interpreter's.
+    ///
+    /// # Errors
+    ///
+    /// Rejects parallel composition under [`ShadowPolicy::InPlace`],
+    /// like the interpreter.
+    pub fn par_start(&mut self) -> ExecResult<()> {
+        if self.policy == ShadowPolicy::InPlace {
+            return Err(ExecError::Malformed(
+                "parallel composition reached an in-place (guard-lifted) execution".into(),
+            ));
+        }
+        self.push_frame();
+        Ok(())
+    }
+
+    /// Between compiled parallel branches: stashes the first branch's
+    /// frame (so the second observes only entry state) and opens the
+    /// second branch's frame.
+    pub fn par_mid(&mut self) {
+        let fa = self.pop_frame();
+        self.par_stash.push(fa);
+        self.push_frame();
+    }
+
+    /// After the second compiled branch: the double-write check and
+    /// merge of [`Txn::run_par`].
+    ///
+    /// # Errors
+    ///
+    /// `DoubleWrite` if both branches mutated the same primitive.
+    pub fn par_end(&mut self) -> ExecResult<()> {
+        let fb = self.pop_frame();
+        let fa = self.par_stash.pop().expect("par_end without par_mid");
+        if let Some(id) = fa.written.intersection(&fb.written).min() {
+            return Err(ExecError::DoubleWrite(format!("primitive #{}", id.0)));
+        }
+        let top = self.frames.last_mut().expect("root frame missing");
+        for frame in [fa, fb] {
+            for (id, st) in frame.entries {
+                if frame.written.contains(&id) {
+                    top.entries.insert(id, st);
+                    top.written.insert(id);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Commits the root frame into the base store. Consumes the transaction.
     ///
     /// # Panics
@@ -343,6 +594,7 @@ impl<'s> Txn<'s> {
     /// Panics if branch frames are still open.
     pub fn commit(mut self) -> Cost {
         assert_eq!(self.frames.len(), 1, "unbalanced frames at commit");
+        assert!(self.par_stash.is_empty(), "unbalanced par frames at commit");
         let root = self.frames.pop().expect("root");
         for (id, st) in root.entries {
             if root.written.contains(&id) {
@@ -358,6 +610,7 @@ impl<'s> Txn<'s> {
     pub fn rollback(mut self) -> Cost {
         self.cost.rollbacks += 1;
         self.frames.clear();
+        self.par_stash.clear();
         self.cost
     }
 
@@ -620,6 +873,72 @@ mod tests {
         t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 1)])
             .unwrap();
         assert_eq!(t.cost.shadow_words, 1);
+    }
+
+    #[test]
+    fn cow_snapshot_copies_only_dirty_words() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        // First cut: nothing mutated since creation, so nothing copied.
+        let snap0 = s.snapshot_cow();
+        assert_eq!(s.ckpt_copied_words(), 0);
+        // Dirty one register, checkpoint: only that register is copied.
+        s.state_mut(A)
+            .call_action(PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
+        let snap1 = s.snapshot_cow();
+        assert_eq!(s.ckpt_copied_words(), 1);
+        // Idle cut: still nothing new to copy.
+        let _snap2 = s.snapshot_cow();
+        assert_eq!(s.ckpt_copied_words(), 1);
+        // Restores are exact.
+        s.state_mut(A)
+            .call_action(PrimMethod::RegWrite, &[Value::int(8, 3)])
+            .unwrap();
+        s.restore_cow(&snap1);
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 9)
+        );
+        s.restore_cow(&snap0);
+        assert_eq!(
+            s.state(A).call_value(PrimMethod::RegRead, &[]).unwrap(),
+            Value::int(8, 1)
+        );
+    }
+
+    #[test]
+    fn sched_dirty_drains_once_and_remarks() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        let mut dirty = Vec::new();
+        // A fresh store is conservatively all-dirty.
+        s.drain_sched_dirty(&mut dirty);
+        assert_eq!(dirty.len(), 3);
+        dirty.clear();
+        s.drain_sched_dirty(&mut dirty);
+        assert!(dirty.is_empty());
+        // Double-touching a primitive marks it once.
+        s.state_mut(B);
+        s.state_mut(B);
+        s.drain_sched_dirty(&mut dirty);
+        assert_eq!(dirty, vec![B]);
+    }
+
+    #[test]
+    fn txn_commit_marks_written_prims_sched_dirty() {
+        let d = design2();
+        let mut s = Store::new(&d);
+        s.drain_sched_dirty(&mut Vec::new());
+        let mut t = Txn::new(&mut s, ShadowPolicy::Partial);
+        t.call_value(B, PrimMethod::RegRead, &[]).unwrap();
+        t.call_action(A, PrimMethod::RegWrite, &[Value::int(8, 9)])
+            .unwrap();
+        t.commit();
+        let mut dirty = Vec::new();
+        s.drain_sched_dirty(&mut dirty);
+        // Only the written primitive is dirty; the read one is not.
+        assert_eq!(dirty, vec![A]);
     }
 
     #[test]

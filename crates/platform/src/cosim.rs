@@ -176,6 +176,11 @@ pub struct HwPartitionCfg {
     /// full speed, 2 a half-rate clock region, and so on. Transactor
     /// pumping is unaffected — the link interface runs at bus speed.
     pub clock_div: u64,
+    /// Event-driven guard scheduling for this partition's simulator
+    /// (see [`HwSim::event_driven`]); `false` selects the naive
+    /// evaluate-every-guard reference mode. Cycle counts are identical
+    /// either way; only simulator wall-clock time differs.
+    pub event_driven: bool,
 }
 
 impl HwPartitionCfg {
@@ -186,6 +191,7 @@ impl HwPartitionCfg {
             link: LinkConfig::default(),
             faults: FaultConfig::none(),
             clock_div: 1,
+            event_driven: true,
         }
     }
 
@@ -204,6 +210,13 @@ impl HwPartitionCfg {
     /// Replaces the clock divider.
     pub fn with_clock_div(mut self, div: u64) -> HwPartitionCfg {
         self.clock_div = div.max(1);
+        self
+    }
+
+    /// Selects event-driven (`true`, the default) or naive reference
+    /// (`false`) guard scheduling for this partition.
+    pub fn with_event_driven(mut self, on: bool) -> HwPartitionCfg {
+        self.event_driven = on;
         self
     }
 }
@@ -596,6 +609,7 @@ impl Cosim {
             link: link_cfg,
             faults,
             clock_div: 1,
+            event_driven: true,
         };
         Cosim::multi(
             p,
@@ -667,7 +681,8 @@ impl Cosim {
                 .partition(&cfg.domain)
                 .map_err(|e| PlatformError::new(e.to_string()))?
                 .clone();
-            let hw = HwSim::new(&design).map_err(|e| PlatformError::new(e.to_string()))?;
+            let mut hw = HwSim::new(&design).map_err(|e| PlatformError::new(e.to_string()))?;
+            hw.event_driven = cfg.event_driven;
             let transactor = if specs.is_empty() {
                 None
             } else {
@@ -935,16 +950,54 @@ impl Cosim {
         self.sink_values(path).len()
     }
 
+    /// Total words copied by incremental store snapshots so far, summed
+    /// over the software partition and every live hardware partition.
+    /// Grows with the number of *dirty* words between checkpoints, not
+    /// with total state size.
+    pub fn checkpoint_copied_words(&self) -> u64 {
+        self.sw.store.ckpt_copied_words()
+            + self
+                .parts_list
+                .iter()
+                .map(|p| p.hw.store.ckpt_copied_words())
+                .sum::<u64>()
+    }
+
+    /// `(guard_evals, guard_evals_skipped)` summed over the software
+    /// runner and every live hardware partition: guards *actually*
+    /// evaluated vs. evaluations the event-driven schedulers avoided
+    /// (zero in naive reference mode). The software cost counter models
+    /// replayed evaluations as real ones to keep `cpu_cycles` pinned, so
+    /// the skipped count is subtracted back out here.
+    pub fn guard_eval_totals(&self) -> (u64, u64) {
+        let mut evals = self
+            .sw
+            .cost
+            .guard_evals
+            .saturating_sub(self.sw.cost.guard_evals_skipped);
+        let mut skipped = self.sw.cost.guard_evals_skipped;
+        for p in &self.parts_list {
+            let rep = p.hw.report();
+            evals += rep.guard_evals;
+            skipped += rep.guard_evals_skipped;
+        }
+        (evals, skipped)
+    }
+
     /// Captures a globally consistent cut of the whole system — every
     /// partition, every link — at the current step boundary (see
-    /// [`Checkpoint`]). Checkpoints are pure observations: taking one
-    /// does not perturb execution.
-    pub fn checkpoint(&self) -> Checkpoint {
+    /// [`Checkpoint`]). Checkpoints observe, never perturb, execution:
+    /// taking one changes no simulated state. The borrow is mutable only
+    /// because store snapshots are incremental — each one copies just the
+    /// primitives written since the previous checkpoint (transactor FIFO
+    /// pumps dirty their prims through the same store choke points as
+    /// rule bodies) and advances the store's copy-on-write mirror.
+    pub fn checkpoint(&mut self) -> Checkpoint {
         Checkpoint {
             sw: self.sw.snapshot(),
             parts: self
                 .parts_list
-                .iter()
+                .iter_mut()
                 .map(|p| PartSnap {
                     hw: p.hw.snapshot(),
                     transactor: p.transactor.as_ref().map(Transactor::snapshot),

@@ -127,6 +127,12 @@ pub struct RtRun {
     pub hw_partitions: usize,
     /// True if a partition was failed over to software during the run.
     pub failed_over: bool,
+    /// Guards actually evaluated across all schedulers (cache hits are
+    /// excluded; naive mode would evaluate `guard_evals +
+    /// guard_evals_skipped` times).
+    pub guard_evals: u64,
+    /// Guard evaluations the event-driven schedulers skipped.
+    pub guard_evals_skipped: u64,
 }
 
 impl RtRun {
@@ -183,11 +189,49 @@ pub fn run_partition_with_recovery(
     faults: FaultConfig,
     policy: RecoveryPolicy,
 ) -> Result<RtRun, PlatformError> {
+    run_partition_full(which, bvh, width, height, faults, policy, true)
+}
+
+/// Runs one partition with every scheduler in naive (evaluate-every-guard)
+/// reference mode. Cycle counts and the image are identical to
+/// [`run_partition`]; only simulator wall-clock time differs. Used as the
+/// test oracle and benchmark baseline for the event-driven scheduler.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_naive(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+) -> Result<RtRun, PlatformError> {
+    run_partition_full(
+        which,
+        bvh,
+        width,
+        height,
+        FaultConfig::none(),
+        RecoveryPolicy::Fail,
+        false,
+    )
+}
+
+fn run_partition_full(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+) -> Result<RtRun, PlatformError> {
     let cfg = which.config(width, height);
     let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
     let sw_opts = SwOptions {
         strategy: Strategy::Dataflow,
+        event_driven,
         ..Default::default()
     };
     let faulty = faults.is_active() || faults.has_partition_faults();
@@ -208,7 +252,9 @@ pub fn run_partition_with_recovery(
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let c = HwPartitionCfg::new(d).with_link(ml507_link());
+            let c = HwPartitionCfg::new(d)
+                .with_link(ml507_link())
+                .with_event_driven(event_driven);
             if i == 0 {
                 c.with_faults(faults.clone())
             } else {
@@ -237,6 +283,7 @@ pub fn run_partition_with_recovery(
             rays
         )));
     }
+    let (guard_evals, guard_evals_skipped) = cosim.guard_eval_totals();
     Ok(RtRun {
         partition: which,
         fpga_cycles: outcome.fpga_cycles(),
@@ -246,6 +293,8 @@ pub fn run_partition_with_recovery(
         rays,
         hw_partitions: cosim.hw_partition_count(),
         failed_over: cosim.failed_over(),
+        guard_evals,
+        guard_evals_skipped,
     })
 }
 

@@ -144,6 +144,12 @@ pub struct VorbisRun {
     pub hw_partitions: usize,
     /// True if a partition was failed over to software during the run.
     pub failed_over: bool,
+    /// Guards actually evaluated across all schedulers (cache hits are
+    /// excluded; naive mode would evaluate `guard_evals +
+    /// guard_evals_skipped` times).
+    pub guard_evals: u64,
+    /// Guard evaluations the event-driven schedulers skipped.
+    pub guard_evals_skipped: u64,
 }
 
 impl VorbisRun {
@@ -204,6 +210,37 @@ pub fn run_partition_with_recovery(
     faults: FaultConfig,
     policy: RecoveryPolicy,
 ) -> Result<VorbisRun, PlatformError> {
+    run_partition_full(which, frames, faults, policy, true)
+}
+
+/// Runs a partition with every scheduler in naive (evaluate-every-guard)
+/// reference mode. Cycle counts and PCM are identical to
+/// [`run_partition`]; only simulator wall-clock time differs. Used as the
+/// test oracle and benchmark baseline for the event-driven scheduler.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_naive(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+) -> Result<VorbisRun, PlatformError> {
+    run_partition_full(
+        which,
+        frames,
+        FaultConfig::none(),
+        RecoveryPolicy::Fail,
+        false,
+    )
+}
+
+fn run_partition_full(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+) -> Result<VorbisRun, PlatformError> {
     let domains = which.domains();
     let opts = BackendOptions {
         domains: domains.clone(),
@@ -213,6 +250,7 @@ pub fn run_partition_with_recovery(
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
     let sw_opts = SwOptions {
         strategy: Strategy::Dataflow,
+        event_driven,
         ..Default::default()
     };
     let faulty = faults.is_active() || faults.has_partition_faults();
@@ -230,7 +268,9 @@ pub fn run_partition_with_recovery(
         .iter()
         .enumerate()
         .map(|(i, d)| {
-            let cfg = HwPartitionCfg::new(d).with_link(ml507_link());
+            let cfg = HwPartitionCfg::new(d)
+                .with_link(ml507_link())
+                .with_event_driven(event_driven);
             if i == 0 {
                 cfg.with_faults(faults.clone())
             } else {
@@ -261,6 +301,7 @@ pub fn run_partition_with_recovery(
             want
         )));
     }
+    let (guard_evals, guard_evals_skipped) = cosim.guard_eval_totals();
     Ok(VorbisRun {
         partition: which,
         fpga_cycles: outcome.fpga_cycles(),
@@ -270,6 +311,8 @@ pub fn run_partition_with_recovery(
         frames: want,
         hw_partitions: cosim.hw_partition_count(),
         failed_over: cosim.failed_over(),
+        guard_evals,
+        guard_evals_skipped,
     })
 }
 

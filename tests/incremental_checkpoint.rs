@@ -1,0 +1,138 @@
+//! Incremental (dirty-set) checkpointing: the cost of a checkpoint is
+//! proportional to the words *written* since the previous one, not to
+//! total state size. A large read-only table must be deep-copied exactly
+//! once; an idle system checkpoints for free; restores stay bit- and
+//! cycle-identical.
+
+use bcl_core::builder::{dsl::*, ModuleBuilder};
+use bcl_core::design::Design;
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::partition;
+use bcl_core::program::Program;
+use bcl_core::sched::SwOptions;
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting};
+
+const TABLE_WORDS: usize = 4096;
+
+/// src(SW) → scale (HW, reads a large constant table) → snk(SW). The
+/// table dwarfs the rest of the state, so checkpoint cost is dominated
+/// by whether it gets re-copied.
+fn table_design() -> Design {
+    let mut m = ModuleBuilder::new("Tbl");
+    m.source("src", Type::Int(32), SW);
+    m.sink("snk", Type::Int(32), SW);
+    m.channel("cin", 2, Type::Int(32), SW, HW);
+    m.channel("cout", 2, Type::Int(32), HW, SW);
+    m.regfile(
+        "table",
+        TABLE_WORDS,
+        Type::Int(32),
+        (0..TABLE_WORDS as i64)
+            .map(|i| Value::int(32, i * 3))
+            .collect(),
+    );
+    m.rule("feed", with_first("x", "src", enq("cin", var("x"))));
+    m.rule(
+        "scale",
+        with_first("x", "cin", enq("cout", sub("table", var("x")))),
+    );
+    m.rule("drain", with_first("x", "cout", enq("snk", var("x"))));
+    bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+}
+
+fn cosim() -> Cosim {
+    let design = table_design();
+    let parts = partition(&design, SW).unwrap();
+    let cfgs = [HwPartitionCfg::new(HW)];
+    Cosim::multi(
+        &parts,
+        SW,
+        &cfgs,
+        InterHwRouting::ViaHub,
+        SwOptions::default(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn checkpoint_cost_tracks_dirty_words_not_state_size() {
+    let mut cs = cosim();
+    for i in 0..8 {
+        cs.push_source("src", Value::int(32, i));
+    }
+
+    // Even the first checkpoint is proportional to the dirty set: the
+    // copy-on-write mirror is seeded at store construction, so only the
+    // prims written since then (the pushed inputs) are deep-copied — the
+    // untouched table is shared, never duplicated.
+    let c0 = cs.checkpoint();
+    let full = cs.checkpoint_copied_words();
+    assert!(full > 0, "pushed inputs must be copied");
+    assert!(
+        full < TABLE_WORDS as u64 / 4,
+        "first checkpoint copied {full} words — it must not deep-copy \
+         the untouched {TABLE_WORDS}-word table"
+    );
+
+    // A checkpoint with no intervening execution copies nothing.
+    let _c1 = cs.checkpoint();
+    assert_eq!(
+        cs.checkpoint_copied_words(),
+        full,
+        "idle checkpoint must copy zero words"
+    );
+
+    // A short burst of execution dirties a handful of FIFO/register
+    // words — but never the read-only table, so the delta is a sliver
+    // of the state size.
+    cs.run_until(|c| c.sink_count("snk") >= 2, 1_000_000)
+        .unwrap();
+    let _c2 = cs.checkpoint();
+    let delta = cs.checkpoint_copied_words() - full;
+    assert!(delta > 0, "execution dirtied state; delta must be nonzero");
+    assert!(
+        delta < TABLE_WORDS as u64 / 4,
+        "incremental checkpoint copied {delta} words — not proportional \
+         to the dirty set (table is {TABLE_WORDS} words)"
+    );
+
+    // And the cheap checkpoints are still complete: restoring the first
+    // one replays to the exact same output stream.
+    let direct: Vec<Value> = {
+        cs.run_until(|c| c.sink_count("snk") >= 8, 1_000_000)
+            .unwrap();
+        cs.sink_values("snk").to_vec()
+    };
+    cs.restore(&c0);
+    cs.run_until(|c| c.sink_count("snk") >= 8, 1_000_000)
+        .unwrap();
+    assert_eq!(cs.sink_values("snk").to_vec(), direct);
+}
+
+#[test]
+fn repeated_checkpoints_amortize_to_the_write_rate() {
+    let mut cs = cosim();
+    for i in 0..16 {
+        cs.push_source("src", Value::int(32, i));
+    }
+    let _ = cs.checkpoint();
+    let baseline = cs.checkpoint_copied_words();
+    // Checkpoint every few sinks: each increment must stay far below a
+    // full-state copy (the naive scheme would pay `total_words` per
+    // checkpoint, table included).
+    let mut last = baseline;
+    for want in 1..=4 {
+        cs.run_until(|c| c.sink_count("snk") >= want * 2, 1_000_000)
+            .unwrap();
+        let _ = cs.checkpoint();
+        let now = cs.checkpoint_copied_words();
+        let delta = now - last;
+        assert!(
+            delta < TABLE_WORDS as u64 / 4,
+            "checkpoint {want} copied {delta} words"
+        );
+        last = now;
+    }
+}
