@@ -30,7 +30,7 @@ use crate::PlatformError;
 use bcl_core::ast::{Path, PrimId};
 use bcl_core::design::{Design, PrimDef};
 use bcl_core::error::{ExecError, ExecResult};
-use bcl_core::partition::{fuse_domains, ChannelSpec, Partitioned};
+use bcl_core::partition::{fuse_domains, split_domain, ChannelSpec, Partitioned};
 use bcl_core::prim::{PrimSpec, PrimState};
 use bcl_core::sched::{HwSim, HwSnapshot, SwOptions, SwRunner, SwSnapshot};
 use bcl_core::store::Store;
@@ -252,6 +252,53 @@ impl InterHwRouting {
     }
 }
 
+/// Where a configured hardware partition currently is in its life.
+///
+/// ```text
+///            DieAt + FailoverToSoftware
+///  Running ------------------------------> Dead (transient, same step)
+///     ^                                      |
+///     |                                      | splice into SW partition
+///     | active_at reached                    v
+///  Reviving <---------------------------- SoftwareOwned
+///            ReviveAt / Cosim::revive
+/// ```
+///
+/// `Dead` is also the terminal state under [`RecoveryPolicy::Fail`]
+/// (the partition stays down and the run stalls or times out). See
+/// `DESIGN.md` § "Partition lifecycle and failback".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionLifecycle {
+    /// Executing rules in hardware and pumping its links.
+    Running,
+    /// Struck by a fatal fault and not (yet) recovered: no cycles
+    /// execute, nothing is pumped.
+    Dead,
+    /// Spliced into the software partition by
+    /// [`RecoveryPolicy::FailoverToSoftware`]: its rules execute on the
+    /// CPU inside the fused software design.
+    SoftwareOwned,
+    /// Re-partitioned back out of software after a revival; the live
+    /// state is in transit over the link and the partition starts
+    /// executing once the transfer latency has elapsed.
+    Reviving,
+}
+
+/// What the co-simulation remembers about a partition that was spliced
+/// into software by a failover, so it can be revived later: the full
+/// hardware configuration plus the unfired remainder of its scripted
+/// fault schedule.
+#[derive(Debug, Clone)]
+struct SwOwned {
+    domain: String,
+    link_cfg: LinkConfig,
+    faults: FaultConfig,
+    clock_div: u64,
+    event_driven: bool,
+    fault_schedule: Vec<PartitionFault>,
+    fault_fired: Vec<bool>,
+}
+
 /// Where one original channel physically runs.
 #[derive(Debug, Clone)]
 enum RouteKind {
@@ -293,6 +340,11 @@ struct HwPart {
     last_progress: u64,
     /// Stall detector: cycle of the last observed advance.
     last_progress_cycle: u64,
+    /// First FPGA cycle at which this partition executes and pumps. 0
+    /// for partitions up from the start; a revived partition is held in
+    /// [`PartitionLifecycle::Reviving`] until the cycle its reloaded
+    /// state has finished crossing the link.
+    active_at: u64,
 }
 
 /// A dedicated link between two hardware partitions (Fabric routing).
@@ -316,6 +368,7 @@ struct PartSnap {
     alive: bool,
     last_progress: u64,
     last_progress_cycle: u64,
+    active_at: u64,
 }
 
 /// Per-fabric-link slice of a [`Checkpoint`].
@@ -397,6 +450,21 @@ pub struct Cosim {
     /// True once `FailoverToSoftware` has spliced at least one dead
     /// partition into the software domain.
     failed_over: bool,
+    /// True once at least one software-owned partition has been revived
+    /// back into hardware.
+    revived: bool,
+    /// Partitions currently owned by software (spliced in by a
+    /// failover), with everything needed to revive them.
+    software_owned: Vec<SwOwned>,
+    /// Domains absorbed into the software partition, in absorption
+    /// order — the fold that `split_domain` replays to revive one.
+    absorbed: Vec<String>,
+    /// The partitioning as originally configured, before any failover
+    /// rewrote `parts`. The anchor for inverse splices.
+    orig_parts: Partitioned,
+    /// The originally configured hardware domain order, for putting a
+    /// revived partition back in its deterministic pump slot.
+    orig_order: Vec<String>,
     /// Active recovery policy.
     policy: RecoveryPolicy,
     /// Last automatic checkpoint taken by the recovery policy.
@@ -704,6 +772,7 @@ impl Cosim {
                 fault_schedule,
                 last_progress: 0,
                 last_progress_cycle: 0,
+                active_at: 0,
             });
         }
 
@@ -747,6 +816,11 @@ impl Cosim {
             stall_threshold: DEFAULT_STALL_THRESHOLD,
             sw_opts,
             failed_over: false,
+            revived: false,
+            software_owned: Vec::new(),
+            absorbed: Vec::new(),
+            orig_parts: p.clone(),
+            orig_order: domains,
             policy: RecoveryPolicy::Fail,
             last_ckpt: None,
             next_ckpt_at: 0,
@@ -1005,6 +1079,7 @@ impl Cosim {
                     alive: p.alive,
                     last_progress: p.last_progress,
                     last_progress_cycle: p.last_progress_cycle,
+                    active_at: p.active_at,
                 })
                 .collect(),
             fabric: self
@@ -1058,6 +1133,7 @@ impl Cosim {
             p.alive = snap.alive;
             p.last_progress = snap.last_progress;
             p.last_progress_cycle = snap.last_progress_cycle;
+            p.active_at = snap.active_at;
         }
         for (f, snap) in self.fabric.iter_mut().zip(&ckpt.fabric) {
             f.transactor.restore(&snap.transactor);
@@ -1073,39 +1149,78 @@ impl Cosim {
     /// checkpoint when one is due, then fires any scripted partition
     /// faults scheduled for the current cycle.
     fn recovery_tick(&mut self) -> ExecResult<()> {
-        if self.parts_list.is_empty() {
-            // All-software from the start, or fully failed over: nothing
-            // left to fault.
+        if self.parts_list.is_empty() && self.software_owned.is_empty() {
+            // All-software from the start: nothing to fault or revive.
             return Ok(());
         }
-        if let Some(interval) = self.policy.checkpoint_interval() {
-            if self.fpga_cycles >= self.next_ckpt_at {
-                self.last_ckpt = Some(self.checkpoint());
-                self.next_ckpt_at = self.fpga_cycles + interval.max(1);
-                self.consecutive_faults = 0;
+        if !self.parts_list.is_empty() {
+            if let Some(interval) = self.policy.checkpoint_interval() {
+                if self.fpga_cycles >= self.next_ckpt_at {
+                    self.last_ckpt = Some(self.checkpoint());
+                    self.next_ckpt_at = self.fpga_cycles + interval.max(1);
+                    self.consecutive_faults = 0;
+                }
             }
         }
         loop {
+            // Scripted faults against partitions executing in hardware.
+            // `ReviveAt` never fires here: while a partition is running
+            // it stays armed (unfired), so it can still trigger during
+            // the post-rewind replay once the partition is
+            // software-owned.
             let mut due = None;
             'scan: for pi in 0..self.parts_list.len() {
                 let p = &self.parts_list[pi];
                 for fi in 0..p.fault_schedule.len() {
-                    if !p.fault_fired[fi] && p.fault_schedule[fi].cycle() == self.fpga_cycles {
+                    if !p.fault_fired[fi]
+                        && !matches!(p.fault_schedule[fi], PartitionFault::ReviveAt(_))
+                        && p.fault_schedule[fi].cycle() == self.fpga_cycles
+                    {
                         due = Some((pi, fi));
                         break 'scan;
                     }
                 }
             }
-            let Some((pi, fi)) = due else { break };
-            self.parts_list[pi].fault_fired[fi] = true;
-            let fault = self.parts_list[pi].fault_schedule[fi];
-            self.apply_partition_fault(pi, fault)?;
-            if self.lost_at.is_some() {
-                break;
+            if let Some((pi, fi)) = due {
+                self.parts_list[pi].fault_fired[fi] = true;
+                let fault = self.parts_list[pi].fault_schedule[fi];
+                self.apply_partition_fault(pi, fault)?;
+                if self.lost_at.is_some() {
+                    break;
+                }
+                // A failover removed a partition (indices shifted) and a
+                // restart rewound the clock — either way, rescan from
+                // scratch; `fault_fired` prevents re-firing.
+                continue;
             }
-            // A failover removed a partition (indices shifted) and a
-            // restart rewound the clock — either way, rescan from
-            // scratch; `fault_fired` prevents re-firing.
+            // Scripted revivals of software-owned partitions. A `DieAt`
+            // or `ResetAt` scheduled while the partition is software-
+            // owned silently never fires — software cannot be killed by
+            // its accelerator's fault schedule. The comparison is `<=`
+            // rather than `==`: a `ReviveAt` whose cycle elapses while
+            // the partition is still dead (the failover grace period has
+            // not run out, so it is not software-owned yet) fires as soon
+            // as the splice completes instead of being missed forever.
+            let mut revive = None;
+            'rscan: for si in 0..self.software_owned.len() {
+                let r = &self.software_owned[si];
+                for fi in 0..r.fault_schedule.len() {
+                    if !r.fault_fired[fi]
+                        && matches!(r.fault_schedule[fi], PartitionFault::ReviveAt(_))
+                        && r.fault_schedule[fi].cycle() <= self.fpga_cycles
+                    {
+                        revive = Some((si, fi));
+                        break 'rscan;
+                    }
+                }
+            }
+            let Some((si, fi)) = revive else { break };
+            // Mark fired on the record *before* the revival moves the
+            // schedule into the rebuilt partition, so it cannot re-fire.
+            self.software_owned[si].fault_fired[fi] = true;
+            self.revive_partition(si)?;
+            // Rescan: the revived partition may have another fault due
+            // this same cycle (a die → revive → die chain).
         }
         Ok(())
     }
@@ -1297,11 +1412,24 @@ impl Cosim {
             }
         }
 
-        // 4. Retire the dead partition; rebuild the surviving partitions'
-        //    transactors against the new software design, clearing wires
-        //    (fresh sequence spaces must not see stale frames).
+        // 4. Retire the dead partition, remembering its configuration
+        //    and the unfired remainder of its fault schedule so a
+        //    `ReviveAt` (or an explicit `Cosim::revive`) can bring it
+        //    back; rebuild the surviving partitions' transactors against
+        //    the new software design, clearing wires (fresh sequence
+        //    spaces must not see stale frames).
         let mut old_parts = std::mem::take(&mut self.parts_list);
-        old_parts.remove(pi);
+        let dead = old_parts.remove(pi);
+        self.software_owned.push(SwOwned {
+            domain: dead.domain,
+            link_cfg: *dead.link.config(),
+            faults: dead.link.fault_config().clone(),
+            clock_div: dead.clock_div,
+            event_driven: dead.hw.event_driven,
+            fault_schedule: dead.fault_schedule,
+            fault_fired: dead.fault_fired,
+        });
+        self.absorbed.push(dead_dom.clone());
         let cost = self.sw.cost;
         let mut sw = SwRunner::with_store(&topo.sw_design, store, self.sw_opts);
         sw.cost = cost;
@@ -1401,6 +1529,303 @@ impl Cosim {
         Ok(())
     }
 
+    /// Revives a software-owned partition back into hardware — the
+    /// inverse of [`failover_partition`](Self::failover_partition).
+    ///
+    /// Unlike failover there is no rewind: the current step boundary is
+    /// already a globally consistent cut (nothing was lost — software
+    /// owns the partition's state, and every transport is quiescent
+    /// between steps), so the handback extracts the live state as-is.
+    /// The splice: collect every channel's in-transit traffic, re-fold
+    /// the partitioning without the revived domain (`split_domain`),
+    /// rebuild both sides' stores by primitive path, split rehydrated
+    /// channels' merged FIFO contents across the new tx/rx halves,
+    /// rebuild every transactor from scratch (fresh go-back-N sequence
+    /// spaces, credits, CRC framing), re-seed the collected traffic at
+    /// the front of the tx FIFOs, charge the CPU for marshaling the
+    /// state image, and hold the partition in `Reviving` until the image
+    /// has crossed the link.
+    fn revive_partition(&mut self, si: usize) -> ExecResult<()> {
+        let rec = self.software_owned.remove(si);
+        let dom = rec.domain.clone();
+
+        // 1. Collect per-channel in-transit values while the old
+        //    transports are still alive (oldest first).
+        let mut backlog = Vec::with_capacity(self.parts.channels.len());
+        for i in 0..self.parts.channels.len() {
+            backlog.push(self.channel_backlog(i)?);
+        }
+
+        // 2. Inverse splice: re-fold everything still absorbed, leaving
+        //    the revived domain as its own partition again.
+        let fission = split_domain(
+            &self.orig_parts,
+            &self.parts,
+            &self.absorbed,
+            &dom,
+            &self.sw_domain,
+        )
+        .map_err(|e| ExecError::Malformed(e.to_string()))?;
+        self.absorbed.retain(|d| d != &dom);
+
+        // 3. Put the revived partition back in its configured pump slot
+        //    and re-plan the physical topology.
+        let pos_of = |d: &str| {
+            self.orig_order
+                .iter()
+                .position(|x| x == d)
+                .unwrap_or(usize::MAX)
+        };
+        let insert_at = self
+            .parts_list
+            .iter()
+            .take_while(|p| pos_of(&p.domain) < pos_of(&dom))
+            .count();
+        let mut domains: Vec<String> = self.parts_list.iter().map(|p| p.domain.clone()).collect();
+        domains.insert(insert_at, dom.clone());
+        let topo = plan_topology(&fission.parts, &self.sw_domain, &domains, &self.routing)
+            .map_err(|e| ExecError::Malformed(e.to_string()))?;
+
+        // 4. Rebuild both sides' stores by primitive path from the
+        //    current (fused) software store. Paths are preserved through
+        //    fusion and fission, so everything the revived partition
+        //    owns is found under the same name; hub FIFOs start empty
+        //    (their content rides in the backlog) and rehydrated channel
+        //    halves are filled in step 5.
+        let revived_design = fission
+            .parts
+            .partition(&dom)
+            .map_err(|e| ExecError::Malformed(e.to_string()))?
+            .clone();
+        let mut hw_store = Store::new(&revived_design);
+        for (i, prim) in revived_design.prims.iter().enumerate() {
+            if let Some(old) = self.sw_design.prim_id(&prim.path.0) {
+                *hw_store.state_mut(PrimId(i)) = self.sw.store.state(old).clone();
+            }
+        }
+        let mut sw_store = Store::new(&topo.sw_design);
+        for (i, prim) in topo.sw_design.prims.iter().enumerate() {
+            if prim.path.0.starts_with("__hub.") {
+                continue;
+            }
+            if let Some(old) = self.sw_design.prim_id(&prim.path.0) {
+                *sw_store.state_mut(PrimId(i)) = self.sw.store.state(old).clone();
+            }
+        }
+
+        // 5. Rehydrate channels that were internal FIFOs of the fused
+        //    design: the consumer-side rx half gets the oldest values up
+        //    to its depth (exactly what the credit invariant allows —
+        //    `credits_used = fifo_len(rx) + in_flight`), the producer-
+        //    side tx half holds the rest (transiently above nominal
+        //    depth is safe on latency-insensitive edges: `enq` blocks
+        //    until it drains).
+        for &ci in &fission.rehydrated {
+            let spec = &fission.parts.channels[ci];
+            let merged = self
+                .sw_design
+                .prim_id(&spec.name)
+                .expect("rehydrated channel was a merged FIFO of the fused design");
+            let mut items: std::collections::VecDeque<Value> = std::collections::VecDeque::new();
+            if let PrimState::Fifo { items: q, .. } = self.sw.store.state(merged) {
+                items.extend(q.iter().cloned());
+            }
+            let tx_items = items.split_off(items.len().min(spec.depth));
+            let fill = |design: &Design, store: &mut Store, path: &str, vals| {
+                let id = design.prim_id(path).expect("channel half exists");
+                if let PrimState::Fifo { items: slot, .. } = store.state_mut(id) {
+                    *slot = vals;
+                }
+            };
+            if spec.from_domain == dom {
+                fill(&revived_design, &mut hw_store, &spec.tx_path, tx_items);
+                fill(&topo.sw_design, &mut sw_store, &spec.rx_path, items);
+            } else {
+                fill(&topo.sw_design, &mut sw_store, &spec.tx_path, tx_items);
+                fill(&revived_design, &mut hw_store, &spec.rx_path, items);
+            }
+        }
+
+        // 6. Debt accounting across the handback: the CPU marshals the
+        //    whole state image into the DMA buffer (paid for out of the
+        //    budget like any driver transfer), and the partition only
+        //    starts executing once the image has crossed the link.
+        let words = hw_store.total_words();
+        let link = Link::with_faults(rec.link_cfg, rec.faults.clone());
+        self.sw_debt += link.sw_transfer_cost(words as usize);
+        let active_at = self.fpga_cycles
+            + rec.link_cfg.one_way_latency
+            + words.div_ceil(rec.link_cfg.words_per_cycle.max(1));
+
+        // 7. Rebuild the partition (fresh simulator over the reloaded
+        //    store, fresh link transport with deterministically reseeded
+        //    fault PRNGs) and every transactor — all sequence spaces
+        //    restart from scratch, so all wires must be clear.
+        let mut hw = HwSim::with_store(&revived_design, hw_store)
+            .map_err(|e| ExecError::Malformed(e.to_string()))?;
+        hw.event_driven = rec.event_driven;
+        let cost = self.sw.cost;
+        let mut sw = SwRunner::with_store(&topo.sw_design, sw_store, self.sw_opts);
+        sw.cost = cost;
+        self.sw = sw;
+        self.sw_design = topo.sw_design;
+        let mut parts = std::mem::take(&mut self.parts_list);
+        parts.insert(
+            insert_at,
+            HwPart {
+                domain: dom.clone(),
+                design: revived_design,
+                hw,
+                transactor: None,
+                link,
+                clock_div: rec.clock_div,
+                alive: true,
+                fault_schedule: rec.fault_schedule,
+                fault_fired: rec.fault_fired,
+                last_progress: 0,
+                last_progress_cycle: self.fpga_cycles,
+                active_at,
+            },
+        );
+        for (part, specs) in parts.iter_mut().zip(&topo.part_specs) {
+            part.transactor = if specs.is_empty() {
+                None
+            } else {
+                Some(
+                    Transactor::new(
+                        specs,
+                        &self.sw_domain,
+                        &self.sw_design,
+                        &part.domain,
+                        &part.design,
+                    )
+                    .map_err(|e| ExecError::Malformed(e.to_string()))?,
+                )
+            };
+            part.link.clear_in_flight();
+            part.last_progress = 0;
+            part.last_progress_cycle = self.fpga_cycles;
+        }
+        self.parts_list = parts;
+        self.fabric.clear();
+        for (a, b, specs) in &topo.fabric {
+            let (link_cfg, link_faults) = match &self.routing {
+                InterHwRouting::Fabric { link, faults } => (*link, faults.clone()),
+                InterHwRouting::ViaHub => unreachable!("hub routing plans no fabric"),
+            };
+            self.fabric.push(FabricLink {
+                a: *a,
+                b: *b,
+                transactor: Transactor::new(
+                    specs,
+                    &self.parts_list[*a].domain,
+                    &self.parts_list[*a].design,
+                    &self.parts_list[*b].domain,
+                    &self.parts_list[*b].design,
+                )
+                .map_err(|e| ExecError::Malformed(e.to_string()))?,
+                link: Link::with_faults(link_cfg, link_faults),
+                last_progress: 0,
+                last_progress_cycle: self.fpga_cycles,
+            });
+        }
+
+        // 8. Adopt the split partitioning, then re-seed the collected
+        //    in-transit traffic at the front of each surviving channel's
+        //    tx FIFO — order preserved. Rehydrated channels carried no
+        //    wire traffic (they were internal FIFOs).
+        self.parts = fission.parts;
+        self.routes = topo.routes;
+        for (i, &j) in fission.channel_map.iter().enumerate() {
+            if backlog[i].is_empty() {
+                continue;
+            }
+            let spec = &self.parts.channels[j];
+            let (tx_store, tx_id) = if spec.from_domain == self.sw_domain {
+                let id = self
+                    .sw_design
+                    .prim_id(&spec.tx_path)
+                    .expect("tx half exists");
+                (&mut self.sw.store, id)
+            } else {
+                let part = self
+                    .parts_list
+                    .iter_mut()
+                    .find(|p| p.domain == spec.from_domain)
+                    .expect("tx partition exists");
+                let id = part.design.prim_id(&spec.tx_path).expect("tx half exists");
+                (&mut part.hw.store, id)
+            };
+            if let PrimState::Fifo { items, .. } = tx_store.state_mut(tx_id) {
+                for v in backlog[i].drain(..).rev() {
+                    items.push_front(v);
+                }
+            }
+        }
+
+        // 9. The handback is itself a consistent cut; checkpoint it so a
+        //    fault before the next cadence tick has somewhere to recover
+        //    to. (Older checkpoints describe the pre-revival topology
+        //    and must never be restored into this one.)
+        self.revived = true;
+        self.last_ckpt = Some(self.checkpoint());
+        if let Some(interval) = self.policy.checkpoint_interval() {
+            self.next_ckpt_at = self.fpga_cycles + interval.max(1);
+        }
+        Ok(())
+    }
+
+    /// Explicitly revives a software-owned partition back into hardware,
+    /// as if a [`PartitionFault::ReviveAt`] fired at the current cycle:
+    /// the partition's live state is extracted out of the fused software
+    /// design, transferred over its link (the CPU pays the marshaling
+    /// cost, the partition stays in [`PartitionLifecycle::Reviving`] for
+    /// the transfer latency), and co-execution resumes with fresh
+    /// transport state. Final value streams are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `domain` is not currently software-owned (it never
+    /// failed over, is still running, or was already revived).
+    pub fn revive(&mut self, domain: &str) -> Result<(), PlatformError> {
+        let si = self
+            .software_owned
+            .iter()
+            .position(|r| r.domain == domain)
+            .ok_or_else(|| {
+                PlatformError::new(format!(
+                    "partition `{domain}` is not software-owned; only a partition \
+                     previously spliced in by FailoverToSoftware can be revived"
+                ))
+            })?;
+        self.revive_partition(si)
+            .map_err(|e| PlatformError::new(e.to_string()))
+    }
+
+    /// True once at least one software-owned partition has been revived
+    /// back into hardware.
+    pub fn revived(&self) -> bool {
+        self.revived
+    }
+
+    /// Where the named partition currently is in its lifecycle, or
+    /// `None` if no such hardware partition was ever configured.
+    pub fn partition_lifecycle(&self, domain: &str) -> Option<PartitionLifecycle> {
+        if let Some(p) = self.parts_list.iter().find(|p| p.domain == domain) {
+            return Some(if !p.alive {
+                PartitionLifecycle::Dead
+            } else if self.fpga_cycles < p.active_at {
+                PartitionLifecycle::Reviving
+            } else {
+                PartitionLifecycle::Running
+            });
+        }
+        if self.software_owned.iter().any(|r| r.domain == domain) {
+            return Some(PartitionLifecycle::SoftwareOwned);
+        }
+        None
+    }
+
     /// Advances the system by one FPGA clock cycle: each live partition
     /// steps (per its clock divider) and pumps its CPU link, fabric
     /// links pump between live partitions, and software spends its CPU
@@ -1424,7 +1849,9 @@ impl Cosim {
         }
         let now = self.fpga_cycles;
         for part in &mut self.parts_list {
-            if !part.alive {
+            // A reviving partition neither executes nor pumps until its
+            // state image has finished crossing the link.
+            if !part.alive || now < part.active_at {
                 continue;
             }
             if part.clock_div <= 1 || now.is_multiple_of(part.clock_div) {
@@ -1438,7 +1865,8 @@ impl Cosim {
         }
         for k in 0..self.fabric.len() {
             let (a, b) = (self.fabric[k].a, self.fabric[k].b);
-            if !(self.parts_list[a].alive && self.parts_list[b].alive) {
+            let ready = |p: &HwPart| p.alive && now >= p.active_at;
+            if !(ready(&self.parts_list[a]) && ready(&self.parts_list[b])) {
                 continue;
             }
             let (pa, pb) = parts_pair(&mut self.parts_list, a, b);
@@ -1538,6 +1966,13 @@ impl Cosim {
             if !p.link.faults_active() && p.fault_schedule.is_empty() {
                 continue;
             }
+            if now < p.active_at {
+                // Reviving: nothing pumps by design, so the frozen
+                // progress counter is not a stall.
+                let p = &mut self.parts_list[i];
+                p.last_progress_cycle = now;
+                continue;
+            }
             let progress = t.progress();
             let pending = t.pending_work(&self.sw.store, &p.hw.store);
             let p = &mut self.parts_list[i];
@@ -1564,6 +1999,11 @@ impl Cosim {
                 || !self.parts_list[f.a].fault_schedule.is_empty()
                 || !self.parts_list[f.b].fault_schedule.is_empty();
             if !armed {
+                continue;
+            }
+            if now < self.parts_list[f.a].active_at || now < self.parts_list[f.b].active_at {
+                let f = &mut self.fabric[k];
+                f.last_progress_cycle = now;
                 continue;
             }
             let progress = f.transactor.progress();
@@ -2474,14 +2914,16 @@ mod tests {
     fn partial_failover_keeps_survivors_in_hardware() {
         use crate::link::{FaultConfig, PartitionFault};
         for routing in [InterHwRouting::ViaHub, InterHwRouting::fabric()] {
-            let (clean, _) = run_chain(routing.clone(), &plain_cfgs(), RecoveryPolicy::Fail, 10);
+            // 200 items: the hub-routed software-owned phase moves only
+            // ~2 items per 100 cycles, so ReviveAt(2000) fires mid-run.
+            let (clean, _) = run_chain(routing.clone(), &plain_cfgs(), RecoveryPolicy::Fail, 200);
             let cfgs = vec![
                 HwPartitionCfg::new(HW),
                 HwPartitionCfg::new(HW2).with_faults(
                     FaultConfig::none().with_partition_fault(PartitionFault::DieAt(250)),
                 ),
             ];
-            let (vals, cs) = run_chain(routing, &cfgs, RecoveryPolicy::failover(100), 10);
+            let (vals, cs) = run_chain(routing, &cfgs, RecoveryPolicy::failover(100), 200);
             assert!(
                 cs.fpga_cycles > 250,
                 "the fault must strike mid-run, not after completion"
@@ -2504,6 +2946,237 @@ mod tests {
                 "the survivor kept using its link"
             );
         }
+    }
+
+    #[test]
+    fn revive_after_failover_finishes_in_hardware() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        // 200 items keeps the software-owned phase busy well past the
+        // revive point (software drains ~9 items per 100 cycles here).
+        let clean: Vec<i64> = {
+            let mut cs =
+                Cosim::new(&p, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+            for i in 0..200 {
+                cs.push_source("src", Value::int(32, i));
+            }
+            assert!(cs
+                .run_until(|c| c.sink_count("snk") == 200, 1_000_000)
+                .unwrap()
+                .is_done());
+            sink_ints(&cs, "snk")
+        };
+        let faults = FaultConfig::none()
+            .with_partition_fault(PartitionFault::DieAt(180))
+            .with_partition_fault(PartitionFault::ReviveAt(1_500));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        for i in 0..200 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        // Walk the lifecycle: Running until the death, SoftwareOwned
+        // after the splice, Reviving through the state transfer,
+        // Running again after it.
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::Running)
+        );
+        while cs.fpga_cycles < 1_000 {
+            cs.step().unwrap();
+        }
+        assert!(cs.failed_over());
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::SoftwareOwned)
+        );
+        assert_eq!(cs.hw_partition_count(), 0);
+        while cs.fpga_cycles < 1_501 {
+            cs.step().unwrap();
+        }
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::Reviving),
+            "state image still crossing the link"
+        );
+        assert!(cs.revived());
+        assert_eq!(cs.hw_partition_count(), 1);
+        assert_eq!(cs.partition_hw_cycles(HW), Some(0), "not yet executing");
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 200, 10_000_000)
+            .unwrap();
+        assert!(out.is_done(), "revived run must finish: {out:?}");
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::Running)
+        );
+        assert!(
+            cs.partition_hw_cycles(HW).unwrap() > 0,
+            "the revived partition must execute rules in hardware again"
+        );
+        assert_eq!(
+            sink_ints(&cs, "snk"),
+            clean,
+            "die → failover → revive must not change the stream"
+        );
+    }
+
+    #[test]
+    fn explicit_revive_matches_scripted_revive_values() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(180));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        // Reviving a running partition is an error.
+        assert!(cs.revive(HW).is_err());
+        for i in 0..200 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        while cs.fpga_cycles < 1_500 {
+            cs.step().unwrap();
+        }
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::SoftwareOwned)
+        );
+        cs.revive(HW).unwrap();
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::Reviving)
+        );
+        // Reviving twice is an error.
+        assert!(cs.revive(HW).is_err());
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 200, 10_000_000)
+            .unwrap();
+        assert!(out.is_done(), "{out:?}");
+        assert!(cs.partition_hw_cycles(HW).unwrap() > 0);
+        assert_eq!(
+            sink_ints(&cs, "snk"),
+            (0..200).map(|i| i + 1000).collect::<Vec<i64>>()
+        );
+    }
+
+    #[test]
+    fn revive_survives_multi_partition_chains_on_both_routings() {
+        use crate::link::{FaultConfig, PartitionFault};
+        for routing in [InterHwRouting::ViaHub, InterHwRouting::fabric()] {
+            // 200 items: the hub-routed software-owned phase moves only
+            // ~2 items per 100 cycles, so ReviveAt(2000) fires mid-run.
+            let (clean, _) = run_chain(routing.clone(), &plain_cfgs(), RecoveryPolicy::Fail, 200);
+            let cfgs = vec![
+                HwPartitionCfg::new(HW),
+                HwPartitionCfg::new(HW2).with_faults(
+                    FaultConfig::none()
+                        .with_partition_fault(PartitionFault::DieAt(250))
+                        .with_partition_fault(PartitionFault::ReviveAt(2_000)),
+                ),
+            ];
+            let (vals, cs) = run_chain(routing, &cfgs, RecoveryPolicy::failover(100), 200);
+            assert_eq!(vals, clean, "failover + revive must not change the stream");
+            assert!(cs.failed_over() && cs.revived());
+            assert_eq!(
+                cs.hw_partition_count(),
+                2,
+                "both partitions back in hardware"
+            );
+            assert_eq!(
+                cs.hw_domains(),
+                vec![HW, HW2],
+                "the revived partition returns to its configured slot"
+            );
+        }
+    }
+
+    #[test]
+    fn die_revive_die_chain_still_converges() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        // 400 items so every fault lands mid-run: the first revival
+        // completes around cycle 1_270, the second death strikes the
+        // partition while it is running again, and the second revival
+        // fires with work still queued in the software-owned phase.
+        let faults = FaultConfig::none()
+            .with_partition_fault(PartitionFault::DieAt(180))
+            .with_partition_fault(PartitionFault::ReviveAt(1_200))
+            .with_partition_fault(PartitionFault::DieAt(1_400))
+            .with_partition_fault(PartitionFault::ReviveAt(2_600));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        for i in 0..400 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs
+            .run_until(|c| c.sink_count("snk") == 400, 10_000_000)
+            .unwrap();
+        assert!(out.is_done(), "{out:?}");
+        assert_eq!(
+            sink_ints(&cs, "snk"),
+            (0..400).map(|i| i + 1000).collect::<Vec<i64>>()
+        );
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::Running)
+        );
+    }
+
+    #[test]
+    fn revive_charges_the_cpu_for_the_state_transfer() {
+        use crate::link::{FaultConfig, PartitionFault};
+        let d = offload_design(true);
+        let p = partition(&d, SW).unwrap();
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(180));
+        let mut cs = Cosim::with_faults(
+            &p,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        for i in 0..12 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        while cs.fpga_cycles < 1_500 {
+            cs.step().unwrap();
+        }
+        let debt_before = cs.sw_debt();
+        cs.revive(HW).unwrap();
+        assert!(
+            cs.sw_debt() > debt_before,
+            "marshaling the state image must cost CPU cycles: {} !> {}",
+            cs.sw_debt(),
+            debt_before
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //!   consistent cut, restore it bit- and cycle-identically, and recover
 //!   from scripted hardware-partition faults by restarting from the last
 //!   checkpoint or failing over to an all-software fused design
-//!   ([`cosim::RecoveryPolicy`]).
+//!   ([`cosim::RecoveryPolicy`]) — and later revive a failed-over
+//!   partition back into hardware ([`link::PartitionFault::ReviveAt`] /
+//!   [`cosim::Cosim::revive`]), completing the
+//!   Running → Dead → SoftwareOwned → Reviving → Running lifecycle
+//!   ([`cosim::PartitionLifecycle`]).
 //!
 //! ```
 //! use bcl_core::builder::{dsl::*, ModuleBuilder};
@@ -55,7 +59,7 @@ pub mod link;
 pub mod transactor;
 pub mod wire;
 
-pub use cosim::{Checkpoint, Cosim, CosimOutcome, RecoveryPolicy};
+pub use cosim::{Checkpoint, Cosim, CosimOutcome, PartitionLifecycle, RecoveryPolicy};
 pub use link::{
     Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkSnapshot, LinkStats, Message,
     PartitionFault, ScriptedFault,

@@ -134,13 +134,24 @@ pub enum PartitionFault {
     /// down (no cycles execute, nothing is pumped); only a recovery
     /// policy can bring the system back.
     DieAt(u64),
+    /// At this FPGA cycle the hardware partition comes back to life. It
+    /// only has an effect while the partition is software-owned (after a
+    /// `DieAt` was survived by `RecoveryPolicy::FailoverToSoftware`):
+    /// the co-simulation extracts the partition's live state back out of
+    /// the fused software design, reloads the hardware store, rebuilds
+    /// the transactor transport from scratch, and resumes co-execution.
+    /// While the partition is running in hardware a `ReviveAt` is
+    /// ignored (and stays armed, so a later death can still be revived).
+    ReviveAt(u64),
 }
 
 impl PartitionFault {
     /// The FPGA cycle at which the fault strikes.
     pub fn cycle(&self) -> u64 {
         match self {
-            PartitionFault::ResetAt(c) | PartitionFault::DieAt(c) => *c,
+            PartitionFault::ResetAt(c) | PartitionFault::DieAt(c) | PartitionFault::ReviveAt(c) => {
+                *c
+            }
         }
     }
 

@@ -12,7 +12,8 @@
 //!
 //! ## Reliable transport
 //!
-//! On a perfect link (the default, [`FaultConfig::none`]) the transactor
+//! On a perfect link (the default, [`crate::link::FaultConfig::none`])
+//! the transactor
 //! sends bare marshaled payloads, exactly like the paper's platform — the
 //! fast path adds zero overhead. When the link is constructed with an
 //! active fault model, every message instead becomes a framed,

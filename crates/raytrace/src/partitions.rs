@@ -127,6 +127,9 @@ pub struct RtRun {
     pub hw_partitions: usize,
     /// True if a partition was failed over to software during the run.
     pub failed_over: bool,
+    /// True if a software-owned partition was revived back into hardware
+    /// during the run.
+    pub revived: bool,
     /// Guards actually evaluated across all schedulers (cache hits are
     /// excluded; naive mode would evaluate `guard_evals +
     /// guard_evals_skipped` times).
@@ -293,6 +296,7 @@ fn run_partition_full(
         rays,
         hw_partitions: cosim.hw_partition_count(),
         failed_over: cosim.failed_over(),
+        revived: cosim.revived(),
         guard_evals,
         guard_evals_skipped,
     })
@@ -404,6 +408,47 @@ mod tests {
         assert_eq!(
             failover.hw_partitions, 1,
             "the intersection accelerator must survive in hardware"
+        );
+    }
+
+    #[test]
+    fn traversal_death_then_revival_finishes_render_in_hardware() {
+        use bcl_platform::link::PartitionFault;
+        // Full lifecycle on the two-accelerator partition: the traversal
+        // accelerator dies mid-render, software absorbs it (the
+        // intersection accelerator keeps running in hardware), then a
+        // scripted revival splices traversal back out into hardware and
+        // the render finishes with both accelerators live.
+        let scene = make_scene(48, 5);
+        let bvh = build_bvh(&scene);
+        let (w, h) = (4, 4);
+        let clean = run_partition(RtPartition::E, &bvh, w, h).unwrap();
+        let die_at = clean.fpga_cycles / 2;
+        // Shortly after the failover grace period (die_at / 4): with the
+        // intersection accelerator still in hardware the software-owned
+        // phase is not dramatically slower, so an early revival is the
+        // only schedule guaranteed to fire before the render completes.
+        let revive_at = die_at + die_at / 2;
+        let run = run_partition_with_recovery(
+            RtPartition::E,
+            &bvh,
+            w,
+            h,
+            FaultConfig::none()
+                .with_partition_fault(PartitionFault::DieAt(die_at))
+                .with_partition_fault(PartitionFault::ReviveAt(revive_at)),
+            RecoveryPolicy::failover((die_at / 4).max(1)),
+        )
+        .unwrap();
+        assert!(run.failed_over, "the death must strike mid-render");
+        assert!(run.revived, "the revival must fire before the render ends");
+        assert_eq!(
+            run.image, clean.image,
+            "die → failover → revive must not change the image"
+        );
+        assert_eq!(
+            run.hw_partitions, 2,
+            "both accelerators must finish the render in hardware"
         );
     }
 

@@ -144,6 +144,9 @@ pub struct VorbisRun {
     pub hw_partitions: usize,
     /// True if a partition was failed over to software during the run.
     pub failed_over: bool,
+    /// True if a software-owned partition was revived back into hardware
+    /// during the run.
+    pub revived: bool,
     /// Guards actually evaluated across all schedulers (cache hits are
     /// excluded; naive mode would evaluate `guard_evals +
     /// guard_evals_skipped` times).
@@ -311,6 +314,7 @@ fn run_partition_full(
         frames: want,
         hw_partitions: cosim.hw_partition_count(),
         failed_over: cosim.failed_over(),
+        revived: cosim.revived(),
         guard_evals,
         guard_evals_skipped,
     })
@@ -359,6 +363,41 @@ mod tests {
         )
         .unwrap();
         assert_eq!(failover.pcm, clean.pcm);
+    }
+
+    #[test]
+    fn accelerator_death_then_revival_finishes_decode_in_hardware() {
+        use bcl_platform::link::PartitionFault;
+        // The full lifecycle on the all-hardware partition: the
+        // accelerator dies mid-decode, software takes over, then a
+        // scripted revival moves the live state back into hardware and
+        // the decode finishes there — bit-identical to the clean run.
+        let frames = frame_stream(2, 21);
+        let clean = run_partition(VorbisPartition::E, &frames).unwrap();
+        let die_at = clean.fpga_cycles / 2;
+        // Well inside the software-owned phase: software decodes at a
+        // fraction of hardware speed, so one clean-run-length after the
+        // death it still has most of the remaining frames queued.
+        let revive_at = die_at + clean.fpga_cycles;
+        let run = run_partition_with_recovery(
+            VorbisPartition::E,
+            &frames,
+            FaultConfig::none()
+                .with_partition_fault(PartitionFault::DieAt(die_at))
+                .with_partition_fault(PartitionFault::ReviveAt(revive_at)),
+            RecoveryPolicy::failover((die_at / 4).max(1)),
+        )
+        .unwrap();
+        assert!(run.failed_over, "the death must strike mid-decode");
+        assert!(run.revived, "the revival must fire before the decode ends");
+        assert_eq!(
+            run.pcm, clean.pcm,
+            "die → failover → revive must not change the PCM"
+        );
+        assert_eq!(
+            run.hw_partitions, 1,
+            "the decode must finish back in hardware"
+        );
     }
 
     #[test]

@@ -1,0 +1,262 @@
+//! Demonstrates hardware failback: an offload accelerator dies
+//! mid-stream, the cosim splices it into software (`FailoverToSoftware`),
+//! then a scripted `ReviveAt` re-partitions the live state back out of
+//! the fused design and the stream finishes in hardware. The demo prints
+//! per-phase throughput (items drained per 1000 FPGA cycles) and guard
+//! evaluations per cycle, showing throughput collapsing to CPU speed
+//! while the partition is software-owned and recovering after revival —
+//! with the final output bit-identical throughout.
+//!
+//! ```sh
+//! cargo run --release --example failback_demo
+//! cargo run --release --example failback_demo -- --latency
+//! ```
+//!
+//! `--latency` runs the revive-latency sweep recorded in EXPERIMENTS.md:
+//! cycles from the revival firing until the partition is running again,
+//! as a function of the live-state size being shipped across the link.
+
+use bcl_core::builder::{dsl::*, ModuleBuilder};
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::partition;
+use bcl_core::program::Program;
+use bcl_core::sched::SwOptions;
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+use bcl_platform::cosim::{Cosim, PartitionLifecycle, RecoveryPolicy};
+use bcl_platform::link::{FaultConfig, LinkConfig, PartitionFault};
+
+/// src(SW) -> inSync(depth) -> compute(HW) -> outSync(depth) -> snk(SW):
+/// every item crosses the accelerator. The kernel sums 48 shifted copies
+/// of the input — one rule, one hardware cycle, but ~100 weighted ALU
+/// ops for the software interpreter, like the paper's IMDCT butterflies.
+/// When `scratch > 0` the compute rule also journals into a
+/// `scratch`-entry register file, so the partition carries that much
+/// extra live state (power of two).
+fn offload_design(depth: usize, scratch: usize) -> bcl_core::design::Design {
+    let mut m = ModuleBuilder::new("Offload");
+    m.source("src", Type::Int(32), SW);
+    m.sink("snk", Type::Int(32), SW);
+    m.channel("inSync", depth, Type::Int(32), SW, HW);
+    m.channel("outSync", depth, Type::Int(32), HW, SW);
+    m.rule("feed", with_first("x", "src", enq("inSync", var("x"))));
+    let kernel = (0..48).fold(var("x"), |e, i| {
+        add(e, shr(var("x"), cint(32, (i % 13) as i64)))
+    });
+    let forward = enq("outSync", kernel);
+    let body = if scratch > 0 {
+        m.regfile(
+            "scratch",
+            scratch,
+            Type::Int(32),
+            vec![Value::int(32, 0); scratch],
+        );
+        par(vec![
+            upd(
+                "scratch",
+                and(var("x"), cint(32, scratch as i64 - 1)),
+                var("x"),
+            ),
+            forward,
+        ])
+    } else {
+        forward
+    };
+    m.rule("compute", with_first("x", "inSync", body));
+    m.rule("drain", with_first("y", "outSync", enq("snk", var("y"))));
+    bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+}
+
+/// A fast DMA driver: per-message overhead low enough that the link, not
+/// the CPU driver, bounds hardware-phase throughput.
+fn link_cfg() -> LinkConfig {
+    LinkConfig {
+        sw_msg_overhead: 8,
+        sw_word_cost: 1,
+        ..LinkConfig::default()
+    }
+}
+
+fn lifecycle_demo() -> Result<(), Box<dyn std::error::Error>> {
+    const ITEMS: usize = 2_000;
+    // Past the pipeline's startup transient, so the table's first row
+    // shows hardware steady state rather than the fill.
+    const DIE_AT: u64 = 2_500;
+    const REVIVE_AT: u64 = 6_000;
+
+    // Deep channels so the accelerator can pipeline over the ~100-cycle
+    // link round trip; with shallow channels the credit window, not the
+    // compute, would bound hardware throughput.
+    let design = offload_design(64, 0);
+    let parts = partition(&design, SW)?;
+
+    // The fault-free reference: the revived run must match it bit for bit.
+    let clean: Vec<i64> = {
+        let mut cs = Cosim::with_faults(
+            &parts,
+            SW,
+            HW,
+            link_cfg(),
+            FaultConfig::none(),
+            SwOptions::default(),
+        )?;
+        for i in 0..ITEMS as i64 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        let out = cs.run_until(|c| c.sink_count("snk") == ITEMS, 10_000_000)?;
+        assert!(out.is_done(), "clean run did not converge: {out:?}");
+        cs.sink_values("snk")
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
+    };
+
+    let faults = FaultConfig::none()
+        .with_partition_fault(PartitionFault::DieAt(DIE_AT))
+        .with_partition_fault(PartitionFault::ReviveAt(REVIVE_AT));
+    let mut cs = Cosim::with_faults(&parts, SW, HW, link_cfg(), faults, SwOptions::default())?;
+    cs.set_recovery_policy(RecoveryPolicy::failover(100));
+    for i in 0..ITEMS as i64 {
+        cs.push_source("src", Value::int(32, i));
+    }
+
+    println!("die @ {DIE_AT}, revive @ {REVIVE_AT}, {ITEMS} items through the accelerator\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>12} {:>12}",
+        "phase", "cycles", "items", "items/kcycle", "guards/cycle"
+    );
+
+    // Walk the run phase by phase, cutting a throughput sample at every
+    // lifecycle transition of the accelerator partition.
+    let mut phase = PartitionLifecycle::Running;
+    let (mut cyc0, mut snk0) = (0u64, 0usize);
+    let mut guards0 = cs.guard_eval_totals().0;
+    let report = |name: &str, cyc0: u64, cyc1: u64, snk0: usize, snk1: usize, g0: u64, g1: u64| {
+        let cycles = cyc1 - cyc0;
+        if cycles == 0 {
+            return;
+        }
+        println!(
+            "{:<16} {:>8} {:>8} {:>12.1} {:>12.2}",
+            name,
+            cycles,
+            snk1 - snk0,
+            (snk1 - snk0) as f64 * 1_000.0 / cycles as f64,
+            (g1 - g0) as f64 / cycles as f64,
+        );
+    };
+    while cs.sink_count("snk") < ITEMS {
+        cs.step()?;
+        assert!(cs.fpga_cycles < 10_000_000, "demo did not converge");
+        let now = cs
+            .partition_lifecycle(HW)
+            .expect("the accelerator partition is always known");
+        if now != phase {
+            let guards = cs.guard_eval_totals().0;
+            report(
+                label(phase),
+                cyc0,
+                cs.fpga_cycles,
+                snk0,
+                cs.sink_count("snk"),
+                guards0,
+                guards,
+            );
+            phase = now;
+            cyc0 = cs.fpga_cycles;
+            snk0 = cs.sink_count("snk");
+            guards0 = guards;
+        }
+    }
+    let guards = cs.guard_eval_totals().0;
+    report(
+        label(phase),
+        cyc0,
+        cs.fpga_cycles,
+        snk0,
+        cs.sink_count("snk"),
+        guards0,
+        guards,
+    );
+
+    let got: Vec<i64> = cs
+        .sink_values("snk")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    let ok = got == clean;
+    println!(
+        "\nfinal: {} items, bit-identical: {}, back in hardware: {}",
+        cs.sink_count("snk"),
+        if ok { "yes" } else { "NO!" },
+        if cs.partition_lifecycle(HW) == Some(PartitionLifecycle::Running) {
+            "yes"
+        } else {
+            "NO!"
+        }
+    );
+    Ok(())
+}
+
+fn label(p: PartitionLifecycle) -> &'static str {
+    match p {
+        PartitionLifecycle::Running => "Running",
+        PartitionLifecycle::Dead => "Dead",
+        PartitionLifecycle::SoftwareOwned => "SoftwareOwned",
+        PartitionLifecycle::Reviving => "Reviving",
+    }
+}
+
+/// The EXPERIMENTS.md revive-latency sweep: kill an accelerator that
+/// carries a `scratch`-entry register file, revive it, and measure the
+/// cycles from the revival firing until the partition is running again.
+/// The handback ships the whole live state (registers + channel FIFOs)
+/// across the link at `words_per_cycle`, so the latency is the link's
+/// one-way latency plus one cycle per live word.
+fn latency_sweep() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>8} {:>14} {:>15}",
+        "scratch", "revive cycle", "revive latency"
+    );
+    for scratch in [4usize, 64, 256, 1024] {
+        let parts = partition(&offload_design(4, scratch), SW)?;
+        let faults = FaultConfig::none().with_partition_fault(PartitionFault::DieAt(400));
+        let mut cs = Cosim::with_faults(
+            &parts,
+            SW,
+            HW,
+            LinkConfig::default(),
+            faults,
+            SwOptions::default(),
+        )?;
+        cs.set_recovery_policy(RecoveryPolicy::failover(50));
+        for i in 0..400i64 {
+            cs.push_source("src", Value::int(32, i));
+        }
+        while cs.partition_lifecycle(HW) != Some(PartitionLifecycle::SoftwareOwned) {
+            cs.step()?;
+            assert!(cs.fpga_cycles < 1_000_000, "failover never completed");
+        }
+        let fired_at = cs.fpga_cycles;
+        cs.revive(HW)?;
+        while cs.partition_lifecycle(HW) != Some(PartitionLifecycle::Running) {
+            cs.step()?;
+            assert!(cs.fpga_cycles < 1_000_000, "revival never completed");
+        }
+        println!(
+            "{:>8} {:>14} {:>15}",
+            scratch,
+            fired_at,
+            cs.fpga_cycles - fired_at
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().any(|a| a == "--latency") {
+        latency_sweep()
+    } else {
+        lifecycle_demo()
+    }
+}

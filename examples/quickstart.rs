@@ -4,6 +4,15 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! Because the two sides are interchangeable, the co-simulator can move
+//! a partition between them *at runtime*: an accelerator can die
+//! mid-stream, fail over to a re-fused software design, and later be
+//! revived back into hardware — all without changing a single output
+//! bit. `examples/failover_demo.rs` shows the die → failover half,
+//! `examples/failback_demo.rs` the full die → failover → revive arc
+//! (throughput collapsing to CPU speed and recovering after the
+//! handback).
 
 use bcl_core::builder::{dsl::*, ModuleBuilder};
 use bcl_core::program::Program;
@@ -128,6 +137,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nfinal x register: {}",
         sw.store.state(x).call_value(PrimMethod::RegRead, &[])?
+    );
+    println!(
+        "\nBecause both sides agree, a partition can move between them at\n\
+         runtime: try `cargo run --release --example failback_demo` for the\n\
+         die -> failover -> revive arc on a co-simulated accelerator."
     );
     Ok(())
 }

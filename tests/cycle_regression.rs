@@ -12,11 +12,16 @@
 //! If a change legitimately alters the timing model, re-baseline these
 //! constants in the same commit and say why.
 
+use bcl_platform::cosim::RecoveryPolicy;
+use bcl_platform::link::{FaultConfig, PartitionFault};
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
 use bcl_raytrace::partitions::{run_partition as rt_run, RtPartition};
 use bcl_vorbis::frames::frame_stream;
-use bcl_vorbis::partitions::{run_partition as vorbis_run, VorbisPartition};
+use bcl_vorbis::partitions::{
+    run_partition as vorbis_run, run_partition_with_recovery as vorbis_run_recovery,
+    VorbisPartition,
+};
 
 /// (partition, fpga_cycles, sw_cpu_cycles) on `frame_stream(3, 21)`.
 const VORBIS_BASELINE: &[(VorbisPartition, u64, u64)] = &[
@@ -54,6 +59,43 @@ fn vorbis_partition_cycle_counts_are_pinned() {
         }
     }
     assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn vorbis_failback_trace_is_pinned() {
+    // One pinned die → failover → revive trace: partition E on
+    // `frame_stream(3, 21)` (fault-free baseline 1_726 cycles), killed at
+    // cycle 800, spliced into software after a 200-cycle grace period,
+    // revived at cycle 2_500, finishing the decode back in hardware. The
+    // cycle counts cover the whole lifecycle — death detection, splice,
+    // software-owned decoding, state-image transfer, and the hardware
+    // tail — so any drift in the failover *or* failback timing model
+    // fails loudly.
+    let frames = frame_stream(3, 21);
+    let clean = vorbis_run(VorbisPartition::E, &frames).unwrap();
+    let faults = FaultConfig::none()
+        .with_partition_fault(PartitionFault::DieAt(800))
+        .with_partition_fault(PartitionFault::ReviveAt(2_500));
+    let run = vorbis_run_recovery(
+        VorbisPartition::E,
+        &frames,
+        faults,
+        RecoveryPolicy::failover(200),
+    )
+    .unwrap();
+    assert!(
+        run.failed_over && run.revived,
+        "the trace must exercise both"
+    );
+    assert_eq!(run.pcm, clean.pcm, "failback must not change the PCM");
+    assert_eq!(run.hw_partitions, 1, "the decode must finish in hardware");
+    assert_eq!(
+        (run.fpga_cycles, run.sw_cpu_cycles),
+        (4_621, 7_552),
+        "failback trace timing drifted: got fpga={} cpu={}",
+        run.fpga_cycles,
+        run.sw_cpu_cycles
+    );
 }
 
 #[test]
