@@ -1,0 +1,559 @@
+//! Bounds-checked binary encoding for durable snapshots.
+//!
+//! Snapshot types across the workspace serialize themselves through the
+//! [`ByteWriter`] / [`ByteReader`] pair defined here. The decoder side is
+//! deliberately paranoid — it is fed bytes that may have been truncated,
+//! bit-flipped, or crafted, and the contract is that *no* input can make
+//! it panic or allocate unboundedly:
+//!
+//! * every read is bounds-checked against the remaining input
+//!   ([`CodecError::Truncated`] instead of a slice panic);
+//! * declared element counts are validated against the bytes actually
+//!   remaining before any allocation ([`ByteReader::seq_len`]), so a
+//!   length field of `u64::MAX` cannot trigger an OOM preallocation;
+//! * recursive values carry an explicit depth cap
+//!   ([`MAX_VALUE_DEPTH`]), so a crafted deeply-nested `Vec`-of-`Vec`
+//!   cannot overflow the decoder's stack.
+//!
+//! All integers are little-endian. Variable-length sequences are
+//! `u64`-count-prefixed; strings are `u64`-length-prefixed UTF-8.
+
+use crate::prim::PrimState;
+use crate::value::Value;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Maximum nesting depth accepted when decoding a [`Value`]. Real
+/// designs nest a handful of levels (vectors of structs of scalars); the
+/// cap exists to keep crafted input from exhausting the decoder's stack.
+pub const MAX_VALUE_DEPTH: usize = 64;
+
+/// A typed decoding failure. Encoding is infallible; decoding never
+/// panics and reports one of these instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a field could be read in full.
+    Truncated,
+    /// The input is structurally invalid: an unknown tag, an impossible
+    /// count, a non-boolean flag byte, invalid UTF-8, or nesting beyond
+    /// [`MAX_VALUE_DEPTH`].
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated"),
+            CodecError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decoding.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// An append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Consumes the writer, returning the accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64` as its two's-complement bits.
+    pub fn i64(&mut self, v: i64) {
+        self.u64(v as u64);
+    }
+
+    /// Appends a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends raw bytes with no length prefix.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// A bounds-checked little-endian byte cursor over borrowed input.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True once every byte has been consumed.
+    pub fn is_at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Consumes exactly `n` bytes.
+    pub fn bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> CodecResult<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> CodecResult<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> CodecResult<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads an `i64` from its two's-complement bits.
+    pub fn i64(&mut self) -> CodecResult<i64> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `u64` and narrows it to `usize`.
+    pub fn usize(&mut self) -> CodecResult<usize> {
+        usize::try_from(self.u64()?).map_err(|_| CodecError::Malformed("count exceeds usize"))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a boolean byte; anything but 0 or 1 is malformed.
+    pub fn bool(&mut self) -> CodecResult<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Malformed("boolean byte not 0 or 1")),
+        }
+    }
+
+    /// Reads a sequence count and validates it against the bytes
+    /// actually remaining: a sequence of `n` elements each at least
+    /// `min_elem_bytes` long cannot be encoded in fewer than
+    /// `n * min_elem_bytes` bytes, so any larger declared count is a
+    /// truncation (or a crafted length) and is rejected *before* any
+    /// allocation. This is what makes `Vec::with_capacity` on the
+    /// returned count safe.
+    pub fn seq_len(&mut self, min_elem_bytes: usize) -> CodecResult<usize> {
+        let n = self.u64()?;
+        let cap = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if n > cap {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
+    /// Reads a `u64`-length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> CodecResult<String> {
+        let n = self.seq_len(1)?;
+        let bytes = self.bytes(n)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| CodecError::Malformed("string is not UTF-8"))
+    }
+
+    /// Succeeds only if every input byte has been consumed.
+    pub fn finish(&self) -> CodecResult<()> {
+        if self.is_at_end() {
+            Ok(())
+        } else {
+            Err(CodecError::Malformed("trailing bytes after value"))
+        }
+    }
+}
+
+// Value tags. The encoding is self-describing: the decoder needs no
+// `Type` to reconstruct a value, which is what lets snapshot files be
+// validated without re-elaborating the design first.
+const VAL_BOOL_FALSE: u8 = 0;
+const VAL_BOOL_TRUE: u8 = 1;
+const VAL_BITS: u8 = 2;
+const VAL_INT: u8 = 3;
+const VAL_VEC: u8 = 4;
+const VAL_STRUCT: u8 = 5;
+
+impl Value {
+    /// Appends this value's self-describing encoding.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Value::Bool(false) => w.u8(VAL_BOOL_FALSE),
+            Value::Bool(true) => w.u8(VAL_BOOL_TRUE),
+            Value::Bits { width, bits } => {
+                w.u8(VAL_BITS);
+                w.u32(*width);
+                w.u64(*bits);
+            }
+            Value::Int { width, val } => {
+                w.u8(VAL_INT);
+                w.u32(*width);
+                w.i64(*val);
+            }
+            Value::Vec(vs) => {
+                w.u8(VAL_VEC);
+                w.u64(vs.len() as u64);
+                for v in vs {
+                    v.encode(w);
+                }
+            }
+            Value::Struct(fs) => {
+                w.u8(VAL_STRUCT);
+                w.u64(fs.len() as u64);
+                for (name, v) in fs {
+                    w.str(name);
+                    v.encode(w);
+                }
+            }
+        }
+    }
+
+    /// Decodes one self-describing value. Decoded scalars are
+    /// re-canonicalized through [`Value::bits`] / [`Value::int`], so a
+    /// decoded value always re-encodes to identical bytes.
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Value> {
+        Value::decode_at(r, 0)
+    }
+
+    fn decode_at(r: &mut ByteReader<'_>, depth: usize) -> CodecResult<Value> {
+        if depth > MAX_VALUE_DEPTH {
+            return Err(CodecError::Malformed("value nesting too deep"));
+        }
+        match r.u8()? {
+            VAL_BOOL_FALSE => Ok(Value::Bool(false)),
+            VAL_BOOL_TRUE => Ok(Value::Bool(true)),
+            VAL_BITS => {
+                let width = r.u32()?;
+                Ok(Value::bits(width, r.u64()?))
+            }
+            VAL_INT => {
+                let width = r.u32()?;
+                Ok(Value::int(width, r.i64()?))
+            }
+            VAL_VEC => {
+                // Every element is at least one tag byte.
+                let n = r.seq_len(1)?;
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(Value::decode_at(r, depth + 1)?);
+                }
+                Ok(Value::Vec(vs))
+            }
+            VAL_STRUCT => {
+                // Every field is at least a length prefix plus a tag.
+                let n = r.seq_len(9)?;
+                let mut fs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str()?;
+                    fs.push((name, Value::decode_at(r, depth + 1)?));
+                }
+                Ok(Value::Struct(fs))
+            }
+            _ => Err(CodecError::Malformed("unknown value tag")),
+        }
+    }
+}
+
+const PRIM_REG: u8 = 0;
+const PRIM_FIFO: u8 = 1;
+const PRIM_REGFILE: u8 = 2;
+const PRIM_SOURCE: u8 = 3;
+const PRIM_SINK: u8 = 4;
+
+fn encode_values<'v>(w: &mut ByteWriter, vals: impl ExactSizeIterator<Item = &'v Value>) {
+    w.u64(vals.len() as u64);
+    for v in vals {
+        v.encode(w);
+    }
+}
+
+fn decode_values(r: &mut ByteReader<'_>) -> CodecResult<Vec<Value>> {
+    let n = r.seq_len(1)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(Value::decode(r)?);
+    }
+    Ok(vs)
+}
+
+impl PrimState {
+    /// Appends this primitive state's self-describing encoding.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            PrimState::Reg(v) => {
+                w.u8(PRIM_REG);
+                v.encode(w);
+            }
+            PrimState::Fifo { depth, items } => {
+                w.u8(PRIM_FIFO);
+                w.usize(*depth);
+                encode_values(w, items.iter());
+            }
+            PrimState::RegFile(cells) => {
+                w.u8(PRIM_REGFILE);
+                encode_values(w, cells.iter());
+            }
+            PrimState::Source { queue } => {
+                w.u8(PRIM_SOURCE);
+                encode_values(w, queue.iter());
+            }
+            PrimState::Sink { consumed } => {
+                w.u8(PRIM_SINK);
+                encode_values(w, consumed.iter());
+            }
+        }
+    }
+
+    /// Decodes one primitive state.
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<PrimState> {
+        match r.u8()? {
+            PRIM_REG => Ok(PrimState::Reg(Value::decode(r)?)),
+            PRIM_FIFO => {
+                let depth = r.usize()?;
+                Ok(PrimState::Fifo {
+                    depth,
+                    items: VecDeque::from(decode_values(r)?),
+                })
+            }
+            PRIM_REGFILE => Ok(PrimState::RegFile(decode_values(r)?)),
+            PRIM_SOURCE => Ok(PrimState::Source {
+                queue: VecDeque::from(decode_values(r)?),
+            }),
+            PRIM_SINK => Ok(PrimState::Sink {
+                consumed: decode_values(r)?,
+            }),
+            _ => Err(CodecError::Malformed("unknown primitive-state tag")),
+        }
+    }
+}
+
+/// Encodes a `u64`-count-prefixed slice of `u64` counters.
+pub fn encode_u64s(w: &mut ByteWriter, vals: &[u64]) {
+    w.u64(vals.len() as u64);
+    for v in vals {
+        w.u64(*v);
+    }
+}
+
+/// Decodes a `u64`-count-prefixed vector of `u64` counters.
+pub fn decode_u64s(r: &mut ByteReader<'_>) -> CodecResult<Vec<u64>> {
+    let n = r.seq_len(8)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(r.u64()?);
+    }
+    Ok(vs)
+}
+
+/// Encodes a `u64`-count-prefixed slice of booleans.
+pub fn encode_bools(w: &mut ByteWriter, vals: &[bool]) {
+    w.u64(vals.len() as u64);
+    for v in vals {
+        w.bool(*v);
+    }
+}
+
+/// Decodes a `u64`-count-prefixed vector of booleans.
+pub fn decode_bools(r: &mut ByteReader<'_>) -> CodecResult<Vec<bool>> {
+    let n = r.seq_len(1)?;
+    let mut vs = Vec::with_capacity(n);
+    for _ in 0..n {
+        vs.push(r.bool()?);
+    }
+    Ok(vs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Type;
+
+    fn roundtrip_value(v: &Value) {
+        let mut w = ByteWriter::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = Value::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(&back, v, "roundtrip of {v}");
+        // Canonical values re-encode byte-identically.
+        let mut w2 = ByteWriter::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn value_roundtrips() {
+        roundtrip_value(&Value::Bool(true));
+        roundtrip_value(&Value::Bool(false));
+        roundtrip_value(&Value::bits(17, 0x1abcd));
+        roundtrip_value(&Value::int(32, -12345));
+        roundtrip_value(&Value::int(5, -16));
+        roundtrip_value(&Value::Vec(vec![
+            Value::complex(Value::int(32, -5), Value::int(32, 1 << 20)),
+            Value::complex(Value::int(32, 42), Value::int(32, -1)),
+        ]));
+        roundtrip_value(&Value::zero(&Type::vector(3, Type::complex(Type::fixpt()))));
+    }
+
+    #[test]
+    fn prim_state_roundtrips() {
+        let states = [
+            PrimState::Reg(Value::int(8, -3)),
+            PrimState::Fifo {
+                depth: 4,
+                items: VecDeque::from(vec![Value::int(8, 1), Value::int(8, 2)]),
+            },
+            PrimState::RegFile(vec![Value::bits(12, 0xfff); 3]),
+            PrimState::Source {
+                queue: VecDeque::from(vec![Value::Bool(true)]),
+            },
+            PrimState::Sink {
+                consumed: vec![Value::int(32, 7)],
+            },
+        ];
+        for st in &states {
+            let mut w = ByteWriter::new();
+            st.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(&PrimState::decode(&mut r).unwrap(), st);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn truncations_error_not_panic() {
+        let mut w = ByteWriter::new();
+        PrimState::RegFile(vec![Value::int(32, 5); 8]).encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(
+                PrimState::decode(&mut r).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn crafted_count_does_not_preallocate() {
+        // A Vec claiming u64::MAX elements followed by no data: seq_len
+        // rejects it before any allocation happens.
+        let mut w = ByteWriter::new();
+        w.u8(4); // VAL_VEC
+        w.u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(Value::decode(&mut r), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected() {
+        // 70 nested single-element vectors exceed MAX_VALUE_DEPTH.
+        let mut bytes = Vec::new();
+        for _ in 0..70 {
+            bytes.push(4u8); // VAL_VEC
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+        }
+        bytes.push(0); // innermost Bool(false)
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(
+            Value::decode(&mut r),
+            Err(CodecError::Malformed("value nesting too deep"))
+        );
+    }
+
+    #[test]
+    fn bad_tags_and_flags_are_malformed() {
+        let mut r = ByteReader::new(&[99]);
+        assert!(matches!(
+            Value::decode(&mut r),
+            Err(CodecError::Malformed(_))
+        ));
+        let mut r = ByteReader::new(&[7]);
+        assert!(matches!(r.bool(), Err(CodecError::Malformed(_))));
+        // Non-UTF-8 string payload.
+        let mut w = ByteWriter::new();
+        w.u64(2);
+        w.bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.str(), Err(CodecError::Malformed(_))));
+    }
+}

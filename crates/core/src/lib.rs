@@ -66,6 +66,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod builder;
+pub mod codec;
 pub mod design;
 pub mod domain;
 pub mod elab;
@@ -81,6 +82,7 @@ pub mod value;
 pub mod xform;
 
 pub use ast::{Action, Expr, Path, PrimId, PrimMethod, RuleDef, Target};
+pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 pub use design::Design;
 pub use elab::elaborate;
 pub use error::{DomainError, ElabError, ExecError, ExecResult};

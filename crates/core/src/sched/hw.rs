@@ -12,6 +12,7 @@
 
 use crate::analysis::{ConflictInfo, Sensitivity};
 use crate::ast::{Action, PrimId};
+use crate::codec::{self, ByteReader, ByteWriter, CodecResult};
 use crate::design::Design;
 use crate::error::{ElabError, ExecResult};
 use crate::exec::{
@@ -98,6 +99,38 @@ pub struct HwSnapshot {
     fired: Vec<u64>,
     total_fired: u64,
     peak: usize,
+}
+
+impl HwSnapshot {
+    /// The captured store, for shape validation against a design.
+    pub fn store(&self) -> &StoreSnapshot {
+        &self.store
+    }
+
+    /// Number of rules the capturing simulator had.
+    pub fn rule_count(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Appends this snapshot's stable binary encoding.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.store.encode(w);
+        w.u64(self.cycles);
+        codec::encode_u64s(w, &self.fired);
+        w.u64(self.total_fired);
+        w.usize(self.peak);
+    }
+
+    /// Decodes a snapshot previously written by [`HwSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<HwSnapshot> {
+        Ok(HwSnapshot {
+            store: StoreSnapshot::decode(r)?,
+            cycles: r.u64()?,
+            fired: codec::decode_u64s(r)?,
+            total_fired: r.u64()?,
+            peak: r.usize()?,
+        })
+    }
 }
 
 /// Cycle-accurate simulator of one (hardware) partition.

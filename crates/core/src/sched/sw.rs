@@ -10,6 +10,7 @@
 use super::CostModel;
 use crate::analysis::{successors, Sensitivity};
 use crate::ast::PrimId;
+use crate::codec::{self, ByteReader, ByteWriter, CodecResult};
 use crate::design::Design;
 use crate::error::ExecResult;
 use crate::exec::{
@@ -98,6 +99,58 @@ pub struct SwSnapshot {
     total_fired: u64,
     rr_next: usize,
     chain: VecDeque<usize>,
+}
+
+impl SwSnapshot {
+    /// The captured store, for shape validation against a design.
+    pub fn store(&self) -> &StoreSnapshot {
+        &self.store
+    }
+
+    /// Number of rules the capturing runner had (length of the per-rule
+    /// statistics vectors).
+    pub fn rule_count(&self) -> usize {
+        self.fired.len()
+    }
+
+    /// Appends this snapshot's stable binary encoding: store, cost
+    /// counters, per-rule statistics, and the scheduler cursor/chain.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.store.encode(w);
+        self.cost.encode(w);
+        codec::encode_u64s(w, &self.fired);
+        codec::encode_u64s(w, &self.failed);
+        w.u64(self.total_fired);
+        w.usize(self.rr_next);
+        w.u64(self.chain.len() as u64);
+        for i in &self.chain {
+            w.usize(*i);
+        }
+    }
+
+    /// Decodes a snapshot previously written by [`SwSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<SwSnapshot> {
+        let store = StoreSnapshot::decode(r)?;
+        let cost = Cost::decode(r)?;
+        let fired = codec::decode_u64s(r)?;
+        let failed = codec::decode_u64s(r)?;
+        let total_fired = r.u64()?;
+        let rr_next = r.usize()?;
+        let n = r.seq_len(8)?;
+        let mut chain = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            chain.push_back(r.usize()?);
+        }
+        Ok(SwSnapshot {
+            store,
+            cost,
+            fired,
+            failed,
+            total_fired,
+            rr_next,
+            chain,
+        })
+    }
 }
 
 /// Executes the rules of one (software) partition.

@@ -10,6 +10,7 @@
 //! parallel actions are created dynamically).
 
 use crate::ast::{PrimId, PrimMethod};
+use crate::codec::{ByteReader, ByteWriter, CodecResult};
 use crate::design::Design;
 use crate::error::{ExecError, ExecResult};
 use crate::prim::PrimState;
@@ -87,6 +88,34 @@ impl StoreSnapshot {
     /// Borrows a primitive's captured state.
     pub fn state(&self, id: PrimId) -> &PrimState {
         &self.states[id.0]
+    }
+
+    /// Appends this snapshot's stable binary encoding: a count followed
+    /// by each primitive's self-describing state, in slot order. Slot
+    /// order is the design's elaboration order, which is deterministic
+    /// for a given source program — that is what makes the encoding
+    /// comparable across processes.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.states.len() as u64);
+        for st in &self.states {
+            st.encode(w);
+        }
+    }
+
+    /// Decodes a snapshot previously written by [`StoreSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<StoreSnapshot> {
+        let n = r.seq_len(1)?;
+        let mut states = Vec::with_capacity(n);
+        for _ in 0..n {
+            states.push(Arc::new(PrimState::decode(r)?));
+        }
+        Ok(StoreSnapshot { states })
+    }
+
+    /// The kind name of each captured primitive, for shape validation
+    /// against a design without panicking.
+    pub fn kind_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.states.iter().map(|st| st.kind_name())
     }
 }
 
@@ -338,6 +367,41 @@ pub struct Cost {
 }
 
 impl Cost {
+    /// Appends the counters' stable binary encoding (ten `u64`s in
+    /// declaration order).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        for v in [
+            self.ops,
+            self.reads,
+            self.writes,
+            self.shadow_words,
+            self.commit_words,
+            self.rollbacks,
+            self.guard_evals,
+            self.guard_evals_skipped,
+            self.txn_setups,
+            self.inplace_runs,
+        ] {
+            w.u64(v);
+        }
+    }
+
+    /// Decodes counters previously written by [`Cost::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<Cost> {
+        Ok(Cost {
+            ops: r.u64()?,
+            reads: r.u64()?,
+            writes: r.u64()?,
+            shadow_words: r.u64()?,
+            commit_words: r.u64()?,
+            rollbacks: r.u64()?,
+            guard_evals: r.u64()?,
+            guard_evals_skipped: r.u64()?,
+            txn_setups: r.u64()?,
+            inplace_runs: r.u64()?,
+        })
+    }
+
     /// Adds another counter set into this one.
     pub fn add(&mut self, other: &Cost) {
         self.ops += other.ops;

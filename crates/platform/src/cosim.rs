@@ -23,17 +23,22 @@
 //! this over randomized partitionings.
 
 use crate::link::{FaultConfig, Link, LinkConfig, LinkSnapshot, LinkStats, PartitionFault};
+use crate::persist::{
+    self, CheckpointPolicy, PersistError, PersistResult, SEC_CONTEXT, SEC_FABRIC, SEC_LASTCKPT,
+    SEC_META, SEC_PART, SEC_SW,
+};
 use crate::transactor::{
     ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats,
 };
 use crate::PlatformError;
 use bcl_core::ast::{Path, PrimId};
+use bcl_core::codec::{self, ByteReader, ByteWriter, CodecResult};
 use bcl_core::design::{Design, PrimDef};
 use bcl_core::error::{ExecError, ExecResult};
 use bcl_core::partition::{fuse_domains, split_domain, ChannelSpec, Partitioned};
 use bcl_core::prim::{PrimSpec, PrimState};
 use bcl_core::sched::{HwSim, HwSnapshot, SwOptions, SwRunner, SwSnapshot};
-use bcl_core::store::Store;
+use bcl_core::store::{Store, StoreSnapshot};
 use bcl_core::value::Value;
 
 /// How a co-simulation ended.
@@ -400,6 +405,10 @@ pub struct Checkpoint {
     fabric: Vec<FabSnap>,
     fpga_cycles: u64,
     sw_debt: u64,
+    /// Fingerprint of the design/partitioning this cut was taken from
+    /// (see [`Cosim::fingerprint`]); carried into the on-disk header so
+    /// a snapshot can never be restored into the wrong design.
+    fingerprint: u64,
 }
 
 impl Checkpoint {
@@ -407,6 +416,436 @@ impl Checkpoint {
     pub fn fpga_cycles(&self) -> u64 {
         self.fpga_cycles
     }
+
+    /// Fingerprint of the design/partitioning this checkpoint belongs
+    /// to — written into the `BCKP` header and checked on resume.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Serializes this checkpoint in the durable `BCKP` format (see
+    /// [`crate::persist`]): versioned header with the design
+    /// fingerprint, then one CRC-protected section per component in
+    /// canonical order.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O errors: encoding in-memory state cannot fail.
+    pub fn write_to(&self, w: &mut impl std::io::Write) -> PersistResult<()> {
+        persist::write_container(w, self.fingerprint, &self.to_sections())
+    }
+
+    /// Parses a `BCKP` snapshot. Strictly panic-free: any malformed,
+    /// truncated, bit-flipped, or version-skewed input yields a typed
+    /// [`PersistError`], and no declared length is trusted for
+    /// allocation before the bytes backing it have been seen. Optional
+    /// `CONTEXT`/`LASTCKPT` sections are validated too (and used by
+    /// [`Cosim::resume_from`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`PersistError`] — one variant per way an input can be bad.
+    pub fn read_from(r: &mut impl std::io::Read) -> PersistResult<Checkpoint> {
+        let c = persist::read_container(r)?;
+        let ckpt = Checkpoint::from_sections(c.fingerprint, &c.sections)?;
+        for (kind, payload) in &c.sections {
+            match *kind {
+                SEC_CONTEXT => {
+                    ResumeContext::decode_payload(payload)?;
+                }
+                SEC_LASTCKPT => {
+                    Checkpoint::decode_flat(payload, c.fingerprint)?;
+                }
+                _ => {}
+            }
+        }
+        Ok(ckpt)
+    }
+
+    /// The checkpoint's own sections in canonical file order:
+    /// `META`, `SW`, `PART`×N (index-tagged), `FABRIC`×M (index-tagged).
+    fn to_sections(&self) -> Vec<(u32, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut meta = ByteWriter::new();
+        meta.u64(self.fpga_cycles);
+        meta.u64(self.sw_debt);
+        meta.u64(self.parts.len() as u64);
+        meta.u64(self.fabric.len() as u64);
+        out.push((SEC_META, meta.into_bytes()));
+        let mut sw = ByteWriter::new();
+        self.sw.encode(&mut sw);
+        out.push((SEC_SW, sw.into_bytes()));
+        for (i, p) in self.parts.iter().enumerate() {
+            let mut b = ByteWriter::new();
+            b.u32(i as u32);
+            p.encode(&mut b);
+            out.push((SEC_PART, b.into_bytes()));
+        }
+        for (i, f) in self.fabric.iter().enumerate() {
+            let mut b = ByteWriter::new();
+            b.u32(i as u32);
+            f.encode(&mut b);
+            out.push((SEC_FABRIC, b.into_bytes()));
+        }
+        out
+    }
+
+    /// Rebuilds a checkpoint from parsed container sections, enforcing
+    /// the canonical order (`META`, `SW`, `PART`×N in index order,
+    /// `FABRIC`×M in index order, then optionally `CONTEXT` and/or
+    /// `LASTCKPT`, in that order).
+    fn from_sections(fingerprint: u64, sections: &[(u32, Vec<u8>)]) -> PersistResult<Checkpoint> {
+        let mut it = sections.iter();
+        let (kind, meta) = it
+            .next()
+            .ok_or(PersistError::Malformed("snapshot has no sections"))?;
+        if *kind != SEC_META {
+            return Err(PersistError::Malformed("first section must be META"));
+        }
+        let mut r = ByteReader::new(meta);
+        let fpga_cycles = r.u64()?;
+        let sw_debt = r.u64()?;
+        let n_parts = r.u64()?;
+        let n_fabric = r.u64()?;
+        r.finish()?;
+        // Counts are validated against the sections actually present
+        // before any loop or allocation sized by them.
+        let budget = sections.len() as u64;
+        if n_parts > budget || n_fabric > budget {
+            return Err(PersistError::Malformed("META counts exceed section count"));
+        }
+        let (kind, swp) = it.next().ok_or(PersistError::Truncated)?;
+        if *kind != SEC_SW {
+            return Err(PersistError::Malformed("second section must be SW"));
+        }
+        let mut r = ByteReader::new(swp);
+        let sw = SwSnapshot::decode(&mut r)?;
+        r.finish()?;
+        let mut parts = Vec::new();
+        for i in 0..n_parts {
+            let (kind, payload) = it.next().ok_or(PersistError::Truncated)?;
+            if *kind != SEC_PART {
+                return Err(PersistError::Malformed("expected a PART section"));
+            }
+            let mut r = ByteReader::new(payload);
+            if u64::from(r.u32()?) != i {
+                return Err(PersistError::Malformed("PART sections out of order"));
+            }
+            parts.push(PartSnap::decode(&mut r)?);
+            r.finish()?;
+        }
+        let mut fabric = Vec::new();
+        for i in 0..n_fabric {
+            let (kind, payload) = it.next().ok_or(PersistError::Truncated)?;
+            if *kind != SEC_FABRIC {
+                return Err(PersistError::Malformed("expected a FABRIC section"));
+            }
+            let mut r = ByteReader::new(payload);
+            if u64::from(r.u32()?) != i {
+                return Err(PersistError::Malformed("FABRIC sections out of order"));
+            }
+            fabric.push(FabSnap::decode(&mut r)?);
+            r.finish()?;
+        }
+        let rest: Vec<u32> = it.map(|(k, _)| *k).collect();
+        let ok = matches!(
+            rest.as_slice(),
+            [] | [SEC_CONTEXT] | [SEC_LASTCKPT] | [SEC_CONTEXT, SEC_LASTCKPT]
+        );
+        if !ok {
+            return Err(PersistError::Malformed("unexpected trailing sections"));
+        }
+        Ok(Checkpoint {
+            sw,
+            parts,
+            fabric,
+            fpga_cycles,
+            sw_debt,
+            fingerprint,
+        })
+    }
+
+    /// Flat single-buffer encoding, used for the nested `LASTCKPT`
+    /// section (the last automatic recovery checkpoint rides inside the
+    /// outer snapshot).
+    fn encode_flat(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.u64(self.fpga_cycles);
+        w.u64(self.sw_debt);
+        self.sw.encode(&mut w);
+        w.u64(self.parts.len() as u64);
+        for p in &self.parts {
+            p.encode(&mut w);
+        }
+        w.u64(self.fabric.len() as u64);
+        for f in &self.fabric {
+            f.encode(&mut w);
+        }
+        w.into_bytes()
+    }
+
+    /// Inverse of [`encode_flat`](Self::encode_flat).
+    fn decode_flat(payload: &[u8], fingerprint: u64) -> PersistResult<Checkpoint> {
+        let mut r = ByteReader::new(payload);
+        let fpga_cycles = r.u64()?;
+        let sw_debt = r.u64()?;
+        let sw = SwSnapshot::decode(&mut r)?;
+        let n = r.seq_len(8)?;
+        let mut parts = Vec::new();
+        for _ in 0..n {
+            parts.push(PartSnap::decode(&mut r)?);
+        }
+        let n = r.seq_len(8)?;
+        let mut fabric = Vec::new();
+        for _ in 0..n {
+            fabric.push(FabSnap::decode(&mut r)?);
+        }
+        r.finish()?;
+        Ok(Checkpoint {
+            sw,
+            parts,
+            fabric,
+            fpga_cycles,
+            sw_debt,
+            fingerprint,
+        })
+    }
+}
+
+impl PartSnap {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.hw.encode(w);
+        match &self.transactor {
+            Some(t) => {
+                w.bool(true);
+                t.encode(w);
+            }
+            None => w.bool(false),
+        }
+        self.link.encode(w);
+        w.bool(self.alive);
+        w.u64(self.last_progress);
+        w.u64(self.last_progress_cycle);
+        w.u64(self.active_at);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<PartSnap> {
+        Ok(PartSnap {
+            hw: HwSnapshot::decode(r)?,
+            transactor: if r.bool()? {
+                Some(TransactorSnapshot::decode(r)?)
+            } else {
+                None
+            },
+            link: LinkSnapshot::decode(r)?,
+            alive: r.bool()?,
+            last_progress: r.u64()?,
+            last_progress_cycle: r.u64()?,
+            active_at: r.u64()?,
+        })
+    }
+}
+
+impl FabSnap {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.transactor.encode(w);
+        self.link.encode(w);
+        w.u64(self.last_progress);
+        w.u64(self.last_progress_cycle);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<FabSnap> {
+        Ok(FabSnap {
+            transactor: TransactorSnapshot::decode(r)?,
+            link: LinkSnapshot::decode(r)?,
+            last_progress: r.u64()?,
+            last_progress_cycle: r.u64()?,
+        })
+    }
+}
+
+impl SwOwned {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.str(&self.domain);
+        self.link_cfg.encode(w);
+        self.faults.encode(w);
+        w.u64(self.clock_div);
+        w.bool(self.event_driven);
+        w.u64(self.fault_schedule.len() as u64);
+        for f in &self.fault_schedule {
+            f.encode(w);
+        }
+        codec::encode_bools(w, &self.fault_fired);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<SwOwned> {
+        let domain = r.str()?;
+        let link_cfg = LinkConfig::decode(r)?;
+        let faults = FaultConfig::decode(r)?;
+        let clock_div = r.u64()?;
+        let event_driven = r.bool()?;
+        let n = r.seq_len(9)?;
+        let mut fault_schedule = Vec::new();
+        for _ in 0..n {
+            fault_schedule.push(PartitionFault::decode(r)?);
+        }
+        let fault_fired = codec::decode_bools(r)?;
+        if fault_fired.len() != fault_schedule.len() {
+            return Err(codec::CodecError::Malformed(
+                "fault-fired flag count disagrees with fault schedule",
+            ));
+        }
+        Ok(SwOwned {
+            domain,
+            link_cfg,
+            faults,
+            clock_div,
+            event_driven,
+            fault_schedule,
+            fault_fired,
+        })
+    }
+}
+
+impl RecoveryPolicy {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            RecoveryPolicy::Fail => w.u8(0),
+            RecoveryPolicy::RestartFromCheckpoint {
+                interval,
+                max_retries,
+            } => {
+                w.u8(1);
+                w.u64(*interval);
+                w.u32(*max_retries);
+            }
+            RecoveryPolicy::FailoverToSoftware { interval } => {
+                w.u8(2);
+                w.u64(*interval);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<RecoveryPolicy> {
+        match r.u8()? {
+            0 => Ok(RecoveryPolicy::Fail),
+            1 => Ok(RecoveryPolicy::RestartFromCheckpoint {
+                interval: r.u64()?,
+                max_retries: r.u32()?,
+            }),
+            2 => Ok(RecoveryPolicy::FailoverToSoftware { interval: r.u64()? }),
+            _ => Err(codec::CodecError::Malformed("bad recovery-policy tag")),
+        }
+    }
+}
+
+/// Everything beyond the consistent cut itself that a fresh process
+/// needs to resume a run mid-recovery: the active policy and its
+/// counters, which partitions are software-owned (with their full
+/// revival records), and the environment's fault-fired flags — which
+/// are deliberately *not* part of in-memory checkpoints (a restore must
+/// not re-arm a fault) but must cross the process boundary.
+struct ResumeContext {
+    policy: RecoveryPolicy,
+    next_ckpt_at: u64,
+    retries: u32,
+    consecutive_faults: u32,
+    lost_at: Option<u64>,
+    failed_over: bool,
+    revived: bool,
+    absorbed: Vec<String>,
+    software_owned: Vec<SwOwned>,
+    /// Per live partition, `(domain, fault_fired)`.
+    live_fault_fired: Vec<(String, Vec<bool>)>,
+}
+
+impl ResumeContext {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.policy.encode(&mut w);
+        w.u64(self.next_ckpt_at);
+        w.u32(self.retries);
+        w.u32(self.consecutive_faults);
+        match self.lost_at {
+            Some(at) => {
+                w.bool(true);
+                w.u64(at);
+            }
+            None => w.bool(false),
+        }
+        w.bool(self.failed_over);
+        w.bool(self.revived);
+        w.u64(self.absorbed.len() as u64);
+        for d in &self.absorbed {
+            w.str(d);
+        }
+        w.u64(self.software_owned.len() as u64);
+        for rec in &self.software_owned {
+            rec.encode(&mut w);
+        }
+        w.u64(self.live_fault_fired.len() as u64);
+        for (dom, fired) in &self.live_fault_fired {
+            w.str(dom);
+            codec::encode_bools(&mut w, fired);
+        }
+        w.into_bytes()
+    }
+
+    fn decode_payload(payload: &[u8]) -> PersistResult<ResumeContext> {
+        let mut r = ByteReader::new(payload);
+        let policy = RecoveryPolicy::decode(&mut r)?;
+        let next_ckpt_at = r.u64()?;
+        let retries = r.u32()?;
+        let consecutive_faults = r.u32()?;
+        let lost_at = if r.bool()? { Some(r.u64()?) } else { None };
+        let failed_over = r.bool()?;
+        let revived = r.bool()?;
+        let n = r.seq_len(8)?;
+        let mut absorbed = Vec::new();
+        for _ in 0..n {
+            absorbed.push(r.str()?);
+        }
+        let n = r.seq_len(16)?;
+        let mut software_owned = Vec::new();
+        for _ in 0..n {
+            software_owned.push(SwOwned::decode(&mut r)?);
+        }
+        let n = r.seq_len(16)?;
+        let mut live_fault_fired = Vec::new();
+        for _ in 0..n {
+            let dom = r.str()?;
+            let fired = codec::decode_bools(&mut r)?;
+            live_fault_fired.push((dom, fired));
+        }
+        r.finish()?;
+        Ok(ResumeContext {
+            policy,
+            next_ckpt_at,
+            retries,
+            consecutive_faults,
+            lost_at,
+            failed_over,
+            revived,
+            absorbed,
+            software_owned,
+            live_fault_fired,
+        })
+    }
+}
+
+/// FNV-1a over the debug rendering of the software domain, the
+/// configured hardware-domain order, and the full original
+/// partitioning. Any change to the design, the partition assignment, or
+/// the partition order changes the fingerprint; failover and revive do
+/// *not* (they fold the same original partitioning), so a snapshot
+/// taken mid-recovery still matches the re-elaborated design.
+fn design_fingerprint(sw_domain: &str, order: &[String], parts: &Partitioned) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{sw_domain:?}|{order:?}|{parts:?}").as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A co-simulation of a partitioned design over N hardware partitions.
@@ -477,6 +916,14 @@ pub struct Cosim {
     consecutive_faults: u32,
     /// Set when recovery gives up; reported as `PartitionLost`.
     lost_at: Option<u64>,
+    /// Fingerprint of the original design + partitioning + domain
+    /// order, invariant across failover/revive (see
+    /// [`Cosim::fingerprint`]).
+    fingerprint: u64,
+    /// Durable autosave policy, if enabled.
+    autosave: Option<CheckpointPolicy>,
+    /// Next FPGA cycle at which an autosave is due.
+    autosave_next: u64,
 }
 
 /// Default stall threshold: far beyond the retransmission backoff cap
@@ -740,6 +1187,7 @@ impl Cosim {
             }
         }
         let domains: Vec<String> = active.iter().map(|c| c.domain.clone()).collect();
+        let fingerprint = design_fingerprint(sw_domain, &domains, p);
         let topo = plan_topology(p, sw_domain, &domains, &routing)?;
         let sw = SwRunner::new(&topo.sw_design, sw_opts);
 
@@ -827,6 +1275,9 @@ impl Cosim {
             retries: 0,
             consecutive_faults: 0,
             lost_at: None,
+            fingerprint,
+            autosave: None,
+            autosave_next: 0,
         })
     }
 
@@ -1094,6 +1545,7 @@ impl Cosim {
                 .collect(),
             fpga_cycles: self.fpga_cycles,
             sw_debt: self.sw_debt,
+            fingerprint: self.fingerprint,
         }
     }
 
@@ -1143,6 +1595,387 @@ impl Cosim {
         }
         self.fpga_cycles = ckpt.fpga_cycles;
         self.sw_debt = ckpt.sw_debt;
+    }
+
+    /// Stable fingerprint of this co-simulation's design: FNV-1a over
+    /// the software domain, the configured hardware-domain order, and
+    /// the original partitioning. Two `Cosim`s built from the same
+    /// elaborated design with the same configuration — even in
+    /// different processes — get the same fingerprint, which is what
+    /// lets a snapshot written by one process be resumed by another
+    /// ([`Cosim::resume_from_file`]) while a snapshot from any *other*
+    /// design is rejected with [`PersistError::FingerprintMismatch`].
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Enables durable autosave: every `policy.interval` FPGA cycles
+    /// (first save on the next step), [`Cosim::step`] writes a complete
+    /// snapshot atomically to `policy.snapshot_path()`. If the process
+    /// is killed at any instant, the file holds the latest complete
+    /// snapshot and [`Cosim::resume_from_file`] continues the run bit-
+    /// and cycle-identically in a fresh process.
+    ///
+    /// Note that the all-software fast path of [`Cosim::run_until`]
+    /// does not step cycle-by-cycle and therefore never autosaves;
+    /// autosave is meaningful for runs with hardware partitions.
+    pub fn set_autosave(&mut self, policy: CheckpointPolicy) {
+        self.autosave_next = self.fpga_cycles;
+        self.autosave = Some(policy);
+    }
+
+    /// The live recovery/resume context (everything
+    /// [`Cosim::resume_from`] needs beyond the checkpoint itself).
+    fn resume_context(&self) -> ResumeContext {
+        ResumeContext {
+            policy: self.policy,
+            next_ckpt_at: self.next_ckpt_at,
+            retries: self.retries,
+            consecutive_faults: self.consecutive_faults,
+            lost_at: self.lost_at,
+            failed_over: self.failed_over,
+            revived: self.revived,
+            absorbed: self.absorbed.clone(),
+            software_owned: self.software_owned.clone(),
+            live_fault_fired: self
+                .parts_list
+                .iter()
+                .map(|p| (p.domain.clone(), p.fault_fired.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serializes the complete current system — checkpoint, recovery
+    /// context, and the last automatic recovery checkpoint — as one
+    /// `BCKP` snapshot. This is the full resume image: unlike
+    /// [`Checkpoint::write_to`] it also captures mid-recovery state
+    /// (software-owned partitions, fault-fired flags, retry counters),
+    /// so a run killed while a partition is Dead, SoftwareOwned, or
+    /// Reviving resumes exactly where it was.
+    ///
+    /// # Errors
+    ///
+    /// Encoding itself cannot fail; errors are impossible here but the
+    /// signature matches the I/O-bearing wrappers.
+    pub fn snapshot_bytes(&mut self) -> PersistResult<Vec<u8>> {
+        let ckpt = self.checkpoint();
+        let mut sections = ckpt.to_sections();
+        sections.push((SEC_CONTEXT, self.resume_context().encode_payload()));
+        if let Some(last) = &self.last_ckpt {
+            sections.push((SEC_LASTCKPT, last.encode_flat()));
+        }
+        let mut out = Vec::new();
+        persist::write_container(&mut out, self.fingerprint, &sections)?;
+        Ok(out)
+    }
+
+    /// Writes the full resume image (see [`Cosim::snapshot_bytes`]) to
+    /// a stream — e.g. a pipe to another process for live migration.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the underlying writer.
+    pub fn write_snapshot_to(&mut self, w: &mut impl std::io::Write) -> PersistResult<()> {
+        let bytes = self.snapshot_bytes()?;
+        w.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Writes the full resume image to `path` crash-consistently (temp
+    /// file + fsync + rename; see [`persist::write_atomically`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the filesystem.
+    pub fn write_snapshot_file(&mut self, path: &std::path::Path) -> PersistResult<()> {
+        let bytes = self.snapshot_bytes()?;
+        persist::write_atomically(path, &bytes)
+    }
+
+    /// Resumes a snapshot written by [`Cosim::write_snapshot_to`] /
+    /// [`Cosim::write_snapshot_file`] (or a bare
+    /// [`Checkpoint::write_to`] image) into this freshly constructed
+    /// co-simulation. `self` must have been built from the same design
+    /// and configuration — typically by re-running elaboration and
+    /// `Cosim::multi` with identical arguments in a new process — and
+    /// must not have stepped yet. After a successful resume the run
+    /// continues bit- and cycle-identically to the one that wrote the
+    /// snapshot, including mid-recovery states: software-owned
+    /// partitions are re-spliced structurally before state is restored,
+    /// fault-fired flags and retry counters carry over, and the last
+    /// recovery checkpoint is reinstated so a later fault still has its
+    /// recovery point.
+    ///
+    /// # Errors
+    ///
+    /// Every bad input is a typed [`PersistError`] — corrupt or
+    /// truncated bytes, a version skew, a snapshot from a different
+    /// design ([`PersistError::FingerprintMismatch`]), or a decoded
+    /// system whose shape disagrees with this one
+    /// ([`PersistError::TopologyMismatch`]). `self` is only mutated
+    /// once validation has passed the point of no return (the state
+    /// restore itself cannot fail afterwards).
+    pub fn resume_from(&mut self, r: &mut impl std::io::Read) -> PersistResult<()> {
+        let c = persist::read_container(r)?;
+        self.resume_container(c)
+    }
+
+    /// [`Cosim::resume_from`] reading from a file, e.g. the autosave
+    /// written by [`Cosim::set_autosave`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Cosim::resume_from`], plus file-open errors.
+    pub fn resume_from_file(&mut self, path: &std::path::Path) -> PersistResult<()> {
+        let mut f = std::fs::File::open(path)?;
+        self.resume_from(&mut f)
+    }
+
+    fn resume_container(&mut self, c: persist::Container) -> PersistResult<()> {
+        if self.fpga_cycles != 0 || self.failed_over || !self.software_owned.is_empty() {
+            return Err(PersistError::TopologyMismatch(
+                "resume requires a freshly constructed Cosim (cycle 0, no prior recovery)"
+                    .to_string(),
+            ));
+        }
+        if c.fingerprint != self.fingerprint {
+            return Err(PersistError::FingerprintMismatch {
+                expected: self.fingerprint,
+                found: c.fingerprint,
+            });
+        }
+        let ckpt = Checkpoint::from_sections(c.fingerprint, &c.sections)?;
+        let mut ctx = None;
+        let mut last = None;
+        for (kind, payload) in &c.sections {
+            match *kind {
+                SEC_CONTEXT => ctx = Some(ResumeContext::decode_payload(payload)?),
+                SEC_LASTCKPT => last = Some(Checkpoint::decode_flat(payload, c.fingerprint)?),
+                _ => {}
+            }
+        }
+        if let Some(ctx) = &ctx {
+            if ctx.absorbed.len() != ctx.software_owned.len()
+                || !ctx
+                    .absorbed
+                    .iter()
+                    .zip(&ctx.software_owned)
+                    .all(|(d, rec)| d == &rec.domain)
+            {
+                return Err(PersistError::Malformed(
+                    "resume context: absorbed list disagrees with software-owned records",
+                ));
+            }
+            // Replay the failover splices *structurally* (fuse the
+            // domains, rebuild runners/transactors/fabric) so the
+            // topology matches the snapshot; the state lands with the
+            // restore below.
+            for rec in &ctx.software_owned {
+                self.replay_failover_structure(rec)?;
+            }
+        }
+        self.checkpoint_matches(&ckpt)?;
+        self.restore(&ckpt);
+        if let Some(ctx) = ctx {
+            self.policy = ctx.policy;
+            self.next_ckpt_at = ctx.next_ckpt_at;
+            self.retries = ctx.retries;
+            self.consecutive_faults = ctx.consecutive_faults;
+            self.lost_at = ctx.lost_at;
+            self.failed_over = ctx.failed_over;
+            self.revived = ctx.revived;
+            if ctx.live_fault_fired.len() != self.parts_list.len() {
+                return Err(PersistError::TopologyMismatch(format!(
+                    "snapshot has fault flags for {} live partitions, this system has {}",
+                    ctx.live_fault_fired.len(),
+                    self.parts_list.len()
+                )));
+            }
+            for (dom, fired) in ctx.live_fault_fired {
+                let Some(p) = self.parts_list.iter_mut().find(|p| p.domain == dom) else {
+                    return Err(PersistError::TopologyMismatch(format!(
+                        "snapshot names live partition `{dom}`, which this system lacks"
+                    )));
+                };
+                if p.fault_fired.len() != fired.len() {
+                    return Err(PersistError::TopologyMismatch(format!(
+                        "fault schedule length differs for partition `{dom}`"
+                    )));
+                }
+                p.fault_fired = fired;
+            }
+        }
+        if let Some(last) = last {
+            self.checkpoint_matches(&last)?;
+            self.last_ckpt = Some(last);
+        }
+        // If autosave was armed before the resume, re-anchor it to the
+        // restored clock.
+        if self.autosave.is_some() {
+            self.autosave_next = self.fpga_cycles;
+        }
+        Ok(())
+    }
+
+    /// Re-executes the *structural* half of
+    /// [`failover_partition`](Self::failover_partition) for one
+    /// software-owned record while replaying a snapshot: fuse the
+    /// domain into software, re-plan the topology, rebuild the runner,
+    /// transactors, and fabric. No state is transferred — the caller
+    /// restores the snapshot's state on top — and nothing is
+    /// checkpointed.
+    fn replay_failover_structure(&mut self, rec: &SwOwned) -> PersistResult<()> {
+        let Some(pi) = self.parts_list.iter().position(|p| p.domain == rec.domain) else {
+            return Err(PersistError::TopologyMismatch(format!(
+                "snapshot says `{}` failed over, but it is not a live partition here",
+                rec.domain
+            )));
+        };
+        let fusion = fuse_domains(&self.parts, &rec.domain, &self.sw_domain)
+            .map_err(|e| PersistError::TopologyMismatch(e.to_string()))?;
+        let surviving: Vec<usize> = (0..self.parts_list.len()).filter(|&i| i != pi).collect();
+        let domains: Vec<String> = surviving
+            .iter()
+            .map(|&i| self.parts_list[i].domain.clone())
+            .collect();
+        let topo = plan_topology(&fusion.parts, &self.sw_domain, &domains, &self.routing)
+            .map_err(|e| PersistError::TopologyMismatch(e.to_string()))?;
+        let mut old_parts = std::mem::take(&mut self.parts_list);
+        old_parts.remove(pi);
+        self.software_owned.push(rec.clone());
+        self.absorbed.push(rec.domain.clone());
+        self.sw = SwRunner::new(&topo.sw_design, self.sw_opts);
+        self.sw_design = topo.sw_design;
+        for (part, specs) in old_parts.iter_mut().zip(&topo.part_specs) {
+            part.transactor = if specs.is_empty() {
+                None
+            } else {
+                Some(
+                    Transactor::new(
+                        specs,
+                        &self.sw_domain,
+                        &self.sw_design,
+                        &part.domain,
+                        &part.design,
+                    )
+                    .map_err(|e| PersistError::TopologyMismatch(e.to_string()))?,
+                )
+            };
+            part.link.clear_in_flight();
+        }
+        self.parts_list = old_parts;
+        self.fabric.clear();
+        for (a, b, specs) in &topo.fabric {
+            let (link_cfg, link_faults) = match &self.routing {
+                InterHwRouting::Fabric { link, faults } => (*link, faults.clone()),
+                InterHwRouting::ViaHub => unreachable!("hub routing plans no fabric"),
+            };
+            self.fabric.push(FabricLink {
+                a: *a,
+                b: *b,
+                transactor: Transactor::new(
+                    specs,
+                    &self.parts_list[*a].domain,
+                    &self.parts_list[*a].design,
+                    &self.parts_list[*b].domain,
+                    &self.parts_list[*b].design,
+                )
+                .map_err(|e| PersistError::TopologyMismatch(e.to_string()))?,
+                link: Link::with_faults(link_cfg, link_faults),
+                last_progress: 0,
+                last_progress_cycle: 0,
+            });
+        }
+        self.parts = fusion.parts;
+        self.routes = topo.routes;
+        self.failed_over = true;
+        Ok(())
+    }
+
+    /// Verifies — without panicking — that a decoded checkpoint has
+    /// exactly the shape [`Cosim::restore`] (and the restores it
+    /// delegates to) would otherwise assert: partition and fabric
+    /// counts, transactor presence and channel counts, store layouts,
+    /// and per-scheduler rule counts.
+    fn checkpoint_matches(&self, ckpt: &Checkpoint) -> PersistResult<()> {
+        fn store_matches(snap: &StoreSnapshot, design: &Design, what: &str) -> PersistResult<()> {
+            let kinds: Vec<&'static str> = snap.kind_names().collect();
+            if kinds.len() != design.prims.len() {
+                return Err(PersistError::TopologyMismatch(format!(
+                    "{what}: snapshot has {} primitives, design has {}",
+                    kinds.len(),
+                    design.prims.len()
+                )));
+            }
+            for (i, (k, p)) in kinds.iter().zip(&design.prims).enumerate() {
+                if *k != p.spec.initial_state().kind_name() {
+                    return Err(PersistError::TopologyMismatch(format!(
+                        "{what}: primitive {i} is a {k}, design expects {}",
+                        p.spec.initial_state().kind_name()
+                    )));
+                }
+            }
+            Ok(())
+        }
+        if ckpt.parts.len() != self.parts_list.len() {
+            return Err(PersistError::TopologyMismatch(format!(
+                "snapshot has {} hardware partitions, this system has {}",
+                ckpt.parts.len(),
+                self.parts_list.len()
+            )));
+        }
+        if ckpt.fabric.len() != self.fabric.len() {
+            return Err(PersistError::TopologyMismatch(format!(
+                "snapshot has {} fabric links, this system has {}",
+                ckpt.fabric.len(),
+                self.fabric.len()
+            )));
+        }
+        if ckpt.sw.rule_count() != self.sw_design.rules.len() {
+            return Err(PersistError::TopologyMismatch(format!(
+                "software snapshot has {} rules, design has {}",
+                ckpt.sw.rule_count(),
+                self.sw_design.rules.len()
+            )));
+        }
+        store_matches(ckpt.sw.store(), &self.sw_design, "software store")?;
+        for (i, (snap, part)) in ckpt.parts.iter().zip(&self.parts_list).enumerate() {
+            if snap.hw.rule_count() != part.design.rules.len() {
+                return Err(PersistError::TopologyMismatch(format!(
+                    "partition {i} snapshot has {} rules, design has {}",
+                    snap.hw.rule_count(),
+                    part.design.rules.len()
+                )));
+            }
+            store_matches(snap.hw.store(), &part.design, "partition store")?;
+            match (&snap.transactor, &part.transactor) {
+                (Some(s), Some(t)) => {
+                    if s.channel_count() != t.channel_count() {
+                        return Err(PersistError::TopologyMismatch(format!(
+                            "partition {i} snapshot has {} channels, transactor has {}",
+                            s.channel_count(),
+                            t.channel_count()
+                        )));
+                    }
+                }
+                (None, None) => {}
+                _ => {
+                    return Err(PersistError::TopologyMismatch(format!(
+                        "partition {i}: transactor presence differs between snapshot and system"
+                    )));
+                }
+            }
+        }
+        for (i, (snap, fab)) in ckpt.fabric.iter().zip(&self.fabric).enumerate() {
+            if snap.transactor.channel_count() != fab.transactor.channel_count() {
+                return Err(PersistError::TopologyMismatch(format!(
+                    "fabric link {i} snapshot has {} channels, transactor has {}",
+                    snap.transactor.channel_count(),
+                    fab.transactor.channel_count()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Recovery bookkeeping at the top of each step: takes the automatic
@@ -1842,6 +2675,20 @@ impl Cosim {
     pub fn step(&mut self) -> ExecResult<()> {
         if self.lost_at.is_some() {
             return Ok(());
+        }
+        // Durable autosave first, at the step boundary — the cut the
+        // snapshot captures is the end of the previous cycle, before
+        // this cycle's faults fire.
+        let due = match &self.autosave {
+            Some(p) if self.fpga_cycles >= self.autosave_next => {
+                Some((p.interval.max(1), p.snapshot_path()))
+            }
+            _ => None,
+        };
+        if let Some((interval, path)) = due {
+            self.autosave_next = self.fpga_cycles + interval;
+            self.write_snapshot_file(&path)
+                .map_err(|e| ExecError::Malformed(format!("autosave failed: {e}")))?;
         }
         self.recovery_tick()?;
         if self.lost_at.is_some() {

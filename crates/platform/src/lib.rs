@@ -23,6 +23,11 @@
 //!   [`cosim::Cosim::revive`]), completing the
 //!   Running → Dead → SoftwareOwned → Reviving → Running lifecycle
 //!   ([`cosim::PartitionLifecycle`]).
+//! * [`persist`] makes checkpoints durable: a versioned, CRC-protected
+//!   on-disk snapshot format (`BCKP`), crash-consistent autosave
+//!   ([`persist::CheckpointPolicy`]), and cross-process live migration
+//!   ([`cosim::Cosim::resume_from_file`]) — a run killed at any instant
+//!   resumes bit- and cycle-identically in a fresh process.
 //!
 //! ```
 //! use bcl_core::builder::{dsl::*, ModuleBuilder};
@@ -56,6 +61,7 @@
 
 pub mod cosim;
 pub mod link;
+pub mod persist;
 pub mod transactor;
 pub mod wire;
 
@@ -64,6 +70,7 @@ pub use link::{
     Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkSnapshot, LinkStats, Message,
     PartitionFault, ScriptedFault,
 };
+pub use persist::{CheckpointPolicy, PersistError, FORMAT_VERSION, MAGIC};
 pub use transactor::{ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats};
 
 use std::fmt;

@@ -23,6 +23,7 @@
 //! [`LinkStats`]; surviving the faults is the job of the reliable
 //! transport in [`crate::transactor`].
 
+use bcl_core::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 use std::collections::VecDeque;
 
 /// Direction of travel across a partition boundary.
@@ -428,6 +429,221 @@ impl LinkStats {
 #[derive(Debug, Clone)]
 pub struct LinkSnapshot {
     dirs: [Direction; 2],
+}
+
+impl LinkConfig {
+    /// Appends this configuration's stable binary encoding (five `u64`s).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.one_way_latency);
+        w.u64(self.words_per_cycle);
+        w.u64(self.sw_word_cost);
+        w.u64(self.sw_msg_overhead);
+        w.u64(self.cpu_per_fpga);
+    }
+
+    /// Decodes a configuration written by [`LinkConfig::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<LinkConfig> {
+        Ok(LinkConfig {
+            one_way_latency: r.u64()?,
+            words_per_cycle: r.u64()?,
+            sw_word_cost: r.u64()?,
+            sw_msg_overhead: r.u64()?,
+            cpu_per_fpga: r.u64()?,
+        })
+    }
+}
+
+impl Dir {
+    fn encode(self, w: &mut ByteWriter) {
+        w.u8(self.idx() as u8);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<Dir> {
+        match r.u8()? {
+            0 => Ok(Dir::SwToHw),
+            1 => Ok(Dir::HwToSw),
+            _ => Err(CodecError::Malformed("unknown link direction")),
+        }
+    }
+}
+
+impl FaultKind {
+    fn encode(self, w: &mut ByteWriter) {
+        w.u8(match self {
+            FaultKind::Drop => 0,
+            FaultKind::Corrupt => 1,
+            FaultKind::Duplicate => 2,
+            FaultKind::Reorder => 3,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<FaultKind> {
+        match r.u8()? {
+            0 => Ok(FaultKind::Drop),
+            1 => Ok(FaultKind::Corrupt),
+            2 => Ok(FaultKind::Duplicate),
+            3 => Ok(FaultKind::Reorder),
+            _ => Err(CodecError::Malformed("unknown fault kind")),
+        }
+    }
+}
+
+impl PartitionFault {
+    /// Appends this scripted partition fault's stable binary encoding.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        let (tag, cycle) = match self {
+            PartitionFault::ResetAt(c) => (0u8, *c),
+            PartitionFault::DieAt(c) => (1, *c),
+            PartitionFault::ReviveAt(c) => (2, *c),
+        };
+        w.u8(tag);
+        w.u64(cycle);
+    }
+
+    /// Decodes a fault written by [`PartitionFault::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<PartitionFault> {
+        let tag = r.u8()?;
+        let cycle = r.u64()?;
+        match tag {
+            0 => Ok(PartitionFault::ResetAt(cycle)),
+            1 => Ok(PartitionFault::DieAt(cycle)),
+            2 => Ok(PartitionFault::ReviveAt(cycle)),
+            _ => Err(CodecError::Malformed("unknown partition-fault tag")),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Appends this fault model's stable binary encoding: seed, the four
+    /// per-direction rate pairs as IEEE-754 bits, and both fault scripts.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.seed);
+        for rates in [&self.drop, &self.corrupt, &self.duplicate, &self.reorder] {
+            w.f64(rates[0]);
+            w.f64(rates[1]);
+        }
+        w.u64(self.script.len() as u64);
+        for s in &self.script {
+            s.dir.encode(w);
+            w.u64(s.nth);
+            s.kind.encode(w);
+        }
+        w.u64(self.partition.len() as u64);
+        for p in &self.partition {
+            p.encode(w);
+        }
+    }
+
+    /// Decodes a fault model written by [`FaultConfig::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<FaultConfig> {
+        let seed = r.u64()?;
+        let mut rates = [[0.0f64; 2]; 4];
+        for pair in &mut rates {
+            pair[0] = r.f64()?;
+            pair[1] = r.f64()?;
+        }
+        let n = r.seq_len(10)?;
+        let mut script = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dir = Dir::decode(r)?;
+            let nth = r.u64()?;
+            let kind = FaultKind::decode(r)?;
+            script.push(ScriptedFault { dir, nth, kind });
+        }
+        let n = r.seq_len(9)?;
+        let mut partition = Vec::with_capacity(n);
+        for _ in 0..n {
+            partition.push(PartitionFault::decode(r)?);
+        }
+        Ok(FaultConfig {
+            seed,
+            drop: rates[0],
+            corrupt: rates[1],
+            duplicate: rates[2],
+            reorder: rates[3],
+            script,
+            partition,
+        })
+    }
+}
+
+impl Message {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.channel);
+        w.u64(self.words.len() as u64);
+        for word in &self.words {
+            w.u32(*word);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<Message> {
+        let channel = r.usize()?;
+        let n = r.seq_len(4)?;
+        let mut words = Vec::with_capacity(n);
+        for _ in 0..n {
+            words.push(r.u32()?);
+        }
+        Ok(Message { channel, words })
+    }
+}
+
+impl Direction {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.busy_until);
+        w.u64(self.in_flight.len() as u64);
+        for (at, msg) in &self.in_flight {
+            w.u64(*at);
+            msg.encode(w);
+        }
+        w.u64(self.words_sent);
+        w.u64(self.messages_sent);
+        w.u64(self.frames_seen);
+        w.u64(self.rng.state);
+        w.u64(self.dropped);
+        w.u64(self.corrupted);
+        w.u64(self.duplicated);
+        w.u64(self.reordered);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<Direction> {
+        let busy_until = r.u64()?;
+        let n = r.seq_len(24)?;
+        let mut in_flight = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let at = r.u64()?;
+            in_flight.push_back((at, Message::decode(r)?));
+        }
+        Ok(Direction {
+            busy_until,
+            in_flight,
+            words_sent: r.u64()?,
+            messages_sent: r.u64()?,
+            frames_seen: r.u64()?,
+            rng: FaultRng { state: r.u64()? },
+            dropped: r.u64()?,
+            corrupted: r.u64()?,
+            duplicated: r.u64()?,
+            reordered: r.u64()?,
+        })
+    }
+}
+
+impl LinkSnapshot {
+    /// Appends this snapshot's stable binary encoding — both directions'
+    /// serializer clocks, in-flight frames, statistics, and fault-PRNG
+    /// states, so a decoded snapshot replays the exact same fault
+    /// schedule the capturing link would have.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.dirs[0].encode(w);
+        self.dirs[1].encode(w);
+    }
+
+    /// Decodes a snapshot written by [`LinkSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<LinkSnapshot> {
+        Ok(LinkSnapshot {
+            dirs: [Direction::decode(r)?, Direction::decode(r)?],
+        })
+    }
 }
 
 /// The modeled physical link.

@@ -42,6 +42,7 @@
 use crate::link::{Dir, Link, Message};
 use crate::wire::{Frame, FLAG_ACK, FLAG_DATA, FLAG_RETRANSMIT};
 use bcl_core::ast::{PrimId, PrimMethod};
+use bcl_core::codec::{ByteReader, ByteWriter, CodecResult};
 use bcl_core::error::{ExecError, ExecResult};
 use bcl_core::partition::ChannelSpec;
 use bcl_core::prim::{PrimSpec, PrimState};
@@ -236,6 +237,116 @@ pub struct TransactorSnapshot {
     ack_rr: usize,
     stats: TransportStats,
     progress: u64,
+}
+
+impl ChannelSnap {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.in_flight);
+        w.u64(self.sent);
+        w.u32(self.next_seq);
+        w.u32(self.acked);
+        w.u32(self.accepted);
+        w.bool(self.ack_dirty);
+        w.u64(self.last_ack_tx);
+        w.u64(self.unacked.len() as u64);
+        for (seq, words) in &self.unacked {
+            w.u32(*seq);
+            w.u64(words.len() as u64);
+            for word in words {
+                w.u32(*word);
+            }
+        }
+        w.u64(self.oldest_sent_at);
+        w.u64(self.rto);
+        w.u64(self.retransmits);
+        w.u64(self.delivered);
+        w.u64(self.dup_suppressed);
+        w.u64(self.out_of_order_dropped);
+        w.u64(self.acks_sent);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> CodecResult<ChannelSnap> {
+        let in_flight = r.usize()?;
+        let sent = r.u64()?;
+        let next_seq = r.u32()?;
+        let acked = r.u32()?;
+        let accepted = r.u32()?;
+        let ack_dirty = r.bool()?;
+        let last_ack_tx = r.u64()?;
+        let n = r.seq_len(12)?;
+        let mut unacked = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u32()?;
+            let m = r.seq_len(4)?;
+            let mut words = Vec::with_capacity(m);
+            for _ in 0..m {
+                words.push(r.u32()?);
+            }
+            unacked.push_back((seq, words));
+        }
+        Ok(ChannelSnap {
+            in_flight,
+            sent,
+            next_seq,
+            acked,
+            accepted,
+            ack_dirty,
+            last_ack_tx,
+            unacked,
+            oldest_sent_at: r.u64()?,
+            rto: r.u64()?,
+            retransmits: r.u64()?,
+            delivered: r.u64()?,
+            dup_suppressed: r.u64()?,
+            out_of_order_dropped: r.u64()?,
+            acks_sent: r.u64()?,
+        })
+    }
+}
+
+impl TransactorSnapshot {
+    /// Number of channels the capturing transactor had, for shape
+    /// validation without panicking.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Appends this snapshot's stable binary encoding.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.channels.len() as u64);
+        for ch in &self.channels {
+            ch.encode(w);
+        }
+        w.usize(self.rr);
+        w.usize(self.ack_rr);
+        w.u64(self.stats.crc_rejects_to_hw);
+        w.u64(self.stats.crc_rejects_to_sw);
+        w.u64(self.stats.ack_frames_to_hw);
+        w.u64(self.stats.ack_frames_to_sw);
+        w.u64(self.progress);
+    }
+
+    /// Decodes a snapshot written by [`TransactorSnapshot::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> CodecResult<TransactorSnapshot> {
+        // A channel record is at least its fixed-size fields long.
+        let n = r.seq_len(85)?;
+        let mut channels = Vec::with_capacity(n);
+        for _ in 0..n {
+            channels.push(ChannelSnap::decode(r)?);
+        }
+        Ok(TransactorSnapshot {
+            channels,
+            rr: r.usize()?,
+            ack_rr: r.usize()?,
+            stats: TransportStats {
+                crc_rejects_to_hw: r.u64()?,
+                crc_rejects_to_sw: r.u64()?,
+                ack_frames_to_hw: r.u64()?,
+                ack_frames_to_sw: r.u64()?,
+            },
+            progress: r.u64()?,
+        })
+    }
 }
 
 /// Moves values between a software-partition store and a

@@ -115,15 +115,28 @@ impl Frame {
 pub fn crc32(words: &[u32]) -> u32 {
     let mut crc: u32 = !0;
     for w in words {
-        for b in w.to_le_bytes() {
-            crc ^= b as u32;
-            for _ in 0..8 {
-                let mask = (crc & 1).wrapping_neg();
-                crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-            }
-        }
+        crc = crc32_step(crc, &w.to_le_bytes());
     }
     !crc
+}
+
+/// The same IEEE CRC-32 over a raw byte stream — shared by the link
+/// transport (per-frame, word-granular) and the durable snapshot format
+/// (per-section, byte-granular), so both layers detect any burst error
+/// shorter than 32 bits with certainty.
+pub fn crc32_bytes(bytes: &[u8]) -> u32 {
+    !crc32_step(!0, bytes)
+}
+
+fn crc32_step(mut crc: u32, bytes: &[u8]) -> u32 {
+    for b in bytes {
+        crc ^= *b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    crc
 }
 
 #[cfg(test)]
@@ -155,6 +168,13 @@ mod tests {
             }
         }
         assert_eq!(crc32(&words), !bytes_crc);
+    }
+
+    #[test]
+    fn crc32_bytes_matches_known_vector_and_word_form() {
+        assert_eq!(crc32_bytes(b"123456789"), 0xcbf4_3926);
+        let words = [0x3433_3231, 0x3837_3635];
+        assert_eq!(crc32(&words), crc32_bytes(b"12345678"));
     }
 
     #[test]

@@ -220,7 +220,12 @@ pub fn run_partition_naive(
     )
 }
 
-fn run_partition_full(
+/// Builds the co-simulation for a partition exactly as every run entry
+/// point does, with the ray stream queued. Deterministic in its
+/// arguments, so two processes calling it with the same arguments get
+/// interchangeable systems — the contract [`resume_partition`] and
+/// [`run_partition_migrated`] rely on (the design fingerprint pins it).
+pub fn make_cosim(
     which: RtPartition,
     bvh: &Bvh,
     width: usize,
@@ -228,7 +233,7 @@ fn run_partition_full(
     faults: FaultConfig,
     policy: RecoveryPolicy,
     event_driven: bool,
-) -> Result<RtRun, PlatformError> {
+) -> Result<Cosim, PlatformError> {
     let cfg = which.config(width, height);
     let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
@@ -237,7 +242,6 @@ fn run_partition_full(
         event_driven,
         ..Default::default()
     };
-    let faulty = faults.is_active() || faults.has_partition_faults();
     // One link configuration per distinct hardware domain; the fault
     // model (including scripted partition faults) applies to the first
     // one — for partition E that is the traversal accelerator.
@@ -271,6 +275,17 @@ fn run_partition_full(
     for p in 0..rays as i64 {
         cosim.push_source("pixSrc", Value::int(32, p));
     }
+    Ok(cosim)
+}
+
+/// Runs a built co-simulation to image completion and assembles the
+/// [`RtRun`]. Works identically for fresh and resumed systems.
+fn finish_run(
+    mut cosim: Cosim,
+    which: RtPartition,
+    rays: usize,
+    faulty: bool,
+) -> Result<RtRun, PlatformError> {
     let mut max_cycles = 60_000u64 * rays as u64 + 50_000;
     if faulty {
         max_cycles = max_cycles.saturating_mul(500);
@@ -300,6 +315,116 @@ fn run_partition_full(
         guard_evals,
         guard_evals_skipped,
     })
+}
+
+fn run_partition_full(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+) -> Result<RtRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let cosim = make_cosim(which, bvh, width, height, faults, policy, event_driven)?;
+    finish_run(cosim, which, width * height, faulty)
+}
+
+/// Runs a partition while autosaving crash-consistent snapshots every
+/// `interval` FPGA cycles into `dir` (see
+/// [`CheckpointPolicy`](bcl_platform::persist::CheckpointPolicy)). If
+/// the process dies mid-render, [`resume_partition`] picks the run back
+/// up from the latest complete autosave, bit- and cycle-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus snapshot
+/// I/O failures.
+#[allow(clippy::too_many_arguments)]
+pub fn run_partition_autosaving(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    interval: u64,
+    dir: &std::path::Path,
+) -> Result<RtRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut cosim = make_cosim(which, bvh, width, height, faults, policy, true)?;
+    cosim.set_autosave(bcl_platform::persist::CheckpointPolicy::new(interval, dir));
+    finish_run(cosim, which, width * height, faulty)
+}
+
+/// Resumes a render from a snapshot file written by an autosaving run
+/// (or an explicit [`Cosim::write_snapshot_file`]) in a fresh process:
+/// rebuilds the co-simulation from the same arguments, restores the
+/// snapshot into it, and finishes the image. The completed run is bit-
+/// and cycle-identical to one that was never interrupted.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus every typed
+/// snapshot error (corrupt bytes, wrong design, topology skew).
+pub fn resume_partition(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    snapshot: &std::path::Path,
+) -> Result<RtRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut cosim = make_cosim(which, bvh, width, height, faults, policy, true)?;
+    cosim
+        .resume_from_file(snapshot)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    finish_run(cosim, which, width * height, faulty)
+}
+
+/// Live migration in-process: runs a partition to `split_cycle`,
+/// serializes the whole system to bytes, restores them into a *freshly
+/// built* co-simulation (exactly what a new process would construct),
+/// and finishes the image there. Returns the completed run and the
+/// snapshot size in bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus every typed
+/// snapshot error.
+pub fn run_partition_migrated(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    split_cycle: u64,
+) -> Result<(RtRun, usize), PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut first = make_cosim(which, bvh, width, height, faults.clone(), policy, true)?;
+    let out = first
+        .run_until(|c| c.fpga_cycles >= split_cycle, u64::MAX)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    if !out.is_done() {
+        return Err(PlatformError::new(format!(
+            "partition {} never reached split cycle {split_cycle} ({out:?})",
+            which.label()
+        )));
+    }
+    let bytes = first
+        .snapshot_bytes()
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    drop(first);
+    let mut second = make_cosim(which, bvh, width, height, faults, policy, true)?;
+    second
+        .resume_from(&mut bytes.as_slice())
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    let run = finish_run(second, which, width * height, faulty)?;
+    Ok((run, bytes.len()))
 }
 
 /// Convenience: the paper's benchmark scene (1024 primitives).

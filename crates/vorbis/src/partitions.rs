@@ -237,13 +237,18 @@ pub fn run_partition_naive(
     )
 }
 
-fn run_partition_full(
+/// Builds the co-simulation for a partition exactly as every run entry
+/// point does, with the input frames queued. Deterministic in its
+/// arguments, so two processes calling it with the same arguments get
+/// interchangeable systems — the contract [`resume_partition`] and
+/// [`run_partition_migrated`] rely on (the design fingerprint pins it).
+pub fn make_cosim(
     which: VorbisPartition,
     frames: &[Vec<i64>],
     faults: FaultConfig,
     policy: RecoveryPolicy,
     event_driven: bool,
-) -> Result<VorbisRun, PlatformError> {
+) -> Result<Cosim, PlatformError> {
     let domains = which.domains();
     let opts = BackendOptions {
         domains: domains.clone(),
@@ -256,7 +261,6 @@ fn run_partition_full(
         event_driven,
         ..Default::default()
     };
-    let faulty = faults.is_active() || faults.has_partition_faults();
     let mut hw_domains: Vec<&str> = Vec::new();
     for d in [&domains.imdct, &domains.ifft, &domains.window] {
         if d != SW && !hw_domains.contains(&d.as_str()) {
@@ -286,7 +290,17 @@ fn run_partition_full(
     for f in frames {
         cosim.push_source("src", frame_value(f));
     }
-    let want = frames.len();
+    Ok(cosim)
+}
+
+/// Runs a built co-simulation to stream completion and assembles the
+/// [`VorbisRun`]. Works identically for fresh and resumed systems.
+fn finish_run(
+    mut cosim: Cosim,
+    which: VorbisPartition,
+    want: usize,
+    faulty: bool,
+) -> Result<VorbisRun, PlatformError> {
     // Generous bound: even the slowest partition needs < 40k cycles/frame.
     // Heavy fault injection multiplies that by retransmission rounds.
     let mut max_cycles = 40_000u64 * want as u64 + 10_000;
@@ -318,6 +332,107 @@ fn run_partition_full(
         guard_evals,
         guard_evals_skipped,
     })
+}
+
+fn run_partition_full(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+) -> Result<VorbisRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let cosim = make_cosim(which, frames, faults, policy, event_driven)?;
+    finish_run(cosim, which, frames.len(), faulty)
+}
+
+/// Runs a partition while autosaving crash-consistent snapshots every
+/// `interval` FPGA cycles into `dir` (see
+/// [`CheckpointPolicy`](bcl_platform::persist::CheckpointPolicy)). If
+/// the process dies mid-decode, [`resume_partition`] picks the run back
+/// up from the latest complete autosave, bit- and cycle-identically.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus snapshot
+/// I/O failures.
+pub fn run_partition_autosaving(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    interval: u64,
+    dir: &std::path::Path,
+) -> Result<VorbisRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut cosim = make_cosim(which, frames, faults, policy, true)?;
+    cosim.set_autosave(bcl_platform::persist::CheckpointPolicy::new(interval, dir));
+    finish_run(cosim, which, frames.len(), faulty)
+}
+
+/// Resumes a decode from a snapshot file written by an autosaving run
+/// (or an explicit [`Cosim::write_snapshot_file`]) in a fresh process:
+/// rebuilds the co-simulation from the same arguments, restores the
+/// snapshot into it, and finishes the stream. The completed run is bit-
+/// and cycle-identical to one that was never interrupted.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus every typed
+/// snapshot error (corrupt bytes, wrong design, topology skew).
+pub fn resume_partition(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    snapshot: &std::path::Path,
+) -> Result<VorbisRun, PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut cosim = make_cosim(which, frames, faults, policy, true)?;
+    cosim
+        .resume_from_file(snapshot)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    finish_run(cosim, which, frames.len(), faulty)
+}
+
+/// Live migration in-process: runs a partition to `split_cycle`,
+/// serializes the whole system to bytes, restores them into a *freshly
+/// built* co-simulation (exactly what a new process would construct),
+/// and finishes the stream there. Returns the completed run and the
+/// snapshot size in bytes.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition_with_recovery`], plus every typed
+/// snapshot error.
+pub fn run_partition_migrated(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    split_cycle: u64,
+) -> Result<(VorbisRun, usize), PlatformError> {
+    let faulty = faults.is_active() || faults.has_partition_faults();
+    let mut first = make_cosim(which, frames, faults.clone(), policy, true)?;
+    let out = first
+        .run_until(|c| c.fpga_cycles >= split_cycle, u64::MAX)
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    if !out.is_done() {
+        return Err(PlatformError::new(format!(
+            "partition {} never reached split cycle {split_cycle} ({out:?})",
+            which.label()
+        )));
+    }
+    let bytes = first
+        .snapshot_bytes()
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    drop(first);
+    let mut second = make_cosim(which, frames, faults, policy, true)?;
+    second
+        .resume_from(&mut bytes.as_slice())
+        .map_err(|e| PlatformError::new(e.to_string()))?;
+    let run = finish_run(second, which, frames.len(), faulty)?;
+    Ok((run, bytes.len()))
 }
 
 #[cfg(test)]

@@ -16,11 +16,13 @@ use bcl_platform::cosim::RecoveryPolicy;
 use bcl_platform::link::{FaultConfig, PartitionFault};
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
-use bcl_raytrace::partitions::{run_partition as rt_run, RtPartition};
+use bcl_raytrace::partitions::{
+    run_partition as rt_run, run_partition_migrated as rt_run_migrated, RtPartition,
+};
 use bcl_vorbis::frames::frame_stream;
 use bcl_vorbis::partitions::{
-    run_partition as vorbis_run, run_partition_with_recovery as vorbis_run_recovery,
-    VorbisPartition,
+    run_partition as vorbis_run, run_partition_migrated as vorbis_run_migrated,
+    run_partition_with_recovery as vorbis_run_recovery, VorbisPartition,
 };
 
 /// (partition, fpga_cycles, sw_cpu_cycles) on `frame_stream(3, 21)`.
@@ -95,6 +97,120 @@ fn vorbis_failback_trace_is_pinned() {
         "failback trace timing drifted: got fpga={} cpu={}",
         run.fpga_cycles,
         run.sw_cpu_cycles
+    );
+}
+
+#[test]
+fn vorbis_checkpoint_restore_keeps_pinned_cycles() {
+    // Serialize mid-decode, restore into a *freshly built* co-simulation
+    // (what a new process would construct), finish there — and still land
+    // on the exact pinned cycle counts of an uninterrupted run. Covers a
+    // software-heavy (B), hardware-heavy (E), and three-domain (G)
+    // partition, each split roughly mid-stream.
+    let frames = frame_stream(3, 21);
+    let picks = [VorbisPartition::B, VorbisPartition::E, VorbisPartition::G];
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in VORBIS_BASELINE.iter().filter(|(p, ..)| picks.contains(p)) {
+        let (run, bytes) = vorbis_run_migrated(
+            p,
+            &frames,
+            FaultConfig::none(),
+            RecoveryPolicy::Fail,
+            fpga / 2,
+        )
+        .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        assert!(bytes > 0, "partition {} snapshot is empty", p.label());
+        if (run.fpga_cycles, run.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {} (migrated): expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                run.fpga_cycles,
+                run.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn raytrace_checkpoint_restore_keeps_pinned_cycles() {
+    // Same restore-and-finish pin for the three-domain ray tracer: the
+    // migrated run must land on partition E's exact baseline cycles.
+    let bvh = build_bvh(&make_scene(48, 5));
+    let &(p, fpga, cpu) = RT_BASELINE
+        .iter()
+        .find(|(p, ..)| *p == RtPartition::E)
+        .unwrap();
+    let (run, bytes) = rt_run_migrated(
+        p,
+        &bvh,
+        4,
+        4,
+        FaultConfig::none(),
+        RecoveryPolicy::Fail,
+        fpga / 2,
+    )
+    .unwrap_or_else(|e| panic!("{p:?}: {e}"));
+    assert!(bytes > 0, "snapshot is empty");
+    assert_eq!(
+        (run.fpga_cycles, run.sw_cpu_cycles),
+        (fpga, cpu),
+        "migrated raytrace E drifted: got fpga={} cpu={}",
+        run.fpga_cycles,
+        run.sw_cpu_cycles
+    );
+}
+
+#[test]
+fn echo_checkpoint_restore_keeps_pinned_cycles() {
+    // The minimal echo design (the persist-format fixture design) gets
+    // the same treatment: checkpoint to bytes mid-run, restore into a
+    // fresh Cosim, and pin both halves to the uninterrupted trace.
+    use bcl_core::builder::{dsl::*, ModuleBuilder};
+    use bcl_core::domain::{HW, SW};
+    use bcl_core::program::Program;
+    use bcl_core::types::Type;
+    use bcl_core::value::Value;
+    use bcl_platform::cosim::Cosim;
+    use bcl_platform::link::LinkConfig;
+
+    let build = || {
+        let mut m = ModuleBuilder::new("Echo");
+        m.source("src", Type::Int(32), SW);
+        m.sink("snk", Type::Int(32), SW);
+        m.sync("toHw", 2, Type::Int(32), SW, HW);
+        m.sync("toSw", 2, Type::Int(32), HW, SW);
+        m.rule("feed", with_first("x", "src", enq("toHw", var("x"))));
+        m.rule("echo", with_first("x", "toHw", enq("toSw", var("x"))));
+        m.rule("drain", with_first("x", "toSw", enq("snk", var("x"))));
+        let design = bcl_core::elaborate(&Program::with_root(m.build())).unwrap();
+        let parts = bcl_core::partition::partition(&design, SW).unwrap();
+        let mut cosim =
+            Cosim::new(&parts, SW, HW, LinkConfig::default(), Default::default()).unwrap();
+        for i in 0..16i64 {
+            cosim.push_source("src", Value::int(32, i * 5 + 2));
+        }
+        cosim
+    };
+    let finish = |c: &mut Cosim| {
+        let out = c.run_until(|c| c.sink_count("snk") == 16, 100_000).unwrap();
+        assert!(out.is_done());
+        (out.fpga_cycles(), c.sw.cpu_cycles())
+    };
+
+    let mut clean = build();
+    let baseline = finish(&mut clean);
+
+    let mut first = build();
+    let out = first.run_until(|c| c.fpga_cycles >= 40, 100_000).unwrap();
+    assert!(out.is_done(), "echo never reached the split cycle");
+    let bytes = first.snapshot_bytes().unwrap();
+    let mut second = build();
+    second.resume_from(&mut bytes.as_slice()).unwrap();
+    assert_eq!(
+        finish(&mut second),
+        baseline,
+        "echo migrated run drifted from the uninterrupted trace"
     );
 }
 

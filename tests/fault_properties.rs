@@ -197,6 +197,72 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn serialized_restore_replays_the_same_fault_schedule(
+        faults in arb_faults(),
+        inputs in proptest::collection::vec(-1000i64..1000, 4..12),
+        split in 50u64..300,
+    ) {
+        // The link-fault PRNG is part of the snapshot: restoring a
+        // *serialized* checkpoint in a fresh co-simulation (what another
+        // process would build) must replay the exact same fault schedule
+        // as restoring the in-memory checkpoint — same values, same cycle
+        // count, same fault tally.
+        let build = || {
+            let parts = partition(&echo_design(), SW).unwrap();
+            let mut cs = Cosim::with_faults(
+                &parts,
+                SW,
+                HW,
+                LinkConfig::default(),
+                faults.clone(),
+                SwOptions::default(),
+            )
+            .unwrap();
+            for &i in &inputs {
+                cs.push_source("src", Value::int(32, i));
+            }
+            cs
+        };
+        let want = inputs.len();
+        let finish = |cs: &mut Cosim| {
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == want, 10_000_000)
+                .unwrap();
+            assert!(out.is_done(), "echo did not complete: {out:?}");
+            let vals: Vec<i64> = cs
+                .sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().unwrap())
+                .collect();
+            (vals, out.fpga_cycles(), cs.link_stats())
+        };
+
+        let mut original = build();
+        original
+            .run_until(|c| c.fpga_cycles >= split, 10_000_000)
+            .unwrap();
+        let ckpt = original.checkpoint();
+        let bytes = original.snapshot_bytes().unwrap();
+
+        // Path A: in-memory restore, same process, same Cosim object.
+        original.restore(&ckpt);
+        let (vals_mem, cycles_mem, link_mem) = finish(&mut original);
+
+        // Path B: deserialize into a freshly built co-simulation.
+        let mut fresh = build();
+        fresh.resume_from(&mut bytes.as_slice()).unwrap();
+        let (vals_ser, cycles_ser, link_ser) = finish(&mut fresh);
+
+        prop_assert_eq!(&vals_ser, &vals_mem, "values diverged across serialization");
+        prop_assert_eq!(cycles_ser, cycles_mem, "cycle count diverged across serialization");
+        prop_assert_eq!(link_ser, link_mem, "fault tally diverged: the PRNG did not round-trip");
+    }
+}
+
 #[test]
 fn no_fault_checkpoint_restore_reproduces_the_run_exactly() {
     // Acceptance criterion: a checkpoint/restore round trip with no

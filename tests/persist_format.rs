@@ -1,0 +1,383 @@
+//! The durable `BCKP` snapshot format: bit-/cycle-identical resume
+//! across serialization (including mid-recovery states), typed
+//! rejection of wrong-design and stale snapshots, adversarial decoding
+//! (random truncations, byte flips, section reorderings — proptest,
+//! never a panic), and format stability against a committed golden
+//! fixture (a version bump requires deliberately regenerating it with
+//! `cargo test -- --ignored regenerate_golden_fixture`).
+
+use bcl_core::builder::{dsl::*, ModuleBuilder};
+use bcl_core::domain::{HW, SW};
+use bcl_core::partition::partition;
+use bcl_core::program::Program;
+use bcl_core::sched::SwOptions;
+use bcl_core::types::Type;
+use bcl_core::value::Value;
+use bcl_platform::cosim::{Cosim, PartitionLifecycle, RecoveryPolicy};
+use bcl_platform::link::{FaultConfig, LinkConfig, PartitionFault};
+use bcl_platform::persist::PersistError;
+use bcl_platform::Checkpoint;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+const FIXTURE: &str = "tests/fixtures/echo_v1.bckp";
+/// Cycle at which the golden fixture was captured (pinned: a format or
+/// fingerprint change makes the fixture fail to resume, forcing a
+/// deliberate regeneration).
+const FIXTURE_CYCLE: u64 = 500;
+const INPUTS: i64 = 40;
+
+/// src(SW) -> toHw -> echo(HW) -> toSw -> snk(SW): the smallest design
+/// whose every item must cross the hardware partition.
+fn echo_design() -> bcl_core::design::Design {
+    let mut m = ModuleBuilder::new("Echo");
+    m.source("src", Type::Int(32), SW);
+    m.sink("snk", Type::Int(32), SW);
+    m.channel("toHw", 2, Type::Int(32), SW, HW);
+    m.channel("toSw", 2, Type::Int(32), HW, SW);
+    m.rule("feed", with_first("x", "src", enq("toHw", var("x"))));
+    m.rule("echo", with_first("x", "toHw", enq("toSw", var("x"))));
+    m.rule("drain", with_first("x", "toSw", enq("snk", var("x"))));
+    bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
+}
+
+/// A fresh echo cosim with the given die/revive schedule and failover
+/// recovery, inputs already queued. Identical construction in every
+/// test (and notionally in every process) — the migration contract.
+fn echo_cosim(schedule: &[PartitionFault]) -> Cosim {
+    let mut faults = FaultConfig::none();
+    for &f in schedule {
+        faults = faults.with_partition_fault(f);
+    }
+    let parts = partition(&echo_design(), SW).unwrap();
+    let mut cs = Cosim::with_faults(
+        &parts,
+        SW,
+        HW,
+        LinkConfig::default(),
+        faults,
+        SwOptions::default(),
+    )
+    .unwrap();
+    cs.set_recovery_policy(RecoveryPolicy::failover(100));
+    for i in 0..INPUTS {
+        cs.push_source("src", Value::int(32, i * 3 + 1));
+    }
+    cs
+}
+
+/// Die (and fail over) at 400, revive at 600 — the revive lands between
+/// the cycle-500 snapshot point and completion (~700), so a resumed run
+/// must still execute the failback splice.
+const DIE_REVIVE: &[PartitionFault] = &[PartitionFault::DieAt(400), PartitionFault::ReviveAt(600)];
+
+fn run_to_cycle(cs: &mut Cosim, cycle: u64) {
+    let out = cs
+        .run_until(|c| c.fpga_cycles >= cycle, 10_000_000)
+        .unwrap();
+    assert!(out.is_done(), "did not reach cycle {cycle}: {out:?}");
+}
+
+fn finish(cs: &mut Cosim) -> (Vec<i64>, u64) {
+    let want = INPUTS as usize;
+    let out = cs
+        .run_until(|c| c.sink_count("snk") == want, 10_000_000)
+        .unwrap();
+    assert!(out.is_done(), "echo did not complete: {out:?}");
+    let vals = cs
+        .sink_values("snk")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    (vals, out.fpga_cycles())
+}
+
+/// A context-rich snapshot — taken while the partition is software-
+/// owned, so the file carries CONTEXT (with a SwOwned record) and
+/// LASTCKPT sections on top of the checkpoint itself.
+fn rich_snapshot_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let mut cs = echo_cosim(DIE_REVIVE);
+        run_to_cycle(&mut cs, FIXTURE_CYCLE);
+        assert_eq!(
+            cs.partition_lifecycle(HW),
+            Some(PartitionLifecycle::SoftwareOwned)
+        );
+        cs.snapshot_bytes().unwrap()
+    })
+}
+
+/// Resumes `bytes` into a freshly constructed echo cosim.
+fn resume_fresh(bytes: &[u8]) -> Result<Cosim, PersistError> {
+    let mut cs = echo_cosim(DIE_REVIVE);
+    cs.resume_from(&mut &bytes[..])?;
+    Ok(cs)
+}
+
+// ---- resume identity ----------------------------------------------------
+
+#[test]
+fn serialized_resume_is_bit_and_cycle_identical_mid_run() {
+    let mut original = echo_cosim(&[]);
+    run_to_cycle(&mut original, 150);
+    let bytes = original.snapshot_bytes().unwrap();
+    let (vals_a, cycles_a) = finish(&mut original);
+
+    let mut resumed = echo_cosim(&[]);
+    resumed.resume_from(&mut &bytes[..]).unwrap();
+    assert_eq!(resumed.fpga_cycles, 150);
+    let (vals_b, cycles_b) = finish(&mut resumed);
+    assert_eq!(vals_a, vals_b, "sink streams diverged after resume");
+    assert_eq!(cycles_a, cycles_b, "cycle counts diverged after resume");
+}
+
+#[test]
+fn software_owned_state_resumes_identically() {
+    let mut original = echo_cosim(DIE_REVIVE);
+    run_to_cycle(&mut original, 500);
+    assert_eq!(
+        original.partition_lifecycle(HW),
+        Some(PartitionLifecycle::SoftwareOwned)
+    );
+    let bytes = original.snapshot_bytes().unwrap();
+
+    let mut resumed = resume_fresh(&bytes).unwrap();
+    assert_eq!(
+        resumed.partition_lifecycle(HW),
+        Some(PartitionLifecycle::SoftwareOwned),
+        "resume lost the software-owned splice"
+    );
+    assert!(resumed.failed_over());
+
+    let (vals_a, cycles_a) = finish(&mut original);
+    let (vals_b, cycles_b) = finish(&mut resumed);
+    assert_eq!(vals_a, vals_b);
+    assert_eq!(cycles_a, cycles_b);
+    assert!(
+        resumed.revived(),
+        "failback splice did not execute after resume"
+    );
+}
+
+#[test]
+fn reviving_state_resumes_identically() {
+    let mut original = echo_cosim(DIE_REVIVE);
+    // Just past the scripted revive: the state image is still crossing
+    // the link, so the partition is held in Reviving.
+    run_to_cycle(&mut original, 603);
+    assert_eq!(
+        original.partition_lifecycle(HW),
+        Some(PartitionLifecycle::Reviving),
+        "expected to catch the partition mid-revival"
+    );
+    let bytes = original.snapshot_bytes().unwrap();
+
+    let mut resumed = resume_fresh(&bytes).unwrap();
+    assert_eq!(
+        resumed.partition_lifecycle(HW),
+        Some(PartitionLifecycle::Reviving)
+    );
+    let (vals_a, cycles_a) = finish(&mut original);
+    let (vals_b, cycles_b) = finish(&mut resumed);
+    assert_eq!(vals_a, vals_b);
+    assert_eq!(cycles_a, cycles_b);
+}
+
+#[test]
+fn dead_state_resumes_identically() {
+    // No recovery policy: the partition dies and stays Dead.
+    let parts = partition(&echo_design(), SW).unwrap();
+    let build = || {
+        let mut cs = Cosim::with_faults(
+            &parts,
+            SW,
+            HW,
+            LinkConfig::default(),
+            FaultConfig::none().with_partition_fault(PartitionFault::DieAt(100)),
+            SwOptions::default(),
+        )
+        .unwrap();
+        cs.push_source("src", Value::int(32, 9));
+        cs
+    };
+    let mut original = build();
+    for _ in 0..150 {
+        original.step().unwrap();
+    }
+    assert_eq!(
+        original.partition_lifecycle(HW),
+        Some(PartitionLifecycle::Dead)
+    );
+    let bytes = original.snapshot_bytes().unwrap();
+    let mut resumed = build();
+    resumed.resume_from(&mut &bytes[..]).unwrap();
+    assert_eq!(
+        resumed.partition_lifecycle(HW),
+        Some(PartitionLifecycle::Dead),
+        "resume resurrected a dead partition"
+    );
+    for _ in 0..100 {
+        original.step().unwrap();
+        resumed.step().unwrap();
+    }
+    assert_eq!(original.fpga_cycles, resumed.fpga_cycles);
+    assert_eq!(original.sink_count("snk"), resumed.sink_count("snk"));
+}
+
+// ---- typed rejection ----------------------------------------------------
+
+#[test]
+fn wrong_design_is_rejected_with_fingerprint_mismatch() {
+    let bytes = rich_snapshot_bytes();
+    // Same shape, one extra pipeline stage: a different design.
+    let mut m = ModuleBuilder::new("Echo");
+    m.source("src", Type::Int(32), SW);
+    m.sink("snk", Type::Int(32), SW);
+    m.channel("toHw", 2, Type::Int(32), SW, HW);
+    m.channel("toSw", 3, Type::Int(32), HW, SW); // depth differs
+    m.rule("feed", with_first("x", "src", enq("toHw", var("x"))));
+    m.rule("echo", with_first("x", "toHw", enq("toSw", var("x"))));
+    m.rule("drain", with_first("x", "toSw", enq("snk", var("x"))));
+    let other = bcl_core::elaborate(&Program::with_root(m.build())).unwrap();
+    let parts = partition(&other, SW).unwrap();
+    let mut cs = Cosim::new(&parts, SW, HW, LinkConfig::default(), SwOptions::default()).unwrap();
+    assert!(matches!(
+        cs.resume_from(&mut &bytes[..]),
+        Err(PersistError::FingerprintMismatch { .. })
+    ));
+}
+
+#[test]
+fn resume_into_stepped_cosim_is_rejected() {
+    let bytes = rich_snapshot_bytes();
+    let mut cs = echo_cosim(DIE_REVIVE);
+    cs.step().unwrap();
+    assert!(matches!(
+        cs.resume_from(&mut &bytes[..]),
+        Err(PersistError::TopologyMismatch(_))
+    ));
+}
+
+// ---- adversarial decoding (satellite 1) ---------------------------------
+
+/// Byte ranges `[start, end)` of each section (past the 24-byte
+/// header), derived from the container layout.
+fn section_ranges(bytes: &[u8]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off < bytes.len() {
+        let len = u64::from_le_bytes(bytes[off + 4..off + 12].try_into().unwrap()) as usize;
+        let end = off + 12 + len + 4;
+        out.push((off, end));
+        off = end;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any strict prefix of a valid snapshot fails to decode — and
+    /// never panics or over-allocates.
+    #[test]
+    fn truncations_are_rejected(cut in any::<u64>()) {
+        let bytes = rich_snapshot_bytes();
+        let n = (cut as usize) % bytes.len();
+        prop_assert!(Checkpoint::read_from(&mut &bytes[..n]).is_err());
+        prop_assert!(resume_fresh(&bytes[..n]).is_err());
+    }
+
+    /// Any single-byte corruption anywhere in the file is rejected:
+    /// every byte is covered by the magic, a CRC, or is CRC material.
+    #[test]
+    fn byte_flips_are_rejected((pos, mask) in (any::<u64>(), 1u8..=255)) {
+        let bytes = rich_snapshot_bytes();
+        let mut bad = bytes.to_vec();
+        let i = (pos as usize) % bad.len();
+        bad[i] ^= mask;
+        prop_assert!(Checkpoint::read_from(&mut bad.as_slice()).is_err(), "flip at {}", i);
+        prop_assert!(resume_fresh(&bad).is_err());
+    }
+
+    /// Swapping any two sections violates the canonical order and is
+    /// rejected (index tags catch swaps of same-kind sections).
+    #[test]
+    fn section_reorderings_are_rejected((a, b) in (any::<u64>(), any::<u64>())) {
+        let bytes = rich_snapshot_bytes();
+        let ranges = section_ranges(bytes);
+        let i = (a as usize) % ranges.len();
+        let j = (b as usize) % ranges.len();
+        prop_assume!(i != j);
+        let (i, j) = (i.min(j), i.max(j));
+        let mut swapped = bytes[..ranges[i].0].to_vec();
+        swapped.extend_from_slice(&bytes[ranges[j].0..ranges[j].1]);
+        swapped.extend_from_slice(&bytes[ranges[i].1..ranges[j].0]);
+        swapped.extend_from_slice(&bytes[ranges[i].0..ranges[i].1]);
+        swapped.extend_from_slice(&bytes[ranges[j].1..]);
+        prop_assert!(Checkpoint::read_from(&mut swapped.as_slice()).is_err());
+        prop_assert!(resume_fresh(&swapped).is_err());
+    }
+
+    /// Corruption *behind* the CRC (flip a payload byte, re-seal the
+    /// section checksum) reaches the structural decoders; they must
+    /// return typed errors or benign data — never panic or OOM. This is
+    /// the no-length-trusted-preallocation property under fire.
+    #[test]
+    fn resealed_corruption_never_panics((sec, pos, mask) in (any::<u64>(), any::<u64>(), 1u8..=255)) {
+        let bytes = rich_snapshot_bytes();
+        let ranges = section_ranges(bytes);
+        let (start, end) = ranges[(sec as usize) % ranges.len()];
+        let mut bad = bytes.to_vec();
+        let body = start..end - 4;
+        let i = body.start + (pos as usize) % body.len();
+        bad[i] ^= mask;
+        let crc = bcl_platform::wire::crc32_bytes(&bad[body.clone()]);
+        bad[end - 4..end].copy_from_slice(&crc.to_le_bytes());
+        // Must not panic; Ok (benign payload mutation) and Err are both
+        // acceptable outcomes.
+        let _ = Checkpoint::read_from(&mut bad.as_slice());
+        let _ = resume_fresh(&bad);
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn random_garbage_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert!(Checkpoint::read_from(&mut data.as_slice()).is_err());
+    }
+}
+
+// ---- format stability (golden fixture) ----------------------------------
+
+#[test]
+fn golden_fixture_still_decodes_and_resumes() {
+    let bytes = std::fs::read(FIXTURE).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {FIXTURE} ({e}); regenerate deliberately with \
+             `cargo test -- --ignored regenerate_golden_fixture`"
+        )
+    });
+    let ckpt = Checkpoint::read_from(&mut bytes.as_slice()).expect(
+        "committed golden .bckp no longer decodes — the on-disk format changed; \
+         bump FORMAT_VERSION and regenerate the fixture deliberately",
+    );
+    assert_eq!(ckpt.fpga_cycles(), FIXTURE_CYCLE);
+    // Not just parseable: the fixture must still *resume* against the
+    // current elaboration (fingerprint + topology + state layout).
+    let mut resumed = resume_fresh(&bytes).expect(
+        "golden fixture decodes but no longer resumes — design fingerprint or \
+         snapshot semantics changed; regenerate the fixture deliberately",
+    );
+    let (vals, _) = finish(&mut resumed);
+    assert_eq!(vals.len(), INPUTS as usize);
+    assert_eq!(vals[0], 1);
+}
+
+/// Deliberate regeneration of the golden fixture after a format change:
+/// `cargo test --test persist_format -- --ignored regenerate_golden_fixture`.
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    std::fs::create_dir_all("tests/fixtures").unwrap();
+    std::fs::write(FIXTURE, rich_snapshot_bytes()).unwrap();
+}
