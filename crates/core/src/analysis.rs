@@ -10,6 +10,10 @@
 
 use crate::ast::{Action, Expr, PrimId, PrimMethod, Target};
 use crate::design::Design;
+use crate::error::ValidateError;
+use crate::prim::PrimSpec;
+use crate::types::Type;
+use crate::value::Value;
 use std::collections::BTreeSet;
 
 /// The set of primitive methods an action (or expression) may invoke.
@@ -303,6 +307,403 @@ pub fn successors(design: &Design) -> Vec<Vec<usize>> {
     out
 }
 
+// ---------------------------------------------------------------------
+// Static design validation: the panic-free front door.
+// ---------------------------------------------------------------------
+
+/// The widest scalar the runtime models exactly (values are masked and
+/// sign-extended within a 64-bit word).
+pub const MAX_SCALAR_WIDTH: u32 = 64;
+/// Upper bound on the marshaled width of any declared type, in bits.
+/// Beyond this, `Type::width` (a `u32`) could overflow and `Value::zero`
+/// could be asked for pathological allocations.
+pub const MAX_TYPE_WIDTH: u64 = 1 << 20;
+/// Upper bound on FIFO/synchronizer depth and register-file size.
+pub const MAX_CAPACITY: usize = 1 << 16;
+
+/// Computes the bit width of a type with checked arithmetic: `None` on
+/// overflow or when a scalar exceeds [`MAX_SCALAR_WIDTH`]. Unlike
+/// [`Type::width`] this never overflows (or panics in debug builds) on
+/// adversarial inputs like `Vector#(2^30, Vector#(2^30, ...))`.
+pub fn checked_type_width(t: &Type) -> Option<u64> {
+    match t {
+        Type::Bool => Some(1),
+        Type::Bits(w) | Type::Int(w) => (*w <= MAX_SCALAR_WIDTH).then_some(u64::from(*w)),
+        Type::Vector(n, t) => checked_type_width(t)?.checked_mul(*n as u64),
+        Type::Struct(fields) => fields
+            .iter()
+            .try_fold(0u64, |acc, (_, t)| acc.checked_add(checked_type_width(t)?)),
+    }
+}
+
+/// Checked bit width of a concrete value (mirrors [`checked_type_width`]).
+fn checked_value_width(v: &Value) -> Option<u64> {
+    match v {
+        Value::Bool(_) => Some(1),
+        Value::Int { width, .. } | Value::Bits { width, .. } => {
+            (*width <= MAX_SCALAR_WIDTH).then_some(u64::from(*width))
+        }
+        Value::Vec(items) => items
+            .iter()
+            .try_fold(0u64, |acc, v| acc.checked_add(checked_value_width(v)?)),
+        Value::Struct(fields) => fields
+            .iter()
+            .try_fold(0u64, |acc, (_, v)| acc.checked_add(checked_value_width(v)?)),
+    }
+}
+
+/// The number of explicit arguments each primitive method takes.
+fn method_arity(m: PrimMethod) -> usize {
+    match m {
+        PrimMethod::RegWrite | PrimMethod::Enq | PrimMethod::Sub => 1,
+        PrimMethod::Upd => 2,
+        PrimMethod::RegRead
+        | PrimMethod::Deq
+        | PrimMethod::First
+        | PrimMethod::NotEmpty
+        | PrimMethod::NotFull
+        | PrimMethod::Clear => 0,
+    }
+}
+
+/// True when `m` is a legal method of `spec` — position (value vs.
+/// action) included. This is exactly the dispatch table of
+/// [`crate::prim::PrimState::call_value`]/`call_action`, checked
+/// statically.
+fn method_allowed(spec: &PrimSpec, m: PrimMethod, action_position: bool) -> bool {
+    use PrimMethod::*;
+    let ok = match spec {
+        PrimSpec::Reg { .. } => matches!(m, RegRead | RegWrite),
+        PrimSpec::Fifo { .. } | PrimSpec::Sync { .. } => {
+            matches!(m, First | NotEmpty | NotFull | Enq | Deq | Clear)
+        }
+        PrimSpec::RegFile { .. } => matches!(m, Sub | Upd),
+        PrimSpec::Source { .. } => matches!(m, First | NotEmpty | Deq),
+        PrimSpec::Sink { .. } => matches!(m, NotFull | Enq),
+    };
+    ok && (m.is_write() == action_position)
+}
+
+struct Validator<'a> {
+    design: &'a Design,
+    errors: Vec<ValidateError>,
+}
+
+impl Validator<'_> {
+    /// Checks one resolved target; returns the `(id, method)` pair when
+    /// the reference itself is sound (so callers can do further checks).
+    fn check_target(
+        &mut self,
+        t: &Target,
+        context: &str,
+        nargs: usize,
+        action_position: bool,
+    ) -> Option<(PrimId, PrimMethod)> {
+        match t {
+            Target::Named(path, method) => {
+                self.errors.push(ValidateError::UnresolvedName {
+                    context: context.to_string(),
+                    path: path.to_string(),
+                    method: method.clone(),
+                });
+                None
+            }
+            Target::Prim(id, m) => {
+                let Some(p) = self.design.prims.get(id.0) else {
+                    self.errors.push(ValidateError::UnknownPrim {
+                        context: context.to_string(),
+                        id: id.0,
+                        prim_count: self.design.prims.len(),
+                    });
+                    return None;
+                };
+                if !method_allowed(&p.spec, *m, action_position) {
+                    self.errors.push(ValidateError::BadMethod {
+                        context: context.to_string(),
+                        prim: p.path.to_string(),
+                        method: m.name().to_string(),
+                        reason: format!(
+                            "not a{} method of a {}",
+                            if action_position {
+                                "n action"
+                            } else {
+                                " value"
+                            },
+                            p.spec.kind_name()
+                        ),
+                    });
+                    return None;
+                }
+                if method_arity(*m) != nargs {
+                    self.errors.push(ValidateError::BadMethod {
+                        context: context.to_string(),
+                        prim: p.path.to_string(),
+                        method: m.name().to_string(),
+                        reason: format!("expects {} argument(s), got {nargs}", method_arity(*m)),
+                    });
+                    return None;
+                }
+                Some((*id, *m))
+            }
+        }
+    }
+
+    fn check_expr(&mut self, e: &Expr, context: &str) {
+        match e {
+            Expr::Const(_) | Expr::Var(_) => {}
+            Expr::Un(_, a) | Expr::Field(a, _) => self.check_expr(a, context),
+            Expr::Bin(_, a, b)
+            | Expr::When(a, b)
+            | Expr::Let(_, a, b)
+            | Expr::Index(a, b)
+            | Expr::UpdateField(a, _, b) => {
+                self.check_expr(a, context);
+                self.check_expr(b, context);
+            }
+            Expr::Cond(a, b, c) | Expr::UpdateIndex(a, b, c) => {
+                self.check_expr(a, context);
+                self.check_expr(b, context);
+                self.check_expr(c, context);
+            }
+            Expr::MkVec(es) => es.iter().for_each(|x| self.check_expr(x, context)),
+            Expr::MkStruct(fs) => fs.iter().for_each(|(_, x)| self.check_expr(x, context)),
+            Expr::Call(t, args) => {
+                self.check_target(t, context, args.len(), false);
+                args.iter().for_each(|x| self.check_expr(x, context));
+            }
+        }
+    }
+
+    fn check_action(&mut self, a: &Action, context: &str) {
+        match a {
+            Action::NoAction => {}
+            Action::Write(t, e) => {
+                self.check_target(t, context, 1, true);
+                self.check_expr(e, context);
+            }
+            Action::If(c, x, y) => {
+                self.check_expr(c, context);
+                self.check_action(x, context);
+                self.check_action(y, context);
+            }
+            Action::Par(x, y) | Action::Seq(x, y) => {
+                self.check_action(x, context);
+                self.check_action(y, context);
+            }
+            Action::When(g, x) | Action::Loop(g, x) => {
+                self.check_expr(g, context);
+                self.check_action(x, context);
+            }
+            Action::Let(_, e, x) => {
+                self.check_expr(e, context);
+                self.check_action(x, context);
+            }
+            Action::LocalGuard(x) => self.check_action(x, context),
+            Action::Call(t, args) => {
+                self.check_target(t, context, args.len(), true);
+                args.iter().for_each(|x| self.check_expr(x, context));
+            }
+        }
+    }
+
+    /// The set of `(prim, method)` writes an action performs on *every*
+    /// committing execution. `If` takes the branch intersection, loops
+    /// and `localGuard` bodies may not run at all, and `Seq` re-writes
+    /// are sequentially legal — so only `Par`-arm overlaps are definite
+    /// double writes.
+    fn definite_writes(
+        &mut self,
+        a: &Action,
+        rule: &str,
+        flagged: &mut BTreeSet<PrimId>,
+    ) -> BTreeSet<(PrimId, PrimMethod)> {
+        match a {
+            Action::NoAction => BTreeSet::new(),
+            Action::Write(t, _) | Action::Call(t, _) => match t {
+                Target::Prim(id, m) if m.is_write() && self.design.prims.get(id.0).is_some() => {
+                    std::iter::once((*id, *m)).collect()
+                }
+                _ => BTreeSet::new(),
+            },
+            Action::Par(x, y) => {
+                let wx = self.definite_writes(x, rule, flagged);
+                let wy = self.definite_writes(y, rule, flagged);
+                for (p, m) in &wx {
+                    for (q, n) in &wy {
+                        if p == q && !methods_compatible(*m, *n) && flagged.insert(*p) {
+                            self.errors.push(ValidateError::ConflictingWrites {
+                                rule: rule.to_string(),
+                                prim: self.design.prims[p.0].path.to_string(),
+                            });
+                        }
+                    }
+                }
+                wx.union(&wy).copied().collect()
+            }
+            Action::Seq(x, y) => {
+                let wx = self.definite_writes(x, rule, flagged);
+                let wy = self.definite_writes(y, rule, flagged);
+                wx.union(&wy).copied().collect()
+            }
+            Action::If(_, x, y) => {
+                let wx = self.definite_writes(x, rule, flagged);
+                let wy = self.definite_writes(y, rule, flagged);
+                wx.intersection(&wy).copied().collect()
+            }
+            Action::When(_, x) | Action::Let(_, _, x) => self.definite_writes(x, rule, flagged),
+            Action::Loop(..) | Action::LocalGuard(..) => BTreeSet::new(),
+        }
+    }
+
+    fn check_spec(&mut self, path: &str, spec: &PrimSpec) {
+        let width = |ty: &Type| match checked_type_width(ty) {
+            Some(w) if w <= MAX_TYPE_WIDTH => None,
+            Some(w) => Some(format!(
+                "type `{ty}` is {w} bits wide (limit {MAX_TYPE_WIDTH})"
+            )),
+            None => Some(format!(
+                "width of type `{ty}` overflows (or a scalar exceeds {MAX_SCALAR_WIDTH} bits)"
+            )),
+        };
+        match spec {
+            PrimSpec::Reg { init } => {
+                if checked_value_width(init).is_none_or(|w| w > MAX_TYPE_WIDTH) {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail: format!(
+                            "register initializer wider than {MAX_TYPE_WIDTH} bits \
+                             (or a scalar exceeds {MAX_SCALAR_WIDTH} bits)"
+                        ),
+                    });
+                }
+            }
+            PrimSpec::Fifo { depth, ty } | PrimSpec::Sync { depth, ty, .. } => {
+                if let Some(detail) = width(ty) {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail,
+                    });
+                }
+                if *depth == 0 {
+                    self.errors.push(ValidateError::ZeroCapacity {
+                        prim: path.to_string(),
+                        what: "fifo depth".into(),
+                    });
+                } else if *depth > MAX_CAPACITY {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail: format!("depth {depth} exceeds the {MAX_CAPACITY} cap"),
+                    });
+                }
+                if let PrimSpec::Sync { from, to, .. } = spec {
+                    if from == to {
+                        self.errors.push(ValidateError::DegenerateSync {
+                            prim: path.to_string(),
+                            domain: from.clone(),
+                        });
+                    }
+                }
+            }
+            PrimSpec::RegFile { size, ty, init } => {
+                if let Some(detail) = width(ty) {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail,
+                    });
+                }
+                if *size == 0 {
+                    self.errors.push(ValidateError::ZeroCapacity {
+                        prim: path.to_string(),
+                        what: "regfile size".into(),
+                    });
+                } else if *size > MAX_CAPACITY {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail: format!("size {size} exceeds the {MAX_CAPACITY} cap"),
+                    });
+                }
+                if init.len() > *size {
+                    self.errors.push(ValidateError::BadInit {
+                        prim: path.to_string(),
+                        detail: format!("{} initializers for {size} cells", init.len()),
+                    });
+                }
+            }
+            PrimSpec::Source { ty, .. } | PrimSpec::Sink { ty, .. } => {
+                if let Some(detail) = width(ty) {
+                    self.errors.push(ValidateError::WidthOverflow {
+                        prim: path.to_string(),
+                        detail,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Validates a flat design, returning every diagnostic found.
+///
+/// The contract (property-tested by the fuzz farm): when `validate(d)`
+/// returns `Ok(())`, the whole downstream pipeline —
+/// [`crate::domain::infer_domains`], [`crate::partition::partition`],
+/// [`crate::xform`] compilation, and execution on either scheduler —
+/// is panic-free on `d`. Runtime [`crate::error::ExecError`]s (guard
+/// failures, dynamic division by zero, out-of-range register-file
+/// indices) remain possible and are returned as `Err`, never aborts.
+///
+/// # Errors
+///
+/// A non-empty list of [`ValidateError`] diagnostics, one per defect.
+pub fn validate(design: &Design) -> Result<(), Vec<ValidateError>> {
+    let mut v = Validator {
+        design,
+        errors: Vec::new(),
+    };
+
+    let mut seen = BTreeSet::new();
+    for p in &design.prims {
+        if !seen.insert(p.path.to_string()) {
+            v.errors.push(ValidateError::DuplicatePath {
+                path: p.path.to_string(),
+            });
+        }
+        v.check_spec(p.path.as_str(), &p.spec);
+    }
+
+    for r in &design.rules {
+        let context = format!("rule `{}`", r.name);
+        v.check_action(&r.body, &context);
+        let mut flagged = BTreeSet::new();
+        v.definite_writes(&r.body, &r.name, &mut flagged);
+    }
+    for m in &design.act_methods {
+        let context = format!("action method `{}`", m.name);
+        v.check_action(&m.body, &context);
+        let mut flagged = BTreeSet::new();
+        v.definite_writes(&m.body, &m.name, &mut flagged);
+    }
+    for m in &design.val_methods {
+        let context = format!("value method `{}`", m.name);
+        v.check_expr(&m.body, &context);
+    }
+
+    // Only consult domain inference once the structural checks hold —
+    // a dangling PrimId would otherwise surface twice.
+    if v.errors.is_empty() {
+        if let Err(e) = crate::domain::infer_domains(design, crate::domain::SW) {
+            v.errors.push(ValidateError::DomainConflict {
+                message: e.message().to_string(),
+            });
+        }
+    }
+
+    if v.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(v.errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -465,5 +866,190 @@ mod tests {
         assert_eq!(sens.readers_of[Q1.0], vec![1, 2]);
         assert!(sens.readers_of[R0.0].is_empty());
         assert!(sens.body_writes[1].contains(&Q0) && sens.body_writes[1].contains(&Q1));
+    }
+
+    // ---- validate(): one test per diagnostic kind -------------------
+
+    fn kinds(d: &Design) -> Vec<&'static str> {
+        match validate(d) {
+            Ok(()) => vec![],
+            Err(es) => es.iter().map(|e| e.kind()).collect(),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_pipeline() {
+        assert_eq!(validate(&pipeline_design()), Ok(()));
+    }
+
+    #[test]
+    fn validate_unknown_prim() {
+        let mut d = pipeline_design();
+        d.rules[0].body = enq(PrimId(99), Expr::int(8, 1));
+        assert_eq!(kinds(&d), vec!["unknown-prim"]);
+    }
+
+    #[test]
+    fn validate_unresolved_name() {
+        let mut d = pipeline_design();
+        d.rules[0].body = Action::Call(
+            Target::Named(Path::new("ghost"), "enq".into()),
+            vec![Expr::int(8, 1)],
+        );
+        assert_eq!(kinds(&d), vec!["unresolved-name"]);
+    }
+
+    #[test]
+    fn validate_bad_method_kind_position_and_arity() {
+        // sub on a Fifo: wrong kind.
+        let mut d = pipeline_design();
+        d.rules[0].body = call(Q0, PrimMethod::Sub);
+        assert_eq!(kinds(&d), vec!["bad-method"]);
+        // enq used in value position.
+        let mut d = pipeline_design();
+        d.rules[0].body = enq(Q0, Expr::Call(Target::Prim(Q1, PrimMethod::Enq), vec![]));
+        assert!(kinds(&d).contains(&"bad-method"));
+        // enq with no argument: wrong arity.
+        let mut d = pipeline_design();
+        d.rules[0].body = call(Q0, PrimMethod::Enq);
+        assert_eq!(kinds(&d), vec!["bad-method"]);
+    }
+
+    #[test]
+    fn validate_width_overflow() {
+        // A vector whose total width overflows u32 multiplication — the
+        // very shape that would panic `Type::width` in debug builds.
+        let mut d = pipeline_design();
+        d.prims[1].spec = PrimSpec::Fifo {
+            depth: 2,
+            ty: Type::vector(1 << 40, Type::vector(1 << 40, Type::Int(32))),
+        };
+        assert!(kinds(&d).contains(&"width-overflow"));
+        // A 65-bit scalar: wider than the modeled word.
+        let mut d = pipeline_design();
+        d.prims[0].spec = PrimSpec::Reg {
+            init: Value::Bits { width: 65, bits: 0 },
+        };
+        assert!(kinds(&d).contains(&"width-overflow"));
+    }
+
+    #[test]
+    fn validate_zero_capacity() {
+        let mut d = pipeline_design();
+        d.prims[1].spec = PrimSpec::Fifo {
+            depth: 0,
+            ty: Type::Int(8),
+        };
+        assert!(kinds(&d).contains(&"zero-capacity"));
+        let mut d = pipeline_design();
+        d.prims[0].spec = PrimSpec::RegFile {
+            size: 0,
+            ty: Type::Int(8),
+            init: vec![],
+        };
+        assert!(kinds(&d).contains(&"zero-capacity"));
+    }
+
+    #[test]
+    fn validate_bad_init() {
+        let mut d = pipeline_design();
+        d.prims[0].spec = PrimSpec::RegFile {
+            size: 2,
+            ty: Type::Int(8),
+            init: vec![Value::int(8, 0); 5],
+        };
+        assert_eq!(kinds(&d), vec!["bad-init"]);
+    }
+
+    #[test]
+    fn validate_conflicting_writes() {
+        // r._write(1) | r._write(2): both arms always fire.
+        let w = |v: i64| {
+            Action::Write(
+                Target::Prim(R0, PrimMethod::RegWrite),
+                Box::new(Expr::int(8, v)),
+            )
+        };
+        let mut d = pipeline_design();
+        d.rules[0].body = Action::Par(Box::new(w(1)), Box::new(w(2)));
+        assert_eq!(kinds(&d), vec!["conflicting-writes"]);
+        // enq | deq on the same FIFO touch opposite sides: fine.
+        let mut d = pipeline_design();
+        d.rules[0].body = Action::Par(
+            Box::new(enq(Q0, Expr::int(8, 1))),
+            Box::new(call(Q0, PrimMethod::Deq)),
+        );
+        assert_eq!(validate(&d), Ok(()));
+        // If-branch writes are not definite: no diagnostic (runtime may
+        // still raise DoubleWrite when both actually fire).
+        let mut d = pipeline_design();
+        d.rules[0].body = Action::Par(
+            Box::new(Action::If(
+                Box::new(Expr::Const(Value::Bool(true))),
+                Box::new(w(1)),
+                Box::new(Action::NoAction),
+            )),
+            Box::new(Action::If(
+                Box::new(Expr::Const(Value::Bool(false))),
+                Box::new(w(2)),
+                Box::new(Action::NoAction),
+            )),
+        );
+        assert_eq!(validate(&d), Ok(()));
+    }
+
+    #[test]
+    fn validate_degenerate_sync() {
+        let mut d = pipeline_design();
+        d.prims[1].spec = PrimSpec::Sync {
+            depth: 2,
+            ty: Type::Int(8),
+            from: "HW".into(),
+            to: "HW".into(),
+        };
+        assert!(kinds(&d).contains(&"degenerate-sync"));
+    }
+
+    #[test]
+    fn validate_domain_conflict() {
+        // One rule touching both sides of a synchronizer pins itself to
+        // two different domains at once.
+        let mut d = pipeline_design();
+        d.prims[1].spec = PrimSpec::Sync {
+            depth: 2,
+            ty: Type::Int(8),
+            from: "SW".into(),
+            to: "HW".into(),
+        };
+        d.rules[0].body = Action::Par(
+            Box::new(enq(Q0, Expr::int(8, 1))),
+            Box::new(call(Q0, PrimMethod::Deq)),
+        );
+        assert_eq!(kinds(&d), vec!["domain-conflict"]);
+    }
+
+    #[test]
+    fn validate_duplicate_path() {
+        let mut d = pipeline_design();
+        d.prims[2].path = Path::new("q0");
+        assert_eq!(kinds(&d), vec!["duplicate-path"]);
+    }
+
+    #[test]
+    fn checked_width_matches_simple_types() {
+        assert_eq!(checked_type_width(&Type::Bool), Some(1));
+        assert_eq!(checked_type_width(&Type::Int(32)), Some(32));
+        assert_eq!(
+            checked_type_width(&Type::vector(4, Type::Int(16))),
+            Some(64)
+        );
+        assert_eq!(checked_type_width(&Type::Int(65)), None);
+        assert_eq!(
+            checked_type_width(&Type::Struct(vec![
+                ("a".into(), Type::Bool),
+                ("b".into(), Type::Bits(7)),
+            ])),
+            Some(8)
+        );
     }
 }

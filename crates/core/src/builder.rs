@@ -189,6 +189,45 @@ impl ModuleBuilder {
     pub fn build(&self) -> ModuleDef {
         self.def.clone()
     }
+
+    /// Finishes the module definition, rejecting duplicate instance,
+    /// rule, or method names with a typed error instead of letting the
+    /// ambiguity surface later (elaboration resolves names by lookup,
+    /// so a duplicate silently shadows its twin).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::error::ElabError`] naming the first duplicate found.
+    pub fn try_build(&self) -> Result<ModuleDef, crate::error::ElabError> {
+        let dup = |what: &str, names: &mut std::collections::BTreeSet<String>, n: &str| {
+            if names.insert(n.to_string()) {
+                Ok(())
+            } else {
+                Err(crate::error::ElabError::new(format!(
+                    "module `{}`: duplicate {what} name `{n}`",
+                    self.def.name
+                )))
+            }
+        };
+        let mut insts = std::collections::BTreeSet::new();
+        for i in &self.def.insts {
+            dup("instance", &mut insts, &i.name)?;
+        }
+        let mut rules = std::collections::BTreeSet::new();
+        for r in &self.def.rules {
+            dup("rule", &mut rules, &r.name)?;
+        }
+        // Action and value methods share the call namespace: a call site
+        // `x.m(...)` cannot tell which one it resolves to.
+        let mut methods = std::collections::BTreeSet::new();
+        for m in &self.def.act_methods {
+            dup("method", &mut methods, &m.name)?;
+        }
+        for m in &self.def.val_methods {
+            dup("method", &mut methods, &m.name)?;
+        }
+        Ok(self.def.clone())
+    }
 }
 
 /// Free-function combinators for expressions and actions. Designed to be
@@ -465,6 +504,35 @@ mod tests {
         let mut r = SwRunner::new(&d, SwOptions::default());
         let fired = r.run_until_quiescent(100).unwrap();
         assert_eq!(fired, 3, "rule self-disables at 3");
+    }
+
+    #[test]
+    fn try_build_rejects_duplicates() {
+        let mut m = ModuleBuilder::new("Dup");
+        m.reg("r", Value::int(8, 0));
+        m.rule("tick", no_action());
+        assert!(m.try_build().is_ok());
+        m.rule("tick", no_action());
+        let e = m.try_build().unwrap_err();
+        assert!(e.message().contains("duplicate rule name `tick`"), "{e}");
+
+        let mut m = ModuleBuilder::new("Dup2");
+        m.reg("r", Value::int(8, 0));
+        m.fifo("r", 2, Type::Int(8));
+        assert!(m
+            .try_build()
+            .unwrap_err()
+            .message()
+            .contains("duplicate instance name `r`"));
+
+        let mut m = ModuleBuilder::new("Dup3");
+        m.act_method("m", &[], no_action());
+        m.val_method("m", &[], cint(8, 0));
+        assert!(m
+            .try_build()
+            .unwrap_err()
+            .message()
+            .contains("duplicate method name `m`"));
     }
 
     #[test]

@@ -144,7 +144,13 @@ pub fn infer_domains(design: &Design, default_domain: &str) -> Result<DomainMap,
     for (i, r) in design.rules.iter().enumerate() {
         let rw = RwSet::of_action(&r.body);
         for (pid, m) in rw.reads.iter().chain(rw.writes.iter()) {
-            let spec = &design.prims[pid.0].spec;
+            let Some(prim) = design.prims.get(pid.0) else {
+                return Err(DomainError::new(format!(
+                    "rule `{}` references unknown primitive #{} (design has {})",
+                    r.name, pid.0, np
+                )));
+            };
+            let spec = &prim.spec;
             let rule_name = r.name.clone();
             if spec.is_sync() {
                 if let Some(d) = sync_side(spec, *m) {
@@ -153,7 +159,7 @@ pub fn infer_domains(design: &Design, default_domain: &str) -> Result<DomainMap,
                     uf.pin(i, &d, &move || format!("rule `{rn}`"))?;
                 }
             } else {
-                let prim_path = design.prims[pid.0].path.clone();
+                let prim_path = prim.path.clone();
                 uf.union(i, nr + pid.0, &move || {
                     format!("rule `{rule_name}` (via primitive `{prim_path}`)")
                 })?;

@@ -118,6 +118,178 @@ impl std::error::Error for ExecError {}
 /// Convenience alias for execution results.
 pub type ExecResult<T> = Result<T, ExecError>;
 
+/// A static design-validation diagnostic produced by
+/// [`crate::analysis::validate`].
+///
+/// Validation runs on a flat, elaborated [`crate::design::Design`] and is
+/// the panic-free front door of the toolchain: any design that passes
+/// `validate` can be domain-inferred, partitioned, compiled, and executed
+/// without panicking (execution may still return [`ExecError`]s — e.g. a
+/// dynamic division by zero — but never aborts the process). Designs built
+/// by hand or by a fuzzer that *fail* validation get a typed diagnostic
+/// instead of an index-out-of-bounds panic deep in the pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A rule or method targets a [`crate::ast::PrimId`] that is not in
+    /// the design's primitive table.
+    UnknownPrim {
+        /// Rule or method the dangling reference appears in.
+        context: String,
+        /// The out-of-range primitive index.
+        id: usize,
+        /// Number of primitives in the design.
+        prim_count: usize,
+    },
+    /// A `Target::Named` survived to the flat design: the design was
+    /// never elaborated (or was corrupted after elaboration).
+    UnresolvedName {
+        /// Rule or method the unresolved call appears in.
+        context: String,
+        /// The instance path of the call.
+        path: String,
+        /// The method name of the call.
+        method: String,
+    },
+    /// A method call incompatible with the primitive's kind, position
+    /// (value vs. action), or arity.
+    BadMethod {
+        /// Rule or method the call appears in.
+        context: String,
+        /// Path of the primitive being called.
+        prim: String,
+        /// The offending method.
+        method: String,
+        /// Why the call is rejected.
+        reason: String,
+    },
+    /// A declared type's bit width overflows the checked bound (or a
+    /// scalar is wider than the 64-bit word the runtime models).
+    WidthOverflow {
+        /// Path of the primitive with the oversized type.
+        prim: String,
+        /// Details (the type and the bound it exceeds).
+        detail: String,
+    },
+    /// A FIFO or synchronizer with zero depth, or a register file with
+    /// zero cells (its guards could never be satisfied / every access
+    /// would be out of bounds).
+    ZeroCapacity {
+        /// Path of the degenerate primitive.
+        prim: String,
+        /// What is zero-sized ("fifo depth", "regfile size", ...).
+        what: String,
+    },
+    /// A register file whose initializer has more entries than cells.
+    BadInit {
+        /// Path of the primitive.
+        prim: String,
+        /// Details of the mismatch.
+        detail: String,
+    },
+    /// Two parallel arms of one rule definitely write the same primitive
+    /// port — the paper's DOUBLE WRITE ERROR, caught statically when it
+    /// is certain rather than data-dependent.
+    ConflictingWrites {
+        /// The rule containing the parallel double write.
+        rule: String,
+        /// Path of the doubly-written primitive.
+        prim: String,
+    },
+    /// A synchronizer whose `from` and `to` domains coincide: it is not a
+    /// cut point, so the channel graph it induces cannot be partitioned
+    /// (same-domain channels must be plain FIFOs).
+    DegenerateSync {
+        /// Path of the synchronizer.
+        prim: String,
+        /// The coinciding domain.
+        domain: String,
+    },
+    /// Domain inference failed (a rule spanning domains or state shared
+    /// across domains) — [`DomainError`] surfaced as a validation
+    /// diagnostic.
+    DomainConflict {
+        /// The underlying domain-inference message.
+        message: String,
+    },
+    /// Two primitives share one hierarchical path, making path-keyed
+    /// operations (cosim routing, fusion, checkpoints) ambiguous.
+    DuplicatePath {
+        /// The duplicated path.
+        path: String,
+    },
+}
+
+impl ValidateError {
+    /// A short stable name for the diagnostic kind (used by tests and
+    /// fuzz-failure triage).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ValidateError::UnknownPrim { .. } => "unknown-prim",
+            ValidateError::UnresolvedName { .. } => "unresolved-name",
+            ValidateError::BadMethod { .. } => "bad-method",
+            ValidateError::WidthOverflow { .. } => "width-overflow",
+            ValidateError::ZeroCapacity { .. } => "zero-capacity",
+            ValidateError::BadInit { .. } => "bad-init",
+            ValidateError::ConflictingWrites { .. } => "conflicting-writes",
+            ValidateError::DegenerateSync { .. } => "degenerate-sync",
+            ValidateError::DomainConflict { .. } => "domain-conflict",
+            ValidateError::DuplicatePath { .. } => "duplicate-path",
+        }
+    }
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownPrim {
+                context,
+                id,
+                prim_count,
+            } => write!(
+                f,
+                "{context}: references primitive #{id}, but the design has {prim_count}"
+            ),
+            ValidateError::UnresolvedName {
+                context,
+                path,
+                method,
+            } => write!(
+                f,
+                "{context}: unelaborated call `{path}.{method}` in a flat design"
+            ),
+            ValidateError::BadMethod {
+                context,
+                prim,
+                method,
+                reason,
+            } => write!(f, "{context}: `{prim}.{method}`: {reason}"),
+            ValidateError::WidthOverflow { prim, detail } => {
+                write!(f, "primitive `{prim}`: {detail}")
+            }
+            ValidateError::ZeroCapacity { prim, what } => {
+                write!(f, "primitive `{prim}`: zero {what}")
+            }
+            ValidateError::BadInit { prim, detail } => {
+                write!(f, "primitive `{prim}`: {detail}")
+            }
+            ValidateError::ConflictingWrites { rule, prim } => write!(
+                f,
+                "rule `{rule}`: parallel arms both write `{prim}` (definite double write)"
+            ),
+            ValidateError::DegenerateSync { prim, domain } => write!(
+                f,
+                "synchronizer `{prim}`: both endpoints in domain `{domain}` (use a FIFO)"
+            ),
+            ValidateError::DomainConflict { message } => write!(f, "{message}"),
+            ValidateError::DuplicatePath { path } => {
+                write!(f, "duplicate primitive path `{path}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

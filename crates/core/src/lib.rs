@@ -81,11 +81,12 @@ pub mod types;
 pub mod value;
 pub mod xform;
 
+pub use analysis::validate;
 pub use ast::{Action, Expr, Path, PrimId, PrimMethod, RuleDef, Target};
 pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 pub use design::Design;
 pub use elab::elaborate;
-pub use error::{DomainError, ElabError, ExecError, ExecResult};
+pub use error::{DomainError, ElabError, ExecError, ExecResult, ValidateError};
 pub use program::{ModuleDef, Program};
 pub use store::{Cost, ShadowPolicy, Store};
 pub use types::Type;

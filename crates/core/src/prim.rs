@@ -86,6 +86,19 @@ impl PrimSpec {
         matches!(self, PrimSpec::Sync { .. })
     }
 
+    /// A short name for error messages (mirrors [`PrimState::kind_name`],
+    /// but usable before any state is materialized).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PrimSpec::Reg { .. } => "Reg",
+            PrimSpec::Fifo { .. } => "Fifo",
+            PrimSpec::Sync { .. } => "Sync",
+            PrimSpec::RegFile { .. } => "RegFile",
+            PrimSpec::Source { .. } => "Source",
+            PrimSpec::Sink { .. } => "Sink",
+        }
+    }
+
     /// The explicit domain pin of this primitive, if any. Non-synchronizer
     /// primitives other than sources/sinks have their domain *inferred*
     /// from the rules that use them.

@@ -205,26 +205,89 @@ impl Store {
     ///
     /// Panics if `id` is not a `Source`.
     pub fn push_source(&mut self, id: PrimId, v: Value) {
-        self.mark_dirty(id);
-        match &mut self.states[id.0] {
-            PrimState::Source { queue } => queue.push_back(v),
-            other => panic!("push_source on {}", other.kind_name()),
+        self.try_push_source(id, v)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Non-panicking [`Store::push_source`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Type`] when `id` is out of range or not a `Source`.
+    pub fn try_push_source(&mut self, id: PrimId, v: Value) -> ExecResult<()> {
+        match self.states.get_mut(id.0) {
+            Some(PrimState::Source { queue }) => queue.push_back(v),
+            Some(other) => {
+                return Err(ExecError::Type(format!(
+                    "push_source on {}",
+                    other.kind_name()
+                )));
+            }
+            None => {
+                return Err(ExecError::Type(format!(
+                    "push_source on unknown primitive #{}",
+                    id.0
+                )));
+            }
         }
+        self.mark_dirty(id);
+        Ok(())
     }
 
     /// Number of values still pending in a `Source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a `Source`.
     pub fn source_pending(&self, id: PrimId) -> usize {
-        match &self.states[id.0] {
-            PrimState::Source { queue } => queue.len(),
-            other => panic!("source_pending on {}", other.kind_name()),
+        self.try_source_pending(id)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Store::source_pending`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Type`] when `id` is out of range or not a `Source`.
+    pub fn try_source_pending(&self, id: PrimId) -> ExecResult<usize> {
+        match self.states.get(id.0) {
+            Some(PrimState::Source { queue }) => Ok(queue.len()),
+            Some(other) => Err(ExecError::Type(format!(
+                "source_pending on {}",
+                other.kind_name()
+            ))),
+            None => Err(ExecError::Type(format!(
+                "source_pending on unknown primitive #{}",
+                id.0
+            ))),
         }
     }
 
     /// The values a `Sink` has consumed so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a `Sink`.
     pub fn sink_values(&self, id: PrimId) -> &[Value] {
-        match &self.states[id.0] {
-            PrimState::Sink { consumed } => consumed,
-            other => panic!("sink_values on {}", other.kind_name()),
+        self.try_sink_values(id).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`Store::sink_values`].
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::Type`] when `id` is out of range or not a `Sink`.
+    pub fn try_sink_values(&self, id: PrimId) -> ExecResult<&[Value]> {
+        match self.states.get(id.0) {
+            Some(PrimState::Sink { consumed }) => Ok(consumed),
+            Some(other) => Err(ExecError::Type(format!(
+                "sink_values on {}",
+                other.kind_name()
+            ))),
+            None => Err(ExecError::Type(format!(
+                "sink_values on unknown primitive #{}",
+                id.0
+            ))),
         }
     }
 

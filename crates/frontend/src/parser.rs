@@ -67,7 +67,11 @@ type PResult<T> = Result<T, ParseError>;
 /// errors in initializers.
 pub fn parse(src: &str) -> PResult<Program> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
     let mut program = Program::default();
     while !p.at_eof() {
         let m = p.module()?;
@@ -85,9 +89,27 @@ pub fn parse(src: &str) -> PResult<Program> {
     Ok(program)
 }
 
+/// Maximum nesting depth of expressions, actions, and types. Recursive
+/// descent uses the host stack, so without a bound a few kilobytes of
+/// `((((...` or `!!!!...` would overflow it. Each guarded level can pin
+/// a dozen-plus debug-mode frames (a parenthesized expression descends
+/// the whole precedence ladder), so the bound must keep the worst-case
+/// chain inside a 2 MiB thread stack — the Rust test-runner default —
+/// not just the 8 MiB main thread. 64 is still several times deeper
+/// than anything a human (or our pretty-printer) produces.
+const MAX_NEST: usize = 64;
+
+/// Maximum FIFO/synchronizer depth, register-file size, and vector
+/// length accepted by the parser (matches
+/// [`bcl_core::analysis::MAX_CAPACITY`]). Beyond this, a single
+/// declaration could demand unbounded allocation before any semantic
+/// check runs.
+const MAX_SIZE: usize = bcl_core::analysis::MAX_CAPACITY;
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    depth: usize,
 }
 
 impl Parser {
@@ -174,6 +196,53 @@ impl Parser {
         }
     }
 
+    /// A size literal (FIFO depth, register-file size, vector length):
+    /// a non-negative integer no larger than [`MAX_SIZE`]. The raw
+    /// `int_lit as usize` cast it replaces turned `-1` into 2^64-1,
+    /// which downstream state allocation would faithfully attempt.
+    fn size_lit(&mut self, what: &str) -> PResult<usize> {
+        let n = self.int_lit()?;
+        if n < 0 || n as usize > MAX_SIZE {
+            return self.err(format!("{what} must be between 0 and {MAX_SIZE}, got {n}"));
+        }
+        Ok(n as usize)
+    }
+
+    /// A scalar bit width: 1..=64 (the runtime models values in a
+    /// 64-bit word).
+    fn width_lit(&mut self) -> PResult<u32> {
+        let w = self.int_lit()?;
+        if !(1..=64).contains(&w) {
+            return self.err(format!("scalar width must be between 1 and 64, got {w}"));
+        }
+        Ok(w as u32)
+    }
+
+    /// Parses a type and rejects it when its total marshaled width
+    /// exceeds [`bcl_core::analysis::MAX_TYPE_WIDTH`] — used at every
+    /// site that materializes storage for the type (declarations and
+    /// `zero(...)`), where an oversized type means an oversized
+    /// allocation.
+    fn sized_ty(&mut self) -> PResult<Type> {
+        let t = self.ty()?;
+        match bcl_core::analysis::checked_type_width(&t) {
+            Some(w) if w <= bcl_core::analysis::MAX_TYPE_WIDTH => Ok(t),
+            _ => self.err(format!(
+                "type `{t}` is too wide (limit {} bits)",
+                bcl_core::analysis::MAX_TYPE_WIDTH
+            )),
+        }
+    }
+
+    /// Bumps the nesting depth, failing at [`MAX_NEST`].
+    fn enter(&mut self) -> PResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_NEST {
+            return self.err(format!("nesting deeper than {MAX_NEST} levels"));
+        }
+        Ok(())
+    }
+
     // ---- modules ------------------------------------------------------
 
     fn module(&mut self) -> PResult<ModuleDef> {
@@ -221,10 +290,14 @@ impl Parser {
                     self.bump();
                     let name = self.ident()?;
                     self.expect(Tok::LBracket)?;
-                    let depth = self.int_lit()? as usize;
+                    let depth = self.size_lit(if k == "fifo" {
+                        "fifo depth"
+                    } else {
+                        "regfile size"
+                    })?;
                     self.expect(Tok::RBracket)?;
                     self.expect(Tok::Colon)?;
-                    let ty = self.ty()?;
+                    let ty = self.sized_ty()?;
                     self.expect(Tok::Semi)?;
                     ctx.prims.insert(name.clone());
                     let spec = if k == "fifo" {
@@ -246,10 +319,10 @@ impl Parser {
                     self.bump();
                     let name = self.ident()?;
                     self.expect(Tok::LBracket)?;
-                    let depth = self.int_lit()? as usize;
+                    let depth = self.size_lit("sync depth")?;
                     self.expect(Tok::RBracket)?;
                     self.expect(Tok::Colon)?;
-                    let ty = self.ty()?;
+                    let ty = self.sized_ty()?;
                     self.kw("from")?;
                     let from = self.ident()?;
                     self.kw("to")?;
@@ -271,7 +344,7 @@ impl Parser {
                     self.bump();
                     let name = self.ident()?;
                     self.expect(Tok::Colon)?;
-                    let ty = self.ty()?;
+                    let ty = self.sized_ty()?;
                     self.expect(Tok::At)?;
                     let domain = self.ident()?;
                     self.expect(Tok::Semi)?;
@@ -362,6 +435,13 @@ impl Parser {
     // ---- types ----------------------------------------------------------
 
     fn ty(&mut self) -> PResult<Type> {
+        self.enter()?;
+        let r = self.ty_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn ty_inner(&mut self) -> PResult<Type> {
         let name = self.ident()?;
         match name.as_str() {
             "Bool" => Ok(Type::Bool),
@@ -369,7 +449,7 @@ impl Parser {
             "Int" | "Bit" => {
                 self.expect(Tok::Hash)?;
                 self.expect(Tok::LParen)?;
-                let w = self.int_lit()? as u32;
+                let w = self.width_lit()?;
                 self.expect(Tok::RParen)?;
                 Ok(if name == "Int" {
                     Type::Int(w)
@@ -380,7 +460,7 @@ impl Parser {
             "Vector" => {
                 self.expect(Tok::Hash)?;
                 self.expect(Tok::LParen)?;
-                let n = self.int_lit()? as usize;
+                let n = self.size_lit("vector length")?;
                 self.expect(Tok::Comma)?;
                 let t = self.ty()?;
                 self.expect(Tok::RParen)?;
@@ -408,6 +488,13 @@ impl Parser {
     // ---- actions ----------------------------------------------------------
 
     fn action(&mut self, ctx: &Ctx) -> PResult<Action> {
+        self.enter()?;
+        let r = self.action_inner(ctx);
+        self.depth -= 1;
+        r
+    }
+
+    fn action_inner(&mut self, ctx: &Ctx) -> PResult<Action> {
         match self.peek().clone() {
             Tok::Ident(k) if k == "when" => {
                 self.bump();
@@ -536,6 +623,13 @@ impl Parser {
     // ---- expressions ----------------------------------------------------
 
     fn expr(&mut self, ctx: &Ctx) -> PResult<Expr> {
+        self.enter()?;
+        let r = self.expr_inner(ctx);
+        self.depth -= 1;
+        r
+    }
+
+    fn expr_inner(&mut self, ctx: &Ctx) -> PResult<Expr> {
         let e = self.ternary(ctx)?;
         if self.at_kw("when") {
             self.bump();
@@ -655,6 +749,15 @@ impl Parser {
     }
 
     fn unary_expr(&mut self, ctx: &Ctx) -> PResult<Expr> {
+        // `!!!!x` recurses without passing through `expr`, so it needs
+        // its own depth guard.
+        self.enter()?;
+        let r = self.unary_inner(ctx);
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self, ctx: &Ctx) -> PResult<Expr> {
         match self.peek() {
             Tok::Bang => {
                 self.bump();
@@ -755,7 +858,9 @@ impl Parser {
             Tok::Ident(k) if k == "zero" => {
                 self.bump();
                 self.expect(Tok::LParen)?;
-                let t = self.ty()?;
+                // `zero(t)` materializes a value of `t` right here, so
+                // the width cap applies like at a declaration site.
+                let t = self.sized_ty()?;
                 self.expect(Tok::RParen)?;
                 Ok(Expr::Const(Value::zero(&t)))
             }

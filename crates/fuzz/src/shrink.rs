@@ -1,0 +1,206 @@
+//! Spec-level minimization of failing cases.
+//!
+//! The vendored proptest stand-in does not shrink, so the harness does
+//! it at the [`DesignSpec`]/[`FaultPlan`] level instead, which produces
+//! far more readable minima than byte-level shrinking would anyway: a
+//! failing case collapses to the fewest stages, smallest item stream,
+//! and quietest fault plan that still reproduces the failure.
+//!
+//! The algorithm is a greedy fixpoint loop: each round proposes a fixed
+//! list of simplifications (drop the diamond, drop the submodule wrap,
+//! drop the last stage, neutralize a transform, move a stage to
+//! software, halve the item stream, clear the partition fault, zero the
+//! link fault rates, route via the hub) and keeps any candidate on
+//! which the predicate still fails. When a full round keeps nothing,
+//! the case is minimal with respect to these moves.
+
+use crate::gen::{DesignSpec, FaultPlan, StageSpec, Transform};
+
+/// One shrinking candidate: a simplified `(spec, plan)` pair, or `None`
+/// when the move does not apply.
+type Candidate = Option<(DesignSpec, FaultPlan)>;
+
+fn candidates(spec: &DesignSpec, plan: &FaultPlan) -> Vec<Candidate> {
+    let mut out: Vec<Candidate> = Vec::new();
+    let keep = |s: DesignSpec, p: FaultPlan| Some((s, p));
+
+    // Structural moves on the design.
+    if spec.diamond.is_some() {
+        let mut s = spec.clone();
+        s.diamond = None;
+        out.push(keep(s, plan.clone()));
+    }
+    if spec.wrap_stage.is_some() {
+        let mut s = spec.clone();
+        s.wrap_stage = None;
+        out.push(keep(s, plan.clone()));
+    }
+    if spec.stages.len() > 1 {
+        for i in 0..spec.stages.len() {
+            let mut s = spec.clone();
+            s.stages.remove(i);
+            // Stage indices shifted; drop the wrap rather than track it
+            // (a separate candidate removes the wrap anyway).
+            s.wrap_stage = None;
+            out.push(keep(s, plan.clone()));
+        }
+    }
+    for (i, st) in spec.stages.iter().enumerate() {
+        if st.transform != Transform::AddConst(0) {
+            let mut s = spec.clone();
+            s.stages[i] = StageSpec {
+                domain: st.domain,
+                transform: Transform::AddConst(0),
+            };
+            out.push(keep(s, plan.clone()));
+        }
+        if st.domain != 0 {
+            let mut s = spec.clone();
+            s.stages[i].domain = 0;
+            out.push(keep(s, plan.clone()));
+        }
+    }
+    if spec.items.len() > 1 {
+        let mut s = spec.clone();
+        s.items.truncate(spec.items.len() / 2);
+        out.push(keep(s, plan.clone()));
+    }
+    if spec.width != 8 {
+        let mut s = spec.clone();
+        s.width = 8;
+        out.push(keep(s, plan.clone()));
+    }
+    if spec.depth != 1 {
+        let mut s = spec.clone();
+        s.depth = 1;
+        out.push(keep(s, plan.clone()));
+    }
+
+    // Quieting moves on the fault plan.
+    if plan.partition.is_some() {
+        let mut p = plan.clone();
+        p.partition = None;
+        out.push(keep(spec.clone(), p));
+    }
+    if plan.drop + plan.corrupt + plan.dup + plan.reorder > 0 {
+        let mut p = plan.clone();
+        p.drop = 0;
+        p.corrupt = 0;
+        p.dup = 0;
+        p.reorder = 0;
+        out.push(keep(spec.clone(), p));
+    }
+    if plan.fabric {
+        let mut p = plan.clone();
+        p.fabric = false;
+        out.push(keep(spec.clone(), p));
+    }
+
+    out
+}
+
+/// Greedily minimizes a failing `(spec, plan)` pair under `fails` (the
+/// predicate must return `true` on the input pair, i.e. "still
+/// reproduces"). Returns the smallest pair found.
+pub fn shrink_case(
+    spec: &DesignSpec,
+    plan: &FaultPlan,
+    fails: impl Fn(&DesignSpec, &FaultPlan) -> bool,
+) -> (DesignSpec, FaultPlan) {
+    let mut cur = (spec.clone(), plan.clone());
+    loop {
+        let mut progressed = false;
+        for cand in candidates(&cur.0, &cur.1).into_iter().flatten() {
+            if fails(&cand.0, &cand.1) {
+                cur = cand;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_spec() -> DesignSpec {
+        DesignSpec {
+            width: 32,
+            depth: 3,
+            stages: vec![
+                StageSpec {
+                    domain: 1,
+                    transform: Transform::MulConst(3),
+                },
+                StageSpec {
+                    domain: 2,
+                    transform: Transform::XorConst(5),
+                },
+                StageSpec {
+                    domain: 3,
+                    transform: Transform::AccAdd(2),
+                },
+            ],
+            diamond: Some(1),
+            wrap_stage: Some(0),
+            items: vec![1, 2, 3, 4, 5, 6, 7, 8],
+        }
+    }
+
+    #[test]
+    fn shrinks_to_minimal_reproducer() {
+        // Synthetic failure: "any spec with an AccAdd stage fails".
+        let plan = FaultPlan {
+            seed: 1,
+            drop: 30,
+            corrupt: 5,
+            dup: 5,
+            reorder: 5,
+            fabric: true,
+            partition: None,
+        };
+        let has_acc = |s: &DesignSpec, _: &FaultPlan| {
+            s.stages
+                .iter()
+                .any(|st| matches!(st.transform, Transform::AccAdd(_)))
+        };
+        let spec = big_spec();
+        assert!(has_acc(&spec, &plan));
+        let (min_s, min_p) = shrink_case(&spec, &plan, has_acc);
+        // The failing ingredient survives; everything else is gone.
+        assert!(has_acc(&min_s, &min_p));
+        assert_eq!(min_s.stages.len(), 1);
+        assert_eq!(min_s.diamond, None);
+        assert_eq!(min_s.wrap_stage, None);
+        assert_eq!(min_s.items.len(), 1);
+        assert_eq!(min_s.width, 8);
+        assert_eq!(min_s.depth, 1);
+        assert!(min_p.is_fault_free());
+        assert!(!min_p.fabric);
+        assert_eq!(min_s.stages[0].domain, 0);
+    }
+
+    #[test]
+    fn shrink_is_identity_when_nothing_simpler_fails() {
+        let spec = DesignSpec {
+            width: 8,
+            depth: 1,
+            stages: vec![StageSpec {
+                domain: 0,
+                transform: Transform::AddConst(0),
+            }],
+            diamond: None,
+            wrap_stage: None,
+            items: vec![0],
+        };
+        let plan = FaultPlan::quiet();
+        let exact = |s: &DesignSpec, p: &FaultPlan| s == &spec && p == &plan;
+        let (min_s, min_p) = shrink_case(&spec, &plan, exact);
+        assert_eq!(min_s, spec);
+        assert_eq!(min_p, plan);
+    }
+}

@@ -1,0 +1,212 @@
+//! Frontend robustness: arbitrary byte strings and token soups must be
+//! *rejected*, never crash the lexer, parser, typechecker, elaborator,
+//! or validator; and the pretty-printer must round-trip every generated
+//! program (ISSUE 7 satellites b).
+
+use bcl_core::elaborate;
+use bcl_frontend::{parser, pretty, typecheck};
+use bcl_fuzz::arb_design;
+use bcl_fuzz::gen::build_program;
+use proptest::prelude::*;
+
+/// Runs a source string through every static stage; any stage may
+/// reject it, none may panic.
+fn front_door(src: &str) {
+    let Ok(program) = parser::parse(src) else {
+        return;
+    };
+    if typecheck::typecheck(&program).is_err() {
+        return;
+    }
+    let Ok(design) = elaborate(&program) else {
+        return;
+    };
+    let _ = bcl_core::analysis::validate(&design);
+}
+
+// ---- random inputs ------------------------------------------------------
+
+/// A vocabulary of real tokens: soups of these reach much deeper into
+/// the parser than raw bytes do.
+const VOCAB: &[&str] = &[
+    "module",
+    "rule",
+    "let",
+    "in",
+    "when",
+    "if",
+    "then",
+    "else",
+    "loop",
+    "localGuard",
+    "method",
+    "action",
+    "value",
+    "inst",
+    "reg",
+    "fifo",
+    "regfile",
+    "sync",
+    "source",
+    "sink",
+    "from",
+    "to",
+    "zero",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    ":",
+    ";",
+    "|",
+    ",",
+    ".",
+    ":=",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "^",
+    "!",
+    "?",
+    "@",
+    "first",
+    "enq",
+    "deq",
+    "notEmpty",
+    "notFull",
+    "sub",
+    "upd",
+    "clear",
+    "x",
+    "y",
+    "q",
+    "r",
+    "Top",
+    "Int#(8)",
+    "Int#(32)",
+    "Bit#(4)",
+    "Bool",
+    "Vector#(2, Bool)",
+    "0",
+    "1",
+    "255i8",
+    "-3i16",
+    "true",
+    "false",
+    "0x10",
+    "9999999999999999999999",
+    "Int#(",
+    "#",
+    "\"",
+    "\\",
+];
+
+fn token_soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..VOCAB.len(), 0..200)
+        .prop_map(|idxs| idxs.iter().map(|&i| VOCAB[i]).collect::<Vec<_>>().join(" "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arbitrary bytes (lossily decoded) never panic any stage.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        front_door(&String::from_utf8_lossy(&bytes));
+    }
+
+    /// Arbitrary sequences of real tokens never panic any stage.
+    #[test]
+    fn token_soup_never_panics(src in token_soup()) {
+        front_door(&src);
+    }
+
+    /// Pretty-printing a generated program and re-parsing it yields the
+    /// same elaborated design, bit for bit.
+    #[test]
+    fn pretty_parse_roundtrip(spec in arb_design()) {
+        let program = build_program(&spec);
+        let text = pretty::pretty_program(&program);
+        let reparsed = parser::parse(&text)
+            .map_err(|e| format!("reparse failed: {e}\n{text}"))
+            .unwrap();
+        typecheck::typecheck(&reparsed)
+            .map_err(|e| format!("reparsed program fails typecheck: {e}\n{text}"))
+            .unwrap();
+        let d1 = elaborate(&program).expect("original elaborates");
+        let d2 = elaborate(&reparsed)
+            .map_err(|e| format!("reparsed program fails elaboration: {e}\n{text}"))
+            .unwrap();
+        prop_assert_eq!(d1, d2, "round trip changed the design:\n{}", text);
+    }
+}
+
+// ---- deterministic hostile inputs --------------------------------------
+
+#[test]
+fn deep_paren_nesting_is_rejected_not_overflowed() {
+    let mut src = String::from("module T { reg r = ");
+    src.push_str(&"(".repeat(100_000));
+    src.push('0');
+    src.push_str(&")".repeat(100_000));
+    src.push_str("; }");
+    assert!(parser::parse(&src).is_err());
+}
+
+#[test]
+fn deep_unary_nesting_is_rejected_not_overflowed() {
+    let mut src = String::from("module T { reg r = ");
+    src.push_str(&"!".repeat(100_000));
+    src.push_str("true; }");
+    assert!(parser::parse(&src).is_err());
+}
+
+#[test]
+fn deep_action_nesting_is_rejected_not_overflowed() {
+    let mut src = String::from("module T { reg r = 0; rule go: ");
+    src.push_str(&"when (true) ".repeat(100_000));
+    src.push_str("r := 1");
+    src.push_str(" }");
+    assert!(parser::parse(&src).is_err());
+}
+
+#[test]
+fn negative_and_huge_sizes_are_rejected() {
+    for bad in [
+        "module T { fifo q[-1] : Int#(8); }",
+        "module T { regfile f[99999999999] : Int#(8); }",
+        "module T { sync s[-2] : Int#(8) from SW to HW; }",
+        "module T { reg v = zero(Vector#(4000000000, Int#(32))); }",
+        "module T { fifo q[2] : Vector#(65535, Vector#(65535, Int#(64))); }",
+        "module T { source s : Int#(65) @ SW; }",
+        "module T { source s : Int#(0) @ SW; }",
+    ] {
+        assert!(parser::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn unterminated_constructs_are_rejected() {
+    for bad in [
+        "module",
+        "module T {",
+        "module T { rule go: { r := 1 ",
+        "module T { reg r = (1 + ",
+        "rule orphan: r := 1",
+        "module T { method value f( = 1; }",
+    ] {
+        assert!(parser::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
