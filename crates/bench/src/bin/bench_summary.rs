@@ -1,23 +1,32 @@
-//! Wall-clock comparison of the event-driven scheduler (compiled guards,
-//! verdict caching, dirty-set invalidation) against the naive reference
-//! mode (per-cycle AST interpretation of every guard), over the Figure 13
-//! quick benchmarks. Emits a machine-readable JSON summary.
+//! Wall-clock comparison of three software scheduler configurations
+//! over the Figure 13 quick benchmarks:
+//!
+//! * **naive** — per-cycle AST interpretation of every guard;
+//! * **event** — event-driven scheduler (compiled guards, verdict
+//!   caching, dirty-set invalidation) on the pointer-tree store;
+//! * **flat** — the same event-driven scheduler on the bit-packed
+//!   arena store (slot-indexed flat values, pointer-free guard reads).
+//!
+//! Emits a machine-readable JSON summary.
 //!
 //! ```text
-//! bench_summary [output.json]    # default: BENCH_pr4.json
+//! bench_summary [output.json]    # default: BENCH_pr8.json
 //! ```
 //!
-//! Cycle counts are asserted identical between the two modes for every
-//! partition — the speedup is pure simulator wall-clock, not a change in
-//! what is simulated.
+//! Cycle counts and outputs are asserted identical across all three
+//! modes for every partition — the speedups are pure simulator
+//! wall-clock, not a change in what is simulated.
 
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
 use bcl_raytrace::partitions::{
-    run_partition as run_rt, run_partition_naive as run_rt_naive, RtPartition,
+    run_partition as run_rt, run_partition_flat as run_rt_flat,
+    run_partition_naive as run_rt_naive, RtPartition,
 };
 use bcl_vorbis::frames::frame_stream;
-use bcl_vorbis::partitions::{run_partition, run_partition_naive, VorbisPartition};
+use bcl_vorbis::partitions::{
+    run_partition, run_partition_flat, run_partition_naive, VorbisPartition,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -29,6 +38,7 @@ struct Entry {
     fpga_cycles: u64,
     naive_ns: u128,
     event_ns: u128,
+    flat_ns: u128,
     guard_evals: u64,
     guard_evals_skipped: u64,
 }
@@ -36,6 +46,12 @@ struct Entry {
 impl Entry {
     fn speedup(&self) -> f64 {
         self.naive_ns as f64 / self.event_ns.max(1) as f64
+    }
+
+    /// Arena store vs tree store, same (event-driven) scheduler: the
+    /// pure representation win.
+    fn flat_speedup(&self) -> f64 {
+        self.event_ns as f64 / self.flat_ns.max(1) as f64
     }
 }
 
@@ -55,26 +71,35 @@ fn time_best<T>(mut f: impl FnMut() -> T) -> (u128, T) {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr4.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     let frames = frame_stream(8, 1);
     for p in VorbisPartition::ALL {
         let (naive_ns, base) = time_best(|| run_partition_naive(p, &frames).unwrap());
         let (event_ns, run) = time_best(|| run_partition(p, &frames).unwrap());
-        assert_eq!(
-            run.fpga_cycles,
-            base.fpga_cycles,
-            "vorbis {}: cycle counts diverged between modes",
-            p.label()
-        );
-        assert_eq!(run.pcm, base.pcm, "vorbis {}: PCM diverged", p.label());
+        let (flat_ns, flat) = time_best(|| run_partition_flat(p, &frames).unwrap());
+        for (mode, other) in [("naive", &base), ("flat", &flat)] {
+            assert_eq!(
+                run.fpga_cycles,
+                other.fpga_cycles,
+                "vorbis {}: cycle counts diverged between event and {mode}",
+                p.label()
+            );
+            assert_eq!(
+                run.pcm,
+                other.pcm,
+                "vorbis {}: PCM diverged between event and {mode}",
+                p.label()
+            );
+        }
         entries.push(Entry {
             bench: "fig13_vorbis",
             partition: p.label().to_string(),
             fpga_cycles: run.fpga_cycles,
             naive_ns,
             event_ns,
+            flat_ns,
             guard_evals: run.guard_evals,
             guard_evals_skipped: run.guard_evals_skipped,
         });
@@ -84,24 +109,28 @@ fn main() {
     for p in RtPartition::ALL {
         let (naive_ns, base) = time_best(|| run_rt_naive(p, &bvh, 4, 4).unwrap());
         let (event_ns, run) = time_best(|| run_rt(p, &bvh, 4, 4).unwrap());
-        assert_eq!(
-            run.fpga_cycles,
-            base.fpga_cycles,
-            "raytrace {}: cycle counts diverged between modes",
-            p.label()
-        );
-        assert_eq!(
-            run.image,
-            base.image,
-            "raytrace {}: image diverged",
-            p.label()
-        );
+        let (flat_ns, flat) = time_best(|| run_rt_flat(p, &bvh, 4, 4).unwrap());
+        for (mode, other) in [("naive", &base), ("flat", &flat)] {
+            assert_eq!(
+                run.fpga_cycles,
+                other.fpga_cycles,
+                "raytrace {}: cycle counts diverged between event and {mode}",
+                p.label()
+            );
+            assert_eq!(
+                run.image,
+                other.image,
+                "raytrace {}: image diverged between event and {mode}",
+                p.label()
+            );
+        }
         entries.push(Entry {
             bench: "fig13_raytrace",
             partition: p.label().to_string(),
             fpga_cycles: run.fpga_cycles,
             naive_ns,
             event_ns,
+            flat_ns,
             guard_evals: run.guard_evals,
             guard_evals_skipped: run.guard_evals_skipped,
         });
@@ -109,42 +138,64 @@ fn main() {
 
     let total_naive: u128 = entries.iter().map(|e| e.naive_ns).sum();
     let total_event: u128 = entries.iter().map(|e| e.event_ns).sum();
+    let total_flat: u128 = entries.iter().map(|e| e.flat_ns).sum();
     let overall = total_naive as f64 / total_event.max(1) as f64;
+    let overall_flat = total_event as f64 / total_flat.max(1) as f64;
+    let overall_flat_vs_naive = total_naive as f64 / total_flat.max(1) as f64;
 
     println!(
-        "{:<16} {:<4} {:>12} {:>12} {:>8} {:>12} {:>12}",
-        "bench", "part", "naive_ms", "event_ms", "speedup", "guard_evals", "skipped"
+        "{:<16} {:<4} {:>12} {:>12} {:>12} {:>8} {:>9} {:>12} {:>12}",
+        "bench",
+        "part",
+        "naive_ms",
+        "event_ms",
+        "flat_ms",
+        "speedup",
+        "flat_gain",
+        "guard_evals",
+        "skipped"
     );
     for e in &entries {
         println!(
-            "{:<16} {:<4} {:>12.3} {:>12.3} {:>7.2}x {:>12} {:>12}",
+            "{:<16} {:<4} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x {:>8.2}x {:>12} {:>12}",
             e.bench,
             e.partition,
             e.naive_ns as f64 / 1e6,
             e.event_ns as f64 / 1e6,
+            e.flat_ns as f64 / 1e6,
             e.speedup(),
+            e.flat_speedup(),
             e.guard_evals,
             e.guard_evals_skipped
         );
     }
-    println!("overall speedup: {overall:.2}x");
+    println!("overall event-vs-naive speedup: {overall:.2}x");
+    println!("overall flat-vs-event speedup:  {overall_flat:.2}x");
+    println!("overall flat-vs-naive speedup:  {overall_flat_vs_naive:.2}x");
 
-    let mut json = String::from("{\n  \"benchmark\": \"event_driven_vs_naive\",\n");
+    let mut json = String::from("{\n  \"benchmark\": \"naive_vs_event_vs_flat\",\n");
     let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"overall_speedup\": {overall:.4},");
+    let _ = writeln!(json, "  \"overall_flat_speedup\": {overall_flat:.4},");
+    let _ = writeln!(
+        json,
+        "  \"overall_flat_vs_naive_speedup\": {overall_flat_vs_naive:.4},"
+    );
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"bench\": \"{}\", \"partition\": \"{}\", \"fpga_cycles\": {}, \
-             \"naive_ns\": {}, \"event_ns\": {}, \"speedup\": {:.4}, \
-             \"guard_evals\": {}, \"guard_evals_skipped\": {}}}",
+             \"naive_ns\": {}, \"event_ns\": {}, \"flat_ns\": {}, \"speedup\": {:.4}, \
+             \"flat_speedup\": {:.4}, \"guard_evals\": {}, \"guard_evals_skipped\": {}}}",
             e.bench,
             e.partition,
             e.fpga_cycles,
             e.naive_ns,
             e.event_ns,
+            e.flat_ns,
             e.speedup(),
+            e.flat_speedup(),
             e.guard_evals,
             e.guard_evals_skipped
         );

@@ -502,7 +502,7 @@ pub struct GuardPort<'a> {
 impl PrimPort for GuardPort<'_> {
     fn call_value(&mut self, id: PrimId, m: PrimMethod, args: &[Value]) -> ExecResult<Value> {
         self.cost.reads += 1;
-        self.store.state(id).call_value(m, args)
+        self.store.call_value_at(id, m, args)
     }
     fn call_action(&mut self, _: PrimId, m: PrimMethod, _: &[Value]) -> ExecResult<()> {
         Err(ExecError::Malformed(format!(

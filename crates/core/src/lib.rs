@@ -72,6 +72,7 @@ pub mod domain;
 pub mod elab;
 pub mod error;
 pub mod exec;
+mod flat;
 pub mod partition;
 pub mod prim;
 pub mod program;

@@ -355,7 +355,7 @@ impl HwSim {
     /// reset does. The cycle counter and cumulative statistics are kept:
     /// they model the observer's clock, not the partition's state.
     pub fn reset_state(&mut self, design: &Design) {
-        self.store = Store::new(design);
+        self.store = Store::new_like(design, self.store.is_flat());
         self.verdicts.fill(None);
     }
 

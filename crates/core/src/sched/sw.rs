@@ -56,6 +56,11 @@ pub struct SwOptions {
     /// evaluation path, and hence its cost, could not have differed); only
     /// wall-clock time improves. `false` is the naive reference mode.
     pub event_driven: bool,
+    /// Back the runner's store with the bit-packed arena representation
+    /// ([`Store::new_flat`]) instead of the tree-of-`Value` reference
+    /// store. Semantics, metered costs, and error texts are identical —
+    /// the fuzz farm proves it — only wall-clock time changes.
+    pub flat: bool,
 }
 
 impl Default for SwOptions {
@@ -66,6 +71,7 @@ impl Default for SwOptions {
             strategy: Strategy::default(),
             model: CostModel::default(),
             event_driven: true,
+            flat: false,
         }
     }
 }
@@ -180,7 +186,7 @@ pub struct SwRunner {
 impl SwRunner {
     /// Creates a runner for a design with a fresh store.
     pub fn new(design: &Design, opts: SwOptions) -> SwRunner {
-        SwRunner::with_store(design, Store::new(design), opts)
+        SwRunner::with_store(design, Store::new_like(design, opts.flat), opts)
     }
 
     /// Creates a runner with a pre-populated store (e.g. preloaded sources).
@@ -539,6 +545,35 @@ mod tests {
         for strat in [Strategy::RoundRobin, Strategy::Priority, Strategy::Dataflow] {
             let (_, out) = run_all(strat, CompileOpts::default());
             assert_eq!(out, vec![0, 2, 4, 6, 8], "{strat:?}");
+        }
+    }
+
+    #[test]
+    fn flat_store_is_cycle_identical() {
+        for event_driven in [false, true] {
+            let mut runs = Vec::new();
+            for flat in [false, true] {
+                let d = pipeline();
+                let mut store = Store::new_like(&d, flat);
+                for i in 0..5 {
+                    store.push_source(PrimId(0), Value::int(32, i));
+                }
+                let opts = SwOptions {
+                    event_driven,
+                    flat,
+                    ..Default::default()
+                };
+                let mut r = SwRunner::with_store(&d, store, opts);
+                r.run_until_quiescent(1000).unwrap();
+                let out: Vec<i64> = r
+                    .store
+                    .sink_values(PrimId(2))
+                    .iter()
+                    .map(|v| v.as_int().unwrap())
+                    .collect();
+                runs.push((out, r.report()));
+            }
+            assert_eq!(runs[0], runs[1], "event_driven={event_driven}");
         }
     }
 

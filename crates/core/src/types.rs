@@ -87,6 +87,119 @@ impl Type {
     }
 }
 
+/// Compiled bit-level layout of a [`Type`] — the arena-store counterpart
+/// of the wire format. Every leaf's bit offset is fixed when the layout is
+/// compiled, so flat reads and writes are pointer-free integer operations
+/// over bit-packed 64-bit words (ROADMAP "Arena-flatten the store").
+///
+/// The packing is dense and LSB-first, bit-for-bit identical to the
+/// transactor wire marshaling of [`crate::value::Value::to_words`]: a value
+/// occupies exactly `width` bits, vector element `i` starts `i * stride`
+/// bits in, and struct fields follow declaration order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Total bit width; equals [`Type::width`] of the compiled type.
+    pub width: u32,
+    /// Shape-specific layout.
+    pub kind: LayoutKind,
+}
+
+/// Shape of a [`Layout`] node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutKind {
+    /// 1-bit boolean.
+    Bool,
+    /// Unsigned bit vector of the given width.
+    Bits(u32),
+    /// Signed two's-complement integer of the given width.
+    Int(u32),
+    /// Dense homogeneous vector: element `i` starts at bit `i * stride`.
+    Vector {
+        /// Element count.
+        len: usize,
+        /// Bit stride between consecutive elements (the element width).
+        stride: u32,
+        /// Element layout.
+        elem: Box<Layout>,
+    },
+    /// Record: fields at precomputed bit offsets, declaration order.
+    Struct {
+        /// Per-field layouts with their bit offsets from the struct start.
+        fields: Vec<FieldLayout>,
+    },
+}
+
+/// One field of a [`LayoutKind::Struct`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldLayout {
+    /// Field name.
+    pub name: String,
+    /// Bit offset from the start of the struct.
+    pub offset: u32,
+    /// The field's own layout.
+    pub layout: Layout,
+}
+
+impl Layout {
+    /// Compiles the flat layout of a type.
+    pub fn of(ty: &Type) -> Layout {
+        match ty {
+            Type::Bool => Layout {
+                width: 1,
+                kind: LayoutKind::Bool,
+            },
+            Type::Bits(w) => Layout {
+                width: *w,
+                kind: LayoutKind::Bits(*w),
+            },
+            Type::Int(w) => Layout {
+                width: *w,
+                kind: LayoutKind::Int(*w),
+            },
+            Type::Vector(n, t) => {
+                let elem = Layout::of(t);
+                let stride = elem.width;
+                Layout {
+                    width: (*n as u32) * stride,
+                    kind: LayoutKind::Vector {
+                        len: *n,
+                        stride,
+                        elem: Box::new(elem),
+                    },
+                }
+            }
+            Type::Struct(fs) => {
+                let mut offset = 0u32;
+                let fields: Vec<FieldLayout> = fs
+                    .iter()
+                    .map(|(name, t)| {
+                        let layout = Layout::of(t);
+                        let f = FieldLayout {
+                            name: name.clone(),
+                            offset,
+                            layout,
+                        };
+                        offset += f.layout.width;
+                        f
+                    })
+                    .collect();
+                Layout {
+                    width: offset,
+                    kind: LayoutKind::Struct { fields },
+                }
+            }
+        }
+    }
+
+    /// The number of 64-bit arena words needed to hold one value of this
+    /// layout. Unlike the 32-bit wire format ([`Type::words`] padded with
+    /// [`crate::value::Value::to_words`]'s minimum of one), a zero-width
+    /// layout genuinely occupies zero arena words.
+    pub fn words64(&self) -> usize {
+        (self.width as usize).div_ceil(64)
+    }
+}
+
 impl fmt::Display for Type {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -155,6 +268,28 @@ mod tests {
         let v = Type::vector(4, Type::Bool);
         assert_eq!(v.elem(), Some(&Type::Bool));
         assert_eq!(Type::Bool.elem(), None);
+    }
+
+    #[test]
+    fn layout_offsets_are_dense() {
+        let cplx = Type::complex(Type::Int(16));
+        let lay = Layout::of(&Type::vector(3, cplx));
+        assert_eq!(lay.width, 3 * 32);
+        assert_eq!(lay.words64(), 2);
+        let LayoutKind::Vector { len, stride, elem } = &lay.kind else {
+            panic!("expected vector layout");
+        };
+        assert_eq!((*len, *stride), (3, 32));
+        let LayoutKind::Struct { fields } = &elem.kind else {
+            panic!("expected struct layout");
+        };
+        assert_eq!(fields[0].offset, 0);
+        assert_eq!(fields[1].offset, 16);
+        assert_eq!(fields[1].name, "im");
+        // Zero-width layouts occupy no arena words.
+        assert_eq!(Layout::of(&Type::Bits(0)).words64(), 0);
+        assert_eq!(Layout::of(&Type::Bits(64)).words64(), 1);
+        assert_eq!(Layout::of(&Type::Bits(65)).words64(), 2);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! software partitions share (§2.3 / §4.4 of the paper).
 
 use crate::error::{ExecError, ExecResult};
-use crate::types::Type;
+use crate::types::{Layout, LayoutKind, Type};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -478,6 +478,192 @@ impl Value {
             }
         })
     }
+
+    // ---- flat (arena) representation ------------------------------------
+
+    /// Writes this value's dense bit packing into `words` (bit-packed
+    /// 64-bit words) starting at bit `offset`, returning the number of
+    /// bits written. The packing is bit-identical to the wire stream of
+    /// [`Value::to_words`]; only the word granularity differs.
+    ///
+    /// Bits that would land past the end of `words` are dropped rather
+    /// than panicking (that only happens for values wider than the slot
+    /// they are written into, i.e. ill-typed programs).
+    pub fn write_flat(&self, words: &mut [u64], offset: usize) -> usize {
+        match self {
+            Value::Bool(b) => {
+                put_bits(words, offset, 1, *b as u64);
+                1
+            }
+            Value::Bits { width, bits } => {
+                put_bits(words, offset, *width, *bits);
+                *width as usize
+            }
+            Value::Int { width, val } => {
+                put_bits(words, offset, *width, *val as u64);
+                *width as usize
+            }
+            Value::Vec(vs) => {
+                let mut at = offset;
+                for v in vs {
+                    at += v.write_flat(words, at);
+                }
+                at - offset
+            }
+            Value::Struct(fs) => {
+                let mut at = offset;
+                for (_, v) in fs {
+                    at += v.write_flat(words, at);
+                }
+                at - offset
+            }
+        }
+    }
+
+    /// Reads a value of the given [`Layout`] out of bit-packed 64-bit
+    /// words starting at bit `offset`. The inverse of [`Value::write_flat`]
+    /// for well-typed values; integers come back canonically sign-extended
+    /// exactly as [`Value::from_words`] produces them.
+    pub fn read_flat(layout: &Layout, words: &[u64], offset: usize) -> Value {
+        match &layout.kind {
+            LayoutKind::Bool => Value::Bool(get_bits(words, offset, 1) == 1),
+            LayoutKind::Bits(w) => Value::bits(*w, get_bits(words, offset, *w)),
+            LayoutKind::Int(w) => Value::Int {
+                width: *w,
+                val: sign_extend(*w, get_bits(words, offset, *w)),
+            },
+            LayoutKind::Vector { len, stride, elem } => Value::Vec(
+                (0..*len)
+                    .map(|i| Value::read_flat(elem, words, offset + i * *stride as usize))
+                    .collect(),
+            ),
+            LayoutKind::Struct { fields } => Value::Struct(
+                fields
+                    .iter()
+                    .map(|f| {
+                        (
+                            f.name.clone(),
+                            Value::read_flat(&f.layout, words, offset + f.offset as usize),
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Writes the low `width` bits of `v` into the bit-packed `words` at bit
+/// `offset` (LSB-first), clearing what was there. Bits of `v` beyond the
+/// destination width are ignored; destination bits past `width` are left
+/// untouched. Writes that would run past `words` are silently truncated.
+pub fn put_bits(words: &mut [u64], offset: usize, width: u32, v: u64) {
+    let mut at = offset;
+    let mut src = 0usize;
+    let mut remaining = width as usize;
+    while remaining > 0 {
+        let word = at / 64;
+        if word >= words.len() {
+            return;
+        }
+        let bit = at % 64;
+        let n = (64 - bit).min(remaining);
+        let chunk = if src >= 64 {
+            0
+        } else {
+            let raw = v >> src;
+            if n >= 64 {
+                raw
+            } else {
+                raw & ((1u64 << n) - 1)
+            }
+        };
+        let m = if n >= 64 {
+            u64::MAX
+        } else {
+            ((1u64 << n) - 1) << bit
+        };
+        words[word] = (words[word] & !m) | (chunk << bit);
+        at += n;
+        src += n;
+        remaining -= n;
+    }
+}
+
+/// Reads the `width` bits at bit `offset` from the bit-packed `words`
+/// (LSB-first). Only the first 64 bits contribute (wider layouts are never
+/// produced by the frontend); reads past the end of `words` yield zeros.
+pub fn get_bits(words: &[u64], offset: usize, width: u32) -> u64 {
+    let mut out = 0u64;
+    let mut at = offset;
+    let mut got = 0usize;
+    let mut remaining = (width as usize).min(64);
+    while remaining > 0 {
+        let word = at / 64;
+        if word >= words.len() {
+            break;
+        }
+        let bit = at % 64;
+        let n = (64 - bit).min(remaining);
+        let raw = if n >= 64 {
+            words[word]
+        } else {
+            (words[word] >> bit) & ((1u64 << n) - 1)
+        };
+        out |= raw << got;
+        at += n;
+        got += n;
+        remaining -= n;
+    }
+    out
+}
+
+/// Converts a bit-packed 64-bit lane of the given bit width into the
+/// 32-bit transactor wire format. Byte-identical to calling
+/// [`Value::to_words`] on the decoded value (including the minimum length
+/// of one word for zero-width types), provided bits past `width` in the
+/// lane are zero — which the flat store guarantees.
+pub fn flat_to_wire(words: &[u64], width: u32) -> Vec<u32> {
+    let n = (width as usize).div_ceil(32).max(1);
+    let mut out = vec![0u32; n];
+    for (i, w) in out.iter_mut().enumerate() {
+        let src = words.get(i / 2).copied().unwrap_or(0);
+        *w = if i % 2 == 0 {
+            src as u32
+        } else {
+            (src >> 32) as u32
+        };
+    }
+    out
+}
+
+/// Copies a 32-bit wire stream into a bit-packed 64-bit lane of the given
+/// bit width, masking stream bits past `width` to zero. `lane` must be
+/// `width.div_ceil(64)` words long. Bit-identical to demarshaling with
+/// [`Value::from_words`] and re-packing with [`Value::write_flat`].
+///
+/// # Errors
+///
+/// The same "word stream too short" type error as [`Value::from_words`].
+pub fn wire_to_flat(width: u32, wire: &[u32], lane: &mut [u64]) -> ExecResult<()> {
+    let need = width as usize;
+    let avail = wire.len() * 32;
+    if avail < need {
+        return Err(ExecError::Type(format!(
+            "word stream too short: need {need} bits, have {avail}"
+        )));
+    }
+    for (i, slot) in lane.iter_mut().enumerate() {
+        let lo = wire.get(2 * i).copied().unwrap_or(0) as u64;
+        let hi = wire.get(2 * i + 1).copied().unwrap_or(0) as u64;
+        *slot = lo | (hi << 32);
+    }
+    let tail = need % 64;
+    if tail != 0 {
+        if let Some(last) = lane.last_mut() {
+            *last &= (1u64 << tail) - 1;
+        }
+    }
+    Ok(())
 }
 
 impl fmt::Display for Value {
@@ -697,6 +883,78 @@ mod tests {
         assert_eq!(
             Value::bin_op(BinOp::Shr, &a, &Value::int(8, 4)).unwrap(),
             Value::bits(16, 0x000f)
+        );
+    }
+
+    #[test]
+    fn flat_roundtrip_matches_wire() {
+        let vals = [
+            Value::Bool(true),
+            Value::bits(1, 1),
+            Value::bits(17, 0x1abcd),
+            Value::bits(63, (1u64 << 62) | 5),
+            Value::bits(64, u64::MAX - 3),
+            Value::int(32, -12345),
+            Value::int(5, -16),
+            Value::Vec(vec![
+                Value::complex(Value::int(32, -5), Value::int(32, 1 << 20)),
+                Value::complex(Value::int(32, 42), Value::int(32, -1)),
+            ]),
+            Value::Struct(vec![
+                ("a".into(), Value::Bool(true)),
+                ("b".into(), Value::bits(7, 0x55)),
+                ("c".into(), Value::Vec(vec![Value::int(13, -9); 5])),
+            ]),
+        ];
+        for v in vals {
+            let ty = v.type_of();
+            let lay = Layout::of(&ty);
+            let mut words = vec![0u64; lay.words64()];
+            assert_eq!(v.write_flat(&mut words, 0), lay.width as usize);
+            // Identity through the flat representation.
+            assert_eq!(
+                Value::read_flat(&lay, &words, 0),
+                v,
+                "flat roundtrip of {v}"
+            );
+            // Bit-identical to the 32-bit wire format.
+            assert_eq!(flat_to_wire(&words, lay.width), v.to_words(), "wire of {v}");
+            // And back from the wire into a lane.
+            let mut lane = vec![0xfeedu64; lay.words64()];
+            wire_to_flat(lay.width, &v.to_words(), &mut lane).unwrap();
+            assert_eq!(lane, words, "wire_to_flat of {v}");
+        }
+    }
+
+    #[test]
+    fn flat_unaligned_offsets() {
+        // Write at a non-word-aligned offset straddling a word boundary.
+        let v = Value::bits(64, 0xdead_beef_cafe_f00d);
+        let lay = Layout::of(&v.type_of());
+        let mut words = vec![0u64; 3];
+        v.write_flat(&mut words, 37);
+        assert_eq!(Value::read_flat(&lay, &words, 37), v);
+        // Neighboring bits stay untouched.
+        assert_eq!(get_bits(&words, 0, 37), 0);
+        assert_eq!(get_bits(&words, 101, 27), 0);
+        // Overwrite clears stale bits.
+        Value::bits(64, 1).write_flat(&mut words, 37);
+        assert_eq!(Value::read_flat(&lay, &words, 37), Value::bits(64, 1));
+    }
+
+    #[test]
+    fn wire_to_flat_short_stream_is_error() {
+        let mut lane = [0u64; 2];
+        let e = wire_to_flat(128, &[0, 0], &mut lane).unwrap_err();
+        assert_eq!(
+            e,
+            ExecError::Type("word stream too short: need 128 bits, have 64".into())
+        );
+        // Matches from_words' error text exactly.
+        let e2 = Value::from_words(&Type::vector(4, Type::Int(32)), &[0, 0]).unwrap_err();
+        assert_eq!(
+            e2,
+            ExecError::Type("word stream too short: need 128 bits, have 64".into())
         );
     }
 

@@ -8,13 +8,16 @@
 //! 2. the event-driven Vm (`event_driven: true`), which must match the
 //!    naive run *cycle-identically* (same `cpu_cycles`, same per-rule
 //!    firing counts), not just value-identically,
-//! 3. the fused single-process design (`fuse_partitioned`), and
-//! 4. the N-partition co-simulation under the given fault plan.
+//! 3. the fused single-process design (`fuse_partitioned`),
+//! 4. the N-partition co-simulation under the given fault plan, and
+//! 5. the flat arena store (`SwOptions { flat: true }`): naive and
+//!    event-driven software runs plus a flat-backed co-simulation, each
+//!    of which must be bit- and cycle-identical to its tree-backed twin.
 //!
-//! All four output streams must equal the spec's gold model
-//! bit-for-bit. For fault-free plans the co-simulation additionally
-//! runs in both event-driven and naive hardware modes and the modeled
-//! FPGA cycle counts must agree exactly.
+//! All output streams must equal the spec's gold model bit-for-bit. For
+//! fault-free plans the co-simulation additionally runs in both
+//! event-driven and naive hardware modes and the modeled FPGA cycle
+//! counts must agree exactly.
 //!
 //! Failures come back as `Err(String)` with the pretty-printed program
 //! embedded, so a failing case can be promoted into `tests/corpus/`
@@ -50,9 +53,19 @@ fn sink_ints(d: &Design, runner: &SwRunner, path: &str) -> Result<Vec<i64>, Stri
 }
 
 fn run_sw(d: &Design, spec: &DesignSpec, event_driven: bool) -> Result<SwRunner, String> {
+    run_sw_on(d, spec, event_driven, false)
+}
+
+fn run_sw_on(
+    d: &Design,
+    spec: &DesignSpec,
+    event_driven: bool,
+    flat: bool,
+) -> Result<SwRunner, String> {
     let opts = SwOptions {
         strategy: Strategy::Dataflow,
         event_driven,
+        flat,
         ..SwOptions::default()
     };
     let mut r = SwRunner::new(d, opts);
@@ -125,6 +138,28 @@ fn run_case_inner(
         ));
     }
 
+    // Executor E (software half): the flat arena store, in both guard
+    // scheduling modes. Each run must be bit- and cycle-identical to
+    // its tree-backed twin — equal sink streams and equal SwReports
+    // (per-rule firing counts and modeled cpu_cycles).
+    for (event_driven, tree_report) in [(false, &ra), (true, &rb)] {
+        let flat_run = run_sw_on(&design, spec, event_driven, true)?;
+        let got = sink_ints(&design, &flat_run, "snk")?;
+        if got != gold {
+            return Err(format!(
+                "flat store (event_driven={event_driven}) disagrees with gold model:\n  \
+                 got  {got:?}\n  want {gold:?}"
+            ));
+        }
+        let rf = flat_run.report();
+        if rf != *tree_report {
+            return Err(format!(
+                "flat store (event_driven={event_driven}) is not cycle-identical to the \
+                 tree store:\n  tree {tree_report:?}\n  flat {rf:?}"
+            ));
+        }
+    }
+
     // Executor C: fused single-process design.
     let parts = partition(&design, SW).map_err(|e| format!("partition: {e}"))?;
     let fused = fuse_partitioned(&parts).map_err(|e| format!("fuse: {e}"))?;
@@ -138,7 +173,7 @@ fn run_case_inner(
 
     // Executor D: N-partition co-simulation under the fault plan.
     let hw = parts.hw_domains(SW);
-    let cosim_cycles_of = |hw_event_driven: bool| -> Result<(Vec<i64>, u64), String> {
+    let cosim_cycles_of = |hw_event_driven: bool, flat: bool| -> Result<(Vec<i64>, u64), String> {
         let cfgs: Vec<HwPartitionCfg> = hw
             .iter()
             .enumerate()
@@ -158,7 +193,11 @@ fn run_case_inner(
         } else {
             InterHwRouting::ViaHub
         };
-        let mut cs = Cosim::multi(&parts, SW, &cfgs, routing, SwOptions::default())
+        let sw_opts = SwOptions {
+            flat,
+            ..SwOptions::default()
+        };
+        let mut cs = Cosim::multi(&parts, SW, &cfgs, routing, sw_opts)
             .map_err(|e| format!("cosim setup: {e}"))?;
         if let Some(p) = plan.recovery() {
             cs.set_recovery_policy(p);
@@ -186,17 +225,34 @@ fn run_case_inner(
         Ok((got, out.fpga_cycles()))
     };
 
-    let (got_d, cycles_event) = cosim_cycles_of(true)?;
+    let (got_d, cycles_event) = cosim_cycles_of(true, false)?;
     if got_d != gold {
         return Err(format!(
             "co-simulation disagrees with gold model:\n  got  {got_d:?}\n  want {gold:?}"
         ));
     }
 
+    // Executor E (platform half): the same co-simulation over flat
+    // arena stores on both sides of the link — same value stream, same
+    // modeled FPGA time.
+    let (got_flat, cycles_flat) = cosim_cycles_of(true, true)?;
+    if got_flat != gold {
+        return Err(format!(
+            "flat-store co-simulation disagrees with gold model:\n  \
+             got  {got_flat:?}\n  want {gold:?}"
+        ));
+    }
+    if cycles_flat != cycles_event {
+        return Err(format!(
+            "flat-store co-simulation is not cycle-identical to the tree store: \
+             {cycles_flat} vs {cycles_event} FPGA cycles"
+        ));
+    }
+
     // For fault-free plans the event-driven and naive hardware
     // schedulers must also agree on modeled FPGA time exactly.
     if plan.is_fault_free() && !hw.is_empty() {
-        let (got_naive_hw, cycles_naive) = cosim_cycles_of(false)?;
+        let (got_naive_hw, cycles_naive) = cosim_cycles_of(false, false)?;
         if got_naive_hw != gold {
             return Err(format!(
                 "naive-hardware co-simulation disagrees with gold model:\n  \

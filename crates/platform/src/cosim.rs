@@ -1197,7 +1197,8 @@ impl Cosim {
                 .partition(&cfg.domain)
                 .map_err(|e| PlatformError::new(e.to_string()))?
                 .clone();
-            let mut hw = HwSim::new(&design).map_err(|e| PlatformError::new(e.to_string()))?;
+            let mut hw = HwSim::with_store(&design, Store::new_like(&design, sw_opts.flat))
+                .map_err(|e| PlatformError::new(e.to_string()))?;
             hw.event_driven = cfg.event_driven;
             let transactor = if specs.is_empty() {
                 None
@@ -1898,7 +1899,25 @@ impl Cosim {
     /// counts, transactor presence and channel counts, store layouts,
     /// and per-scheduler rule counts.
     fn checkpoint_matches(&self, ckpt: &Checkpoint) -> PersistResult<()> {
-        fn store_matches(snap: &StoreSnapshot, design: &Design, what: &str) -> PersistResult<()> {
+        fn store_matches(
+            snap: &StoreSnapshot,
+            design: &Design,
+            live: &Store,
+            what: &str,
+        ) -> PersistResult<()> {
+            if snap.is_flat() != live.is_flat() {
+                let name = |f: bool| if f { "flat" } else { "tree" };
+                return Err(PersistError::TopologyMismatch(format!(
+                    "{what}: snapshot uses the {} backend, this system uses {}",
+                    name(snap.is_flat()),
+                    name(live.is_flat())
+                )));
+            }
+            if !snap.shape_matches(live) {
+                return Err(PersistError::TopologyMismatch(format!(
+                    "{what}: snapshot layout does not match this system's store"
+                )));
+            }
             let kinds: Vec<&'static str> = snap.kind_names().collect();
             if kinds.len() != design.prims.len() {
                 return Err(PersistError::TopologyMismatch(format!(
@@ -1938,7 +1957,12 @@ impl Cosim {
                 self.sw_design.rules.len()
             )));
         }
-        store_matches(ckpt.sw.store(), &self.sw_design, "software store")?;
+        store_matches(
+            ckpt.sw.store(),
+            &self.sw_design,
+            &self.sw.store,
+            "software store",
+        )?;
         for (i, (snap, part)) in ckpt.parts.iter().zip(&self.parts_list).enumerate() {
             if snap.hw.rule_count() != part.design.rules.len() {
                 return Err(PersistError::TopologyMismatch(format!(
@@ -1947,7 +1971,12 @@ impl Cosim {
                     part.design.rules.len()
                 )));
             }
-            store_matches(snap.hw.store(), &part.design, "partition store")?;
+            store_matches(
+                snap.hw.store(),
+                &part.design,
+                &part.hw.store,
+                "partition store",
+            )?;
             match (&snap.transactor, &part.transactor) {
                 (Some(s), Some(t)) => {
                     if s.channel_count() != t.channel_count() {
@@ -2161,8 +2190,8 @@ impl Cosim {
                 // Oldest first: hop-2 wire (already left the hub), then
                 // the hub FIFO, then the hop-1 wire.
                 let mut v = part_transit(*to_part, *to_ci)?;
-                if let PrimState::Fifo { items, .. } = self.sw.store.state(*hub) {
-                    v.extend(items.iter().cloned());
+                if let PrimState::Fifo { items, .. } = self.sw.store.get_state(*hub) {
+                    v.extend(items);
                 }
                 v.extend(part_transit(*from_part, *from_ci)?);
                 Ok(v)
@@ -2212,7 +2241,7 @@ impl Cosim {
             .flatten()
             .map(|id| id.0)
             .collect();
-        let mut store = Store::new(&topo.sw_design);
+        let mut store = Store::new_like(&topo.sw_design, self.sw_opts.flat);
         for (src_store, map) in [
             (&self.sw.store, &fusion.into_map),
             (&self.parts_list[pi].hw.store, &fusion.absorb_map),
@@ -2221,7 +2250,7 @@ impl Cosim {
                 if internal_ids.contains(&fid.0) {
                     continue;
                 }
-                *store.state_mut(*fid) = src_store.state(PrimId(local)).clone();
+                store.set_state(*fid, src_store.get_state(PrimId(local)));
             }
         }
         for (i, spec) in self.parts.channels.iter().enumerate() {
@@ -2231,18 +2260,20 @@ impl Cosim {
             let mut items: std::collections::VecDeque<Value> = std::collections::VecDeque::new();
             let (rx_design, rx_store) = self.domain_side(&spec.to_domain);
             let rx = rx_design.prim_id(&spec.rx_path).expect("rx half exists");
-            if let PrimState::Fifo { items: q, .. } = rx_store.state(rx) {
-                items.extend(q.iter().cloned());
+            if let PrimState::Fifo { items: q, .. } = rx_store.get_state(rx) {
+                items.extend(q);
             }
             items.extend(backlog[i].iter().cloned());
             let (tx_design, tx_store) = self.domain_side(&spec.from_domain);
             let tx = tx_design.prim_id(&spec.tx_path).expect("tx half exists");
-            if let PrimState::Fifo { items: q, .. } = tx_store.state(tx) {
-                items.extend(q.iter().cloned());
+            if let PrimState::Fifo { items: q, .. } = tx_store.get_state(tx) {
+                items.extend(q);
             }
-            if let PrimState::Fifo { items: slot, .. } = store.state_mut(fid) {
+            let mut merged = store.get_state(fid);
+            if let PrimState::Fifo { items: slot, .. } = &mut merged {
                 *slot = items;
             }
+            store.set_state(fid, merged);
         }
 
         // 4. Retire the dead partition, remembering its configuration
@@ -2338,10 +2369,12 @@ impl Cosim {
                 let id = part.design.prim_id(&spec.tx_path).expect("tx half exists");
                 (&mut part.hw.store, id)
             };
-            if let PrimState::Fifo { items, .. } = tx_store.state_mut(tx_id) {
+            let mut st = tx_store.get_state(tx_id);
+            if let PrimState::Fifo { items, .. } = &mut st {
                 for v in backlog[i].drain(..).rev() {
                     items.push_front(v);
                 }
+                tx_store.set_state(tx_id, st);
             }
         }
 
@@ -2430,19 +2463,20 @@ impl Cosim {
             .partition(&dom)
             .map_err(|e| ExecError::Malformed(e.to_string()))?
             .clone();
-        let mut hw_store = Store::new(&revived_design);
+        let flat = self.sw_opts.flat;
+        let mut hw_store = Store::new_like(&revived_design, flat);
         for (i, prim) in revived_design.prims.iter().enumerate() {
             if let Some(old) = self.sw_design.prim_id(&prim.path.0) {
-                *hw_store.state_mut(PrimId(i)) = self.sw.store.state(old).clone();
+                hw_store.set_state(PrimId(i), self.sw.store.get_state(old));
             }
         }
-        let mut sw_store = Store::new(&topo.sw_design);
+        let mut sw_store = Store::new_like(&topo.sw_design, flat);
         for (i, prim) in topo.sw_design.prims.iter().enumerate() {
             if prim.path.0.starts_with("__hub.") {
                 continue;
             }
             if let Some(old) = self.sw_design.prim_id(&prim.path.0) {
-                *sw_store.state_mut(PrimId(i)) = self.sw.store.state(old).clone();
+                sw_store.set_state(PrimId(i), self.sw.store.get_state(old));
             }
         }
 
@@ -2460,14 +2494,16 @@ impl Cosim {
                 .prim_id(&spec.name)
                 .expect("rehydrated channel was a merged FIFO of the fused design");
             let mut items: std::collections::VecDeque<Value> = std::collections::VecDeque::new();
-            if let PrimState::Fifo { items: q, .. } = self.sw.store.state(merged) {
-                items.extend(q.iter().cloned());
+            if let PrimState::Fifo { items: q, .. } = self.sw.store.get_state(merged) {
+                items.extend(q);
             }
             let tx_items = items.split_off(items.len().min(spec.depth));
             let fill = |design: &Design, store: &mut Store, path: &str, vals| {
                 let id = design.prim_id(path).expect("channel half exists");
-                if let PrimState::Fifo { items: slot, .. } = store.state_mut(id) {
+                let mut st = store.get_state(id);
+                if let PrimState::Fifo { items: slot, .. } = &mut st {
                     *slot = vals;
+                    store.set_state(id, st);
                 }
             };
             if spec.from_domain == dom {
@@ -2589,10 +2625,12 @@ impl Cosim {
                 let id = part.design.prim_id(&spec.tx_path).expect("tx half exists");
                 (&mut part.hw.store, id)
             };
-            if let PrimState::Fifo { items, .. } = tx_store.state_mut(tx_id) {
+            let mut st = tx_store.get_state(tx_id);
+            if let PrimState::Fifo { items, .. } = &mut st {
                 for v in backlog[i].drain(..).rev() {
                     items.push_front(v);
                 }
+                tx_store.set_state(tx_id, st);
             }
         }
 

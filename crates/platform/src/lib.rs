@@ -70,7 +70,7 @@ pub use link::{
     Dir, FaultConfig, FaultKind, Link, LinkConfig, LinkSnapshot, LinkStats, Message,
     PartitionFault, ScriptedFault,
 };
-pub use persist::{CheckpointPolicy, PersistError, FORMAT_VERSION, MAGIC};
+pub use persist::{CheckpointPolicy, PersistError, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use transactor::{ChannelDiag, ChannelReport, Transactor, TransactorSnapshot, TransportStats};
 
 use std::fmt;

@@ -44,9 +44,18 @@ use bcl_core::codec::{ByteReader, ByteWriter, CodecError};
 pub const MAGIC: [u8; 4] = *b"BCKP";
 
 /// Current snapshot format version. Bump on any incompatible layout
-/// change; readers reject other versions with
+/// change; readers reject versions outside
+/// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`] with
 /// [`PersistError::UnsupportedVersion`] instead of misparsing.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — original container; store snapshots are always tree-backed.
+/// * v2 — store snapshots may carry the flat-arena backend (page list +
+///   kind tags behind a sentinel). Tree snapshots are encoded
+///   byte-identically to v1, so a v2 reader accepts every v1 file.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest snapshot format version this reader still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Size of the fixed header including its CRC.
 pub(crate) const HEADER_BYTES: usize = 24;
@@ -72,7 +81,8 @@ pub enum PersistError {
     Io(std::io::Error),
     /// The input does not start with the `BCKP` magic.
     BadMagic,
-    /// The input's format version is not [`FORMAT_VERSION`].
+    /// The input's format version is outside
+    /// [`MIN_FORMAT_VERSION`]`..=`[`FORMAT_VERSION`].
     UnsupportedVersion(u32),
     /// The snapshot was taken from a different design/partitioning than
     /// the one trying to resume it.
@@ -106,7 +116,8 @@ impl fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot format version {v} (expected {FORMAT_VERSION})"
+                    "unsupported snapshot format version {v} \
+                     (supported: {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
                 )
             }
             PersistError::FingerprintMismatch { expected, found } => write!(
@@ -247,7 +258,7 @@ pub(crate) fn parse_container(buf: &[u8]) -> PersistResult<Container> {
     let mut r = ByteReader::new(head);
     r.bytes(MAGIC.len())?; // magic, already validated
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let fingerprint = r.u64()?;

@@ -41,11 +41,13 @@
 
 use crate::link::{Dir, Link, Message};
 use crate::wire::{Frame, FLAG_ACK, FLAG_DATA, FLAG_RETRANSMIT};
-use bcl_core::ast::{PrimId, PrimMethod};
+use bcl_core::ast::PrimId;
+#[cfg(test)]
+use bcl_core::ast::PrimMethod;
 use bcl_core::codec::{ByteReader, ByteWriter, CodecResult};
 use bcl_core::error::{ExecError, ExecResult};
 use bcl_core::partition::ChannelSpec;
-use bcl_core::prim::{PrimSpec, PrimState};
+use bcl_core::prim::PrimSpec;
 use bcl_core::store::Store;
 use bcl_core::types::Type;
 use bcl_core::value::Value;
@@ -474,9 +476,19 @@ impl Transactor {
     }
 
     fn fifo_len(store: &Store, id: PrimId) -> usize {
-        match store.state(id) {
-            PrimState::Fifo { items, .. } => items.len(),
-            _ => 0,
+        store.fifo_len(id)
+    }
+
+    /// Wraps a receive-side enqueue error the way the credit protocol
+    /// expects: a short word stream is a marshaling error and propagates
+    /// as-is (exactly like the old decode-then-enqueue path), anything
+    /// else means the FIFO was full despite the credit accounting.
+    fn wrap_rx_err(name: &str, e: ExecError) -> ExecError {
+        match e {
+            ExecError::Type(msg) if msg.starts_with("word stream too short") => {
+                ExecError::Type(msg)
+            }
+            e => ExecError::Malformed(format!("rx fifo `{name}` overflow despite credits: {e}")),
         }
     }
 
@@ -530,20 +542,13 @@ impl Transactor {
         for dir in [Dir::SwToHw, Dir::HwToSw] {
             for msg in link.deliveries(dir, now) {
                 let ch = &mut self.channels[msg.channel];
-                let v = Value::from_words(&ch.ty, &msg.words)?;
                 let rx_store: &mut Store = match dir {
                     Dir::SwToHw => hw_store,
                     Dir::HwToSw => sw_store,
                 };
                 rx_store
-                    .state_mut(ch.rx)
-                    .call_action(PrimMethod::Enq, &[v])
-                    .map_err(|e| {
-                        ExecError::Malformed(format!(
-                            "rx fifo `{}` overflow despite credits: {e}",
-                            ch.name
-                        ))
-                    })?;
+                    .enq_wire(ch.rx, &ch.ty, &msg.words)
+                    .map_err(|e| Self::wrap_rx_err(&ch.name, e))?;
                 ch.in_flight -= 1;
                 ch.delivered += 1;
                 self.progress += 1;
@@ -570,17 +575,11 @@ impl Transactor {
                 if credits_used >= ch.depth {
                     break;
                 }
-                let v = match tx_store.state(ch.tx) {
-                    PrimState::Fifo { items, .. } => match items.front() {
-                        Some(v) => v.clone(),
-                        None => break,
-                    },
-                    _ => break,
+                let words = match tx_store.fifo_front_wire(ch.tx) {
+                    Some(w) => w,
+                    None => break,
                 };
-                tx_store
-                    .state_mut(ch.tx)
-                    .call_action(PrimMethod::Deq, &[])?;
-                let words = v.to_words();
+                tx_store.fifo_deq(ch.tx)?;
                 if ch.dir == Dir::SwToHw {
                     sw_cycles += link.sw_transfer_cost(words.len());
                 }
@@ -685,17 +684,11 @@ impl Transactor {
                 if credits_used >= ch.depth {
                     break;
                 }
-                let v = match tx_store.state(ch.tx) {
-                    PrimState::Fifo { items, .. } => match items.front() {
-                        Some(v) => v.clone(),
-                        None => break,
-                    },
-                    _ => break,
+                let payload = match tx_store.fifo_front_wire(ch.tx) {
+                    Some(w) => w,
+                    None => break,
                 };
-                tx_store
-                    .state_mut(ch.tx)
-                    .call_action(PrimMethod::Deq, &[])?;
-                let payload = v.to_words();
+                tx_store.fifo_deq(ch.tx)?;
                 let dir = ch.dir;
                 if dir == Dir::SwToHw {
                     sw_cycles += link.sw_transfer_cost(payload.len());
@@ -859,20 +852,13 @@ impl Transactor {
                 ch.ty.words()
             )));
         }
-        let v = Value::from_words(&ch.ty, &frame.payload)?;
         let rx_store: &mut Store = match dir {
             Dir::SwToHw => hw_store,
             Dir::HwToSw => sw_store,
         };
         rx_store
-            .state_mut(ch.rx)
-            .call_action(PrimMethod::Enq, &[v])
-            .map_err(|e| {
-                ExecError::Malformed(format!(
-                    "rx fifo `{}` overflow despite credits: {e}",
-                    ch.name
-                ))
-            })?;
+            .enq_wire(ch.rx, &ch.ty, &frame.payload)
+            .map_err(|e| Self::wrap_rx_err(&ch.name, e))?;
         ch.accepted = seq;
         ch.in_flight -= 1;
         ch.delivered += 1;

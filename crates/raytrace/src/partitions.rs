@@ -220,6 +220,32 @@ pub fn run_partition_naive(
     )
 }
 
+/// Runs one partition with every store backed by the bit-packed flat
+/// arena ([`SwOptions::flat`]). Cycle counts and the image are identical
+/// to [`run_partition`]; only simulator wall-clock time differs.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_flat(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+) -> Result<RtRun, PlatformError> {
+    let cosim = make_cosim_full(
+        which,
+        bvh,
+        width,
+        height,
+        FaultConfig::none(),
+        RecoveryPolicy::Fail,
+        true,
+        true,
+    )?;
+    finish_run(cosim, which, width * height, false)
+}
+
 /// Builds the co-simulation for a partition exactly as every run entry
 /// point does, with the ray stream queued. Deterministic in its
 /// arguments, so two processes calling it with the same arguments get
@@ -234,12 +260,36 @@ pub fn make_cosim(
     policy: RecoveryPolicy,
     event_driven: bool,
 ) -> Result<Cosim, PlatformError> {
+    make_cosim_full(
+        which,
+        bvh,
+        width,
+        height,
+        faults,
+        policy,
+        event_driven,
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn make_cosim_full(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+    flat: bool,
+) -> Result<Cosim, PlatformError> {
     let cfg = which.config(width, height);
     let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
     let parts = partition(&design, SW).map_err(|e| PlatformError::new(e.to_string()))?;
     let sw_opts = SwOptions {
         strategy: Strategy::Dataflow,
         event_driven,
+        flat,
         ..Default::default()
     };
     // One link configuration per distinct hardware domain; the fault

@@ -237,6 +237,28 @@ pub fn run_partition_naive(
     )
 }
 
+/// Runs a partition with every store backed by the bit-packed flat
+/// arena ([`SwOptions::flat`]). Cycle counts and PCM are identical to
+/// [`run_partition`]; only simulator wall-clock time differs.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_flat(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+) -> Result<VorbisRun, PlatformError> {
+    let cosim = make_cosim_full(
+        which,
+        frames,
+        FaultConfig::none(),
+        RecoveryPolicy::Fail,
+        true,
+        true,
+    )?;
+    finish_run(cosim, which, frames.len(), false)
+}
+
 /// Builds the co-simulation for a partition exactly as every run entry
 /// point does, with the input frames queued. Deterministic in its
 /// arguments, so two processes calling it with the same arguments get
@@ -249,6 +271,17 @@ pub fn make_cosim(
     policy: RecoveryPolicy,
     event_driven: bool,
 ) -> Result<Cosim, PlatformError> {
+    make_cosim_full(which, frames, faults, policy, event_driven, false)
+}
+
+fn make_cosim_full(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    faults: FaultConfig,
+    policy: RecoveryPolicy,
+    event_driven: bool,
+    flat: bool,
+) -> Result<Cosim, PlatformError> {
     let domains = which.domains();
     let opts = BackendOptions {
         domains: domains.clone(),
@@ -259,6 +292,7 @@ pub fn make_cosim(
     let sw_opts = SwOptions {
         strategy: Strategy::Dataflow,
         event_driven,
+        flat,
         ..Default::default()
     };
     let mut hw_domains: Vec<&str> = Vec::new();

@@ -17,11 +17,13 @@ use bcl_platform::link::{FaultConfig, PartitionFault};
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
 use bcl_raytrace::partitions::{
-    run_partition as rt_run, run_partition_migrated as rt_run_migrated, RtPartition,
+    run_partition as rt_run, run_partition_flat as rt_run_flat,
+    run_partition_migrated as rt_run_migrated, RtPartition,
 };
 use bcl_vorbis::frames::frame_stream;
 use bcl_vorbis::partitions::{
-    run_partition as vorbis_run, run_partition_migrated as vorbis_run_migrated,
+    run_partition as vorbis_run, run_partition_flat as vorbis_run_flat,
+    run_partition_migrated as vorbis_run_migrated,
     run_partition_with_recovery as vorbis_run_recovery, VorbisPartition,
 };
 
@@ -57,6 +59,59 @@ fn vorbis_partition_cycle_counts_are_pinned() {
                 p.label(),
                 run.fpga_cycles,
                 run.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn vorbis_flat_store_cycle_counts_are_pinned() {
+    // The flat arena store must land on the exact same pinned cycles as
+    // the tree store for every shipped partition — bit- and
+    // cycle-identity, not "close enough". The PCM is also compared.
+    let frames = frame_stream(3, 21);
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in VORBIS_BASELINE {
+        let tree = vorbis_run(p, &frames).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        let flat = vorbis_run_flat(p, &frames).unwrap_or_else(|e| panic!("{p:?} (flat): {e}"));
+        assert_eq!(
+            flat.pcm,
+            tree.pcm,
+            "partition {} flat PCM diverged",
+            p.label()
+        );
+        if (flat.fpga_cycles, flat.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {} (flat): expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                flat.fpga_cycles,
+                flat.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn raytrace_flat_store_cycle_counts_are_pinned() {
+    let bvh = build_bvh(&make_scene(48, 5));
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in RT_BASELINE {
+        let tree = rt_run(p, &bvh, 4, 4).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        let flat = rt_run_flat(p, &bvh, 4, 4).unwrap_or_else(|e| panic!("{p:?} (flat): {e}"));
+        assert_eq!(
+            flat.image,
+            tree.image,
+            "partition {} flat image diverged",
+            p.label()
+        );
+        if (flat.fpga_cycles, flat.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {} (flat): expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                flat.fpga_cycles,
+                flat.sw_cpu_cycles
             ));
         }
     }

@@ -1,0 +1,188 @@
+//! Property tests for the arena-store flat value codec: for any type
+//! the kernel grammar can produce and any value of that type,
+//!
+//! * `Value → write_flat → read_flat` is the identity (canonical form:
+//!   integers come back sign-extended exactly like `from_words`);
+//! * the flat bit image re-marshals to the *same 32-bit wire words* as
+//!   the tree path's `to_words`, and `wire_to_flat` inverts that — so
+//!   a transactor reading straight out of the arena is bit-identical
+//!   to one that materializes a `Value` first;
+//! * boundary widths (1, 63, 64 bits) and nested struct-of-vec shapes
+//!   pack densely at non-zero bit offsets without corrupting
+//!   neighboring bits.
+
+use bcl_core::types::{Layout, Type};
+use bcl_core::value::{flat_to_wire, wire_to_flat, Value};
+use proptest::prelude::*;
+
+fn arb_type() -> impl Strategy<Value = Type> {
+    let leaf = prop_oneof![
+        Just(Type::Bool),
+        (1u32..=64).prop_map(Type::Bits),
+        (1u32..=64).prop_map(Type::Int),
+        // Boundary widths get extra weight so every run exercises them.
+        Just(Type::Bits(1)),
+        Just(Type::Bits(63)),
+        Just(Type::Bits(64)),
+        Just(Type::Int(63)),
+        Just(Type::Int(64)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (1usize..4, inner.clone()).prop_map(|(n, t)| Type::vector(n, t)),
+            proptest::collection::vec(inner, 1..4).prop_map(|ts| {
+                Type::Struct(
+                    ts.into_iter()
+                        .enumerate()
+                        .map(|(i, t)| (format!("f{i}"), t))
+                        .collect(),
+                )
+            }),
+        ]
+    })
+}
+
+fn arb_value_of(ty: &Type) -> BoxedStrategy<Value> {
+    match ty.clone() {
+        Type::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
+        Type::Bits(w) => any::<u64>().prop_map(move |b| Value::bits(w, b)).boxed(),
+        Type::Int(w) => any::<i64>().prop_map(move |v| Value::int(w, v)).boxed(),
+        Type::Vector(n, t) => proptest::collection::vec(arb_value_of(&t), n)
+            .prop_map(Value::Vec)
+            .boxed(),
+        Type::Struct(fs) => {
+            let strategies: Vec<BoxedStrategy<Value>> =
+                fs.iter().map(|(_, t)| arb_value_of(t)).collect();
+            let names: Vec<String> = fs.iter().map(|(n, _)| n.clone()).collect();
+            strategies
+                .prop_map(move |vs| Value::Struct(names.iter().cloned().zip(vs).collect()))
+                .boxed()
+        }
+    }
+}
+
+fn arb_typed_value() -> impl Strategy<Value = (Type, Value)> {
+    arb_type().prop_flat_map(|t| {
+        let vs = arb_value_of(&t);
+        (Just(t), vs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Value → flat bits → Value is the identity, at bit offset 0 and
+    /// at an unaligned offset inside a larger arena.
+    #[test]
+    fn flat_roundtrip_is_identity((ty, v) in arb_typed_value(), shift in 0usize..61) {
+        let layout = Layout::of(&ty);
+        prop_assert_eq!(layout.width, ty.width());
+
+        let mut words = vec![0u64; layout.words64()];
+        let wrote = v.write_flat(&mut words, 0);
+        prop_assert_eq!(wrote, layout.width as usize);
+        let back = Value::read_flat(&layout, &words, 0);
+        prop_assert_eq!(&back, &v);
+
+        // Same value packed at a non-zero bit offset, surrounded by
+        // all-ones guard bits that must survive untouched.
+        let total = (shift + layout.width as usize).div_ceil(64) + 1;
+        let mut arena = vec![u64::MAX; total];
+        // Clear exactly the value's bit span, then write into it.
+        for bit in shift..shift + layout.width as usize {
+            arena[bit / 64] &= !(1u64 << (bit % 64));
+        }
+        let cleared = arena.clone();
+        let wrote = v.write_flat(&mut arena, shift);
+        prop_assert_eq!(wrote, layout.width as usize);
+        prop_assert_eq!(&Value::read_flat(&layout, &arena, shift), &v);
+        // Guard bits outside the span are exactly as they were.
+        for (i, (got, was)) in arena.iter().zip(&cleared).enumerate() {
+            let mut span_mask = 0u64;
+            for bit in 0..64 {
+                let abs = i * 64 + bit;
+                if abs >= shift && abs < shift + layout.width as usize {
+                    span_mask |= 1 << bit;
+                }
+            }
+            prop_assert_eq!(got & !span_mask, was & !span_mask, "guard bits at word {}", i);
+        }
+    }
+
+    /// The flat image marshals to the exact same 32-bit wire words as
+    /// the tree path, and the wire words write back the same flat image.
+    #[test]
+    fn flat_wire_format_matches_tree((ty, v) in arb_typed_value()) {
+        let layout = Layout::of(&ty);
+        let mut words = vec![0u64; layout.words64()];
+        v.write_flat(&mut words, 0);
+
+        let wire = flat_to_wire(&words, layout.width);
+        prop_assert_eq!(&wire, &v.to_words(), "flat wire image != to_words");
+
+        let mut lane = vec![0u64; layout.words64()];
+        wire_to_flat(layout.width, &wire, &mut lane).unwrap();
+        prop_assert_eq!(&lane, &words, "wire_to_flat did not invert flat_to_wire");
+
+        let back = Value::from_words(&ty, &wire).unwrap();
+        prop_assert_eq!(&back, &v);
+    }
+}
+
+/// Deterministic pins for the boundary widths and a nested
+/// struct-of-vec — the shapes where off-by-one packing bugs live.
+#[test]
+fn boundary_widths_roundtrip() {
+    let cases: Vec<(Type, Value)> = vec![
+        (Type::Bits(1), Value::bits(1, 1)),
+        (Type::Bits(63), Value::bits(63, (1u64 << 63) - 1)),
+        (Type::Bits(64), Value::bits(64, u64::MAX)),
+        (Type::Int(63), Value::int(63, -1)),
+        (Type::Int(64), Value::int(64, i64::MIN)),
+        (Type::Bool, Value::Bool(true)),
+    ];
+    for (ty, v) in cases {
+        let layout = Layout::of(&ty);
+        let mut words = vec![0u64; layout.words64()];
+        assert_eq!(v.write_flat(&mut words, 0), layout.width as usize);
+        assert_eq!(Value::read_flat(&layout, &words, 0), v, "{ty}");
+        assert_eq!(flat_to_wire(&words, layout.width), v.to_words(), "{ty}");
+    }
+}
+
+#[test]
+fn nested_struct_of_vec_packs_densely() {
+    // struct { hdr: Bit#(3), body: Vector#(3, struct {re,im: Int#(17)}),
+    //          tail: Bool } — 3 + 3*34 + 1 = 106 bits.
+    let elem = Type::complex(Type::Int(17));
+    let ty = Type::Struct(vec![
+        ("hdr".into(), Type::Bits(3)),
+        ("body".into(), Type::vector(3, elem)),
+        ("tail".into(), Type::Bool),
+    ]);
+    let layout = Layout::of(&ty);
+    assert_eq!(layout.width, 106);
+    assert_eq!(layout.words64(), 2);
+
+    let v = Value::Struct(vec![
+        ("hdr".into(), Value::bits(3, 0b101)),
+        (
+            "body".into(),
+            Value::Vec(
+                (0..3)
+                    .map(|i| {
+                        Value::Struct(vec![
+                            ("re".into(), Value::int(17, -(i as i64) - 1)),
+                            ("im".into(), Value::int(17, 65_535 - i as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("tail".into(), Value::Bool(true)),
+    ]);
+    let mut words = vec![0u64; layout.words64()];
+    assert_eq!(v.write_flat(&mut words, 0), 106);
+    assert_eq!(Value::read_flat(&layout, &words, 0), v);
+    assert_eq!(flat_to_wire(&words, layout.width), v.to_words());
+}

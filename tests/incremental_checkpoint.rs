@@ -42,7 +42,7 @@ fn table_design() -> Design {
     bcl_core::elaborate(&Program::with_root(m.build())).unwrap()
 }
 
-fn cosim() -> Cosim {
+fn cosim_on(flat: bool) -> Cosim {
     let design = table_design();
     let parts = partition(&design, SW).unwrap();
     let cfgs = [HwPartitionCfg::new(HW)];
@@ -51,14 +51,29 @@ fn cosim() -> Cosim {
         SW,
         &cfgs,
         InterHwRouting::ViaHub,
-        SwOptions::default(),
+        SwOptions {
+            flat,
+            ..SwOptions::default()
+        },
     )
     .unwrap()
 }
 
 #[test]
 fn checkpoint_cost_tracks_dirty_words_not_state_size() {
-    let mut cs = cosim();
+    checkpoint_cost_tracks_dirty_words(false);
+}
+
+/// On the flat backend the same property must hold at arena-page
+/// granularity: a dirty page costs `PAGE_WORDS` 64-bit words, and the
+/// untouched table pages (the bulk of the arena) are never re-copied.
+#[test]
+fn flat_checkpoint_cost_tracks_dirty_pages_not_state_size() {
+    checkpoint_cost_tracks_dirty_words(true);
+}
+
+fn checkpoint_cost_tracks_dirty_words(flat: bool) {
+    let mut cs = cosim_on(flat);
     for i in 0..8 {
         cs.push_source("src", Value::int(32, i));
     }
@@ -113,7 +128,16 @@ fn checkpoint_cost_tracks_dirty_words_not_state_size() {
 
 #[test]
 fn repeated_checkpoints_amortize_to_the_write_rate() {
-    let mut cs = cosim();
+    repeated_checkpoints_amortize(false);
+}
+
+#[test]
+fn flat_repeated_checkpoints_amortize_to_the_write_rate() {
+    repeated_checkpoints_amortize(true);
+}
+
+fn repeated_checkpoints_amortize(flat: bool) {
+    let mut cs = cosim_on(flat);
     for i in 0..16 {
         cs.push_source("src", Value::int(32, i));
     }

@@ -2,9 +2,12 @@
 //! across serialization (including mid-recovery states), typed
 //! rejection of wrong-design and stale snapshots, adversarial decoding
 //! (random truncations, byte flips, section reorderings — proptest,
-//! never a panic), and format stability against a committed golden
-//! fixture (a version bump requires deliberately regenerating it with
-//! `cargo test -- --ignored regenerate_golden_fixture`).
+//! never a panic, on *both* shipped format versions), and format
+//! stability against two committed golden fixtures: `echo_v1.bckp`
+//! (tree-backed, stamped v1 — proves the v2 decoder still reads every
+//! v1 file) and `echo_v2.bckp` (flat-arena-backed, stamped v2). A
+//! format change requires deliberately regenerating them with
+//! `cargo test -- --ignored regenerate_golden_fixture`.
 
 use bcl_core::builder::{dsl::*, ModuleBuilder};
 use bcl_core::domain::{HW, SW};
@@ -16,13 +19,17 @@ use bcl_core::value::Value;
 use bcl_platform::cosim::{Cosim, PartitionLifecycle, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, PartitionFault};
 use bcl_platform::persist::PersistError;
-use bcl_platform::Checkpoint;
+use bcl_platform::{Checkpoint, FORMAT_VERSION, MIN_FORMAT_VERSION};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
 const FIXTURE: &str = "tests/fixtures/echo_v1.bckp";
-/// Cycle at which the golden fixture was captured (pinned: a format or
-/// fingerprint change makes the fixture fail to resume, forcing a
+/// Flat-arena-backed snapshot written by the current (v2) writer: the
+/// store section uses the sentinel + raw-page encoding that v1 readers
+/// never produced.
+const FIXTURE_V2: &str = "tests/fixtures/echo_v2.bckp";
+/// Cycle at which the golden fixtures were captured (pinned: a format or
+/// fingerprint change makes a fixture fail to resume, forcing a
 /// deliberate regeneration).
 const FIXTURE_CYCLE: u64 = 500;
 const INPUTS: i64 = 40;
@@ -45,6 +52,10 @@ fn echo_design() -> bcl_core::design::Design {
 /// recovery, inputs already queued. Identical construction in every
 /// test (and notionally in every process) — the migration contract.
 fn echo_cosim(schedule: &[PartitionFault]) -> Cosim {
+    echo_cosim_on(schedule, false)
+}
+
+fn echo_cosim_on(schedule: &[PartitionFault], flat: bool) -> Cosim {
     let mut faults = FaultConfig::none();
     for &f in schedule {
         faults = faults.with_partition_fault(f);
@@ -56,7 +67,10 @@ fn echo_cosim(schedule: &[PartitionFault]) -> Cosim {
         HW,
         LinkConfig::default(),
         faults,
-        SwOptions::default(),
+        SwOptions {
+            flat,
+            ..SwOptions::default()
+        },
     )
     .unwrap();
     cs.set_recovery_policy(RecoveryPolicy::failover(100));
@@ -97,22 +111,45 @@ fn finish(cs: &mut Cosim) -> (Vec<i64>, u64) {
 /// LASTCKPT sections on top of the checkpoint itself.
 fn rich_snapshot_bytes() -> &'static [u8] {
     static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
-    BYTES.get_or_init(|| {
-        let mut cs = echo_cosim(DIE_REVIVE);
-        run_to_cycle(&mut cs, FIXTURE_CYCLE);
-        assert_eq!(
-            cs.partition_lifecycle(HW),
-            Some(PartitionLifecycle::SoftwareOwned)
-        );
-        cs.snapshot_bytes().unwrap()
-    })
+    BYTES.get_or_init(|| rich_snapshot_bytes_on(false))
+}
+
+/// Same capture point, but from a cosim whose software store is the
+/// bit-packed flat arena — the snapshot carries the v2-only sentinel
+/// encoding.
+fn rich_snapshot_bytes_flat() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| rich_snapshot_bytes_on(true))
+}
+
+fn rich_snapshot_bytes_on(flat: bool) -> Vec<u8> {
+    let mut cs = echo_cosim_on(DIE_REVIVE, flat);
+    run_to_cycle(&mut cs, FIXTURE_CYCLE);
+    assert_eq!(
+        cs.partition_lifecycle(HW),
+        Some(PartitionLifecycle::SoftwareOwned)
+    );
+    cs.snapshot_bytes().unwrap()
 }
 
 /// Resumes `bytes` into a freshly constructed echo cosim.
 fn resume_fresh(bytes: &[u8]) -> Result<Cosim, PersistError> {
-    let mut cs = echo_cosim(DIE_REVIVE);
+    resume_fresh_on(bytes, false)
+}
+
+fn resume_fresh_on(bytes: &[u8], flat: bool) -> Result<Cosim, PersistError> {
+    let mut cs = echo_cosim_on(DIE_REVIVE, flat);
     cs.resume_from(&mut &bytes[..])?;
     Ok(cs)
+}
+
+/// One snapshot image per shipped format version: the committed v1
+/// golden fixture and a freshly captured v2 (flat) image. The
+/// adversarial decoders below must hold on both.
+fn version_images() -> [&'static [u8]; 2] {
+    static V1: OnceLock<Vec<u8>> = OnceLock::new();
+    let v1 = V1.get_or_init(|| std::fs::read(FIXTURE).expect("missing golden fixture"));
+    [v1, rich_snapshot_bytes_flat()]
 }
 
 // ---- resume identity ----------------------------------------------------
@@ -278,45 +315,49 @@ fn section_ranges(bytes: &[u8]) -> Vec<(usize, usize)> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// Any strict prefix of a valid snapshot fails to decode — and
-    /// never panics or over-allocates.
+    /// Any strict prefix of a valid snapshot — of either format
+    /// version — fails to decode, and never panics or over-allocates.
     #[test]
     fn truncations_are_rejected(cut in any::<u64>()) {
-        let bytes = rich_snapshot_bytes();
-        let n = (cut as usize) % bytes.len();
-        prop_assert!(Checkpoint::read_from(&mut &bytes[..n]).is_err());
-        prop_assert!(resume_fresh(&bytes[..n]).is_err());
+        for bytes in version_images() {
+            let n = (cut as usize) % bytes.len();
+            prop_assert!(Checkpoint::read_from(&mut &bytes[..n]).is_err());
+            prop_assert!(resume_fresh(&bytes[..n]).is_err());
+        }
     }
 
-    /// Any single-byte corruption anywhere in the file is rejected:
-    /// every byte is covered by the magic, a CRC, or is CRC material.
+    /// Any single-byte corruption anywhere in a file of either version
+    /// is rejected: every byte is covered by the magic, a CRC, or is
+    /// CRC material.
     #[test]
     fn byte_flips_are_rejected((pos, mask) in (any::<u64>(), 1u8..=255)) {
-        let bytes = rich_snapshot_bytes();
-        let mut bad = bytes.to_vec();
-        let i = (pos as usize) % bad.len();
-        bad[i] ^= mask;
-        prop_assert!(Checkpoint::read_from(&mut bad.as_slice()).is_err(), "flip at {}", i);
-        prop_assert!(resume_fresh(&bad).is_err());
+        for bytes in version_images() {
+            let mut bad = bytes.to_vec();
+            let i = (pos as usize) % bad.len();
+            bad[i] ^= mask;
+            prop_assert!(Checkpoint::read_from(&mut bad.as_slice()).is_err(), "flip at {}", i);
+            prop_assert!(resume_fresh(&bad).is_err());
+        }
     }
 
     /// Swapping any two sections violates the canonical order and is
     /// rejected (index tags catch swaps of same-kind sections).
     #[test]
     fn section_reorderings_are_rejected((a, b) in (any::<u64>(), any::<u64>())) {
-        let bytes = rich_snapshot_bytes();
-        let ranges = section_ranges(bytes);
-        let i = (a as usize) % ranges.len();
-        let j = (b as usize) % ranges.len();
-        prop_assume!(i != j);
-        let (i, j) = (i.min(j), i.max(j));
-        let mut swapped = bytes[..ranges[i].0].to_vec();
-        swapped.extend_from_slice(&bytes[ranges[j].0..ranges[j].1]);
-        swapped.extend_from_slice(&bytes[ranges[i].1..ranges[j].0]);
-        swapped.extend_from_slice(&bytes[ranges[i].0..ranges[i].1]);
-        swapped.extend_from_slice(&bytes[ranges[j].1..]);
-        prop_assert!(Checkpoint::read_from(&mut swapped.as_slice()).is_err());
-        prop_assert!(resume_fresh(&swapped).is_err());
+        for bytes in version_images() {
+            let ranges = section_ranges(bytes);
+            let i = (a as usize) % ranges.len();
+            let j = (b as usize) % ranges.len();
+            prop_assume!(i != j);
+            let (i, j) = (i.min(j), i.max(j));
+            let mut swapped = bytes[..ranges[i].0].to_vec();
+            swapped.extend_from_slice(&bytes[ranges[j].0..ranges[j].1]);
+            swapped.extend_from_slice(&bytes[ranges[i].1..ranges[j].0]);
+            swapped.extend_from_slice(&bytes[ranges[i].0..ranges[i].1]);
+            swapped.extend_from_slice(&bytes[ranges[j].1..]);
+            prop_assert!(Checkpoint::read_from(&mut swapped.as_slice()).is_err());
+            prop_assert!(resume_fresh(&swapped).is_err());
+        }
     }
 
     /// Corruption *behind* the CRC (flip a payload byte, re-seal the
@@ -325,19 +366,21 @@ proptest! {
     /// the no-length-trusted-preallocation property under fire.
     #[test]
     fn resealed_corruption_never_panics((sec, pos, mask) in (any::<u64>(), any::<u64>(), 1u8..=255)) {
-        let bytes = rich_snapshot_bytes();
-        let ranges = section_ranges(bytes);
-        let (start, end) = ranges[(sec as usize) % ranges.len()];
-        let mut bad = bytes.to_vec();
-        let body = start..end - 4;
-        let i = body.start + (pos as usize) % body.len();
-        bad[i] ^= mask;
-        let crc = bcl_platform::wire::crc32_bytes(&bad[body.clone()]);
-        bad[end - 4..end].copy_from_slice(&crc.to_le_bytes());
-        // Must not panic; Ok (benign payload mutation) and Err are both
-        // acceptable outcomes.
-        let _ = Checkpoint::read_from(&mut bad.as_slice());
-        let _ = resume_fresh(&bad);
+        for bytes in version_images() {
+            let ranges = section_ranges(bytes);
+            let (start, end) = ranges[(sec as usize) % ranges.len()];
+            let mut bad = bytes.to_vec();
+            let body = start..end - 4;
+            let i = body.start + (pos as usize) % body.len();
+            bad[i] ^= mask;
+            let crc = bcl_platform::wire::crc32_bytes(&bad[body.clone()]);
+            bad[end - 4..end].copy_from_slice(&crc.to_le_bytes());
+            // Must not panic; Ok (benign payload mutation) and Err are
+            // both acceptable outcomes — on either store backend.
+            let _ = Checkpoint::read_from(&mut bad.as_slice());
+            let _ = resume_fresh(&bad);
+            let _ = resume_fresh_on(&bad, true);
+        }
     }
 
     /// Arbitrary garbage never panics the decoder.
@@ -347,25 +390,46 @@ proptest! {
     }
 }
 
-// ---- format stability (golden fixture) ----------------------------------
+// ---- format stability (golden fixtures) ----------------------------------
 
-#[test]
-fn golden_fixture_still_decodes_and_resumes() {
-    let bytes = std::fs::read(FIXTURE).unwrap_or_else(|e| {
+fn read_fixture(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| {
         panic!(
-            "missing golden fixture {FIXTURE} ({e}); regenerate deliberately with \
+            "missing golden fixture {path} ({e}); regenerate deliberately with \
              `cargo test -- --ignored regenerate_golden_fixture`"
         )
-    });
+    })
+}
+
+/// The version field (bytes 4..8 of the header) of a snapshot image.
+fn version_of(bytes: &[u8]) -> u32 {
+    u32::from_le_bytes(bytes[4..8].try_into().unwrap())
+}
+
+/// The committed fixtures really are cross-version evidence: the v1
+/// file is stamped with the oldest supported version, the v2 file (and
+/// anything the current writer emits) with the current one.
+#[test]
+fn fixtures_carry_their_committed_format_versions() {
+    assert_eq!(version_of(&read_fixture(FIXTURE)), MIN_FORMAT_VERSION);
+    assert_eq!(version_of(&read_fixture(FIXTURE_V2)), FORMAT_VERSION);
+    assert_eq!(version_of(rich_snapshot_bytes()), FORMAT_VERSION);
+}
+
+/// Backward compatibility: the v2 decoder reads a file written by the
+/// v1 writer, and the resumed run completes bit-for-bit.
+#[test]
+fn golden_v1_fixture_still_decodes_and_resumes() {
+    let bytes = read_fixture(FIXTURE);
     let ckpt = Checkpoint::read_from(&mut bytes.as_slice()).expect(
-        "committed golden .bckp no longer decodes — the on-disk format changed; \
-         bump FORMAT_VERSION and regenerate the fixture deliberately",
+        "committed v1 .bckp no longer decodes — the v1 compatibility contract is \
+         broken; the reader must accept every version down to MIN_FORMAT_VERSION",
     );
     assert_eq!(ckpt.fpga_cycles(), FIXTURE_CYCLE);
     // Not just parseable: the fixture must still *resume* against the
     // current elaboration (fingerprint + topology + state layout).
     let mut resumed = resume_fresh(&bytes).expect(
-        "golden fixture decodes but no longer resumes — design fingerprint or \
+        "v1 golden fixture decodes but no longer resumes — design fingerprint or \
          snapshot semantics changed; regenerate the fixture deliberately",
     );
     let (vals, _) = finish(&mut resumed);
@@ -373,11 +437,63 @@ fn golden_fixture_still_decodes_and_resumes() {
     assert_eq!(vals[0], 1);
 }
 
-/// Deliberate regeneration of the golden fixture after a format change:
+/// Current-format stability: the flat-arena v2 fixture decodes and
+/// resumes into a flat-backed cosim, landing the same output stream
+/// and cycle count as the v1 (tree) fixture — the two backends are
+/// interchangeable down to the durable image.
+#[test]
+fn golden_v2_fixture_still_decodes_and_resumes() {
+    let bytes = read_fixture(FIXTURE_V2);
+    let ckpt = Checkpoint::read_from(&mut bytes.as_slice()).expect(
+        "committed v2 .bckp no longer decodes — the on-disk format changed; \
+         bump FORMAT_VERSION and regenerate the fixture deliberately",
+    );
+    assert_eq!(ckpt.fpga_cycles(), FIXTURE_CYCLE);
+    let mut resumed = resume_fresh_on(&bytes, true).expect(
+        "v2 golden fixture decodes but no longer resumes — design fingerprint or \
+         flat snapshot semantics changed; regenerate the fixture deliberately",
+    );
+    let (vals, cycles) = finish(&mut resumed);
+    assert_eq!(vals.len(), INPUTS as usize);
+    assert_eq!(vals[0], 1);
+
+    let mut tree = resume_fresh(&read_fixture(FIXTURE)).unwrap();
+    let (tree_vals, tree_cycles) = finish(&mut tree);
+    assert_eq!(vals, tree_vals, "flat resume diverged from tree resume");
+    assert_eq!(cycles, tree_cycles, "flat resume cycle count diverged");
+}
+
+/// A snapshot captured from one store backend is rejected — with a
+/// typed error, never a panic — when resumed into the other.
+#[test]
+fn cross_backend_resume_is_typed_topology_mismatch() {
+    let flat_into_tree = resume_fresh(&read_fixture(FIXTURE_V2));
+    assert!(matches!(
+        flat_into_tree,
+        Err(PersistError::TopologyMismatch(_))
+    ));
+    let tree_into_flat = resume_fresh_on(&read_fixture(FIXTURE), true);
+    assert!(matches!(
+        tree_into_flat,
+        Err(PersistError::TopologyMismatch(_))
+    ));
+}
+
+/// Deliberate regeneration of the golden fixtures after a format change:
 /// `cargo test --test persist_format -- --ignored regenerate_golden_fixture`.
+///
+/// The current writer always stamps [`FORMAT_VERSION`]; a tree
+/// snapshot's body is byte-identical to the v1 encoding, so the v1
+/// fixture is the tree image with the version field patched back to 1
+/// and the header CRC re-sealed.
 #[test]
 #[ignore]
 fn regenerate_golden_fixture() {
     std::fs::create_dir_all("tests/fixtures").unwrap();
-    std::fs::write(FIXTURE, rich_snapshot_bytes()).unwrap();
+    let mut v1 = rich_snapshot_bytes().to_vec();
+    v1[4..8].copy_from_slice(&MIN_FORMAT_VERSION.to_le_bytes());
+    let crc = bcl_platform::wire::crc32_bytes(&v1[..20]);
+    v1[20..24].copy_from_slice(&crc.to_le_bytes());
+    std::fs::write(FIXTURE, v1).unwrap();
+    std::fs::write(FIXTURE_V2, rich_snapshot_bytes_flat()).unwrap();
 }
