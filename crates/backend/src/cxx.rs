@@ -107,6 +107,117 @@ pub fn emit_cxx(design: &Design, opts: CxxOptions) -> String {
     e.emit(opts)
 }
 
+/// Emits a complete standalone C++ program: the generated class plus a
+/// `main` that preloads `inputs` into the FIFO of the source primitive
+/// at path `src`, runs the scheduler to quiescence, then drains the
+/// sink primitive at path `sink`, printing every drained value as
+/// decimal integers (aggregates flattened depth-first in declaration
+/// order, one leaf per line — the order [`flatten_value`] produces).
+/// Compiling this program with a system C++ compiler and diffing its
+/// stdout against the simulator's sink stream is the backend's
+/// compile-and-run smoke test.
+///
+/// # Panics
+///
+/// Panics if `sink` does not name a primitive of the design.
+pub fn emit_cxx_harness(
+    design: &Design,
+    opts: CxxOptions,
+    src: &str,
+    inputs: &[Value],
+    sink: &str,
+) -> String {
+    let mut e = Emitter {
+        design,
+        structs: BTreeMap::new(),
+        vars: Vec::new(),
+    };
+    // Render input literals first so their struct typedefs land in the
+    // same registry (and thus the same emitted typedef section) as the
+    // class body's.
+    let lits: Vec<String> = inputs.iter().map(|v| e.cxx_value(v)).collect();
+    let sink_ty = design
+        .prims_iter()
+        .find(|(_, p)| p.path.as_str() == sink)
+        .map(|(_, p)| p.spec.value_type())
+        .unwrap_or_else(|| panic!("no sink primitive at `{sink}`"));
+    let mut print_code = String::new();
+    emit_print("__v", &sink_ty, 8, 0, &mut print_code);
+    let class_code = e.emit(opts);
+    let class_name = design.name.replace(['.', '-'], "_");
+    let src_name = src.replace('.', "_");
+    let sink_name = sink.replace('.', "_");
+    let mut main_code = String::new();
+    let _ = writeln!(main_code, "int main() {{");
+    let _ = writeln!(main_code, "    {class_name} m;");
+    for lit in &lits {
+        let _ = writeln!(main_code, "    m.{src_name}.enq({lit});");
+    }
+    let _ = writeln!(main_code, "    m.schedule();");
+    let _ = writeln!(main_code, "    while (m.{sink_name}.can_deq()) {{");
+    let _ = writeln!(main_code, "        auto __v = m.{sink_name}.first();");
+    let _ = writeln!(main_code, "        m.{sink_name}.deq();");
+    main_code.push_str(&print_code);
+    let _ = writeln!(main_code, "    }}");
+    let _ = writeln!(main_code, "    return 0;");
+    let _ = writeln!(main_code, "}}");
+    format!("#include <iostream>\n{class_code}\n{main_code}")
+}
+
+/// Flattens a value depth-first into decimal leaves — the exact stream
+/// the program emitted by [`emit_cxx_harness`] prints for its sink, so
+/// a test can diff the two. Bools print as 0/1; Bits mirror the signed
+/// `intN_t` container the C++ runtime stores them in (a `Bits` whose
+/// width exactly fills its container prints negative when the top bit
+/// is set, on both sides).
+pub fn flatten_value(v: &Value, out: &mut Vec<i64>) {
+    match v {
+        Value::Bool(b) => out.push(*b as i64),
+        Value::Int { val, .. } => out.push(*val),
+        Value::Bits { width, bits } => {
+            let cw = match width {
+                0..=8 => 8,
+                9..=16 => 16,
+                17..=32 => 32,
+                _ => 64,
+            };
+            out.push((*bits as i64) << (64 - cw) >> (64 - cw));
+        }
+        Value::Vec(vs) => {
+            for x in vs {
+                flatten_value(x, out);
+            }
+        }
+        Value::Struct(fs) => {
+            for (_, x) in fs {
+                flatten_value(x, out);
+            }
+        }
+    }
+}
+
+/// Generates C++ statements printing `expr` (of BCL type `ty`) as one
+/// decimal leaf per line, matching [`flatten_value`]'s order.
+fn emit_print(expr: &str, ty: &Type, indent: usize, depth: usize, out: &mut String) {
+    let pad = " ".repeat(indent);
+    match ty {
+        Type::Bool | Type::Bits(_) | Type::Int(_) => {
+            let _ = writeln!(out, "{pad}std::cout << (long long)({expr}) << \"\\n\";");
+        }
+        Type::Vector(n, t) => {
+            let i = format!("__i{depth}");
+            let _ = writeln!(out, "{pad}for (size_t {i} = 0; {i} < {n}; ++{i}) {{");
+            emit_print(&format!("{expr}[{i}]"), t, indent + 4, depth + 1, out);
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Type::Struct(fs) => {
+            for (f, t) in fs {
+                emit_print(&format!("{expr}.{f}"), t, indent, depth, out);
+            }
+        }
+    }
+}
+
 impl<'d> Emitter<'d> {
     fn prim_name(&self, id: PrimId) -> String {
         self.design.prim(id).path.as_str().replace('.', "_")
@@ -274,10 +385,14 @@ impl<'d> Emitter<'d> {
             Expr::Let(n, v, b) => {
                 let tv = self.ty_of(v);
                 let vs = self.expr(v, shadowed);
+                let d = self.vars.len();
                 self.vars.push((n.clone(), tv));
                 let bs = self.expr(b, shadowed);
                 self.vars.pop();
-                format!("([&]{{ auto {n} = {vs}; return {bs}; }}())")
+                // Bind through a temporary: `auto x = <expr of x>;` would
+                // self-initialize in C++ (the initializer sees the new
+                // declaration, not the outer binding).
+                format!("([&]{{ auto __let{d} = {vs}; auto {n} = __let{d}; return {bs}; }}())")
             }
             Expr::Call(Target::Prim(id, m), args) => {
                 let obj = self.obj(*id, shadowed);
@@ -402,11 +517,20 @@ impl<'d> Emitter<'d> {
                 self.stmts(x, shadowed, indent, out);
             }
             Action::Let(n, e, x) => {
+                // Open a fresh block so rebinding a name (`let x = f(x)`)
+                // shadows instead of conflicting, and bind through a
+                // temporary so the initializer sees the *outer* binding
+                // (C++ point-of-declaration would otherwise turn
+                // `auto x = x;` into self-initialization).
                 let tv = self.ty_of(e);
-                let _ = writeln!(out, "{pad}auto {n} = {};", self.expr(e, shadowed));
+                let d = self.vars.len();
+                let _ = writeln!(out, "{pad}{{");
+                let _ = writeln!(out, "{pad}    auto __let{d} = {};", self.expr(e, shadowed));
+                let _ = writeln!(out, "{pad}    auto {n} = __let{d};");
                 self.vars.push((n.clone(), tv));
-                self.stmts(x, shadowed, indent, out);
+                self.stmts(x, shadowed, indent + 4, out);
                 self.vars.pop();
+                let _ = writeln!(out, "{pad}}}");
             }
             Action::Loop(c, x) => {
                 let _ = writeln!(out, "{pad}while ({}) {{", self.expr(c, shadowed));

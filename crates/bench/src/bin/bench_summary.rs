@@ -1,61 +1,143 @@
-//! Wall-clock comparison of three software scheduler configurations
+//! Wall-clock comparison of four software scheduler configurations
 //! over the Figure 13 quick benchmarks:
 //!
 //! * **naive** — per-cycle AST interpretation of every guard;
 //! * **event** — event-driven scheduler (compiled guards, verdict
 //!   caching, dirty-set invalidation) on the pointer-tree store;
 //! * **flat** — the same event-driven scheduler on the bit-packed
-//!   arena store (slot-indexed flat values, pointer-free guard reads).
+//!   arena store (slot-indexed flat values, pointer-free guard reads);
+//! * **compiled** — the event-driven scheduler driving closure-threaded
+//!   native rules (no stack machine, no opcode dispatch) over the arena.
+//!
+//! Every leg is timed in **two phases** via the suites' public
+//! `build_cosim`/`run_built` split: the one-time construction phase
+//! (elaborate + partition + lower rules + build the platform) and the
+//! simulation phase (stream the workload to completion). On the quick
+//! benches construction is a large, backend-independent constant — over
+//! half the end-to-end time (see EXPERIMENTS.md §P2) — so the `*_run_ns`
+//! fields are what actually compare executor backends, while the plain
+//! `*_ns` fields stay end-to-end for continuity with BENCH_pr8.
+//!
+//! Each suite also times its hand-written native decoder (the paper's
+//! F2 baseline) so the JSON records how much interpretation overhead
+//! the compiled backend leaves on the table (simulation phase vs F2 —
+//! the native decoders have no construction phase to exclude).
 //!
 //! Emits a machine-readable JSON summary.
 //!
 //! ```text
-//! bench_summary [output.json]    # default: BENCH_pr8.json
+//! bench_summary [output.json]    # default: BENCH_pr9.json
 //! ```
 //!
-//! Cycle counts and outputs are asserted identical across all three
+//! Cycle counts and outputs are asserted identical across all four
 //! modes for every partition — the speedups are pure simulator
-//! wall-clock, not a change in what is simulated.
+//! wall-clock, not a change in what is simulated. Any partition whose
+//! arena store runs *slower* than the tree store (`flat_speedup < 1`)
+//! is flagged loudly on stdout and collected in the JSON
+//! `flat_regressions` array (see EXPERIMENTS.md §P1 for the analysis).
 
+use bcl_core::sched::ExecBackend;
 use bcl_raytrace::bvh::build_bvh;
-use bcl_raytrace::geom::make_scene;
-use bcl_raytrace::partitions::{
-    run_partition as run_rt, run_partition_flat as run_rt_flat,
-    run_partition_naive as run_rt_naive, RtPartition,
-};
+use bcl_raytrace::geom::{gen_rays, make_scene};
+use bcl_raytrace::native::render;
+use bcl_raytrace::partitions::{build_cosim as build_rt, run_built as run_built_rt, RtPartition};
 use bcl_vorbis::frames::frame_stream;
-use bcl_vorbis::partitions::{
-    run_partition, run_partition_flat, run_partition_naive, VorbisPartition,
-};
+use bcl_vorbis::native::NativeBackend;
+use bcl_vorbis::partitions::{build_cosim, run_built, VorbisPartition};
 use std::fmt::Write as _;
 use std::time::Instant;
 
-const REPS: u32 = 3;
+const REPS: u32 = 5;
+
+const BACKENDS: [(&str, ExecBackend); 4] = [
+    ("naive", ExecBackend::Naive),
+    ("event", ExecBackend::Event),
+    ("flat", ExecBackend::Flat),
+    ("compiled", ExecBackend::Compiled),
+];
+
+/// Best-of-N total and simulation-phase wall clock for one leg.
+struct Leg {
+    total_ns: u128,
+    run_ns: u128,
+}
 
 struct Entry {
     bench: &'static str,
     partition: String,
     fpga_cycles: u64,
-    naive_ns: u128,
-    event_ns: u128,
-    flat_ns: u128,
+    naive: Leg,
+    event: Leg,
+    flat: Leg,
+    compiled: Leg,
+    /// Wall clock of the suite's hand-written native decoder (F2).
+    native_ns: u128,
     guard_evals: u64,
     guard_evals_skipped: u64,
 }
 
 impl Entry {
     fn speedup(&self) -> f64 {
-        self.naive_ns as f64 / self.event_ns.max(1) as f64
+        self.naive.total_ns as f64 / self.event.total_ns.max(1) as f64
     }
 
-    /// Arena store vs tree store, same (event-driven) scheduler: the
-    /// pure representation win.
+    /// Arena store vs tree store, same (event-driven) scheduler,
+    /// end-to-end: the pure representation win.
     fn flat_speedup(&self) -> f64 {
-        self.event_ns as f64 / self.flat_ns.max(1) as f64
+        self.event.total_ns as f64 / self.flat.total_ns.max(1) as f64
+    }
+
+    /// Closure-threaded native rules vs the stack-machine Vm, same
+    /// (event-driven) scheduler, end-to-end.
+    fn compiled_speedup(&self) -> f64 {
+        self.event.total_ns as f64 / self.compiled.total_ns.max(1) as f64
+    }
+
+    /// The same comparison over the simulation phase only — the number
+    /// that isolates the executor from the shared construction constant.
+    fn compiled_run_speedup(&self) -> f64 {
+        self.event.run_ns as f64 / self.compiled.run_ns.max(1) as f64
+    }
+
+    fn flat_run_speedup(&self) -> f64 {
+        self.event.run_ns as f64 / self.flat.run_ns.max(1) as f64
+    }
+
+    /// How many times slower the compiled simulator's simulation phase
+    /// still is than the suite's hand-written native decoder (lower is
+    /// better; 1.0 would mean zero interpretation overhead left).
+    fn compiled_vs_native(&self) -> f64 {
+        self.compiled.run_ns as f64 / self.native_ns.max(1) as f64
     }
 }
 
-/// Best-of-N wall clock for one closure.
+/// One timed rep of one leg: `build` is timed as construction, `run` as
+/// simulation; the total is their sum within the rep. The caller
+/// interleaves reps across backends (all four legs inside each rep, not
+/// all reps of one leg back to back) so that machine-load drift — which
+/// swings far more than the effects being measured — lands on every
+/// backend equally, and takes the per-leg best across reps.
+fn time_rep<C, T>(leg: &mut Leg, mut build: impl FnMut() -> C, mut run: impl FnMut(C) -> T) -> T {
+    let t0 = Instant::now();
+    let c = build();
+    let t1 = Instant::now();
+    let v = run(c);
+    let run_ns = t1.elapsed().as_nanos();
+    leg.total_ns = leg.total_ns.min(t0.elapsed().as_nanos());
+    leg.run_ns = leg.run_ns.min(run_ns);
+    v
+}
+
+impl Leg {
+    fn unmeasured() -> Leg {
+        Leg {
+            total_ns: u128::MAX,
+            run_ns: u128::MAX,
+        }
+    }
+}
+
+/// Best-of-N wall clock for one closure (used for the F2 natives).
 fn time_best<T>(mut f: impl FnMut() -> T) -> (u128, T) {
     let mut best = u128::MAX;
     let mut out = None;
@@ -71,109 +153,196 @@ fn time_best<T>(mut f: impl FnMut() -> T) -> (u128, T) {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr8.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     let frames = frame_stream(8, 1);
+    let (vorbis_native_ns, _) = time_best(|| NativeBackend::new().run(&frames));
     for p in VorbisPartition::ALL {
-        let (naive_ns, base) = time_best(|| run_partition_naive(p, &frames).unwrap());
-        let (event_ns, run) = time_best(|| run_partition(p, &frames).unwrap());
-        let (flat_ns, flat) = time_best(|| run_partition_flat(p, &frames).unwrap());
-        for (mode, other) in [("naive", &base), ("flat", &flat)] {
+        let mut legs: Vec<Leg> = BACKENDS.iter().map(|_| Leg::unmeasured()).collect();
+        let mut runs = Vec::new();
+        for rep in 0..REPS {
+            for (i, (name, backend)) in BACKENDS.into_iter().enumerate() {
+                let run = time_rep(
+                    &mut legs[i],
+                    || build_cosim(p, &frames, backend).unwrap(),
+                    |c| run_built(c, p, frames.len()).unwrap(),
+                );
+                if rep == 0 {
+                    runs.push((name, run));
+                }
+            }
+        }
+        let event = &runs[1].1;
+        for (mode, other) in [&runs[0], &runs[2], &runs[3]] {
             assert_eq!(
-                run.fpga_cycles,
+                event.fpga_cycles,
                 other.fpga_cycles,
                 "vorbis {}: cycle counts diverged between event and {mode}",
                 p.label()
             );
             assert_eq!(
-                run.pcm,
+                event.pcm,
                 other.pcm,
                 "vorbis {}: PCM diverged between event and {mode}",
                 p.label()
             );
         }
+        assert_eq!(
+            event.sw_cpu_cycles,
+            runs[3].1.sw_cpu_cycles,
+            "vorbis {}: CPU cycles diverged between event and compiled",
+            p.label()
+        );
+        let guard_evals = event.guard_evals;
+        let guard_evals_skipped = event.guard_evals_skipped;
+        let fpga_cycles = event.fpga_cycles;
+        let mut it = legs.into_iter();
         entries.push(Entry {
             bench: "fig13_vorbis",
             partition: p.label().to_string(),
-            fpga_cycles: run.fpga_cycles,
-            naive_ns,
-            event_ns,
-            flat_ns,
-            guard_evals: run.guard_evals,
-            guard_evals_skipped: run.guard_evals_skipped,
+            fpga_cycles,
+            naive: it.next().unwrap(),
+            event: it.next().unwrap(),
+            flat: it.next().unwrap(),
+            compiled: it.next().unwrap(),
+            native_ns: vorbis_native_ns,
+            guard_evals,
+            guard_evals_skipped,
         });
     }
 
     let bvh = build_bvh(&make_scene(64, 1));
+    let (w, h) = (4, 4);
+    let rays = gen_rays(w, h);
+    let (rt_native_ns, _) = time_best(|| render(&bvh, &rays));
     for p in RtPartition::ALL {
-        let (naive_ns, base) = time_best(|| run_rt_naive(p, &bvh, 4, 4).unwrap());
-        let (event_ns, run) = time_best(|| run_rt(p, &bvh, 4, 4).unwrap());
-        let (flat_ns, flat) = time_best(|| run_rt_flat(p, &bvh, 4, 4).unwrap());
-        for (mode, other) in [("naive", &base), ("flat", &flat)] {
+        let mut legs: Vec<Leg> = BACKENDS.iter().map(|_| Leg::unmeasured()).collect();
+        let mut runs = Vec::new();
+        for rep in 0..REPS {
+            for (i, (name, backend)) in BACKENDS.into_iter().enumerate() {
+                let run = time_rep(
+                    &mut legs[i],
+                    || build_rt(p, &bvh, w, h, backend).unwrap(),
+                    |c| run_built_rt(c, p, w * h).unwrap(),
+                );
+                if rep == 0 {
+                    runs.push((name, run));
+                }
+            }
+        }
+        let event = &runs[1].1;
+        for (mode, other) in [&runs[0], &runs[2], &runs[3]] {
             assert_eq!(
-                run.fpga_cycles,
+                event.fpga_cycles,
                 other.fpga_cycles,
                 "raytrace {}: cycle counts diverged between event and {mode}",
                 p.label()
             );
             assert_eq!(
-                run.image,
+                event.image,
                 other.image,
                 "raytrace {}: image diverged between event and {mode}",
                 p.label()
             );
         }
+        assert_eq!(
+            event.sw_cpu_cycles,
+            runs[3].1.sw_cpu_cycles,
+            "raytrace {}: CPU cycles diverged between event and compiled",
+            p.label()
+        );
+        let guard_evals = event.guard_evals;
+        let guard_evals_skipped = event.guard_evals_skipped;
+        let fpga_cycles = event.fpga_cycles;
+        let mut it = legs.into_iter();
         entries.push(Entry {
             bench: "fig13_raytrace",
             partition: p.label().to_string(),
-            fpga_cycles: run.fpga_cycles,
-            naive_ns,
-            event_ns,
-            flat_ns,
-            guard_evals: run.guard_evals,
-            guard_evals_skipped: run.guard_evals_skipped,
+            fpga_cycles,
+            naive: it.next().unwrap(),
+            event: it.next().unwrap(),
+            flat: it.next().unwrap(),
+            compiled: it.next().unwrap(),
+            native_ns: rt_native_ns,
+            guard_evals,
+            guard_evals_skipped,
         });
     }
 
-    let total_naive: u128 = entries.iter().map(|e| e.naive_ns).sum();
-    let total_event: u128 = entries.iter().map(|e| e.event_ns).sum();
-    let total_flat: u128 = entries.iter().map(|e| e.flat_ns).sum();
+    let sum = |f: fn(&Entry) -> u128| entries.iter().map(f).sum::<u128>();
+    let total_naive = sum(|e| e.naive.total_ns);
+    let total_event = sum(|e| e.event.total_ns);
+    let total_flat = sum(|e| e.flat.total_ns);
+    let total_compiled = sum(|e| e.compiled.total_ns);
+    let run_naive = sum(|e| e.naive.run_ns);
+    let run_event = sum(|e| e.event.run_ns);
+    let run_flat = sum(|e| e.flat.run_ns);
+    let run_compiled = sum(|e| e.compiled.run_ns);
     let overall = total_naive as f64 / total_event.max(1) as f64;
     let overall_flat = total_event as f64 / total_flat.max(1) as f64;
     let overall_flat_vs_naive = total_naive as f64 / total_flat.max(1) as f64;
+    let overall_compiled = total_event as f64 / total_compiled.max(1) as f64;
+    let overall_compiled_vs_naive = total_naive as f64 / total_compiled.max(1) as f64;
+    let overall_run = run_naive as f64 / run_event.max(1) as f64;
+    let overall_run_flat = run_event as f64 / run_flat.max(1) as f64;
+    let overall_run_compiled = run_event as f64 / run_compiled.max(1) as f64;
 
     println!(
-        "{:<16} {:<4} {:>12} {:>12} {:>12} {:>8} {:>9} {:>12} {:>12}",
+        "{:<16} {:<4} {:>11} {:>11} {:>11} {:>11} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "bench",
         "part",
         "naive_ms",
         "event_ms",
         "flat_ms",
+        "compiled",
         "speedup",
         "flat_gain",
-        "guard_evals",
-        "skipped"
+        "cmp_gain",
+        "cmp_run",
+        "vs_F2"
     );
     for e in &entries {
         println!(
-            "{:<16} {:<4} {:>12.3} {:>12.3} {:>12.3} {:>7.2}x {:>8.2}x {:>12} {:>12}",
+            "{:<16} {:<4} {:>11.3} {:>11.3} {:>11.3} {:>11.3} {:>7.2}x {:>8.2}x {:>8.2}x {:>8.2}x {:>8.1}x",
             e.bench,
             e.partition,
-            e.naive_ns as f64 / 1e6,
-            e.event_ns as f64 / 1e6,
-            e.flat_ns as f64 / 1e6,
+            e.naive.total_ns as f64 / 1e6,
+            e.event.total_ns as f64 / 1e6,
+            e.flat.total_ns as f64 / 1e6,
+            e.compiled.total_ns as f64 / 1e6,
             e.speedup(),
             e.flat_speedup(),
-            e.guard_evals,
-            e.guard_evals_skipped
+            e.compiled_speedup(),
+            e.compiled_run_speedup(),
+            e.compiled_vs_native()
         );
     }
-    println!("overall event-vs-naive speedup: {overall:.2}x");
-    println!("overall flat-vs-event speedup:  {overall_flat:.2}x");
-    println!("overall flat-vs-naive speedup:  {overall_flat_vs_naive:.2}x");
+    println!("overall event-vs-naive speedup:    {overall:.2}x  (sim phase {overall_run:.2}x)");
+    println!(
+        "overall flat-vs-event speedup:     {overall_flat:.2}x  (sim phase {overall_run_flat:.2}x)"
+    );
+    println!("overall flat-vs-naive speedup:     {overall_flat_vs_naive:.2}x");
+    println!(
+        "overall compiled-vs-event speedup: {overall_compiled:.2}x  (sim phase {overall_run_compiled:.2}x)"
+    );
+    println!("overall compiled-vs-naive speedup: {overall_compiled_vs_naive:.2}x");
 
-    let mut json = String::from("{\n  \"benchmark\": \"naive_vs_event_vs_flat\",\n");
+    // A flat_speedup below 1.0 means the arena store made that partition
+    // *slower* — worth shouting about, not letting scroll by.
+    let flat_regressions: Vec<&Entry> = entries.iter().filter(|e| e.flat_speedup() < 1.0).collect();
+    for e in &flat_regressions {
+        println!(
+            "WARNING: flat-store regression: {} {} runs {:.1}% slower on the arena store \
+             (flat_speedup {:.4}) — read-dominated workload, see EXPERIMENTS.md P1",
+            e.bench,
+            e.partition,
+            (1.0 / e.flat_speedup() - 1.0) * 100.0,
+            e.flat_speedup()
+        );
+    }
+
+    let mut json = String::from("{\n  \"benchmark\": \"naive_vs_event_vs_flat_vs_compiled\",\n");
     let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"overall_speedup\": {overall:.4},");
     let _ = writeln!(json, "  \"overall_flat_speedup\": {overall_flat:.4},");
@@ -181,21 +350,62 @@ fn main() {
         json,
         "  \"overall_flat_vs_naive_speedup\": {overall_flat_vs_naive:.4},"
     );
+    let _ = writeln!(
+        json,
+        "  \"overall_compiled_speedup\": {overall_compiled:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"overall_compiled_vs_naive_speedup\": {overall_compiled_vs_naive:.4},"
+    );
+    let _ = writeln!(json, "  \"overall_run_speedup\": {overall_run:.4},");
+    let _ = writeln!(
+        json,
+        "  \"overall_flat_run_speedup\": {overall_run_flat:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"overall_compiled_run_speedup\": {overall_run_compiled:.4},"
+    );
+    let _ = writeln!(json, "  \"vorbis_native_ns\": {vorbis_native_ns},");
+    let _ = writeln!(json, "  \"raytrace_native_ns\": {rt_native_ns},");
+    json.push_str("  \"flat_regressions\": [");
+    for (i, e) in flat_regressions.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{} {}\"", e.bench, e.partition);
+    }
+    json.push_str("],\n");
     json.push_str("  \"entries\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"bench\": \"{}\", \"partition\": \"{}\", \"fpga_cycles\": {}, \
-             \"naive_ns\": {}, \"event_ns\": {}, \"flat_ns\": {}, \"speedup\": {:.4}, \
-             \"flat_speedup\": {:.4}, \"guard_evals\": {}, \"guard_evals_skipped\": {}}}",
+             \"naive_ns\": {}, \"event_ns\": {}, \"flat_ns\": {}, \"compiled_ns\": {}, \
+             \"naive_run_ns\": {}, \"event_run_ns\": {}, \"flat_run_ns\": {}, \
+             \"compiled_run_ns\": {}, \
+             \"speedup\": {:.4}, \"flat_speedup\": {:.4}, \"compiled_speedup\": {:.4}, \
+             \"flat_run_speedup\": {:.4}, \"compiled_run_speedup\": {:.4}, \
+             \"compiled_vs_native_ratio\": {:.4}, \"guard_evals\": {}, \
+             \"guard_evals_skipped\": {}}}",
             e.bench,
             e.partition,
             e.fpga_cycles,
-            e.naive_ns,
-            e.event_ns,
-            e.flat_ns,
+            e.naive.total_ns,
+            e.event.total_ns,
+            e.flat.total_ns,
+            e.compiled.total_ns,
+            e.naive.run_ns,
+            e.event.run_ns,
+            e.flat.run_ns,
+            e.compiled.run_ns,
             e.speedup(),
             e.flat_speedup(),
+            e.compiled_speedup(),
+            e.flat_run_speedup(),
+            e.compiled_run_speedup(),
+            e.compiled_vs_native(),
             e.guard_evals,
             e.guard_evals_skipped
         );

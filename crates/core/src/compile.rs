@@ -1,0 +1,1062 @@
+//! The compiled execution backend: rule programs lowered to
+//! closure-threaded native code.
+//!
+//! The event-driven Vm ([`crate::exec::Vm`]) still pays per-instruction
+//! costs on every rule firing: an opcode dispatch, program-counter
+//! bookkeeping, and a heap-allocated value stack that every operand is
+//! copied through (plus a fresh argument `Vec` per method call). This
+//! module removes all of that with a one-time lowering pass: each guard
+//! and rule body is compiled — straight from the (already lifted and
+//! sequentialized) AST, so control flow stays structured — into a tree of
+//! monomorphized Rust closures threaded into a single callable. Operands
+//! flow through machine registers as closure return values, let-bound
+//! locals become pre-resolved slots in a reusable [`NativeFrame`],
+//! `Index`/`Field` on a let-bound base are fused into direct slot
+//! accesses (no base clone), and method-call argument lists of arity
+//! ≤ 2 live on the stack.
+//!
+//! **Cost parity is load-bearing.** Every closure charges exactly the ops
+//! the AST interpreter ([`crate::exec::eval`]/[`crate::exec::exec`]) and
+//! the Vm charge, at the same evaluation points, into the same [`Cost`]
+//! ledgers (via `NativePort`, a closed, fully monomorphized port enum —
+//! a `&mut dyn PrimPort` here would pay a virtual call per charge, which
+//! measurably loses to the stack machine). Modeled
+//! `cpu_cycles`/`fpga_cycles` are therefore bit-identical across all
+//! three executors (the cycle-regression pins and the fuzz farm's sixth
+//! leg both assert this). Only wall-clock time changes.
+//!
+//! Coverage is identical to the stack-machine compiler
+//! ([`crate::xform::compile_expr`]/[`crate::xform::compile_action`]):
+//! lowering returns `None` for `localGuard` bodies, unelaborated `Named`
+//! targets, and unbound variables, and the schedulers fall back to the
+//! AST interpreter for exactly those rules in every backend.
+
+use crate::ast::{Action, Expr, PrimId, PrimMethod, Target};
+use crate::error::{ExecError, ExecResult};
+use crate::exec::RuleOutcome;
+use crate::store::{Cost, ShadowPolicy, Store, Txn};
+use crate::value::Value;
+use crate::xform::RulePlan;
+use std::fmt;
+
+/// Scratch space for compiled rules: the local-slot file. One frame is
+/// kept per scheduler and reused across every guard and body execution;
+/// it grows to the largest program's footprint once and is never cleared
+/// (every slot is stored by its `let` before any load can see it).
+#[derive(Debug, Default)]
+pub struct NativeFrame {
+    slots: Vec<Value>,
+}
+
+impl NativeFrame {
+    /// A fresh frame with no slots.
+    pub fn new() -> NativeFrame {
+        NativeFrame::default()
+    }
+
+    #[inline]
+    fn ensure(&mut self, n: usize) {
+        if self.slots.len() < n {
+            self.slots.resize(n, Value::Bool(false));
+        }
+    }
+}
+
+type ExprThunk =
+    Box<dyn for<'s> Fn(&mut NativePort<'s>, &mut NativeFrame) -> ExecResult<Value> + Send + Sync>;
+type ActThunk =
+    Box<dyn for<'s> Fn(&mut NativePort<'s>, &mut NativeFrame) -> ExecResult<()> + Send + Sync>;
+
+/// Where a compiled closure reads and writes primitives. A closed enum
+/// rather than `&mut dyn PrimPort`: the Vm is monomorphized over its
+/// port, so matching it means the per-node cost charges and method
+/// calls here must also compile to direct code — a vtable call per
+/// `ops += 1` measurably loses to the stack machine.
+pub(crate) enum NativePort<'s> {
+    /// Transactional rule body.
+    Txn(Txn<'s>),
+    /// Read-only guard probe over the committed store.
+    Ro {
+        /// The committed store.
+        store: &'s Store,
+        /// Ledger for the probe's reads and ops.
+        cost: &'s mut Cost,
+    },
+    /// Fully guard-lifted body writing straight to the committed store.
+    InPlace {
+        /// The committed store.
+        store: &'s mut Store,
+        /// Ledger for the run.
+        cost: Cost,
+    },
+}
+
+impl NativePort<'_> {
+    #[inline]
+    fn cost(&mut self) -> &mut Cost {
+        match self {
+            NativePort::Txn(t) => &mut t.cost,
+            NativePort::Ro { cost, .. } => cost,
+            NativePort::InPlace { cost, .. } => cost,
+        }
+    }
+
+    #[inline]
+    fn call_value(&mut self, id: PrimId, m: PrimMethod, args: &[Value]) -> ExecResult<Value> {
+        match self {
+            NativePort::Txn(t) => t.call_value(id, m, args),
+            NativePort::Ro { store, cost } => {
+                cost.reads += 1;
+                store.call_value_at(id, m, args)
+            }
+            NativePort::InPlace { store, cost } => {
+                cost.reads += 1;
+                store.call_value_at(id, m, args)
+            }
+        }
+    }
+
+    #[inline]
+    fn call_action(&mut self, id: PrimId, m: PrimMethod, args: &[Value]) -> ExecResult<()> {
+        match self {
+            NativePort::Txn(t) => t.call_action(id, m, args),
+            NativePort::Ro { .. } => Err(ExecError::Malformed(format!(
+                "action method `{m:?}` called in a guard expression"
+            ))),
+            NativePort::InPlace { store, cost } => {
+                cost.writes += 1;
+                store.call_action_at(id, m, args)
+            }
+        }
+    }
+
+    #[inline]
+    fn policy(&self) -> ShadowPolicy {
+        match self {
+            NativePort::Txn(t) => t.policy,
+            NativePort::Ro { .. } => ShadowPolicy::Partial,
+            NativePort::InPlace { .. } => ShadowPolicy::InPlace,
+        }
+    }
+
+    #[inline]
+    fn loop_bound(&self) -> u64 {
+        match self {
+            NativePort::Txn(t) => t.max_loop_iters,
+            _ => 1_000_000,
+        }
+    }
+
+    fn par_start(&mut self) -> ExecResult<()> {
+        match self {
+            NativePort::Txn(t) => t.par_start(),
+            NativePort::Ro { .. } => Err(ExecError::Malformed(
+                "parallel composition reached a port without transaction frames".into(),
+            )),
+            NativePort::InPlace { .. } => Err(ExecError::Malformed(
+                "parallel composition reached an in-place (guard-lifted) execution".into(),
+            )),
+        }
+    }
+
+    fn par_mid(&mut self) {
+        if let NativePort::Txn(t) = self {
+            t.par_mid();
+        }
+    }
+
+    fn par_end(&mut self) -> ExecResult<()> {
+        match self {
+            NativePort::Txn(t) => t.par_end(),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// An expression (typically a lifted guard) lowered to a native closure.
+pub struct CompiledExpr {
+    thunk: ExprThunk,
+    /// Local-slot footprint.
+    pub slots: usize,
+}
+
+impl fmt::Debug for CompiledExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledExpr")
+            .field("slots", &self.slots)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A rule body lowered to a native closure.
+pub struct CompiledAction {
+    thunk: ActThunk,
+    /// Local-slot footprint.
+    pub slots: usize,
+}
+
+impl fmt::Debug for CompiledAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledAction")
+            .field("slots", &self.slots)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A [`RulePlan`] lowered to native closures. `None` components fall back
+/// to the AST interpreter, mirroring the stack-machine fallback exactly.
+#[derive(Debug, Default)]
+pub struct NativeRule {
+    /// The lifted guard, when present and compilable.
+    pub guard: Option<CompiledExpr>,
+    /// The rule body, when compilable.
+    pub body: Option<CompiledAction>,
+}
+
+/// Compile-time lexical scope: let-bound names resolved to slot indices.
+#[derive(Default)]
+struct Lowerer {
+    scope: Vec<(String, usize)>,
+    slots: usize,
+}
+
+impl Lowerer {
+    fn lookup(&self, n: &str) -> Option<usize> {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(name, _)| name == n)
+            .map(|(_, s)| *s)
+    }
+
+    /// Lowers an expression. Evaluation order and cost-charge points
+    /// mirror the AST interpreter instruction for instruction.
+    fn expr(&mut self, e: &Expr) -> Option<ExprThunk> {
+        Some(match e {
+            Expr::Const(v) => {
+                let v = v.clone();
+                Box::new(move |_, _| Ok(v.clone()))
+            }
+            Expr::Var(n) => {
+                let s = self.lookup(n)?;
+                Box::new(move |_, f| Ok(f.slots[s].clone()))
+            }
+            Expr::Un(op, a) => {
+                let a = self.expr(a)?;
+                let op = *op;
+                Box::new(move |p, f| {
+                    let va = a(p, f)?;
+                    p.cost().ops += 1;
+                    Value::un_op(op, &va)
+                })
+            }
+            Expr::Bin(op, a, b) => {
+                let a = self.expr(a)?;
+                let b = self.expr(b)?;
+                let op = *op;
+                let charge = op.cpu_cost();
+                Box::new(move |p, f| {
+                    let va = a(p, f)?;
+                    let vb = b(p, f)?;
+                    p.cost().ops += charge;
+                    Value::bin_op(op, &va, &vb)
+                })
+            }
+            Expr::Cond(c, t, fl) => {
+                let c = self.expr(c)?;
+                let t = self.expr(t)?;
+                let fl = self.expr(fl)?;
+                Box::new(move |p, f| {
+                    let vc = c(p, f)?.as_bool()?;
+                    p.cost().ops += 1;
+                    if vc {
+                        t(p, f)
+                    } else {
+                        fl(p, f)
+                    }
+                })
+            }
+            Expr::When(v, g) => {
+                // The guard is evaluated first, like the interpreter.
+                let v = self.expr(v)?;
+                let g = self.expr(g)?;
+                Box::new(move |p, f| {
+                    let gv = g(p, f)?.as_bool()?;
+                    p.cost().ops += 1;
+                    if gv {
+                        v(p, f)
+                    } else {
+                        Err(ExecError::GuardFail)
+                    }
+                })
+            }
+            Expr::Let(n, v, b) => {
+                let v = self.expr(v)?;
+                let slot = self.slots;
+                self.slots += 1;
+                self.scope.push((n.clone(), slot));
+                let b = self.expr(b);
+                self.scope.pop();
+                let b = b?;
+                Box::new(move |p, f| {
+                    let vv = v(p, f)?;
+                    f.slots[slot] = vv;
+                    b(p, f)
+                })
+            }
+            Expr::Call(t, args) => {
+                let (id, m) = prim_target(t)?;
+                return self.call_value(id, m, args);
+            }
+            Expr::Index(v, i) => {
+                // Indexing a let-bound vector is fused into a direct slot
+                // access, like the Vm's `LoadIndex`: the element is copied
+                // straight out of the slot without cloning the vector.
+                // `Var` evaluation is infallible, so hoisting it past the
+                // index expression cannot reorder failures; charged cost
+                // is identical.
+                if let Expr::Var(n) = v.as_ref() {
+                    let s = self.lookup(n)?;
+                    let i = self.expr(i)?;
+                    Box::new(move |p, f| {
+                        let iv = i(p, f)?.as_index()?;
+                        p.cost().ops += 1;
+                        f.slots[s].index(iv).cloned()
+                    })
+                } else {
+                    let v = self.expr(v)?;
+                    let i = self.expr(i)?;
+                    Box::new(move |p, f| {
+                        let vv = v(p, f)?;
+                        let iv = i(p, f)?.as_index()?;
+                        p.cost().ops += 1;
+                        vv.index(iv).cloned()
+                    })
+                }
+            }
+            Expr::Field(v, name) => {
+                // Field of a let-bound struct: fused like the Vm's
+                // `LoadField`.
+                if let Expr::Var(n) = v.as_ref() {
+                    let s = self.lookup(n)?;
+                    let name = name.clone();
+                    Box::new(move |p, f| {
+                        p.cost().ops += 1;
+                        f.slots[s].field(&name).cloned()
+                    })
+                } else {
+                    let v = self.expr(v)?;
+                    let name = name.clone();
+                    Box::new(move |p, f| {
+                        let vv = v(p, f)?;
+                        p.cost().ops += 1;
+                        vv.field(&name).cloned()
+                    })
+                }
+            }
+            Expr::MkVec(es) => {
+                let ts = self.exprs(es)?;
+                let n = ts.len() as u64;
+                Box::new(move |p, f| {
+                    let mut out = Vec::with_capacity(ts.len());
+                    for t in &ts {
+                        out.push(t(p, f)?);
+                    }
+                    p.cost().ops += n;
+                    Ok(Value::Vec(out))
+                })
+            }
+            Expr::MkStruct(fs) => {
+                let names: Vec<String> = fs.iter().map(|(n, _)| n.clone()).collect();
+                let ts = self.exprs(&fs.iter().map(|(_, e)| e.clone()).collect::<Vec<_>>())?;
+                let n = ts.len() as u64;
+                Box::new(move |p, f| {
+                    let mut out = Vec::with_capacity(ts.len());
+                    for (name, t) in names.iter().zip(&ts) {
+                        out.push((name.clone(), t(p, f)?));
+                    }
+                    p.cost().ops += n;
+                    Ok(Value::Struct(out))
+                })
+            }
+            Expr::UpdateIndex(v, i, x) => {
+                let v = self.expr(v)?;
+                let i = self.expr(i)?;
+                let x = self.expr(x)?;
+                Box::new(move |p, f| {
+                    let vv = v(p, f)?;
+                    let iv = i(p, f)?.as_index()?;
+                    let xv = x(p, f)?;
+                    // Functional update costs a copy of the vector.
+                    p.cost().ops += vv.as_vec().map(|s| s.len() as u64).unwrap_or(1);
+                    vv.update_index(iv, xv)
+                })
+            }
+            Expr::UpdateField(v, name, x) => {
+                let v = self.expr(v)?;
+                let x = self.expr(x)?;
+                let name = name.clone();
+                Box::new(move |p, f| {
+                    let vv = v(p, f)?;
+                    let xv = x(p, f)?;
+                    p.cost().ops += 1;
+                    vv.update_field(&name, xv)
+                })
+            }
+        })
+    }
+
+    fn exprs(&mut self, es: &[Expr]) -> Option<Vec<ExprThunk>> {
+        es.iter().map(|e| self.expr(e)).collect()
+    }
+
+    /// A value-method call, argument lists of arity ≤ 2 specialized to
+    /// stack arrays (the Vm allocates a `Vec` per call via `split_off`).
+    fn call_value(&mut self, id: PrimId, m: PrimMethod, args: &[Expr]) -> Option<ExprThunk> {
+        Some(match args {
+            [] => Box::new(move |p, _| p.call_value(id, m, &[])),
+            [a0] => {
+                let a0 = self.expr(a0)?;
+                Box::new(move |p, f| {
+                    let v0 = a0(p, f)?;
+                    p.call_value(id, m, std::slice::from_ref(&v0))
+                })
+            }
+            [a0, a1] => {
+                let a0 = self.expr(a0)?;
+                let a1 = self.expr(a1)?;
+                Box::new(move |p, f| {
+                    let v0 = a0(p, f)?;
+                    let v1 = a1(p, f)?;
+                    p.call_value(id, m, &[v0, v1])
+                })
+            }
+            _ => {
+                let ts = self.exprs(args)?;
+                Box::new(move |p, f| {
+                    let mut vals = Vec::with_capacity(ts.len());
+                    for t in &ts {
+                        vals.push(t(p, f)?);
+                    }
+                    p.call_value(id, m, &vals)
+                })
+            }
+        })
+    }
+
+    /// An action-method call; same arity specialization as value calls.
+    fn call_action(&mut self, id: PrimId, m: PrimMethod, args: &[Expr]) -> Option<ActThunk> {
+        Some(match args {
+            [] => Box::new(move |p, _| p.call_action(id, m, &[])),
+            [a0] => {
+                let a0 = self.expr(a0)?;
+                Box::new(move |p, f| {
+                    let v0 = a0(p, f)?;
+                    p.call_action(id, m, std::slice::from_ref(&v0))
+                })
+            }
+            [a0, a1] => {
+                let a0 = self.expr(a0)?;
+                let a1 = self.expr(a1)?;
+                Box::new(move |p, f| {
+                    let v0 = a0(p, f)?;
+                    let v1 = a1(p, f)?;
+                    p.call_action(id, m, &[v0, v1])
+                })
+            }
+            _ => {
+                let ts = self.exprs(args)?;
+                Box::new(move |p, f| {
+                    let mut vals = Vec::with_capacity(ts.len());
+                    for t in &ts {
+                        vals.push(t(p, f)?);
+                    }
+                    p.call_action(id, m, &vals)
+                })
+            }
+        })
+    }
+
+    fn action(&mut self, a: &Action) -> Option<ActThunk> {
+        Some(match a {
+            Action::NoAction => Box::new(|_, _| Ok(())),
+            Action::Write(t, e) => {
+                let (id, m) = prim_target(t)?;
+                return self.call_action(id, m, std::slice::from_ref(e));
+            }
+            Action::Call(t, args) => {
+                let (id, m) = prim_target(t)?;
+                return self.call_action(id, m, args);
+            }
+            Action::If(c, th, el) => {
+                let c = self.expr(c)?;
+                let th = self.action(th)?;
+                let el = self.action(el)?;
+                Box::new(move |p, f| {
+                    let vc = c(p, f)?.as_bool()?;
+                    p.cost().ops += 1;
+                    if vc {
+                        th(p, f)
+                    } else {
+                        el(p, f)
+                    }
+                })
+            }
+            Action::Seq(x, y) => {
+                let x = self.action(x)?;
+                let y = self.action(y)?;
+                Box::new(move |p, f| {
+                    x(p, f)?;
+                    y(p, f)
+                })
+            }
+            Action::When(g, x) => {
+                let g = self.expr(g)?;
+                let x = self.action(x)?;
+                Box::new(move |p, f| {
+                    let gv = g(p, f)?.as_bool()?;
+                    p.cost().ops += 1;
+                    if gv {
+                        x(p, f)
+                    } else if p.policy() == ShadowPolicy::InPlace {
+                        // A failing guard on the in-place path is a lifting
+                        // bug: earlier writes cannot be rolled back.
+                        Err(ExecError::Malformed(
+                            "guard failed during in-place execution (unsound lifting)".into(),
+                        ))
+                    } else {
+                        Err(ExecError::GuardFail)
+                    }
+                })
+            }
+            Action::Let(n, e, x) => {
+                let e = self.expr(e)?;
+                let slot = self.slots;
+                self.slots += 1;
+                self.scope.push((n.clone(), slot));
+                let x = self.action(x);
+                self.scope.pop();
+                let x = x?;
+                Box::new(move |p, f| {
+                    let v = e(p, f)?;
+                    f.slots[slot] = v;
+                    x(p, f)
+                })
+            }
+            Action::Loop(c, body) => {
+                let c = self.expr(c)?;
+                let body = self.action(body)?;
+                Box::new(move |p, f| {
+                    let mut iters = 0u64;
+                    loop {
+                        let cv = c(p, f)?.as_bool()?;
+                        p.cost().ops += 1;
+                        if !cv {
+                            return Ok(());
+                        }
+                        body(p, f)?;
+                        iters += 1;
+                        if iters > p.loop_bound() {
+                            return Err(ExecError::Malformed(format!(
+                                "loop exceeded {} iterations",
+                                p.loop_bound()
+                            )));
+                        }
+                    }
+                })
+            }
+            Action::Par(x, y) => {
+                // Mirror the Vm's ParStart/ParMid/ParEnd frame discipline
+                // through the port; an error mid-branch propagates with
+                // the frames unbalanced and rollback clears them, exactly
+                // like the stack machine.
+                let x = self.action(x)?;
+                let y = self.action(y)?;
+                Box::new(move |p, f| {
+                    p.par_start()?;
+                    x(p, f)?;
+                    p.par_mid();
+                    y(p, f)?;
+                    p.par_end()
+                })
+            }
+            // localGuard absorbs guard failures into a discardable frame,
+            // which needs catch semantics the closure chain does not model;
+            // it stays on the interpreter (same fallback as the Vm).
+            Action::LocalGuard(..) => return None,
+        })
+    }
+}
+
+fn prim_target(t: &Target) -> Option<(PrimId, PrimMethod)> {
+    match t {
+        Target::Prim(id, m) => Some((*id, *m)),
+        Target::Named(..) => None,
+    }
+}
+
+/// Lowers an expression (typically a lifted guard) to a native closure.
+/// `None` when it references unelaborated names or free variables —
+/// callers fall back to the AST interpreter.
+pub fn compile_expr(e: &Expr) -> Option<CompiledExpr> {
+    let mut l = Lowerer::default();
+    let thunk = l.expr(e)?;
+    Some(CompiledExpr {
+        thunk,
+        slots: l.slots,
+    })
+}
+
+/// Lowers a rule body to a native closure, or `None` if it uses
+/// constructs the backend does not model (`localGuard`, unelaborated
+/// names).
+pub fn compile_action(a: &Action) -> Option<CompiledAction> {
+    let mut l = Lowerer::default();
+    let thunk = l.action(a)?;
+    Some(CompiledAction {
+        thunk,
+        slots: l.slots,
+    })
+}
+
+/// Lowers one compiled rule plan to native closures.
+pub fn compile_plan(plan: &RulePlan) -> NativeRule {
+    NativeRule {
+        guard: plan.guard.as_ref().and_then(compile_expr),
+        body: compile_action(&plan.body),
+    }
+}
+
+/// Lowers every plan of a design.
+pub fn compile_plans(plans: &[RulePlan]) -> Vec<NativeRule> {
+    plans.iter().map(compile_plan).collect()
+}
+
+/// Native counterpart of [`crate::exec::eval_guard_ro`] /
+/// [`crate::exec::eval_guard_compiled`]: evaluates a lowered guard
+/// directly against the committed store, folding guard failures to
+/// `Ok(false)`. Charges identical cost to both.
+pub fn eval_guard_native(
+    frame: &mut NativeFrame,
+    store: &Store,
+    guard: &CompiledExpr,
+    cost: &mut Cost,
+) -> ExecResult<bool> {
+    cost.guard_evals += 1;
+    frame.ensure(guard.slots);
+    let mut port = NativePort::Ro { store, cost };
+    match (guard.thunk)(&mut port, frame) {
+        Ok(v) => v.as_bool(),
+        Err(ExecError::GuardFail) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Native counterpart of [`crate::exec::run_rule_compiled`]: executes a
+/// lowered body as a transaction, committing on success and rolling back
+/// on guard failure.
+pub fn run_rule_native(
+    frame: &mut NativeFrame,
+    store: &mut Store,
+    body: &CompiledAction,
+    policy: ShadowPolicy,
+) -> ExecResult<(RuleOutcome, Cost)> {
+    let mut txn = Txn::new(store, policy);
+    txn.cost.txn_setups += 1;
+    frame.ensure(body.slots);
+    let mut port = NativePort::Txn(txn);
+    let r = (body.thunk)(&mut port, frame);
+    let NativePort::Txn(txn) = port else {
+        unreachable!("rule body cannot change its port variant")
+    };
+    match r {
+        Ok(()) => Ok((RuleOutcome::Fired, txn.commit())),
+        Err(ExecError::GuardFail) => Ok((RuleOutcome::GuardFailed, txn.rollback())),
+        Err(e) => Err(e),
+    }
+}
+
+/// Native counterpart of [`crate::exec::run_rule_inplace_compiled`]:
+/// executes a fully guard-lifted body straight against the committed
+/// store — no transaction, no frame stack, no shadow map. Cost-identical
+/// to the in-place interpreter and Vm paths.
+pub fn run_rule_inplace_native(
+    frame: &mut NativeFrame,
+    store: &mut Store,
+    body: &CompiledAction,
+) -> ExecResult<Cost> {
+    frame.ensure(body.slots);
+    let mut cost = Cost::default();
+    cost.inplace_runs += 1;
+    let mut port = NativePort::InPlace { store, cost };
+    let r = (body.thunk)(&mut port, frame);
+    let NativePort::InPlace { cost, .. } = port else {
+        unreachable!("rule body cannot change its port variant")
+    };
+    match r {
+        Ok(()) => Ok(cost),
+        Err(ExecError::GuardFail) => Err(ExecError::Malformed(
+            "guard failure during in-place execution (unsound lifting)".into(),
+        )),
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Path, PrimId, PrimMethod, RuleDef};
+    use crate::design::{Design, PrimDef};
+    use crate::exec::{
+        eval_guard_compiled, eval_guard_ro, run_rule, run_rule_compiled, run_rule_inplace,
+        run_rule_inplace_compiled, Vm,
+    };
+    use crate::prim::PrimSpec;
+    use crate::types::Type;
+    use crate::value::BinOp;
+    use crate::xform::{compile_rule, CompileOpts, ExecMode};
+
+    const A: PrimId = PrimId(0);
+    const F: PrimId = PrimId(1);
+    const B: PrimId = PrimId(2);
+
+    fn d3() -> Design {
+        Design {
+            name: "t".into(),
+            prims: vec![
+                PrimDef {
+                    path: Path::new("a"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("f"),
+                    spec: PrimSpec::Fifo {
+                        depth: 2,
+                        ty: Type::Int(32),
+                    },
+                },
+                PrimDef {
+                    path: Path::new("b"),
+                    spec: PrimSpec::Reg {
+                        init: Value::int(32, 0),
+                    },
+                },
+            ],
+            ..Default::default()
+        }
+    }
+
+    fn wr(id: PrimId, e: Expr) -> Action {
+        Action::Write(Target::Prim(id, PrimMethod::RegWrite), Box::new(e))
+    }
+    fn rd(id: PrimId) -> Expr {
+        Expr::Call(Target::Prim(id, PrimMethod::RegRead), vec![])
+    }
+    fn enq(id: PrimId, e: Expr) -> Action {
+        Action::Call(Target::Prim(id, PrimMethod::Enq), vec![e])
+    }
+
+    /// Three-way parity: the native backend must match the AST
+    /// interpreter AND the stack machine in verdicts, final state, and —
+    /// bit for bit — cost counters.
+    fn assert_native_parity(rule: &RuleDef, design: &Design, setup: impl Fn(&mut Store)) {
+        let plan = compile_rule(rule, CompileOpts::default());
+        let native = compile_plan(&plan);
+        let mut s_ast = Store::new(design);
+        setup(&mut s_ast);
+        let mut s_vm = s_ast.clone();
+        let mut s_nat = s_ast.clone();
+        let mut vm = Vm::new();
+        let mut frame = NativeFrame::new();
+        if let Some(g) = &plan.guard {
+            let prog = plan.guard_prog.as_ref().expect("guard compiles to Prog");
+            let cg = native.guard.as_ref().expect("guard compiles natively");
+            let mut c_ast = Cost::default();
+            let mut c_vm = Cost::default();
+            let mut c_nat = Cost::default();
+            let v_ast = eval_guard_ro(&mut s_ast, g, &mut c_ast).unwrap();
+            let v_vm = eval_guard_compiled(&mut vm, &s_vm, prog, &mut c_vm).unwrap();
+            let v_nat = eval_guard_native(&mut frame, &s_nat, cg, &mut c_nat).unwrap();
+            assert_eq!(v_ast, v_nat, "guard verdict for {}", rule.name);
+            assert_eq!(v_vm, v_nat, "guard verdict vm/native for {}", rule.name);
+            assert_eq!(c_ast, c_nat, "guard cost for {}", rule.name);
+            assert_eq!(c_vm, c_nat, "guard cost vm/native for {}", rule.name);
+        }
+        let prog = plan.body_prog.as_ref().expect("body compiles to Prog");
+        let cb = native.body.as_ref().expect("body compiles natively");
+        let (out_ast, cost_ast) = run_rule(&mut s_ast, &plan.body, ShadowPolicy::Partial).unwrap();
+        let (out_vm, cost_vm) =
+            run_rule_compiled(&mut vm, &mut s_vm, prog, ShadowPolicy::Partial).unwrap();
+        let (out_nat, cost_nat) =
+            run_rule_native(&mut frame, &mut s_nat, cb, ShadowPolicy::Partial).unwrap();
+        assert_eq!(out_ast, out_nat, "outcome for {}", rule.name);
+        assert_eq!(out_vm, out_nat, "outcome vm/native for {}", rule.name);
+        assert_eq!(cost_ast, cost_nat, "body cost for {}", rule.name);
+        assert_eq!(cost_vm, cost_nat, "body cost vm/native for {}", rule.name);
+        assert_eq!(s_ast, s_nat, "state for {}", rule.name);
+        assert_eq!(s_vm, s_nat, "state vm/native for {}", rule.name);
+    }
+
+    /// In-place parity for fully lifted rules.
+    fn assert_inplace_parity(rule: &RuleDef, design: &Design, setup: impl Fn(&mut Store)) {
+        let plan = compile_rule(rule, CompileOpts::default());
+        assert_eq!(plan.mode, ExecMode::InPlace, "{} must lift", rule.name);
+        let native = compile_plan(&plan);
+        let cb = native.body.as_ref().expect("body compiles natively");
+        let prog = plan.body_prog.as_ref().expect("body compiles to Prog");
+        let mut s_ast = Store::new(design);
+        setup(&mut s_ast);
+        let mut s_vm = s_ast.clone();
+        let mut s_nat = s_ast.clone();
+        let mut vm = Vm::new();
+        let mut frame = NativeFrame::new();
+        let c_ast = run_rule_inplace(&mut s_ast, &plan.body).unwrap();
+        let c_vm = run_rule_inplace_compiled(&mut vm, &mut s_vm, prog).unwrap();
+        let c_nat = run_rule_inplace_native(&mut frame, &mut s_nat, cb).unwrap();
+        assert_eq!(c_ast, c_nat, "in-place cost for {}", rule.name);
+        assert_eq!(c_vm, c_nat, "in-place cost vm/native for {}", rule.name);
+        assert_eq!(s_ast, s_nat, "in-place state for {}", rule.name);
+        assert_eq!(s_vm, s_nat, "in-place state vm/native for {}", rule.name);
+    }
+
+    /// The paper's running example: `Rule foo {a := 1; f.enq(a); a := 0}`.
+    fn rule_foo() -> RuleDef {
+        RuleDef {
+            name: "foo".into(),
+            body: Action::Seq(
+                Box::new(wr(A, Expr::int(32, 1))),
+                Box::new(Action::Seq(
+                    Box::new(enq(F, rd(A))),
+                    Box::new(wr(A, Expr::int(32, 0))),
+                )),
+            ),
+        }
+    }
+
+    #[test]
+    fn native_execution_matches_interpreter_and_vm() {
+        let d = d3();
+        assert_native_parity(&rule_foo(), &d, |_| {});
+        assert_native_parity(&rule_foo(), &d, |s| {
+            for _ in 0..2 {
+                s.state_mut(F)
+                    .call_action(PrimMethod::Enq, &[Value::int(32, 0)])
+                    .unwrap();
+            }
+        });
+        // Conditional both ways.
+        let cond = RuleDef {
+            name: "c".into(),
+            body: Action::If(
+                Box::new(Expr::Bin(
+                    BinOp::Gt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 0)),
+                )),
+                Box::new(enq(F, rd(A))),
+                Box::new(wr(B, Expr::int(32, 9))),
+            ),
+        };
+        assert_native_parity(&cond, &d, |_| {});
+        assert_native_parity(&cond, &d, |s| {
+            s.state_mut(A)
+                .call_action(PrimMethod::RegWrite, &[Value::int(32, 3)])
+                .unwrap();
+        });
+        // Nested lets with shadowing.
+        let lets = RuleDef {
+            name: "lets".into(),
+            body: Action::Let(
+                "x".into(),
+                Box::new(Expr::int(32, 3)),
+                Box::new(Action::Let(
+                    "x".into(),
+                    Box::new(Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Var("x".into())),
+                        Box::new(Expr::int(32, 1)),
+                    )),
+                    Box::new(wr(A, Expr::Var("x".into()))),
+                )),
+            ),
+        };
+        assert_native_parity(&lets, &d, |_| {});
+        // A loop with per-iteration condition cost.
+        let lp = RuleDef {
+            name: "lp".into(),
+            body: Action::Loop(
+                Box::new(Expr::Bin(
+                    BinOp::Lt,
+                    Box::new(rd(A)),
+                    Box::new(Expr::int(32, 3)),
+                )),
+                Box::new(wr(
+                    A,
+                    Expr::Bin(BinOp::Add, Box::new(rd(A)), Box::new(Expr::int(32, 1))),
+                )),
+            ),
+        };
+        assert_native_parity(&lp, &d, |_| {});
+        // Vector expressions, including the fused LoadIndex path.
+        let vecs = RuleDef {
+            name: "vecs".into(),
+            body: Action::Let(
+                "v".into(),
+                Box::new(Expr::UpdateIndex(
+                    Box::new(Expr::MkVec(vec![
+                        Expr::int(32, 10),
+                        Expr::int(32, 20),
+                        Expr::int(32, 30),
+                    ])),
+                    Box::new(Expr::int(32, 1)),
+                    Box::new(Expr::int(32, 99)),
+                )),
+                Box::new(wr(
+                    A,
+                    Expr::Bin(
+                        BinOp::Add,
+                        Box::new(Expr::Index(
+                            Box::new(Expr::Var("v".into())),
+                            Box::new(Expr::int(32, 1)),
+                        )),
+                        Box::new(Expr::Index(
+                            Box::new(Expr::Var("v".into())),
+                            Box::new(Expr::int(32, 2)),
+                        )),
+                    ),
+                )),
+            ),
+        };
+        assert_native_parity(&vecs, &d, |_| {});
+        // Struct expressions, including the fused LoadField path.
+        let structs = RuleDef {
+            name: "structs".into(),
+            body: Action::Let(
+                "s".into(),
+                Box::new(Expr::UpdateField(
+                    Box::new(Expr::MkStruct(vec![
+                        ("re".into(), Expr::int(32, 7)),
+                        ("im".into(), Expr::int(32, 8)),
+                    ])),
+                    "im".into(),
+                    Box::new(Expr::int(32, 80)),
+                )),
+                Box::new(wr(
+                    A,
+                    Expr::Field(Box::new(Expr::Var("s".into())), "im".into()),
+                )),
+            ),
+        };
+        assert_native_parity(&structs, &d, |_| {});
+        // A residual mid-sequence guard (deq;enq on the same FIFO) — the
+        // native body must fail/rollback exactly like the interpreter.
+        let residual = RuleDef {
+            name: "res".into(),
+            body: Action::Seq(
+                Box::new(Action::Call(Target::Prim(F, PrimMethod::Deq), vec![])),
+                Box::new(enq(F, Expr::int(32, 1))),
+            ),
+        };
+        assert_native_parity(&residual, &d, |_| {});
+        assert_native_parity(&residual, &d, |s| {
+            s.state_mut(F)
+                .call_action(PrimMethod::Enq, &[Value::int(32, 5)])
+                .unwrap();
+        });
+        // A true swap keeps its Par body; the native closure drives the
+        // same par_start/par_mid/par_end frame discipline.
+        let swap = RuleDef {
+            name: "swap".into(),
+            body: Action::Par(Box::new(wr(A, rd(B))), Box::new(wr(B, rd(A)))),
+        };
+        assert_native_parity(&swap, &d, |s| {
+            s.state_mut(A)
+                .call_action(PrimMethod::RegWrite, &[Value::int(32, 7)])
+                .unwrap();
+        });
+        // When-expression guard folding.
+        let when_e = RuleDef {
+            name: "when_e".into(),
+            body: wr(
+                A,
+                Expr::When(
+                    Box::new(rd(B)),
+                    Box::new(Expr::Bin(
+                        BinOp::Gt,
+                        Box::new(rd(B)),
+                        Box::new(Expr::int(32, 5)),
+                    )),
+                ),
+            ),
+        };
+        assert_native_parity(&when_e, &d, |_| {});
+    }
+
+    #[test]
+    fn native_inplace_matches_interpreter_and_vm() {
+        let d = d3();
+        assert_inplace_parity(&rule_foo(), &d, |_| {});
+        let lg = RuleDef {
+            name: "lg".into(),
+            body: Action::LocalGuard(Box::new(enq(F, Expr::int(32, 1)))),
+        };
+        // The lifter turns this into a plain conditional, which the
+        // native backend executes in place.
+        assert_inplace_parity(&lg, &d, |_| {});
+    }
+
+    #[test]
+    fn double_write_reported_identically() {
+        let d = d3();
+        let body = Action::Par(
+            Box::new(wr(A, Expr::int(32, 1))),
+            Box::new(wr(A, Expr::int(32, 2))),
+        );
+        let cb = compile_action(&body).expect("Par compiles");
+        let mut s = Store::new(&d);
+        let mut frame = NativeFrame::new();
+        let err = run_rule_native(&mut frame, &mut s, &cb, ShadowPolicy::Partial).unwrap_err();
+        let mut s2 = Store::new(&d);
+        let err2 = run_rule(&mut s2, &body, ShadowPolicy::Partial).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{err2}"));
+    }
+
+    #[test]
+    fn coverage_matches_stack_machine() {
+        // localGuard, unelaborated names, and unbound variables fall back
+        // to the interpreter — in both compiled backends.
+        let lg = Action::LocalGuard(Box::new(Action::NoAction));
+        assert!(compile_action(&lg).is_none());
+        assert!(crate::xform::compile_action(&lg).is_none());
+        let named = Action::Call(Target::Named("x".into(), "enq".into()), vec![]);
+        assert!(compile_action(&named).is_none());
+        assert!(crate::xform::compile_action(&named).is_none());
+        let unbound = Expr::Var("nope".into());
+        assert!(compile_expr(&unbound).is_none());
+        assert!(crate::xform::compile_expr(&unbound).is_none());
+    }
+
+    #[test]
+    fn guard_failures_fold_to_false() {
+        let d = d3();
+        let s = Store::new(&d);
+        let mut frame = NativeFrame::new();
+        let mut cost = Cost::default();
+        // Guard reads f.first on an empty FIFO -> false, not an error.
+        let g = Expr::Bin(
+            BinOp::Gt,
+            Box::new(Expr::Call(Target::Prim(F, PrimMethod::First), vec![])),
+            Box::new(Expr::int(32, 0)),
+        );
+        let cg = compile_expr(&g).unwrap();
+        assert!(!eval_guard_native(&mut frame, &s, &cg, &mut cost).unwrap());
+        assert_eq!(cost.guard_evals, 1);
+        // And cost parity with the interpreter on the failure path.
+        let mut s2 = Store::new(&d);
+        let mut cost2 = Cost::default();
+        assert!(!eval_guard_ro(&mut s2, &g, &mut cost2).unwrap());
+        assert_eq!(cost, cost2);
+    }
+}

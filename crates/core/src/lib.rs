@@ -67,6 +67,7 @@ pub mod analysis;
 pub mod ast;
 pub mod builder;
 pub mod codec;
+pub mod compile;
 pub mod design;
 pub mod domain;
 pub mod elab;

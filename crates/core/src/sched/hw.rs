@@ -13,6 +13,7 @@
 use crate::analysis::{ConflictInfo, Sensitivity};
 use crate::ast::{Action, PrimId};
 use crate::codec::{self, ByteReader, ByteWriter, CodecResult};
+use crate::compile::{self, eval_guard_native, run_rule_native, NativeFrame, NativeRule};
 use crate::design::Design;
 use crate::error::{ElabError, ExecResult};
 use crate::exec::{
@@ -149,6 +150,12 @@ pub struct HwSim {
     /// reference mode (identical observable behavior, used as a test
     /// oracle and benchmark baseline).
     pub event_driven: bool,
+    /// Execute guards and bodies through the closure-threaded native
+    /// backend ([`crate::compile`]) instead of the stack-machine [`Vm`].
+    /// Observable behavior (firings, cycles, state) is bit-identical;
+    /// only wall-clock time changes. Set after construction, like
+    /// `event_driven`.
+    pub compiled: bool,
     fired: Vec<u64>,
     total_fired: u64,
     peak: usize,
@@ -158,6 +165,8 @@ pub struct HwSim {
     vm: Vm,
     guard_evals: u64,
     guard_evals_skipped: u64,
+    natives: Vec<NativeRule>,
+    frame: NativeFrame,
 }
 
 impl HwSim {
@@ -188,6 +197,9 @@ impl HwSim {
         );
         let n = plans.len();
         let sens = Sensitivity::of_plans(&plans, store.len());
+        // Lowering is a cheap one-time pass; build the native rules
+        // unconditionally so `compiled` can be flipped after construction.
+        let natives = compile::compile_plans(&plans);
         Ok(HwSim {
             plans,
             conflicts: ConflictInfo::of_design(design),
@@ -195,6 +207,7 @@ impl HwSim {
             store,
             cycles: 0,
             event_driven: true,
+            compiled: false,
             fired: vec![0; n],
             total_fired: 0,
             peak: 0,
@@ -204,6 +217,8 @@ impl HwSim {
             vm: Vm::default(),
             guard_evals: 0,
             guard_evals_skipped: 0,
+            natives,
+            frame: NativeFrame::new(),
         })
     }
 
@@ -239,11 +254,26 @@ impl HwSim {
                             self.guard_evals_skipped += 1;
                             v
                         } else {
-                            let v = match &self.plans[i].guard_prog {
-                                Some(p) => {
-                                    eval_guard_compiled(&mut self.vm, &self.store, p, &mut ignored)?
+                            let v = if self.compiled {
+                                match &self.natives[i].guard {
+                                    Some(cg) => eval_guard_native(
+                                        &mut self.frame,
+                                        &self.store,
+                                        cg,
+                                        &mut ignored,
+                                    )?,
+                                    None => eval_guard_ro(&mut self.store, g, &mut ignored)?,
                                 }
-                                None => eval_guard_ro(&mut self.store, g, &mut ignored)?,
+                            } else {
+                                match &self.plans[i].guard_prog {
+                                    Some(p) => eval_guard_compiled(
+                                        &mut self.vm,
+                                        &self.store,
+                                        p,
+                                        &mut ignored,
+                                    )?,
+                                    None => eval_guard_ro(&mut self.store, g, &mut ignored)?,
+                                }
                             };
                             self.guard_evals += 1;
                             self.verdicts[i] = Some(v);
@@ -259,7 +289,19 @@ impl HwSim {
                 self.scratch_ready[i] = match &self.plans[i].guard {
                     Some(g) => {
                         self.guard_evals += 1;
-                        eval_guard_ro(&mut self.store, g, &mut ignored)?
+                        if self.compiled {
+                            match &self.natives[i].guard {
+                                Some(cg) => eval_guard_native(
+                                    &mut self.frame,
+                                    &self.store,
+                                    cg,
+                                    &mut ignored,
+                                )?,
+                                None => eval_guard_ro(&mut self.store, g, &mut ignored)?,
+                            }
+                        } else {
+                            eval_guard_ro(&mut self.store, g, &mut ignored)?
+                        }
                     }
                     None => true,
                 };
@@ -279,11 +321,23 @@ impl HwSim {
         let mut fired_now = 0;
         for &i in &selected {
             let plan = &self.plans[i];
-            let (out, _c) = match (&plan.body_prog, self.event_driven) {
-                (Some(p), true) => {
-                    run_rule_compiled(&mut self.vm, &mut self.store, p, ShadowPolicy::Partial)?
+            let (out, _c) = if self.compiled {
+                match &self.natives[i].body {
+                    Some(cb) => run_rule_native(
+                        &mut self.frame,
+                        &mut self.store,
+                        cb,
+                        ShadowPolicy::Partial,
+                    )?,
+                    None => run_rule(&mut self.store, &plan.body, ShadowPolicy::Partial)?,
                 }
-                _ => run_rule(&mut self.store, &plan.body, ShadowPolicy::Partial)?,
+            } else {
+                match (&plan.body_prog, self.event_driven) {
+                    (Some(p), true) => {
+                        run_rule_compiled(&mut self.vm, &mut self.store, p, ShadowPolicy::Partial)?
+                    }
+                    _ => run_rule(&mut self.store, &plan.body, ShadowPolicy::Partial)?,
+                }
             };
             if out == RuleOutcome::Fired {
                 self.fired[i] += 1;
@@ -475,6 +529,26 @@ mod tests {
         assert_eq!(out.len(), n as usize);
         assert_eq!(out[0], 0);
         assert_eq!(out[5], 30, "5 * 2 * 3");
+    }
+
+    #[test]
+    fn compiled_backend_is_cycle_identical() {
+        for event_driven in [false, true] {
+            let mut runs = Vec::new();
+            for compiled in [false, true] {
+                let d = pipeline3();
+                let mut store = Store::new(&d);
+                for i in 0..20 {
+                    store.push_source(PrimId(0), Value::int(32, i));
+                }
+                let mut sim = HwSim::with_store(&d, store).unwrap();
+                sim.event_driven = event_driven;
+                sim.compiled = compiled;
+                sim.run_until_quiescent(1000).unwrap();
+                runs.push((sim.store.sink_values(PrimId(3)).to_vec(), sim.report()));
+            }
+            assert_eq!(runs[0], runs[1], "event_driven={event_driven}");
+        }
     }
 
     #[test]

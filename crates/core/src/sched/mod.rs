@@ -13,7 +13,7 @@ mod hw;
 mod sw;
 
 pub use hw::{hw_check, HwReport, HwSim, HwSnapshot};
-pub use sw::{Strategy, SwOptions, SwReport, SwRunner, SwSnapshot};
+pub use sw::{ExecBackend, Strategy, SwOptions, SwReport, SwRunner, SwSnapshot};
 
 use crate::store::Cost;
 

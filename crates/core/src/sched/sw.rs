@@ -11,6 +11,9 @@ use super::CostModel;
 use crate::analysis::{successors, Sensitivity};
 use crate::ast::PrimId;
 use crate::codec::{self, ByteReader, ByteWriter, CodecResult};
+use crate::compile::{
+    self, eval_guard_native, run_rule_inplace_native, run_rule_native, NativeFrame, NativeRule,
+};
 use crate::design::Design;
 use crate::error::ExecResult;
 use crate::exec::{
@@ -38,6 +41,44 @@ pub enum Strategy {
     Dataflow,
 }
 
+/// The executor/store combination a run should use — a shorthand over
+/// the [`SwOptions`] `event_driven`/`flat`/`compiled` flags for callers
+/// (benchmarks, tests) that sweep backends. Every backend is bit- and
+/// cycle-identical in results and metered costs; only wall-clock
+/// simulator time differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Naive reference scheduler (every guard re-evaluated every step)
+    /// on the tree store.
+    Naive,
+    /// Event-driven scheduler driving the stack-machine [`Vm`] on the
+    /// tree store.
+    Event,
+    /// Event-driven scheduler driving the [`Vm`] on the bit-packed flat
+    /// arena store.
+    Flat,
+    /// Event-driven scheduler driving closure-threaded native rules
+    /// ([`crate::compile`]) on the flat arena store.
+    Compiled,
+}
+
+impl ExecBackend {
+    /// The [`SwOptions::event_driven`] flag for this backend.
+    pub fn event_driven(self) -> bool {
+        self != ExecBackend::Naive
+    }
+
+    /// The [`SwOptions::flat`] flag for this backend.
+    pub fn flat(self) -> bool {
+        matches!(self, ExecBackend::Flat | ExecBackend::Compiled)
+    }
+
+    /// The [`SwOptions::compiled`] flag for this backend.
+    pub fn compiled(self) -> bool {
+        self == ExecBackend::Compiled
+    }
+}
+
 /// Configuration for a software runner.
 #[derive(Debug, Clone, Copy)]
 pub struct SwOptions {
@@ -61,6 +102,12 @@ pub struct SwOptions {
     /// store. Semantics, metered costs, and error texts are identical —
     /// the fuzz farm proves it — only wall-clock time changes.
     pub flat: bool,
+    /// Execute rules through the closure-threaded native backend
+    /// ([`crate::compile`]) instead of the stack-machine [`Vm`]. Metered
+    /// costs, verdicts, and error texts are bit-identical to both
+    /// interpreters (the fuzz farm's sixth leg proves it); only
+    /// wall-clock time changes.
+    pub compiled: bool,
 }
 
 impl Default for SwOptions {
@@ -72,6 +119,7 @@ impl Default for SwOptions {
             model: CostModel::default(),
             event_driven: true,
             flat: false,
+            compiled: false,
         }
     }
 }
@@ -181,6 +229,8 @@ pub struct SwRunner {
     verdicts: Vec<Option<(bool, Cost)>>,
     dirty_scratch: Vec<PrimId>,
     vm: Vm,
+    natives: Vec<NativeRule>,
+    frame: NativeFrame,
 }
 
 impl SwRunner {
@@ -194,6 +244,11 @@ impl SwRunner {
         let plans = compile_design(design, opts.compile);
         let n = plans.len();
         let sens = Sensitivity::of_plans(&plans, store.len());
+        let natives = if opts.compiled {
+            compile::compile_plans(&plans)
+        } else {
+            Vec::new()
+        };
         SwRunner {
             plans,
             succ: successors(design),
@@ -209,6 +264,8 @@ impl SwRunner {
             verdicts: vec![None; n],
             dirty_scratch: Vec::new(),
             vm: Vm::default(),
+            natives,
+            frame: NativeFrame::new(),
         }
     }
 
@@ -252,13 +309,33 @@ impl SwRunner {
                     v
                 } else {
                     let mut delta = Cost::default();
-                    let v = match &plan.guard_prog {
-                        Some(p) => eval_guard_compiled(&mut self.vm, &self.store, p, &mut delta)?,
-                        None => eval_guard_ro(&mut self.store, g, &mut delta)?,
+                    let v = if self.opts.compiled {
+                        match &self.natives[i].guard {
+                            Some(cg) => {
+                                eval_guard_native(&mut self.frame, &self.store, cg, &mut delta)?
+                            }
+                            None => eval_guard_ro(&mut self.store, g, &mut delta)?,
+                        }
+                    } else {
+                        match &plan.guard_prog {
+                            Some(p) => {
+                                eval_guard_compiled(&mut self.vm, &self.store, p, &mut delta)?
+                            }
+                            None => eval_guard_ro(&mut self.store, g, &mut delta)?,
+                        }
                     };
                     self.cost.add(&delta);
                     self.verdicts[i] = Some((v, delta));
                     v
+                }
+            } else if self.opts.compiled {
+                // Naive mode still runs compiled guards natively — cost
+                // parity with `eval_guard_ro` is proven per-node.
+                match &self.natives[i].guard {
+                    Some(cg) => {
+                        eval_guard_native(&mut self.frame, &self.store, cg, &mut self.cost)?
+                    }
+                    None => eval_guard_ro(&mut self.store, g, &mut self.cost)?,
                 }
             } else {
                 eval_guard_ro(&mut self.store, g, &mut self.cost)?
@@ -270,19 +347,37 @@ impl SwRunner {
         }
         let fired = match plan.mode {
             ExecMode::InPlace => {
-                let c = match (&plan.body_prog, self.opts.event_driven) {
-                    (Some(p), true) => run_rule_inplace_compiled(&mut self.vm, &mut self.store, p)?,
-                    _ => run_rule_inplace(&mut self.store, &plan.body)?,
+                let c = if self.opts.compiled {
+                    match &self.natives[i].body {
+                        Some(cb) => run_rule_inplace_native(&mut self.frame, &mut self.store, cb)?,
+                        None => run_rule_inplace(&mut self.store, &plan.body)?,
+                    }
+                } else {
+                    match (&plan.body_prog, self.opts.event_driven) {
+                        (Some(p), true) => {
+                            run_rule_inplace_compiled(&mut self.vm, &mut self.store, p)?
+                        }
+                        _ => run_rule_inplace(&mut self.store, &plan.body)?,
+                    }
                 };
                 self.cost.add(&c);
                 true
             }
             ExecMode::Transactional => {
-                let (out, c) = match (&plan.body_prog, self.opts.event_driven) {
-                    (Some(p), true) => {
-                        run_rule_compiled(&mut self.vm, &mut self.store, p, self.opts.shadow)?
+                let (out, c) = if self.opts.compiled {
+                    match &self.natives[i].body {
+                        Some(cb) => {
+                            run_rule_native(&mut self.frame, &mut self.store, cb, self.opts.shadow)?
+                        }
+                        None => run_rule(&mut self.store, &plan.body, self.opts.shadow)?,
                     }
-                    _ => run_rule(&mut self.store, &plan.body, self.opts.shadow)?,
+                } else {
+                    match (&plan.body_prog, self.opts.event_driven) {
+                        (Some(p), true) => {
+                            run_rule_compiled(&mut self.vm, &mut self.store, p, self.opts.shadow)?
+                        }
+                        _ => run_rule(&mut self.store, &plan.body, self.opts.shadow)?,
+                    }
                 };
                 self.cost.add(&c);
                 out == RuleOutcome::Fired
@@ -574,6 +669,38 @@ mod tests {
                 runs.push((out, r.report()));
             }
             assert_eq!(runs[0], runs[1], "event_driven={event_driven}");
+        }
+    }
+
+    #[test]
+    fn compiled_backend_is_cycle_identical() {
+        for event_driven in [false, true] {
+            for flat in [false, true] {
+                let mut runs = Vec::new();
+                for compiled in [false, true] {
+                    let d = pipeline();
+                    let mut store = Store::new_like(&d, flat);
+                    for i in 0..5 {
+                        store.push_source(PrimId(0), Value::int(32, i));
+                    }
+                    let opts = SwOptions {
+                        event_driven,
+                        flat,
+                        compiled,
+                        ..Default::default()
+                    };
+                    let mut r = SwRunner::with_store(&d, store, opts);
+                    r.run_until_quiescent(1000).unwrap();
+                    let out: Vec<i64> = r
+                        .store
+                        .sink_values(PrimId(2))
+                        .iter()
+                        .map(|v| v.as_int().unwrap())
+                        .collect();
+                    runs.push((out, r.report()));
+                }
+                assert_eq!(runs[0], runs[1], "event_driven={event_driven} flat={flat}");
+            }
         }
     }
 

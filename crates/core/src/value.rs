@@ -532,19 +532,47 @@ impl Value {
                 width: *w,
                 val: sign_extend(*w, get_bits(words, offset, *w)),
             },
-            LayoutKind::Vector { len, stride, elem } => Value::Vec(
-                (0..*len)
-                    .map(|i| Value::read_flat(elem, words, offset + i * *stride as usize))
-                    .collect(),
-            ),
+            LayoutKind::Vector { len, stride, elem } => {
+                let stride = *stride as usize;
+                // Leaf-element vectors (the common payload shape) decode
+                // in a flat loop; only aggregate elements recurse.
+                match &elem.kind {
+                    LayoutKind::Int(w) => Value::Vec(
+                        (0..*len)
+                            .map(|i| Value::Int {
+                                width: *w,
+                                val: sign_extend(*w, get_bits(words, offset + i * stride, *w)),
+                            })
+                            .collect(),
+                    ),
+                    LayoutKind::Bits(w) => Value::Vec(
+                        (0..*len)
+                            .map(|i| Value::bits(*w, get_bits(words, offset + i * stride, *w)))
+                            .collect(),
+                    ),
+                    _ => Value::Vec(
+                        (0..*len)
+                            .map(|i| Value::read_flat(elem, words, offset + i * stride))
+                            .collect(),
+                    ),
+                }
+            }
             LayoutKind::Struct { fields } => Value::Struct(
                 fields
                     .iter()
                     .map(|f| {
-                        (
-                            f.name.clone(),
-                            Value::read_flat(&f.layout, words, offset + f.offset as usize),
-                        )
+                        let at = offset + f.offset as usize;
+                        // Leaf fields decode inline; aggregates recurse.
+                        let v = match &f.layout.kind {
+                            LayoutKind::Bool => Value::Bool(get_bits(words, at, 1) == 1),
+                            LayoutKind::Bits(w) => Value::bits(*w, get_bits(words, at, *w)),
+                            LayoutKind::Int(w) => Value::Int {
+                                width: *w,
+                                val: sign_extend(*w, get_bits(words, at, *w)),
+                            },
+                            _ => Value::read_flat(&f.layout, words, at),
+                        };
+                        (f.name.clone(), v)
                     })
                     .collect(),
             ),
@@ -556,10 +584,27 @@ impl Value {
 /// `offset` (LSB-first), clearing what was there. Bits of `v` beyond the
 /// destination width are ignored; destination bits past `width` are left
 /// untouched. Writes that would run past `words` are silently truncated.
+#[inline]
 pub fn put_bits(words: &mut [u64], offset: usize, width: u32, v: u64) {
+    let w = width as usize;
+    let bit = offset % 64;
+    // Fast path mirror of [`get_bits`]: the write lands in one word.
+    if bit + w <= 64 {
+        if let Some(x) = words.get_mut(offset / 64) {
+            let lo = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+            *x = (*x & !(lo << bit)) | ((v & lo) << bit);
+        }
+        return;
+    }
+    put_bits_spanning(words, offset, w, v)
+}
+
+/// Cross-word tail of [`put_bits`].
+#[cold]
+fn put_bits_spanning(words: &mut [u64], offset: usize, w: usize, v: u64) {
     let mut at = offset;
     let mut src = 0usize;
-    let mut remaining = width as usize;
+    let mut remaining = w;
     while remaining > 0 {
         let word = at / 64;
         if word >= words.len() {
@@ -592,11 +637,34 @@ pub fn put_bits(words: &mut [u64], offset: usize, width: u32, v: u64) {
 /// Reads the `width` bits at bit `offset` from the bit-packed `words`
 /// (LSB-first). Only the first 64 bits contribute (wider layouts are never
 /// produced by the frontend); reads past the end of `words` yield zeros.
+#[inline]
 pub fn get_bits(words: &[u64], offset: usize, width: u32) -> u64 {
+    let w = (width as usize).min(64);
+    let bit = offset % 64;
+    // Fast path: the read fits inside one word (every leaf of a layout
+    // whose fields are word-aligned or narrower than the tail of its
+    // word — the overwhelmingly common case on the guard-probe path).
+    if bit + w <= 64 {
+        let Some(&x) = words.get(offset / 64) else {
+            return 0;
+        };
+        return if w == 64 {
+            x
+        } else {
+            (x >> bit) & ((1u64 << w) - 1)
+        };
+    }
+    get_bits_spanning(words, offset, w)
+}
+
+/// Cross-word tail of [`get_bits`], kept out of line so the fast path
+/// inlines well.
+#[cold]
+fn get_bits_spanning(words: &[u64], offset: usize, w: usize) -> u64 {
     let mut out = 0u64;
     let mut at = offset;
     let mut got = 0usize;
-    let mut remaining = (width as usize).min(64);
+    let mut remaining = w;
     while remaining > 0 {
         let word = at / 64;
         if word >= words.len() {

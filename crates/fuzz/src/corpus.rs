@@ -84,7 +84,8 @@ fn run_sw(d: &Design, event_driven: bool) -> Result<BTreeMap<String, Vec<i64>>, 
 }
 
 /// Replays one corpus design through parse → typecheck → elaborate →
-/// validate and then through all four executors, requiring agreement.
+/// validate and then through every executor leg of the differential
+/// harness ([`crate::diff::run_case`]), requiring agreement.
 pub fn replay(src: &str) -> Result<(), String> {
     let program = bcl_frontend::parser::parse(src).map_err(|e| format!("parse: {e}"))?;
     bcl_frontend::typecheck::typecheck(&program).map_err(|e| format!("typecheck: {e}"))?;

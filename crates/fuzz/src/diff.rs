@@ -1,5 +1,5 @@
-//! The differential harness: one generated design, four executors, one
-//! verdict.
+//! The differential harness: one generated design, six executor legs,
+//! one verdict.
 //!
 //! [`run_case`] pushes a spec through the full toolchain and then runs
 //! the elaborated design on every executor the workspace has:
@@ -9,10 +9,15 @@
 //!    naive run *cycle-identically* (same `cpu_cycles`, same per-rule
 //!    firing counts), not just value-identically,
 //! 3. the fused single-process design (`fuse_partitioned`),
-//! 4. the N-partition co-simulation under the given fault plan, and
+//! 4. the N-partition co-simulation under the given fault plan,
 //! 5. the flat arena store (`SwOptions { flat: true }`): naive and
 //!    event-driven software runs plus a flat-backed co-simulation, each
-//!    of which must be bit- and cycle-identical to its tree-backed twin.
+//!    of which must be bit- and cycle-identical to its tree-backed twin,
+//!    and
+//! 6. the closure-threaded native backend (`SwOptions { compiled: true
+//!    }`): compiled naive and compiled event-driven software runs plus a
+//!    compiled co-simulation, each bit- and cycle-identical to its
+//!    interpreted twin.
 //!
 //! All output streams must equal the spec's gold model bit-for-bit. For
 //! fault-free plans the co-simulation additionally runs in both
@@ -53,7 +58,7 @@ fn sink_ints(d: &Design, runner: &SwRunner, path: &str) -> Result<Vec<i64>, Stri
 }
 
 fn run_sw(d: &Design, spec: &DesignSpec, event_driven: bool) -> Result<SwRunner, String> {
-    run_sw_on(d, spec, event_driven, false)
+    run_sw_on(d, spec, event_driven, false, false)
 }
 
 fn run_sw_on(
@@ -61,11 +66,13 @@ fn run_sw_on(
     spec: &DesignSpec,
     event_driven: bool,
     flat: bool,
+    compiled: bool,
 ) -> Result<SwRunner, String> {
     let opts = SwOptions {
         strategy: Strategy::Dataflow,
         event_driven,
         flat,
+        compiled,
         ..SwOptions::default()
     };
     let mut r = SwRunner::new(d, opts);
@@ -143,7 +150,7 @@ fn run_case_inner(
     // its tree-backed twin — equal sink streams and equal SwReports
     // (per-rule firing counts and modeled cpu_cycles).
     for (event_driven, tree_report) in [(false, &ra), (true, &rb)] {
-        let flat_run = run_sw_on(&design, spec, event_driven, true)?;
+        let flat_run = run_sw_on(&design, spec, event_driven, true, false)?;
         let got = sink_ints(&design, &flat_run, "snk")?;
         if got != gold {
             return Err(format!(
@@ -156,6 +163,27 @@ fn run_case_inner(
             return Err(format!(
                 "flat store (event_driven={event_driven}) is not cycle-identical to the \
                  tree store:\n  tree {tree_report:?}\n  flat {rf:?}"
+            ));
+        }
+    }
+
+    // Executor F (software half): the closure-threaded native backend,
+    // in both guard scheduling modes. Each run must be bit- and
+    // cycle-identical to its interpreted twin.
+    for (event_driven, tree_report) in [(false, &ra), (true, &rb)] {
+        let native_run = run_sw_on(&design, spec, event_driven, false, true)?;
+        let got = sink_ints(&design, &native_run, "snk")?;
+        if got != gold {
+            return Err(format!(
+                "compiled backend (event_driven={event_driven}) disagrees with gold model:\n  \
+                 got  {got:?}\n  want {gold:?}"
+            ));
+        }
+        let rn = native_run.report();
+        if rn != *tree_report {
+            return Err(format!(
+                "compiled backend (event_driven={event_driven}) is not cycle-identical to \
+                 the interpreter:\n  interp {tree_report:?}\n  compiled {rn:?}"
             ));
         }
     }
@@ -173,59 +201,62 @@ fn run_case_inner(
 
     // Executor D: N-partition co-simulation under the fault plan.
     let hw = parts.hw_domains(SW);
-    let cosim_cycles_of = |hw_event_driven: bool, flat: bool| -> Result<(Vec<i64>, u64), String> {
-        let cfgs: Vec<HwPartitionCfg> = hw
-            .iter()
-            .enumerate()
-            .map(|(i, d)| {
-                let fc = if i == 0 {
-                    plan.fault_config()
-                } else {
-                    plan.link_only_config()
-                };
-                HwPartitionCfg::new(d)
-                    .with_faults(fc)
-                    .with_event_driven(hw_event_driven)
-            })
-            .collect();
-        let routing = if plan.fabric {
-            InterHwRouting::fabric()
-        } else {
-            InterHwRouting::ViaHub
-        };
-        let sw_opts = SwOptions {
-            flat,
-            ..SwOptions::default()
-        };
-        let mut cs = Cosim::multi(&parts, SW, &cfgs, routing, sw_opts)
-            .map_err(|e| format!("cosim setup: {e}"))?;
-        if let Some(p) = plan.recovery() {
-            cs.set_recovery_policy(p);
-        }
-        for &v in &spec.items {
-            cs.try_push_source("src", Value::int(spec.width, v))
-                .map_err(|e| format!("cosim push: {e}"))?;
-        }
-        let n = gold.len();
-        let out = cs
-            .run_until(|c| c.sink_count("snk") == n, COSIM_BUDGET)
-            .map_err(|e| format!("cosim run: {e}"))?;
-        if !out.is_done() {
-            return Err(format!(
-                "cosim did not deliver all {n} outputs within {COSIM_BUDGET} cycles \
+    let cosim_cycles_of =
+        |hw_event_driven: bool, flat: bool, compiled: bool| -> Result<(Vec<i64>, u64), String> {
+            let cfgs: Vec<HwPartitionCfg> = hw
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    let fc = if i == 0 {
+                        plan.fault_config()
+                    } else {
+                        plan.link_only_config()
+                    };
+                    HwPartitionCfg::new(d)
+                        .with_faults(fc)
+                        .with_event_driven(hw_event_driven)
+                        .with_compiled(compiled)
+                })
+                .collect();
+            let routing = if plan.fabric {
+                InterHwRouting::fabric()
+            } else {
+                InterHwRouting::ViaHub
+            };
+            let sw_opts = SwOptions {
+                flat,
+                compiled,
+                ..SwOptions::default()
+            };
+            let mut cs = Cosim::multi(&parts, SW, &cfgs, routing, sw_opts)
+                .map_err(|e| format!("cosim setup: {e}"))?;
+            if let Some(p) = plan.recovery() {
+                cs.set_recovery_policy(p);
+            }
+            for &v in &spec.items {
+                cs.try_push_source("src", Value::int(spec.width, v))
+                    .map_err(|e| format!("cosim push: {e}"))?;
+            }
+            let n = gold.len();
+            let out = cs
+                .run_until(|c| c.sink_count("snk") == n, COSIM_BUDGET)
+                .map_err(|e| format!("cosim run: {e}"))?;
+            if !out.is_done() {
+                return Err(format!(
+                    "cosim did not deliver all {n} outputs within {COSIM_BUDGET} cycles \
                  (got {})",
-                cs.sink_count("snk")
-            ));
-        }
-        let got: Vec<i64> = cs
-            .sink_values("snk")
-            .iter()
-            .map(|v| v.as_int().map_err(|e| e.to_string()))
-            .collect::<Result<_, _>>()?;
-        Ok((got, out.fpga_cycles()))
-    };
+                    cs.sink_count("snk")
+                ));
+            }
+            let got: Vec<i64> = cs
+                .sink_values("snk")
+                .iter()
+                .map(|v| v.as_int().map_err(|e| e.to_string()))
+                .collect::<Result<_, _>>()?;
+            Ok((got, out.fpga_cycles()))
+        };
 
-    let (got_d, cycles_event) = cosim_cycles_of(true, false)?;
+    let (got_d, cycles_event) = cosim_cycles_of(true, false, false)?;
     if got_d != gold {
         return Err(format!(
             "co-simulation disagrees with gold model:\n  got  {got_d:?}\n  want {gold:?}"
@@ -235,7 +266,7 @@ fn run_case_inner(
     // Executor E (platform half): the same co-simulation over flat
     // arena stores on both sides of the link — same value stream, same
     // modeled FPGA time.
-    let (got_flat, cycles_flat) = cosim_cycles_of(true, true)?;
+    let (got_flat, cycles_flat) = cosim_cycles_of(true, true, false)?;
     if got_flat != gold {
         return Err(format!(
             "flat-store co-simulation disagrees with gold model:\n  \
@@ -249,10 +280,27 @@ fn run_case_inner(
         ));
     }
 
+    // Executor F (platform half): the same co-simulation with every
+    // scheduler on the native backend — same value stream, same modeled
+    // FPGA time.
+    let (got_native, cycles_native) = cosim_cycles_of(true, false, true)?;
+    if got_native != gold {
+        return Err(format!(
+            "compiled co-simulation disagrees with gold model:\n  \
+             got  {got_native:?}\n  want {gold:?}"
+        ));
+    }
+    if cycles_native != cycles_event {
+        return Err(format!(
+            "compiled co-simulation is not cycle-identical to the interpreter: \
+             {cycles_native} vs {cycles_event} FPGA cycles"
+        ));
+    }
+
     // For fault-free plans the event-driven and naive hardware
     // schedulers must also agree on modeled FPGA time exactly.
     if plan.is_fault_free() && !hw.is_empty() {
-        let (got_naive_hw, cycles_naive) = cosim_cycles_of(false, false)?;
+        let (got_naive_hw, cycles_naive) = cosim_cycles_of(false, false, false)?;
         if got_naive_hw != gold {
             return Err(format!(
                 "naive-hardware co-simulation disagrees with gold model:\n  \

@@ -12,8 +12,8 @@
 //!
 //! [`expected_outputs`] evaluates the same spec in plain Rust, mirroring
 //! `bcl_core::value` arithmetic exactly (two's-complement wrap to the
-//! declared width, sign extension, shift masking). It is a fifth,
-//! executor-independent oracle: the four executors must not only agree
+//! declared width, sign extension, shift masking). It is an extra,
+//! executor-independent oracle: the executors must not only agree
 //! with each other but with it.
 
 use bcl_core::builder::dsl::*;

@@ -186,6 +186,10 @@ pub struct HwPartitionCfg {
     /// evaluate-every-guard reference mode. Cycle counts are identical
     /// either way; only simulator wall-clock time differs.
     pub event_driven: bool,
+    /// Closure-threaded native execution for this partition's simulator
+    /// (see [`HwSim::compiled`]). Firings, cycle counts, and state are
+    /// bit-identical either way; only simulator wall-clock time differs.
+    pub compiled: bool,
 }
 
 impl HwPartitionCfg {
@@ -197,6 +201,7 @@ impl HwPartitionCfg {
             faults: FaultConfig::none(),
             clock_div: 1,
             event_driven: true,
+            compiled: false,
         }
     }
 
@@ -222,6 +227,14 @@ impl HwPartitionCfg {
     /// (`false`) guard scheduling for this partition.
     pub fn with_event_driven(mut self, on: bool) -> HwPartitionCfg {
         self.event_driven = on;
+        self
+    }
+
+    /// Selects closure-threaded native execution (`true`) or the
+    /// stack-machine/interpreter path (`false`, the default) for this
+    /// partition's simulator.
+    pub fn with_compiled(mut self, on: bool) -> HwPartitionCfg {
+        self.compiled = on;
         self
     }
 }
@@ -300,6 +313,7 @@ struct SwOwned {
     faults: FaultConfig,
     clock_div: u64,
     event_driven: bool,
+    compiled: bool,
     fault_schedule: Vec<PartitionFault>,
     fault_fired: Vec<bool>,
 }
@@ -701,6 +715,11 @@ impl SwOwned {
             faults,
             clock_div,
             event_driven,
+            // Not persisted (would change the snapshot format for a
+            // wall-clock-only flag): a partition revived from a restored
+            // checkpoint runs the interpreter path, which is bit- and
+            // cycle-identical to native execution.
+            compiled: false,
             fault_schedule,
             fault_fired,
         })
@@ -1125,6 +1144,7 @@ impl Cosim {
             faults,
             clock_div: 1,
             event_driven: true,
+            compiled: false,
         };
         Cosim::multi(
             p,
@@ -1200,6 +1220,7 @@ impl Cosim {
             let mut hw = HwSim::with_store(&design, Store::new_like(&design, sw_opts.flat))
                 .map_err(|e| PlatformError::new(e.to_string()))?;
             hw.event_driven = cfg.event_driven;
+            hw.compiled = cfg.compiled;
             let transactor = if specs.is_empty() {
                 None
             } else {
@@ -2290,6 +2311,7 @@ impl Cosim {
             faults: dead.link.fault_config().clone(),
             clock_div: dead.clock_div,
             event_driven: dead.hw.event_driven,
+            compiled: dead.hw.compiled,
             fault_schedule: dead.fault_schedule,
             fault_fired: dead.fault_fired,
         });
@@ -2533,6 +2555,7 @@ impl Cosim {
         let mut hw = HwSim::with_store(&revived_design, hw_store)
             .map_err(|e| ExecError::Malformed(e.to_string()))?;
         hw.event_driven = rec.event_driven;
+        hw.compiled = rec.compiled;
         let cost = self.sw.cost;
         let mut sw = SwRunner::with_store(&topo.sw_design, sw_store, self.sw_opts);
         sw.cost = cost;

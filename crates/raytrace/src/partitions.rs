@@ -18,7 +18,7 @@ use crate::bvh::{build_bvh, Bvh};
 use crate::geom::make_scene;
 use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
-use bcl_core::sched::{Strategy, SwOptions};
+use bcl_core::sched::{ExecBackend, Strategy, SwOptions};
 use bcl_core::value::Value;
 use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
@@ -233,17 +233,66 @@ pub fn run_partition_flat(
     width: usize,
     height: usize,
 ) -> Result<RtRun, PlatformError> {
-    let cosim = make_cosim_full(
+    let cosim = build_cosim(which, bvh, width, height, ExecBackend::Flat)?;
+    run_built(cosim, which, width * height)
+}
+
+/// Runs one partition with every scheduler executing through the
+/// closure-threaded native backend over the bit-packed flat arena
+/// ([`SwOptions::compiled`] + [`SwOptions::flat`]). Cycle counts and
+/// the image are identical to [`run_partition`]; only simulator
+/// wall-clock time differs.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_compiled(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+) -> Result<RtRun, PlatformError> {
+    let cosim = build_cosim(which, bvh, width, height, ExecBackend::Compiled)?;
+    run_built(cosim, which, width * height)
+}
+
+/// Builds the fault-free co-simulation for a partition on the given
+/// executor backend, with the ray stream queued but nothing run yet.
+/// Together with [`run_built`] this splits a partition run into its
+/// one-time construction phase (elaborate + partition + lower rules)
+/// and its simulation phase, so benchmarks can time them separately.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn build_cosim(
+    which: RtPartition,
+    bvh: &Bvh,
+    width: usize,
+    height: usize,
+    backend: ExecBackend,
+) -> Result<Cosim, PlatformError> {
+    make_cosim_full(
         which,
         bvh,
         width,
         height,
         FaultConfig::none(),
         RecoveryPolicy::Fail,
-        true,
-        true,
-    )?;
-    finish_run(cosim, which, width * height, false)
+        backend.event_driven(),
+        backend.flat(),
+        backend.compiled(),
+    )
+}
+
+/// Runs a co-simulation built by [`build_cosim`] to ray-stream
+/// completion — the simulation phase of a partition run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_built(cosim: Cosim, which: RtPartition, want: usize) -> Result<RtRun, PlatformError> {
+    finish_run(cosim, which, want, false)
 }
 
 /// Builds the co-simulation for a partition exactly as every run entry
@@ -269,6 +318,7 @@ pub fn make_cosim(
         policy,
         event_driven,
         false,
+        false,
     )
 }
 
@@ -282,6 +332,7 @@ fn make_cosim_full(
     policy: RecoveryPolicy,
     event_driven: bool,
     flat: bool,
+    compiled: bool,
 ) -> Result<Cosim, PlatformError> {
     let cfg = which.config(width, height);
     let design = build_design(bvh, &cfg).map_err(|e| PlatformError::new(e.to_string()))?;
@@ -290,6 +341,7 @@ fn make_cosim_full(
         strategy: Strategy::Dataflow,
         event_driven,
         flat,
+        compiled,
         ..Default::default()
     };
     // One link configuration per distinct hardware domain; the fault
@@ -311,7 +363,8 @@ fn make_cosim_full(
         .map(|(i, d)| {
             let c = HwPartitionCfg::new(d)
                 .with_link(ml507_link())
-                .with_event_driven(event_driven);
+                .with_event_driven(event_driven)
+                .with_compiled(compiled);
             if i == 0 {
                 c.with_faults(faults.clone())
             } else {
@@ -625,6 +678,30 @@ mod tests {
             run.hw_partitions, 2,
             "both accelerators must finish the render in hardware"
         );
+    }
+
+    #[test]
+    fn compiled_backend_is_cycle_identical_on_partitions() {
+        let scene = make_scene(48, 5);
+        let bvh = build_bvh(&scene);
+        let (w, h) = (4, 4);
+        for p in [RtPartition::A, RtPartition::C] {
+            let base = run_partition(p, &bvh, w, h).unwrap();
+            let compiled = run_partition_compiled(p, &bvh, w, h).unwrap();
+            assert_eq!(compiled.image, base.image, "partition {}", p.label());
+            assert_eq!(
+                compiled.fpga_cycles,
+                base.fpga_cycles,
+                "partition {}",
+                p.label()
+            );
+            assert_eq!(
+                compiled.sw_cpu_cycles,
+                base.sw_cpu_cycles,
+                "partition {}",
+                p.label()
+            );
+        }
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::bcl::{build_design, frame_value, pcm_of_values, BackendOptions, VorbisDomains};
 use bcl_core::domain::{HW, SW};
 use bcl_core::partition::partition;
-use bcl_core::sched::{Strategy, SwOptions};
+use bcl_core::sched::{ExecBackend, Strategy, SwOptions};
 use bcl_platform::cosim::{Cosim, HwPartitionCfg, InterHwRouting, RecoveryPolicy};
 use bcl_platform::link::{FaultConfig, LinkConfig, LinkStats};
 use bcl_platform::PlatformError;
@@ -248,15 +248,70 @@ pub fn run_partition_flat(
     which: VorbisPartition,
     frames: &[Vec<i64>],
 ) -> Result<VorbisRun, PlatformError> {
-    let cosim = make_cosim_full(
+    run_built(
+        build_cosim(which, frames, ExecBackend::Flat)?,
+        which,
+        frames.len(),
+    )
+}
+
+/// Runs a partition with every scheduler executing through the
+/// closure-threaded native backend over the bit-packed flat arena
+/// ([`SwOptions::compiled`] + [`SwOptions::flat`]). Cycle counts and
+/// PCM are identical to [`run_partition`]; only simulator wall-clock
+/// time differs.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_partition_compiled(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+) -> Result<VorbisRun, PlatformError> {
+    run_built(
+        build_cosim(which, frames, ExecBackend::Compiled)?,
+        which,
+        frames.len(),
+    )
+}
+
+/// Builds the fault-free co-simulation for a partition on the given
+/// executor backend, with the input frames queued but nothing run yet.
+/// Together with [`run_built`] this splits a partition run into its
+/// one-time construction phase (elaborate + partition + lower rules)
+/// and its simulation phase, so benchmarks can time them separately.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn build_cosim(
+    which: VorbisPartition,
+    frames: &[Vec<i64>],
+    backend: ExecBackend,
+) -> Result<Cosim, PlatformError> {
+    make_cosim_full(
         which,
         frames,
         FaultConfig::none(),
         RecoveryPolicy::Fail,
-        true,
-        true,
-    )?;
-    finish_run(cosim, which, frames.len(), false)
+        backend.event_driven(),
+        backend.flat(),
+        backend.compiled(),
+    )
+}
+
+/// Runs a co-simulation built by [`build_cosim`] to stream completion —
+/// the simulation phase of a partition run.
+///
+/// # Errors
+///
+/// Same conditions as [`run_partition`].
+pub fn run_built(
+    cosim: Cosim,
+    which: VorbisPartition,
+    want: usize,
+) -> Result<VorbisRun, PlatformError> {
+    finish_run(cosim, which, want, false)
 }
 
 /// Builds the co-simulation for a partition exactly as every run entry
@@ -271,7 +326,7 @@ pub fn make_cosim(
     policy: RecoveryPolicy,
     event_driven: bool,
 ) -> Result<Cosim, PlatformError> {
-    make_cosim_full(which, frames, faults, policy, event_driven, false)
+    make_cosim_full(which, frames, faults, policy, event_driven, false, false)
 }
 
 fn make_cosim_full(
@@ -281,6 +336,7 @@ fn make_cosim_full(
     policy: RecoveryPolicy,
     event_driven: bool,
     flat: bool,
+    compiled: bool,
 ) -> Result<Cosim, PlatformError> {
     let domains = which.domains();
     let opts = BackendOptions {
@@ -293,6 +349,7 @@ fn make_cosim_full(
         strategy: Strategy::Dataflow,
         event_driven,
         flat,
+        compiled,
         ..Default::default()
     };
     let mut hw_domains: Vec<&str> = Vec::new();
@@ -311,7 +368,8 @@ fn make_cosim_full(
         .map(|(i, d)| {
             let cfg = HwPartitionCfg::new(d)
                 .with_link(ml507_link())
-                .with_event_driven(event_driven);
+                .with_event_driven(event_driven)
+                .with_compiled(compiled);
             if i == 0 {
                 cfg.with_faults(faults.clone())
             } else {
@@ -586,6 +644,28 @@ mod tests {
             failover.hw_partitions, 1,
             "the window accelerator must survive in hardware"
         );
+    }
+
+    #[test]
+    fn compiled_backend_is_cycle_identical_on_partitions() {
+        let frames = frame_stream(2, 21);
+        for p in [VorbisPartition::E, VorbisPartition::F] {
+            let base = run_partition(p, &frames).unwrap();
+            let compiled = run_partition_compiled(p, &frames).unwrap();
+            assert_eq!(compiled.pcm, base.pcm, "partition {}", p.label());
+            assert_eq!(
+                compiled.fpga_cycles,
+                base.fpga_cycles,
+                "partition {}",
+                p.label()
+            );
+            assert_eq!(
+                compiled.sw_cpu_cycles,
+                base.sw_cpu_cycles,
+                "partition {}",
+                p.label()
+            );
+        }
     }
 
     #[test]

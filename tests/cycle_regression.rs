@@ -17,13 +17,13 @@ use bcl_platform::link::{FaultConfig, PartitionFault};
 use bcl_raytrace::bvh::build_bvh;
 use bcl_raytrace::geom::make_scene;
 use bcl_raytrace::partitions::{
-    run_partition as rt_run, run_partition_flat as rt_run_flat,
-    run_partition_migrated as rt_run_migrated, RtPartition,
+    run_partition as rt_run, run_partition_compiled as rt_run_compiled,
+    run_partition_flat as rt_run_flat, run_partition_migrated as rt_run_migrated, RtPartition,
 };
 use bcl_vorbis::frames::frame_stream;
 use bcl_vorbis::partitions::{
-    run_partition as vorbis_run, run_partition_flat as vorbis_run_flat,
-    run_partition_migrated as vorbis_run_migrated,
+    run_partition as vorbis_run, run_partition_compiled as vorbis_run_compiled,
+    run_partition_flat as vorbis_run_flat, run_partition_migrated as vorbis_run_migrated,
     run_partition_with_recovery as vorbis_run_recovery, VorbisPartition,
 };
 
@@ -87,6 +87,62 @@ fn vorbis_flat_store_cycle_counts_are_pinned() {
                 p.label(),
                 flat.fpga_cycles,
                 flat.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn vorbis_compiled_backend_cycle_counts_are_pinned() {
+    // The closure-threaded native backend must land on the exact same
+    // pinned cycles as the interpreter for every shipped partition —
+    // bit- and cycle-identity, not "close enough". The PCM is also
+    // compared.
+    let frames = frame_stream(3, 21);
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in VORBIS_BASELINE {
+        let tree = vorbis_run(p, &frames).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        let compiled =
+            vorbis_run_compiled(p, &frames).unwrap_or_else(|e| panic!("{p:?} (compiled): {e}"));
+        assert_eq!(
+            compiled.pcm,
+            tree.pcm,
+            "partition {} compiled PCM diverged",
+            p.label()
+        );
+        if (compiled.fpga_cycles, compiled.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {} (compiled): expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                compiled.fpga_cycles,
+                compiled.sw_cpu_cycles
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn raytrace_compiled_backend_cycle_counts_are_pinned() {
+    let bvh = build_bvh(&make_scene(48, 5));
+    let mut failures = Vec::new();
+    for &(p, fpga, cpu) in RT_BASELINE {
+        let tree = rt_run(p, &bvh, 4, 4).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+        let compiled =
+            rt_run_compiled(p, &bvh, 4, 4).unwrap_or_else(|e| panic!("{p:?} (compiled): {e}"));
+        assert_eq!(
+            compiled.image,
+            tree.image,
+            "partition {} compiled image diverged",
+            p.label()
+        );
+        if (compiled.fpga_cycles, compiled.sw_cpu_cycles) != (fpga, cpu) {
+            failures.push(format!(
+                "partition {} (compiled): expected fpga={fpga} cpu={cpu}, got fpga={} cpu={}",
+                p.label(),
+                compiled.fpga_cycles,
+                compiled.sw_cpu_cycles
             ));
         }
     }

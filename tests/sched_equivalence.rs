@@ -92,9 +92,21 @@ fn run_sw(
     strategy: Strategy,
     event_driven: bool,
 ) -> (Vec<bool>, Vec<u64>, u64, Vec<i64>, u64) {
+    run_sw_on(design, inputs, strategy, event_driven, false)
+}
+
+/// Like [`run_sw`], with the closure-threaded native backend toggled.
+fn run_sw_on(
+    design: &Design,
+    inputs: &[i64],
+    strategy: Strategy,
+    event_driven: bool,
+    compiled: bool,
+) -> (Vec<bool>, Vec<u64>, u64, Vec<i64>, u64) {
     let opts = SwOptions {
         strategy,
         event_driven,
+        compiled,
         ..Default::default()
     };
     let mut r = SwRunner::with_store(design, preload(design, inputs), opts);
@@ -126,8 +138,20 @@ fn run_hw(
     inputs: &[i64],
     event_driven: bool,
 ) -> (Vec<usize>, Vec<u64>, u64, usize, Vec<i64>, u64, u64) {
+    run_hw_on(design, inputs, event_driven, false)
+}
+
+/// Like [`run_hw`], with the closure-threaded native backend toggled.
+#[allow(clippy::type_complexity)]
+fn run_hw_on(
+    design: &Design,
+    inputs: &[i64],
+    event_driven: bool,
+    compiled: bool,
+) -> (Vec<usize>, Vec<u64>, u64, usize, Vec<i64>, u64, u64) {
     let mut sim = HwSim::with_store(design, preload(design, inputs)).unwrap();
     sim.event_driven = event_driven;
+    sim.compiled = compiled;
     let mut trace = Vec::new();
     for _ in 0..100_000 {
         let fired = sim.step().unwrap();
@@ -194,6 +218,40 @@ proptest! {
         prop_assert!(skipped_e > 0, "event-driven mode found nothing to skip");
         prop_assert_eq!(evals_e + skipped_e, evals_n,
             "evaluated + skipped must account for every naive evaluation");
+    }
+
+    #[test]
+    fn sw_compiled_matches_interpreter(
+        stages in 2usize..5,
+        depth in 1usize..4,
+        strat in 0usize..3,
+        event_driven in any::<bool>(),
+        inputs in proptest::collection::vec(-100i64..100, 1..12),
+    ) {
+        // The native backend is an optimization, not a semantics change:
+        // trace, per-rule counts, modeled cpu_cycles, and sink streams
+        // must all be bit-identical to the interpreter in both guard
+        // scheduling modes.
+        let design = test_design(stages, depth);
+        let strategy = STRATEGIES[strat];
+        let interp = run_sw_on(&design, &inputs, strategy, event_driven, false);
+        let native = run_sw_on(&design, &inputs, strategy, event_driven, true);
+        prop_assert_eq!(interp, native,
+            "compiled sw run diverges ({strategy:?}, event_driven={event_driven})");
+    }
+
+    #[test]
+    fn hw_compiled_matches_interpreter(
+        stages in 2usize..5,
+        depth in 1usize..4,
+        event_driven in any::<bool>(),
+        inputs in proptest::collection::vec(-100i64..100, 1..12),
+    ) {
+        let design = test_design(stages, depth);
+        let interp = run_hw_on(&design, &inputs, event_driven, false);
+        let native = run_hw_on(&design, &inputs, event_driven, true);
+        prop_assert_eq!(interp, native,
+            "compiled hw run diverges (event_driven={event_driven})");
     }
 }
 
