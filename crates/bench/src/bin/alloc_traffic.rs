@@ -1,0 +1,115 @@
+//! Heap-traffic profile of the simulation phase, by backend.
+//!
+//! Counts every allocation (count and bytes) made during `run_built`
+//! — construction excluded — via a counting global allocator, for the
+//! event-driven Vm on the tree store, the same Vm on the flat arena,
+//! and the compiled closure backend with word-level lowering. The Vm
+//! legs stand in for the pre-word-lowering compiled backend too:
+//! BENCH_pr9 showed boxed closures within 1% of the Vm precisely
+//! because both materialized the same boxed `Value`s per rule firing
+//! (EXPERIMENTS.md §P2); word-level lowering is what separates them.
+//!
+//! ```text
+//! cargo run --release -p bcl-bench --bin alloc_traffic
+//! ```
+//!
+//! Allocation counts are deterministic per (design, partition,
+//! backend) — this is an instruction-stream property, not a timing —
+//! so single runs suffice and the numbers are reproducible.
+
+use bcl_core::sched::ExecBackend;
+use bcl_raytrace::bvh::build_bvh;
+use bcl_raytrace::geom::{gen_rays, make_scene};
+use bcl_raytrace::partitions::{build_cosim as build_rt, run_built as run_built_rt, RtPartition};
+use bcl_vorbis::frames::frame_stream;
+use bcl_vorbis::partitions::{build_cosim, run_built, VorbisPartition};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(l.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BACKENDS: [(&str, ExecBackend); 3] = [
+    ("event(tree)", ExecBackend::Event),
+    ("event(flat)", ExecBackend::Flat),
+    ("compiled", ExecBackend::Compiled),
+];
+
+fn measured<T>(f: impl FnOnce() -> T) -> (u64, u64, T) {
+    let (a0, b0) = (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    );
+    let v = f();
+    (
+        ALLOCS.load(Ordering::Relaxed) - a0,
+        BYTES.load(Ordering::Relaxed) - b0,
+        v,
+    )
+}
+
+fn main() {
+    println!(
+        "{:<16} {:<4} {:<12} {:>12} {:>14} {:>12}",
+        "bench", "part", "backend", "allocs", "bytes", "per_fpga_cyc"
+    );
+
+    let frames = frame_stream(8, 1);
+    for p in [VorbisPartition::F, VorbisPartition::E] {
+        for (name, backend) in BACKENDS {
+            let c = build_cosim(p, &frames, backend).unwrap();
+            let (allocs, bytes, run) = measured(|| run_built(c, p, frames.len()).unwrap());
+            println!(
+                "{:<16} {:<4} {:<12} {:>12} {:>14} {:>12.2}",
+                "fig13_vorbis",
+                p.label(),
+                name,
+                allocs,
+                bytes,
+                allocs as f64 / run.fpga_cycles.max(1) as f64
+            );
+        }
+    }
+
+    let bvh = build_bvh(&make_scene(64, 1));
+    let (w, h) = (4, 4);
+    let _rays = gen_rays(w, h);
+    for p in [RtPartition::A, RtPartition::C] {
+        for (name, backend) in BACKENDS {
+            let c = build_rt(p, &bvh, w, h, backend).unwrap();
+            let (allocs, bytes, run) = measured(|| run_built_rt(c, p, w * h).unwrap());
+            println!(
+                "{:<16} {:<4} {:<12} {:>12} {:>14} {:>12.2}",
+                "fig13_raytrace",
+                p.label(),
+                name,
+                allocs,
+                bytes,
+                allocs as f64 / run.fpga_cycles.max(1) as f64
+            );
+        }
+    }
+}

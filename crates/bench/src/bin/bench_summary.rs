@@ -7,7 +7,9 @@
 //! * **flat** — the same event-driven scheduler on the bit-packed
 //!   arena store (slot-indexed flat values, pointer-free guard reads);
 //! * **compiled** — the event-driven scheduler driving closure-threaded
-//!   native rules (no stack machine, no opcode dispatch) over the arena.
+//!   native rules (no stack machine, no opcode dispatch) over the arena;
+//!   with word-level lowering, single-word leaf values travel as bare
+//!   `u64`s through the port API instead of boxed `Value`s.
 //!
 //! Every leg is timed in **two phases** via the suites' public
 //! `build_cosim`/`run_built` split: the one-time construction phase
@@ -26,7 +28,7 @@
 //! Emits a machine-readable JSON summary.
 //!
 //! ```text
-//! bench_summary [output.json]    # default: BENCH_pr9.json
+//! bench_summary [output.json]    # default: BENCH_pr10.json
 //! ```
 //!
 //! Cycle counts and outputs are asserted identical across all four
@@ -34,7 +36,10 @@
 //! wall-clock, not a change in what is simulated. Any partition whose
 //! arena store runs *slower* than the tree store (`flat_speedup < 1`)
 //! is flagged loudly on stdout and collected in the JSON
-//! `flat_regressions` array (see EXPERIMENTS.md §P1 for the analysis).
+//! `flat_regressions` array (see EXPERIMENTS.md §P1 for the analysis);
+//! likewise any partition whose compiled closures run slower than the
+//! stack-machine Vm (`compiled_speedup < 1`) lands in
+//! `compiled_regressions` (see EXPERIMENTS.md §P3).
 
 use bcl_core::sched::ExecBackend;
 use bcl_raytrace::bvh::build_bvh;
@@ -153,7 +158,7 @@ fn time_best<T>(mut f: impl FnMut() -> T) -> (u128, T) {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_pr9.json".to_string());
+        .unwrap_or_else(|| "BENCH_pr10.json".to_string());
     let mut entries: Vec<Entry> = Vec::new();
 
     let frames = frame_stream(8, 1);
@@ -342,6 +347,24 @@ fn main() {
         );
     }
 
+    // Same treatment for the compiled backend: a compiled_speedup below
+    // 1.0 means closure threading (plus word-level lowering) lost to the
+    // stack-machine Vm on that partition.
+    let compiled_regressions: Vec<&Entry> = entries
+        .iter()
+        .filter(|e| e.compiled_speedup() < 1.0)
+        .collect();
+    for e in &compiled_regressions {
+        println!(
+            "WARNING: compiled-backend regression: {} {} runs {:.1}% slower compiled than the \
+             event Vm (compiled_speedup {:.4}) — see EXPERIMENTS.md P3",
+            e.bench,
+            e.partition,
+            (1.0 / e.compiled_speedup() - 1.0) * 100.0,
+            e.compiled_speedup()
+        );
+    }
+
     let mut json = String::from("{\n  \"benchmark\": \"naive_vs_event_vs_flat_vs_compiled\",\n");
     let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"overall_speedup\": {overall:.4},");
@@ -371,6 +394,14 @@ fn main() {
     let _ = writeln!(json, "  \"raytrace_native_ns\": {rt_native_ns},");
     json.push_str("  \"flat_regressions\": [");
     for (i, e) in flat_regressions.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{} {}\"", e.bench, e.partition);
+    }
+    json.push_str("],\n");
+    json.push_str("  \"compiled_regressions\": [");
+    for (i, e) in compiled_regressions.iter().enumerate() {
         if i > 0 {
             json.push_str(", ");
         }

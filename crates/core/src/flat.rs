@@ -28,7 +28,7 @@ use crate::design::Design;
 use crate::error::{ExecError, ExecResult};
 use crate::prim::{PrimSpec, PrimState};
 use crate::types::{Layout, Type};
-use crate::value::{flat_to_wire, Value};
+use crate::value::{copy_bits, flat_to_wire, get_bits, put_bits, Value};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -548,6 +548,146 @@ pub(crate) fn regfile_call_action_sparse(
         }
         _ => Err(action_unsupported(m, p.kind_name)),
     }
+}
+
+// ---- word-level fast paths (ROADMAP "Word-level lowering") ---------------
+//
+// The compiled backend keeps single-word leaf values in registers end to
+// end: these helpers read and write raw bit spans of an element lane
+// without ever materializing a `Value`. Like the boxed operations above,
+// they are free functions over word slices so the transactional shadow
+// entries in `store.rs` share them with in-place execution. All of them
+// assume the caller (the lowering pass in `compile.rs`) has proven the
+// accessed span is a leaf of width ≤ 64 inside the element layout.
+
+/// Packs the boxed spill front of a FIFO into a scratch lane and reads a
+/// bit span out of it. Cold: a spill is only ever non-empty after a
+/// failover splice overflows the ring.
+#[cold]
+fn spill_front_bits(p: &FlatPrim, v: &Value, off: u32, width: u32) -> u64 {
+    let mut buf = vec![0u64; p.lane.max(1)];
+    v.write_flat(&mut buf, 0);
+    get_bits(&buf, off as usize, width)
+}
+
+/// Reads `width` bits at bit `off` of a FIFO's front element.
+///
+/// # Errors
+///
+/// [`ExecError::GuardFail`] when the FIFO (ring and spill) is empty,
+/// exactly like `first`.
+pub(crate) fn fifo_first_word(
+    p: &FlatPrim,
+    block: &[u64],
+    spill: &VecDeque<Value>,
+    off: u32,
+    width: u32,
+) -> ExecResult<u64> {
+    let (head, len) = fifo_geom(block);
+    if len > 0 {
+        Ok(get_bits(
+            block,
+            (2 + head * p.lane) * 64 + off as usize,
+            width,
+        ))
+    } else {
+        match spill.front() {
+            Some(v) => Ok(spill_front_bits(p, v, off, width)),
+            None => Err(ExecError::GuardFail),
+        }
+    }
+}
+
+/// Copies `width` bits at bit `off` of a FIFO's front element into `dst`
+/// at `dst_bit` (packed aggregate reads: whole elements or sub-aggregates
+/// move without decoding).
+///
+/// # Errors
+///
+/// [`ExecError::GuardFail`] when the FIFO is empty, like `first`.
+pub(crate) fn fifo_first_packed(
+    p: &FlatPrim,
+    block: &[u64],
+    spill: &VecDeque<Value>,
+    off: u32,
+    width: u32,
+    dst: &mut [u64],
+    dst_bit: usize,
+) -> ExecResult<()> {
+    let (head, len) = fifo_geom(block);
+    if len > 0 {
+        copy_bits(
+            block,
+            (2 + head * p.lane) * 64 + off as usize,
+            dst,
+            dst_bit,
+            width,
+        );
+        Ok(())
+    } else {
+        match spill.front() {
+            Some(v) => {
+                let mut buf = vec![0u64; p.lane.max(1)];
+                v.write_flat(&mut buf, 0);
+                copy_bits(&buf, off as usize, dst, dst_bit, width);
+                Ok(())
+            }
+            None => Err(ExecError::GuardFail),
+        }
+    }
+}
+
+/// Enqueues a single-word element given as its packed bits. Guard
+/// ordering and ring arithmetic match [`fifo_call_action`]'s `Enq` —
+/// only the `Value` unpacking is gone. The caller guarantees
+/// `p.layout.width ≤ 64` and equal to the value's width, which is what
+/// makes the boxed path's shape check statically true.
+pub(crate) fn fifo_enq_word(
+    p: &FlatPrim,
+    block: &mut [u64],
+    spill_len: usize,
+    w: u64,
+) -> ExecResult<()> {
+    let FlatKind::Fifo { cap, .. } = p.kind else {
+        unreachable!("fifo op on non-fifo");
+    };
+    let (head, len) = fifo_geom(block);
+    if len + spill_len >= cap {
+        return Err(ExecError::GuardFail);
+    }
+    let slot = (head + len) % cap;
+    put_bits(block, (2 + slot * p.lane) * 64, p.layout.width, w);
+    block[1] = (len + 1) as u64;
+    Ok(())
+}
+
+/// Enqueues an element given as `p.layout.width` packed bits at
+/// `src[src_bit..]` — the zero-copy aggregate counterpart of
+/// [`fifo_enq_word`].
+pub(crate) fn fifo_enq_packed(
+    p: &FlatPrim,
+    block: &mut [u64],
+    spill_len: usize,
+    src: &[u64],
+    src_bit: usize,
+) -> ExecResult<()> {
+    let FlatKind::Fifo { cap, .. } = p.kind else {
+        unreachable!("fifo op on non-fifo");
+    };
+    let (head, len) = fifo_geom(block);
+    if len + spill_len >= cap {
+        return Err(ExecError::GuardFail);
+    }
+    let slot = (head + len) % cap;
+    copy_bits(
+        src,
+        src_bit,
+        block,
+        (2 + slot * p.lane) * 64,
+        p.layout.width,
+    );
+    block[1] = (len + 1) as u64;
+    Ok(())
 }
 
 /// The front wire words of a flat FIFO without decoding to a `Value`:

@@ -199,7 +199,7 @@ impl HwSim {
         let sens = Sensitivity::of_plans(&plans, store.len());
         // Lowering is a cheap one-time pass; build the native rules
         // unconditionally so `compiled` can be flipped after construction.
-        let natives = compile::compile_plans(&plans);
+        let natives = compile::compile_plans(&plans, design);
         Ok(HwSim {
             plans,
             conflicts: ConflictInfo::of_design(design),

@@ -245,7 +245,7 @@ impl SwRunner {
         let n = plans.len();
         let sens = Sensitivity::of_plans(&plans, store.len());
         let natives = if opts.compiled {
-            compile::compile_plans(&plans)
+            compile::compile_plans(&plans, design)
         } else {
             Vec::new()
         };

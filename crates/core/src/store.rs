@@ -16,7 +16,7 @@ use crate::error::{ExecError, ExecResult};
 use crate::flat::{self, FlatKind, FlatPrim, FlatStore};
 use crate::prim::PrimState;
 use crate::types::Type;
-use crate::value::{wire_to_flat, Value};
+use crate::value::{copy_bits, get_bits, put_bits, wire_to_flat, Value};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -476,6 +476,301 @@ impl Store {
                     }
                 }
             }
+        }
+    }
+
+    /// Word-level value read against the committed state of a flat store
+    /// (ROADMAP "Word-level lowering"): returns `width` bits starting at
+    /// bit `off` of the addressed element, as a masked `u64`, without
+    /// materializing a [`Value`]. Supported combinations:
+    ///
+    /// - `Reg` / [`PrimMethod::RegRead`] — `cell` ignored;
+    /// - `Fifo` / [`PrimMethod::First`] (guard-fails when empty),
+    ///   [`PrimMethod::NotEmpty`] and [`PrimMethod::NotFull`] (0/1,
+    ///   `cell`/`off`/`width` ignored);
+    /// - `RegFile` / [`PrimMethod::Sub`] — `cell` is the cell index.
+    ///
+    /// Charges nothing; ports meter their own reads, exactly like
+    /// [`Store::call_value_at`]. The compiled backend only emits this for
+    /// leaf spans of width ≤ 64 whose offsets were resolved at lower
+    /// time; the bits are identical to packing the boxed read's result.
+    ///
+    /// ```
+    /// use bcl_core::ast::{PrimId, PrimMethod};
+    /// use bcl_core::design::{Design, PrimDef};
+    /// use bcl_core::prim::PrimSpec;
+    /// use bcl_core::store::Store;
+    /// use bcl_core::value::Value;
+    ///
+    /// let design = Design {
+    ///     name: "t".into(),
+    ///     prims: vec![PrimDef {
+    ///         path: "a".into(),
+    ///         spec: PrimSpec::Reg { init: Value::int(32, -2) },
+    ///     }],
+    ///     ..Default::default()
+    /// };
+    /// let s = Store::new_flat(&design);
+    /// // The packed two's-complement bits of -2 in 32 bits.
+    /// let w = s.call_value_word_at(PrimId(0), PrimMethod::RegRead, 0, 0, 32).unwrap();
+    /// assert_eq!(w, 0xFFFF_FFFE);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::GuardFail`] for `first` on an empty FIFO,
+    /// [`ExecError::Bounds`] for an out-of-range register-file cell (same
+    /// text as the boxed `sub`), and [`ExecError::Type`] on a tree-backed
+    /// store or an unsupported method/kind combination.
+    pub fn call_value_word_at(
+        &self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: usize,
+        off: u32,
+        width: u32,
+    ) -> ExecResult<u64> {
+        let Backend::Flat(f) = &self.backend else {
+            return Err(ExecError::Type(
+                "word-level access on a tree-backed store".into(),
+            ));
+        };
+        let p = &f.meta.prims[id.0];
+        match (p.kind, m) {
+            (FlatKind::Reg, PrimMethod::RegRead) => Ok(get_bits(f.block(p), off as usize, width)),
+            (FlatKind::Fifo { spill, .. }, PrimMethod::First) => {
+                flat::fifo_first_word(p, f.block(p), &f.spills[spill], off, width)
+            }
+            (FlatKind::Fifo { cap, spill }, PrimMethod::NotEmpty) => {
+                let total = flat::fifo_geom(f.block(p)).1 + f.spills[spill].len();
+                let _ = cap;
+                Ok((total > 0) as u64)
+            }
+            (FlatKind::Fifo { cap, spill }, PrimMethod::NotFull) => {
+                let total = flat::fifo_geom(f.block(p)).1 + f.spills[spill].len();
+                Ok((total < cap) as u64)
+            }
+            (FlatKind::RegFile { size }, PrimMethod::Sub) => {
+                if cell >= size {
+                    return Err(ExecError::Bounds(format!("sub {cell} out of {size}")));
+                }
+                Ok(get_bits(
+                    f.block(p),
+                    cell * p.lane * 64 + off as usize,
+                    width,
+                ))
+            }
+            _ => Err(ExecError::Type(format!(
+                "word-level {} not supported on {}",
+                m.name(),
+                p.kind_name
+            ))),
+        }
+    }
+
+    /// Word-level action against the committed state of a flat store: the
+    /// writing counterpart of [`Store::call_value_word_at`]. `w` holds the
+    /// element's packed bits (the lowering only emits this when the element
+    /// type fits one word, so the boxed path's width check is statically
+    /// true). Supported: `Reg`/[`PrimMethod::RegWrite`],
+    /// `Fifo`/[`PrimMethod::Enq`], `RegFile`/[`PrimMethod::Upd`].
+    ///
+    /// `cell` is signed because the register-file index error order is part
+    /// of the contract: dirtiness is marked and (in a transaction) the
+    /// shadow is priced *before* a negative or out-of-range index errors,
+    /// exactly like the boxed `upd`.
+    ///
+    /// ```
+    /// use bcl_core::ast::{PrimId, PrimMethod};
+    /// use bcl_core::design::{Design, PrimDef};
+    /// use bcl_core::prim::PrimSpec;
+    /// use bcl_core::store::Store;
+    /// use bcl_core::value::Value;
+    ///
+    /// let design = Design {
+    ///     name: "t".into(),
+    ///     prims: vec![PrimDef {
+    ///         path: "a".into(),
+    ///         spec: PrimSpec::Reg { init: Value::int(16, 0) },
+    ///     }],
+    ///     ..Default::default()
+    /// };
+    /// let mut s = Store::new_flat(&design);
+    /// s.call_action_word_at(PrimId(0), PrimMethod::RegWrite, 0, 0x7FFF).unwrap();
+    /// assert_eq!(
+    ///     s.call_value_at(PrimId(0), PrimMethod::RegRead, &[]).unwrap(),
+    ///     Value::int(16, 32767),
+    /// );
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::GuardFail`] for `enq` on a full FIFO,
+    /// [`ExecError::Bounds`] for a negative or out-of-range `upd` index
+    /// (same text and order as the boxed path), and [`ExecError::Type`]
+    /// on a tree store or unsupported combination.
+    pub fn call_action_word_at(
+        &mut self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: i64,
+        w: u64,
+    ) -> ExecResult<()> {
+        self.sched_dirty.mark(id.0);
+        let Backend::Flat(f) = &mut self.backend else {
+            return Err(ExecError::Type(
+                "word-level access on a tree-backed store".into(),
+            ));
+        };
+        let meta = Arc::clone(&f.meta);
+        let p = &meta.prims[id.0];
+        match (p.kind, m) {
+            (FlatKind::Reg, PrimMethod::RegWrite) => {
+                mark_span(&mut self.ckpt_dirty, p.start, p.words);
+                put_bits(
+                    &mut f.arena[p.start..p.start + p.words],
+                    0,
+                    p.layout.width,
+                    w,
+                );
+                Ok(())
+            }
+            (FlatKind::Fifo { spill, .. }, PrimMethod::Enq) => {
+                mark_span(&mut self.ckpt_dirty, p.start, p.words);
+                self.ckpt_dirty.mark(meta.n_pages + meta.n_dyns + spill);
+                let spill_len = f.spills[spill].len();
+                let block = &mut f.arena[p.start..p.start + p.words];
+                flat::fifo_enq_word(p, block, spill_len, w)
+            }
+            (FlatKind::RegFile { size }, PrimMethod::Upd) => {
+                let cell = usize::try_from(cell)
+                    .map_err(|_| ExecError::Bounds(format!("negative index {cell}")))?;
+                if cell >= size {
+                    return Err(ExecError::Bounds(format!("upd {cell} out of {size}")));
+                }
+                let at = p.start + cell * p.lane;
+                mark_span(&mut self.ckpt_dirty, at, p.lane);
+                put_bits(&mut f.arena[at..at + p.lane], 0, p.layout.width, w);
+                Ok(())
+            }
+            _ => Err(ExecError::Type(format!(
+                "word-level {} not supported on {}",
+                m.name(),
+                p.kind_name
+            ))),
+        }
+    }
+
+    /// Packed-aggregate value read: copies `width` bits starting at bit
+    /// `off` of the addressed element into `dst` at `dst_bit`, without
+    /// decoding. Same method/kind coverage as [`Store::call_value_word_at`]
+    /// minus the occupancy probes.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn call_value_packed_at(
+        &self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: usize,
+        off: u32,
+        width: u32,
+        dst: &mut [u64],
+        dst_bit: usize,
+    ) -> ExecResult<()> {
+        let Backend::Flat(f) = &self.backend else {
+            return Err(ExecError::Type(
+                "word-level access on a tree-backed store".into(),
+            ));
+        };
+        let p = &f.meta.prims[id.0];
+        match (p.kind, m) {
+            (FlatKind::Reg, PrimMethod::RegRead) => {
+                copy_bits(f.block(p), off as usize, dst, dst_bit, width);
+                Ok(())
+            }
+            (FlatKind::Fifo { spill, .. }, PrimMethod::First) => {
+                flat::fifo_first_packed(p, f.block(p), &f.spills[spill], off, width, dst, dst_bit)
+            }
+            (FlatKind::RegFile { size }, PrimMethod::Sub) => {
+                if cell >= size {
+                    return Err(ExecError::Bounds(format!("sub {cell} out of {size}")));
+                }
+                copy_bits(
+                    f.block(p),
+                    cell * p.lane * 64 + off as usize,
+                    dst,
+                    dst_bit,
+                    width,
+                );
+                Ok(())
+            }
+            _ => Err(ExecError::Type(format!(
+                "word-level {} not supported on {}",
+                m.name(),
+                p.kind_name
+            ))),
+        }
+    }
+
+    /// Packed-aggregate action: writes the element's `p.layout.width`
+    /// packed bits from `src[src_bit..]`. Same coverage, marking, and
+    /// error order as [`Store::call_action_word_at`].
+    pub(crate) fn call_action_packed_at(
+        &mut self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: i64,
+        src: &[u64],
+        src_bit: usize,
+    ) -> ExecResult<()> {
+        self.sched_dirty.mark(id.0);
+        let Backend::Flat(f) = &mut self.backend else {
+            return Err(ExecError::Type(
+                "word-level access on a tree-backed store".into(),
+            ));
+        };
+        let meta = Arc::clone(&f.meta);
+        let p = &meta.prims[id.0];
+        match (p.kind, m) {
+            (FlatKind::Reg, PrimMethod::RegWrite) => {
+                mark_span(&mut self.ckpt_dirty, p.start, p.words);
+                copy_bits(
+                    src,
+                    src_bit,
+                    &mut f.arena[p.start..p.start + p.words],
+                    0,
+                    p.layout.width,
+                );
+                Ok(())
+            }
+            (FlatKind::Fifo { spill, .. }, PrimMethod::Enq) => {
+                mark_span(&mut self.ckpt_dirty, p.start, p.words);
+                self.ckpt_dirty.mark(meta.n_pages + meta.n_dyns + spill);
+                let spill_len = f.spills[spill].len();
+                let block = &mut f.arena[p.start..p.start + p.words];
+                flat::fifo_enq_packed(p, block, spill_len, src, src_bit)
+            }
+            (FlatKind::RegFile { size }, PrimMethod::Upd) => {
+                let cell = usize::try_from(cell)
+                    .map_err(|_| ExecError::Bounds(format!("negative index {cell}")))?;
+                if cell >= size {
+                    return Err(ExecError::Bounds(format!("upd {cell} out of {size}")));
+                }
+                let at = p.start + cell * p.lane;
+                mark_span(&mut self.ckpt_dirty, at, p.lane);
+                copy_bits(
+                    src,
+                    src_bit,
+                    &mut f.arena[at..at + p.lane],
+                    0,
+                    p.layout.width,
+                );
+                Ok(())
+            }
+            _ => Err(ExecError::Type(format!(
+                "word-level {} not supported on {}",
+                m.name(),
+                p.kind_name
+            ))),
         }
     }
 
@@ -1257,6 +1552,180 @@ fn shadow_call_action(
     }
 }
 
+/// Word-level value read against a shadow entry: the unboxed counterpart
+/// of [`shadow_call_value`]. Only reachable for flat-kind shadows — the
+/// lowering declines word paths for `Dyn` primitives, so a `Tree` entry
+/// here is a compiler bug, not a runtime condition.
+fn shadow_value_word(
+    base: &Store,
+    id: PrimId,
+    e: &ShadowEntry,
+    m: PrimMethod,
+    cell: usize,
+    off: u32,
+    width: u32,
+) -> ExecResult<u64> {
+    let p = &base.flat().meta.prims[id.0];
+    match (e, m) {
+        (ShadowEntry::Reg(lane), PrimMethod::RegRead) => Ok(get_bits(lane, off as usize, width)),
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::First) => {
+            flat::fifo_first_word(p, words, spill, off, width)
+        }
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::NotEmpty) => {
+            Ok((flat::fifo_geom(words).1 + spill.len() > 0) as u64)
+        }
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::NotFull) => {
+            let FlatKind::Fifo { cap, .. } = p.kind else {
+                unreachable!("fifo shadow on a non-fifo");
+            };
+            Ok((flat::fifo_geom(words).1 + spill.len() < cap) as u64)
+        }
+        (ShadowEntry::Cells(map), PrimMethod::Sub) => {
+            let FlatKind::RegFile { size } = p.kind else {
+                unreachable!("cell log on a non-regfile");
+            };
+            if cell >= size {
+                return Err(ExecError::Bounds(format!("sub {cell} out of {size}")));
+            }
+            match map.get(&cell) {
+                Some(lane) => Ok(get_bits(lane, off as usize, width)),
+                None => Ok(get_bits(
+                    base.flat().block(p),
+                    cell * p.lane * 64 + off as usize,
+                    width,
+                )),
+            }
+        }
+        _ => unreachable!("word-level read on a boxed shadow"),
+    }
+}
+
+/// Packed-aggregate value read against a shadow entry (copies bits
+/// instead of returning one word).
+#[allow(clippy::too_many_arguments)]
+fn shadow_value_packed(
+    base: &Store,
+    id: PrimId,
+    e: &ShadowEntry,
+    m: PrimMethod,
+    cell: usize,
+    off: u32,
+    width: u32,
+    dst: &mut [u64],
+    dst_bit: usize,
+) -> ExecResult<()> {
+    let p = &base.flat().meta.prims[id.0];
+    match (e, m) {
+        (ShadowEntry::Reg(lane), PrimMethod::RegRead) => {
+            copy_bits(lane, off as usize, dst, dst_bit, width);
+            Ok(())
+        }
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::First) => {
+            flat::fifo_first_packed(p, words, spill, off, width, dst, dst_bit)
+        }
+        (ShadowEntry::Cells(map), PrimMethod::Sub) => {
+            let FlatKind::RegFile { size } = p.kind else {
+                unreachable!("cell log on a non-regfile");
+            };
+            if cell >= size {
+                return Err(ExecError::Bounds(format!("sub {cell} out of {size}")));
+            }
+            match map.get(&cell) {
+                Some(lane) => copy_bits(lane, off as usize, dst, dst_bit, width),
+                None => copy_bits(
+                    base.flat().block(p),
+                    cell * p.lane * 64 + off as usize,
+                    dst,
+                    dst_bit,
+                    width,
+                ),
+            }
+            Ok(())
+        }
+        _ => unreachable!("word-level read on a boxed shadow"),
+    }
+}
+
+/// Word-level action against a shadow entry: the unboxed counterpart of
+/// [`shadow_call_action`], with the same error order as the boxed path
+/// (register-file bounds checks fire after the shadow exists and before
+/// the touched cell is copied into the log).
+fn shadow_word_action(
+    base: &Store,
+    id: PrimId,
+    e: &mut ShadowEntry,
+    m: PrimMethod,
+    cell: i64,
+    w: u64,
+) -> ExecResult<()> {
+    let p = &base.flat().meta.prims[id.0];
+    match (e, m) {
+        (ShadowEntry::Reg(lane), PrimMethod::RegWrite) => {
+            put_bits(lane, 0, p.layout.width, w);
+            Ok(())
+        }
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::Enq) => {
+            flat::fifo_enq_word(p, words, spill.len(), w)
+        }
+        (ShadowEntry::Cells(map), PrimMethod::Upd) => {
+            let FlatKind::RegFile { size } = p.kind else {
+                unreachable!("cell log on a non-regfile");
+            };
+            let cell = usize::try_from(cell)
+                .map_err(|_| ExecError::Bounds(format!("negative index {cell}")))?;
+            if cell >= size {
+                return Err(ExecError::Bounds(format!("upd {cell} out of {size}")));
+            }
+            let f = base.flat();
+            let lane = map
+                .entry(cell)
+                .or_insert_with(|| f.block(p)[cell * p.lane..(cell + 1) * p.lane].to_vec());
+            put_bits(lane, 0, p.layout.width, w);
+            Ok(())
+        }
+        _ => unreachable!("word-level action on a boxed shadow"),
+    }
+}
+
+/// Packed-aggregate action against a shadow entry.
+fn shadow_packed_action(
+    base: &Store,
+    id: PrimId,
+    e: &mut ShadowEntry,
+    m: PrimMethod,
+    cell: i64,
+    src: &[u64],
+    src_bit: usize,
+) -> ExecResult<()> {
+    let p = &base.flat().meta.prims[id.0];
+    match (e, m) {
+        (ShadowEntry::Reg(lane), PrimMethod::RegWrite) => {
+            copy_bits(src, src_bit, lane, 0, p.layout.width);
+            Ok(())
+        }
+        (ShadowEntry::Fifo { words, spill }, PrimMethod::Enq) => {
+            flat::fifo_enq_packed(p, words, spill.len(), src, src_bit)
+        }
+        (ShadowEntry::Cells(map), PrimMethod::Upd) => {
+            let FlatKind::RegFile { size } = p.kind else {
+                unreachable!("cell log on a non-regfile");
+            };
+            let cell = usize::try_from(cell)
+                .map_err(|_| ExecError::Bounds(format!("negative index {cell}")))?;
+            if cell >= size {
+                return Err(ExecError::Bounds(format!("upd {cell} out of {size}")));
+            }
+            let f = base.flat();
+            let lane = map
+                .entry(cell)
+                .or_insert_with(|| f.block(p)[cell * p.lane..(cell + 1) * p.lane].to_vec());
+            copy_bits(src, src_bit, lane, 0, p.layout.width);
+            Ok(())
+        }
+        _ => unreachable!("word-level action on a boxed shadow"),
+    }
+}
+
 /// One shadow frame: the cloned states and the set of primitives mutated
 /// through this frame.
 #[derive(Debug, Default)]
@@ -1328,9 +1797,22 @@ impl<'s> Txn<'s> {
         if self.policy == ShadowPolicy::InPlace {
             return self.base.call_action_at(id, m, args);
         }
-        // Ensure an entry exists in the top frame: clone the nearest
-        // lower-frame shadow if one exists (it carries that frame's
-        // occupancy), else shadow the committed state.
+        self.ensure_shadow_entry(id);
+        let frame = self.frames.last_mut().expect("root frame missing");
+        let entry = frame.entries.get_mut(&id).expect("just inserted");
+        shadow_call_action(self.base, id, entry, m, args)?;
+        frame.written.insert(id);
+        Ok(())
+    }
+
+    /// Ensures the top frame holds a shadow entry for `id`: clones the
+    /// nearest lower-frame shadow if one exists (it carries that frame's
+    /// occupancy), else shadows the committed state. First touch under
+    /// [`ShadowPolicy::Partial`] prices the shadow into
+    /// `cost.shadow_words` — this happens *before* any action-level error
+    /// (e.g. a bad register-file index), which is why the word-level
+    /// entry points below share this helper with [`Txn::call_action`].
+    fn ensure_shadow_entry(&mut self, id: PrimId) {
         let top = self.frames.len() - 1;
         if !self.frames[top].entries.contains_key(&id) {
             let entry = self.frames[..top]
@@ -1343,9 +1825,102 @@ impl<'s> Txn<'s> {
             }
             self.frames[top].entries.insert(id, entry);
         }
-        let frame = &mut self.frames[top];
+    }
+
+    /// Word-level [`Txn::call_value`]: charges one read, then reads the
+    /// packed span through the frame stack without materializing a
+    /// [`Value`]. Coverage mirrors [`Store::call_value_word_at`].
+    pub(crate) fn call_value_word(
+        &mut self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: usize,
+        off: u32,
+        width: u32,
+    ) -> ExecResult<u64> {
+        self.cost.reads += 1;
+        self.peek_value_word(id, m, cell, off, width)
+    }
+
+    /// Uncharged shadow-aware word read: used for availability probes
+    /// that precede a separately-charged access (e.g. checking a FIFO is
+    /// non-empty before charging its `first`), where the boxed path also
+    /// charges nothing.
+    pub(crate) fn peek_value_word(
+        &self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: usize,
+        off: u32,
+        width: u32,
+    ) -> ExecResult<u64> {
+        match self.view_entry(id) {
+            Some(e) => shadow_value_word(self.base, id, e, m, cell, off, width),
+            None => self.base.call_value_word_at(id, m, cell, off, width),
+        }
+    }
+
+    /// Uncharged shadow-aware packed read (the aggregate counterpart of
+    /// [`Txn::peek_value_word`]); the caller meters the access.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn peek_value_packed(
+        &self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: usize,
+        off: u32,
+        width: u32,
+        dst: &mut [u64],
+        dst_bit: usize,
+    ) -> ExecResult<()> {
+        match self.view_entry(id) {
+            Some(e) => shadow_value_packed(self.base, id, e, m, cell, off, width, dst, dst_bit),
+            None => self
+                .base
+                .call_value_packed_at(id, m, cell, off, width, dst, dst_bit),
+        }
+    }
+
+    /// Word-level [`Txn::call_action`]: same charge (one write), same
+    /// first-touch shadow creation and pricing, same error order — only
+    /// the payload is an unboxed word instead of a [`Value`].
+    pub(crate) fn call_action_word(
+        &mut self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: i64,
+        w: u64,
+    ) -> ExecResult<()> {
+        self.cost.writes += 1;
+        if self.policy == ShadowPolicy::InPlace {
+            return self.base.call_action_word_at(id, m, cell, w);
+        }
+        self.ensure_shadow_entry(id);
+        let frame = self.frames.last_mut().expect("root frame missing");
         let entry = frame.entries.get_mut(&id).expect("just inserted");
-        shadow_call_action(self.base, id, entry, m, args)?;
+        shadow_word_action(self.base, id, entry, m, cell, w)?;
+        frame.written.insert(id);
+        Ok(())
+    }
+
+    /// Packed-aggregate [`Txn::call_action`]: writes the element's packed
+    /// bits from `src[src_bit..]` with boxed-identical metering.
+    pub(crate) fn call_action_packed(
+        &mut self,
+        id: PrimId,
+        m: PrimMethod,
+        cell: i64,
+        src: &[u64],
+        src_bit: usize,
+    ) -> ExecResult<()> {
+        self.cost.writes += 1;
+        if self.policy == ShadowPolicy::InPlace {
+            return self.base.call_action_packed_at(id, m, cell, src, src_bit);
+        }
+        self.ensure_shadow_entry(id);
+        let frame = self.frames.last_mut().expect("root frame missing");
+        let entry = frame.entries.get_mut(&id).expect("just inserted");
+        shadow_packed_action(self.base, id, entry, m, cell, src, src_bit)?;
         frame.written.insert(id);
         Ok(())
     }

@@ -118,7 +118,7 @@ impl BinOp {
     }
 }
 
-fn mask(width: u32) -> u64 {
+pub(crate) fn mask(width: u32) -> u64 {
     if width >= 64 {
         u64::MAX
     } else {
@@ -126,7 +126,7 @@ fn mask(width: u32) -> u64 {
     }
 }
 
-fn sign_extend(width: u32, bits: u64) -> i64 {
+pub(crate) fn sign_extend(width: u32, bits: u64) -> i64 {
     if width == 0 || width >= 64 {
         return bits as i64;
     }
@@ -683,6 +683,39 @@ fn get_bits_spanning(words: &[u64], offset: usize, w: usize) -> u64 {
         remaining -= n;
     }
     out
+}
+
+/// Copies `width` bits from `src` (starting at bit `src_bit`) into `dst`
+/// (starting at bit `dst_bit`), 64 bits at a time. The word-lowering
+/// analogue of `memcpy`: packed aggregates move between the arena, shadow
+/// logs, and compiled-frame scratch buffers without ever decoding to a
+/// [`Value`]. Bits outside the copied span are left untouched on both
+/// sides.
+#[inline]
+pub fn copy_bits(src: &[u64], src_bit: usize, dst: &mut [u64], dst_bit: usize, width: u32) {
+    let w = width as usize;
+    let mut done = 0usize;
+    while done < w {
+        let n = (w - done).min(64) as u32;
+        let v = get_bits(src, src_bit + done, n);
+        put_bits(dst, dst_bit + done, n, v);
+        done += n as usize;
+    }
+}
+
+/// [`copy_bits`] between two non-overlapping spans of the *same* buffer
+/// (compiled-frame scratch moves, e.g. a packed `let` binding feeding a
+/// packed method argument).
+#[inline]
+pub fn copy_bits_within(words: &mut [u64], src_bit: usize, dst_bit: usize, width: u32) {
+    let w = width as usize;
+    let mut done = 0usize;
+    while done < w {
+        let n = (w - done).min(64) as u32;
+        let v = get_bits(words, src_bit + done, n);
+        put_bits(words, dst_bit + done, n, v);
+        done += n as usize;
+    }
 }
 
 /// Converts a bit-packed 64-bit lane of the given bit width into the

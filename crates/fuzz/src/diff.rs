@@ -1,4 +1,4 @@
-//! The differential harness: one generated design, six executor legs,
+//! The differential harness: one generated design, seven executor legs,
 //! one verdict.
 //!
 //! [`run_case`] pushes a spec through the full toolchain and then runs
@@ -17,7 +17,10 @@
 //! 6. the closure-threaded native backend (`SwOptions { compiled: true
 //!    }`): compiled naive and compiled event-driven software runs plus a
 //!    compiled co-simulation, each bit- and cycle-identical to its
-//!    interpreted twin.
+//!    interpreted twin, and
+//! 7. the word path (`compiled: true, flat: true`): the same native
+//!    closures over the flat arena, with scalar port traffic running as
+//!    unboxed `u64` words — again bit- and cycle-identical.
 //!
 //! All output streams must equal the spec's gold model bit-for-bit. For
 //! fault-free plans the co-simulation additionally runs in both
@@ -186,6 +189,23 @@ fn run_case_inner(
                  the interpreter:\n  interp {tree_report:?}\n  compiled {rn:?}"
             ));
         }
+        // And the word path: the same native closures over a flat
+        // arena store, where scalar port traffic runs unboxed.
+        let word_run = run_sw_on(&design, spec, event_driven, true, true)?;
+        let got = sink_ints(&design, &word_run, "snk")?;
+        if got != gold {
+            return Err(format!(
+                "compiled+flat backend (event_driven={event_driven}) disagrees with gold \
+                 model:\n  got  {got:?}\n  want {gold:?}"
+            ));
+        }
+        let rw = word_run.report();
+        if rw != *tree_report {
+            return Err(format!(
+                "compiled+flat backend (event_driven={event_driven}) is not cycle-identical \
+                 to the interpreter:\n  interp {tree_report:?}\n  compiled+flat {rw:?}"
+            ));
+        }
     }
 
     // Executor C: fused single-process design.
@@ -294,6 +314,22 @@ fn run_case_inner(
         return Err(format!(
             "compiled co-simulation is not cycle-identical to the interpreter: \
              {cycles_native} vs {cycles_event} FPGA cycles"
+        ));
+    }
+
+    // Word path: the native backend over flat arena stores on both
+    // sides of the link — unboxed port traffic, same stream, same time.
+    let (got_word, cycles_word) = cosim_cycles_of(true, true, true)?;
+    if got_word != gold {
+        return Err(format!(
+            "compiled+flat co-simulation disagrees with gold model:\n  \
+             got  {got_word:?}\n  want {gold:?}"
+        ));
+    }
+    if cycles_word != cycles_event {
+        return Err(format!(
+            "compiled+flat co-simulation is not cycle-identical to the interpreter: \
+             {cycles_word} vs {cycles_event} FPGA cycles"
         ));
     }
 

@@ -11,6 +11,10 @@
 //!   pack densely at non-zero bit offsets without corrupting
 //!   neighboring bits.
 
+use bcl_core::ast::{PrimId, PrimMethod};
+use bcl_core::design::{Design, PrimDef};
+use bcl_core::prim::PrimSpec;
+use bcl_core::store::Store;
 use bcl_core::types::{Layout, Type};
 use bcl_core::value::{flat_to_wire, wire_to_flat, Value};
 use proptest::prelude::*;
@@ -148,6 +152,250 @@ fn boundary_widths_roundtrip() {
         assert_eq!(Value::read_flat(&layout, &words, 0), v, "{ty}");
         assert_eq!(flat_to_wire(&words, layout.width), v.to_words(), "{ty}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Word-path port API vs boxed port API
+// ---------------------------------------------------------------------------
+
+/// Zero value of a scalar-or-aggregate type (used as primitive init).
+fn zero_of(ty: &Type) -> Value {
+    match ty {
+        Type::Bool => Value::Bool(false),
+        Type::Bits(w) => Value::bits(*w, 0),
+        Type::Int(w) => Value::int(*w, 0),
+        Type::Vector(n, t) => Value::Vec(vec![zero_of(t); *n]),
+        Type::Struct(fs) => {
+            Value::Struct(fs.iter().map(|(n, t)| (n.clone(), zero_of(t))).collect())
+        }
+    }
+}
+
+/// The packed single-word image of a one-word value.
+fn packed(v: &Value) -> u64 {
+    let mut w = [0u64; 1];
+    v.write_flat(&mut w, 0);
+    w[0]
+}
+
+fn scalar_of(w: u32, signed: bool) -> Type {
+    if signed {
+        Type::Int(w)
+    } else {
+        Type::Bits(w)
+    }
+}
+
+fn scalar_value(ty: &Type, raw: u64) -> Value {
+    match ty {
+        Type::Bits(w) => Value::bits(*w, raw),
+        Type::Int(w) => Value::int(*w, raw as i64),
+        _ => unreachable!(),
+    }
+}
+
+/// A design with one Reg, one RegFile (4 cells) and one Fifo (depth 2),
+/// all carrying the same element type.
+fn word_port_design(ty: &Type) -> Design {
+    Design {
+        name: "wordports".into(),
+        prims: vec![
+            PrimDef {
+                path: "r".into(),
+                spec: PrimSpec::Reg { init: zero_of(ty) },
+            },
+            PrimDef {
+                path: "rf".into(),
+                spec: PrimSpec::RegFile {
+                    size: 4,
+                    ty: ty.clone(),
+                    init: vec![zero_of(ty); 4],
+                },
+            },
+            PrimDef {
+                path: "f".into(),
+                spec: PrimSpec::Fifo {
+                    depth: 2,
+                    ty: ty.clone(),
+                },
+            },
+        ],
+        ..Design::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Word-path writes (`call_action_word_at`) and reads
+    /// (`call_value_word_at`) are bit-identical to the boxed port API
+    /// on the same flat store, across Reg, RegFile and Fifo, for every
+    /// single-word width (boundary widths 1/32/63/64 weighted).
+    #[test]
+    fn word_port_rw_matches_boxed(
+        w in prop_oneof![Just(1u32), Just(32), Just(63), Just(64), 1u32..=64],
+        signed in any::<bool>(),
+        raw in any::<u64>(),
+        raw2 in any::<u64>(),
+        cell in 0usize..4,
+    ) {
+        let ty = scalar_of(w, signed);
+        let design = word_port_design(&ty);
+        let (r, rf, f) = (PrimId(0), PrimId(1), PrimId(2));
+
+        let mut s_word = Store::new_flat(&design);
+        let mut s_boxed = Store::new_flat(&design);
+
+        let v = scalar_value(&ty, raw);
+        let v2 = scalar_value(&ty, raw2);
+
+        // Reg: word write takes the raw (unmasked) word — the port must
+        // canonicalize exactly like `Value::bits`/`Value::int` do.
+        s_word.call_action_word_at(r, PrimMethod::RegWrite, 0, raw).unwrap();
+        s_boxed.call_action_at(r, PrimMethod::RegWrite, std::slice::from_ref(&v)).unwrap();
+
+        // RegFile cell.
+        s_word.call_action_word_at(rf, PrimMethod::Upd, cell as i64, raw2).unwrap();
+        s_boxed
+            .call_action_at(rf, PrimMethod::Upd, &[Value::int(64, cell as i64), v2.clone()])
+            .unwrap();
+
+        // Fifo: two enqueues (fills a depth-2 fifo exactly).
+        s_word.call_action_word_at(f, PrimMethod::Enq, 0, raw).unwrap();
+        s_word.call_action_word_at(f, PrimMethod::Enq, 0, raw2).unwrap();
+        s_boxed.call_action_at(f, PrimMethod::Enq, std::slice::from_ref(&v)).unwrap();
+        s_boxed.call_action_at(f, PrimMethod::Enq, std::slice::from_ref(&v2)).unwrap();
+
+        // Committed state is bit-identical prim by prim.
+        for id in [r, rf, f] {
+            prop_assert_eq!(s_word.get_state(id), s_boxed.get_state(id));
+        }
+
+        // Word reads return the packed image of the boxed value.
+        prop_assert_eq!(
+            s_word.call_value_word_at(r, PrimMethod::RegRead, 0, 0, w).unwrap(),
+            packed(&v)
+        );
+        prop_assert_eq!(
+            s_word.call_value_word_at(rf, PrimMethod::Sub, cell, 0, w).unwrap(),
+            packed(&v2)
+        );
+        prop_assert_eq!(
+            s_word.call_value_word_at(f, PrimMethod::First, 0, 0, w).unwrap(),
+            packed(&v)
+        );
+        // Occupancy probes as bare words: full fifo.
+        prop_assert_eq!(
+            s_word.call_value_word_at(f, PrimMethod::NotEmpty, 0, 0, 1).unwrap(),
+            1
+        );
+        prop_assert_eq!(
+            s_word.call_value_word_at(f, PrimMethod::NotFull, 0, 0, 1).unwrap(),
+            0
+        );
+        // And the boxed reads on the word-written store agree with the
+        // boxed store's own reads.
+        prop_assert_eq!(
+            s_word.call_value_at(r, PrimMethod::RegRead, &[]).unwrap(),
+            s_boxed.call_value_at(r, PrimMethod::RegRead, &[]).unwrap()
+        );
+        prop_assert_eq!(
+            s_word.call_value_at(f, PrimMethod::First, &[]).unwrap(),
+            s_boxed.call_value_at(f, PrimMethod::First, &[]).unwrap()
+        );
+    }
+
+    /// Sub-word reads at *unaligned* bit offsets: a struct whose leading
+    /// pad field forces the scalar field onto an arbitrary bit offset
+    /// (including spans that straddle a 64-bit word boundary). The word
+    /// read of the field must equal `get_bits` over the packed image of
+    /// the boxed struct.
+    #[test]
+    fn word_read_unaligned_offset_matches_boxed(
+        shift in 1u32..=63,
+        w in prop_oneof![Just(1u32), Just(32), Just(63), Just(64)],
+        pad_raw in any::<u64>(),
+        raw in any::<u64>(),
+        signed in any::<bool>(),
+    ) {
+        let field = scalar_of(w, signed);
+        let ty = Type::Struct(vec![
+            ("pad".into(), Type::Bits(shift)),
+            ("x".into(), field.clone()),
+        ]);
+        let design = word_port_design(&ty);
+        let (r, f) = (PrimId(0), PrimId(2));
+
+        let mut s = Store::new_flat(&design);
+        let v = Value::Struct(vec![
+            ("pad".into(), Value::bits(shift, pad_raw)),
+            ("x".into(), scalar_value(&field, raw)),
+        ]);
+        s.call_action_at(r, PrimMethod::RegWrite, std::slice::from_ref(&v)).unwrap();
+        s.call_action_at(f, PrimMethod::Enq, std::slice::from_ref(&v)).unwrap();
+
+        // Reference: the canonical flat image of the whole struct.
+        let layout = Layout::of(&ty);
+        let mut image = vec![0u64; layout.words64()];
+        v.write_flat(&mut image, 0);
+        let want = bcl_core::value::get_bits(&image, shift as usize, w);
+
+        prop_assert_eq!(
+            s.call_value_word_at(r, PrimMethod::RegRead, 0, shift, w).unwrap(),
+            want
+        );
+        prop_assert_eq!(
+            s.call_value_word_at(f, PrimMethod::First, 0, shift, w).unwrap(),
+            want
+        );
+        // The pad itself reads back intact too (offset-0 sub-word read).
+        prop_assert_eq!(
+            s.call_value_word_at(r, PrimMethod::RegRead, 0, 0, shift).unwrap(),
+            bcl_core::value::get_bits(&image, 0, shift)
+        );
+    }
+}
+
+/// Deterministic pins: word-path error text is byte-identical to the
+/// boxed path's for out-of-range RegFile cells, and guard-failing
+/// fifo ops agree.
+#[test]
+fn word_port_error_parity() {
+    let ty = Type::Bits(63);
+    let design = word_port_design(&ty);
+    let (rf, f) = (PrimId(1), PrimId(2));
+
+    let mut s_word = Store::new_flat(&design);
+    let mut s_boxed = Store::new_flat(&design);
+
+    for cell in [-1i64, 9] {
+        let we = s_word
+            .call_action_word_at(rf, PrimMethod::Upd, cell, 5)
+            .unwrap_err();
+        let be = s_boxed
+            .call_action_at(
+                rf,
+                PrimMethod::Upd,
+                &[Value::int(64, cell), Value::bits(63, 5)],
+            )
+            .unwrap_err();
+        assert_eq!(we.to_string(), be.to_string(), "upd cell {cell}");
+    }
+
+    // First on an empty fifo fails the guard on both paths.
+    let we = s_word
+        .call_value_word_at(f, PrimMethod::First, 0, 0, 63)
+        .unwrap_err();
+    let be = s_boxed
+        .call_value_at(f, PrimMethod::First, &[])
+        .unwrap_err();
+    assert_eq!(we.to_string(), be.to_string());
+    assert_eq!(
+        s_word
+            .call_value_word_at(f, PrimMethod::NotEmpty, 0, 0, 1)
+            .unwrap(),
+        0
+    );
 }
 
 #[test]
